@@ -1,0 +1,80 @@
+#![allow(clippy::needless_range_loop)]
+//! Criterion benches for the matrix-completion solvers (the LIBPMF role;
+//! backs Fig. 3's rank sweep with timing data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedval_mc::{solve_als, solve_sgd, AlsConfig, CompletionProblem, SgdConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a masked low-rank problem of the utility-matrix shape.
+fn masked_problem(rows: usize, cols: usize, rank: usize, keep: f64, seed: u64) -> CompletionProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..rank).map(|_| rng.random::<f64>() - 0.5).collect())
+        .collect();
+    let h: Vec<Vec<f64>> = (0..cols)
+        .map(|_| (0..rank).map(|_| rng.random::<f64>() - 0.5).collect())
+        .collect();
+    let mut p = CompletionProblem::new(rows);
+    for j in 0..cols {
+        let v: f64 = w[0].iter().zip(&h[j]).map(|(a, b)| a * b).sum();
+        p.add_observation(0, j as u64, v);
+    }
+    for i in 1..rows {
+        for j in 0..cols {
+            if rng.random::<f64>() < keep {
+                let v: f64 = w[i].iter().zip(&h[j]).map(|(a, b)| a * b).sum();
+                p.add_observation(i, j as u64, v);
+            }
+        }
+    }
+    p
+}
+
+fn bench_als_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("als_100_rows");
+    for &cols in &[256usize, 1024, 4096] {
+        let p = masked_problem(100, cols, 4, 0.05, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(cols), &cols, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(solve_als(
+                    &p,
+                    &AlsConfig::new(4).with_lambda(0.05).with_max_iters(10),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_als_rank_sweep(c: &mut Criterion) {
+    let p = masked_problem(100, 1024, 4, 0.05, 2);
+    let mut group = c.benchmark_group("als_rank");
+    for &rank in &[1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(solve_als(
+                    &p,
+                    &AlsConfig::new(rank).with_lambda(0.05).with_max_iters(10),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sgd(c: &mut Criterion) {
+    let p = masked_problem(100, 1024, 4, 0.05, 3);
+    c.bench_function("sgd_1024_cols_20_epochs", |b| {
+        b.iter(|| {
+            std::hint::black_box(solve_sgd(
+                &p,
+                &SgdConfig::new(4).with_lambda(0.05).with_epochs(20),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_als_sizes, bench_als_rank_sweep, bench_sgd);
+criterion_main!(benches);

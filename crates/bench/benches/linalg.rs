@@ -1,0 +1,49 @@
+//! Criterion benches for the dense linear-algebra kernels underpinning
+//! everything: SVD (the Fig-2 spectrum study), Cholesky ridge solves (ALS
+//! sub-problems), and the big matmul shapes of the completion diagnostics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedval_linalg::{cholesky, Matrix, Svd};
+
+fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let x = (i as u64).wrapping_mul(6364136223846793005)
+            ^ (j as u64).wrapping_mul(1442695040888963407)
+            ^ seed;
+        ((x >> 33) % 2000) as f64 / 1000.0 - 1.0
+    })
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_svd");
+    for &(rows, cols) in &[(30usize, 256usize), (60, 1024)] {
+        let m = dense(rows, cols, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &m,
+            |b, m| b.iter(|| std::hint::black_box(Svd::new(m).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ridge_solve(c: &mut Criterion) {
+    // The exact shape of an ALS column sub-solve: few observations, tiny rank.
+    let design = dense(8, 6, 2);
+    let rhs: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+    c.bench_function("ridge_solve_8x6", |b| {
+        b.iter(|| std::hint::black_box(cholesky::ridge_solve(&design, &rhs, 0.1).unwrap()))
+    });
+}
+
+fn bench_matmul_transpose(c: &mut Criterion) {
+    // Factor product W Hᵀ at utility-matrix scale.
+    let w = dense(60, 6, 3);
+    let h = dense(1024, 6, 4);
+    c.bench_function("factor_product_60x6_x_1024x6", |b| {
+        b.iter(|| std::hint::black_box(w.matmul_transpose(&h).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_svd, bench_ridge_solve, bench_matmul_transpose);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the training substrate: FedAvg rounds per model
+//! family and utility-oracle evaluations (the unit cost of Fig. 8).
+
+use comfedsv::experiments::{DatasetKind, ExperimentBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedval_fl::{FlConfig, Subset};
+
+fn bench_fedavg_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedavg_5_rounds_n10_k3");
+    for kind in [
+        DatasetKind::Synthetic { non_iid: false },
+        DatasetKind::SimMnist { non_iid: false },
+        DatasetKind::SimCifar { non_iid: false },
+    ] {
+        let world = ExperimentBuilder::new(kind)
+            .num_clients(10)
+            .samples_per_client(40)
+            .test_samples(50)
+            .seed(1)
+            .build();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(world.train(&FlConfig::new(5, 3, 0.2, 1))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_utility_evaluation(c: &mut Criterion) {
+    let world = ExperimentBuilder::sim_mnist(false)
+        .num_clients(10)
+        .samples_per_client(40)
+        .test_samples(100)
+        .seed(2)
+        .build();
+    let trace = world.train(&FlConfig::new(5, 3, 0.2, 2));
+    c.bench_function("utility_oracle_64_fresh_subsets", |b| {
+        b.iter(|| {
+            let oracle = world.oracle(&trace);
+            let mut acc = 0.0;
+            for bits in 1u64..=64 {
+                acc += oracle.utility(2, Subset::from_bits(bits % 1023 + 1));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_full_utility_matrix(c: &mut Criterion) {
+    let world = ExperimentBuilder::synthetic(false)
+        .num_clients(8)
+        .samples_per_client(30)
+        .test_samples(60)
+        .seed(3)
+        .build();
+    let trace = world.train(&FlConfig::new(5, 3, 0.2, 3));
+    c.bench_function("full_utility_matrix_n8_t5", |b| {
+        b.iter(|| {
+            let oracle = world.oracle(&trace);
+            std::hint::black_box(fedval_fl::full_utility_matrix(&oracle))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fedavg_round,
+    bench_utility_evaluation,
+    bench_full_utility_matrix
+);
+criterion_main!(benches);

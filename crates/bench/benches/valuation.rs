@@ -1,0 +1,112 @@
+//! Criterion benches for the valuation algorithms (backs Fig. 8's cost
+//! analysis with controlled micro-measurements).
+
+use comfedsv::experiments::ExperimentBuilder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedval_fl::FlConfig;
+use fedval_shapley::{
+    comfedsv_pipeline, fedsv, fedsv_monte_carlo, ground_truth_valuation, ComFedSvConfig,
+    EstimatorKind, FedSvConfig,
+};
+
+fn build(n: usize, rounds: usize, k: usize) -> (comfedsv::experiments::World, fedval_fl::TrainingTrace) {
+    let world = ExperimentBuilder::synthetic(false)
+        .num_clients(n)
+        .samples_per_client(30)
+        .test_samples(60)
+        .seed(1)
+        .build();
+    let trace = world.train(&FlConfig::new(rounds, k, 0.2, 1));
+    (world, trace)
+}
+
+fn bench_fedsv_exact(c: &mut Criterion) {
+    let (world, trace) = build(8, 5, 3);
+    c.bench_function("fedsv_exact_n8_t5_k3", |b| {
+        b.iter(|| {
+            let oracle = world.oracle(&trace);
+            std::hint::black_box(fedsv(&oracle))
+        })
+    });
+}
+
+fn bench_fedsv_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedsv_mc_t5");
+    for &n in &[10usize, 20, 40] {
+        let k = (n * 3 / 10).max(2);
+        let (world, trace) = build(n, 5, k);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let oracle = world.oracle(&trace);
+                std::hint::black_box(fedsv_monte_carlo(
+                    &oracle,
+                    &FedSvConfig {
+                        permutations_per_round: Some(20),
+                        seed: 1,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_comfedsv_exact_pipeline(c: &mut Criterion) {
+    let (world, trace) = build(8, 5, 3);
+    c.bench_function("comfedsv_exact_pipeline_n8_t5", |b| {
+        b.iter(|| {
+            let oracle = world.oracle(&trace);
+            std::hint::black_box(comfedsv_pipeline(
+                &oracle,
+                &ComFedSvConfig::exact(4).with_lambda(0.01),
+            ))
+        })
+    });
+}
+
+fn bench_comfedsv_monte_carlo_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comfedsv_mc_t5");
+    for &n in &[10usize, 20, 40] {
+        let k = (n * 3 / 10).max(2);
+        let (world, trace) = build(n, 5, k);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let oracle = world.oracle(&trace);
+                std::hint::black_box(comfedsv_pipeline(
+                    &oracle,
+                    &ComFedSvConfig {
+                        rank: 5,
+                        lambda: 0.01,
+                        estimator: EstimatorKind::MonteCarlo {
+                            num_permutations: 30,
+                        },
+                        als_max_iters: 20,
+                        solver: Default::default(),
+                        seed: 1,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let (world, trace) = build(8, 5, 3);
+    c.bench_function("ground_truth_n8_t5", |b| {
+        b.iter(|| {
+            let oracle = world.oracle(&trace);
+            std::hint::black_box(ground_truth_valuation(&oracle))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fedsv_exact,
+    bench_fedsv_monte_carlo,
+    bench_comfedsv_exact_pipeline,
+    bench_comfedsv_monte_carlo_pipeline,
+    bench_ground_truth
+);
+criterion_main!(benches);

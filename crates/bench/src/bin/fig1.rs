@@ -1,0 +1,34 @@
+//! Figure 1: the unfairness probability `P_s` of Observation 1.
+//!
+//! Prints `P_s` against `s` for several asymmetric-selection probabilities
+//! `p`, matching the sweep the paper plots. The paper's conclusion — large
+//! probability of a sizeable FedSV gap between two identical clients —
+//! should be visible as slowly decaying curves.
+
+use fedval_bench::{print_series, write_csv};
+use fedval_shapley::observation::probability_with_p;
+
+fn main() {
+    let rounds = 25;
+    let ps = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for &p in &ps {
+        let rows: Vec<(String, f64)> = (0..=rounds)
+            .map(|s| {
+                let v = probability_with_p(rounds, p, s);
+                csv_rows.push(vec![format!("{p}"), s.to_string(), format!("{v}")]);
+                (s.to_string(), v)
+            })
+            .collect();
+        print_series(
+            &format!("Fig 1: P_s for p = {p} (T = {rounds})"),
+            ("s", "P_s"),
+            &rows,
+        );
+    }
+    match write_csv("fig1", &["p", "s", "P_s"], &csv_rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

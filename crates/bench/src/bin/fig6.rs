@@ -1,0 +1,70 @@
+//! Figure 6: noisy-data detection via Spearman rank correlation.
+//!
+//! Ten clients start from IID data; client `i` has `5·i%` of its examples
+//! corrupted, so the true quality ranking is `9 < 8 < … < 0`. Each metric
+//! (ground truth, FedSV, ComFedSV) ranks the clients by value and is
+//! scored by Spearman correlation against the true noise ordering. Paper
+//! shape: ComFedSV tracks the ground truth closely and beats FedSV.
+//!
+//! Substitution note (see EXPERIMENTS.md): the paper corrupts by adding
+//! Gaussian noise to real image pixels. On our simulated Gaussian-mixture
+//! data, additive feature noise barely degrades the learner (the label
+//! stays attached to a mostly-informative feature vector), so the graded
+//! quality axis is realized by label corruption on `5·i%` of the examples
+//! — the same "known quality ordering → valuation ranking" pipeline.
+
+use comfedsv::experiments::{DatasetKind, ExperimentBuilder};
+use fedval_bench::{profile, write_csv};
+use fedval_fl::FlConfig;
+use fedval_metrics::spearman_rho;
+use fedval_shapley::{comfedsv_pipeline, fedsv, ground_truth_valuation, ComFedSvConfig};
+
+fn main() {
+    let prof = profile();
+    let n = 10usize;
+    // Noise fractions 0.00, 0.05, ..., 0.45 for clients 0..9; the clean
+    // client is the most valuable, so value order should anti-align with
+    // noise order. The "true ranking" scores client i by -noise_i.
+    let noise: Vec<(usize, f64)> = (0..n).map(|i| (i, 0.05 * i as f64)).collect();
+    let truth: Vec<f64> = noise.iter().map(|&(_, f)| -f).collect();
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    println!("== Fig 6: Spearman correlation with the true noise ranking ==");
+    println!("{:>10}  {:>12}  {:>12}  {:>12}", "dataset", "groundtruth", "FedSV", "ComFedSV");
+    for kind in DatasetKind::suite(false) {
+        let world = ExperimentBuilder::new(kind)
+            .num_clients(n)
+            .samples_per_client(prof.samples_per_client.max(100))
+            .test_samples(prof.test_samples)
+            .label_noise(noise.clone())
+            .seed(5)
+            .build();
+        let trace = world.train(&FlConfig::new(prof.short_rounds, 3, 0.1, 5));
+        let oracle = world.oracle(&trace);
+
+        let gt = ground_truth_valuation(&oracle);
+        let fed = fedsv(&oracle);
+        let com = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(6).with_lambda(0.01)).values;
+
+        let rho_gt = spearman_rho(&gt, &truth).unwrap_or(f64::NAN);
+        let rho_fed = spearman_rho(&fed, &truth).unwrap_or(f64::NAN);
+        let rho_com = spearman_rho(&com, &truth).unwrap_or(f64::NAN);
+        println!(
+            "{:>10}  {:>12.4}  {:>12.4}  {:>12.4}",
+            kind.name(),
+            rho_gt,
+            rho_fed,
+            rho_com
+        );
+        csv_rows.push(vec![
+            kind.name().to_string(),
+            format!("{rho_gt}"),
+            format!("{rho_fed}"),
+            format!("{rho_com}"),
+        ]);
+    }
+    match write_csv("fig6", &["dataset", "ground_truth", "fedsv", "comfedsv"], &csv_rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared driver for the duplicated-client fairness experiments
+//! (Example 1 and Fig. 5): repeat training with fresh selection seeds and
+//! collect the relative difference `d_{0,N-1}` between the two clients
+//! holding identical data, under FedSV and ComFedSV.
+
+use comfedsv::experiments::{DatasetKind, ExperimentBuilder};
+use fedval_fl::FlConfig;
+use fedval_metrics::relative_difference;
+use fedval_shapley::{comfedsv_pipeline, fedsv, ComFedSvConfig};
+
+/// Result of one fairness sweep.
+pub struct FairnessTrialResult {
+    /// `d_{0,9}` per trial under FedSV.
+    pub fedsv_diffs: Vec<f64>,
+    /// `d_{0,9}` per trial under ComFedSV.
+    pub comfedsv_diffs: Vec<f64>,
+}
+
+/// Runs `trials` independent runs of the duplicated-client construction on
+/// `kind` (client `N−1` holds a copy of client 0's data) and values each
+/// run with FedSV and ComFedSV.
+pub fn run_fairness_trials(
+    kind: DatasetKind,
+    trials: usize,
+    rounds: usize,
+    clients_per_round: usize,
+    samples_per_client: usize,
+    test_samples: usize,
+) -> FairnessTrialResult {
+    let num_clients = 10;
+    let mut fedsv_diffs = Vec::with_capacity(trials);
+    let mut comfedsv_diffs = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let seed = 1000 + trial as u64;
+        let world = ExperimentBuilder::new(kind)
+            .num_clients(num_clients)
+            .samples_per_client(samples_per_client)
+            .test_samples(test_samples)
+            .duplicate(0, num_clients - 1)
+            .seed(seed)
+            .build();
+
+        // FedSV is measured on plain FedAvg (every round samples K of N),
+        // exactly as in the paper's Example 1; the "everyone heard" round
+        // is an Assumption-1 requirement of ComFedSV only, and including
+        // it would hand both twins a large shared round-0 value that
+        // artificially shrinks d_{0,9}.
+        let plain = FlConfig::new(rounds, clients_per_round, 0.2, seed).with_everyone_heard(false);
+        let trace_plain = world.train(&plain);
+        let oracle_plain = world.oracle(&trace_plain);
+        let fed = fedsv(&oracle_plain);
+        fedsv_diffs.push(relative_difference(fed[0], fed[num_clients - 1]));
+
+        // ComFedSV runs on the Assumption-1 protocol it requires.
+        let heard = FlConfig::new(rounds, clients_per_round, 0.2, seed);
+        let trace_heard = world.train(&heard);
+        let oracle_heard = world.oracle(&trace_heard);
+        let out = comfedsv_pipeline(
+            &oracle_heard,
+            &ComFedSvConfig::exact(6).with_lambda(0.01).with_seed(seed),
+        );
+        comfedsv_diffs.push(relative_difference(
+            out.values[0],
+            out.values[num_clients - 1],
+        ));
+    }
+    FairnessTrialResult {
+        fedsv_diffs,
+        comfedsv_diffs,
+    }
+}

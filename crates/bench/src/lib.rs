@@ -1,0 +1,17 @@
+//! Benchmark and figure-regeneration harnesses for the ComFedSV paper.
+//!
+//! Every figure in the paper's evaluation has a binary here (`fig1` …
+//! `fig8`, `example1`) that prints the corresponding series as aligned
+//! text and CSV. Criterion benches (`valuation`, `completion`, `training`)
+//! measure the kernels that dominate each experiment.
+//!
+//! Set `FEDVAL_PROFILE=quick|default|paper` to trade fidelity for runtime;
+//! see [`mod@profile`].
+
+pub mod fairness_trials;
+pub mod profile;
+pub mod report;
+
+pub use fairness_trials::{run_fairness_trials, FairnessTrialResult};
+pub use profile::{profile, Profile};
+pub use report::{print_series, write_csv};

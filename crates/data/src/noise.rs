@@ -1,0 +1,152 @@
+//! Noise injection for the data-quality experiments.
+//!
+//! * [`add_feature_noise`] — adds Gaussian noise to a fraction of a
+//!   client's examples (paper Fig. 6: client `i` gets noise on `5·i%` of
+//!   its data).
+//! * [`flip_labels`] — randomly flips a fraction of labels to a different
+//!   class (paper Fig. 7: 10 of 100 clients with 30% flipped labels).
+
+use crate::{Dataset, NormalSampler};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Adds `N(0, sd²)` noise to every feature of a `fraction` of the examples
+/// (chosen uniformly without replacement). Returns the indices perturbed.
+pub fn add_feature_noise(data: &mut Dataset, fraction: f64, sd: f64, seed: u64) -> Vec<usize> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = data.len();
+    let count = ((n as f64) * fraction).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order.truncate(count);
+    let mut normal = NormalSampler::new();
+    for &i in &order {
+        let row = data.features_mut().row_mut(i);
+        for v in row.iter_mut() {
+            *v += normal.sample_with(&mut rng, 0.0, sd);
+        }
+    }
+    order
+}
+
+/// Flips the labels of a `fraction` of the examples to a uniformly random
+/// *different* class. Returns the indices flipped.
+pub fn flip_labels(data: &mut Dataset, fraction: f64, seed: u64) -> Vec<usize> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = data.len();
+    let c = data.num_classes();
+    if c < 2 {
+        return Vec::new();
+    }
+    let count = ((n as f64) * fraction).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order.truncate(count);
+    for &i in &order {
+        let old = data.labels()[i];
+        let mut new = rng.random_range(0..c - 1);
+        if new >= old {
+            new += 1;
+        }
+        data.labels_mut()[i] = new;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_linalg::Matrix;
+
+    fn dataset(n: usize) -> Dataset {
+        let feat = Matrix::from_fn(n, 4, |i, j| (i + j) as f64);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        Dataset::new(feat, labels, 3).unwrap()
+    }
+
+    #[test]
+    fn feature_noise_perturbs_expected_count() {
+        let mut d = dataset(100);
+        let before = d.features().as_slice().to_vec();
+        let touched = add_feature_noise(&mut d, 0.25, 1.0, 1);
+        assert_eq!(touched.len(), 25);
+        let changed_rows: Vec<usize> = (0..100)
+            .filter(|&i| d.features().row(i) != &before[i * 4..(i + 1) * 4])
+            .collect();
+        assert_eq!(changed_rows.len(), 25);
+        let mut t = touched.clone();
+        t.sort_unstable();
+        assert_eq!(t, changed_rows);
+    }
+
+    #[test]
+    fn feature_noise_zero_fraction_is_noop() {
+        let mut d = dataset(10);
+        let before = d.features().as_slice().to_vec();
+        let touched = add_feature_noise(&mut d, 0.0, 1.0, 1);
+        assert!(touched.is_empty());
+        assert_eq!(d.features().as_slice(), &before[..]);
+    }
+
+    #[test]
+    fn feature_noise_full_fraction_touches_everything() {
+        let mut d = dataset(10);
+        let touched = add_feature_noise(&mut d, 1.0, 1.0, 1);
+        assert_eq!(touched.len(), 10);
+    }
+
+    #[test]
+    fn feature_noise_does_not_touch_labels() {
+        let mut d = dataset(30);
+        let labels = d.labels().to_vec();
+        add_feature_noise(&mut d, 0.5, 2.0, 5);
+        assert_eq!(d.labels(), &labels[..]);
+    }
+
+    #[test]
+    fn flip_labels_flips_expected_count_to_different_classes() {
+        let mut d = dataset(100);
+        let before = d.labels().to_vec();
+        let flipped = flip_labels(&mut d, 0.3, 2);
+        assert_eq!(flipped.len(), 30);
+        for &i in &flipped {
+            assert_ne!(d.labels()[i], before[i], "label {i} must change");
+            assert!(d.labels()[i] < 3);
+        }
+        // Untouched labels unchanged.
+        let flipped_set: std::collections::HashSet<_> = flipped.iter().collect();
+        for i in 0..100 {
+            if !flipped_set.contains(&i) {
+                assert_eq!(d.labels()[i], before[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_labels_binary_always_flips_to_other() {
+        let feat = Matrix::zeros(20, 2);
+        let mut d = Dataset::new(feat, vec![0; 20], 2).unwrap();
+        flip_labels(&mut d, 1.0, 3);
+        assert!(d.labels().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn flip_labels_single_class_is_noop() {
+        let feat = Matrix::zeros(5, 2);
+        let mut d = Dataset::new(feat, vec![0; 5], 1).unwrap();
+        assert!(flip_labels(&mut d, 1.0, 1).is_empty());
+        assert!(d.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn noise_is_deterministic_given_seed() {
+        let mut a = dataset(50);
+        let mut b = dataset(50);
+        add_feature_noise(&mut a, 0.4, 1.5, 9);
+        add_feature_noise(&mut b, 0.4, 1.5, 9);
+        assert_eq!(a.features().as_slice(), b.features().as_slice());
+    }
+}

@@ -1,0 +1,326 @@
+//! Partitioning a dataset across federated clients.
+//!
+//! The paper uses two layouts for the real (here: simulated) datasets:
+//! random IID distribution, and the FedAvg-style non-IID sharding in which
+//! every client receives samples of only two classes. It also constructs
+//! the fairness experiment by giving client 9 an exact copy of client 0's
+//! data ([`duplicate_client`]).
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits `data` into `num_clients` IID shards of (near-)equal size.
+///
+/// Examples are shuffled with the seeded RNG and distributed round-robin,
+/// so client sizes differ by at most one.
+pub fn partition_iid(data: &Dataset, num_clients: usize, seed: u64) -> Vec<Dataset> {
+    assert!(num_clients > 0, "need at least one client");
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_clients];
+    for (i, idx) in order.into_iter().enumerate() {
+        buckets[i % num_clients].push(idx);
+    }
+    buckets.into_iter().map(|b| data.subset(&b)).collect()
+}
+
+/// FedAvg-paper non-IID sharding: sorts examples by label, cuts them into
+/// `2 * num_clients` shards, and deals each client two shards, so that most
+/// clients see only (about) two classes.
+pub fn partition_shards(data: &Dataset, num_clients: usize, seed: u64) -> Vec<Dataset> {
+    assert!(num_clients > 0, "need at least one client");
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    // Stable sort by label keeps determinism independent of the RNG.
+    order.sort_by_key(|&i| data.labels()[i]);
+
+    let num_shards = 2 * num_clients;
+    let shard_size = data.len() / num_shards;
+    let mut shards: Vec<Vec<usize>> = Vec::with_capacity(num_shards);
+    for s in 0..num_shards {
+        let start = s * shard_size;
+        let end = if s + 1 == num_shards {
+            data.len()
+        } else {
+            (s + 1) * shard_size
+        };
+        shards.push(order[start..end].to_vec());
+    }
+
+    let mut shard_ids: Vec<usize> = (0..num_shards).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    shard_ids.shuffle(&mut rng);
+
+    (0..num_clients)
+        .map(|k| {
+            let mut idx = shards[shard_ids[2 * k]].clone();
+            idx.extend_from_slice(&shards[shard_ids[2 * k + 1]]);
+            data.subset(&idx)
+        })
+        .collect()
+}
+
+/// Replaces client `dst`'s dataset with an exact copy of client `src`'s —
+/// the construction behind the paper's Example 1 / Fig. 5 fairness study
+/// (clients 0 and 9 share identical local data).
+pub fn duplicate_client(clients: &mut [Dataset], src: usize, dst: usize) {
+    assert!(src < clients.len() && dst < clients.len(), "index in range");
+    if src != dst {
+        clients[dst] = clients[src].clone();
+    }
+}
+
+/// Dirichlet label-skew partitioner (Hsu et al.): for each class, the
+/// per-client allocation proportions are drawn from `Dirichlet(α, …, α)`.
+///
+/// `alpha → ∞` approaches IID; `alpha → 0` approaches one-class-per-client.
+/// This is the other standard non-IID construction in the FL literature
+/// and backs the heterogeneity ablation (`ablation_heterogeneity`).
+pub fn partition_dirichlet(
+    data: &Dataset,
+    num_clients: usize,
+    alpha: f64,
+    seed: u64,
+) -> Vec<Dataset> {
+    assert!(num_clients > 0, "need at least one client");
+    assert!(alpha > 0.0, "Dirichlet concentration must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = crate::NormalSampler::new();
+
+    // Per-class example pools, shuffled.
+    let mut pools: Vec<Vec<usize>> = vec![Vec::new(); data.num_classes()];
+    for (i, &label) in data.labels().iter().enumerate() {
+        pools[label].push(i);
+    }
+    for pool in &mut pools {
+        pool.shuffle(&mut rng);
+    }
+
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_clients];
+    for pool in &pools {
+        if pool.is_empty() {
+            continue;
+        }
+        let props = dirichlet_sample(&mut rng, &mut normal, alpha, num_clients);
+        // Convert proportions to cumulative cut points over the pool.
+        let mut start = 0usize;
+        let mut acc = 0.0;
+        for (k, &p) in props.iter().enumerate() {
+            acc += p;
+            let end = if k + 1 == num_clients {
+                pool.len()
+            } else {
+                ((pool.len() as f64) * acc).round() as usize
+            }
+            .clamp(start, pool.len());
+            buckets[k].extend_from_slice(&pool[start..end]);
+            start = end;
+        }
+    }
+    buckets.into_iter().map(|b| data.subset(&b)).collect()
+}
+
+/// Draws one `Dirichlet(α, …, α)` sample via normalized Gamma variates
+/// (Marsaglia–Tsang for `α ≥ 1`, boosted for `α < 1`).
+fn dirichlet_sample(
+    rng: &mut StdRng,
+    normal: &mut crate::NormalSampler,
+    alpha: f64,
+    k: usize,
+) -> Vec<f64> {
+    use rand::Rng;
+    let mut out: Vec<f64> = (0..k).map(|_| gamma_sample(rng, normal, alpha)).collect();
+    let total: f64 = out.iter().sum();
+    if total <= 0.0 {
+        // Degenerate draw (all underflowed): fall back to uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    for v in &mut out {
+        *v /= total;
+    }
+    let _ = rng.random::<u8>(); // keep the stream moving between classes
+    out
+}
+
+fn gamma_sample(rng: &mut StdRng, normal: &mut crate::NormalSampler, alpha: f64) -> f64 {
+    use rand::Rng;
+    if alpha < 1.0 {
+        // Boost: Gamma(α) = Gamma(α+1) · U^{1/α}.
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(rng, normal, alpha + 1.0) * u.powf(1.0 / alpha);
+    }
+    // Marsaglia–Tsang squeeze.
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal.sample(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        if u < 1.0 - 0.0331 * x.powi(4)
+            || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+        {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_linalg::Matrix;
+
+    fn labelled_dataset(n: usize, num_classes: usize) -> Dataset {
+        let feat = Matrix::from_fn(n, 3, |i, j| (i * 3 + j) as f64);
+        let labels: Vec<usize> = (0..n).map(|i| i % num_classes).collect();
+        Dataset::new(feat, labels, num_classes).unwrap()
+    }
+
+    #[test]
+    fn iid_partition_preserves_all_examples() {
+        let d = labelled_dataset(103, 5);
+        let parts = partition_iid(&d, 10, 1);
+        assert_eq!(parts.len(), 10);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 103);
+        // Sizes within one of each other.
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn iid_partition_is_deterministic() {
+        let d = labelled_dataset(50, 5);
+        let a = partition_iid(&d, 5, 7);
+        let b = partition_iid(&d, 5, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.features().as_slice(), y.features().as_slice());
+        }
+    }
+
+    #[test]
+    fn iid_partition_mixes_classes() {
+        let d = labelled_dataset(200, 10);
+        let parts = partition_iid(&d, 4, 3);
+        for p in &parts {
+            let distinct = p
+                .labels()
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len();
+            assert!(distinct >= 5, "IID shard should see many classes");
+        }
+    }
+
+    #[test]
+    fn shard_partition_limits_classes_per_client() {
+        let d = labelled_dataset(400, 10);
+        let parts = partition_shards(&d, 10, 1);
+        assert_eq!(parts.len(), 10);
+        for p in &parts {
+            let distinct = p
+                .labels()
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len();
+            // Two shards, each mostly one class; boundary shards may touch
+            // a third class.
+            assert!(distinct <= 3, "client saw {distinct} classes");
+        }
+    }
+
+    #[test]
+    fn shard_partition_preserves_all_examples() {
+        let d = labelled_dataset(400, 10);
+        let parts = partition_shards(&d, 8, 2);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn duplicate_client_makes_exact_copy() {
+        let d = labelled_dataset(100, 10);
+        let mut parts = partition_shards(&d, 10, 4);
+        assert_ne!(
+            parts[0].features().as_slice(),
+            parts[9].features().as_slice()
+        );
+        duplicate_client(&mut parts, 0, 9);
+        assert_eq!(
+            parts[0].features().as_slice(),
+            parts[9].features().as_slice()
+        );
+        assert_eq!(parts[0].labels(), parts[9].labels());
+    }
+
+    #[test]
+    fn dirichlet_partition_preserves_all_examples() {
+        let d = labelled_dataset(300, 10);
+        let parts = partition_dirichlet(&d, 6, 0.5, 1);
+        assert_eq!(parts.len(), 6);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn dirichlet_small_alpha_concentrates_classes() {
+        let d = labelled_dataset(600, 10);
+        let max_class_frac = |parts: &[Dataset]| {
+            parts
+                .iter()
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    let counts = p.class_counts();
+                    *counts.iter().max().unwrap() as f64 / p.len() as f64
+                })
+                .fold(0.0_f64, f64::max)
+        };
+        let skewed = partition_dirichlet(&d, 6, 0.05, 3);
+        let uniform = partition_dirichlet(&d, 6, 100.0, 3);
+        assert!(
+            max_class_frac(&skewed) > max_class_frac(&uniform),
+            "alpha=0.05 should concentrate labels more than alpha=100"
+        );
+    }
+
+    #[test]
+    fn dirichlet_large_alpha_is_near_uniform_sizes() {
+        let d = labelled_dataset(1000, 10);
+        let parts = partition_dirichlet(&d, 5, 1000.0, 7);
+        for p in &parts {
+            let frac = p.len() as f64 / 1000.0;
+            assert!((frac - 0.2).abs() < 0.08, "client fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_deterministic() {
+        let d = labelled_dataset(200, 5);
+        let a = partition_dirichlet(&d, 4, 0.3, 9);
+        let b = partition_dirichlet(&d, 4, 0.3, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.labels(), y.labels());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "concentration must be positive")]
+    fn dirichlet_rejects_bad_alpha() {
+        let d = labelled_dataset(10, 2);
+        let _ = partition_dirichlet(&d, 2, 0.0, 1);
+    }
+
+    #[test]
+    fn duplicate_client_same_index_is_noop() {
+        let d = labelled_dataset(20, 2);
+        let mut parts = partition_iid(&d, 2, 1);
+        let before = parts[1].features().as_slice().to_vec();
+        duplicate_client(&mut parts, 1, 1);
+        assert_eq!(parts[1].features().as_slice(), &before[..]);
+    }
+}

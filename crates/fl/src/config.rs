@@ -1,0 +1,121 @@
+//! Federated-learning simulation configuration.
+
+use fedval_models::LearningRate;
+
+/// Configuration of one FedAvg run.
+#[derive(Debug, Clone)]
+pub struct FlConfig {
+    /// Number of training rounds `T`.
+    pub rounds: usize,
+    /// Number of clients selected per round (`|I_t| = K`); clamped to the
+    /// client count. Round 0 always selects everyone (Assumption 1).
+    pub clients_per_round: usize,
+    /// Local gradient steps per round (the paper's theory uses 1).
+    pub local_steps: usize,
+    /// Learning-rate schedule `η_t`.
+    pub learning_rate: LearningRate,
+    /// RNG seed for client selection (and minibatch sampling when
+    /// `batch_size` is set).
+    pub seed: u64,
+    /// When `false`, round 0 samples like every other round instead of
+    /// selecting everyone — used to ablate Assumption 1.
+    pub everyone_heard_round: bool,
+    /// Minibatch size for local steps. `None` (the default) runs the
+    /// paper's deterministic full-batch update (equation (3)), which the
+    /// theory sections assume; `Some(b)` runs standard FedAvg stochastic
+    /// local steps on random size-`b` minibatches.
+    ///
+    /// Note: minibatch draws are seeded per client, so two clients with
+    /// identical data produce (slightly) different local models in this
+    /// mode — use full batch for the identical-client fairness
+    /// constructions, as the paper's theory does.
+    pub batch_size: Option<usize>,
+}
+
+impl FlConfig {
+    /// A configuration matching the paper's small experiments: `T` rounds,
+    /// `K` clients per round, one local step, constant rate.
+    pub fn new(rounds: usize, clients_per_round: usize, eta: f64, seed: u64) -> Self {
+        FlConfig {
+            rounds,
+            clients_per_round,
+            local_steps: 1,
+            learning_rate: LearningRate::Constant(eta),
+            seed,
+            everyone_heard_round: true,
+            batch_size: None,
+        }
+    }
+
+    /// Builder-style override of the learning-rate schedule.
+    pub fn with_learning_rate(mut self, lr: LearningRate) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Builder-style override of local step count.
+    pub fn with_local_steps(mut self, steps: usize) -> Self {
+        assert!(steps >= 1, "need at least one local step");
+        self.local_steps = steps;
+        self
+    }
+
+    /// Builder-style toggle for the Assumption-1 full round.
+    pub fn with_everyone_heard(mut self, on: bool) -> Self {
+        self.everyone_heard_round = on;
+        self
+    }
+
+    /// Builder-style override of the minibatch size (stochastic local
+    /// updates, as in standard FedAvg).
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch size must be positive");
+        self.batch_size = Some(batch);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sets_paper_defaults() {
+        let c = FlConfig::new(10, 3, 0.1, 7);
+        assert_eq!(c.rounds, 10);
+        assert_eq!(c.clients_per_round, 3);
+        assert_eq!(c.local_steps, 1);
+        assert!(c.everyone_heard_round);
+        assert!(c.batch_size.is_none());
+        assert_eq!(c.learning_rate.at(0), 0.1);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = FlConfig::new(5, 2, 0.1, 1)
+            .with_local_steps(4)
+            .with_everyone_heard(false)
+            .with_learning_rate(LearningRate::proposition2(0.5, 2.0));
+        assert_eq!(c.local_steps, 4);
+        assert!(!c.everyone_heard_round);
+        assert!(c.learning_rate.at(1) < c.learning_rate.at(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one local step")]
+    fn zero_local_steps_rejected() {
+        let _ = FlConfig::new(1, 1, 0.1, 1).with_local_steps(0);
+    }
+
+    #[test]
+    fn batch_size_builder() {
+        let c = FlConfig::new(1, 1, 0.1, 1).with_batch_size(16);
+        assert_eq!(c.batch_size, Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = FlConfig::new(1, 1, 0.1, 1).with_batch_size(0);
+    }
+}

@@ -1,0 +1,34 @@
+//! FedAvg federated-learning simulator.
+//!
+//! Implements the training protocol of the paper's Section III:
+//!
+//! 1. the server broadcasts `w_t` to all clients;
+//! 2. every client takes local gradient step(s) `w^{t+1}_i = w_t − η_t ∇F_i(w_t)`;
+//! 3. a subset `I_t` is selected uniformly at random (round 0 selects
+//!    everyone — the "Everyone Being Heard" Assumption 1);
+//! 4. the server aggregates `w_{t+1} = mean_{i∈I_t} w^{t+1}_i`.
+//!
+//! Crucially for data valuation, the simulator records a full
+//! [`TrainingTrace`]: every client's local model in every round, the
+//! selected subsets, and the server-side test losses. The
+//! [`utility::UtilityOracle`] then evaluates the paper's round utilities
+//! `U_t(S) = ℓ(w_t; D_c) − ℓ(mean_{k∈S} w^{t+1}_k; D_c)` on demand, with
+//! caching and call counting (the cost unit of the paper's Fig. 8).
+//!
+//! * [`subset`] — bitmask-encoded client coalitions.
+//! * [`config`] — simulation configuration.
+//! * [`trainer`] — the FedAvg loop producing a [`TrainingTrace`].
+//! * [`utility`] — the utility oracle.
+//! * [`utility_matrix`] — full and observed utility-matrix builders.
+
+pub mod config;
+pub mod subset;
+pub mod trainer;
+pub mod utility;
+pub mod utility_matrix;
+
+pub use config::FlConfig;
+pub use subset::Subset;
+pub use trainer::{train_federated, TrainingTrace};
+pub use utility::UtilityOracle;
+pub use utility_matrix::{full_utility_matrix, observed_entries, ObservedEntry};

@@ -1,0 +1,387 @@
+//! The FedAvg training loop with full trace recording.
+
+use crate::config::FlConfig;
+use crate::subset::Subset;
+use fedval_data::Dataset;
+use fedval_models::{optim, Model};
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// Everything recorded about one training round `t`.
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    /// Global model `w_t` broadcast at the start of the round.
+    pub global_params: Vec<f64>,
+    /// Every client's locally updated model `w^{t+1}_i` (the valuation
+    /// pipeline needs all of them, not just the selected ones — this is
+    /// how the paper computes ground-truth utilities).
+    pub local_params: Vec<Vec<f64>>,
+    /// The subset `I_t` whose models were aggregated.
+    pub selected: Subset,
+    /// Learning rate `η_t` used this round.
+    pub eta: f64,
+}
+
+/// A complete FedAvg run: per-round records plus the final global model.
+#[derive(Debug, Clone)]
+pub struct TrainingTrace {
+    /// One record per round, `t = 0..T`.
+    pub rounds: Vec<RoundRecord>,
+    /// Final aggregated global parameters `w_T`.
+    pub final_params: Vec<f64>,
+    /// Number of participating clients `N`.
+    pub num_clients: usize,
+}
+
+impl TrainingTrace {
+    /// Number of rounds `T`.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Convenience accessor for round `t`'s selected subset.
+    pub fn selected(&self, t: usize) -> Subset {
+        self.rounds[t].selected
+    }
+
+    /// FedAvg aggregate of the round-`t` local models over subset `s`
+    /// (`w̄_S = mean_{k∈S} w^{t+1}_k`). `None` for the empty subset.
+    pub fn aggregate(&self, t: usize, s: Subset) -> Option<Vec<f64>> {
+        let record = &self.rounds[t];
+        let vectors = s
+            .members()
+            .into_iter()
+            .map(|k| record.local_params[k].as_slice());
+        fedval_linalg::vector::mean_of(vectors)
+    }
+}
+
+/// Runs FedAvg over `clients` starting from `prototype`'s parameters,
+/// following the protocol of the paper's Section III, and records the full
+/// trace. Client local updates within a round run in parallel.
+pub fn train_federated(
+    prototype: &dyn Model,
+    clients: &[Dataset],
+    config: &FlConfig,
+) -> TrainingTrace {
+    let n = clients.len();
+    assert!(n > 0, "need at least one client");
+    assert!(n <= Subset::MAX_CLIENTS, "too many clients for subset masks");
+    let k = config.clients_per_round.clamp(1, n);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut global = prototype.params().to_vec();
+    let mut rounds = Vec::with_capacity(config.rounds);
+
+    for t in 0..config.rounds {
+        let eta = config.learning_rate.at(t);
+
+        // Every client computes its local update in parallel.
+        let local_params = parallel_local_updates(
+            prototype,
+            clients,
+            &global,
+            eta,
+            config.local_steps,
+            config.batch_size,
+            config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+
+        // Client selection: round 0 selects everyone (Assumption 1).
+        let selected = if t == 0 && config.everyone_heard_round {
+            Subset::full(n)
+        } else {
+            let picks = sample(&mut rng, n, k);
+            Subset::from_indices(&picks.into_vec())
+        };
+
+        // Aggregate the selected local models into the next global model.
+        let next_global = {
+            let vectors = selected
+                .members()
+                .into_iter()
+                .map(|i| local_params[i].as_slice());
+            fedval_linalg::vector::mean_of(vectors).expect("selected set is non-empty")
+        };
+
+        rounds.push(RoundRecord {
+            global_params: std::mem::replace(&mut global, next_global),
+            local_params,
+            selected,
+            eta,
+        });
+    }
+
+    TrainingTrace {
+        rounds,
+        final_params: global,
+        num_clients: n,
+    }
+}
+
+/// Computes `w^{t+1}_i` for every client, in parallel across a small thread
+/// pool (one chunk of clients per thread).
+#[allow(clippy::too_many_arguments)]
+fn parallel_local_updates(
+    prototype: &dyn Model,
+    clients: &[Dataset],
+    global: &[f64],
+    eta: f64,
+    local_steps: usize,
+    batch_size: Option<usize>,
+    round_seed: u64,
+) -> Vec<Vec<f64>> {
+    let n = clients.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1);
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); n];
+
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let start = chunk_idx * chunk;
+            scope.spawn(move |_| {
+                let mut model = prototype.clone_model();
+                for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                    let i = start + offset;
+                    model.set_params(global);
+                    match batch_size {
+                        None => {
+                            optim::local_updates(model.as_mut(), &clients[i], eta, local_steps);
+                        }
+                        Some(batch) => {
+                            local_minibatch_updates(
+                                model.as_mut(),
+                                &clients[i],
+                                eta,
+                                local_steps,
+                                batch,
+                                round_seed ^ (i as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+                            );
+                        }
+                    }
+                    *slot = model.params().to_vec();
+                }
+            });
+        }
+    })
+    .expect("local update threads panicked");
+
+    out
+}
+
+/// Stochastic local updates: each step samples a fresh minibatch without
+/// replacement (clamped to the client's dataset size). Deterministic given
+/// the seed, so traces stay reproducible.
+fn local_minibatch_updates(
+    model: &mut dyn Model,
+    data: &Dataset,
+    eta: f64,
+    steps: usize,
+    batch: usize,
+    seed: u64,
+) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = batch.min(data.len()).max(1);
+    if b == data.len() {
+        // Clamped to the full dataset: identical to the deterministic path
+        // (and bit-identical — no index reshuffling of the summation).
+        optim::local_updates(model, data, eta, steps);
+        return;
+    }
+    for _ in 0..steps {
+        let mut picks = sample(&mut rng, data.len(), b).into_vec();
+        picks.sort_unstable();
+        let minibatch = data.subset(&picks);
+        optim::sgd_step(model, &minibatch, eta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_linalg::Matrix;
+    use fedval_models::LogisticRegression;
+
+    fn clients(n: usize) -> Vec<Dataset> {
+        (0..n)
+            .map(|i| {
+                let f = Matrix::from_fn(8, 2, |r, c| {
+                    ((r * 2 + c + i) % 5) as f64 - 2.0 + i as f64 * 0.1
+                });
+                let labels: Vec<usize> = (0..8).map(|r| (r + i) % 2).collect();
+                Dataset::new(f, labels, 2).unwrap()
+            })
+            .collect()
+    }
+
+    fn proto() -> LogisticRegression {
+        LogisticRegression::new(2, 2, 0.01, 42)
+    }
+
+    #[test]
+    fn trace_has_expected_shape() {
+        let cl = clients(5);
+        let trace = train_federated(&proto(), &cl, &FlConfig::new(4, 2, 0.1, 1));
+        assert_eq!(trace.num_rounds(), 4);
+        assert_eq!(trace.num_clients, 5);
+        for r in &trace.rounds {
+            assert_eq!(r.local_params.len(), 5);
+            assert_eq!(r.global_params.len(), proto().num_params());
+        }
+        assert_eq!(trace.final_params.len(), proto().num_params());
+    }
+
+    #[test]
+    fn round_zero_selects_everyone() {
+        let cl = clients(6);
+        let trace = train_federated(&proto(), &cl, &FlConfig::new(3, 2, 0.1, 1));
+        assert_eq!(trace.selected(0), Subset::full(6));
+        for t in 1..3 {
+            assert_eq!(trace.selected(t).len(), 2);
+        }
+    }
+
+    #[test]
+    fn everyone_heard_can_be_disabled() {
+        let cl = clients(6);
+        let cfg = FlConfig::new(3, 2, 0.1, 1).with_everyone_heard(false);
+        let trace = train_federated(&proto(), &cl, &cfg);
+        assert_eq!(trace.selected(0).len(), 2);
+    }
+
+    #[test]
+    fn local_update_is_one_gradient_step() {
+        // With a single client and full selection, the trace must match a
+        // hand-rolled gradient descent.
+        let cl = clients(1);
+        let cfg = FlConfig::new(2, 1, 0.2, 3);
+        let trace = train_federated(&proto(), &cl, &cfg);
+
+        let mut manual = proto();
+        let mut g = vec![0.0; manual.num_params()];
+        for t in 0..2 {
+            assert_eq!(trace.rounds[t].global_params, manual.params());
+            manual.grad(&cl[0], &mut g);
+            fedval_linalg::vector::axpy(-0.2, &g, manual.params_mut());
+            assert_eq!(trace.rounds[t].local_params[0], manual.params());
+        }
+        assert_eq!(trace.final_params, manual.params());
+    }
+
+    #[test]
+    fn aggregation_is_mean_of_selected() {
+        let cl = clients(4);
+        let trace = train_federated(&proto(), &cl, &FlConfig::new(2, 2, 0.1, 5));
+        let sel = trace.selected(1);
+        let agg = trace.aggregate(1, sel).unwrap();
+        // Round 2's global (= final here) must equal the round-1 aggregate.
+        assert_eq!(trace.final_params, agg);
+    }
+
+    #[test]
+    fn aggregate_of_empty_subset_is_none() {
+        let cl = clients(3);
+        let trace = train_federated(&proto(), &cl, &FlConfig::new(1, 1, 0.1, 1));
+        assert!(trace.aggregate(0, Subset::EMPTY).is_none());
+    }
+
+    #[test]
+    fn identical_clients_produce_identical_local_models() {
+        // The premise of the paper's fairness analysis: same data + same
+        // broadcast model ⇒ same local model.
+        let mut cl = clients(4);
+        cl[3] = cl[0].clone();
+        let trace = train_federated(&proto(), &cl, &FlConfig::new(3, 2, 0.1, 2));
+        for r in &trace.rounds {
+            assert_eq!(r.local_params[0], r.local_params[3]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cl = clients(5);
+        let a = train_federated(&proto(), &cl, &FlConfig::new(3, 2, 0.1, 9));
+        let b = train_federated(&proto(), &cl, &FlConfig::new(3, 2, 0.1, 9));
+        assert_eq!(a.final_params, b.final_params);
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(ra.selected, rb.selected);
+        }
+    }
+
+    #[test]
+    fn different_selection_seeds_differ() {
+        let cl = clients(8);
+        let a = train_federated(&proto(), &cl, &FlConfig::new(5, 2, 0.1, 1));
+        let b = train_federated(&proto(), &cl, &FlConfig::new(5, 2, 0.1, 2));
+        let same = a
+            .rounds
+            .iter()
+            .zip(&b.rounds)
+            .all(|(x, y)| x.selected == y.selected);
+        assert!(!same, "selection should depend on the seed");
+    }
+
+    #[test]
+    fn selection_is_approximately_uniform() {
+        // Over many rounds, each client should be selected about T·K/N
+        // times (uniform sampling without replacement).
+        let cl = clients(6);
+        let rounds = 600;
+        let cfg = FlConfig::new(rounds, 2, 0.0, 17).with_everyone_heard(false);
+        let trace = train_federated(&proto(), &cl, &cfg);
+        let mut counts = [0usize; 6];
+        for t in 0..rounds {
+            for i in trace.selected(t).members() {
+                counts[i] += 1;
+            }
+        }
+        let expected = rounds as f64 * 2.0 / 6.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.2, "client {i} selected {c} times (expected ~{expected})");
+        }
+    }
+
+    #[test]
+    fn minibatch_training_is_deterministic_and_differs_from_full_batch() {
+        let cl = clients(4);
+        let cfg = FlConfig::new(3, 2, 0.1, 5).with_batch_size(4);
+        let a = train_federated(&proto(), &cl, &cfg);
+        let b = train_federated(&proto(), &cl, &cfg);
+        assert_eq!(a.final_params, b.final_params, "seeded minibatches are reproducible");
+        let full = train_federated(&proto(), &cl, &FlConfig::new(3, 2, 0.1, 5));
+        assert_ne!(
+            a.final_params, full.final_params,
+            "stochastic and deterministic updates should differ"
+        );
+    }
+
+    #[test]
+    fn minibatch_larger_than_dataset_clamps() {
+        let cl = clients(2);
+        let cfg = FlConfig::new(2, 2, 0.1, 3).with_batch_size(10_000);
+        let trace = train_federated(&proto(), &cl, &cfg);
+        // Clamped batch = full dataset: must equal the full-batch run.
+        let full = train_federated(&proto(), &cl, &FlConfig::new(2, 2, 0.1, 3));
+        assert_eq!(trace.final_params, full.final_params);
+    }
+
+    #[test]
+    fn training_reduces_global_loss() {
+        let cl = clients(3);
+        let all = Dataset::concat(&cl.iter().collect::<Vec<_>>()).unwrap();
+        let model = proto();
+        let before = model.loss(&all);
+        let trace = train_federated(&model, &cl, &FlConfig::new(30, 3, 0.3, 1));
+        let mut after_model = proto();
+        after_model.set_params(&trace.final_params);
+        assert!(after_model.loss(&all) < before);
+    }
+}

@@ -1,0 +1,253 @@
+//! The round-utility oracle.
+//!
+//! Implements the paper's per-round utility (equations (6) and the
+//! definition of `U_t`):
+//!
+//! ```text
+//! u_t(w)  = ℓ(w_t; D_c) − ℓ(w; D_c)
+//! U_t(S)  = u_t(w̄_S),   w̄_S = mean_{k∈S} w^{t+1}_k
+//! ```
+//!
+//! The oracle caches evaluated entries (keyed by `(t, S)`) and counts
+//! test-loss evaluations — the dominant cost in both FedSV and ComFedSV and
+//! the unit in which the paper's Fig. 8 compares running times.
+
+use crate::subset::Subset;
+use crate::trainer::TrainingTrace;
+use fedval_data::Dataset;
+use fedval_models::Model;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Evaluates `U_t(S)` against a recorded [`TrainingTrace`].
+pub struct UtilityOracle<'a> {
+    trace: &'a TrainingTrace,
+    test_data: &'a Dataset,
+    /// Scratch model used for loss evaluation (parameters swapped per call).
+    scratch: Mutex<Box<dyn Model>>,
+    /// `ℓ(w_t; D_c)` per round, computed once.
+    base_losses: Vec<f64>,
+    cache: Mutex<HashMap<(usize, Subset), f64>>,
+    calls: Mutex<u64>,
+}
+
+impl<'a> UtilityOracle<'a> {
+    /// Builds an oracle. Evaluates the `T` per-round base losses eagerly
+    /// (they are shared by every utility query in the round).
+    pub fn new(trace: &'a TrainingTrace, prototype: &dyn Model, test_data: &'a Dataset) -> Self {
+        let mut scratch = prototype.clone_model();
+        let mut calls = 0u64;
+        let base_losses: Vec<f64> = trace
+            .rounds
+            .iter()
+            .map(|r| {
+                scratch.set_params(&r.global_params);
+                calls += 1;
+                scratch.loss(test_data)
+            })
+            .collect();
+        UtilityOracle {
+            trace,
+            test_data,
+            scratch: Mutex::new(scratch),
+            base_losses,
+            cache: Mutex::new(HashMap::new()),
+            calls: Mutex::new(calls),
+        }
+    }
+
+    /// The trace this oracle reads.
+    pub fn trace(&self) -> &TrainingTrace {
+        self.trace
+    }
+
+    /// Number of rounds `T`.
+    pub fn num_rounds(&self) -> usize {
+        self.trace.num_rounds()
+    }
+
+    /// Number of clients `N`.
+    pub fn num_clients(&self) -> usize {
+        self.trace.num_clients
+    }
+
+    /// Server-side base loss `ℓ(w_t; D_c)`.
+    pub fn base_loss(&self, t: usize) -> f64 {
+        self.base_losses[t]
+    }
+
+    /// Total test-loss evaluations so far (the paper's cost unit).
+    pub fn loss_evaluations(&self) -> u64 {
+        *self.calls.lock()
+    }
+
+    /// Resets the call counter (used between timed phases in Fig. 8).
+    pub fn reset_counter(&self) {
+        *self.calls.lock() = 0;
+    }
+
+    /// The round utility `U_t(S)`. Empty coalitions produce no model, so
+    /// `U_t(∅) = 0` by convention (no contribution, no utility).
+    pub fn utility(&self, t: usize, s: Subset) -> f64 {
+        assert!(t < self.trace.num_rounds(), "round out of range");
+        if s.is_empty() {
+            return 0.0;
+        }
+        if let Some(&v) = self.cache.lock().get(&(t, s)) {
+            return v;
+        }
+        let aggregate = self
+            .trace
+            .aggregate(t, s)
+            .expect("non-empty subset aggregates");
+        let loss = {
+            let mut scratch = self.scratch.lock();
+            scratch.set_params(&aggregate);
+            *self.calls.lock() += 1;
+            scratch.loss(self.test_data)
+        };
+        let value = self.base_losses[t] - loss;
+        self.cache.lock().insert((t, s), value);
+        value
+    }
+
+    /// Marginal contribution `U_t(S ∪ {i}) − U_t(S)`.
+    pub fn marginal(&self, t: usize, s: Subset, client: usize) -> f64 {
+        debug_assert!(!s.contains(client));
+        self.utility(t, s.with(client)) - self.utility(t, s)
+    }
+
+    /// Total utility over all rounds `U(S) = Σ_t U_t(S)` — the whole-run
+    /// utility function of Theorem 1.
+    pub fn total_utility(&self, s: Subset) -> f64 {
+        (0..self.num_rounds()).map(|t| self.utility(t, s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlConfig;
+    use crate::trainer::train_federated;
+    use fedval_linalg::Matrix;
+    use fedval_models::LogisticRegression;
+
+    fn setup() -> (TrainingTrace, LogisticRegression, Dataset) {
+        let clients: Vec<Dataset> = (0..4)
+            .map(|i| {
+                let f = Matrix::from_fn(10, 2, |r, c| ((r + c + i) % 4) as f64 - 1.5);
+                let labels: Vec<usize> = (0..10).map(|r| (r + i) % 2).collect();
+                Dataset::new(f, labels, 2).unwrap()
+            })
+            .collect();
+        let test = {
+            let f = Matrix::from_fn(12, 2, |r, c| ((r * 2 + c) % 4) as f64 - 1.5);
+            let labels: Vec<usize> = (0..12).map(|r| r % 2).collect();
+            Dataset::new(f, labels, 2).unwrap()
+        };
+        let proto = LogisticRegression::new(2, 2, 0.01, 7);
+        let trace = train_federated(&proto, &clients, &FlConfig::new(3, 2, 0.2, 1));
+        (trace, proto, test)
+    }
+
+    #[test]
+    fn empty_subset_has_zero_utility() {
+        let (trace, proto, test) = setup();
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        for t in 0..trace.num_rounds() {
+            assert_eq!(oracle.utility(t, Subset::EMPTY), 0.0);
+        }
+    }
+
+    #[test]
+    fn utility_matches_direct_computation() {
+        let (trace, proto, test) = setup();
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let s = Subset::from_indices(&[0, 2]);
+        let expected = {
+            let mut m = proto.clone();
+            m.set_params(&trace.rounds[1].global_params);
+            let base = m.loss(&test);
+            let agg = trace.aggregate(1, s).unwrap();
+            m.set_params(&agg);
+            base - m.loss(&test)
+        };
+        assert!((oracle.utility(1, s) - expected).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cache_prevents_recomputation() {
+        let (trace, proto, test) = setup();
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let s = Subset::from_indices(&[1, 3]);
+        let base = oracle.loss_evaluations();
+        let v1 = oracle.utility(0, s);
+        let after_first = oracle.loss_evaluations();
+        let v2 = oracle.utility(0, s);
+        let after_second = oracle.loss_evaluations();
+        assert_eq!(v1, v2);
+        assert_eq!(after_first, base + 1);
+        assert_eq!(after_second, after_first, "second call must hit cache");
+    }
+
+    #[test]
+    fn counter_reset_works() {
+        let (trace, proto, test) = setup();
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        oracle.utility(0, Subset::from_indices(&[0]));
+        assert!(oracle.loss_evaluations() > 0);
+        oracle.reset_counter();
+        assert_eq!(oracle.loss_evaluations(), 0);
+    }
+
+    #[test]
+    fn marginal_is_difference_of_utilities() {
+        let (trace, proto, test) = setup();
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let s = Subset::from_indices(&[1]);
+        let m = oracle.marginal(2, s, 3);
+        let direct = oracle.utility(2, s.with(3)) - oracle.utility(2, s);
+        assert_eq!(m, direct);
+    }
+
+    #[test]
+    fn total_utility_sums_rounds() {
+        let (trace, proto, test) = setup();
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let s = Subset::full(4);
+        let total = oracle.total_utility(s);
+        let manual: f64 = (0..trace.num_rounds()).map(|t| oracle.utility(t, s)).sum();
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    fn identical_clients_have_identical_singleton_utilities() {
+        // Duplicate client data ⇒ identical local models ⇒ identical
+        // utilities for the two singletons — Symmetry at the oracle level.
+        let mut clients: Vec<Dataset> = (0..4)
+            .map(|i| {
+                let f = Matrix::from_fn(10, 2, |r, c| ((r + 2 * c + i) % 5) as f64 - 2.0);
+                let labels: Vec<usize> = (0..10).map(|r| (r + i) % 2).collect();
+                Dataset::new(f, labels, 2).unwrap()
+            })
+            .collect();
+        clients[3] = clients[0].clone();
+        let test = {
+            let f = Matrix::from_fn(8, 2, |r, c| ((r + c) % 4) as f64 - 1.5);
+            let labels: Vec<usize> = (0..8).map(|r| r % 2).collect();
+            Dataset::new(f, labels, 2).unwrap()
+        };
+        let proto = LogisticRegression::new(2, 2, 0.01, 3);
+        let trace = train_federated(&proto, &clients, &FlConfig::new(3, 2, 0.2, 1));
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        for t in 0..3 {
+            let u0 = oracle.utility(t, Subset::from_indices(&[0]));
+            let u3 = oracle.utility(t, Subset::from_indices(&[3]));
+            assert!((u0 - u3).abs() < 1e-14);
+            // And jointly with a third client.
+            let u01 = oracle.utility(t, Subset::from_indices(&[0, 1]));
+            let u31 = oracle.utility(t, Subset::from_indices(&[3, 1]));
+            assert!((u01 - u31).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type shared by the linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by the dense kernels.
+///
+/// The crate prefers returning structured errors over panicking so that the
+/// higher layers (ALS solver, experiment drivers) can surface a diagnosable
+/// failure for a particular round/configuration instead of aborting a long
+/// experiment sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix expected to be symmetric positive definite was not.
+    NotPositiveDefinite {
+        /// Index of the pivot that failed.
+        pivot: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// The input contained a non-finite value (NaN or infinity).
+    NonFinite {
+        /// Name of the routine that detected it.
+        routine: &'static str,
+    },
+    /// The requested dimension is invalid (for example a zero-sized factor).
+    InvalidDimension {
+        /// Description of the constraint that was violated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            LinalgError::NonFinite { routine } => {
+                write!(f, "{routine} encountered a non-finite value")
+            }
+            LinalgError::InvalidDimension { what } => write!(f, "invalid dimension: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinalgError::NoConvergence {
+            routine: "jacobi_svd",
+            iterations: 64,
+        };
+        assert!(e.to_string().contains("jacobi_svd"));
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<LinalgError>();
+    }
+}

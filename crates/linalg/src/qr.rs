@@ -1,0 +1,219 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! QR backs two needs: a numerically robust least-squares alternative for
+//! diagnostics (cross-checking the ALS ridge sub-solves), and the
+//! orthogonalization step used when polishing singular vectors.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Compact Householder QR of an `m × n` matrix with `m ≥ n`.
+///
+/// Stores the Householder vectors in the lower trapezoid of `qr` and the
+/// upper-triangular factor `R` on and above the diagonal.
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    qr: Matrix,
+    /// Scalar `beta_k = 2 / (v_kᵀ v_k)` per reflector; zero marks an identity
+    /// reflector (already-zero column).
+    betas: Vec<f64>,
+}
+
+impl QrFactor {
+    /// Factorizes `a` (requires `rows ≥ cols`).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidDimension {
+                what: "QR requires rows >= cols",
+            });
+        }
+        let mut qr = a.clone();
+        let mut betas = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder vector for column k, rows k..m.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                let v = qr.get(i, k);
+                norm_sq += v * v;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let x0 = qr.get(k, k);
+            let alpha = if x0 >= 0.0 { -norm } else { norm };
+            // v = x - alpha e1, stored in place with implicit v[k] below.
+            let v0 = x0 - alpha;
+            // beta = 2 / ||v||^2, where ||v||^2 = norm_sq - x0^2 + v0^2.
+            let v_norm_sq = norm_sq - x0 * x0 + v0 * v0;
+            if v_norm_sq == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let beta = 2.0 / v_norm_sq;
+            betas[k] = beta;
+            qr.set(k, k, v0);
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += qr.get(i, k) * qr.get(i, j);
+                }
+                let scale = beta * dot;
+                for i in k..m {
+                    let v = qr.get(i, j) - scale * qr.get(i, k);
+                    qr.set(i, j, v);
+                }
+            }
+            // Store R's diagonal entry; the Householder vector keeps using
+            // the sub-diagonal slots of column k.
+            // We stash alpha by overwriting after the updates: remember it
+            // in a second pass below. To keep storage simple, scale the
+            // Householder vector so that v[k] = 1 and record alpha on the
+            // diagonal.
+            let inv_v0 = 1.0 / v0;
+            for i in (k + 1)..m {
+                let v = qr.get(i, k) * inv_v0;
+                qr.set(i, k, v);
+            }
+            betas[k] = beta * v0 * v0; // adjust beta for normalized v
+            qr.set(k, k, alpha);
+        }
+        Ok(QrFactor { qr, betas })
+    }
+
+    /// Shape of the factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// Extracts the upper-triangular `R` (size `n × n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr.get(i, j) } else { 0.0 })
+    }
+
+    /// Applies `Qᵀ` to a vector in place.
+    fn apply_q_transpose(&self, y: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            // v[k] = 1, v[i] = qr[i][k] for i > k.
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr.get(i, k) * y[i];
+            }
+            let s = beta * dot;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr.get(i, k);
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ‖a x − b‖₂`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        self.apply_q_transpose(&mut y);
+        // Back substitution on R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for j in (i + 1)..n {
+                v -= self.qr.get(i, j) * x[j];
+            }
+            let d = self.qr.get(i, i);
+            if d == 0.0 {
+                return Err(LinalgError::NotPositiveDefinite { pivot: i });
+            }
+            x[i] = v / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_expected_diagonal_magnitudes() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = QrFactor::new(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r.shape(), (2, 2));
+        assert_eq!(r.get(1, 0), 0.0);
+        // |R[0][0]| equals the norm of a's first column.
+        let c0 = (1.0f64 + 9.0 + 25.0).sqrt();
+        assert!(approx(r.get(0, 0).abs(), c0, 1e-12));
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        // Square nonsingular system: solution must be exact.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x_true = [1.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = QrFactor::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!(approx(*u, *v, 1e-12));
+        }
+    }
+
+    #[test]
+    fn least_squares_overdetermined_matches_normal_equations() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = [1.0, 2.1, 2.9, 4.2];
+        let x = QrFactor::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Residual must be orthogonal to the column space: Aᵀ(Ax - b) = 0.
+        let ax = a.matvec(&x).unwrap();
+        let res: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let grad = a.matvec_transpose(&res).unwrap();
+        for g in grad {
+            assert!(approx(g, 0.0, 1e-10));
+        }
+    }
+
+    #[test]
+    fn rejects_wide_matrices() {
+        assert!(QrFactor::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let qr = QrFactor::new(&Matrix::identity(3)).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_factorization_solves_directly() {
+        let qr = QrFactor::new(&Matrix::identity(3)).unwrap();
+        let x = qr.solve_least_squares(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(approx(x[0], 1.0, 1e-12));
+        assert!(approx(x[1], 2.0, 1e-12));
+        assert!(approx(x[2], 3.0, 1e-12));
+    }
+
+    #[test]
+    fn zero_column_is_singular() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]).unwrap();
+        let qr = QrFactor::new(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The paper's Example 2 / Figure 2 studies the singular-value decay of the
+//! utility matrix `U ∈ R^{T×2^N}` to establish approximate low-rankness, and
+//! Definition 3's `ε`-rank is estimated from truncated SVDs. One-sided
+//! Jacobi is a good fit: simple, very accurate for small singular values,
+//! and the matrices involved are modest (at most a few thousand columns
+//! after transposition).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Full SVD `A = U Σ Vᵀ` with singular values in non-increasing order.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × k` with `k = min(m, n)`.
+    pub u: Matrix,
+    /// Singular values, length `k`, non-increasing.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `n × k` (columns are the `v_i`).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Computes the SVD of `a`.
+    ///
+    /// Internally runs one-sided Jacobi on the tall orientation and swaps
+    /// factors back when the input was wide.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { routine: "svd" });
+        }
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidDimension {
+                what: "svd of empty matrix",
+            });
+        }
+        if m >= n {
+            jacobi_tall(a)
+        } else {
+            // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ.
+            let t = jacobi_tall(&a.transpose())?;
+            Ok(Svd {
+                u: t.v,
+                sigma: t.sigma,
+                v: t.u,
+            })
+        }
+    }
+
+    /// Reconstructs the best rank-`k` approximation `U_k Σ_k V_kᵀ`.
+    pub fn reconstruct_rank(&self, k: usize) -> Matrix {
+        let k = k.min(self.sigma.len());
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Matrix::zeros(m, n);
+        for r in 0..k {
+            let s = self.sigma[r];
+            if s == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let ui = self.u.get(i, r) * s;
+                if ui == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for j in 0..n {
+                    out_row[j] += ui * self.v.get(j, r);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: singular values only (non-increasing).
+pub fn singular_values(a: &Matrix) -> Result<Vec<f64>> {
+    Ok(Svd::new(a)?.sigma)
+}
+
+/// One-sided Jacobi on a tall (or square) matrix.
+fn jacobi_tall(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    // Work on columns of A; store column-major for cache friendliness.
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 60;
+    // Convergence threshold relative to the matrix scale.
+    let scale = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * scale * scale;
+
+    let mut converged = false;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (app, aqq, apq) = col_moments(&cols[p], &cols[q]);
+                off = off.max(apq.abs());
+                if apq.abs() <= tol {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the (p,q) entry of AᵀA.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    1.0 / (tau - (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_pair(&mut cols, p, q, c, s);
+                rotate_rows(&mut v, p, q, c, s);
+            }
+        }
+        if off <= tol {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // One-sided Jacobi converges in practice well before 60 sweeps; if
+        // it has not, the input is pathological enough to report.
+        return Err(LinalgError::NoConvergence {
+            routine: "jacobi_svd",
+            iterations: max_sweeps,
+        });
+    }
+
+    // Singular values are the column norms; U's columns the normalized ones.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = cols.iter().map(|c| crate::vector::norm2(c)).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let mut sigma = Vec::with_capacity(n);
+    let mut u = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    for (rank, &src) in order.iter().enumerate() {
+        let s = norms[src];
+        sigma.push(s);
+        if s > 0.0 {
+            let inv = 1.0 / s;
+            for i in 0..m {
+                u.set(i, rank, cols[src][i] * inv);
+            }
+        }
+        for i in 0..n {
+            v_sorted.set(i, rank, v.get(src, i));
+        }
+    }
+    Ok(Svd {
+        u,
+        sigma,
+        v: v_sorted,
+    })
+}
+
+/// Returns `(‖a_p‖², ‖a_q‖², a_pᵀ a_q)`.
+fn col_moments(p: &[f64], q: &[f64]) -> (f64, f64, f64) {
+    let mut app = 0.0;
+    let mut aqq = 0.0;
+    let mut apq = 0.0;
+    for (&x, &y) in p.iter().zip(q) {
+        app += x * x;
+        aqq += y * y;
+        apq += x * y;
+    }
+    (app, aqq, apq)
+}
+
+/// Applies the rotation to columns `p` and `q` of the working set.
+fn rotate_pair(cols: &mut [Vec<f64>], p: usize, q: usize, c: f64, s: f64) {
+    debug_assert!(p < q);
+    let (head, tail) = cols.split_at_mut(q);
+    let cp = &mut head[p];
+    let cq = &mut tail[0];
+    for (x, y) in cp.iter_mut().zip(cq.iter_mut()) {
+        let xp = *x;
+        let xq = *y;
+        *x = c * xp - s * xq;
+        *y = s * xp + c * xq;
+    }
+}
+
+/// Applies the rotation to rows `p`, `q` of the accumulating V matrix.
+/// (Rows, because we store Vᵀ's action row-wise and transpose on output.)
+fn rotate_rows(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.cols();
+    for j in 0..n {
+        let vp = v.get(p, j);
+        let vq = v.get(q, j);
+        v.set(p, j, c * vp - s * vq);
+        v.set(q, j, s * vp + c * vq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        svd.reconstruct_rank(svd.sigma.len())
+    }
+
+    #[test]
+    fn diagonal_matrix_has_its_diagonal_as_singular_values() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]).unwrap();
+        let s = singular_values(&a).unwrap();
+        assert!(approx(s[0], 3.0, 1e-12));
+        assert!(approx(s[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn singular_values_are_sorted_nonincreasing() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let s = singular_values(&a).unwrap();
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_input_tall() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i + 1) * (j + 2)) as f64 + (i as f64).sin());
+        let svd = Svd::new(&a).unwrap();
+        let rec = reconstruct(&svd);
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconstruction_matches_input_wide() {
+        let a = Matrix::from_fn(3, 7, |i, j| (i as f64 - j as f64).cos());
+        let svd = Svd::new(&a).unwrap();
+        let rec = reconstruct(&svd);
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_one_matrix_has_one_nonzero_singular_value() {
+        let a = Matrix::from_fn(4, 5, |i, j| (i + 1) as f64 * (j + 1) as f64);
+        let s = singular_values(&a).unwrap();
+        assert!(s[0] > 1.0);
+        for &v in &s[1..] {
+            assert!(v < 1e-9 * s[0]);
+        }
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_of_gram() {
+        // For A = [[1, 1], [0, 1]], AᵀA has eigenvalues (3 ± √5)/2.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let s = singular_values(&a).unwrap();
+        let e1 = ((3.0 + 5.0_f64.sqrt()) / 2.0).sqrt();
+        let e2 = ((3.0 - 5.0_f64.sqrt()) / 2.0).sqrt();
+        assert!(approx(s[0], e1, 1e-10));
+        assert!(approx(s[1], e2, 1e-10));
+    }
+
+    #[test]
+    fn u_and_v_have_orthonormal_columns() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((3 * i + 2 * j) % 7) as f64 - 3.0);
+        let svd = Svd::new(&a).unwrap();
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        for g in [utu, vtv] {
+            for i in 0..g.rows() {
+                for j in 0..g.cols() {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!(approx(g.get(i, j), want, 1e-9), "gram {i},{j} = {}", g.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_rank_k_truncation_error_is_next_singular_value() {
+        // For the spectral norm the Eckart–Young error equals σ_{k+1}; we
+        // check the weaker max-entry bound ≤ σ_{k+1}.
+        let a = Matrix::from_fn(5, 5, |i, j| 1.0 / ((i + j + 1) as f64)); // Hilbert-ish
+        let svd = Svd::new(&a).unwrap();
+        for k in 0..4 {
+            let rec = svd.reconstruct_rank(k);
+            let err = rec.sub(&a).unwrap().max_abs();
+            assert!(err <= svd.sigma[k] + 1e-10, "k={k}: {err} vs {}", svd.sigma[k]);
+        }
+    }
+
+    #[test]
+    fn rejects_nan_input() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, f64::NAN);
+        assert!(Svd::new(&a).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_singular_values() {
+        let s = singular_values(&Matrix::zeros(3, 3)).unwrap();
+        assert!(s.iter().all(|&v| v == 0.0));
+    }
+}

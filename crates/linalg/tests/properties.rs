@@ -1,0 +1,122 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use fedval_linalg::{
+    cholesky::ridge_solve, eps_rank_upper_bound, CholeskyFactor, Matrix, QrFactor, Svd,
+};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with entries in [-5, 5].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0..5.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_involution(m in matrix(4, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_vectors(
+        a in matrix(3, 4),
+        x in proptest::collection::vec(-3.0..3.0f64, 4),
+    ) {
+        // (Aᵀ)ᵀ x == A x and matvec_transpose(Aᵀ, x) paths agree.
+        let direct = a.matvec(&x).unwrap();
+        let via_transpose = a.transpose().matvec_transpose(&x).unwrap();
+        for (u, v) in direct.iter().zip(&via_transpose) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality(a in matrix(4, 4), b in matrix(4, 4)) {
+        let sum = a.add(&b).unwrap();
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+
+    #[test]
+    fn svd_reconstructs_and_is_sorted(m in matrix(5, 4)) {
+        let svd = Svd::new(&m).unwrap();
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        let rec = svd.reconstruct_rank(svd.sigma.len());
+        prop_assert!(rec.sub(&m).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn svd_frobenius_identity(m in matrix(4, 6)) {
+        // ‖M‖_F² = Σ σ_i².
+        let svd = Svd::new(&m).unwrap();
+        let sigma_sq: f64 = svd.sigma.iter().map(|s| s * s).sum();
+        let fro_sq = m.frobenius_norm().powi(2);
+        prop_assert!((sigma_sq - fro_sq).abs() < 1e-8 * fro_sq.max(1.0));
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(m in matrix(4, 4), x in proptest::collection::vec(-2.0..2.0f64, 4)) {
+        // A = MᵀM + I is SPD.
+        let mut a = m.transpose().matmul(&m).unwrap();
+        for i in 0..4 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let b = a.matvec(&x).unwrap();
+        let solved = CholeskyFactor::new(&a).unwrap().solve(&b).unwrap();
+        for (u, v) in solved.iter().zip(&x) {
+            prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal(
+        a in matrix(6, 3),
+        b in proptest::collection::vec(-3.0..3.0f64, 6),
+    ) {
+        // Skip near-singular designs.
+        let gram = a.transpose().matmul(&a).unwrap();
+        prop_assume!(CholeskyFactor::new(&{
+            let mut g = gram.clone();
+            for i in 0..3 { g.set(i, i, g.get(i, i) + 1e-9); }
+            g
+        }).is_ok());
+        let svd = Svd::new(&a).unwrap();
+        prop_assume!(svd.sigma[2] > 1e-3);
+
+        let x = QrFactor::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let res: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let grad = a.matvec_transpose(&res).unwrap();
+        for g in grad {
+            prop_assert!(g.abs() < 1e-6, "gradient {g}");
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_toward_zero(
+        a in matrix(5, 2),
+        b in proptest::collection::vec(-3.0..3.0f64, 5),
+    ) {
+        let x_small = ridge_solve(&a, &b, 1e-6).unwrap();
+        let x_large = ridge_solve(&a, &b, 1e6).unwrap();
+        let norm = |v: &[f64]| v.iter().map(|u| u * u).sum::<f64>();
+        prop_assert!(norm(&x_large) <= norm(&x_small) + 1e-9);
+        prop_assert!(norm(&x_large) < 1e-6, "huge lambda must crush the solution");
+    }
+
+    #[test]
+    fn eps_rank_is_monotone_and_bounded(m in matrix(5, 6)) {
+        let loose = eps_rank_upper_bound(&m, 1.0).unwrap();
+        let tight = eps_rank_upper_bound(&m, 1e-6).unwrap();
+        prop_assert!(loose <= tight);
+        prop_assert!(tight <= 5);
+    }
+
+    #[test]
+    fn max_abs_col_sum_dominates_max_abs(m in matrix(4, 5)) {
+        prop_assert!(m.max_abs_col_sum() >= m.max_abs() - 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! The `(W, H)` factor pair produced by the completion solvers.
+
+use crate::problem::CompletionProblem;
+use fedval_linalg::Matrix;
+
+/// Low-rank factors `W ∈ R^{T×r}` (rows: rounds) and `H ∈ R^{C×r}` (rows:
+/// subset columns), approximating the observed matrix by `W Hᵀ`.
+#[derive(Debug, Clone)]
+pub struct Factors {
+    /// Round factor.
+    pub w: Matrix,
+    /// Column (subset) factor.
+    pub h: Matrix,
+}
+
+impl Factors {
+    /// Factor rank `r`.
+    pub fn rank(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Predicted value at `(row, col)`: `w_rowᵀ h_col`.
+    pub fn predict(&self, row: usize, col: usize) -> f64 {
+        fedval_linalg::vector::dot(self.w.row(row), self.h.row(col))
+    }
+
+    /// The completed dense matrix `W Hᵀ` (feasible only for modest sizes).
+    pub fn complete(&self) -> Matrix {
+        self.w
+            .matmul_transpose(&self.h)
+            .expect("factor ranks agree by construction")
+    }
+
+    /// Sum of the `W` rows — the vector `Σ_t w_t` that turns the
+    /// ComFedSV double sum into a single pass over subset columns.
+    pub fn row_factor_sum(&self) -> Vec<f64> {
+        let r = self.rank();
+        let mut out = vec![0.0; r];
+        for t in 0..self.w.rows() {
+            fedval_linalg::vector::axpy(1.0, self.w.row(t), &mut out);
+        }
+        out
+    }
+
+    /// Squared-error part of the paper's objective on the observed entries.
+    pub fn observed_sse(&self, problem: &CompletionProblem) -> f64 {
+        problem
+            .entries()
+            .iter()
+            .map(|&(row, col, v)| {
+                let e = v - self.predict(row, col);
+                e * e
+            })
+            .sum()
+    }
+
+    /// The full regularized objective of problem (9)/(13).
+    pub fn objective(&self, problem: &CompletionProblem, lambda: f64) -> f64 {
+        let reg = self.w.frobenius_norm().powi(2) + self.h.frobenius_norm().powi(2);
+        self.observed_sse(problem) + lambda * reg
+    }
+
+    /// Root-mean-square error over the observed entries.
+    pub fn observed_rmse(&self, problem: &CompletionProblem) -> f64 {
+        let n = problem.num_observations();
+        if n == 0 {
+            return 0.0;
+        }
+        (self.observed_sse(problem) / n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_factors() -> Factors {
+        Factors {
+            w: Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap(),
+            h: Matrix::from_rows(&[&[3.0, 1.0], &[0.5, -1.0]]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn predict_is_dot_product() {
+        let f = simple_factors();
+        assert_eq!(f.predict(0, 0), 3.0);
+        assert_eq!(f.predict(1, 1), -2.0);
+        assert_eq!(f.rank(), 2);
+    }
+
+    #[test]
+    fn complete_matches_predict() {
+        let f = simple_factors();
+        let m = f.complete();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(m.get(i, j), f.predict(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn row_factor_sum_sums_rows() {
+        let f = simple_factors();
+        assert_eq!(f.row_factor_sum(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn objective_components() {
+        let f = simple_factors();
+        let mut p = CompletionProblem::new(2);
+        p.add_observation(0, 10, 3.0); // predicted exactly
+        p.add_observation(1, 11, 0.0); // predicted -2, error 2
+        let sse = f.observed_sse(&p);
+        assert!((sse - 4.0).abs() < 1e-12);
+        let reg = f.w.frobenius_norm().powi(2) + f.h.frobenius_norm().powi(2);
+        assert!((f.objective(&p, 0.5) - (4.0 + 0.5 * reg)).abs() < 1e-12);
+        assert!((f.observed_rmse(&p) - (4.0f64 / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_of_empty_problem_is_zero() {
+        let f = simple_factors();
+        let p = CompletionProblem::new(2);
+        assert_eq!(f.observed_rmse(&p), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Stochastic-gradient solver for the factorization problem.
+//!
+//! A second, independent optimizer for cross-checking ALS (the two must
+//! agree on recovered entries for well-posed problems) and for very large
+//! column counts where the per-column ridge solves dominate.
+//!
+//! Uses the standard biased-per-entry regularization: for each observed
+//! entry the factors are shrunk by `λ / n_obs(row or col)` so a full epoch
+//! applies the same total shrinkage as the global objective.
+
+use crate::factors::Factors;
+use crate::problem::CompletionProblem;
+use fedval_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// SGD configuration.
+#[derive(Debug, Clone)]
+pub struct SgdConfig {
+    /// Factor rank `r`.
+    pub rank: usize,
+    /// Regularization `λ`.
+    pub lambda: f64,
+    /// Epochs (full shuffled passes over the observations).
+    pub epochs: usize,
+    /// Initial step size (decayed as `lr / (1 + epoch/10)`).
+    pub learning_rate: f64,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl SgdConfig {
+    /// Defaults tuned for the utility matrices in the experiments.
+    pub fn new(rank: usize) -> Self {
+        SgdConfig {
+            rank,
+            lambda: 0.1,
+            epochs: 200,
+            learning_rate: 0.2,
+            seed: 0,
+        }
+    }
+
+    /// Builder-style override of `λ`.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Builder-style override of the epoch budget.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+}
+
+/// Runs SGD, returning factors and the objective after each epoch.
+pub fn solve_sgd(problem: &CompletionProblem, config: &SgdConfig) -> (Factors, Vec<f64>) {
+    assert!(config.rank > 0, "rank must be positive");
+    assert!(config.lambda >= 0.0, "lambda must be non-negative");
+    let t = problem.num_rows();
+    let c = problem.num_cols();
+    let r = config.rank;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mean_abs = if problem.num_observations() == 0 {
+        1.0
+    } else {
+        problem
+            .entries()
+            .iter()
+            .map(|&(_, _, v)| v.abs())
+            .sum::<f64>()
+            / problem.num_observations() as f64
+    };
+    let scale = (mean_abs.max(1e-6) / r as f64).sqrt();
+    let mut factors = Factors {
+        w: Matrix::from_fn(t, r, |_, _| (rng.random::<f64>() - 0.5) * 2.0 * scale),
+        h: Matrix::from_fn(c, r, |_, _| (rng.random::<f64>() - 0.5) * 2.0 * scale),
+    };
+
+    // Per-row/column observation counts for regularization splitting.
+    let row_counts: Vec<usize> = (0..t).map(|i| problem.row_entries(i).len()).collect();
+    let col_counts: Vec<usize> = (0..c).map(|j| problem.col_entries(j).len()).collect();
+
+    let mut order: Vec<usize> = (0..problem.num_observations()).collect();
+    let mut trace = Vec::with_capacity(config.epochs + 1);
+    trace.push(factors.objective(problem, config.lambda));
+    for epoch in 0..config.epochs {
+        let lr = config.learning_rate / (1.0 + epoch as f64 / 50.0);
+        order.shuffle(&mut rng);
+        for &eid in &order {
+            let (row, col, value) = problem.entries()[eid];
+            let pred = factors.predict(row, col);
+            let err = value - pred;
+            let reg_w = config.lambda / row_counts[row].max(1) as f64;
+            let reg_h = config.lambda / col_counts[col].max(1) as f64;
+            for k in 0..r {
+                let wv = factors.w.get(row, k);
+                let hv = factors.h.get(col, k);
+                factors.w.set(row, k, wv + lr * (err * hv - reg_w * wv));
+                factors.h.set(col, k, hv + lr * (err * wv - reg_h * hv));
+            }
+        }
+        trace.push(factors.objective(problem, config.lambda));
+    }
+    // Columns never observed: pin to zero (the regularizer's fixed point).
+    for j in 0..c {
+        if col_counts[j] == 0 {
+            factors.h.row_mut(j).iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+    (factors, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked_low_rank(t: usize, c: usize, rank: usize, keep: f64, seed: u64) -> (CompletionProblem, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Matrix::from_fn(t, rank, |_, _| rng.random::<f64>() * 2.0 - 1.0);
+        let h = Matrix::from_fn(c, rank, |_, _| rng.random::<f64>() * 2.0 - 1.0);
+        let full = w.matmul_transpose(&h).unwrap();
+        let mut p = CompletionProblem::new(t);
+        for j in 0..c {
+            p.add_observation(0, j as u64, full.get(0, j));
+        }
+        for i in 1..t {
+            for j in 0..c {
+                if rng.random::<f64>() < keep {
+                    p.add_observation(i, j as u64, full.get(i, j));
+                }
+            }
+        }
+        (p, full)
+    }
+
+    #[test]
+    fn objective_trends_downward() {
+        let (p, _) = masked_low_rank(10, 12, 2, 0.5, 1);
+        let (_, trace) = solve_sgd(&p, &SgdConfig::new(2).with_epochs(50));
+        assert!(trace.last().unwrap() < &(trace[0] * 0.5), "{trace:?}");
+    }
+
+    #[test]
+    fn fits_observed_entries() {
+        let (p, _) = masked_low_rank(12, 14, 2, 0.6, 2);
+        let (factors, _) = solve_sgd(&p, &SgdConfig::new(3).with_lambda(1e-3).with_epochs(300));
+        assert!(factors.observed_rmse(&p) < 0.05, "rmse {}", factors.observed_rmse(&p));
+    }
+
+    #[test]
+    fn agrees_with_als_on_recovered_entries() {
+        let (p, full) = masked_low_rank(14, 16, 2, 0.6, 4);
+        let (f_sgd, _) = solve_sgd(&p, &SgdConfig::new(2).with_lambda(1e-3).with_epochs(400));
+        let (f_als, _) = crate::als::solve_als(
+            &p,
+            &crate::als::AlsConfig::new(2).with_lambda(1e-3).with_max_iters(200),
+        );
+        let rec_sgd = f_sgd.complete();
+        let rec_als = f_als.complete();
+        let denom = full.frobenius_norm();
+        let d_sgd = rec_sgd.sub(&full).unwrap().frobenius_norm() / denom;
+        let d_als = rec_als.sub(&full).unwrap().frobenius_norm() / denom;
+        assert!(d_sgd < 0.15, "sgd recovery {d_sgd}");
+        assert!(d_als < 0.05, "als recovery {d_als}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (p, _) = masked_low_rank(6, 8, 2, 0.5, 9);
+        let cfg = SgdConfig::new(2).with_epochs(20);
+        let (f1, _) = solve_sgd(&p, &cfg);
+        let (f2, _) = solve_sgd(&p, &cfg);
+        assert_eq!(f1.w.as_slice(), f2.w.as_slice());
+    }
+
+    #[test]
+    fn unobserved_column_pinned_to_zero() {
+        let mut p = CompletionProblem::new(3);
+        p.add_observation(0, 5, 2.0);
+        p.add_observation(2, 5, 2.0);
+        let ghost = p.ensure_column(77);
+        let (factors, _) = solve_sgd(&p, &SgdConfig::new(2).with_epochs(10));
+        assert!(factors.h.row(ghost).iter().all(|&v| v == 0.0));
+    }
+}

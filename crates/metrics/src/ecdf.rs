@@ -1,0 +1,150 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The fairness experiment (paper Fig. 5) plots the ECDF of the relative
+//! difference `d_{0,9}` over repeated trials for FedSV and ComFedSV; the
+//! conclusion "ComFedSV is fairer" is exactly first-order stochastic
+//! dominance of its ECDF.
+
+/// Empirical CDF over a finite sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample. Non-finite values are rejected.
+    pub fn new(mut sample: Vec<f64>) -> Option<Self> {
+        if sample.is_empty() || sample.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(Ecdf { sorted: sample })
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when the sample is empty (cannot happen for a constructed
+    /// value, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(t) = P(X ≤ t)`.
+    pub fn eval(&self, t: f64) -> f64 {
+        // partition_point returns the count of elements <= t.
+        let count = self.sorted.partition_point(|&x| x <= t);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile (inverse CDF) for `p ∈ [0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Evaluates the ECDF on an evenly spaced grid over `[lo, hi]`,
+    /// returning `(t, F(t))` pairs — the series plotted in Fig. 5.
+    pub fn curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        if points == 0 {
+            return Vec::new();
+        }
+        if points == 1 {
+            return vec![(lo, self.eval(lo))];
+        }
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let t = lo + step * i as f64;
+                (t, self.eval(t))
+            })
+            .collect()
+    }
+
+    /// `true` when `self` first-order stochastically dominates `other` on
+    /// the given grid, i.e. `F_self(t) ≥ F_other(t) − slack` everywhere.
+    ///
+    /// A small `slack` absorbs sampling noise when comparing 50-trial runs.
+    pub fn dominates(&self, other: &Ecdf, grid: &[f64], slack: f64) -> bool {
+        grid.iter().all(|&t| self.eval(t) + slack >= other.eval(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0]).unwrap();
+        assert!((e.eval(1.0) - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(vec![]).is_none());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn quantiles_match() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.25), 1.0);
+        assert_eq!(e.quantile(0.5), 2.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_nondecreasing() {
+        let e = Ecdf::new(vec![0.3, 0.1, 0.9, 0.5, 0.2]).unwrap();
+        let c = e.curve(0.0, 1.0, 21);
+        assert_eq!(c.len(), 21);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn dominance_of_shifted_samples() {
+        // Sample concentrated near 0 dominates (its CDF is above) a sample
+        // concentrated near 1.
+        let low = Ecdf::new(vec![0.0, 0.1, 0.2]).unwrap();
+        let high = Ecdf::new(vec![0.7, 0.8, 0.9]).unwrap();
+        let grid: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        assert!(low.dominates(&high, &grid, 0.0));
+        assert!(!high.dominates(&low, &grid, 0.0));
+    }
+
+    #[test]
+    fn ecdf_dominates_itself() {
+        let e = Ecdf::new(vec![0.5, 0.6]).unwrap();
+        let grid = [0.0, 0.5, 1.0];
+        assert!(e.dominates(&e, &grid, 0.0));
+    }
+
+    #[test]
+    fn single_point_sample() {
+        let e = Ecdf::new(vec![2.0]).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.eval(1.9), 0.0);
+        assert_eq!(e.eval(2.0), 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Gini coefficient of a payout vector.
+//!
+//! Used by the reward-allocation ablation: how concentrated are the
+//! rewards implied by a valuation? 0 = perfectly equal, → 1 = one client
+//! takes everything.
+
+/// Gini coefficient of non-negative values. Negative inputs are clamped to
+/// zero (valuations can be negative; payouts are not). Returns `None` for
+/// an empty slice or an all-zero total.
+pub fn gini_coefficient(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.iter().map(|&x| x.max(0.0)).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len() as f64;
+    let total: f64 = v.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    // G = (2 Σ_i i·x_(i) / (n Σ x)) − (n+1)/n with 1-based i over the
+    // ascending sort.
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    Some((2.0 * weighted / (n * total) - (n + 1.0) / n).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn equal_values_give_zero() {
+        assert!(approx(gini_coefficient(&[2.0, 2.0, 2.0, 2.0]).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn single_winner_approaches_one() {
+        let g = gini_coefficient(&[0.0, 0.0, 0.0, 10.0]).unwrap();
+        // For n = 4, max Gini = (n-1)/n = 0.75.
+        assert!(approx(g, 0.75));
+    }
+
+    #[test]
+    fn known_two_value_case() {
+        // [1, 3]: G = (2*(1*1 + 2*3)/(2*4)) - 3/2 = 14/8 - 12/8 = 0.25.
+        assert!(approx(gini_coefficient(&[1.0, 3.0]).unwrap(), 0.25));
+    }
+
+    #[test]
+    fn negative_values_clamped() {
+        let g = gini_coefficient(&[-5.0, 1.0, 1.0]).unwrap();
+        // Equivalent to [0, 1, 1]: G = (2*(2+3)/(3*2)) - 4/3 = 1/3.
+        assert!(approx(g, 1.0 / 3.0));
+    }
+
+    #[test]
+    fn empty_or_zero_gives_none() {
+        assert!(gini_coefficient(&[]).is_none());
+        assert!(gini_coefficient(&[0.0, 0.0]).is_none());
+        assert!(gini_coefficient(&[-1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn order_invariant() {
+        let a = gini_coefficient(&[1.0, 2.0, 3.0]).unwrap();
+        let b = gini_coefficient(&[3.0, 1.0, 2.0]).unwrap();
+        assert!(approx(a, b));
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let g = gini_coefficient(&[0.1, 0.9, 2.5, 7.0, 0.0]).unwrap();
+        assert!((0.0..=1.0).contains(&g));
+    }
+}

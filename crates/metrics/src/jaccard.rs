@@ -1,0 +1,73 @@
+//! Jaccard coefficient between index sets.
+//!
+//! The noisy-label detection experiment (paper Fig. 7) compares the set of
+//! clients that actually received noisy labels with the set of clients a
+//! valuation metric ranks lowest.
+
+use std::collections::HashSet;
+
+/// Jaccard index `|A ∩ B| / |A ∪ B|` between two sets of client indices.
+///
+/// Duplicates in the inputs are ignored (set semantics). The index of two
+/// empty sets is defined as 1 (they are identical).
+pub fn jaccard_index(a: &[usize], b: &[usize]) -> f64 {
+    let sa: HashSet<usize> = a.iter().copied().collect();
+    let sb: HashSet<usize> = b.iter().copied().collect();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_give_one() {
+        assert_eq!(jaccard_index(&[1, 2, 3], &[3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_give_zero() {
+        assert_eq!(jaccard_index(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        // {1,2} vs {2,3}: intersection 1, union 3.
+        assert!((jaccard_index(&[1, 2], &[2, 3]) - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        assert_eq!(jaccard_index(&[1, 1, 2, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn empty_sets_are_identical() {
+        assert_eq!(jaccard_index(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn one_empty_set_gives_zero() {
+        assert_eq!(jaccard_index(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1, 5, 9];
+        let b = [5, 7];
+        assert_eq!(jaccard_index(&a, &b), jaccard_index(&b, &a));
+    }
+
+    #[test]
+    fn bounded_between_zero_and_one() {
+        let a = [0, 1, 2, 3, 4];
+        let b = [3, 4, 5, 6];
+        let j = jaccard_index(&a, &b);
+        assert!((0.0..=1.0).contains(&j));
+    }
+}

@@ -1,0 +1,135 @@
+//! Kendall's τ rank correlation (τ-b, tie-corrected).
+//!
+//! A second rank-agreement statistic alongside Spearman's ρ; the ablation
+//! harnesses report both, since τ is less sensitive to single large rank
+//! displacements.
+
+/// Kendall's τ-b between two paired samples.
+///
+/// Returns `None` for mismatched lengths, fewer than two points, or when
+/// either sample is constant (the denominator vanishes).
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let ta = da == 0.0;
+            let tb = db == 0.0;
+            match (ta, tb) {
+                (true, true) => {}
+                (true, false) => ties_a += 1,
+                (false, true) => ties_b += 1,
+                (false, false) => {
+                    if (da > 0.0) == (db > 0.0) {
+                        concordant += 1;
+                    } else {
+                        discordant += 1;
+                    }
+                }
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom_a = n0 - count_tied_pairs(a);
+    let denom_b = n0 - count_tied_pairs(b);
+    if denom_a == 0 || denom_b == 0 {
+        return None;
+    }
+    let _ = (ties_a, ties_b);
+    Some((concordant - discordant) as f64 / ((denom_a as f64) * (denom_b as f64)).sqrt())
+}
+
+fn count_tied_pairs(xs: &[f64]) -> i64 {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let mut pairs = 0i64;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let run = (j - i + 1) as i64;
+        pairs += run * (run - 1) / 2;
+        i = j + 1;
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn identical_orderings_give_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!(approx(kendall_tau(&a, &b).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn reversed_orderings_give_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!(approx(kendall_tau(&a, &b).unwrap(), -1.0));
+    }
+
+    #[test]
+    fn one_swap_known_value() {
+        // [1,2,3,4] vs [1,2,4,3]: 5 concordant, 1 discordant, tau = 4/6.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 4.0, 3.0];
+        assert!(approx(kendall_tau(&a, &b).unwrap(), 4.0 / 6.0));
+    }
+
+    #[test]
+    fn ties_are_corrected() {
+        // b has a tie; tau-b uses the tie-corrected denominator.
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0];
+        // concordant pairs: (0,2), (1,2) = 2; tied-in-b: (0,1).
+        // n0 = 3, denom_a = 3, denom_b = 3 - 1 = 2: tau = 2/sqrt(6).
+        assert!(approx(kendall_tau(&a, &b).unwrap(), 2.0 / 6.0_f64.sqrt()));
+    }
+
+    #[test]
+    fn constant_sample_gives_none() {
+        assert!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn mismatched_or_short_gives_none() {
+        assert!(kendall_tau(&[1.0], &[1.0]).is_none());
+        assert!(kendall_tau(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [3.0, 1.0, 2.0, 5.0];
+        let b = [2.0, 4.0, 1.0, 3.0];
+        assert!(approx(
+            kendall_tau(&a, &b).unwrap(),
+            kendall_tau(&b, &a).unwrap()
+        ));
+    }
+
+    #[test]
+    fn bounded() {
+        let a = [1.0, 5.0, 3.0, 2.0, 4.0];
+        let b = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let t = kendall_tau(&a, &b).unwrap();
+        assert!((-1.0..=1.0).contains(&t));
+    }
+}

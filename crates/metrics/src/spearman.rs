@@ -1,0 +1,119 @@
+//! Spearman's rank correlation coefficient.
+//!
+//! Used by the noisy-data detection experiment (paper Fig. 6): the true
+//! noise ordering of the clients is compared to the ordering induced by
+//! each valuation metric.
+
+use crate::ranking::ranks_average_ties;
+
+/// Spearman's ρ between two paired samples (tie-aware: computed as the
+/// Pearson correlation of average-tie ranks).
+///
+/// Returns `None` when the inputs have different lengths, fewer than two
+/// points, or zero rank variance (e.g. constant input).
+///
+/// ```
+/// use fedval_metrics::spearman_rho;
+/// let quality = [3.0, 2.0, 1.0];
+/// let valuation = [30.0, 7.0, 0.5]; // same ordering, different scale
+/// assert!((spearman_rho(&quality, &valuation).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = ranks_average_ties(a);
+    let rb = ranks_average_ties(b);
+    pearson(&ra, &rb)
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn identical_orderings_give_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!(approx(spearman_rho(&a, &b).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn reversed_orderings_give_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!(approx(spearman_rho(&a, &b).unwrap(), -1.0));
+    }
+
+    #[test]
+    fn monotone_transform_does_not_change_rho() {
+        let a = [0.1_f64, 0.5, 0.9, 2.0, 7.0];
+        let b: Vec<f64> = a.iter().map(|&x| x.exp()).collect();
+        assert!(approx(spearman_rho(&a, &b).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn known_value_with_one_swap() {
+        // Permutation [1,2,4,3] of [1,2,3,4]: rho = 1 - 6*2/(4*15) = 0.8.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 4.0, 3.0];
+        assert!(approx(spearman_rho(&a, &b).unwrap(), 0.8));
+    }
+
+    #[test]
+    fn constant_input_gives_none() {
+        assert!(spearman_rho(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn mismatched_lengths_give_none() {
+        assert!(spearman_rho(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn too_short_gives_none() {
+        assert!(spearman_rho(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn rho_is_symmetric() {
+        let a = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let b = [2.0, 7.0, 1.0, 8.0, 2.5];
+        assert!(approx(
+            spearman_rho(&a, &b).unwrap(),
+            spearman_rho(&b, &a).unwrap()
+        ));
+    }
+
+    #[test]
+    fn rho_in_minus_one_one_range() {
+        let a = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0];
+        let b = [2.0, 1.0, 9.0, 4.0, 6.0, 5.0];
+        let r = spearman_rho(&a, &b).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+}

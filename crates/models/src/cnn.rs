@@ -1,0 +1,448 @@
+//! Small convolutional network with manual backpropagation.
+//!
+//! Plays the role of the paper's CNN / VGG16 on the simulated
+//! Fashion-MNIST and CIFAR10 tasks: single-channel `H × W` inputs, one
+//! 3×3 valid convolution with `K` filters, ReLU, 2×2 average pooling, then
+//! a dense softmax head. Deliberately small — what the experiments need is
+//! "the hardest model on the hardest data", not ImageNet capacity.
+
+use crate::init::xavier_fill;
+use crate::traits::Model;
+use fedval_data::Dataset;
+use fedval_linalg::vector;
+
+/// Architecture of [`Cnn`].
+#[derive(Debug, Clone)]
+pub struct CnnConfig {
+    /// Image height (input dim must be `height * width`).
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Number of 3×3 convolution filters.
+    pub filters: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// L2 regularization strength.
+    pub reg: f64,
+}
+
+impl CnnConfig {
+    /// A small default suitable for the simulated image datasets.
+    pub fn small(height: usize, width: usize, num_classes: usize) -> Self {
+        CnnConfig {
+            height,
+            width,
+            filters: 8,
+            num_classes,
+            reg: 0.0,
+        }
+    }
+}
+
+const KERNEL: usize = 3;
+
+/// Convolutional classifier: conv3×3(K) → ReLU → avgpool2×2 → dense.
+#[derive(Debug, Clone)]
+pub struct Cnn {
+    config: CnnConfig,
+    /// Conv output spatial dims (valid convolution).
+    conv_h: usize,
+    conv_w: usize,
+    /// Pool output spatial dims.
+    pool_h: usize,
+    pool_w: usize,
+    /// Offsets into the flat parameter vector.
+    conv_w_off: usize,
+    conv_b_off: usize,
+    dense_w_off: usize,
+    dense_b_off: usize,
+    params: Vec<f64>,
+}
+
+impl Cnn {
+    /// Builds a CNN; panics when the image is too small for a 3×3 valid
+    /// convolution followed by 2×2 pooling.
+    pub fn new(config: CnnConfig, seed: u64) -> Self {
+        assert!(
+            config.height > KERNEL && config.width > KERNEL,
+            "image too small for conv3x3 + pool2x2"
+        );
+        assert!(config.filters > 0 && config.num_classes >= 2);
+        let conv_h = config.height - KERNEL + 1;
+        let conv_w = config.width - KERNEL + 1;
+        let pool_h = conv_h / 2;
+        let pool_w = conv_w / 2;
+        assert!(pool_h > 0 && pool_w > 0, "pooled feature map is empty");
+
+        let conv_w_off = 0;
+        let conv_b_off = conv_w_off + config.filters * KERNEL * KERNEL;
+        let dense_w_off = conv_b_off + config.filters;
+        let dense_in = config.filters * pool_h * pool_w;
+        let dense_b_off = dense_w_off + config.num_classes * dense_in;
+        let total = dense_b_off + config.num_classes;
+
+        let mut params = vec![0.0; total];
+        xavier_fill(
+            &mut params[conv_w_off..conv_b_off],
+            KERNEL * KERNEL,
+            config.filters,
+            seed,
+        );
+        xavier_fill(
+            &mut params[dense_w_off..dense_b_off],
+            dense_in,
+            config.num_classes,
+            seed.wrapping_add(1),
+        );
+        Cnn {
+            config,
+            conv_h,
+            conv_w,
+            pool_h,
+            pool_w,
+            conv_w_off,
+            conv_b_off,
+            dense_w_off,
+            dense_b_off,
+            params,
+        }
+    }
+
+    /// Flattened input dimension this model expects.
+    pub fn input_dim(&self) -> usize {
+        self.config.height * self.config.width
+    }
+
+    /// The architecture config.
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    fn dense_in(&self) -> usize {
+        self.config.filters * self.pool_h * self.pool_w
+    }
+
+    fn reg_term(&self) -> f64 {
+        if self.config.reg == 0.0 {
+            0.0
+        } else {
+            0.5 * self.config.reg * vector::dot(&self.params, &self.params)
+        }
+    }
+
+    /// Forward pass. Writes the post-ReLU conv maps, pooled maps, and
+    /// logits into the provided buffers (resized as needed).
+    fn forward_into(
+        &self,
+        x: &[f64],
+        conv_out: &mut Vec<f64>,
+        pooled: &mut Vec<f64>,
+        logits: &mut Vec<f64>,
+    ) {
+        let (h, w) = (self.config.height, self.config.width);
+        debug_assert_eq!(x.len(), h * w);
+        let k = self.config.filters;
+        conv_out.clear();
+        conv_out.resize(k * self.conv_h * self.conv_w, 0.0);
+        for f in 0..k {
+            let wf = &self.params[self.conv_w_off + f * KERNEL * KERNEL
+                ..self.conv_w_off + (f + 1) * KERNEL * KERNEL];
+            let bias = self.params[self.conv_b_off + f];
+            for i in 0..self.conv_h {
+                for j in 0..self.conv_w {
+                    let mut acc = bias;
+                    for ki in 0..KERNEL {
+                        let row = &x[(i + ki) * w + j..(i + ki) * w + j + KERNEL];
+                        let wrow = &wf[ki * KERNEL..(ki + 1) * KERNEL];
+                        acc += vector::dot(row, wrow);
+                    }
+                    // ReLU applied in place.
+                    conv_out[f * self.conv_h * self.conv_w + i * self.conv_w + j] =
+                        acc.max(0.0);
+                }
+            }
+        }
+        // 2x2 average pooling (stride 2, trailing row/col dropped).
+        pooled.clear();
+        pooled.resize(self.dense_in(), 0.0);
+        for f in 0..k {
+            let plane = &conv_out[f * self.conv_h * self.conv_w..(f + 1) * self.conv_h * self.conv_w];
+            for i in 0..self.pool_h {
+                for j in 0..self.pool_w {
+                    let a = plane[(2 * i) * self.conv_w + 2 * j];
+                    let b = plane[(2 * i) * self.conv_w + 2 * j + 1];
+                    let c = plane[(2 * i + 1) * self.conv_w + 2 * j];
+                    let d = plane[(2 * i + 1) * self.conv_w + 2 * j + 1];
+                    pooled[f * self.pool_h * self.pool_w + i * self.pool_w + j] =
+                        0.25 * (a + b + c + d);
+                }
+            }
+        }
+        // Dense head.
+        let dense_in = self.dense_in();
+        logits.clear();
+        logits.resize(self.config.num_classes, 0.0);
+        for (c, l) in logits.iter_mut().enumerate() {
+            let wrow = &self.params
+                [self.dense_w_off + c * dense_in..self.dense_w_off + (c + 1) * dense_in];
+            *l = vector::dot(wrow, pooled) + self.params[self.dense_b_off + c];
+        }
+    }
+}
+
+impl Model for Cnn {
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    fn loss(&self, data: &Dataset) -> f64 {
+        assert_eq!(data.dim(), self.input_dim(), "dataset dimension mismatch");
+        if data.is_empty() {
+            return self.reg_term();
+        }
+        let mut conv = Vec::new();
+        let mut pooled = Vec::new();
+        let mut logits = Vec::new();
+        let mut total = 0.0;
+        for i in 0..data.len() {
+            let (x, y) = data.example(i);
+            self.forward_into(x, &mut conv, &mut pooled, &mut logits);
+            total += vector::log_sum_exp(&logits) - logits[y];
+        }
+        total / data.len() as f64 + self.reg_term()
+    }
+
+    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+        assert_eq!(out.len(), self.params.len(), "gradient buffer mismatch");
+        assert_eq!(data.dim(), self.input_dim(), "dataset dimension mismatch");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        if data.is_empty() {
+            vector::axpy(self.config.reg, &self.params, out);
+            return self.reg_term();
+        }
+        let inv_n = 1.0 / data.len() as f64;
+        let k = self.config.filters;
+        let dense_in = self.dense_in();
+        let (h, w) = (self.config.height, self.config.width);
+        let mut conv = Vec::new();
+        let mut pooled = Vec::new();
+        let mut logits = Vec::new();
+        let mut probs = vec![0.0; self.config.num_classes];
+        let mut total = 0.0;
+        for i in 0..data.len() {
+            let (x, y) = data.example(i);
+            self.forward_into(x, &mut conv, &mut pooled, &mut logits);
+            total += vector::log_sum_exp(&logits) - logits[y];
+            vector::softmax_into(&logits, &mut probs);
+
+            // Dense layer gradients and pooled delta.
+            let mut pooled_delta = vec![0.0; dense_in];
+            for (c, &p) in probs.iter().enumerate() {
+                let delta_c = (p - f64::from(u8::from(c == y))) * inv_n;
+                if delta_c == 0.0 {
+                    continue;
+                }
+                let w_grad = &mut out
+                    [self.dense_w_off + c * dense_in..self.dense_w_off + (c + 1) * dense_in];
+                vector::axpy(delta_c, &pooled, w_grad);
+                out[self.dense_b_off + c] += delta_c;
+                let wrow = &self.params
+                    [self.dense_w_off + c * dense_in..self.dense_w_off + (c + 1) * dense_in];
+                vector::axpy(delta_c, wrow, &mut pooled_delta);
+            }
+
+            // Back through pooling (each conv cell gets 1/4 of its pool's
+            // delta) and ReLU (mask on post-ReLU conv value).
+            for f in 0..k {
+                let plane =
+                    &conv[f * self.conv_h * self.conv_w..(f + 1) * self.conv_h * self.conv_w];
+                for pi in 0..self.pool_h {
+                    for pj in 0..self.pool_w {
+                        let pd = pooled_delta[f * self.pool_h * self.pool_w + pi * self.pool_w + pj]
+                            * 0.25;
+                        if pd == 0.0 {
+                            continue;
+                        }
+                        for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                            let ci = 2 * pi + di;
+                            let cj = 2 * pj + dj;
+                            // ReLU derivative: active iff output > 0.
+                            if plane[ci * self.conv_w + cj] <= 0.0 {
+                                continue;
+                            }
+                            // conv cell (f, ci, cj) delta = pd; accumulate
+                            // into filter weights and bias.
+                            let wf_grad = &mut out[self.conv_w_off + f * KERNEL * KERNEL
+                                ..self.conv_w_off + (f + 1) * KERNEL * KERNEL];
+                            for ki in 0..KERNEL {
+                                let xrow = &x[(ci + ki) * w + cj..(ci + ki) * w + cj + KERNEL];
+                                vector::axpy(pd, xrow, &mut wf_grad[ki * KERNEL..(ki + 1) * KERNEL]);
+                            }
+                            out[self.conv_b_off + f] += pd;
+                        }
+                    }
+                }
+            }
+        }
+        vector::axpy(self.config.reg, &self.params, out);
+        let _ = h;
+        total * inv_n + self.reg_term()
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let mut conv = Vec::new();
+        let mut pooled = Vec::new();
+        let mut logits = Vec::new();
+        self.forward_into(x, &mut conv, &mut pooled, &mut logits);
+        vector::argmax(&logits)
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::finite_difference_check;
+    use fedval_linalg::Matrix;
+
+    fn image_dataset(n: usize, h: usize, w: usize, classes: usize, seed: u64) -> Dataset {
+        // Class c gets a bright band at row c % h: linearly separable-ish
+        // structure a convolution can pick up.
+        let mut feat = Matrix::zeros(n, h * w);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = (i + seed as usize) % classes;
+            let row = feat.row_mut(i);
+            for j in 0..w {
+                row[(c % h) * w + j] = 1.0;
+                // Mild deterministic clutter.
+                row[((c + 2) % h) * w + (j + i) % w] += 0.3;
+            }
+            labels.push(c);
+        }
+        Dataset::new(feat, labels, classes).unwrap()
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let m = Cnn::new(CnnConfig::small(8, 8, 10), 1);
+        // conv: 8 filters * 9 + 8 bias = 80. conv out 6x6, pool 3x3,
+        // dense in = 8*9 = 72; dense: 10*72 + 10 = 730. total 810.
+        assert_eq!(m.num_params(), 810);
+        assert_eq!(m.input_dim(), 64);
+    }
+
+    /// Like [`image_dataset`] but with every pixel non-zero, keeping conv
+    /// pre-activations away from the ReLU kink so finite differences are
+    /// valid.
+    fn dense_image_dataset(n: usize, h: usize, w: usize, classes: usize) -> Dataset {
+        let mut feat = Matrix::zeros(n, h * w);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            let row = feat.row_mut(i);
+            for (idx, v) in row.iter_mut().enumerate() {
+                *v = 0.13 + 0.07 * ((idx * 31 + i * 17 + c * 5) % 11) as f64;
+            }
+            labels.push(c);
+        }
+        Dataset::new(feat, labels, classes).unwrap()
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut m = Cnn::new(
+            CnnConfig {
+                height: 6,
+                width: 6,
+                filters: 2,
+                num_classes: 3,
+                reg: 0.0,
+            },
+            13,
+        );
+        crate::init::gaussian_fill(m.params_mut(), 0.4, 77);
+        let d = dense_image_dataset(4, 6, 6, 3);
+        let coords: Vec<usize> = (0..m.num_params()).step_by(2).collect();
+        let err = finite_difference_check(&mut m, &d, &coords, 1e-6);
+        assert!(err < 1e-5, "fd mismatch {err}");
+    }
+
+    #[test]
+    fn regularized_gradient_matches_finite_differences() {
+        let mut m = Cnn::new(
+            CnnConfig {
+                height: 6,
+                width: 6,
+                filters: 2,
+                num_classes: 2,
+                reg: 0.1,
+            },
+            3,
+        );
+        crate::init::gaussian_fill(m.params_mut(), 0.4, 78);
+        let d = dense_image_dataset(3, 6, 6, 2);
+        let coords: Vec<usize> = (0..m.num_params()).step_by(5).collect();
+        let err = finite_difference_check(&mut m, &d, &coords, 1e-6);
+        assert!(err < 1e-5, "fd mismatch {err}");
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_bands() {
+        let d = image_dataset(40, 8, 8, 4, 0);
+        let mut m = Cnn::new(CnnConfig::small(8, 8, 4), 5);
+        let mut g = vec![0.0; m.num_params()];
+        let start = m.loss(&d);
+        for _ in 0..200 {
+            m.grad(&d, &mut g);
+            vector::axpy(-0.5, &g, m.params_mut());
+        }
+        assert!(m.loss(&d) < start * 0.5, "loss {} vs start {start}", m.loss(&d));
+        assert!(m.accuracy(&d) > 0.8, "accuracy {}", m.accuracy(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "image too small")]
+    fn rejects_tiny_images() {
+        let _ = Cnn::new(CnnConfig::small(3, 3, 2), 1);
+    }
+
+    #[test]
+    fn same_params_same_loss() {
+        let d = image_dataset(5, 6, 6, 2, 0);
+        let cfg = CnnConfig {
+            height: 6,
+            width: 6,
+            filters: 3,
+            num_classes: 2,
+            reg: 0.0,
+        };
+        let m1 = Cnn::new(cfg.clone(), 1);
+        let mut m2 = Cnn::new(cfg, 2);
+        m2.set_params(m1.params());
+        assert_eq!(m1.loss(&d), m2.loss(&d));
+    }
+
+    #[test]
+    fn loss_on_empty_dataset_is_reg_only() {
+        let d = image_dataset(3, 6, 6, 2, 0).subset(&[]);
+        let m = Cnn::new(
+            CnnConfig {
+                height: 6,
+                width: 6,
+                filters: 2,
+                num_classes: 2,
+                reg: 0.0,
+            },
+            1,
+        );
+        assert_eq!(m.loss(&d), 0.0);
+    }
+}

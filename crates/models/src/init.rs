@@ -1,0 +1,64 @@
+//! Seeded parameter initialization.
+
+use fedval_data::NormalSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fills `params` with Xavier/Glorot-style Gaussian values of standard
+/// deviation `sqrt(2 / (fan_in + fan_out))`.
+pub fn xavier_fill(params: &mut [f64], fan_in: usize, fan_out: usize, seed: u64) {
+    let sd = (2.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = NormalSampler::new();
+    for p in params.iter_mut() {
+        *p = normal.sample_with(&mut rng, 0.0, sd);
+    }
+}
+
+/// Fills `params` with `N(0, sd²)` values.
+pub fn gaussian_fill(params: &mut [f64], sd: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = NormalSampler::new();
+    for p in params.iter_mut() {
+        *p = normal.sample_with(&mut rng, 0.0, sd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_scale_matches_fan() {
+        let mut a = vec![0.0; 10_000];
+        xavier_fill(&mut a, 100, 100, 1);
+        let var = a.iter().map(|v| v * v).sum::<f64>() / a.len() as f64;
+        // Expected variance 2/200 = 0.01.
+        assert!((var - 0.01).abs() < 0.002, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        xavier_fill(&mut a, 4, 4, 7);
+        xavier_fill(&mut b, 4, 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        gaussian_fill(&mut a, 1.0, 1);
+        gaussian_fill(&mut b, 1.0, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaussian_fill_zero_sd_is_zero() {
+        let mut a = vec![1.0; 8];
+        gaussian_fill(&mut a, 0.0, 3);
+        assert!(a.iter().all(|&v| v == 0.0));
+    }
+}

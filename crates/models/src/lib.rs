@@ -1,0 +1,31 @@
+//! Differentiable models for the ComFedSV reproduction.
+//!
+//! The paper's experiments use a ladder of models — logistic regression on
+//! synthetic data, a fully connected network on MNIST, CNNs on
+//! Fashion-MNIST/CIFAR10 — and its theory (Propositions 1–2) needs a
+//! Lipschitz + smooth (+ strongly convex) instance, which L2-regularized
+//! logistic regression provides.
+//!
+//! Every model stores its parameters as one flat `Vec<f64>`, which makes
+//! FedAvg aggregation (`w = mean of client vectors`) and the utility-matrix
+//! probes (`ℓ(w̄_S; D_c)` for many averaged vectors) trivial and fast.
+//!
+//! * [`traits`] — the [`Model`] abstraction.
+//! * [`linear`] — multinomial logistic regression with optional L2.
+//! * [`mlp`] — fully connected network with manual backprop.
+//! * [`cnn`] — small convolutional network (conv → ReLU → pool → dense).
+//! * [`optim`] — SGD step and the paper's learning-rate schedules.
+//! * [`init`] — seeded parameter initialization.
+
+pub mod cnn;
+pub mod init;
+pub mod linear;
+pub mod mlp;
+pub mod optim;
+pub mod traits;
+
+pub use cnn::{Cnn, CnnConfig};
+pub use linear::LogisticRegression;
+pub use mlp::{Activation, Mlp};
+pub use optim::{sgd_step, LearningRate};
+pub use traits::Model;

@@ -1,0 +1,262 @@
+//! Multinomial logistic regression with optional L2 regularization.
+//!
+//! This is the strongly convex workhorse of the paper's theory: with
+//! regularization strength `μ > 0` the loss is `μ`-strongly convex, and on
+//! bounded data it is Lipschitz and smooth, so Propositions 1–2 apply and
+//! the utility matrix it generates must be approximately low-rank.
+
+use crate::init::xavier_fill;
+use crate::traits::Model;
+use fedval_data::Dataset;
+use fedval_linalg::vector;
+
+/// Multinomial (softmax) logistic regression.
+///
+/// Parameter layout: the weight matrix `W` (`num_classes × dim`) stored
+/// row-major, followed by the bias vector (`num_classes`). Loss is mean
+/// cross-entropy plus `reg/2 · ‖params‖²`.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    dim: usize,
+    num_classes: usize,
+    reg: f64,
+    params: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// Creates a model with Xavier-initialized weights.
+    pub fn new(dim: usize, num_classes: usize, reg: f64, seed: u64) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        assert!(reg >= 0.0, "regularization must be non-negative");
+        let mut params = vec![0.0; num_classes * dim + num_classes];
+        xavier_fill(&mut params[..num_classes * dim], dim, num_classes, seed);
+        LogisticRegression {
+            dim,
+            num_classes,
+            reg,
+            params,
+        }
+    }
+
+    /// Creates a model with all-zero parameters (useful for tests that need
+    /// an exactly known starting point).
+    pub fn zeros(dim: usize, num_classes: usize, reg: f64) -> Self {
+        LogisticRegression {
+            dim,
+            num_classes,
+            reg,
+            params: vec![0.0; num_classes * dim + num_classes],
+        }
+    }
+
+    /// Regularization strength `μ` (the strong-convexity modulus).
+    pub fn regularization(&self) -> f64 {
+        self.reg
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    #[inline]
+    fn logits_into(&self, x: &[f64], out: &mut [f64]) {
+        let c = self.num_classes;
+        let d = self.dim;
+        for (k, o) in out.iter_mut().enumerate() {
+            let w_row = &self.params[k * d..(k + 1) * d];
+            *o = vector::dot(w_row, x) + self.params[c * d + k];
+        }
+    }
+
+    fn reg_term(&self) -> f64 {
+        if self.reg == 0.0 {
+            0.0
+        } else {
+            0.5 * self.reg * vector::dot(&self.params, &self.params)
+        }
+    }
+}
+
+impl Model for LogisticRegression {
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    fn loss(&self, data: &Dataset) -> f64 {
+        assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
+        if data.is_empty() {
+            return self.reg_term();
+        }
+        let c = self.num_classes;
+        let mut logits = vec![0.0; c];
+        let mut total = 0.0;
+        for i in 0..data.len() {
+            let (x, y) = data.example(i);
+            self.logits_into(x, &mut logits);
+            total += vector::log_sum_exp(&logits) - logits[y];
+        }
+        total / data.len() as f64 + self.reg_term()
+    }
+
+    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+        assert_eq!(out.len(), self.params.len(), "gradient buffer mismatch");
+        assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let c = self.num_classes;
+        let d = self.dim;
+        if data.is_empty() {
+            vector::axpy(self.reg, &self.params, out);
+            return self.reg_term();
+        }
+        let inv_n = 1.0 / data.len() as f64;
+        let mut logits = vec![0.0; c];
+        let mut probs = vec![0.0; c];
+        let mut total = 0.0;
+        for i in 0..data.len() {
+            let (x, y) = data.example(i);
+            self.logits_into(x, &mut logits);
+            total += vector::log_sum_exp(&logits) - logits[y];
+            vector::softmax_into(&logits, &mut probs);
+            for k in 0..c {
+                let coeff = (probs[k] - f64::from(u8::from(k == y))) * inv_n;
+                if coeff == 0.0 {
+                    continue;
+                }
+                vector::axpy(coeff, x, &mut out[k * d..(k + 1) * d]);
+                out[c * d + k] += coeff;
+            }
+        }
+        vector::axpy(self.reg, &self.params, out);
+        total * inv_n + self.reg_term()
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let mut logits = vec![0.0; self.num_classes];
+        self.logits_into(x, &mut logits);
+        vector::argmax(&logits)
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::finite_difference_check;
+    use fedval_linalg::Matrix;
+
+    fn two_blob_dataset() -> Dataset {
+        // Two well separated clusters in 2D.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 / 10.0;
+            rows.push(vec![2.0 + t.sin() * 0.2, 2.0 + t.cos() * 0.2]);
+            labels.push(0);
+            rows.push(vec![-2.0 + t.cos() * 0.2, -2.0 + t.sin() * 0.2]);
+            labels.push(1);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(Matrix::from_rows(&refs).unwrap(), labels, 2).unwrap()
+    }
+
+    #[test]
+    fn zero_model_has_log_c_loss() {
+        let m = LogisticRegression::zeros(2, 2, 0.0);
+        let d = two_blob_dataset();
+        assert!((m.loss(&d) - 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut m = LogisticRegression::new(2, 3, 0.0, 42);
+        let f = Matrix::from_rows(&[&[0.5, -1.0], &[1.5, 2.0], &[-0.5, 0.3]]).unwrap();
+        let d = Dataset::new(f, vec![0, 1, 2], 3).unwrap();
+        let coords: Vec<usize> = (0..m.num_params()).collect();
+        let err = finite_difference_check(&mut m, &d, &coords, 1e-6);
+        assert!(err < 1e-6, "fd mismatch {err}");
+    }
+
+    #[test]
+    fn regularized_gradient_matches_finite_differences() {
+        let mut m = LogisticRegression::new(3, 2, 0.5, 7);
+        let f = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, -1.0]]).unwrap();
+        let d = Dataset::new(f, vec![0, 1], 2).unwrap();
+        let coords: Vec<usize> = (0..m.num_params()).collect();
+        let err = finite_difference_check(&mut m, &d, &coords, 1e-6);
+        assert!(err < 1e-6, "fd mismatch {err}");
+    }
+
+    #[test]
+    fn gradient_descent_separates_blobs() {
+        let d = two_blob_dataset();
+        let mut m = LogisticRegression::new(2, 2, 1e-4, 1);
+        let mut g = vec![0.0; m.num_params()];
+        let mut prev = f64::INFINITY;
+        for _ in 0..200 {
+            let loss = m.grad(&d, &mut g);
+            assert!(loss <= prev + 1e-9, "loss must not increase: {loss} > {prev}");
+            prev = loss;
+            vector::axpy(-0.5, &g, m.params_mut());
+        }
+        assert!(m.accuracy(&d) > 0.99);
+        assert!(m.loss(&d) < 0.1);
+    }
+
+    #[test]
+    fn regularization_penalizes_large_weights() {
+        let mut a = LogisticRegression::zeros(2, 2, 1.0);
+        let d = two_blob_dataset();
+        let base = a.loss(&d);
+        a.params_mut()[0] = 10.0;
+        // ℓ(w) ≥ reg term = 50 for this parameter change.
+        assert!(a.loss(&d) > base + 49.0);
+    }
+
+    #[test]
+    fn predict_is_argmax_of_logits() {
+        let mut m = LogisticRegression::zeros(2, 3, 0.0);
+        // Give class 2 a big bias.
+        let n = m.num_params();
+        m.params_mut()[n - 1] = 5.0;
+        assert_eq!(m.predict(&[0.1, -0.2]), 2);
+    }
+
+    #[test]
+    fn loss_on_empty_dataset_is_reg_term_only() {
+        let d = two_blob_dataset().subset(&[]);
+        let mut m = LogisticRegression::zeros(2, 2, 2.0);
+        m.params_mut()[0] = 3.0;
+        assert!((m.loss(&d) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_model_is_independent() {
+        let m = LogisticRegression::new(2, 2, 0.0, 3);
+        let mut b = m.clone_model();
+        b.params_mut()[0] += 1.0;
+        assert_ne!(m.params()[0], b.params()[0]);
+    }
+
+    #[test]
+    fn identical_params_same_loss() {
+        // The property behind "same data + same model ⇒ same utility".
+        let d = two_blob_dataset();
+        let m1 = LogisticRegression::new(2, 2, 0.1, 5);
+        let mut m2 = LogisticRegression::zeros(2, 2, 0.1);
+        m2.set_params(m1.params());
+        assert_eq!(m1.loss(&d), m2.loss(&d));
+    }
+}

@@ -1,0 +1,191 @@
+//! The [`Model`] abstraction shared by every learner in the repo.
+
+use fedval_data::Dataset;
+
+/// A differentiable classifier with a flat parameter vector.
+///
+/// The flat layout is the load-bearing design decision: FedAvg aggregates
+/// client models by averaging these vectors, and the utility-matrix oracle
+/// evaluates the loss of averaged vectors directly. Implementations must
+/// treat the parameter slice as the *only* state that affects `loss`,
+/// `grad`, and `predict`.
+pub trait Model: Send + Sync {
+    /// Immutable view of the flat parameter vector.
+    fn params(&self) -> &[f64];
+
+    /// Mutable view of the flat parameter vector.
+    fn params_mut(&mut self) -> &mut [f64];
+
+    /// Mean loss (including any regularization) over `data`.
+    fn loss(&self, data: &Dataset) -> f64;
+
+    /// Writes the full-batch gradient of [`Model::loss`] into `out` and
+    /// returns the loss. `out.len()` must equal `num_params()`.
+    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64;
+
+    /// Predicted class for one feature vector.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Deep copy behind a trait object (needed because FedAvg clones one
+    /// prototype per client).
+    fn clone_model(&self) -> Box<dyn Model>;
+
+    /// Number of parameters.
+    fn num_params(&self) -> usize {
+        self.params().len()
+    }
+
+    /// Overwrites the parameters from a slice of the same length.
+    fn set_params(&mut self, params: &[f64]) {
+        let dst = self.params_mut();
+        assert_eq!(dst.len(), params.len(), "parameter length mismatch");
+        dst.copy_from_slice(params);
+    }
+
+    /// Classification accuracy on `data` (0 for an empty dataset).
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.example(i);
+                self.predict(x) == y
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}
+
+/// Numerically checks `grad` against central finite differences at the
+/// current parameters. Returns the maximum absolute difference over the
+/// probed coordinates. Shared by the gradient tests of every model.
+pub fn finite_difference_check(
+    model: &mut dyn Model,
+    data: &Dataset,
+    coords: &[usize],
+    h: f64,
+) -> f64 {
+    let n = model.num_params();
+    let mut grad = vec![0.0; n];
+    model.grad(data, &mut grad);
+    let mut worst = 0.0_f64;
+    for &c in coords {
+        assert!(c < n);
+        let orig = model.params()[c];
+        model.params_mut()[c] = orig + h;
+        let up = model.loss(data);
+        model.params_mut()[c] = orig - h;
+        let down = model.loss(data);
+        model.params_mut()[c] = orig;
+        let fd = (up - down) / (2.0 * h);
+        worst = worst.max((fd - grad[c]).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_linalg::Matrix;
+
+    /// Minimal linear model `loss = mean((w·x - y)²)` used to test the
+    /// provided methods of the trait itself.
+    struct Lsq {
+        w: Vec<f64>,
+    }
+
+    impl Model for Lsq {
+        fn params(&self) -> &[f64] {
+            &self.w
+        }
+        fn params_mut(&mut self) -> &mut [f64] {
+            &mut self.w
+        }
+        fn loss(&self, data: &Dataset) -> f64 {
+            let mut total = 0.0;
+            for i in 0..data.len() {
+                let (x, y) = data.example(i);
+                let p = fedval_linalg::vector::dot(&self.w, x) - y as f64;
+                total += p * p;
+            }
+            total / data.len() as f64
+        }
+        fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            let mut total = 0.0;
+            for i in 0..data.len() {
+                let (x, y) = data.example(i);
+                let p = fedval_linalg::vector::dot(&self.w, x) - y as f64;
+                total += p * p;
+                fedval_linalg::vector::axpy(2.0 * p / data.len() as f64, x, out);
+            }
+            total / data.len() as f64
+        }
+        fn predict(&self, x: &[f64]) -> usize {
+            usize::from(fedval_linalg::vector::dot(&self.w, x) > 0.5)
+        }
+        fn clone_model(&self) -> Box<dyn Model> {
+            Box::new(Lsq { w: self.w.clone() })
+        }
+    }
+
+    fn data() -> Dataset {
+        let f = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        Dataset::new(f, vec![0, 1, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn set_params_roundtrip() {
+        let mut m = Lsq { w: vec![0.0, 0.0] };
+        m.set_params(&[1.0, 2.0]);
+        assert_eq!(m.params(), &[1.0, 2.0]);
+        assert_eq!(m.num_params(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter length mismatch")]
+    fn set_params_rejects_wrong_length() {
+        let mut m = Lsq { w: vec![0.0, 0.0] };
+        m.set_params(&[1.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let m = Lsq { w: vec![0.0, 1.0] };
+        // predictions: x=(1,0) -> 0 ✓, x=(0,1) -> 1 ✓, x=(1,1) -> 1 ✓
+        assert_eq!(m.accuracy(&data()), 1.0);
+        let m2 = Lsq { w: vec![1.0, 0.0] };
+        // predictions: 1 ✗, 0 ✗, 1 ✓.
+        assert!((m2.accuracy(&data()) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_of_empty_dataset_is_zero() {
+        let m = Lsq { w: vec![0.0, 0.0] };
+        let empty = data().subset(&[]);
+        assert_eq!(m.accuracy(&empty), 0.0);
+    }
+
+    #[test]
+    fn boxed_clone_is_deep() {
+        let m: Box<dyn Model> = Box::new(Lsq { w: vec![1.0, 2.0] });
+        let mut c = m.clone();
+        c.params_mut()[0] = 9.0;
+        assert_eq!(m.params()[0], 1.0);
+        assert_eq!(c.params()[0], 9.0);
+    }
+
+    #[test]
+    fn finite_difference_agrees_for_quadratic() {
+        let mut m = Lsq { w: vec![0.3, -0.7] };
+        let err = finite_difference_check(&mut m, &data(), &[0, 1], 1e-5);
+        assert!(err < 1e-7, "fd mismatch {err}");
+    }
+}

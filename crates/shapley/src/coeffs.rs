@@ -1,0 +1,129 @@
+//! Shapley weights and combinatorial helpers.
+
+/// Table of binomial coefficients `C(n, k)` as `f64`, for `n ≤ 170`
+/// (beyond that `f64` overflows; the valuation formulas only ever need
+/// `n = N − 1 ≤ 62`).
+#[derive(Debug, Clone)]
+pub struct BinomialTable {
+    n: usize,
+    rows: Vec<Vec<f64>>,
+}
+
+impl BinomialTable {
+    /// Builds the Pascal triangle up to `n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 170, "binomial table overflows f64 beyond n = 170");
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let mut row = vec![1.0; i + 1];
+            for k in 1..i {
+                row[k] = rows[i - 1][k - 1] + rows[i - 1][k];
+            }
+            rows.push(row);
+        }
+        BinomialTable { n, rows }
+    }
+
+    /// `C(n, k)`; zero outside the triangle.
+    pub fn get(&self, n: usize, k: usize) -> f64 {
+        if n > self.n || k > n {
+            return 0.0;
+        }
+        self.rows[n][k]
+    }
+
+    /// The Shapley weight `1 / (N · C(N−1, |S|))` of Definitions 2 and 4.
+    pub fn shapley_weight(&self, num_players: usize, coalition_size: usize) -> f64 {
+        debug_assert!(num_players >= 1);
+        debug_assert!(coalition_size < num_players);
+        1.0 / (num_players as f64 * self.get(num_players - 1, coalition_size))
+    }
+}
+
+/// Cumulative `ln(k!)` table for the Observation-1 probability formula.
+#[derive(Debug, Clone)]
+pub struct LogFactorial {
+    table: Vec<f64>,
+}
+
+impl LogFactorial {
+    /// Builds `ln(k!)` for `k = 0..=n`.
+    pub fn new(n: usize) -> Self {
+        let mut table = Vec::with_capacity(n + 1);
+        table.push(0.0);
+        for k in 1..=n {
+            table.push(table[k - 1] + (k as f64).ln());
+        }
+        LogFactorial { table }
+    }
+
+    /// `ln(k!)`.
+    pub fn get(&self, k: usize) -> f64 {
+        self.table[k]
+    }
+
+    /// `ln` of the multinomial coefficient `n! / (a! b! c!)` with
+    /// `a + b + c = n`.
+    pub fn ln_multinomial3(&self, n: usize, a: usize, b: usize, c: usize) -> f64 {
+        debug_assert_eq!(a + b + c, n, "multinomial parts must sum to n");
+        self.get(n) - self.get(a) - self.get(b) - self.get(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_binomials_match_hand_values() {
+        let t = BinomialTable::new(10);
+        assert_eq!(t.get(5, 0), 1.0);
+        assert_eq!(t.get(5, 2), 10.0);
+        assert_eq!(t.get(10, 5), 252.0);
+        assert_eq!(t.get(4, 7), 0.0);
+    }
+
+    #[test]
+    fn rows_sum_to_powers_of_two() {
+        let t = BinomialTable::new(20);
+        for n in 0..=20usize {
+            let sum: f64 = (0..=n).map(|k| t.get(n, k)).sum();
+            assert!((sum - 2f64.powi(n as i32)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shapley_weights_sum_to_one_over_all_coalitions() {
+        // Σ_{S ⊆ I\{i}} 1/(N·C(N−1,|S|)) = Σ_k C(N−1,k)/(N·C(N−1,k)) = 1.
+        let t = BinomialTable::new(12);
+        for n in 1..=12usize {
+            let total: f64 = (0..n)
+                .map(|k| t.get(n - 1, k) * t.shapley_weight(n, k))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "n={n}: {total}");
+        }
+    }
+
+    #[test]
+    fn log_factorial_matches_direct() {
+        let lf = LogFactorial::new(10);
+        assert_eq!(lf.get(0), 0.0);
+        assert!((lf.get(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((lf.get(10) - 3628800f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multinomial_matches_direct() {
+        let lf = LogFactorial::new(10);
+        // 6!/(1!2!3!) = 60.
+        assert!((lf.ln_multinomial3(6, 1, 2, 3).exp() - 60.0).abs() < 1e-9);
+        // Degenerate: n!/(n!0!0!) = 1.
+        assert!((lf.ln_multinomial3(7, 7, 0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn rejects_oversized_table() {
+        let _ = BinomialTable::new(200);
+    }
+}

@@ -1,0 +1,143 @@
+//! The classical Shapley value (equation (5) with `c = 1/N`).
+
+use crate::coeffs::BinomialTable;
+use fedval_fl::Subset;
+
+/// Computes the exact Shapley value of every player for an arbitrary
+/// utility function `u`, by enumerating all `2^N` coalitions.
+///
+/// `s_i = (1/N) Σ_{S ⊆ I\{i}} [1 / C(N−1, |S|)] (u(S ∪ {i}) − u(S))`
+///
+/// Gated to `n ≤ 20` players (the cost is `N · 2^{N−1}` utility calls).
+///
+/// ```
+/// use fedval_shapley::exact_shapley;
+/// // Additive game: each player's value is its own contribution.
+/// let contributions = [1.0, 2.0, 3.0];
+/// let values = exact_shapley(3, |s| {
+///     s.members().iter().map(|&i| contributions[i]).sum::<f64>()
+/// });
+/// for (v, c) in values.iter().zip(&contributions) {
+///     assert!((v - c).abs() < 1e-12);
+/// }
+/// ```
+pub fn exact_shapley(n: usize, mut u: impl FnMut(Subset) -> f64) -> Vec<f64> {
+    assert!(n >= 1, "need at least one player");
+    assert!(n <= 20, "exact Shapley is exponential; use sampling for n > 20");
+    let table = BinomialTable::new(n);
+    // Memoize utilities: 2^n values.
+    let mut cache = vec![f64::NAN; 1usize << n];
+    let mut value_of = move |s: Subset, cache: &mut Vec<f64>| {
+        let idx = s.bits() as usize;
+        if cache[idx].is_nan() {
+            cache[idx] = u(s);
+        }
+        cache[idx]
+    };
+
+    let full = Subset::full(n);
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let others = full.without(i);
+        let mut acc = 0.0;
+        for s in others.subsets() {
+            let weight = table.shapley_weight(n, s.len());
+            let with_i = value_of(s.with(i), &mut cache);
+            let without_i = value_of(s, &mut cache);
+            acc += weight * (with_i - without_i);
+        }
+        out[i] = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn additive_game_gives_individual_values() {
+        // u(S) = Σ_{i∈S} c_i ⇒ s_i = c_i.
+        let c = [1.0, 2.0, 3.0, 4.0];
+        let v = exact_shapley(4, |s| s.members().iter().map(|&i| c[i]).sum());
+        for (vi, ci) in v.iter().zip(&c) {
+            assert!(close(*vi, *ci), "{vi} vs {ci}");
+        }
+    }
+
+    #[test]
+    fn symmetric_players_get_equal_values() {
+        // u(S) = |S|² treats all players identically.
+        let v = exact_shapley(5, |s| (s.len() * s.len()) as f64);
+        for w in v.windows(2) {
+            assert!(close(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn null_player_gets_zero() {
+        // Player 2 never changes the utility.
+        let v = exact_shapley(3, |s| {
+            let t = s.without(2);
+            t.len() as f64 * 1.5
+        });
+        assert!(close(v[2], 0.0));
+    }
+
+    #[test]
+    fn efficiency_balance_holds() {
+        // Σ_i s_i = u(I) − u(∅) for the classical value.
+        let u = |s: Subset| {
+            let m = s.members();
+            m.iter().map(|&i| (i + 1) as f64).sum::<f64>().sqrt()
+        };
+        let v = exact_shapley(6, u);
+        let total: f64 = v.iter().sum();
+        let grand = u(Subset::full(6)) - u(Subset::EMPTY);
+        assert!(close(total, grand), "{total} vs {grand}");
+    }
+
+    #[test]
+    fn glove_game_known_solution() {
+        // Classic 3-player glove game: players 0, 1 own left gloves,
+        // player 2 a right glove; u(S) = 1 iff S has both kinds.
+        // Shapley values: (1/6, 1/6, 2/3).
+        let v = exact_shapley(3, |s| {
+            let has_left = s.contains(0) || s.contains(1);
+            let has_right = s.contains(2);
+            f64::from(u8::from(has_left && has_right))
+        });
+        assert!(close(v[0], 1.0 / 6.0));
+        assert!(close(v[1], 1.0 / 6.0));
+        assert!(close(v[2], 2.0 / 3.0));
+    }
+
+    #[test]
+    fn two_player_split_the_surplus() {
+        // u({0}) = 1, u({1}) = 2, u({0,1}) = 5: s_0 = 2, s_1 = 3.
+        let v = exact_shapley(2, |s| match (s.contains(0), s.contains(1)) {
+            (false, false) => 0.0,
+            (true, false) => 1.0,
+            (false, true) => 2.0,
+            (true, true) => 5.0,
+        });
+        assert!(close(v[0], 2.0));
+        assert!(close(v[1], 3.0));
+    }
+
+    #[test]
+    fn single_player_takes_everything() {
+        let v = exact_shapley(1, |s| if s.is_empty() { 0.0 } else { 7.5 });
+        assert!(close(v[0], 7.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn rejects_large_games() {
+        let _ = exact_shapley(21, |_| 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! ε-Shapley-fairness checks (paper Definition 1 and Theorem 1).
+
+use fedval_fl::Subset;
+use fedval_linalg::Matrix;
+use fedval_mc::{CompletionProblem, Factors};
+
+/// Theorem 1's fairness tolerance: a `δ`-completed ComFedSV is
+/// `(4δ/N)`-Shapley-fair.
+pub fn theorem1_tolerance(delta: f64, num_clients: usize) -> f64 {
+    assert!(num_clients > 0);
+    4.0 * delta / num_clients as f64
+}
+
+/// Computes `δ = ‖U − W Hᵀ‖₁` (maximum absolute column sum, Definition 5)
+/// between a fully known utility matrix (columns keyed by subset bitmask)
+/// and the completion, matching columns through the problem's key map.
+/// Columns of `full` absent from the problem compare against zero.
+pub fn completion_delta(full: &Matrix, factors: &Factors, problem: &CompletionProblem) -> f64 {
+    let t = full.rows();
+    assert_eq!(t, factors.w.rows(), "round count mismatch");
+    let mut worst = 0.0_f64;
+    for bits in 0..full.cols() as u64 {
+        let col_sum: f64 = (0..t)
+            .map(|round| {
+                let predicted = problem
+                    .column_index(bits)
+                    .map(|c| factors.predict(round, c))
+                    .unwrap_or(0.0);
+                (full.get(round, bits as usize) - predicted).abs()
+            })
+            .sum();
+        worst = worst.max(col_sum);
+    }
+    worst
+}
+
+/// Report of how ε-fair a valuation is w.r.t. a reference utility.
+#[derive(Debug, Clone)]
+pub struct FairnessReport {
+    /// Worst `|v_i − v_j|` over detected symmetric pairs.
+    pub max_symmetry_gap: f64,
+    /// Worst `|v_i|` over detected null players.
+    pub max_zero_violation: f64,
+    /// Symmetric pairs found (indices `i < j`).
+    pub symmetric_pairs: Vec<(usize, usize)>,
+    /// Null players found.
+    pub null_players: Vec<usize>,
+}
+
+impl FairnessReport {
+    /// `true` when both violations are within `epsilon` — i.e. the
+    /// valuation is ε-symmetric and ε-zero-element per Definition 1.
+    pub fn is_epsilon_fair(&self, epsilon: f64) -> bool {
+        self.max_symmetry_gap <= epsilon && self.max_zero_violation <= epsilon
+    }
+}
+
+/// Scans a utility function for symmetric pairs (`U(S∪{i}) = U(S∪{j})` for
+/// all `S`) and null players (`U(S∪{i}) = U(S)` for all `S`), then measures
+/// how far `values` is from honoring them. `utility_tol` treats
+/// near-identical utilities as identical (float noise).
+///
+/// Exponential in `n`; intended for verification on small games.
+pub fn epsilon_fair_report(
+    n: usize,
+    values: &[f64],
+    mut utility: impl FnMut(Subset) -> f64,
+    utility_tol: f64,
+) -> FairnessReport {
+    assert!(n <= 16, "fairness scan is exponential in N");
+    assert_eq!(values.len(), n);
+    let full = Subset::full(n);
+    // Cache utilities.
+    let mut cache = vec![f64::NAN; 1usize << n];
+    let mut value_of = |s: Subset, cache: &mut Vec<f64>| {
+        let idx = s.bits() as usize;
+        if cache[idx].is_nan() {
+            cache[idx] = utility(s);
+        }
+        cache[idx]
+    };
+
+    let mut symmetric_pairs = Vec::new();
+    let mut max_symmetry_gap = 0.0_f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let others = full.without(i).without(j);
+            let mut symmetric = true;
+            for s in others.subsets() {
+                let ui = value_of(s.with(i), &mut cache);
+                let uj = value_of(s.with(j), &mut cache);
+                if (ui - uj).abs() > utility_tol {
+                    symmetric = false;
+                    break;
+                }
+            }
+            if symmetric {
+                symmetric_pairs.push((i, j));
+                max_symmetry_gap = max_symmetry_gap.max((values[i] - values[j]).abs());
+            }
+        }
+    }
+
+    let mut null_players = Vec::new();
+    let mut max_zero_violation = 0.0_f64;
+    for i in 0..n {
+        let others = full.without(i);
+        let mut null = true;
+        for s in others.subsets() {
+            let with_i = value_of(s.with(i), &mut cache);
+            let without = value_of(s, &mut cache);
+            if (with_i - without).abs() > utility_tol {
+                null = false;
+                break;
+            }
+        }
+        if null {
+            null_players.push(i);
+            max_zero_violation = max_zero_violation.max(values[i].abs());
+        }
+    }
+
+    FairnessReport {
+        max_symmetry_gap,
+        max_zero_violation,
+        symmetric_pairs,
+        null_players,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_tolerance_formula() {
+        assert_eq!(theorem1_tolerance(1.0, 4), 1.0);
+        assert_eq!(theorem1_tolerance(0.5, 10), 0.2);
+    }
+
+    #[test]
+    fn report_finds_symmetric_pair() {
+        // Players 0 and 1 are interchangeable in u(S) = |S|.
+        let values = [1.0, 1.2, 5.0];
+        let r = epsilon_fair_report(3, &values, |s| s.len() as f64, 1e-12);
+        assert!(r.symmetric_pairs.contains(&(0, 1)));
+        // For u = |S| ALL pairs are symmetric; the max gap is |1.0-5.0|.
+        assert!((r.max_symmetry_gap - 4.0).abs() < 1e-12);
+        assert!(!r.is_epsilon_fair(0.1));
+        assert!(r.is_epsilon_fair(4.0));
+    }
+
+    #[test]
+    fn report_finds_null_player() {
+        // Player 2 is null in u(S) = |S ∩ {0,1}|.
+        let values = [0.5, 0.5, 0.01];
+        let r = epsilon_fair_report(
+            3,
+            &values,
+            |s| (s.intersection(Subset::from_indices(&[0, 1]))).len() as f64,
+            1e-12,
+        );
+        assert_eq!(r.null_players, vec![2]);
+        assert!((r.max_zero_violation - 0.01).abs() < 1e-15);
+        assert!(r.is_epsilon_fair(0.02));
+    }
+
+    #[test]
+    fn asymmetric_game_has_no_pairs() {
+        // u weights players differently: no symmetric pairs, no nulls.
+        let w = [1.0, 2.0, 4.0];
+        let values = [1.0, 2.0, 4.0];
+        let r = epsilon_fair_report(
+            3,
+            &values,
+            |s| s.members().iter().map(|&i| w[i]).sum::<f64>(),
+            1e-12,
+        );
+        assert!(r.symmetric_pairs.is_empty());
+        assert!(r.null_players.is_empty());
+        assert!(r.is_epsilon_fair(0.0));
+    }
+
+    #[test]
+    fn completion_delta_zero_for_perfect_factors() {
+        // full = W Hᵀ exactly.
+        let w = Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 2.0]]).unwrap();
+        let h = Matrix::from_rows(&[&[1.0, 1.0], &[0.5, -1.0], &[2.0, 0.0], &[0.0, 0.0]]).unwrap();
+        let mut problem = CompletionProblem::new(2);
+        for bits in 0..4u64 {
+            problem.ensure_column(bits);
+        }
+        // Column order matches bits because ensure_column is called in order.
+        let full = w.matmul_transpose(&h).unwrap();
+        let f = Factors { w, h };
+        assert!(completion_delta(&full, &f, &problem) < 1e-12);
+    }
+
+    #[test]
+    fn completion_delta_measures_max_column_error() {
+        let w = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let h = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+        let mut problem = CompletionProblem::new(2);
+        problem.ensure_column(0);
+        problem.ensure_column(1);
+        // full: column 0 = [1,1] (predicted 0 → col sum error 2),
+        //       column 1 = [1,1] (predicted 1 → error 0).
+        let full = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let f = Factors { w, h };
+        assert!((completion_delta(&full, &f, &problem) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_columns_compare_against_zero() {
+        let w = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let h = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let mut problem = CompletionProblem::new(1);
+        problem.ensure_column(0);
+        // full has 2 columns; bits=1 missing from the problem.
+        let full = Matrix::from_rows(&[&[1.0, 3.0]]).unwrap();
+        let f = Factors { w, h };
+        assert!((completion_delta(&full, &f, &problem) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Shapley-value data valuation for horizontal federated learning.
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`exact`] — the classical Shapley value (equation (5)) for arbitrary
+//!   utility functions over few players;
+//! * [`mod@fedsv`] — Wang et al.'s federated Shapley value (Definition 2),
+//!   exact for small per-round cohorts and permutation-sampled for large
+//!   ones;
+//! * [`comfedsv`] — the completed federated Shapley value (Definition 4)
+//!   computed from matrix-completion factors, both the exact full-subset
+//!   sum and the Monte-Carlo estimator (equation (12));
+//! * [`pipeline`] — Algorithm 1 end-to-end (train → observe → complete →
+//!   value), plus the ground-truth valuation from the full utility matrix;
+//! * [`fairness`] — ε-Shapley-fairness checks (Definition 1) and the
+//!   Theorem-1 tolerance `4δ/N`;
+//! * [`observation`] — the analytic unfairness probability `P_s` of
+//!   Observation 1 (paper Fig. 1);
+//! * [`theory`] — the ε-rank bounds of Propositions 1 and 2;
+//! * [`tmc`] — truncated Monte-Carlo Shapley (Ghorbani–Zou), an
+//!   efficiency extension for the ground-truth valuation;
+//! * [`group_testing`] — the group-testing estimator (Jia et al.), the
+//!   other classical accelerator surveyed by the paper;
+//! * [`coeffs`] — Shapley weights and log-factorial utilities.
+
+// Index-driven loops are deliberate in the numeric kernels: the loop
+// variable simultaneously drives several arrays/offsets and mirrors the
+// textbook formulas, which iterator chains would obscure.
+#![allow(clippy::needless_range_loop)]
+
+pub mod coeffs;
+pub mod comfedsv;
+pub mod exact;
+pub mod fairness;
+pub mod fedsv;
+pub mod group_testing;
+pub mod observation;
+pub mod pipeline;
+pub mod theory;
+pub mod tmc;
+
+pub use comfedsv::{comfedsv_antithetic, comfedsv_from_factors, comfedsv_monte_carlo, SubsetColumns};
+pub use exact::exact_shapley;
+pub use fairness::{epsilon_fair_report, theorem1_tolerance, FairnessReport};
+pub use fedsv::{fedsv, fedsv_monte_carlo, FedSvConfig};
+pub use group_testing::{group_testing_shapley, GroupTestingConfig};
+pub use observation::{unfairness_probability, UnfairnessParams};
+pub use pipeline::{
+    comfedsv_pipeline, ground_truth_valuation, ComFedSvConfig, CompletionSolver, EstimatorKind,
+    ValuationOutput,
+};
+pub use tmc::{tmc_shapley, TmcConfig, TmcOutput};
+pub use theory::{path_length, prop1_rank_bound, prop2_rank_bound};

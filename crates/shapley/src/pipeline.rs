@@ -1,0 +1,405 @@
+//! Algorithm 1 end-to-end: observe → complete → value.
+//!
+//! The pipeline consumes a [`UtilityOracle`] (wrapping a recorded FedAvg
+//! run), builds the partially observed completion problem, solves it with
+//! ALS, and evaluates ComFedSV — exactly (full coalition space, Definition
+//! 4) or by Monte-Carlo permutation sampling (Algorithm 1 / equation (12)).
+
+use crate::comfedsv::{comfedsv_from_factors, comfedsv_monte_carlo};
+use crate::exact::exact_shapley;
+use fedval_fl::{Subset, UtilityOracle};
+use fedval_mc::{solve_als, solve_ccd, AlsConfig, CcdConfig, CompletionProblem, Factors};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Which ComFedSV estimator the pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// Register all `2^N` coalition columns and evaluate Definition 4
+    /// exactly (requires `N ≤ 16`).
+    ExactSubsets,
+    /// Algorithm 1: `M` sampled permutations, reduced problem (13),
+    /// estimator (12).
+    MonteCarlo {
+        /// Number of sampled permutations `M`. The paper cites
+        /// `M = O(N log N)` for a good approximation.
+        num_permutations: usize,
+    },
+}
+
+/// Which factorization solver completes the utility matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompletionSolver {
+    /// Alternating least squares (exact ridge sub-solves; default).
+    #[default]
+    Als,
+    /// CCD++ — the LIBPMF algorithm the paper's released code uses.
+    Ccd,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct ComFedSvConfig {
+    /// Completion rank `r` (Propositions 1–2 justify `O(log T)`).
+    pub rank: usize,
+    /// Regularization `λ` of problem (9)/(13).
+    pub lambda: f64,
+    /// Estimator variant.
+    pub estimator: EstimatorKind,
+    /// Solver sweep budget.
+    pub als_max_iters: usize,
+    /// Which completion solver to run.
+    pub solver: CompletionSolver,
+    /// Seed for permutation sampling and solver initialization.
+    pub seed: u64,
+}
+
+impl ComFedSvConfig {
+    /// Defaults for the paper's small experiments (exact subsets, rank 5).
+    pub fn exact(rank: usize) -> Self {
+        ComFedSvConfig {
+            rank,
+            lambda: 0.1,
+            estimator: EstimatorKind::ExactSubsets,
+            als_max_iters: 100,
+            solver: CompletionSolver::Als,
+            seed: 0,
+        }
+    }
+
+    /// Defaults for Algorithm 1 with `M = ⌈N ln N⌉ + 1` permutations.
+    pub fn monte_carlo(rank: usize, n: usize) -> Self {
+        let m = ((n as f64) * (n as f64).ln().max(1.0)).ceil() as usize + 1;
+        ComFedSvConfig {
+            rank,
+            lambda: 0.1,
+            estimator: EstimatorKind::MonteCarlo {
+                num_permutations: m,
+            },
+            als_max_iters: 100,
+            solver: CompletionSolver::Als,
+            seed: 0,
+        }
+    }
+
+    /// Builder-style override of `λ`.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the completion solver.
+    pub fn with_solver(mut self, solver: CompletionSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
+/// Everything the pipeline produces (kept for diagnostics and the
+/// experiment harnesses).
+pub struct ValuationOutput {
+    /// The ComFedSV of every client.
+    pub values: Vec<f64>,
+    /// Solved completion factors.
+    pub factors: Factors,
+    /// The observed problem that was completed.
+    pub problem: CompletionProblem,
+    /// ALS objective trajectory.
+    pub objective_trace: Vec<f64>,
+    /// Permutations used (empty for the exact path).
+    pub permutations: Vec<Vec<usize>>,
+}
+
+/// Runs the ComFedSV pipeline against a recorded training run.
+pub fn comfedsv_pipeline(oracle: &UtilityOracle<'_>, config: &ComFedSvConfig) -> ValuationOutput {
+    let n = oracle.num_clients();
+    let t = oracle.num_rounds();
+    match config.estimator {
+        EstimatorKind::ExactSubsets => {
+            assert!(n <= 16, "exact-subsets pipeline needs N <= 16");
+            let mut problem = CompletionProblem::new(t);
+            // Observe every in-cohort coalition.
+            for round in 0..t {
+                let cohort = oracle.trace().selected(round);
+                for s in cohort.subsets() {
+                    if s.is_empty() {
+                        continue;
+                    }
+                    problem.add_observation(round, s.bits(), oracle.utility(round, s));
+                }
+            }
+            // Register the full coalition space so Definition 4's sum sees
+            // a factor row for every subset.
+            for bits in 1..(1u64 << n) {
+                problem.ensure_column(bits);
+            }
+            let (factors, objective_trace) = run_solver(&problem, config);
+            let values = comfedsv_from_factors(&factors, &problem, n);
+            ValuationOutput {
+                values,
+                factors,
+                problem,
+                objective_trace,
+                permutations: Vec::new(),
+            }
+        }
+        EstimatorKind::MonteCarlo { num_permutations } => {
+            assert!(num_permutations > 0, "need at least one permutation");
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let mut base: Vec<usize> = (0..n).collect();
+            let permutations: Vec<Vec<usize>> = (0..num_permutations)
+                .map(|_| {
+                    base.shuffle(&mut rng);
+                    base.clone()
+                })
+                .collect();
+
+            // Distinct non-empty prefixes across all permutations.
+            let mut prefixes: Vec<Subset> = Vec::new();
+            let mut seen: HashSet<u64> = HashSet::new();
+            for perm in &permutations {
+                let mut prefix = Subset::EMPTY;
+                for &i in perm {
+                    prefix = prefix.with(i);
+                    if seen.insert(prefix.bits()) {
+                        prefixes.push(prefix);
+                    }
+                }
+            }
+
+            // Observe each prefix in every round whose cohort contains it
+            // (Algorithm 1's `π_m(i) ⊆ I_t` test).
+            let mut problem = CompletionProblem::new(t);
+            for &p in &prefixes {
+                problem.ensure_column(p.bits());
+            }
+            for round in 0..t {
+                let cohort = oracle.trace().selected(round);
+                for &p in &prefixes {
+                    if p.is_subset_of(cohort) {
+                        problem.add_observation(round, p.bits(), oracle.utility(round, p));
+                    }
+                }
+            }
+
+            let (factors, objective_trace) = run_solver(&problem, config);
+            let values = comfedsv_monte_carlo(&factors, &problem, n, &permutations);
+            ValuationOutput {
+                values,
+                factors,
+                problem,
+                objective_trace,
+                permutations,
+            }
+        }
+    }
+}
+
+/// Dispatches to the configured completion solver.
+fn run_solver(problem: &CompletionProblem, config: &ComFedSvConfig) -> (Factors, Vec<f64>) {
+    match config.solver {
+        CompletionSolver::Als => solve_als(
+            problem,
+            &AlsConfig {
+                rank: config.rank,
+                lambda: config.lambda,
+                max_iters: config.als_max_iters,
+                tol: 1e-9,
+                seed: config.seed,
+            },
+        ),
+        CompletionSolver::Ccd => solve_ccd(
+            problem,
+            &CcdConfig {
+                rank: config.rank,
+                lambda: config.lambda,
+                max_iters: config.als_max_iters,
+                inner_iters: 3,
+                tol: 1e-9,
+                seed: config.seed,
+            },
+        ),
+    }
+}
+
+/// The paper's ground-truth metric: ComFedSV computed from the *full*
+/// utility matrix (equation (14)), which reduces to the classical Shapley
+/// value of the summed utility `U(S) = Σ_t U_t(S)`.
+pub fn ground_truth_valuation(oracle: &UtilityOracle<'_>) -> Vec<f64> {
+    let n = oracle.num_clients();
+    exact_shapley(n, |s| oracle.total_utility(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_data::Dataset;
+    use fedval_fl::{train_federated, FlConfig};
+    use fedval_linalg::Matrix;
+    use fedval_models::LogisticRegression;
+
+    fn make_world(
+        n: usize,
+        rounds: usize,
+        k: usize,
+        seed: u64,
+        duplicate: bool,
+    ) -> (Vec<Dataset>, LogisticRegression, Dataset, FlConfig) {
+        let mut clients: Vec<Dataset> = (0..n)
+            .map(|i| {
+                let f = Matrix::from_fn(14, 3, |r, c| {
+                    (((r + 2) * (c + 3) + 5 * i) % 9) as f64 / 4.0 - 1.0
+                });
+                let labels: Vec<usize> = (0..14).map(|r| (r + i) % 2).collect();
+                Dataset::new(f, labels, 2).unwrap()
+            })
+            .collect();
+        if duplicate {
+            let last = clients.len() - 1;
+            clients[last] = clients[0].clone();
+        }
+        let test = {
+            let f = Matrix::from_fn(20, 3, |r, c| ((r * 3 + 2 * c) % 9) as f64 / 4.0 - 1.0);
+            let labels: Vec<usize> = (0..20).map(|r| r % 2).collect();
+            Dataset::new(f, labels, 2).unwrap()
+        };
+        let proto = LogisticRegression::new(3, 2, 0.05, 17);
+        let cfg = FlConfig::new(rounds, k, 0.3, seed);
+        (clients, proto, test, cfg)
+    }
+
+    #[test]
+    fn fully_observed_pipeline_matches_ground_truth() {
+        // K = N every round ⇒ every coalition observed ⇒ near-perfect
+        // completion ⇒ ComFedSV ≈ ground truth.
+        let (clients, proto, test, cfg) = make_world(4, 4, 4, 1, false);
+        let trace = train_federated(&proto, &clients, &cfg);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let gt = ground_truth_valuation(&oracle);
+        let out = comfedsv_pipeline(
+            &oracle,
+            &ComFedSvConfig::exact(4).with_lambda(1e-6),
+        );
+        for (a, b) in out.values.iter().zip(&gt) {
+            assert!((a - b).abs() < 5e-3, "comfedsv {a} vs ground truth {b}");
+        }
+    }
+
+    #[test]
+    fn partial_observation_recovers_ranking() {
+        let (clients, proto, test, cfg) = make_world(5, 8, 3, 3, false);
+        let trace = train_federated(&proto, &clients, &cfg);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let gt = ground_truth_valuation(&oracle);
+        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-3));
+        let rho = fedval_metrics::spearman_rho(&out.values, &gt).unwrap();
+        assert!(rho > 0.7, "rank correlation with ground truth: {rho}");
+    }
+
+    #[test]
+    fn duplicated_clients_get_similar_comfedsv() {
+        // The headline fairness property (Theorem 1): identical clients
+        // receive (approximately) identical values despite asymmetric
+        // selection.
+        let (clients, proto, test, cfg) = make_world(5, 8, 2, 7, true);
+        let trace = train_federated(&proto, &clients, &cfg);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-3));
+        let d_com = fedval_metrics::relative_difference(out.values[0], out.values[4]);
+        let fed = crate::fedsv::fedsv(&oracle);
+        let d_fed = fedval_metrics::relative_difference(fed[0], fed[4]);
+        // ComFedSV must not be less fair than FedSV on this construction
+        // (a strict improvement is typical but selection noise exists).
+        assert!(
+            d_com <= d_fed + 0.05,
+            "ComFedSV relative difference {d_com} vs FedSV {d_fed}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_pipeline_approximates_exact_pipeline() {
+        let (clients, proto, test, cfg) = make_world(5, 6, 3, 5, false);
+        let trace = train_federated(&proto, &clients, &cfg);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let exact = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-3));
+        let mc_cfg = ComFedSvConfig {
+            rank: 4,
+            lambda: 1e-3,
+            estimator: EstimatorKind::MonteCarlo {
+                num_permutations: 200,
+            },
+            als_max_iters: 100,
+            solver: Default::default(),
+            seed: 2,
+        };
+        let mc = comfedsv_pipeline(&oracle, &mc_cfg);
+        let rho = fedval_metrics::spearman_rho(&mc.values, &exact.values).unwrap();
+        assert!(rho >= 0.7, "MC vs exact rank correlation {rho}");
+    }
+
+    #[test]
+    fn monte_carlo_observes_only_prefixes() {
+        let (clients, proto, test, cfg) = make_world(4, 4, 2, 9, false);
+        let trace = train_federated(&proto, &clients, &cfg);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let cfg2 = ComFedSvConfig {
+            rank: 3,
+            lambda: 0.01,
+            estimator: EstimatorKind::MonteCarlo {
+                num_permutations: 5,
+            },
+            als_max_iters: 20,
+            solver: Default::default(),
+            seed: 4,
+        };
+        let out = comfedsv_pipeline(&oracle, &cfg2);
+        assert_eq!(out.permutations.len(), 5);
+        // Every registered column must be a prefix of some permutation.
+        let mut prefix_keys = HashSet::new();
+        for perm in &out.permutations {
+            let mut p = Subset::EMPTY;
+            for &i in perm {
+                p = p.with(i);
+                prefix_keys.insert(p.bits());
+            }
+        }
+        for col in 0..out.problem.num_cols() {
+            assert!(prefix_keys.contains(&out.problem.column_key(col)));
+        }
+        // Assumption 1: round 0 selects everyone, so every prefix is
+        // observed at least once.
+        assert!(out.problem.every_column_observed());
+    }
+
+    #[test]
+    fn pipeline_deterministic_given_seed() {
+        let (clients, proto, test, cfg) = make_world(4, 3, 2, 11, false);
+        let trace = train_federated(&proto, &clients, &cfg);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let c = ComFedSvConfig::exact(3).with_seed(5);
+        let a = comfedsv_pipeline(&oracle, &c);
+        let b = comfedsv_pipeline(&oracle, &c);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn ground_truth_balance() {
+        // Ground truth is a classical Shapley value of the total utility,
+        // so it satisfies balance: Σ_i s_i = U(I).
+        let (clients, proto, test, cfg) = make_world(4, 5, 2, 13, false);
+        let trace = train_federated(&proto, &clients, &cfg);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let gt = ground_truth_valuation(&oracle);
+        let total: f64 = gt.iter().sum();
+        let grand = oracle.total_utility(Subset::full(4));
+        assert!((total - grand).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,193 @@
+//! The ε-rank bounds of Propositions 1 and 2.
+//!
+//! Proposition 1 (Lipschitz `L₁` + smooth `L₂`, non-increasing rates):
+//!
+//! ```text
+//! rank_ε(U) ≤ ⌈((2 + η₁L₂) L₁ Σ_t ‖w_t − w_{t+1}‖ + (η₁ − η_T) L₁²) / ε⌉
+//! ```
+//!
+//! Proposition 2 adds `μ`-strong convexity and the schedule
+//! `η_t = 2/(μ(γ + t))`, yielding `rank_ε(U) = O(log T / ε)`.
+
+use fedval_fl::TrainingTrace;
+use fedval_linalg::vector;
+
+/// Length of the global-parameter path `Σ_{t=1}^{T−1} ‖w_t − w_{t+1}‖`
+/// (the quantity appearing in Proposition 1), measured from a trace.
+pub fn path_length(trace: &TrainingTrace) -> f64 {
+    let mut total = 0.0;
+    for pair in trace.rounds.windows(2) {
+        total += vector::dist2(&pair[0].global_params, &pair[1].global_params);
+    }
+    if let Some(last) = trace.rounds.last() {
+        total += vector::dist2(&last.global_params, &trace.final_params);
+    }
+    total
+}
+
+/// Proposition 1's bound on `rank_ε(U)`.
+pub fn prop1_rank_bound(
+    l1: f64,
+    l2: f64,
+    eta1: f64,
+    eta_t: f64,
+    path_len: f64,
+    eps: f64,
+) -> usize {
+    assert!(eps > 0.0, "epsilon must be positive");
+    assert!(l1 >= 0.0 && l2 >= 0.0, "constants must be non-negative");
+    assert!(eta1 >= eta_t, "rates must be non-increasing");
+    let numerator = (2.0 + eta1 * l2) * l1 * path_len + (eta1 - eta_t) * l1 * l1;
+    (numerator / eps).ceil() as usize
+}
+
+/// Proposition 2's bound on `rank_ε(U)` under `μ`-strong convexity with
+/// the schedule `η_t = 2/(μ(γ+t))`.
+pub fn prop2_rank_bound(mu: f64, l1: f64, l2: f64, rounds: usize, eps: f64) -> usize {
+    assert!(mu > 0.0, "strong convexity modulus must be positive");
+    assert!(eps > 0.0, "epsilon must be positive");
+    let gamma = (8.0 * l2 / mu).max(1.0);
+    let eta1 = 2.0 / (mu * gamma);
+    let eta_t = 2.0 / (mu * (gamma + rounds.saturating_sub(1) as f64));
+    let t = (rounds.max(2)) as f64;
+    let term1 = 2.0 * (2.0 + eta1 * l2) * l1 * t.ln() / (mu * eps);
+    let term2 = (eta1 - eta_t) * l1 * l1 / eps;
+    (term1 + term2).ceil() as usize
+}
+
+/// Empirically estimates a Lipschitz constant `L₁` of the test loss along
+/// the trace: `max_t |ℓ(w_t) − ℓ(w_{t+1})| / ‖w_t − w_{t+1}‖`. This
+/// under-approximates the true constant but is the relevant scale for the
+/// bound along the optimization path.
+pub fn empirical_lipschitz(trace: &TrainingTrace, losses: &[f64]) -> f64 {
+    assert_eq!(losses.len(), trace.rounds.len(), "one loss per round");
+    let mut best = 0.0_f64;
+    for t in 0..trace.rounds.len().saturating_sub(1) {
+        let dw = vector::dist2(
+            &trace.rounds[t].global_params,
+            &trace.rounds[t + 1].global_params,
+        );
+        if dw > 1e-12 {
+            best = best.max((losses[t] - losses[t + 1]).abs() / dw);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_data::Dataset;
+    use fedval_fl::{train_federated, FlConfig};
+    use fedval_linalg::Matrix;
+    use fedval_models::{LearningRate, LogisticRegression, Model};
+
+    fn small_trace(rounds: usize) -> (TrainingTrace, LogisticRegression, Dataset) {
+        let clients: Vec<Dataset> = (0..4)
+            .map(|i| {
+                let f = Matrix::from_fn(10, 2, |r, c| ((r + c + i) % 5) as f64 / 2.0 - 1.0);
+                let labels: Vec<usize> = (0..10).map(|r| (r + i) % 2).collect();
+                Dataset::new(f, labels, 2).unwrap()
+            })
+            .collect();
+        let test = {
+            let f = Matrix::from_fn(10, 2, |r, c| ((2 * r + c) % 5) as f64 / 2.0 - 1.0);
+            let labels: Vec<usize> = (0..10).map(|r| r % 2).collect();
+            Dataset::new(f, labels, 2).unwrap()
+        };
+        let proto = LogisticRegression::new(2, 2, 0.1, 3);
+        let cfg = FlConfig::new(rounds, 2, 0.0, 1)
+            .with_learning_rate(LearningRate::proposition2(0.1, 2.0));
+        let trace = train_federated(&proto, &clients, &cfg);
+        (trace, proto, test)
+    }
+
+    #[test]
+    fn path_length_is_positive_and_additive() {
+        let (trace, _, _) = small_trace(6);
+        let len6 = path_length(&trace);
+        assert!(len6 > 0.0);
+        // A longer run cannot have a shorter path (same dynamics prefix).
+        let (trace10, _, _) = small_trace(10);
+        assert!(path_length(&trace10) >= len6 * 0.9);
+    }
+
+    #[test]
+    fn prop1_bound_shrinks_with_eps() {
+        let b_tight = prop1_rank_bound(1.0, 1.0, 0.1, 0.05, 2.0, 0.01);
+        let b_loose = prop1_rank_bound(1.0, 1.0, 0.1, 0.05, 2.0, 1.0);
+        assert!(b_loose <= b_tight);
+        assert!(b_loose >= 1);
+    }
+
+    #[test]
+    fn prop1_bound_formula_hand_check() {
+        // (2 + 0.5*2)*1*3 + (0.5-0.1)*1 = 9.4; / 2 = 4.7 → ceil 5.
+        assert_eq!(prop1_rank_bound(1.0, 2.0, 0.5, 0.1, 3.0, 2.0), 5);
+    }
+
+    #[test]
+    fn prop2_bound_grows_logarithmically() {
+        let b100 = prop2_rank_bound(0.5, 1.0, 1.0, 100, 0.1);
+        let b10000 = prop2_rank_bound(0.5, 1.0, 1.0, 10_000, 0.1);
+        // log(10^4)/log(10^2) = 2: the bound should grow by roughly 2x,
+        // certainly far less than the 100x of a linear bound.
+        assert!(b10000 <= b100 * 3, "b100 = {b100}, b10000 = {b10000}");
+    }
+
+    #[test]
+    fn empirical_rank_within_prop1_bound() {
+        // Build the full utility matrix of a strongly convex run and check
+        // the SVD-based ε-rank estimate against the Proposition-1 bound
+        // with empirically measured constants.
+        let (trace, proto, test) = small_trace(8);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        let u = fedval_fl::full_utility_matrix(&oracle);
+
+        let losses: Vec<f64> = (0..trace.num_rounds()).map(|t| oracle.base_loss(t)).collect();
+        let l1 = empirical_lipschitz(&trace, &losses).max(0.1) * 4.0; // headroom
+        let l2 = 4.0; // generous smoothness bound for this bounded data
+        let eta1 = trace.rounds[0].eta;
+        let eta_t = trace.rounds.last().unwrap().eta;
+        let plen = path_length(&trace);
+
+        let eps = 0.05 * u.max_abs().max(1e-9);
+        let bound = prop1_rank_bound(l1, l2, eta1, eta_t, plen, eps);
+        let est = fedval_linalg::eps_rank_upper_bound(&u, eps).unwrap();
+        assert!(
+            est <= bound.max(1),
+            "empirical eps-rank {est} exceeded Prop-1 bound {bound}"
+        );
+    }
+
+    #[test]
+    fn empirical_lipschitz_detects_scale() {
+        let (trace, proto, test) = small_trace(5);
+        let losses: Vec<f64> = {
+            let mut m = proto.clone();
+            trace
+                .rounds
+                .iter()
+                .map(|r| {
+                    m.set_params(&r.global_params);
+                    m.loss(&test)
+                })
+                .collect()
+        };
+        let l1 = empirical_lipschitz(&trace, &losses);
+        assert!(l1.is_finite());
+        assert!(l1 >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn prop1_rejects_zero_eps() {
+        let _ = prop1_rank_bound(1.0, 1.0, 0.1, 0.1, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn prop1_rejects_increasing_rates() {
+        let _ = prop1_rank_bound(1.0, 1.0, 0.1, 0.2, 1.0, 0.1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Truncated Monte-Carlo Shapley (Ghorbani & Zou), adapted to the
+//! federated whole-run utility.
+//!
+//! An extension beyond the paper's core method (its related-work section
+//! discusses TMC as the standard data-Shapley accelerator): estimate the
+//! ground-truth valuation `Φ(U)`, `U(S) = Σ_t U_t(S)`, by permutation
+//! sampling with *early truncation* — once a prefix's utility is within a
+//! tolerance of the grand coalition's, the remaining marginal
+//! contributions are treated as zero and the (expensive) utility calls for
+//! them are skipped.
+
+use fedval_fl::{Subset, UtilityOracle};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// TMC configuration.
+#[derive(Debug, Clone)]
+pub struct TmcConfig {
+    /// Number of sampled permutations.
+    pub permutations: usize,
+    /// Truncate a permutation once
+    /// `|U(I) − U(prefix)| ≤ tol · |U(I)|`.
+    pub truncation_tol: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TmcConfig {
+    fn default() -> Self {
+        TmcConfig {
+            permutations: 100,
+            truncation_tol: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// Output of [`tmc_shapley`].
+#[derive(Debug, Clone)]
+pub struct TmcOutput {
+    /// Estimated Shapley values.
+    pub values: Vec<f64>,
+    /// Fraction of marginal evaluations skipped by truncation.
+    pub truncated_fraction: f64,
+}
+
+/// Truncated Monte-Carlo estimate of the whole-run Shapley value.
+pub fn tmc_shapley(oracle: &UtilityOracle<'_>, config: &TmcConfig) -> TmcOutput {
+    assert!(config.permutations > 0, "need at least one permutation");
+    assert!(config.truncation_tol >= 0.0, "tolerance must be non-negative");
+    let n = oracle.num_clients();
+    let grand = oracle.total_utility(Subset::full(n));
+    let threshold = config.truncation_tol * grand.abs();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut values = vec![0.0; n];
+    let inv_m = 1.0 / config.permutations as f64;
+    let mut evaluated = 0u64;
+    let mut skipped = 0u64;
+    for _ in 0..config.permutations {
+        order.shuffle(&mut rng);
+        let mut prefix = Subset::EMPTY;
+        let mut prefix_utility = 0.0;
+        let mut truncated = false;
+        for &i in &order {
+            if truncated {
+                skipped += 1;
+                continue;
+            }
+            prefix = prefix.with(i);
+            let u = oracle.total_utility(prefix);
+            evaluated += 1;
+            values[i] += (u - prefix_utility) * inv_m;
+            prefix_utility = u;
+            if (grand - prefix_utility).abs() <= threshold {
+                truncated = true;
+            }
+        }
+    }
+    let total = evaluated + skipped;
+    TmcOutput {
+        values,
+        truncated_fraction: if total == 0 {
+            0.0
+        } else {
+            skipped as f64 / total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_data::Dataset;
+    use fedval_fl::{train_federated, FlConfig};
+    use fedval_linalg::Matrix;
+    use fedval_models::LogisticRegression;
+
+    fn setup(seed: u64) -> (fedval_fl::TrainingTrace, LogisticRegression, Dataset) {
+        let clients: Vec<Dataset> = (0..5)
+            .map(|i| {
+                let f = Matrix::from_fn(12, 3, |r, c| {
+                    (((r + 1) * (c + 2) + 3 * i) % 7) as f64 / 3.0 - 1.0
+                });
+                let labels: Vec<usize> = (0..12).map(|r| (r + i) % 2).collect();
+                Dataset::new(f, labels, 2).unwrap()
+            })
+            .collect();
+        let test = {
+            let f = Matrix::from_fn(16, 3, |r, c| ((r * 3 + c) % 7) as f64 / 3.0 - 1.0);
+            let labels: Vec<usize> = (0..16).map(|r| r % 2).collect();
+            Dataset::new(f, labels, 2).unwrap()
+        };
+        let proto = LogisticRegression::new(3, 2, 0.01, 11);
+        let trace = train_federated(&proto, &clients, &FlConfig::new(4, 3, 0.3, seed));
+        (trace, proto, test)
+    }
+
+    #[test]
+    fn untruncated_tmc_converges_to_exact() {
+        let (trace, proto, test) = setup(1);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let exact = crate::pipeline::ground_truth_valuation(&oracle);
+        let out = tmc_shapley(
+            &oracle,
+            &TmcConfig {
+                permutations: 3000,
+                truncation_tol: 0.0,
+                seed: 5,
+            },
+        );
+        for (a, b) in out.values.iter().zip(&exact) {
+            assert!((a - b).abs() < 0.01, "tmc {a} vs exact {b}");
+        }
+    }
+
+    #[test]
+    fn balance_holds_without_truncation() {
+        // Marginals telescope, so Σ_i values = U(I) exactly per permutation.
+        let (trace, proto, test) = setup(2);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let out = tmc_shapley(
+            &oracle,
+            &TmcConfig {
+                permutations: 20,
+                truncation_tol: 0.0,
+                seed: 7,
+            },
+        );
+        let total: f64 = out.values.iter().sum();
+        let grand = oracle.total_utility(Subset::full(5));
+        assert!((total - grand).abs() < 1e-10);
+        assert_eq!(out.truncated_fraction, 0.0);
+    }
+
+    #[test]
+    fn truncation_saves_evaluations() {
+        let (trace, proto, test) = setup(3);
+
+        let oracle_a = UtilityOracle::new(&trace, &proto, &test);
+        oracle_a.reset_counter();
+        let _ = tmc_shapley(
+            &oracle_a,
+            &TmcConfig {
+                permutations: 50,
+                truncation_tol: 0.0,
+                seed: 9,
+            },
+        );
+        let full_calls = oracle_a.loss_evaluations();
+
+        let oracle_b = UtilityOracle::new(&trace, &proto, &test);
+        oracle_b.reset_counter();
+        let out = tmc_shapley(
+            &oracle_b,
+            &TmcConfig {
+                permutations: 50,
+                truncation_tol: 0.5, // aggressive truncation
+                seed: 9,
+            },
+        );
+        let truncated_calls = oracle_b.loss_evaluations();
+        assert!(out.truncated_fraction > 0.0, "expected some truncation");
+        assert!(
+            truncated_calls <= full_calls,
+            "truncation should not increase calls: {truncated_calls} vs {full_calls}"
+        );
+    }
+
+    #[test]
+    fn aggressive_truncation_still_ranks_reasonably() {
+        let (trace, proto, test) = setup(4);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let exact = crate::pipeline::ground_truth_valuation(&oracle);
+        let out = tmc_shapley(
+            &oracle,
+            &TmcConfig {
+                permutations: 2000,
+                truncation_tol: 0.05,
+                seed: 11,
+            },
+        );
+        let rho = fedval_metrics::spearman_rho(&out.values, &exact).unwrap();
+        assert!(rho > 0.6, "rank correlation under truncation {rho}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (trace, proto, test) = setup(5);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let cfg = TmcConfig {
+            permutations: 25,
+            truncation_tol: 0.1,
+            seed: 13,
+        };
+        let a = tmc_shapley(&oracle, &cfg);
+        let b = tmc_shapley(&oracle, &cfg);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permutation")]
+    fn rejects_zero_permutations() {
+        let (trace, proto, test) = setup(6);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let _ = tmc_shapley(
+            &oracle,
+            &TmcConfig {
+                permutations: 0,
+                truncation_tol: 0.0,
+                seed: 0,
+            },
+        );
+    }
+}

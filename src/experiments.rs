@@ -1,0 +1,422 @@
+//! Configured dataset/model pairings matching the paper's evaluation.
+//!
+//! The paper evaluates four tasks: synthetic data with logistic regression,
+//! MNIST with a fully connected network, Fashion-MNIST with a small CNN,
+//! and CIFAR10 with a larger CNN. This module packages each pairing (with
+//! the simulated image stand-ins described in `DESIGN.md`) behind one
+//! builder so that examples, tests, and the per-figure benchmark harnesses
+//! construct identical worlds.
+
+use fedval_data::{
+    add_feature_noise, duplicate_client, flip_labels, partition_iid, partition_shards, Dataset,
+    SimImageConfig, SyntheticConfig, SyntheticFederated,
+};
+use fedval_data::images::SimImageSource;
+use fedval_fl::{train_federated, FlConfig, TrainingTrace, UtilityOracle};
+use fedval_models::{Activation, Cnn, CnnConfig, LogisticRegression, Mlp, Model};
+
+/// Which of the paper's four tasks to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// FedProx-style synthetic data + logistic regression.
+    Synthetic {
+        /// `α = β = 1` (non-IID) when `true`, else `α = β = 0`.
+        non_iid: bool,
+    },
+    /// Simulated MNIST + fully connected network.
+    SimMnist {
+        /// Label-shard partitioning (two classes per client) when `true`.
+        non_iid: bool,
+    },
+    /// Simulated Fashion-MNIST + small CNN.
+    SimFashion {
+        /// Label-shard partitioning when `true`.
+        non_iid: bool,
+    },
+    /// Simulated CIFAR10 + larger CNN.
+    SimCifar {
+        /// Label-shard partitioning when `true`.
+        non_iid: bool,
+    },
+}
+
+impl DatasetKind {
+    /// Short name used in harness output ("synthetic", "mnist", …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Synthetic { .. } => "synthetic",
+            DatasetKind::SimMnist { .. } => "mnist",
+            DatasetKind::SimFashion { .. } => "fmnist",
+            DatasetKind::SimCifar { .. } => "cifar10",
+        }
+    }
+
+    /// The paper's four-dataset suite in its usual order.
+    pub fn suite(non_iid: bool) -> [DatasetKind; 4] {
+        [
+            DatasetKind::Synthetic { non_iid },
+            DatasetKind::SimMnist { non_iid },
+            DatasetKind::SimFashion { non_iid },
+            DatasetKind::SimCifar { non_iid },
+        ]
+    }
+}
+
+/// Builder for a federated [`World`].
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    kind: DatasetKind,
+    num_clients: usize,
+    samples_per_client: usize,
+    test_samples: usize,
+    seed: u64,
+    regularization: f64,
+    duplicate_pair: Option<(usize, usize)>,
+    /// Per-client feature-noise fractions (index = client id).
+    feature_noise: Vec<f64>,
+    /// Clients receiving label flips, with the flip fraction.
+    label_noise: Vec<(usize, f64)>,
+}
+
+impl ExperimentBuilder {
+    /// Starts a builder for the given task.
+    pub fn new(kind: DatasetKind) -> Self {
+        ExperimentBuilder {
+            kind,
+            num_clients: 10,
+            samples_per_client: 80,
+            test_samples: 200,
+            seed: 0,
+            regularization: 1e-3,
+            duplicate_pair: None,
+            feature_noise: Vec::new(),
+            label_noise: Vec::new(),
+        }
+    }
+
+    /// Synthetic-data shorthand.
+    pub fn synthetic(non_iid: bool) -> Self {
+        Self::new(DatasetKind::Synthetic { non_iid })
+    }
+
+    /// Simulated-MNIST shorthand.
+    pub fn sim_mnist(non_iid: bool) -> Self {
+        Self::new(DatasetKind::SimMnist { non_iid })
+    }
+
+    /// Number of clients `N`.
+    pub fn num_clients(mut self, n: usize) -> Self {
+        self.num_clients = n;
+        self
+    }
+
+    /// Training examples per client.
+    pub fn samples_per_client(mut self, n: usize) -> Self {
+        self.samples_per_client = n;
+        self
+    }
+
+    /// Server-side test examples.
+    pub fn test_samples(mut self, n: usize) -> Self {
+        self.test_samples = n;
+        self
+    }
+
+    /// RNG seed for data generation and partitioning.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// L2 regularization of the model (strong-convexity modulus for
+    /// logistic regression).
+    pub fn regularization(mut self, reg: f64) -> Self {
+        self.regularization = reg;
+        self
+    }
+
+    /// Gives client `dst` an exact copy of client `src`'s data (the
+    /// paper's fairness construction: clients 0 and 9).
+    pub fn duplicate(mut self, src: usize, dst: usize) -> Self {
+        self.duplicate_pair = Some((src, dst));
+        self
+    }
+
+    /// Adds Gaussian feature noise to a fraction of each client's data
+    /// (`fractions[i]` for client `i`) — the Fig. 6 construction.
+    pub fn feature_noise(mut self, fractions: Vec<f64>) -> Self {
+        self.feature_noise = fractions;
+        self
+    }
+
+    /// Flips a fraction of labels for the given clients — the Fig. 7
+    /// construction.
+    pub fn label_noise(mut self, clients: Vec<(usize, f64)>) -> Self {
+        self.label_noise = clients;
+        self
+    }
+
+    /// Materializes the world.
+    pub fn build(self) -> World {
+        let (mut clients, test) = self.build_datasets();
+        if let Some((src, dst)) = self.duplicate_pair {
+            duplicate_client(&mut clients, src, dst);
+        }
+        for (i, &frac) in self.feature_noise.iter().enumerate() {
+            if i < clients.len() && frac > 0.0 {
+                // The paper adds Gaussian noise with the data's own scale.
+                add_feature_noise(&mut clients[i], frac, 1.0, self.seed ^ (0xA5A5 + i as u64));
+            }
+        }
+        for &(i, frac) in &self.label_noise {
+            if i < clients.len() && frac > 0.0 {
+                flip_labels(&mut clients[i], frac, self.seed ^ (0x5A5A + i as u64));
+            }
+        }
+        let prototype = self.build_model(&test);
+        World {
+            clients,
+            test,
+            prototype,
+            kind: self.kind,
+        }
+    }
+
+    fn build_datasets(&self) -> (Vec<Dataset>, Dataset) {
+        match self.kind {
+            DatasetKind::Synthetic { non_iid } => {
+                let base = if non_iid {
+                    SyntheticConfig::non_iid()
+                } else {
+                    SyntheticConfig::iid()
+                };
+                let cfg = SyntheticConfig {
+                    num_clients: self.num_clients,
+                    samples_per_client: self.samples_per_client,
+                    test_samples: self.test_samples,
+                    seed: self.seed,
+                    ..base
+                };
+                let fed = SyntheticFederated::generate(&cfg);
+                (fed.client_data, fed.test_data)
+            }
+            DatasetKind::SimMnist { non_iid }
+            | DatasetKind::SimFashion { non_iid }
+            | DatasetKind::SimCifar { non_iid } => {
+                let img_cfg = match self.kind {
+                    DatasetKind::SimMnist { .. } => SimImageConfig::mnist(),
+                    DatasetKind::SimFashion { .. } => SimImageConfig::fashion_mnist(),
+                    _ => SimImageConfig::cifar10(),
+                };
+                let source = SimImageSource::new(img_cfg);
+                let total = self.num_clients * self.samples_per_client;
+                let pool = source.sample(total, self.seed);
+                let clients = if non_iid {
+                    partition_shards(&pool, self.num_clients, self.seed ^ 0x1234)
+                } else {
+                    partition_iid(&pool, self.num_clients, self.seed ^ 0x1234)
+                };
+                let test = source.sample(self.test_samples, self.seed ^ 0x9999);
+                (clients, test)
+            }
+        }
+    }
+
+    fn build_model(&self, test: &Dataset) -> Box<dyn Model> {
+        let dim = test.dim();
+        let classes = test.num_classes();
+        match self.kind {
+            DatasetKind::Synthetic { .. } => Box::new(LogisticRegression::new(
+                dim,
+                classes,
+                self.regularization,
+                self.seed ^ 0x40de1,
+            )),
+            DatasetKind::SimMnist { .. } => Box::new(Mlp::new(
+                &[dim, 32, classes],
+                Activation::Relu,
+                self.regularization,
+                self.seed ^ 0x40de1,
+            )),
+            DatasetKind::SimFashion { .. } => {
+                // 64 = 8×8 images, small CNN.
+                Box::new(Cnn::new(
+                    CnnConfig {
+                        height: 8,
+                        width: 8,
+                        filters: 6,
+                        num_classes: classes,
+                        reg: self.regularization,
+                    },
+                    self.seed ^ 0x40de1,
+                ))
+            }
+            DatasetKind::SimCifar { .. } => {
+                // 144 = 12×12 images, larger CNN (the paper's VGG role).
+                Box::new(Cnn::new(
+                    CnnConfig {
+                        height: 12,
+                        width: 12,
+                        filters: 10,
+                        num_classes: classes,
+                        reg: self.regularization,
+                    },
+                    self.seed ^ 0x40de1,
+                ))
+            }
+        }
+    }
+}
+
+/// A materialized federated task: client datasets, the server-held test
+/// set, and the model prototype.
+pub struct World {
+    /// Per-client local datasets.
+    pub clients: Vec<Dataset>,
+    /// Server-held test set defining the utility function.
+    pub test: Dataset,
+    /// Model prototype (architecture + initial parameters).
+    pub prototype: Box<dyn Model>,
+    /// Which task this world is.
+    pub kind: DatasetKind,
+}
+
+impl World {
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Runs FedAvg and records the trace.
+    pub fn train(&self, config: &FlConfig) -> TrainingTrace {
+        train_federated(self.prototype.as_ref(), &self.clients, config)
+    }
+
+    /// Builds a utility oracle over a recorded trace.
+    pub fn oracle<'a>(&'a self, trace: &'a TrainingTrace) -> UtilityOracle<'a> {
+        UtilityOracle::new(trace, self.prototype.as_ref(), &self.test)
+    }
+
+    /// Accuracy of a parameter vector on the test set (harness helper).
+    pub fn test_accuracy(&self, params: &[f64]) -> f64 {
+        let mut m = self.prototype.clone_model();
+        m.set_params(params);
+        m.accuracy(&self.test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_world_builds_with_requested_shape() {
+        let w = ExperimentBuilder::synthetic(false)
+            .num_clients(5)
+            .samples_per_client(30)
+            .test_samples(40)
+            .seed(3)
+            .build();
+        assert_eq!(w.num_clients(), 5);
+        assert_eq!(w.clients[0].len(), 30);
+        assert_eq!(w.test.len(), 40);
+        assert_eq!(w.kind.name(), "synthetic");
+    }
+
+    #[test]
+    fn image_worlds_build_for_all_kinds() {
+        for kind in DatasetKind::suite(true).into_iter().skip(1) {
+            let w = ExperimentBuilder::new(kind)
+                .num_clients(4)
+                .samples_per_client(20)
+                .test_samples(30)
+                .build();
+            assert_eq!(w.num_clients(), 4);
+            assert!(w.test.dim() > 0);
+            assert_eq!(w.prototype.params().len(), w.prototype.num_params());
+        }
+    }
+
+    #[test]
+    fn duplicate_builder_copies_data() {
+        let w = ExperimentBuilder::sim_mnist(true)
+            .num_clients(5)
+            .samples_per_client(20)
+            .duplicate(0, 4)
+            .build();
+        assert_eq!(
+            w.clients[0].features().as_slice(),
+            w.clients[4].features().as_slice()
+        );
+    }
+
+    #[test]
+    fn feature_noise_applies_per_client() {
+        let clean = ExperimentBuilder::synthetic(false)
+            .num_clients(3)
+            .samples_per_client(20)
+            .build();
+        let noisy = ExperimentBuilder::synthetic(false)
+            .num_clients(3)
+            .samples_per_client(20)
+            .feature_noise(vec![0.0, 0.0, 1.0])
+            .build();
+        assert_eq!(
+            clean.clients[0].features().as_slice(),
+            noisy.clients[0].features().as_slice()
+        );
+        assert_ne!(
+            clean.clients[2].features().as_slice(),
+            noisy.clients[2].features().as_slice()
+        );
+    }
+
+    #[test]
+    fn label_noise_applies_to_listed_clients() {
+        let clean = ExperimentBuilder::sim_mnist(false)
+            .num_clients(3)
+            .samples_per_client(30)
+            .build();
+        let noisy = ExperimentBuilder::sim_mnist(false)
+            .num_clients(3)
+            .samples_per_client(30)
+            .label_noise(vec![(1, 0.5)])
+            .build();
+        assert_eq!(clean.clients[0].labels(), noisy.clients[0].labels());
+        assert_ne!(clean.clients[1].labels(), noisy.clients[1].labels());
+    }
+
+    #[test]
+    fn train_and_oracle_roundtrip() {
+        let w = ExperimentBuilder::synthetic(true)
+            .num_clients(4)
+            .samples_per_client(25)
+            .seed(5)
+            .build();
+        let trace = w.train(&FlConfig::new(3, 2, 0.2, 5));
+        assert_eq!(trace.num_rounds(), 3);
+        let oracle = w.oracle(&trace);
+        let u = oracle.utility(0, fedval_fl::Subset::full(4));
+        assert!(u.is_finite());
+        let acc = w.test_accuracy(&trace.final_params);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            ExperimentBuilder::sim_mnist(true)
+                .num_clients(4)
+                .samples_per_client(20)
+                .seed(11)
+                .build()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(
+            a.clients[2].features().as_slice(),
+            b.clients[2].features().as_slice()
+        );
+        assert_eq!(a.prototype.params(), b.prototype.params());
+    }
+}

@@ -1,0 +1,57 @@
+//! # ComFedSV — fair data valuation for horizontal federated learning
+//!
+//! A from-scratch Rust reproduction of *"Improving Fairness for Data
+//! Valuation in Horizontal Federated Learning"* (Fan et al., ICDE 2022):
+//! federated training (FedAvg), the utility matrix and its low-rank theory,
+//! matrix completion, and the completed federated Shapley value
+//! (**ComFedSV**), together with the baseline **FedSV** and a ground-truth
+//! valuation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use comfedsv::prelude::*;
+//!
+//! // 1. A federated world: 6 clients with heterogeneous synthetic data.
+//! let world = ExperimentBuilder::synthetic(true)
+//!     .num_clients(6)
+//!     .samples_per_client(40)
+//!     .seed(7)
+//!     .build();
+//!
+//! // 2. Train with FedAvg: 5 rounds, 3 clients per round.
+//! let trace = world.train(&FlConfig::new(5, 3, 0.3, 7));
+//!
+//! // 3. Value every client with ComFedSV (Algorithm 1).
+//! let oracle = world.oracle(&trace);
+//! let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4));
+//! assert_eq!(out.values.len(), 6);
+//! ```
+//!
+//! The [`prelude`] re-exports the types needed by typical users; the
+//! [`experiments`] module hosts the configured dataset/model pairings used
+//! by the paper's evaluation and by this repo's examples and benchmark
+//! harnesses.
+
+pub use fedval_data as data;
+pub use fedval_fl as fl;
+pub use fedval_linalg as linalg;
+pub use fedval_mc as mc;
+pub use fedval_metrics as metrics;
+pub use fedval_models as models;
+pub use fedval_shapley as shapley;
+
+pub mod experiments;
+
+/// The types most users need.
+pub mod prelude {
+    pub use crate::experiments::{DatasetKind, ExperimentBuilder, World};
+    pub use fedval_data::{Dataset, SyntheticConfig};
+    pub use fedval_fl::{FlConfig, Subset, TrainingTrace, UtilityOracle};
+    pub use fedval_mc::{AlsConfig, CompletionProblem, Factors};
+    pub use fedval_models::{LearningRate, Model};
+    pub use fedval_shapley::{
+        comfedsv_pipeline, fedsv, fedsv_monte_carlo, ground_truth_valuation, ComFedSvConfig,
+        EstimatorKind, FedSvConfig,
+    };
+}

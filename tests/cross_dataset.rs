@@ -1,0 +1,136 @@
+//! Cross-dataset integration tests: every paper task (synthetic, sim-MNIST,
+//! sim-Fashion, sim-CIFAR) must flow through training and valuation, with
+//! the fairness construction behaving identically everywhere.
+
+use comfedsv::metrics::relative_difference;
+use comfedsv::prelude::*;
+
+fn tiny_world(kind: DatasetKind, seed: u64) -> World {
+    ExperimentBuilder::new(kind)
+        .num_clients(5)
+        .samples_per_client(24)
+        .test_samples(40)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn all_dataset_kinds_train_and_value() {
+    for kind in DatasetKind::suite(true) {
+        let world = tiny_world(kind, 2);
+        let trace = world.train(&FlConfig::new(3, 2, 0.15, 2));
+        assert_eq!(trace.num_rounds(), 3, "{}", kind.name());
+        let oracle = world.oracle(&trace);
+        let out = comfedsv_pipeline(
+            &oracle,
+            &ComFedSvConfig::exact(3).with_lambda(0.01),
+        );
+        assert_eq!(out.values.len(), 5, "{}", kind.name());
+        assert!(
+            out.values.iter().all(|v| v.is_finite()),
+            "{}: non-finite values",
+            kind.name()
+        );
+        let fed = fedsv(&oracle);
+        assert!(fed.iter().all(|v| v.is_finite()), "{}", kind.name());
+    }
+}
+
+#[test]
+fn iid_and_non_iid_partitions_differ() {
+    let iid = tiny_world(DatasetKind::SimMnist { non_iid: false }, 7);
+    let non_iid = tiny_world(DatasetKind::SimMnist { non_iid: true }, 7);
+    // Non-IID sharding concentrates classes: the max per-client class count
+    // must be higher than under IID.
+    let max_class_frac = |w: &World| {
+        w.clients
+            .iter()
+            .map(|c| {
+                let counts = c.class_counts();
+                let max = counts.iter().max().copied().unwrap_or(0);
+                max as f64 / c.len().max(1) as f64
+            })
+            .fold(0.0_f64, f64::max)
+    };
+    assert!(max_class_frac(&non_iid) > max_class_frac(&iid));
+}
+
+#[test]
+fn duplicated_clients_identical_local_models_on_every_task() {
+    for kind in DatasetKind::suite(true) {
+        let world = ExperimentBuilder::new(kind)
+            .num_clients(5)
+            .samples_per_client(24)
+            .test_samples(40)
+            .duplicate(0, 4)
+            .seed(3)
+            .build();
+        let trace = world.train(&FlConfig::new(3, 2, 0.15, 3));
+        for r in &trace.rounds {
+            assert_eq!(
+                r.local_params[0], r.local_params[4],
+                "{}: identical data must give identical local models",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fully_participating_fedsv_is_symmetric_for_duplicates() {
+    // With full participation every round, FedSV itself is symmetric — the
+    // unfairness comes only from partial selection.
+    let world = ExperimentBuilder::synthetic(true)
+        .num_clients(4)
+        .samples_per_client(30)
+        .test_samples(50)
+        .duplicate(0, 3)
+        .seed(5)
+        .build();
+    let trace = world.train(&FlConfig::new(4, 4, 0.2, 5));
+    let oracle = world.oracle(&trace);
+    let fed = fedsv(&oracle);
+    let d = relative_difference(fed[0], fed[3]);
+    assert!(d < 1e-9, "full participation should be exactly fair, d = {d}");
+}
+
+#[test]
+fn models_match_dataset_dimensions() {
+    for kind in DatasetKind::suite(false) {
+        let world = tiny_world(kind, 9);
+        // The prototype must evaluate on the test set without panicking.
+        let loss = world.prototype.loss(&world.test);
+        assert!(loss.is_finite(), "{}: initial loss {loss}", kind.name());
+        assert!(loss > 0.0);
+    }
+}
+
+#[test]
+fn label_noise_lowers_a_client_value_on_average() {
+    // A client with mostly flipped labels must be worth less than the
+    // average clean client. Single runs are noisy (5 clients, 8 rounds),
+    // so average the ground-truth valuation over several seeds.
+    let mut poisoned_total = 0.0;
+    let mut clean_total = 0.0;
+    let seeds = [1u64, 2, 3, 13, 21];
+    for &seed in &seeds {
+        let world = ExperimentBuilder::synthetic(false)
+            .num_clients(5)
+            .samples_per_client(40)
+            .test_samples(80)
+            .label_noise(vec![(2, 0.8)])
+            .seed(seed)
+            .build();
+        let trace = world.train(&FlConfig::new(8, 5, 0.3, seed));
+        let oracle = world.oracle(&trace);
+        let gt = ground_truth_valuation(&oracle);
+        poisoned_total += gt[2];
+        clean_total += (gt[0] + gt[1] + gt[3] + gt[4]) / 4.0;
+    }
+    let poisoned = poisoned_total / seeds.len() as f64;
+    let clean = clean_total / seeds.len() as f64;
+    assert!(
+        poisoned < clean,
+        "poisoned client mean value {poisoned} should be below clean mean {clean}"
+    );
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration tests: Algorithm 1 against ground truth, the
+//! fairness guarantee of Theorem 1, and the FedSV baseline, across crates.
+
+use comfedsv::metrics::{relative_difference, spearman_rho};
+use comfedsv::prelude::*;
+use comfedsv::shapley::fairness::{completion_delta, theorem1_tolerance};
+use fedval_fl::full_utility_matrix;
+
+fn small_world(seed: u64, duplicate: bool) -> World {
+    let mut b = ExperimentBuilder::synthetic(true)
+        .num_clients(6)
+        .samples_per_client(40)
+        .test_samples(80)
+        .seed(seed);
+    if duplicate {
+        b = b.duplicate(0, 5);
+    }
+    b.build()
+}
+
+#[test]
+fn pipeline_tracks_ground_truth_ranking() {
+    let world = small_world(1, false);
+    let trace = world.train(&FlConfig::new(6, 3, 0.2, 1));
+    let oracle = world.oracle(&trace);
+    let gt = ground_truth_valuation(&oracle);
+    let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(5).with_lambda(1e-3));
+    let rho = spearman_rho(&out.values, &gt).unwrap();
+    assert!(rho > 0.6, "rank correlation with ground truth {rho}");
+}
+
+#[test]
+fn theorem1_fairness_bound_holds_for_duplicated_clients() {
+    // Measure δ = ‖U − WHᵀ‖₁ and check |s_0 − s_5| ≤ 4δ/N for the
+    // identical clients 0 and 5 (Theorem 1's symmetry guarantee).
+    let world = small_world(3, true);
+    let trace = world.train(&FlConfig::new(6, 3, 0.2, 3));
+    let oracle = world.oracle(&trace);
+    let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(5).with_lambda(1e-3));
+    let full = full_utility_matrix(&oracle);
+    let delta = completion_delta(&full, &out.factors, &out.problem);
+    let tol = theorem1_tolerance(delta, world.num_clients());
+    let gap = (out.values[0] - out.values[5]).abs();
+    assert!(
+        gap <= tol + 1e-9,
+        "symmetry gap {gap} exceeds Theorem-1 tolerance {tol} (delta {delta})"
+    );
+}
+
+#[test]
+fn comfedsv_is_fairer_than_fedsv_on_average() {
+    // Over several selection seeds, the mean relative difference between
+    // duplicated clients must be smaller under ComFedSV than under FedSV —
+    // the paper's Fig. 5 in miniature.
+    let mut fed_total = 0.0;
+    let mut com_total = 0.0;
+    let trials = 6;
+    for t in 0..trials {
+        let seed = 50 + t;
+        let world = small_world(seed, true);
+        let trace = world.train(&FlConfig::new(6, 2, 0.2, seed));
+        let oracle = world.oracle(&trace);
+        let fed = fedsv(&oracle);
+        let out = comfedsv_pipeline(
+            &oracle,
+            &ComFedSvConfig::exact(5).with_lambda(1e-3).with_seed(seed),
+        );
+        fed_total += relative_difference(fed[0], fed[5]);
+        com_total += relative_difference(out.values[0], out.values[5]);
+    }
+    assert!(
+        com_total <= fed_total,
+        "ComFedSV mean diff {} vs FedSV {}",
+        com_total / trials as f64,
+        fed_total / trials as f64
+    );
+}
+
+#[test]
+fn monte_carlo_matches_exact_at_scale_boundary() {
+    let world = small_world(9, false);
+    let trace = world.train(&FlConfig::new(5, 3, 0.2, 9));
+    let oracle = world.oracle(&trace);
+    let exact = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(5).with_lambda(1e-3));
+    let mc = comfedsv_pipeline(
+        &oracle,
+        &ComFedSvConfig {
+            rank: 5,
+            lambda: 1e-3,
+            estimator: EstimatorKind::MonteCarlo {
+                num_permutations: 300,
+            },
+            als_max_iters: 100,
+            solver: Default::default(),
+            seed: 1,
+        },
+    );
+    let rho = spearman_rho(&exact.values, &mc.values).unwrap();
+    assert!(rho > 0.7, "exact vs MC rank correlation {rho}");
+}
+
+#[test]
+fn fedsv_balance_equals_sum_of_round_utilities() {
+    let world = small_world(13, false);
+    let trace = world.train(&FlConfig::new(5, 3, 0.2, 13));
+    let oracle = world.oracle(&trace);
+    let fed = fedsv(&oracle);
+    let expected: f64 = (0..trace.num_rounds())
+        .map(|t| oracle.utility(t, trace.selected(t)))
+        .sum();
+    let total: f64 = fed.iter().sum();
+    assert!((total - expected).abs() < 1e-9);
+}
+
+#[test]
+fn training_improves_test_accuracy() {
+    let world = small_world(21, false);
+    let initial = world.test_accuracy(world.prototype.params());
+    let trace = world.train(&FlConfig::new(25, 6, 0.3, 21));
+    let final_acc = world.test_accuracy(&trace.final_params);
+    assert!(
+        final_acc > initial.max(0.3),
+        "accuracy {initial} -> {final_acc}"
+    );
+}
+
+#[test]
+fn oracle_call_counting_reflects_work() {
+    // The Fig-8 cost model depends on call counting being correct across
+    // the whole stack: FedSV must cost (much) less than ground truth.
+    let world = small_world(31, false);
+    let trace = world.train(&FlConfig::new(4, 2, 0.2, 31));
+
+    let oracle_fed = world.oracle(&trace);
+    oracle_fed.reset_counter();
+    let _ = fedsv(&oracle_fed);
+    let fed_calls = oracle_fed.loss_evaluations();
+
+    let oracle_gt = world.oracle(&trace);
+    oracle_gt.reset_counter();
+    let _ = ground_truth_valuation(&oracle_gt);
+    let gt_calls = oracle_gt.loss_evaluations();
+
+    assert!(fed_calls > 0 && gt_calls > 0);
+    assert!(
+        fed_calls < gt_calls,
+        "FedSV calls {fed_calls} should be below ground-truth calls {gt_calls}"
+    );
+}

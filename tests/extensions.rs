@@ -1,0 +1,195 @@
+//! Integration tests for the extensions and the remaining Theorem-1
+//! clause (ε-additivity): CCD++ pipeline parity, TMC estimation,
+//! stochastic-FedAvg pipelines, and additivity under utility splitting.
+
+use comfedsv::metrics::spearman_rho;
+use comfedsv::prelude::*;
+use comfedsv::shapley::{tmc_shapley, CompletionSolver, TmcConfig};
+use fedval_fl::UtilityOracle;
+
+fn world(seed: u64) -> World {
+    ExperimentBuilder::synthetic(true)
+        .num_clients(6)
+        .samples_per_client(40)
+        .test_samples(80)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn ccd_pipeline_matches_als_pipeline() {
+    let w = world(1);
+    let trace = w.train(&FlConfig::new(6, 3, 0.2, 1));
+    let oracle = w.oracle(&trace);
+    let als = comfedsv_pipeline(
+        &oracle,
+        &ComFedSvConfig::exact(5)
+            .with_lambda(1e-2)
+            .with_solver(CompletionSolver::Als),
+    );
+    let ccd = comfedsv_pipeline(
+        &oracle,
+        &ComFedSvConfig::exact(5)
+            .with_lambda(1e-2)
+            .with_solver(CompletionSolver::Ccd),
+    );
+    let rho = spearman_rho(&als.values, &ccd.values).unwrap();
+    assert!(rho > 0.9, "ALS vs CCD++ pipeline rank agreement {rho}");
+    // Objectives must be in the same ballpark (same problem, same λ).
+    let oa = als.objective_trace.last().unwrap();
+    let oc = ccd.objective_trace.last().unwrap();
+    assert!(
+        (oa - oc).abs() <= 0.5 * oa.abs().max(*oc),
+        "objective mismatch: ALS {oa}, CCD {oc}"
+    );
+}
+
+#[test]
+fn tmc_tracks_ground_truth_with_fewer_calls() {
+    let w = world(3);
+    let trace = w.train(&FlConfig::new(5, 3, 0.2, 3));
+
+    let oracle_gt = w.oracle(&trace);
+    oracle_gt.reset_counter();
+    let gt = ground_truth_valuation(&oracle_gt);
+    let gt_calls = oracle_gt.loss_evaluations();
+
+    let oracle_tmc = w.oracle(&trace);
+    oracle_tmc.reset_counter();
+    let out = tmc_shapley(
+        &oracle_tmc,
+        &TmcConfig {
+            permutations: 60,
+            truncation_tol: 0.05,
+            seed: 2,
+        },
+    );
+    let tmc_calls = oracle_tmc.loss_evaluations();
+
+    let rho = spearman_rho(&out.values, &gt).unwrap();
+    assert!(rho > 0.6, "TMC vs exact ground truth rho {rho}");
+    assert!(
+        tmc_calls < gt_calls,
+        "TMC calls {tmc_calls} should undercut exact enumeration {gt_calls}"
+    );
+}
+
+#[test]
+fn stochastic_fedavg_pipeline_runs_end_to_end() {
+    let w = world(5);
+    let cfg = FlConfig::new(6, 3, 0.2, 5)
+        .with_local_steps(3)
+        .with_batch_size(8);
+    let trace = w.train(&cfg);
+    let oracle = w.oracle(&trace);
+    let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(5).with_lambda(1e-2));
+    assert!(out.values.iter().all(|v| v.is_finite()));
+    let gt = ground_truth_valuation(&oracle);
+    let rho = spearman_rho(&out.values, &gt).unwrap();
+    assert!(rho > 0.5, "stochastic-trace pipeline quality {rho}");
+}
+
+#[test]
+fn ground_truth_additivity_under_test_set_split() {
+    // Theorem 1's additivity clause: split the server test set into two
+    // halves defining utilities U1, U2 with U = (U1 + U2)/2 (mean losses
+    // over equal halves average). The ground-truth valuation is linear in
+    // the utility, so s = (s1 + s2)/2 exactly.
+    let w = world(7);
+    let trace = w.train(&FlConfig::new(5, 3, 0.2, 7));
+
+    let n_test = w.test.len();
+    let half = n_test / 2;
+    let first: Vec<usize> = (0..half).collect();
+    let second: Vec<usize> = (half..2 * half).collect();
+    let even: Vec<usize> = (0..2 * half).collect();
+    let test_a = w.test.subset(&first);
+    let test_b = w.test.subset(&second);
+    let test_full = w.test.subset(&even);
+
+    let oracle_full = UtilityOracle::new(&trace, w.prototype.as_ref(), &test_full);
+    let oracle_a = UtilityOracle::new(&trace, w.prototype.as_ref(), &test_a);
+    let oracle_b = UtilityOracle::new(&trace, w.prototype.as_ref(), &test_b);
+
+    let s = ground_truth_valuation(&oracle_full);
+    let s1 = ground_truth_valuation(&oracle_a);
+    let s2 = ground_truth_valuation(&oracle_b);
+    for i in 0..w.num_clients() {
+        let combined = 0.5 * (s1[i] + s2[i]);
+        assert!(
+            (s[i] - combined).abs() < 1e-10,
+            "additivity violated for client {i}: {} vs {}",
+            s[i],
+            combined
+        );
+    }
+}
+
+#[test]
+fn comfedsv_approximate_additivity_under_test_set_split() {
+    // The ε-additivity clause for the completed metric: the combined
+    // valuation is close (not exact — three separate completions).
+    let w = world(9);
+    let trace = w.train(&FlConfig::new(5, 3, 0.2, 9));
+
+    let half = w.test.len() / 2;
+    let first: Vec<usize> = (0..half).collect();
+    let second: Vec<usize> = (half..2 * half).collect();
+    let even: Vec<usize> = (0..2 * half).collect();
+    let test_a = w.test.subset(&first);
+    let test_b = w.test.subset(&second);
+    let test_full = w.test.subset(&even);
+
+    let cfg = ComFedSvConfig::exact(5).with_lambda(1e-3);
+    let s = comfedsv_pipeline(
+        &UtilityOracle::new(&trace, w.prototype.as_ref(), &test_full),
+        &cfg,
+    )
+    .values;
+    let s1 = comfedsv_pipeline(
+        &UtilityOracle::new(&trace, w.prototype.as_ref(), &test_a),
+        &cfg,
+    )
+    .values;
+    let s2 = comfedsv_pipeline(
+        &UtilityOracle::new(&trace, w.prototype.as_ref(), &test_b),
+        &cfg,
+    )
+    .values;
+
+    let scale = s
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    for i in 0..w.num_clients() {
+        let combined = 0.5 * (s1[i] + s2[i]);
+        let err = (s[i] - combined).abs() / scale;
+        assert!(
+            err < 0.35,
+            "client {i}: additivity gap {err} (s = {}, combined = {combined})",
+            s[i]
+        );
+    }
+}
+
+#[test]
+fn dirichlet_partition_feeds_the_pipeline() {
+    use fedval_data::{partition_dirichlet, Dataset};
+    let base = world(11);
+    let pool = Dataset::concat(&base.clients.iter().collect::<Vec<_>>()).unwrap();
+    let clients = partition_dirichlet(&pool, 6, 0.5, 11);
+    let w = comfedsv::experiments::World {
+        clients,
+        test: base.test.clone(),
+        prototype: base.prototype.clone_model(),
+        kind: base.kind,
+    };
+    // Some shards can be empty at small alpha; training must still run
+    // (empty datasets contribute a pure-regularization gradient).
+    let trace = w.train(&FlConfig::new(4, 3, 0.2, 11));
+    let oracle = w.oracle(&trace);
+    let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-2));
+    assert_eq!(out.values.len(), 6);
+    assert!(out.values.iter().all(|v| v.is_finite()));
+}

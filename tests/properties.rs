@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) over the core valuation machinery:
+//! Shapley axioms on random games, completion-solver invariants, and
+//! metric bounds.
+
+use comfedsv::metrics::{jaccard_index, relative_difference, spearman_rho, Ecdf};
+use comfedsv::shapley::exact_shapley;
+use fedval_fl::Subset;
+use fedval_mc::{solve_als, AlsConfig, CompletionProblem};
+use proptest::prelude::*;
+
+/// A random game over `n` players encoded as utilities per coalition
+/// bitmask (index 0 = empty coalition, pinned to 0).
+fn random_game(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    let size = 1usize << n;
+    proptest::collection::vec(-10.0..10.0f64, size).prop_map(|mut v| {
+        v[0] = 0.0;
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shapley_balance_on_random_games(game in random_game(5)) {
+        let v = exact_shapley(5, |s| game[s.bits() as usize]);
+        let total: f64 = v.iter().sum();
+        let grand = game[(1usize << 5) - 1];
+        prop_assert!((total - grand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shapley_additivity_on_random_games(
+        g1 in random_game(4),
+        g2 in random_game(4),
+    ) {
+        let v1 = exact_shapley(4, |s| g1[s.bits() as usize]);
+        let v2 = exact_shapley(4, |s| g2[s.bits() as usize]);
+        let vsum = exact_shapley(4, |s| g1[s.bits() as usize] + g2[s.bits() as usize]);
+        for i in 0..4 {
+            prop_assert!((vsum[i] - (v1[i] + v2[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shapley_symmetry_after_symmetrization(game in random_game(4)) {
+        // Symmetrize players 0 and 1 by averaging over the swap; the
+        // resulting game must give them equal values.
+        let swap = |s: Subset| {
+            let mut t = s.without(0).without(1);
+            if s.contains(0) { t = t.with(1); }
+            if s.contains(1) { t = t.with(0); }
+            t
+        };
+        let sym = |s: Subset| {
+            0.5 * (game[s.bits() as usize] + game[swap(s).bits() as usize])
+        };
+        let v = exact_shapley(4, sym);
+        prop_assert!((v[0] - v[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shapley_null_player_gets_zero(game in random_game(4)) {
+        // Force player 3 to be null by ignoring its membership.
+        let v = exact_shapley(4, |s| game[s.without(3).bits() as usize]);
+        prop_assert!(v[3].abs() < 1e-9);
+    }
+
+    #[test]
+    fn als_objective_never_increases(
+        seed in 0u64..1000,
+        rank in 1usize..4,
+    ) {
+        let mut p = CompletionProblem::new(6);
+        // Deterministic pseudo-random observations from the seed.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for row in 0..6 {
+            for col in 0..8u64 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if state % 3 != 0 {
+                    let v = ((state >> 33) % 1000) as f64 / 100.0 - 5.0;
+                    p.add_observation(row, col, v);
+                }
+            }
+        }
+        let (_, trace) = solve_als(&p, &AlsConfig::new(rank).with_lambda(0.1).with_max_iters(15));
+        for w in trace.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-7, "objective increased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn relative_difference_is_bounded_for_positive_inputs(
+        a in 0.0001..100.0f64,
+        b in 0.0001..100.0f64,
+    ) {
+        let d = relative_difference(a, b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - relative_difference(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_bounded_and_symmetric(
+        xs in proptest::collection::vec(-100.0..100.0f64, 3..20),
+    ) {
+        let ys: Vec<f64> = xs.iter().rev().copied().collect();
+        if let Some(rho) = spearman_rho(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+            let rho_rev = spearman_rho(&ys, &xs).unwrap();
+            prop_assert!((rho - rho_rev).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jaccard_bounds_and_identity(
+        a in proptest::collection::vec(0usize..30, 0..15),
+        b in proptest::collection::vec(0usize..30, 0..15),
+    ) {
+        let j = jaccard_index(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((jaccard_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_normalized(
+        sample in proptest::collection::vec(-50.0..50.0f64, 1..40),
+    ) {
+        let e = Ecdf::new(sample.clone()).unwrap();
+        let mut prev = 0.0;
+        for i in -50..=50 {
+            let t = i as f64;
+            let v = e.eval(t);
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+        prop_assert!((e.eval(1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_operations_are_consistent(
+        bits in 0u64..(1 << 12),
+        i in 0usize..12,
+    ) {
+        let s = Subset::from_bits(bits);
+        prop_assert!(s.with(i).contains(i));
+        prop_assert!(!s.without(i).contains(i));
+        prop_assert_eq!(s.with(i).without(i), s.without(i));
+        prop_assert!(s.is_subset_of(s.with(i)));
+        prop_assert_eq!(s.union(s), s);
+        prop_assert_eq!(s.intersection(s), s);
+        prop_assert_eq!(s.members().len(), s.len());
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration tests validating the paper's theory on real training runs:
+//! low-rankness of the utility matrix (Example 2 / Propositions 1–2) and
+//! the Observation-1 unfairness probability.
+
+use comfedsv::prelude::*;
+use comfedsv::shapley::observation::{
+    simulate_unfairness_probability, unfairness_probability, UnfairnessParams,
+};
+use comfedsv::shapley::theory::{
+    empirical_lipschitz, path_length, prop1_rank_bound, prop2_rank_bound,
+};
+use fedval_fl::full_utility_matrix;
+use fedval_linalg::{eps_rank_upper_bound, singular_values};
+
+fn logistic_world(seed: u64) -> World {
+    ExperimentBuilder::synthetic(false)
+        .num_clients(6)
+        .samples_per_client(40)
+        .test_samples(80)
+        .regularization(0.1) // strong convexity for Prop 2
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn utility_matrix_is_approximately_low_rank() {
+    // Example 2: only a few singular values dominate.
+    let world = logistic_world(1);
+    let lr = LearningRate::proposition2(0.1, 4.0);
+    let cfg = FlConfig::new(12, 3, 0.0, 1).with_learning_rate(lr);
+    let trace = world.train(&cfg);
+    let oracle = world.oracle(&trace);
+    let u = full_utility_matrix(&oracle);
+    let sv = singular_values(&u).unwrap();
+    assert!(sv[0] > 0.0, "utility matrix should be non-trivial");
+    // Dominance: the top 5 singular values carry almost all of the energy.
+    let total: f64 = sv.iter().map(|s| s * s).sum();
+    let top5: f64 = sv.iter().take(5).map(|s| s * s).sum();
+    assert!(
+        top5 / total > 0.99,
+        "top-5 energy fraction {}",
+        top5 / total
+    );
+}
+
+#[test]
+fn eps_rank_respects_proposition_bounds() {
+    let world = logistic_world(2);
+    let lr = LearningRate::proposition2(0.1, 4.0);
+    let cfg = FlConfig::new(10, 3, 0.0, 2).with_learning_rate(lr);
+    let trace = world.train(&cfg);
+    let oracle = world.oracle(&trace);
+    let u = full_utility_matrix(&oracle);
+
+    let losses: Vec<f64> = (0..trace.num_rounds()).map(|t| oracle.base_loss(t)).collect();
+    let l1 = empirical_lipschitz(&trace, &losses).max(1e-3) * 4.0;
+    let l2 = 4.0;
+    let eps = 0.05 * u.max_abs().max(1e-12);
+
+    let bound1 = prop1_rank_bound(
+        l1,
+        l2,
+        trace.rounds[0].eta,
+        trace.rounds.last().unwrap().eta,
+        path_length(&trace),
+        eps,
+    );
+    let bound2 = prop2_rank_bound(0.1, l1, l2, trace.num_rounds(), eps);
+    let est = eps_rank_upper_bound(&u, eps).unwrap();
+    assert!(est <= bound1.max(1), "eps-rank {est} vs Prop-1 bound {bound1}");
+    assert!(est <= bound2.max(1), "eps-rank {est} vs Prop-2 bound {bound2}");
+}
+
+#[test]
+fn eps_rank_grows_slowly_with_rounds() {
+    // Prop 2: rank_ε = O(log T). Doubling T should not double the rank.
+    let rank_for = |rounds: usize| {
+        let world = logistic_world(3);
+        let lr = LearningRate::proposition2(0.1, 4.0);
+        let cfg = FlConfig::new(rounds, 3, 0.0, 3).with_learning_rate(lr);
+        let trace = world.train(&cfg);
+        let oracle = world.oracle(&trace);
+        let u = full_utility_matrix(&oracle);
+        let eps = 0.05 * u.max_abs().max(1e-12);
+        eps_rank_upper_bound(&u, eps).unwrap()
+    };
+    let r8 = rank_for(8);
+    let r16 = rank_for(16);
+    assert!(
+        r16 <= 2 * r8.max(1) + 2,
+        "eps-rank grew too fast: T=8 -> {r8}, T=16 -> {r16}"
+    );
+}
+
+#[test]
+fn observation1_formula_matches_simulation_at_paper_setting() {
+    // The paper's Example-1 setting: N = 10, m = 3, T = 10.
+    let params = UnfairnessParams {
+        rounds: 10,
+        num_clients: 10,
+        selected_per_round: 3,
+    };
+    for s in [1usize, 2, 3] {
+        let analytic = unfairness_probability(&params, s);
+        let simulated = simulate_unfairness_probability(&params, s, 30_000, 11);
+        assert!(
+            (analytic - simulated).abs() < 0.02,
+            "s={s}: analytic {analytic}, simulated {simulated}"
+        );
+    }
+}
+
+#[test]
+fn unfairness_is_substantial_at_paper_setting() {
+    // The qualitative claim behind Example 1: with T = 10, m = 3, N = 10,
+    // a gap of at least 1δ happens with high probability.
+    let params = UnfairnessParams {
+        rounds: 10,
+        num_clients: 10,
+        selected_per_round: 3,
+    };
+    let p1 = unfairness_probability(&params, 1);
+    assert!(p1 > 0.3, "P_1 = {p1} should be substantial");
+}
+
+#[test]
+fn non_increasing_learning_rate_assumption_holds() {
+    let lr = LearningRate::proposition2(0.1, 4.0);
+    for t in 0..50 {
+        assert!(lr.at(t + 1) <= lr.at(t));
+    }
+    assert!(lr.is_non_increasing());
+}

@@ -8,7 +8,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Builds a masked low-rank problem of the utility-matrix shape.
-fn masked_problem(rows: usize, cols: usize, rank: usize, keep: f64, seed: u64) -> CompletionProblem {
+fn masked_problem(
+    rows: usize,
+    cols: usize,
+    rank: usize,
+    keep: f64,
+    seed: u64,
+) -> CompletionProblem {
     let mut rng = StdRng::seed_from_u64(seed);
     let w: Vec<Vec<f64>> = (0..rows)
         .map(|_| (0..rank).map(|_| rng.random::<f64>() - 0.5).collect())

@@ -45,5 +45,10 @@ fn bench_matmul_transpose(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_svd, bench_ridge_solve, bench_matmul_transpose);
+criterion_group!(
+    benches,
+    bench_svd,
+    bench_ridge_solve,
+    bench_matmul_transpose
+);
 criterion_main!(benches);

@@ -9,7 +9,11 @@ use fedval_shapley::{
     EstimatorKind, FedSvConfig,
 };
 
-fn build(n: usize, rounds: usize, k: usize) -> (comfedsv::experiments::World, fedval_fl::TrainingTrace) {
+fn build(
+    n: usize,
+    rounds: usize,
+    k: usize,
+) -> (comfedsv::experiments::World, fedval_fl::TrainingTrace) {
     let world = ExperimentBuilder::synthetic(false)
         .num_clients(n)
         .samples_per_client(30)

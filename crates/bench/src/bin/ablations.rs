@@ -195,7 +195,11 @@ fn ablation_heterogeneity() {
             com_d += relative_difference(out.values[0], out.values[9]) / trials as f64;
         }
         println!("{alpha:>8}  {fed_d:>12.4}  {com_d:>12.4}");
-        csv.push(vec![format!("{alpha}"), format!("{fed_d}"), format!("{com_d}")]);
+        csv.push(vec![
+            format!("{alpha}"),
+            format!("{fed_d}"),
+            format!("{com_d}"),
+        ]);
     }
     let _ = write_csv(
         "ablation_heterogeneity",

@@ -21,7 +21,10 @@ fn main() {
     );
     let p_fed = fraction_where(&result.fedsv_diffs, |d| d > 0.5);
     let p_com = fraction_where(&result.comfedsv_diffs, |d| d > 0.5);
-    println!("== Example 1: P(d_0,9 > 0.5) over {} trials ==", prof.fairness_trials);
+    println!(
+        "== Example 1: P(d_0,9 > 0.5) over {} trials ==",
+        prof.fairness_trials
+    );
     println!("FedSV    : {:.2}  (paper reports ~0.65)", p_fed);
     println!("ComFedSV : {:.2}  (should be much smaller)", p_com);
 

@@ -9,7 +9,7 @@
 //! the logistic task.
 
 use comfedsv::experiments::{DatasetKind, ExperimentBuilder};
-use fedval_bench::{profile, print_series, write_csv};
+use fedval_bench::{print_series, profile, write_csv};
 use fedval_fl::{full_utility_matrix, FlConfig};
 use fedval_linalg::singular_values;
 use fedval_shapley::theory::{empirical_lipschitz, path_length, prop1_rank_bound};
@@ -67,7 +67,9 @@ fn main() {
 
         // Proposition-1 bound check for the strongly-convex logistic task.
         if matches!(kind, DatasetKind::Synthetic { .. }) {
-            let losses: Vec<f64> = (0..trace.num_rounds()).map(|t| oracle.base_loss(t)).collect();
+            let losses: Vec<f64> = (0..trace.num_rounds())
+                .map(|t| oracle.base_loss(t))
+                .collect();
             let l1 = empirical_lipschitz(&trace, &losses).max(1e-3) * 4.0;
             let eps = 0.05 * u.max_abs();
             let bound = prop1_rank_bound(

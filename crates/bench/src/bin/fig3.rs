@@ -12,7 +12,7 @@
 //! is set by what partial observation can recover.
 
 use comfedsv::experiments::ExperimentBuilder;
-use fedval_bench::{profile, print_series, write_csv};
+use fedval_bench::{print_series, profile, write_csv};
 use fedval_fl::{full_utility_matrix, FlConfig};
 use fedval_mc::{solve_als, AlsConfig, CompletionProblem};
 

@@ -25,7 +25,11 @@ fn main() {
         );
         let fed = Ecdf::new(result.fedsv_diffs.clone()).expect("non-empty, finite");
         let com = Ecdf::new(result.comfedsv_diffs.clone()).expect("non-empty, finite");
-        println!("\n== Fig 5: ECDF of d_0,9 on {} ({} trials) ==", kind.name(), prof.fairness_trials);
+        println!(
+            "\n== Fig 5: ECDF of d_0,9 on {} ({} trials) ==",
+            kind.name(),
+            prof.fairness_trials
+        );
         println!("{:>6}  {:>12}  {:>12}", "t", "FedSV", "ComFedSV");
         for &t in &grid {
             println!("{:>6.2}  {:>12.4}  {:>12.4}", t, fed.eval(t), com.eval(t));
@@ -40,11 +44,13 @@ fn main() {
         // in the tails (the paper's 50-trial curves have the same grain).
         let slack = 1.0 / prof.fairness_trials as f64;
         let dominates = com.dominates(&fed, &grid, slack);
-        println!(
-            "ComFedSV stochastically dominates FedSV within one-trial slack: {dominates}"
-        );
+        println!("ComFedSV stochastically dominates FedSV within one-trial slack: {dominates}");
     }
-    match write_csv("fig5", &["dataset", "t", "fedsv_cdf", "comfedsv_cdf"], &csv_rows) {
+    match write_csv(
+        "fig5",
+        &["dataset", "t", "fedsv_cdf", "comfedsv_cdf"],
+        &csv_rows,
+    ) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }

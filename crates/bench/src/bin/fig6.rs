@@ -30,7 +30,10 @@ fn main() {
 
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     println!("== Fig 6: Spearman correlation with the true noise ranking ==");
-    println!("{:>10}  {:>12}  {:>12}  {:>12}", "dataset", "groundtruth", "FedSV", "ComFedSV");
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>12}",
+        "dataset", "groundtruth", "FedSV", "ComFedSV"
+    );
     for kind in DatasetKind::suite(false) {
         let world = ExperimentBuilder::new(kind)
             .num_clients(n)
@@ -63,7 +66,11 @@ fn main() {
             format!("{rho_com}"),
         ]);
     }
-    match write_csv("fig6", &["dataset", "ground_truth", "fedsv", "comfedsv"], &csv_rows) {
+    match write_csv(
+        "fig6",
+        &["dataset", "ground_truth", "fedsv", "comfedsv"],
+        &csv_rows,
+    ) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }

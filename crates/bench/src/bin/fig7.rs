@@ -20,8 +20,9 @@ fn main() {
     let prof = profile();
     let n = prof.many_clients;
     let noisy_count = (n / 10).max(1);
-    let noisy_clients: Vec<(usize, f64)> =
-        (0..noisy_count).map(|i| (i * (n / noisy_count), 0.3)).collect();
+    let noisy_clients: Vec<(usize, f64)> = (0..noisy_count)
+        .map(|i| (i * (n / noisy_count), 0.3))
+        .collect();
     let truth: Vec<usize> = noisy_clients.iter().map(|&(c, _)| c).collect();
 
     println!(
@@ -55,8 +56,8 @@ fn main() {
         // ComFedSV with M ≈ 2 N ln N global permutations (the paper's
         // O(N log N) sample complexity with a safety factor — estimator
         // variance at smaller M degrades the bottom-k set).
-        let m_perms = ((2.0 * n as f64 * (n as f64).ln()).ceil() as usize)
-            .max(prof.mc_permutations);
+        let m_perms =
+            ((2.0 * n as f64 * (n as f64).ln()).ceil() as usize).max(prof.mc_permutations);
         let com = comfedsv_pipeline(
             &oracle,
             &ComFedSvConfig {
@@ -80,7 +81,11 @@ fn main() {
             format!("{j_com}"),
         ]);
     }
-    match write_csv("fig7", &["m_percent", "fedsv_jaccard", "comfedsv_jaccard"], &csv_rows) {
+    match write_csv(
+        "fig7",
+        &["m_percent", "fedsv_jaccard", "comfedsv_jaccard"],
+        &csv_rows,
+    ) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }

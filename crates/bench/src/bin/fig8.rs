@@ -20,7 +20,10 @@ fn main() {
     let rounds = prof.short_rounds;
     let participation = 0.3;
     let max_n = prof.many_clients.max(40);
-    let ns: Vec<usize> = (1..=5).map(|i| max_n * i / 5).filter(|&n| n >= 10).collect();
+    let ns: Vec<usize> = (1..=5)
+        .map(|i| max_n * i / 5)
+        .filter(|&n| n >= 10)
+        .collect();
 
     println!("== Fig 8: valuation wall time, 30% participation, {rounds} rounds ==");
     println!(
@@ -38,8 +41,7 @@ fn main() {
             .build();
         // FedSV runs on plain FedAvg; ComFedSV on the Assumption-1 protocol
         // (with its extra full round), as in the paper's respective setups.
-        let trace_plain =
-            world.train(&FlConfig::new(rounds, k, 0.2, 9).with_everyone_heard(false));
+        let trace_plain = world.train(&FlConfig::new(rounds, k, 0.2, 9).with_everyone_heard(false));
         let trace = world.train(&FlConfig::new(rounds, k, 0.2, 9));
 
         // FedSV timing (fresh oracle so cache/counters are isolated).
@@ -97,7 +99,14 @@ fn main() {
     println!(" ratio starts near K/N and drifts upward with N at fixed T — see EXPERIMENTS.md)");
     match write_csv(
         "fig8",
-        &["n", "fedsv_seconds", "comfedsv_seconds", "ratio", "fedsv_calls", "comfedsv_calls"],
+        &[
+            "n",
+            "fedsv_seconds",
+            "comfedsv_seconds",
+            "ratio",
+            "fedsv_calls",
+            "comfedsv_calls",
+        ],
         &csv_rows,
     ) {
         Ok(path) => println!("\nwrote {}", path.display()),

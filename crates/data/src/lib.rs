@@ -29,7 +29,7 @@ pub mod randn;
 pub mod synthetic;
 
 pub use dataset::Dataset;
-pub use images::{SimCifar10, SimFashionMnist, SimMnist, SimImageConfig};
+pub use images::{SimCifar10, SimFashionMnist, SimImageConfig, SimMnist};
 pub use noise::{add_feature_noise, flip_labels};
 pub use partition::{duplicate_client, partition_dirichlet, partition_iid, partition_shards};
 pub use randn::NormalSampler;

@@ -161,9 +161,7 @@ fn gamma_sample(rng: &mut StdRng, normal: &mut crate::NormalSampler, alpha: f64)
             continue;
         }
         let u: f64 = rng.random();
-        if u < 1.0 - 0.0331 * x.powi(4)
-            || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-        {
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
             return d * v;
         }
     }

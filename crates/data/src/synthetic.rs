@@ -269,7 +269,10 @@ mod tests {
     fn deterministic_given_seed() {
         let a = SyntheticFederated::generate(&small_config(1.0, 1.0, 9));
         let b = SyntheticFederated::generate(&small_config(1.0, 1.0, 9));
-        assert_eq!(a.client_data[0].features().as_slice(), b.client_data[0].features().as_slice());
+        assert_eq!(
+            a.client_data[0].features().as_slice(),
+            b.client_data[0].features().as_slice()
+        );
         assert_eq!(a.client_data[2].labels(), b.client_data[2].labels());
     }
 
@@ -277,7 +280,10 @@ mod tests {
     fn different_seeds_differ() {
         let a = SyntheticFederated::generate(&small_config(1.0, 1.0, 1));
         let b = SyntheticFederated::generate(&small_config(1.0, 1.0, 2));
-        assert_ne!(a.client_data[0].features().as_slice(), b.client_data[0].features().as_slice());
+        assert_ne!(
+            a.client_data[0].features().as_slice(),
+            b.client_data[0].features().as_slice()
+        );
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! [`TrainingTrace`]: every client's local model in every round, the
 //! selected subsets, and the server-side test losses. The
 //! [`utility::UtilityOracle`] then evaluates the paper's round utilities
-//! `U_t(S) = ℓ(w_t; D_c) − ℓ(mean_{k∈S} w^{t+1}_k; D_c)` on demand, with
-//! caching and call counting (the cost unit of the paper's Fig. 8).
+//! `U_t(S) = ℓ(w_t; D_c) − ℓ(mean_{k∈S} w^{t+1}_k; D_c)` — either one
+//! cell at a time, or (the fast path) as an [`EvalPlan`] batch spread
+//! across worker threads with per-worker scratch models. Evaluations are
+//! cached exactly-once and counted (the cost unit of the paper's Fig. 8).
 //!
 //! * [`subset`] — bitmask-encoded client coalitions.
 //! * [`config`] — simulation configuration.
 //! * [`trainer`] — the FedAvg loop producing a [`TrainingTrace`].
-//! * [`utility`] — the utility oracle.
+//! * [`utility`] — the utility oracle and its batch evaluation engine.
 //! * [`utility_matrix`] — full and observed utility-matrix builders.
 
 pub mod config;
@@ -30,5 +32,5 @@ pub mod utility_matrix;
 pub use config::FlConfig;
 pub use subset::Subset;
 pub use trainer::{train_federated, TrainingTrace};
-pub use utility::UtilityOracle;
+pub use utility::{EvalPlan, UtilityOracle};
 pub use utility_matrix::{full_utility_matrix, observed_entries, ObservedEntry};

@@ -67,7 +67,10 @@ pub fn train_federated(
 ) -> TrainingTrace {
     let n = clients.len();
     assert!(n > 0, "need at least one client");
-    assert!(n <= Subset::MAX_CLIENTS, "too many clients for subset masks");
+    assert!(
+        n <= Subset::MAX_CLIENTS,
+        "too many clients for subset masks"
+    );
     let k = config.clients_per_round.clamp(1, n);
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -141,10 +144,10 @@ fn parallel_local_updates(
     let chunk = n.div_ceil(threads);
     let mut out: Vec<Vec<f64>> = vec![Vec::new(); n];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (chunk_idx, out_chunk) in out.chunks_mut(chunk).enumerate() {
             let start = chunk_idx * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut model = prototype.clone_model();
                 for (offset, slot) in out_chunk.iter_mut().enumerate() {
                     let i = start + offset;
@@ -168,8 +171,7 @@ fn parallel_local_updates(
                 }
             });
         }
-    })
-    .expect("local update threads panicked");
+    });
 
     out
 }
@@ -345,7 +347,10 @@ mod tests {
         let expected = rounds as f64 * 2.0 / 6.0;
         for (i, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.2, "client {i} selected {c} times (expected ~{expected})");
+            assert!(
+                dev < 0.2,
+                "client {i} selected {c} times (expected ~{expected})"
+            );
         }
     }
 
@@ -355,7 +360,10 @@ mod tests {
         let cfg = FlConfig::new(3, 2, 0.1, 5).with_batch_size(4);
         let a = train_federated(&proto(), &cl, &cfg);
         let b = train_federated(&proto(), &cl, &cfg);
-        assert_eq!(a.final_params, b.final_params, "seeded minibatches are reproducible");
+        assert_eq!(
+            a.final_params, b.final_params,
+            "seeded minibatches are reproducible"
+        );
         let full = train_federated(&proto(), &cl, &FlConfig::new(3, 2, 0.1, 5));
         assert_ne!(
             a.final_params, full.final_params,

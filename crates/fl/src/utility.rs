@@ -1,4 +1,4 @@
-//! The round-utility oracle.
+//! The round-utility oracle and its parallel batch evaluation engine.
 //!
 //! Implements the paper's per-round utility (equations (6) and the
 //! definition of `U_t`):
@@ -8,27 +8,134 @@
 //! U_t(S)  = u_t(w̄_S),   w̄_S = mean_{k∈S} w^{t+1}_k
 //! ```
 //!
-//! The oracle caches evaluated entries (keyed by `(t, S)`) and counts
-//! test-loss evaluations — the dominant cost in both FedSV and ComFedSV and
-//! the unit in which the paper's Fig. 8 compares running times.
+//! Test-loss evaluations of `U_t(S)` dominate the cost of every valuation
+//! method — they are the unit in which the paper's Fig. 8 compares running
+//! times — so this module is built around evaluating *batches* of them in
+//! parallel rather than one call at a time.
+//!
+//! # Architecture: plan → parallel evaluate → read
+//!
+//! 1. **Plan.** A caller (the ComFedSV pipeline, FedSV, TMC, group
+//!    testing, the utility-matrix builders) first collects the distinct
+//!    `(round, subset)` cells it will need into an [`EvalPlan`]. The plan
+//!    deduplicates cells and preserves first-insertion order, so callers
+//!    can also replay it to build downstream structures (e.g. a
+//!    completion problem) in a deterministic order.
+//! 2. **Parallel evaluate.** [`UtilityOracle::evaluate_plan`] partitions
+//!    the not-yet-evaluated cells across worker threads. Each worker
+//!    clones the model prototype once ([`Model::clone_model`] is a plain
+//!    deep copy of the flat parameter vector, so per-worker scratch
+//!    models are cheap) and writes each result into that cell's
+//!    write-once slot. Slots are `OnceLock`s: a cell is computed exactly
+//!    once no matter how many threads race on it, and reads after
+//!    initialization are lock-free.
+//! 3. **Read.** [`UtilityOracle::utility`] stays the single-cell API it
+//!    always was — now a thin shim over the result table. A cache miss
+//!    (a cell outside any evaluated plan) falls back to a serial
+//!    evaluation on the shared scratch model, so incremental callers keep
+//!    working unchanged.
+//!
+//! Determinism: `U_t(S)` depends only on the recorded trace, the model
+//! architecture, and the test set — not on which worker computes it or in
+//! what order — so valuations are bit-for-bit identical between serial
+//! and parallel runs. The engine's tests and
+//! `crates/fl/tests/oracle_concurrency.rs` assert both that and the
+//! exactly-once evaluation guarantee.
+//!
+//! The oracle also counts test-loss evaluations
+//! ([`UtilityOracle::loss_evaluations`]) — the paper's cost unit.
 
 use crate::subset::Subset;
 use crate::trainer::TrainingTrace;
 use fedval_data::Dataset;
 use fedval_models::Model;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// An ordered, deduplicated batch of `(round, subset)` utility cells to
+/// evaluate. Empty subsets are skipped on insertion (`U_t(∅) = 0` by
+/// convention and needs no model evaluation).
+#[derive(Debug, Clone, Default)]
+pub struct EvalPlan {
+    cells: Vec<(usize, Subset)>,
+    seen: HashSet<(usize, Subset)>,
+}
+
+impl EvalPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        EvalPlan::default()
+    }
+
+    /// Adds one cell. Duplicates and empty subsets are ignored.
+    pub fn add(&mut self, round: usize, subset: Subset) {
+        if !subset.is_empty() && self.seen.insert((round, subset)) {
+            self.cells.push((round, subset));
+        }
+    }
+
+    /// Adds every subset of `universe` (the in-cohort coalitions of a
+    /// round), in the subset-enumeration order of [`Subset::subsets`].
+    pub fn add_subsets_of(&mut self, round: usize, universe: Subset) {
+        for s in universe.subsets() {
+            self.add(round, s);
+        }
+    }
+
+    /// Adds the cell `(t, subset)` for every round `t < rounds` — the
+    /// column of the utility matrix needed by `U(S) = Σ_t U_t(S)`.
+    pub fn add_column(&mut self, rounds: usize, subset: Subset) {
+        for t in 0..rounds {
+            self.add(t, subset);
+        }
+    }
+
+    /// Adds every non-empty prefix coalition of a permutation walk
+    /// (the cells a per-round permutation estimator reads).
+    pub fn add_prefixes(&mut self, round: usize, order: &[usize]) {
+        let mut prefix = Subset::EMPTY;
+        for &i in order {
+            prefix = prefix.with(i);
+            self.add(round, prefix);
+        }
+    }
+
+    /// The planned cells in insertion order.
+    pub fn cells(&self) -> &[(usize, Subset)] {
+        &self.cells
+    }
+
+    /// Number of distinct planned cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when nothing is planned.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// A write-once utility cell: evaluated exactly once, read lock-free.
+type Cell = Arc<OnceLock<f64>>;
 
 /// Evaluates `U_t(S)` against a recorded [`TrainingTrace`].
 pub struct UtilityOracle<'a> {
     trace: &'a TrainingTrace,
     test_data: &'a Dataset,
-    /// Scratch model used for loss evaluation (parameters swapped per call).
+    /// Architecture + initial parameters; cloned once per batch worker.
+    prototype: Box<dyn Model>,
+    /// Scratch model for the serial single-cell fallback path.
     scratch: Mutex<Box<dyn Model>>,
     /// `ℓ(w_t; D_c)` per round, computed once.
     base_losses: Vec<f64>,
-    cache: Mutex<HashMap<(usize, Subset), f64>>,
-    calls: Mutex<u64>,
+    /// The result table: one write-once slot per evaluated cell.
+    table: RwLock<HashMap<(usize, Subset), Cell>>,
+    calls: AtomicU64,
+    /// Worker threads used by [`Self::evaluate_plan`].
+    parallelism: usize,
 }
 
 impl<'a> UtilityOracle<'a> {
@@ -49,11 +156,32 @@ impl<'a> UtilityOracle<'a> {
         UtilityOracle {
             trace,
             test_data,
+            prototype: prototype.clone_model(),
             scratch: Mutex::new(scratch),
             base_losses,
-            cache: Mutex::new(HashMap::new()),
-            calls: Mutex::new(calls),
+            table: RwLock::new(HashMap::new()),
+            calls: AtomicU64::new(calls),
+            parallelism: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
         }
+    }
+
+    /// Overrides the number of worker threads batch evaluation may use
+    /// (`1` forces the serial path; used by the throughput benchmarks).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.set_parallelism(threads);
+        self
+    }
+
+    /// See [`Self::with_parallelism`].
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
+    }
+
+    /// Worker threads batch evaluation may use.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// The trace this oracle reads.
@@ -78,37 +206,102 @@ impl<'a> UtilityOracle<'a> {
 
     /// Total test-loss evaluations so far (the paper's cost unit).
     pub fn loss_evaluations(&self) -> u64 {
-        *self.calls.lock()
+        self.calls.load(Ordering::Relaxed)
     }
 
     /// Resets the call counter (used between timed phases in Fig. 8).
     pub fn reset_counter(&self) {
-        *self.calls.lock() = 0;
+        self.calls.store(0, Ordering::Relaxed);
+    }
+
+    /// The write-once slot for a cell, creating it if needed.
+    fn slot(&self, cell: (usize, Subset)) -> Cell {
+        if let Some(slot) = self.table.read().get(&cell) {
+            return Arc::clone(slot);
+        }
+        Arc::clone(self.table.write().entry(cell).or_default())
+    }
+
+    /// Evaluates one cell on the given scratch model. Counted.
+    fn compute_cell(&self, model: &mut dyn Model, t: usize, s: Subset) -> f64 {
+        let aggregate = self
+            .trace
+            .aggregate(t, s)
+            .expect("non-empty subset aggregates");
+        model.set_params(&aggregate);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.base_losses[t] - model.loss(self.test_data)
+    }
+
+    /// Evaluates every planned cell that is not yet in the result table,
+    /// in parallel across [`Self::parallelism`] workers with per-worker
+    /// scratch models. Each cell is evaluated exactly once even when
+    /// plans overlap or other threads query concurrently.
+    pub fn evaluate_plan(&self, plan: &EvalPlan) {
+        let pending: Vec<((usize, Subset), Cell)> = plan
+            .cells()
+            .iter()
+            .inspect(|(t, _)| assert!(*t < self.trace.num_rounds(), "round out of range"))
+            .map(|&cell| (cell, self.slot(cell)))
+            .filter(|(_, slot)| slot.get().is_none())
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        // Thread spawn + per-worker model clone costs tens of µs; on cheap
+        // models a loss evaluation is single-digit µs. Only fan out when
+        // each worker gets enough cells to amortize its setup — small
+        // batches (e.g. TMC's per-prefix T-cell columns) stay serial.
+        const MIN_CELLS_PER_WORKER: usize = 16;
+        let threads = self
+            .parallelism
+            .min(pending.len() / MIN_CELLS_PER_WORKER)
+            .max(1);
+        if threads == 1 {
+            // Lock order must match `utility()` — slot first, scratch
+            // inside the init closure — or a concurrent single-cell call
+            // holding a slot while waiting for the scratch mutex would
+            // deadlock against us holding scratch while waiting on the slot.
+            for ((t, s), slot) in &pending {
+                slot.get_or_init(|| {
+                    let mut scratch = self.scratch.lock();
+                    self.compute_cell(scratch.as_mut(), *t, *s)
+                });
+            }
+            return;
+        }
+        let chunk = pending.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for work in pending.chunks(chunk) {
+                scope.spawn(move || {
+                    let mut model = self.prototype.clone_model();
+                    for ((t, s), slot) in work {
+                        slot.get_or_init(|| self.compute_cell(model.as_mut(), *t, *s));
+                    }
+                });
+            }
+        });
     }
 
     /// The round utility `U_t(S)`. Empty coalitions produce no model, so
     /// `U_t(∅) = 0` by convention (no contribution, no utility).
+    ///
+    /// A thin shim over the result table: planned-and-evaluated cells are
+    /// lock-free reads; anything else is evaluated serially on the shared
+    /// scratch model and stored.
     pub fn utility(&self, t: usize, s: Subset) -> f64 {
         assert!(t < self.trace.num_rounds(), "round out of range");
         if s.is_empty() {
             return 0.0;
         }
-        if let Some(&v) = self.cache.lock().get(&(t, s)) {
+        let slot = self.slot((t, s));
+        if let Some(&v) = slot.get() {
             return v;
         }
-        let aggregate = self
-            .trace
-            .aggregate(t, s)
-            .expect("non-empty subset aggregates");
-        let loss = {
+        *slot.get_or_init(|| {
             let mut scratch = self.scratch.lock();
-            scratch.set_params(&aggregate);
-            *self.calls.lock() += 1;
-            scratch.loss(self.test_data)
-        };
-        let value = self.base_losses[t] - loss;
-        self.cache.lock().insert((t, s), value);
-        value
+            self.compute_cell(scratch.as_mut(), t, s)
+        })
     }
 
     /// Marginal contribution `U_t(S ∪ {i}) − U_t(S)`.
@@ -118,9 +311,19 @@ impl<'a> UtilityOracle<'a> {
     }
 
     /// Total utility over all rounds `U(S) = Σ_t U_t(S)` — the whole-run
-    /// utility function of Theorem 1.
+    /// utility function of Theorem 1. Reads cells serially; see
+    /// [`Self::total_utility_parallel`] for the batched variant.
     pub fn total_utility(&self, s: Subset) -> f64 {
         (0..self.num_rounds()).map(|t| self.utility(t, s)).sum()
+    }
+
+    /// [`Self::total_utility`] with the column's missing cells evaluated
+    /// as one parallel batch first. Bit-identical to the serial variant.
+    pub fn total_utility_parallel(&self, s: Subset) -> f64 {
+        let mut plan = EvalPlan::new();
+        plan.add_column(self.num_rounds(), s);
+        self.evaluate_plan(&plan);
+        self.total_utility(s)
     }
 }
 
@@ -248,6 +451,112 @@ mod tests {
             let u01 = oracle.utility(t, Subset::from_indices(&[0, 1]));
             let u31 = oracle.utility(t, Subset::from_indices(&[3, 1]));
             assert!((u01 - u31).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn plan_dedups_and_skips_empty() {
+        let mut plan = EvalPlan::new();
+        plan.add(0, Subset::EMPTY);
+        plan.add(0, Subset::from_indices(&[1]));
+        plan.add(0, Subset::from_indices(&[1]));
+        plan.add(1, Subset::from_indices(&[1]));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.cells(),
+            &[
+                (0, Subset::from_indices(&[1])),
+                (1, Subset::from_indices(&[1]))
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_subsets_matches_enumeration_order() {
+        let mut plan = EvalPlan::new();
+        let u = Subset::from_indices(&[0, 2]);
+        plan.add_subsets_of(3, u);
+        let expected: Vec<(usize, Subset)> = u
+            .subsets()
+            .filter(|s| !s.is_empty())
+            .map(|s| (3, s))
+            .collect();
+        assert_eq!(plan.cells(), expected.as_slice());
+    }
+
+    #[test]
+    fn plan_prefixes_adds_the_permutation_walk() {
+        let mut plan = EvalPlan::new();
+        plan.add_prefixes(0, &[2, 0, 1]);
+        assert_eq!(
+            plan.cells(),
+            &[
+                (0, Subset::from_indices(&[2])),
+                (0, Subset::from_indices(&[0, 2])),
+                (0, Subset::from_indices(&[0, 1, 2])),
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_evaluation_matches_serial_and_counts_once() {
+        let (trace, proto, test) = setup();
+
+        // Serial reference.
+        let serial = UtilityOracle::new(&trace, &proto, &test).with_parallelism(1);
+        // Parallel engine.
+        let parallel = UtilityOracle::new(&trace, &proto, &test).with_parallelism(4);
+
+        let mut plan = EvalPlan::new();
+        for t in 0..trace.num_rounds() {
+            plan.add_subsets_of(t, Subset::full(4));
+        }
+        serial.reset_counter();
+        parallel.reset_counter();
+        serial.evaluate_plan(&plan);
+        parallel.evaluate_plan(&plan);
+
+        assert_eq!(serial.loss_evaluations(), plan.len() as u64);
+        assert_eq!(parallel.loss_evaluations(), plan.len() as u64);
+        for &(t, s) in plan.cells() {
+            let a = serial.utility(t, s);
+            let b = parallel.utility(t, s);
+            assert_eq!(a.to_bits(), b.to_bits(), "cell ({t}, {s:?}) diverged");
+        }
+        // Re-evaluating the same plan is free.
+        parallel.evaluate_plan(&plan);
+        assert_eq!(parallel.loss_evaluations(), plan.len() as u64);
+    }
+
+    #[test]
+    fn batch_then_single_cell_reads_are_consistent() {
+        let (trace, proto, test) = setup();
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let s = Subset::from_indices(&[0, 1]);
+        let mut plan = EvalPlan::new();
+        plan.add_column(trace.num_rounds(), s);
+        oracle.evaluate_plan(&plan);
+        let before = oracle.loss_evaluations();
+        let total = oracle.total_utility(s);
+        assert_eq!(
+            oracle.loss_evaluations(),
+            before,
+            "column reads must all hit the table"
+        );
+        assert_eq!(total, oracle.total_utility_parallel(s));
+    }
+
+    #[test]
+    fn total_utility_parallel_matches_serial_bits() {
+        let (trace, proto, test) = setup();
+        let a = UtilityOracle::new(&trace, &proto, &test).with_parallelism(1);
+        let b = UtilityOracle::new(&trace, &proto, &test).with_parallelism(8);
+        for bits in 1u64..16 {
+            let s = Subset::from_bits(bits);
+            assert_eq!(
+                a.total_utility(s).to_bits(),
+                b.total_utility_parallel(s).to_bits()
+            );
         }
     }
 }

@@ -10,7 +10,7 @@
 //!   `{(t, S) : S ⊆ I_t}`, which feed the matrix-completion problem (9).
 
 use crate::subset::Subset;
-use crate::utility::UtilityOracle;
+use crate::utility::{EvalPlan, UtilityOracle};
 use fedval_linalg::Matrix;
 
 /// One observed utility-matrix entry.
@@ -32,9 +32,18 @@ pub struct ObservedEntry {
 /// the Monte-Carlo estimator.
 pub fn full_utility_matrix(oracle: &UtilityOracle<'_>) -> Matrix {
     let n = oracle.num_clients();
-    assert!(n <= 16, "full utility matrix is exponential; use sampling for N > 16");
+    assert!(
+        n <= 16,
+        "full utility matrix is exponential; use sampling for N > 16"
+    );
     let t = oracle.num_rounds();
     let cols = 1usize << n;
+    // Evaluate the whole grid as one parallel batch, then read it out.
+    let mut plan = EvalPlan::new();
+    for round in 0..t {
+        plan.add_subsets_of(round, Subset::full(n));
+    }
+    oracle.evaluate_plan(&plan);
     let mut m = Matrix::zeros(t, cols);
     for round in 0..t {
         let row = 0..cols;
@@ -54,21 +63,19 @@ pub fn full_utility_matrix(oracle: &UtilityOracle<'_>) -> Matrix {
 /// selected set of the round.
 pub fn observed_entries(oracle: &UtilityOracle<'_>) -> Vec<ObservedEntry> {
     let t = oracle.num_rounds();
-    let mut out = Vec::new();
+    let mut plan = EvalPlan::new();
     for round in 0..t {
-        let selected = oracle.trace().selected(round);
-        for s in selected.subsets() {
-            if s.is_empty() {
-                continue;
-            }
-            out.push(ObservedEntry {
-                round,
-                subset: s,
-                value: oracle.utility(round, s),
-            });
-        }
+        plan.add_subsets_of(round, oracle.trace().selected(round));
     }
-    out
+    oracle.evaluate_plan(&plan);
+    plan.cells()
+        .iter()
+        .map(|&(round, subset)| ObservedEntry {
+            round,
+            subset,
+            value: oracle.utility(round, subset),
+        })
+        .collect()
 }
 
 /// The observation mask as `(row, column-bitmask)` pairs for a given trace —
@@ -96,7 +103,11 @@ mod tests {
     use fedval_linalg::Matrix as M;
     use fedval_models::LogisticRegression;
 
-    fn setup(n: usize, rounds: usize, k: usize) -> (crate::TrainingTrace, LogisticRegression, Dataset) {
+    fn setup(
+        n: usize,
+        rounds: usize,
+        k: usize,
+    ) -> (crate::TrainingTrace, LogisticRegression, Dataset) {
         let clients: Vec<Dataset> = (0..n)
             .map(|i| {
                 let f = M::from_fn(6, 2, |r, c| ((r + c + i) % 3) as f64 - 1.0);
@@ -132,7 +143,10 @@ mod tests {
         let m = full_utility_matrix(&oracle);
         for t in 0..2 {
             for bits in 1u64..8 {
-                assert_eq!(m.get(t, bits as usize), oracle.utility(t, Subset::from_bits(bits)));
+                assert_eq!(
+                    m.get(t, bits as usize),
+                    oracle.utility(t, Subset::from_bits(bits))
+                );
             }
         }
     }

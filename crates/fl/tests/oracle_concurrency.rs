@@ -1,0 +1,141 @@
+//! Concurrency guarantees of the batch utility-evaluation engine:
+//!
+//! 1. **Exactly-once**: no matter how many threads race on overlapping
+//!    plans and single-cell queries, each distinct `(round, subset)` cell
+//!    is evaluated exactly once (`loss_evaluations()` equals the number
+//!    of distinct cells).
+//! 2. **Determinism**: values produced under contention are bit-identical
+//!    to a single-threaded run with the same seed.
+
+use fedval_data::Dataset;
+use fedval_fl::{train_federated, EvalPlan, FlConfig, Subset, UtilityOracle};
+use fedval_linalg::Matrix;
+use fedval_models::LogisticRegression;
+
+fn world(
+    n: usize,
+    rounds: usize,
+    k: usize,
+) -> (fedval_fl::TrainingTrace, LogisticRegression, Dataset) {
+    let clients: Vec<Dataset> = (0..n)
+        .map(|i| {
+            let f = Matrix::from_fn(12, 3, |r, c| {
+                (((r + 1) * (c + 2) + 3 * i) % 7) as f64 / 3.0 - 1.0
+            });
+            let labels: Vec<usize> = (0..12).map(|r| (r + i) % 2).collect();
+            Dataset::new(f, labels, 2).unwrap()
+        })
+        .collect();
+    let test = {
+        let f = Matrix::from_fn(16, 3, |r, c| ((r * 3 + c) % 7) as f64 / 3.0 - 1.0);
+        let labels: Vec<usize> = (0..16).map(|r| r % 2).collect();
+        Dataset::new(f, labels, 2).unwrap()
+    };
+    let proto = LogisticRegression::new(3, 2, 0.01, 11);
+    let trace = train_federated(&proto, &clients, &FlConfig::new(rounds, k, 0.3, 5));
+    (trace, proto, test)
+}
+
+/// The full grid of distinct cells for an `n`-client, `rounds`-round run.
+fn full_plan(n: usize, rounds: usize) -> EvalPlan {
+    let mut plan = EvalPlan::new();
+    for t in 0..rounds {
+        plan.add_subsets_of(t, Subset::full(n));
+    }
+    plan
+}
+
+#[test]
+fn hammered_oracle_evaluates_each_cell_exactly_once() {
+    let (trace, proto, test) = world(6, 4, 3);
+    let n = 6;
+    let rounds = 4;
+    let plan = full_plan(n, rounds);
+    let distinct = plan.len() as u64; // (2^6 − 1) · 4 non-empty cells
+
+    let oracle = UtilityOracle::new(&trace, &proto, &test);
+    oracle.reset_counter();
+
+    // 8 hammer threads: half replay the full overlapping plan through the
+    // batch engine, half walk the same cells through the single-cell API.
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let oracle = &oracle;
+            let plan = &plan;
+            scope.spawn(move || {
+                if worker % 2 == 0 {
+                    oracle.evaluate_plan(plan);
+                } else {
+                    // Walk in a worker-dependent order to maximize races.
+                    let mut cells: Vec<_> = plan.cells().to_vec();
+                    if worker % 4 == 1 {
+                        cells.reverse();
+                    }
+                    for (t, s) in cells {
+                        let v = oracle.utility(t, s);
+                        assert!(v.is_finite());
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        oracle.loss_evaluations(),
+        distinct,
+        "every distinct cell must be evaluated exactly once under contention"
+    );
+}
+
+#[test]
+fn hammered_values_are_bit_identical_to_single_threaded() {
+    let (trace, proto, test) = world(5, 4, 3);
+    let plan = full_plan(5, 4);
+
+    // Reference: strictly single-threaded evaluation.
+    let serial = UtilityOracle::new(&trace, &proto, &test).with_parallelism(1);
+    serial.evaluate_plan(&plan);
+
+    // Contended: many batch workers plus racing readers.
+    let parallel = UtilityOracle::new(&trace, &proto, &test).with_parallelism(8);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let parallel = &parallel;
+            let plan = &plan;
+            scope.spawn(move || parallel.evaluate_plan(plan));
+        }
+    });
+
+    for &(t, s) in plan.cells() {
+        assert_eq!(
+            serial.utility(t, s).to_bits(),
+            parallel.utility(t, s).to_bits(),
+            "cell ({t}, {s:?}) must be bit-identical under contention"
+        );
+    }
+}
+
+#[test]
+fn concurrent_column_prefetches_share_the_table() {
+    let (trace, proto, test) = world(6, 5, 3);
+    let oracle = UtilityOracle::new(&trace, &proto, &test);
+    oracle.reset_counter();
+
+    // Many threads prefetch overlapping columns (the TMC access pattern).
+    let subsets: Vec<Subset> = (1u64..32).map(Subset::from_bits).collect();
+    std::thread::scope(|scope| {
+        for chunk in subsets.chunks(8) {
+            let oracle = &oracle;
+            scope.spawn(move || {
+                for &s in chunk {
+                    let a = oracle.total_utility_parallel(s);
+                    let b = oracle.total_utility(s);
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            });
+        }
+    });
+
+    // 31 subsets × 5 rounds distinct cells, each exactly once.
+    assert_eq!(oracle.loss_evaluations(), 31 * 5);
+}

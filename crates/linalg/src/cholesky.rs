@@ -168,7 +168,8 @@ mod tests {
 
     fn spd_example() -> Matrix {
         // A = Mᵀ M + I is SPD for any M.
-        let m = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
+        let m =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
         let mut a = m.transpose().matmul(&m).unwrap();
         for i in 0..3 {
             a.set(i, i, a.get(i, i) + 1.0);

@@ -57,7 +57,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
             LinalgError::NonFinite { routine } => {
                 write!(f, "{routine} encountered a non-finite value")
             }

@@ -272,7 +272,11 @@ mod tests {
             for i in 0..g.rows() {
                 for j in 0..g.cols() {
                     let want = if i == j { 1.0 } else { 0.0 };
-                    assert!(approx(g.get(i, j), want, 1e-9), "gram {i},{j} = {}", g.get(i, j));
+                    assert!(
+                        approx(g.get(i, j), want, 1e-9),
+                        "gram {i},{j} = {}",
+                        g.get(i, j)
+                    );
                 }
             }
         }
@@ -287,7 +291,11 @@ mod tests {
         for k in 0..4 {
             let rec = svd.reconstruct_rank(k);
             let err = rec.sub(&a).unwrap().max_abs();
-            assert!(err <= svd.sigma[k] + 1e-10, "k={k}: {err} vs {}", svd.sigma[k]);
+            assert!(
+                err <= svd.sigma[k] + 1e-10,
+                "k={k}: {err} vs {}",
+                svd.sigma[k]
+            );
         }
     }
 

@@ -157,18 +157,14 @@ fn solve_one(
         design.row_mut(k).copy_from_slice(other.row(other_index));
         rhs.push(value);
     }
-    let solution = cholesky::ridge_solve(&design, &rhs, lambda)
-        .expect("ridge system is SPD for lambda > 0");
+    let solution =
+        cholesky::ridge_solve(&design, &rhs, lambda).expect("ridge system is SPD for lambda > 0");
     out.copy_from_slice(&solution);
 }
 
 /// Applies `f` to every item, writing into the corresponding row of `target`
 /// in parallel chunks.
-fn parallel_for<T: Sync>(
-    items: &[T],
-    target: &mut Matrix,
-    f: impl Fn(&T, &mut [f64]) + Sync,
-) {
+fn parallel_for<T: Sync>(items: &[T], target: &mut Matrix, f: impl Fn(&T, &mut [f64]) + Sync) {
     let n = items.len();
     if n == 0 {
         return;
@@ -181,18 +177,17 @@ fn parallel_for<T: Sync>(
     let cols = target.cols();
     let chunk_rows = n.div_ceil(threads);
     let data = target.as_mut_slice();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (chunk_idx, data_chunk) in data.chunks_mut(chunk_rows * cols).enumerate() {
             let start = chunk_idx * chunk_rows;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (local, out_row) in data_chunk.chunks_mut(cols).enumerate() {
                     f(&items[start + local], out_row);
                 }
             });
         }
-    })
-    .expect("ALS worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -232,15 +227,19 @@ mod tests {
         let (p, _) = masked_low_rank(12, 16, 3, 0.4, 1);
         let (_, trace) = solve_als(&p, &AlsConfig::new(3).with_lambda(0.05));
         for w in trace.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "objective increased: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "objective increased: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
     #[test]
     fn recovers_low_rank_matrix_from_partial_observations() {
         let (p, full) = masked_low_rank(20, 24, 2, 0.5, 3);
-        let (factors, _) =
-            solve_als(&p, &AlsConfig::new(2).with_lambda(1e-3).with_max_iters(200));
+        let (factors, _) = solve_als(&p, &AlsConfig::new(2).with_lambda(1e-3).with_max_iters(200));
         let rec = factors.complete();
         let rel = rec.sub(&full).unwrap().frobenius_norm() / full.frobenius_norm();
         assert!(rel < 0.05, "relative recovery error {rel}");

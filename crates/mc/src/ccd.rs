@@ -195,7 +195,12 @@ mod tests {
         let (p, _) = masked_low_rank(12, 16, 3, 0.4, 1);
         let (_, trace) = solve_ccd(&p, &CcdConfig::new(3).with_lambda(0.05));
         for w in trace.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "objective increased: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "objective increased: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

@@ -59,6 +59,23 @@ impl CompletionProblem {
         self.col_adj[col].push(idx);
     }
 
+    /// Adds a batch of `(row, key, value)` observations in iteration
+    /// order — the natural sink for a utility-oracle batch evaluation
+    /// replayed off its plan. Column densification order (first-seen)
+    /// follows the iterator, so a deterministic iterator yields a
+    /// deterministic problem.
+    pub fn add_observations<I>(&mut self, observations: I)
+    where
+        I: IntoIterator<Item = (usize, u64, f64)>,
+    {
+        let iter = observations.into_iter();
+        let (lower, _) = iter.size_hint();
+        self.entries.reserve(lower);
+        for (row, key, value) in iter {
+            self.add_observation(row, key, value);
+        }
+    }
+
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.num_rows
@@ -140,6 +157,20 @@ mod tests {
         assert_eq!(p.row_entries(1), &[2]);
         assert_eq!(p.col_entries(0), &[0, 2]); // key 7
         assert_eq!(p.num_observations(), 3);
+    }
+
+    #[test]
+    fn bulk_add_matches_sequential_add() {
+        let obs = [(0usize, 7u64, 1.0), (0, 9, 2.0), (1, 7, 3.0)];
+        let mut bulk = CompletionProblem::new(2);
+        bulk.add_observations(obs);
+        let mut seq = CompletionProblem::new(2);
+        for (r, k, v) in obs {
+            seq.add_observation(r, k, v);
+        }
+        assert_eq!(bulk.entries(), seq.entries());
+        assert_eq!(bulk.num_cols(), seq.num_cols());
+        assert_eq!(bulk.column_key(0), seq.column_key(0));
     }
 
     #[test]

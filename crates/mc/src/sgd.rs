@@ -119,7 +119,13 @@ pub fn solve_sgd(problem: &CompletionProblem, config: &SgdConfig) -> (Factors, V
 mod tests {
     use super::*;
 
-    fn masked_low_rank(t: usize, c: usize, rank: usize, keep: f64, seed: u64) -> (CompletionProblem, Matrix) {
+    fn masked_low_rank(
+        t: usize,
+        c: usize,
+        rank: usize,
+        keep: f64,
+        seed: u64,
+    ) -> (CompletionProblem, Matrix) {
         let mut rng = StdRng::seed_from_u64(seed);
         let w = Matrix::from_fn(t, rank, |_, _| rng.random::<f64>() * 2.0 - 1.0);
         let h = Matrix::from_fn(c, rank, |_, _| rng.random::<f64>() * 2.0 - 1.0);
@@ -149,7 +155,11 @@ mod tests {
     fn fits_observed_entries() {
         let (p, _) = masked_low_rank(12, 14, 2, 0.6, 2);
         let (factors, _) = solve_sgd(&p, &SgdConfig::new(3).with_lambda(1e-3).with_epochs(300));
-        assert!(factors.observed_rmse(&p) < 0.05, "rmse {}", factors.observed_rmse(&p));
+        assert!(
+            factors.observed_rmse(&p) < 0.05,
+            "rmse {}",
+            factors.observed_rmse(&p)
+        );
     }
 
     #[test]
@@ -158,7 +168,9 @@ mod tests {
         let (f_sgd, _) = solve_sgd(&p, &SgdConfig::new(2).with_lambda(1e-3).with_epochs(400));
         let (f_als, _) = crate::als::solve_als(
             &p,
-            &crate::als::AlsConfig::new(2).with_lambda(1e-3).with_max_iters(200),
+            &crate::als::AlsConfig::new(2)
+                .with_lambda(1e-3)
+                .with_max_iters(200),
         );
         let rec_sgd = f_sgd.complete();
         let rec_als = f_als.complete();

@@ -38,7 +38,10 @@ mod tests {
 
     #[test]
     fn equal_values_give_zero() {
-        assert!(approx(gini_coefficient(&[2.0, 2.0, 2.0, 2.0]).unwrap(), 0.0));
+        assert!(approx(
+            gini_coefficient(&[2.0, 2.0, 2.0, 2.0]).unwrap(),
+            0.0
+        ));
     }
 
     #[test]

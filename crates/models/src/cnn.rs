@@ -157,8 +157,7 @@ impl Cnn {
                         acc += vector::dot(row, wrow);
                     }
                     // ReLU applied in place.
-                    conv_out[f * self.conv_h * self.conv_w + i * self.conv_w + j] =
-                        acc.max(0.0);
+                    conv_out[f * self.conv_h * self.conv_w + i * self.conv_w + j] = acc.max(0.0);
                 }
             }
         }
@@ -166,7 +165,8 @@ impl Cnn {
         pooled.clear();
         pooled.resize(self.dense_in(), 0.0);
         for f in 0..k {
-            let plane = &conv_out[f * self.conv_h * self.conv_w..(f + 1) * self.conv_h * self.conv_w];
+            let plane =
+                &conv_out[f * self.conv_h * self.conv_w..(f + 1) * self.conv_h * self.conv_w];
             for i in 0..self.pool_h {
                 for j in 0..self.pool_w {
                     let a = plane[(2 * i) * self.conv_w + 2 * j];
@@ -262,7 +262,8 @@ impl Model for Cnn {
                     &conv[f * self.conv_h * self.conv_w..(f + 1) * self.conv_h * self.conv_w];
                 for pi in 0..self.pool_h {
                     for pj in 0..self.pool_w {
-                        let pd = pooled_delta[f * self.pool_h * self.pool_w + pi * self.pool_w + pj]
+                        let pd = pooled_delta
+                            [f * self.pool_h * self.pool_w + pi * self.pool_w + pj]
                             * 0.25;
                         if pd == 0.0 {
                             continue;
@@ -280,7 +281,11 @@ impl Model for Cnn {
                                 ..self.conv_w_off + (f + 1) * KERNEL * KERNEL];
                             for ki in 0..KERNEL {
                                 let xrow = &x[(ci + ki) * w + cj..(ci + ki) * w + cj + KERNEL];
-                                vector::axpy(pd, xrow, &mut wf_grad[ki * KERNEL..(ki + 1) * KERNEL]);
+                                vector::axpy(
+                                    pd,
+                                    xrow,
+                                    &mut wf_grad[ki * KERNEL..(ki + 1) * KERNEL],
+                                );
                             }
                             out[self.conv_b_off + f] += pd;
                         }
@@ -404,7 +409,11 @@ mod tests {
             m.grad(&d, &mut g);
             vector::axpy(-0.5, &g, m.params_mut());
         }
-        assert!(m.loss(&d) < start * 0.5, "loss {} vs start {start}", m.loss(&d));
+        assert!(
+            m.loss(&d) < start * 0.5,
+            "loss {} vs start {start}",
+            m.loss(&d)
+        );
         assert!(m.accuracy(&d) > 0.8, "accuracy {}", m.accuracy(&d));
     }
 

@@ -207,7 +207,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for _ in 0..200 {
             let loss = m.grad(&d, &mut g);
-            assert!(loss <= prev + 1e-9, "loss must not increase: {loss} > {prev}");
+            assert!(
+                loss <= prev + 1e-9,
+                "loss must not increase: {loss} > {prev}"
+            );
             prev = loss;
             vector::axpy(-0.5, &g, m.params_mut());
         }

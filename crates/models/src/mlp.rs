@@ -201,8 +201,7 @@ impl Model for Mlp {
                     if dv == 0.0 {
                         continue;
                     }
-                    let w_grad =
-                        &mut out[s.w_off + o * s.input..s.w_off + (o + 1) * s.input];
+                    let w_grad = &mut out[s.w_off + o * s.input..s.w_off + (o + 1) * s.input];
                     vector::axpy(dv * inv_n, input, w_grad);
                     out[s.b_off + o] += dv * inv_n;
                 }
@@ -248,13 +247,7 @@ mod tests {
     use fedval_linalg::Matrix;
 
     fn xor_dataset() -> Dataset {
-        let f = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-        ])
-        .unwrap();
+        let f = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]).unwrap();
         Dataset::new(f, vec![0, 1, 1, 0], 2).unwrap()
     }
 

@@ -81,13 +81,8 @@ mod tests {
     use fedval_linalg::Matrix;
 
     fn blobs() -> Dataset {
-        let f = Matrix::from_rows(&[
-            &[2.0, 2.0],
-            &[2.2, 1.8],
-            &[-2.0, -2.0],
-            &[-1.8, -2.2],
-        ])
-        .unwrap();
+        let f =
+            Matrix::from_rows(&[&[2.0, 2.0], &[2.2, 1.8], &[-2.0, -2.0], &[-1.8, -2.2]]).unwrap();
         Dataset::new(f, vec![0, 0, 1, 1], 2).unwrap()
     }
 

@@ -26,8 +26,12 @@ pub trait Model: Send + Sync {
     /// Predicted class for one feature vector.
     fn predict(&self, x: &[f64]) -> usize;
 
-    /// Deep copy behind a trait object (needed because FedAvg clones one
-    /// prototype per client).
+    /// Deep copy behind a trait object. FedAvg clones one prototype per
+    /// client, and the utility oracle's batch engine clones one scratch
+    /// model per worker thread — implementations should keep this a plain
+    /// copy of the flat parameter vector (no shared interior state), so a
+    /// clone is cheap and the copies are safe to drive from different
+    /// threads.
     fn clone_model(&self) -> Box<dyn Model>;
 
     /// Number of parameters.

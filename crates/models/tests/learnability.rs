@@ -29,7 +29,10 @@ fn logistic_learns_synthetic_iid() {
     let mut m = LogisticRegression::new(train.dim(), train.num_classes(), 1e-4, 1);
     train_full_batch(&mut m, &train, 0.05, 150);
     let acc = m.accuracy(&fed.test_data);
-    assert!(acc > 0.45, "logistic on synthetic: accuracy {acc} (chance 0.1)");
+    assert!(
+        acc > 0.45,
+        "logistic on synthetic: accuracy {acc} (chance 0.1)"
+    );
 }
 
 #[test]

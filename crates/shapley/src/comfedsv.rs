@@ -55,13 +55,15 @@ impl SubsetColumns {
 }
 
 /// Exact ComFedSV over the full coalition space (Definition 4). Requires
-/// `n ≤ 20`; for larger cohorts use [`comfedsv_monte_carlo`].
-pub fn comfedsv_from_factors(
-    factors: &Factors,
-    problem: &CompletionProblem,
-    n: usize,
-) -> Vec<f64> {
-    assert!((1..=20).contains(&n), "exact ComFedSV is exponential in N");
+/// `n ≤` [`MAX_EXACT_CLIENTS`](crate::MAX_EXACT_CLIENTS) (the same gate
+/// as the exact-subsets pipeline); for larger cohorts use
+/// [`comfedsv_monte_carlo`].
+pub fn comfedsv_from_factors(factors: &Factors, problem: &CompletionProblem, n: usize) -> Vec<f64> {
+    assert!(
+        (1..=crate::MAX_EXACT_CLIENTS).contains(&n),
+        "exact ComFedSV is exponential in N (max {})",
+        crate::MAX_EXACT_CLIENTS
+    );
     let columns = SubsetColumns::new(factors, problem);
     let table = BinomialTable::new(n);
     let full = Subset::full(n);
@@ -143,8 +145,11 @@ mod tests {
     /// Rather than run ALS here, the tests construct factors directly:
     /// W = I (T×T) and H's row for subset S holds the column of utilities,
     /// so that w_tᵀ h_S = U_t(S) exactly.
-    fn exact_factors(utility: impl Fn(usize, Subset) -> f64, t: usize, n: usize)
-        -> (Factors, CompletionProblem) {
+    fn exact_factors(
+        utility: impl Fn(usize, Subset) -> f64,
+        t: usize,
+        n: usize,
+    ) -> (Factors, CompletionProblem) {
         let cols = 1usize << n;
         let mut problem = CompletionProblem::new(t);
         for bits in 0..cols as u64 {
@@ -166,11 +171,7 @@ mod tests {
     fn matches_classical_shapley_for_single_round_game() {
         // One round, utility = additive game: ComFedSV = per-player value.
         let c = [2.0, -1.0, 0.5];
-        let (f, p) = exact_factors(
-            |_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(),
-            1,
-            3,
-        );
+        let (f, p) = exact_factors(|_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(), 1, 3);
         let v = comfedsv_from_factors(&f, &p, 3);
         for (vi, ci) in v.iter().zip(&c) {
             assert!((vi - ci).abs() < 1e-12, "{vi} vs {ci}");
@@ -182,19 +183,13 @@ mod tests {
         // Two identical additive rounds double every value.
         let c = [1.0, 3.0];
         let single = {
-            let (f, p) = exact_factors(
-                |_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(),
-                1,
-                2,
-            );
+            let (f, p) =
+                exact_factors(|_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(), 1, 2);
             comfedsv_from_factors(&f, &p, 2)
         };
         let double = {
-            let (f, p) = exact_factors(
-                |_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(),
-                2,
-                2,
-            );
+            let (f, p) =
+                exact_factors(|_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(), 2, 2);
             comfedsv_from_factors(&f, &p, 2)
         };
         for (d, s) in double.iter().zip(&single) {
@@ -221,11 +216,7 @@ mod tests {
     #[test]
     fn zero_element_with_perfect_completion() {
         // Player 1 contributes nothing.
-        let (f, p) = exact_factors(
-            |_t, s| s.without(1).len() as f64 * 2.0,
-            2,
-            2,
-        );
+        let (f, p) = exact_factors(|_t, s| s.without(1).len() as f64 * 2.0, 2, 2);
         let v = comfedsv_from_factors(&f, &p, 2);
         assert!(v[1].abs() < 1e-12);
     }
@@ -233,11 +224,7 @@ mod tests {
     #[test]
     fn monte_carlo_with_all_permutations_is_exact() {
         let c = [0.5, 1.5, -0.5];
-        let (f, p) = exact_factors(
-            |_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(),
-            2,
-            3,
-        );
+        let (f, p) = exact_factors(|_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(), 2, 3);
         let exact = comfedsv_from_factors(&f, &p, 3);
         // All 6 permutations of 3 players.
         let perms: Vec<Vec<usize>> = vec![
@@ -286,11 +273,7 @@ mod tests {
         // Using all permutations, antithetic doubling must not change the
         // (already exact) answer.
         let c = [0.5, 1.5, -0.5];
-        let (f, p) = exact_factors(
-            |_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(),
-            2,
-            3,
-        );
+        let (f, p) = exact_factors(|_t, s| s.members().iter().map(|&i| c[i]).sum::<f64>(), 2, 3);
         let perms: Vec<Vec<usize>> = vec![
             vec![0, 1, 2],
             vec![0, 2, 1],

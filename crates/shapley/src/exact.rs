@@ -1,6 +1,7 @@
 //! The classical Shapley value (equation (5) with `c = 1/N`).
 
 use crate::coeffs::BinomialTable;
+use crate::MAX_EXACT_CLIENTS;
 use fedval_fl::Subset;
 
 /// Computes the exact Shapley value of every player for an arbitrary
@@ -8,7 +9,9 @@ use fedval_fl::Subset;
 ///
 /// `s_i = (1/N) Σ_{S ⊆ I\{i}} [1 / C(N−1, |S|)] (u(S ∪ {i}) − u(S))`
 ///
-/// Gated to `n ≤ 20` players (the cost is `N · 2^{N−1}` utility calls).
+/// Gated to `n ≤` [`MAX_EXACT_CLIENTS`](crate::MAX_EXACT_CLIENTS) players
+/// (the cost is `N · 2^{N−1}` utility calls) — the same gate as every
+/// other exact-enumeration path in this crate.
 ///
 /// ```
 /// use fedval_shapley::exact_shapley;
@@ -23,7 +26,10 @@ use fedval_fl::Subset;
 /// ```
 pub fn exact_shapley(n: usize, mut u: impl FnMut(Subset) -> f64) -> Vec<f64> {
     assert!(n >= 1, "need at least one player");
-    assert!(n <= 20, "exact Shapley is exponential; use sampling for n > 20");
+    assert!(
+        n <= MAX_EXACT_CLIENTS,
+        "exact Shapley is exponential; use sampling for n > {MAX_EXACT_CLIENTS}"
+    );
     let table = BinomialTable::new(n);
     // Memoize utilities: 2^n values.
     let mut cache = vec![f64::NAN; 1usize << n];
@@ -138,6 +144,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "exponential")]
     fn rejects_large_games() {
-        let _ = exact_shapley(21, |_| 0.0);
+        let _ = exact_shapley(MAX_EXACT_CLIENTS + 1, |_| 0.0);
     }
 }

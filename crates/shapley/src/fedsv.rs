@@ -8,14 +8,14 @@
 //! utility calls).
 
 use crate::coeffs::BinomialTable;
-use fedval_fl::{Subset, UtilityOracle};
+use crate::MAX_EXACT_CLIENTS;
+use fedval_fl::{EvalPlan, Subset, UtilityOracle};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Configuration for the Monte-Carlo FedSV estimator.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FedSvConfig {
     /// Permutations sampled per round; `None` chooses `⌈K ln K⌉ + 1`
     /// (the paper's `O(K log K)` sample complexity).
@@ -24,20 +24,32 @@ pub struct FedSvConfig {
     pub seed: u64,
 }
 
-
 /// Exact FedSV: per-round exact Shapley over the selected cohort.
 ///
-/// Cost: `Σ_t 2^{|I_t|}` utility evaluations — fine for the paper's small
-/// experiments (`K = 3`), infeasible for Fig. 7's `K = 50` (use
+/// Cost: `Σ_t 2^{|I_t|}` utility evaluations (batched across worker
+/// threads) — fine for the paper's small experiments (`K = 3`), gated to
+/// cohorts of at most [`MAX_EXACT_CLIENTS`](crate::MAX_EXACT_CLIENTS)
+/// clients, and infeasible for Fig. 7's `K = 50` (use
 /// [`fedsv_monte_carlo`]).
 pub fn fedsv(oracle: &UtilityOracle<'_>) -> Vec<f64> {
     let n = oracle.num_clients();
     let table = BinomialTable::new(n.max(1));
+    // Plan every in-cohort coalition of every round, evaluate in parallel,
+    // then run the (now evaluation-free) weighted sums below.
+    let mut plan = EvalPlan::new();
+    for t in 0..oracle.num_rounds() {
+        let cohort = oracle.trace().selected(t);
+        assert!(
+            cohort.len() <= MAX_EXACT_CLIENTS,
+            "exact FedSV cohort too large; use fedsv_monte_carlo"
+        );
+        plan.add_subsets_of(t, cohort);
+    }
+    oracle.evaluate_plan(&plan);
     let mut values = vec![0.0; n];
     for t in 0..oracle.num_rounds() {
         let cohort = oracle.trace().selected(t);
         let k = cohort.len();
-        assert!(k <= 20, "exact FedSV cohort too large; use fedsv_monte_carlo");
         for i in cohort.members() {
             let others = cohort.without(i);
             let mut acc = 0.0;
@@ -56,8 +68,12 @@ pub fn fedsv(oracle: &UtilityOracle<'_>) -> Vec<f64> {
 /// of the cohort.
 pub fn fedsv_monte_carlo(oracle: &UtilityOracle<'_>, config: &FedSvConfig) -> Vec<f64> {
     let n = oracle.num_clients();
-    let mut values = vec![0.0; n];
     let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Draw every permutation up front (the RNG stream never depended on
+    // utility values, so this is the exact sequence the serial version
+    // drew), plan all prefix cells, and evaluate them as one batch.
+    let mut per_round: Vec<(usize, Vec<Vec<usize>>)> = Vec::new();
     for t in 0..oracle.num_rounds() {
         let cohort = oracle.trace().selected(t);
         let k = cohort.len();
@@ -68,12 +84,31 @@ pub fn fedsv_monte_carlo(oracle: &UtilityOracle<'_>, config: &FedSvConfig) -> Ve
             .permutations_per_round
             .unwrap_or_else(|| ((k as f64) * (k as f64).ln().max(1.0)).ceil() as usize + 1);
         let mut members = cohort.members();
-        let inv_m = 1.0 / m as f64;
-        for _ in 0..m {
-            members.shuffle(&mut rng);
+        let perms: Vec<Vec<usize>> = (0..m)
+            .map(|_| {
+                members.shuffle(&mut rng);
+                members.clone()
+            })
+            .collect();
+        per_round.push((t, perms));
+    }
+    let mut plan = EvalPlan::new();
+    for (t, perms) in &per_round {
+        for perm in perms {
+            plan.add_prefixes(*t, perm);
+        }
+    }
+    oracle.evaluate_plan(&plan);
+
+    // Accumulate marginals in the original serial order — every read is
+    // now a table hit, and the float sums are bit-identical.
+    let mut values = vec![0.0; n];
+    for (t, perms) in &per_round {
+        let inv_m = 1.0 / perms.len() as f64;
+        for perm in perms {
             let mut prefix = Subset::EMPTY;
-            for &i in &members {
-                let marginal = oracle.marginal(t, prefix, i);
+            for &i in perm {
+                let marginal = oracle.marginal(*t, prefix, i);
                 values[i] += marginal * inv_m;
                 prefix = prefix.with(i);
             }
@@ -108,7 +143,12 @@ mod tests {
         Dataset::new(f, labels, 2).unwrap()
     }
 
-    fn run(n: usize, rounds: usize, k: usize, seed: u64) -> (TrainingTrace, LogisticRegression, Dataset) {
+    fn run(
+        n: usize,
+        rounds: usize,
+        k: usize,
+        seed: u64,
+    ) -> (TrainingTrace, LogisticRegression, Dataset) {
         let clients = make_clients(n, 0);
         let proto = LogisticRegression::new(3, 2, 0.01, 11);
         let trace = train_federated(&proto, &clients, &FlConfig::new(rounds, k, 0.3, seed));
@@ -156,9 +196,7 @@ mod tests {
         let (trace, proto, test) = run(4, 3, 3, 5);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
         let v = fedsv(&oracle);
-        let expected: f64 = (0..3)
-            .map(|t| oracle.utility(t, trace.selected(t)))
-            .sum();
+        let expected: f64 = (0..3).map(|t| oracle.utility(t, trace.selected(t))).sum();
         let total: f64 = v.iter().sum();
         assert!((total - expected).abs() < 1e-10, "{total} vs {expected}");
     }

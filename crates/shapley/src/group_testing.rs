@@ -14,7 +14,7 @@
 //! recovered from the differences plus the balance equation
 //! `Σ_i s_i = U(I)`.
 
-use fedval_fl::{Subset, UtilityOracle};
+use fedval_fl::{EvalPlan, Subset, UtilityOracle};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::Rng;
@@ -45,10 +45,7 @@ impl GroupTestingConfig {
 ///
 /// Requires `n ≥ 2`. Returns values satisfying the balance equation
 /// `Σ_i s_i = U(I)` exactly (it is imposed during recovery).
-pub fn group_testing_shapley(
-    oracle: &UtilityOracle<'_>,
-    config: &GroupTestingConfig,
-) -> Vec<f64> {
+pub fn group_testing_shapley(oracle: &UtilityOracle<'_>, config: &GroupTestingConfig) -> Vec<f64> {
     let n = oracle.num_clients();
     assert!(n >= 2, "group testing needs at least two clients");
     assert!(config.num_samples > 0, "need at least one sample");
@@ -67,13 +64,28 @@ pub fn group_testing_shapley(
         .collect();
 
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // Draw every coalition up front (the RNG stream never depended on
+    // utility values), evaluate all distinct cells as one parallel batch,
+    // then accumulate in the original sample order.
+    let draws: Vec<Vec<usize>> = (0..config.num_samples)
+        .map(|_| {
+            let u01: f64 = rng.random();
+            let k = 1 + cumulative.partition_point(|&c| c < u01).min(n - 2);
+            sample(&mut rng, n, k).into_vec()
+        })
+        .collect();
+    let rounds = oracle.num_rounds();
+    let mut plan = EvalPlan::new();
+    for members in &draws {
+        plan.add_column(rounds, Subset::from_indices(members));
+    }
+    plan.add_column(rounds, Subset::full(n));
+    oracle.evaluate_plan(&plan);
+
     // Accumulate b_i = Σ_t U(S_t) β_ti and the sum of utilities, from
     // which every pairwise difference is (z / T)(b_i − b_j).
     let mut b = vec![0.0; n];
-    for _ in 0..config.num_samples {
-        let u01: f64 = rng.random();
-        let k = 1 + cumulative.partition_point(|&c| c < u01).min(n - 2);
-        let members = sample(&mut rng, n, k).into_vec();
+    for members in draws {
         let s = Subset::from_indices(&members);
         let utility = oracle.total_utility(s);
         for i in members {

@@ -28,6 +28,14 @@
 // textbook formulas, which iterator chains would obscure.
 #![allow(clippy::needless_range_loop)]
 
+/// Largest client count for which the exact (full coalition-space)
+/// estimators run: the exact-subsets pipeline registers `2^N` columns and
+/// [`comfedsv_from_factors`] sums over all of them, so both are gated to
+/// `N ≤ 16` (65 536 coalitions — about the practical ceiling for the
+/// `O(N · 2^N)` Definition-4 sum). Beyond this, use the Monte-Carlo
+/// estimator ([`EstimatorKind::MonteCarlo`]).
+pub const MAX_EXACT_CLIENTS: usize = 16;
+
 pub mod coeffs;
 pub mod comfedsv;
 pub mod exact;
@@ -39,7 +47,9 @@ pub mod pipeline;
 pub mod theory;
 pub mod tmc;
 
-pub use comfedsv::{comfedsv_antithetic, comfedsv_from_factors, comfedsv_monte_carlo, SubsetColumns};
+pub use comfedsv::{
+    comfedsv_antithetic, comfedsv_from_factors, comfedsv_monte_carlo, SubsetColumns,
+};
 pub use exact::exact_shapley;
 pub use fairness::{epsilon_fair_report, theorem1_tolerance, FairnessReport};
 pub use fedsv::{fedsv, fedsv_monte_carlo, FedSvConfig};
@@ -49,5 +59,5 @@ pub use pipeline::{
     comfedsv_pipeline, ground_truth_valuation, ComFedSvConfig, CompletionSolver, EstimatorKind,
     ValuationOutput,
 };
-pub use tmc::{tmc_shapley, TmcConfig, TmcOutput};
 pub use theory::{path_length, prop1_rank_bound, prop2_rank_bound};
+pub use tmc::{tmc_shapley, TmcConfig, TmcOutput};

@@ -60,7 +60,10 @@ pub fn unfairness_probability(params: &UnfairnessParams, s: usize) -> f64 {
 /// Same as [`unfairness_probability`] but with the asymmetry probability
 /// supplied directly (the paper's Fig. 1 sweeps `p` explicitly).
 pub fn probability_with_p(t: usize, p: f64, s: usize) -> f64 {
-    assert!((0.0..=0.5).contains(&p), "p = m(N-m)/(N(N-1)) is at most 1/2");
+    assert!(
+        (0.0..=0.5).contains(&p),
+        "p = m(N-m)/(N(N-1)) is at most 1/2"
+    );
     if s == 0 {
         return 1.0;
     }
@@ -181,7 +184,9 @@ mod tests {
                     let y = t - x - z;
                     if x as i64 - z as i64 >= s as i64 {
                         let c = lf.ln_multinomial3(t, x, y, z).exp();
-                        tot += c * p.powi(x as i32) * p.powi(z as i32)
+                        tot += c
+                            * p.powi(x as i32)
+                            * p.powi(z as i32)
                             * (1.0 - 2.0 * p).powi(y as i32);
                     }
                 }

@@ -7,7 +7,8 @@
 
 use crate::comfedsv::{comfedsv_from_factors, comfedsv_monte_carlo};
 use crate::exact::exact_shapley;
-use fedval_fl::{Subset, UtilityOracle};
+use crate::MAX_EXACT_CLIENTS;
+use fedval_fl::{EvalPlan, Subset, UtilityOracle};
 use fedval_mc::{solve_als, solve_ccd, AlsConfig, CcdConfig, CompletionProblem, Factors};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -18,7 +19,7 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EstimatorKind {
     /// Register all `2^N` coalition columns and evaluate Definition 4
-    /// exactly (requires `N ≤ 16`).
+    /// exactly (requires `N ≤` [`MAX_EXACT_CLIENTS`](crate::MAX_EXACT_CLIENTS)).
     ExactSubsets,
     /// Algorithm 1: `M` sampled permutations, reduced problem (13),
     /// estimator (12).
@@ -124,18 +125,24 @@ pub fn comfedsv_pipeline(oracle: &UtilityOracle<'_>, config: &ComFedSvConfig) ->
     let t = oracle.num_rounds();
     match config.estimator {
         EstimatorKind::ExactSubsets => {
-            assert!(n <= 16, "exact-subsets pipeline needs N <= 16");
-            let mut problem = CompletionProblem::new(t);
-            // Observe every in-cohort coalition.
+            assert!(
+                n <= MAX_EXACT_CLIENTS,
+                "exact-subsets pipeline needs N <= {MAX_EXACT_CLIENTS}"
+            );
+            // Plan every in-cohort coalition, evaluate the batch in
+            // parallel, then replay the plan into the completion problem
+            // (plan order == the former serial observation order).
+            let mut plan = EvalPlan::new();
             for round in 0..t {
-                let cohort = oracle.trace().selected(round);
-                for s in cohort.subsets() {
-                    if s.is_empty() {
-                        continue;
-                    }
-                    problem.add_observation(round, s.bits(), oracle.utility(round, s));
-                }
+                plan.add_subsets_of(round, oracle.trace().selected(round));
             }
+            oracle.evaluate_plan(&plan);
+            let mut problem = CompletionProblem::new(t);
+            problem.add_observations(
+                plan.cells()
+                    .iter()
+                    .map(|&(round, s)| (round, s.bits(), oracle.utility(round, s))),
+            );
             // Register the full coalition space so Definition 4's sum sees
             // a factor row for every subset.
             for bits in 1..(1u64 << n) {
@@ -176,19 +183,27 @@ pub fn comfedsv_pipeline(oracle: &UtilityOracle<'_>, config: &ComFedSvConfig) ->
             }
 
             // Observe each prefix in every round whose cohort contains it
-            // (Algorithm 1's `π_m(i) ⊆ I_t` test).
-            let mut problem = CompletionProblem::new(t);
-            for &p in &prefixes {
-                problem.ensure_column(p.bits());
-            }
+            // (Algorithm 1's `π_m(i) ⊆ I_t` test): plan the cells, batch
+            // evaluate, then replay the plan into the problem.
+            let mut plan = EvalPlan::new();
             for round in 0..t {
                 let cohort = oracle.trace().selected(round);
                 for &p in &prefixes {
                     if p.is_subset_of(cohort) {
-                        problem.add_observation(round, p.bits(), oracle.utility(round, p));
+                        plan.add(round, p);
                     }
                 }
             }
+            oracle.evaluate_plan(&plan);
+            let mut problem = CompletionProblem::new(t);
+            for &p in &prefixes {
+                problem.ensure_column(p.bits());
+            }
+            problem.add_observations(
+                plan.cells()
+                    .iter()
+                    .map(|&(round, p)| (round, p.bits(), oracle.utility(round, p))),
+            );
 
             let (factors, objective_trace) = run_solver(&problem, config);
             let values = comfedsv_monte_carlo(&factors, &problem, n, &permutations);
@@ -235,6 +250,20 @@ fn run_solver(problem: &CompletionProblem, config: &ComFedSvConfig) -> (Factors,
 /// value of the summed utility `U(S) = Σ_t U_t(S)`.
 pub fn ground_truth_valuation(oracle: &UtilityOracle<'_>) -> Vec<f64> {
     let n = oracle.num_clients();
+    // Gate before planning: the batch below is T · (2^N − 1) model
+    // evaluations, so an oversized N must fail here, not after hours of
+    // work when exact_shapley finally checks.
+    assert!(
+        n <= MAX_EXACT_CLIENTS,
+        "ground-truth valuation is exponential in N (max {MAX_EXACT_CLIENTS})"
+    );
+    // The exact value reads the entire T × 2^N grid; evaluate it as one
+    // parallel batch up front.
+    let mut plan = EvalPlan::new();
+    for round in 0..oracle.num_rounds() {
+        plan.add_subsets_of(round, Subset::full(n));
+    }
+    oracle.evaluate_plan(&plan);
     exact_shapley(n, |s| oracle.total_utility(s))
 }
 
@@ -284,10 +313,7 @@ mod tests {
         let trace = train_federated(&proto, &clients, &cfg);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
         let gt = ground_truth_valuation(&oracle);
-        let out = comfedsv_pipeline(
-            &oracle,
-            &ComFedSvConfig::exact(4).with_lambda(1e-6),
-        );
+        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-6));
         for (a, b) in out.values.iter().zip(&gt) {
             assert!((a - b).abs() < 5e-3, "comfedsv {a} vs ground truth {b}");
         }

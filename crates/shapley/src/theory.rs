@@ -26,14 +26,7 @@ pub fn path_length(trace: &TrainingTrace) -> f64 {
 }
 
 /// Proposition 1's bound on `rank_ε(U)`.
-pub fn prop1_rank_bound(
-    l1: f64,
-    l2: f64,
-    eta1: f64,
-    eta_t: f64,
-    path_len: f64,
-    eps: f64,
-) -> usize {
+pub fn prop1_rank_bound(l1: f64, l2: f64, eta1: f64, eta_t: f64, path_len: f64, eps: f64) -> usize {
     assert!(eps > 0.0, "epsilon must be positive");
     assert!(l1 >= 0.0 && l2 >= 0.0, "constants must be non-negative");
     assert!(eta1 >= eta_t, "rates must be non-increasing");
@@ -144,7 +137,9 @@ mod tests {
         let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
         let u = fedval_fl::full_utility_matrix(&oracle);
 
-        let losses: Vec<f64> = (0..trace.num_rounds()).map(|t| oracle.base_loss(t)).collect();
+        let losses: Vec<f64> = (0..trace.num_rounds())
+            .map(|t| oracle.base_loss(t))
+            .collect();
         let l1 = empirical_lipschitz(&trace, &losses).max(0.1) * 4.0; // headroom
         let l2 = 4.0; // generous smoothness bound for this bounded data
         let eta1 = trace.rounds[0].eta;

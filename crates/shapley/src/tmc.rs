@@ -8,6 +8,15 @@
 //! tolerance of the grand coalition's, the remaining marginal
 //! contributions are treated as zero and the (expensive) utility calls for
 //! them are skipped.
+//!
+//! Truncation makes the walk inherently adaptive — which cells are needed
+//! depends on values already computed — so unlike the other estimators
+//! this one cannot pre-plan its whole workload. The best it can do is
+//! column granularity: each prefix's `T` round-utilities are submitted as
+//! one batch, which fans out across workers only when `T` is large
+//! enough to amortize thread setup (the engine keeps short columns —
+//! including every bundled quick/default profile — on its serial path).
+//! Speculative cross-permutation batching is a ROADMAP item.
 
 use fedval_fl::{Subset, UtilityOracle};
 use rand::rngs::StdRng;
@@ -48,9 +57,12 @@ pub struct TmcOutput {
 /// Truncated Monte-Carlo estimate of the whole-run Shapley value.
 pub fn tmc_shapley(oracle: &UtilityOracle<'_>, config: &TmcConfig) -> TmcOutput {
     assert!(config.permutations > 0, "need at least one permutation");
-    assert!(config.truncation_tol >= 0.0, "tolerance must be non-negative");
+    assert!(
+        config.truncation_tol >= 0.0,
+        "tolerance must be non-negative"
+    );
     let n = oracle.num_clients();
-    let grand = oracle.total_utility(Subset::full(n));
+    let grand = oracle.total_utility_parallel(Subset::full(n));
     let threshold = config.truncation_tol * grand.abs();
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -70,7 +82,10 @@ pub fn tmc_shapley(oracle: &UtilityOracle<'_>, config: &TmcConfig) -> TmcOutput 
                 continue;
             }
             prefix = prefix.with(i);
-            let u = oracle.total_utility(prefix);
+            // Truncation decides cell-by-cell, so permutations cannot be
+            // pre-planned wholesale — but each prefix's T-round column
+            // can be evaluated as one parallel batch.
+            let u = oracle.total_utility_parallel(prefix);
             evaluated += 1;
             values[i] += (u - prefix_utility) * inv_m;
             prefix_utility = u;

@@ -46,13 +46,19 @@ fn main() {
     let oracle = world.oracle(&trace);
     let u = full_utility_matrix(&oracle);
     let sv = singular_values(&u).expect("finite utility matrix");
-    println!("\nutility matrix {}x{}; leading singular values:", u.rows(), u.cols());
+    println!(
+        "\nutility matrix {}x{}; leading singular values:",
+        u.rows(),
+        u.cols()
+    );
     for (i, s) in sv.iter().take(8).enumerate() {
         println!("  sigma_{} = {:.6}", i + 1, s);
     }
 
     // 3. ε-rank vs the Proposition-1 bound.
-    let losses: Vec<f64> = (0..trace.num_rounds()).map(|t| oracle.base_loss(t)).collect();
+    let losses: Vec<f64> = (0..trace.num_rounds())
+        .map(|t| oracle.base_loss(t))
+        .collect();
     let l1 = empirical_lipschitz(&trace, &losses).max(1e-3) * 4.0;
     let eps = 0.05 * u.max_abs();
     let bound = prop1_rank_bound(

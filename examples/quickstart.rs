@@ -37,7 +37,10 @@ fn main() {
     let com = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(6).with_lambda(0.01)).values;
     let truth = ground_truth_valuation(&oracle);
 
-    println!("\n{:>7}  {:>12}  {:>12}  {:>12}", "client", "FedSV", "ComFedSV", "ground truth");
+    println!(
+        "\n{:>7}  {:>12}  {:>12}  {:>12}",
+        "client", "FedSV", "ComFedSV", "ground truth"
+    );
     for i in 0..world.num_clients() {
         println!(
             "{:>7}  {:>12.5}  {:>12.5}  {:>12.5}",

@@ -57,10 +57,17 @@ fn main() {
     // model receive nothing rather than a negative bill).
     let clipped: Vec<f64> = out.values.iter().map(|&v| v.max(0.0)).collect();
     let total: f64 = clipped.iter().sum();
-    println!("\n{:>7}  {:>12}  {:>12}", "client", "ComFedSV", "payout ($)");
+    println!(
+        "\n{:>7}  {:>12}  {:>12}",
+        "client", "ComFedSV", "payout ($)"
+    );
     let mut paid = 0.0;
     for (i, (&v, &c)) in out.values.iter().zip(&clipped).enumerate() {
-        let payout = if total > 0.0 { pool_dollars * c / total } else { 0.0 };
+        let payout = if total > 0.0 {
+            pool_dollars * c / total
+        } else {
+            0.0
+        };
         paid += payout;
         if i < 10 || v <= 0.0 {
             println!("{i:>7}  {v:>12.5}  {payout:>12.2}");

@@ -7,11 +7,11 @@
 //! builder so that examples, tests, and the per-figure benchmark harnesses
 //! construct identical worlds.
 
+use fedval_data::images::SimImageSource;
 use fedval_data::{
     add_feature_noise, duplicate_client, flip_labels, partition_iid, partition_shards, Dataset,
     SimImageConfig, SyntheticConfig, SyntheticFederated,
 };
-use fedval_data::images::SimImageSource;
 use fedval_fl::{train_federated, FlConfig, TrainingTrace, UtilityOracle};
 use fedval_models::{Activation, Cnn, CnnConfig, LogisticRegression, Mlp, Model};
 

@@ -21,10 +21,7 @@ fn all_dataset_kinds_train_and_value() {
         let trace = world.train(&FlConfig::new(3, 2, 0.15, 2));
         assert_eq!(trace.num_rounds(), 3, "{}", kind.name());
         let oracle = world.oracle(&trace);
-        let out = comfedsv_pipeline(
-            &oracle,
-            &ComFedSvConfig::exact(3).with_lambda(0.01),
-        );
+        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(3).with_lambda(0.01));
         assert_eq!(out.values.len(), 5, "{}", kind.name());
         assert!(
             out.values.iter().all(|v| v.is_finite()),
@@ -68,7 +65,8 @@ fn duplicated_clients_identical_local_models_on_every_task() {
         let trace = world.train(&FlConfig::new(3, 2, 0.15, 3));
         for r in &trace.rounds {
             assert_eq!(
-                r.local_params[0], r.local_params[4],
+                r.local_params[0],
+                r.local_params[4],
                 "{}: identical data must give identical local models",
                 kind.name()
             );
@@ -91,7 +89,10 @@ fn fully_participating_fedsv_is_symmetric_for_duplicates() {
     let oracle = world.oracle(&trace);
     let fed = fedsv(&oracle);
     let d = relative_difference(fed[0], fed[3]);
-    assert!(d < 1e-9, "full participation should be exactly fair, d = {d}");
+    assert!(
+        d < 1e-9,
+        "full participation should be exactly fair, d = {d}"
+    );
 }
 
 #[test]

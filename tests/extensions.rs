@@ -157,11 +157,7 @@ fn comfedsv_approximate_additivity_under_test_set_split() {
     )
     .values;
 
-    let scale = s
-        .iter()
-        .map(|v| v.abs())
-        .fold(0.0_f64, f64::max)
-        .max(1e-12);
+    let scale = s.iter().map(|v| v.abs()).fold(0.0_f64, f64::max).max(1e-12);
     for i in 0..w.num_clients() {
         let combined = 0.5 * (s1[i] + s2[i]);
         let err = (s[i] - combined).abs() / scale;

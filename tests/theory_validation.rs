@@ -52,7 +52,9 @@ fn eps_rank_respects_proposition_bounds() {
     let oracle = world.oracle(&trace);
     let u = full_utility_matrix(&oracle);
 
-    let losses: Vec<f64> = (0..trace.num_rounds()).map(|t| oracle.base_loss(t)).collect();
+    let losses: Vec<f64> = (0..trace.num_rounds())
+        .map(|t| oracle.base_loss(t))
+        .collect();
     let l1 = empirical_lipschitz(&trace, &losses).max(1e-3) * 4.0;
     let l2 = 4.0;
     let eps = 0.05 * u.max_abs().max(1e-12);
@@ -67,8 +69,14 @@ fn eps_rank_respects_proposition_bounds() {
     );
     let bound2 = prop2_rank_bound(0.1, l1, l2, trace.num_rounds(), eps);
     let est = eps_rank_upper_bound(&u, eps).unwrap();
-    assert!(est <= bound1.max(1), "eps-rank {est} vs Prop-1 bound {bound1}");
-    assert!(est <= bound2.max(1), "eps-rank {est} vs Prop-2 bound {bound2}");
+    assert!(
+        est <= bound1.max(1),
+        "eps-rank {est} vs Prop-1 bound {bound1}"
+    );
+    assert!(
+        est <= bound2.max(1),
+        "eps-rank {est} vs Prop-2 bound {bound2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros — with a simple
+//! calibrated wall-clock loop instead of criterion's statistical engine:
+//! each benchmark is warmed up, the iteration count is scaled to a fixed
+//! measurement budget, and mean/min times are printed. Good enough to
+//! compare kernels and catch order-of-magnitude regressions; not a
+//! substitute for criterion's confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-run measurement budget. Deliberately small so `cargo bench` over
+/// the whole workspace stays in CI-friendly territory.
+const WARMUP: Duration = Duration::from_millis(120);
+const MEASURE: Duration = Duration::from_millis(500);
+
+/// Identifies a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying just a parameter, e.g. the problem size.
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        BenchmarkId {
+            param: param.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Display, P: Display>(function: S, param: P) -> Self {
+        BenchmarkId {
+            param: format!("{function}/{param}"),
+        }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean seconds per iteration of the last `iter` call.
+    mean: f64,
+    /// Fastest single iteration.
+    min: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly: warm-up, then as many iterations as fit the
+    /// measurement budget (at least 10).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating per-iteration cost.
+        let mut probe_iters = 0u64;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            probe_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / probe_iters.max(1) as f64;
+        let target = ((MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(10, 1_000_000);
+
+        let mut min = f64::INFINITY;
+        let start = Instant::now();
+        for _ in 0..target {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            min = min.min(t0.elapsed().as_secs_f64());
+        }
+        self.mean = start.elapsed().as_secs_f64() / target as f64;
+        self.min = min;
+        self.iterations = target;
+    }
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        mean: 0.0,
+        min: 0.0,
+        iterations: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench {name:<48} mean {:>12}  min {:>12}  ({} iters)",
+        format_time(b.mean),
+        format_time(b.min),
+        b.iterations
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// The top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark under the group's prefix.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), f);
+        self
+    }
+
+    /// Runs a parameterized benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.param), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Re-export matching criterion's helper; prefer `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &n| {
+            b.iter(|| (0..n).sum::<i32>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b9d04119e5d372ae.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b9d04119e5d372ae: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

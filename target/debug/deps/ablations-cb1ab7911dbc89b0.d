@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-cb1ab7911dbc89b0.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-cb1ab7911dbc89b0: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/comfedsv-9465c6c433dc5aa2.d: src/lib.rs src/experiments.rs
+
+/root/repo/target/debug/deps/comfedsv-9465c6c433dc5aa2: src/lib.rs src/experiments.rs
+
+src/lib.rs:
+src/experiments.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/comfedsv-aa2e1be423531314.d: src/lib.rs src/experiments.rs
+
+/root/repo/target/debug/deps/libcomfedsv-aa2e1be423531314.rlib: src/lib.rs src/experiments.rs
+
+/root/repo/target/debug/deps/libcomfedsv-aa2e1be423531314.rmeta: src/lib.rs src/experiments.rs
+
+src/lib.rs:
+src/experiments.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/comfedsv-ba69f513d0d7a592.d: src/lib.rs src/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomfedsv-ba69f513d0d7a592.rmeta: src/lib.rs src/experiments.rs Cargo.toml
+
+src/lib.rs:
+src/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/comfedsv-f4b85a3ca571e31f.d: src/lib.rs src/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomfedsv-f4b85a3ca571e31f.rmeta: src/lib.rs src/experiments.rs Cargo.toml
+
+src/lib.rs:
+src/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/completion-35cb4bab95747fbe.d: crates/bench/benches/completion.rs
+
+/root/repo/target/debug/deps/completion-35cb4bab95747fbe: crates/bench/benches/completion.rs
+
+crates/bench/benches/completion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/completion-829d15a05041d88a.d: crates/bench/benches/completion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompletion-829d15a05041d88a.rmeta: crates/bench/benches/completion.rs Cargo.toml
+
+crates/bench/benches/completion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

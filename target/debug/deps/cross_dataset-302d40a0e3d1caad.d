@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_dataset-302d40a0e3d1caad.d: tests/cross_dataset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_dataset-302d40a0e3d1caad.rmeta: tests/cross_dataset.rs Cargo.toml
+
+tests/cross_dataset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_dataset-352f0c7e89cf4283.d: tests/cross_dataset.rs
+
+/root/repo/target/debug/deps/cross_dataset-352f0c7e89cf4283: tests/cross_dataset.rs
+
+tests/cross_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f94a577de2a55a6e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f94a577de2a55a6e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

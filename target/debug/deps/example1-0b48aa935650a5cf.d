@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/example1-0b48aa935650a5cf.d: crates/bench/src/bin/example1.rs
+
+/root/repo/target/debug/deps/example1-0b48aa935650a5cf: crates/bench/src/bin/example1.rs
+
+crates/bench/src/bin/example1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/example1-97243ca27f89695e.d: crates/bench/src/bin/example1.rs
+
+/root/repo/target/debug/deps/example1-97243ca27f89695e: crates/bench/src/bin/example1.rs
+
+crates/bench/src/bin/example1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/example1-a887be799e1994d6.d: crates/bench/src/bin/example1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexample1-a887be799e1994d6.rmeta: crates/bench/src/bin/example1.rs Cargo.toml
+
+crates/bench/src/bin/example1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/example1-f7053457dcf32d34.d: crates/bench/src/bin/example1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexample1-f7053457dcf32d34.rmeta: crates/bench/src/bin/example1.rs Cargo.toml
+
+crates/bench/src/bin/example1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

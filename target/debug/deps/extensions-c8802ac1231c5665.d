@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c8802ac1231c5665.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-c8802ac1231c5665: tests/extensions.rs
+
+tests/extensions.rs:

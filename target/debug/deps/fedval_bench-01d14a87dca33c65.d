@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedval_bench-01d14a87dca33c65.d: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedval_bench-01d14a87dca33c65.rmeta: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/fairness_trials.rs:
+crates/bench/src/profile.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

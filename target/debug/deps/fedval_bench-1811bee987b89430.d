@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedval_bench-1811bee987b89430.d: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libfedval_bench-1811bee987b89430.rlib: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libfedval_bench-1811bee987b89430.rmeta: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fairness_trials.rs:
+crates/bench/src/profile.rs:
+crates/bench/src/report.rs:

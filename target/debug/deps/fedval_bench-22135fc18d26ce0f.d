@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fedval_bench-22135fc18d26ce0f.d: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/fedval_bench-22135fc18d26ce0f: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fairness_trials.rs:
+crates/bench/src/profile.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedval_data-284d9188c2894fff.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedval_data-284d9188c2894fff.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/images.rs:
+crates/data/src/noise.rs:
+crates/data/src/partition.rs:
+crates/data/src/randn.rs:
+crates/data/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

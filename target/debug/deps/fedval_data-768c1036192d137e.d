@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedval_data-768c1036192d137e.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/fedval_data-768c1036192d137e: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/images.rs:
+crates/data/src/noise.rs:
+crates/data/src/partition.rs:
+crates/data/src/randn.rs:
+crates/data/src/synthetic.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedval_data-bade2428ddb56bdb.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libfedval_data-bade2428ddb56bdb.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libfedval_data-bade2428ddb56bdb.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/images.rs:
+crates/data/src/noise.rs:
+crates/data/src/partition.rs:
+crates/data/src/randn.rs:
+crates/data/src/synthetic.rs:

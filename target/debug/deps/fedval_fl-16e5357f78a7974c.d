@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedval_fl-16e5357f78a7974c.d: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedval_fl-16e5357f78a7974c.rmeta: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs Cargo.toml
+
+crates/fl/src/lib.rs:
+crates/fl/src/config.rs:
+crates/fl/src/subset.rs:
+crates/fl/src/trainer.rs:
+crates/fl/src/utility.rs:
+crates/fl/src/utility_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedval_fl-600ff16f46c78198.d: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs
+
+/root/repo/target/debug/deps/fedval_fl-600ff16f46c78198: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs
+
+crates/fl/src/lib.rs:
+crates/fl/src/config.rs:
+crates/fl/src/subset.rs:
+crates/fl/src/trainer.rs:
+crates/fl/src/utility.rs:
+crates/fl/src/utility_matrix.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedval_fl-e04bd607e4522ac4.d: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs
+
+/root/repo/target/debug/deps/libfedval_fl-e04bd607e4522ac4.rlib: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs
+
+/root/repo/target/debug/deps/libfedval_fl-e04bd607e4522ac4.rmeta: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs
+
+crates/fl/src/lib.rs:
+crates/fl/src/config.rs:
+crates/fl/src/subset.rs:
+crates/fl/src/trainer.rs:
+crates/fl/src/utility.rs:
+crates/fl/src/utility_matrix.rs:

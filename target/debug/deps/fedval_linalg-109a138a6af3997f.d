@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedval_linalg-109a138a6af3997f.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/low_rank.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libfedval_linalg-109a138a6af3997f.rlib: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/low_rank.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libfedval_linalg-109a138a6af3997f.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/low_rank.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/low_rank.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/vector.rs:

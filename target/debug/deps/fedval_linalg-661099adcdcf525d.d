@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedval_linalg-661099adcdcf525d.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/low_rank.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedval_linalg-661099adcdcf525d.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/low_rank.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/low_rank.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

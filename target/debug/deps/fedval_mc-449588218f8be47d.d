@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedval_mc-449588218f8be47d.d: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs
+
+/root/repo/target/debug/deps/fedval_mc-449588218f8be47d: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs
+
+crates/mc/src/lib.rs:
+crates/mc/src/als.rs:
+crates/mc/src/ccd.rs:
+crates/mc/src/factors.rs:
+crates/mc/src/problem.rs:
+crates/mc/src/sgd.rs:

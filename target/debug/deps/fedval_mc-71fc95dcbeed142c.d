@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedval_mc-71fc95dcbeed142c.d: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs
+
+/root/repo/target/debug/deps/libfedval_mc-71fc95dcbeed142c.rlib: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs
+
+/root/repo/target/debug/deps/libfedval_mc-71fc95dcbeed142c.rmeta: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs
+
+crates/mc/src/lib.rs:
+crates/mc/src/als.rs:
+crates/mc/src/ccd.rs:
+crates/mc/src/factors.rs:
+crates/mc/src/problem.rs:
+crates/mc/src/sgd.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedval_mc-9b02ee1c2a77922c.d: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedval_mc-9b02ee1c2a77922c.rmeta: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs Cargo.toml
+
+crates/mc/src/lib.rs:
+crates/mc/src/als.rs:
+crates/mc/src/ccd.rs:
+crates/mc/src/factors.rs:
+crates/mc/src/problem.rs:
+crates/mc/src/sgd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

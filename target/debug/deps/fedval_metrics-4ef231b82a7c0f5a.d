@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedval_metrics-4ef231b82a7c0f5a.d: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedval_metrics-4ef231b82a7c0f5a.rmeta: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/ecdf.rs:
+crates/metrics/src/gini.rs:
+crates/metrics/src/jaccard.rs:
+crates/metrics/src/kendall.rs:
+crates/metrics/src/ranking.rs:
+crates/metrics/src/spearman.rs:
+crates/metrics/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedval_metrics-a085c0f945ebf09c.d: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libfedval_metrics-a085c0f945ebf09c.rlib: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libfedval_metrics-a085c0f945ebf09c.rmeta: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/ecdf.rs:
+crates/metrics/src/gini.rs:
+crates/metrics/src/jaccard.rs:
+crates/metrics/src/kendall.rs:
+crates/metrics/src/ranking.rs:
+crates/metrics/src/spearman.rs:
+crates/metrics/src/stats.rs:

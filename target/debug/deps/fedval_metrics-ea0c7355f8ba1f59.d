@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedval_metrics-ea0c7355f8ba1f59.d: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/fedval_metrics-ea0c7355f8ba1f59: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/ecdf.rs:
+crates/metrics/src/gini.rs:
+crates/metrics/src/jaccard.rs:
+crates/metrics/src/kendall.rs:
+crates/metrics/src/ranking.rs:
+crates/metrics/src/spearman.rs:
+crates/metrics/src/stats.rs:

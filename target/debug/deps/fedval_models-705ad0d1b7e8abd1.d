@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedval_models-705ad0d1b7e8abd1.d: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs
+
+/root/repo/target/debug/deps/fedval_models-705ad0d1b7e8abd1: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cnn.rs:
+crates/models/src/init.rs:
+crates/models/src/linear.rs:
+crates/models/src/mlp.rs:
+crates/models/src/optim.rs:
+crates/models/src/traits.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedval_models-90e8508f576048a2.d: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs
+
+/root/repo/target/debug/deps/libfedval_models-90e8508f576048a2.rlib: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs
+
+/root/repo/target/debug/deps/libfedval_models-90e8508f576048a2.rmeta: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cnn.rs:
+crates/models/src/init.rs:
+crates/models/src/linear.rs:
+crates/models/src/mlp.rs:
+crates/models/src/optim.rs:
+crates/models/src/traits.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedval_models-b6a9239e05ef537e.d: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedval_models-b6a9239e05ef537e.rmeta: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/cnn.rs:
+crates/models/src/init.rs:
+crates/models/src/linear.rs:
+crates/models/src/mlp.rs:
+crates/models/src/optim.rs:
+crates/models/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedval_models-bd82b9d2aca1a3bf.d: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedval_models-bd82b9d2aca1a3bf.rmeta: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/cnn.rs:
+crates/models/src/init.rs:
+crates/models/src/linear.rs:
+crates/models/src/mlp.rs:
+crates/models/src/optim.rs:
+crates/models/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

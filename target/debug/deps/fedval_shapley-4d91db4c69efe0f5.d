@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedval_shapley-4d91db4c69efe0f5.d: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs
+
+/root/repo/target/debug/deps/fedval_shapley-4d91db4c69efe0f5: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs
+
+crates/shapley/src/lib.rs:
+crates/shapley/src/coeffs.rs:
+crates/shapley/src/comfedsv.rs:
+crates/shapley/src/exact.rs:
+crates/shapley/src/fairness.rs:
+crates/shapley/src/fedsv.rs:
+crates/shapley/src/group_testing.rs:
+crates/shapley/src/observation.rs:
+crates/shapley/src/pipeline.rs:
+crates/shapley/src/theory.rs:
+crates/shapley/src/tmc.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fedval_shapley-5e2e8ef2ef9affff.d: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedval_shapley-5e2e8ef2ef9affff.rmeta: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs Cargo.toml
+
+crates/shapley/src/lib.rs:
+crates/shapley/src/coeffs.rs:
+crates/shapley/src/comfedsv.rs:
+crates/shapley/src/exact.rs:
+crates/shapley/src/fairness.rs:
+crates/shapley/src/fedsv.rs:
+crates/shapley/src/group_testing.rs:
+crates/shapley/src/observation.rs:
+crates/shapley/src/pipeline.rs:
+crates/shapley/src/theory.rs:
+crates/shapley/src/tmc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

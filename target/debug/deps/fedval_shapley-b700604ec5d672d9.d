@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedval_shapley-b700604ec5d672d9.d: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs
+
+/root/repo/target/debug/deps/libfedval_shapley-b700604ec5d672d9.rlib: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs
+
+/root/repo/target/debug/deps/libfedval_shapley-b700604ec5d672d9.rmeta: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs
+
+crates/shapley/src/lib.rs:
+crates/shapley/src/coeffs.rs:
+crates/shapley/src/comfedsv.rs:
+crates/shapley/src/exact.rs:
+crates/shapley/src/fairness.rs:
+crates/shapley/src/fedsv.rs:
+crates/shapley/src/group_testing.rs:
+crates/shapley/src/observation.rs:
+crates/shapley/src/pipeline.rs:
+crates/shapley/src/theory.rs:
+crates/shapley/src/tmc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-458e5653733d3661.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-458e5653733d3661: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-62dc75439f01e736.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-62dc75439f01e736: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-86beb0ae5a619c2d.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-86beb0ae5a619c2d: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

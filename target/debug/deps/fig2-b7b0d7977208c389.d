@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-b7b0d7977208c389.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-b7b0d7977208c389: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

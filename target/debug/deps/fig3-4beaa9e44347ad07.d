@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-4beaa9e44347ad07.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-4beaa9e44347ad07: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-5cf341c1d8d1cb20.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-5cf341c1d8d1cb20: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-bd4c04d4b6cb7162.d: crates/bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-bd4c04d4b6cb7162.rmeta: crates/bench/src/bin/fig3.rs Cargo.toml
+
+crates/bench/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-4056a69a512ea386.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-4056a69a512ea386: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

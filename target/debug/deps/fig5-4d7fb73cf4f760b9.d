@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-4d7fb73cf4f760b9.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-4d7fb73cf4f760b9: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-84851c0841610999.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-84851c0841610999: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

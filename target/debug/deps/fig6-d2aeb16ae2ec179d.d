@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d2aeb16ae2ec179d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d2aeb16ae2ec179d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

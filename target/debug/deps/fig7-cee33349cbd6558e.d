@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-cee33349cbd6558e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-cee33349cbd6558e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

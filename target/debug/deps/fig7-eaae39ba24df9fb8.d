@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-eaae39ba24df9fb8.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-eaae39ba24df9fb8: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-1448c20053b887ec.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-1448c20053b887ec: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

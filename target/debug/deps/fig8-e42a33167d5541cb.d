@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-e42a33167d5541cb.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-e42a33167d5541cb: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learnability-728615308ce8464f.d: crates/models/tests/learnability.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearnability-728615308ce8464f.rmeta: crates/models/tests/learnability.rs Cargo.toml
+
+crates/models/tests/learnability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/learnability-95af4ac3111223eb.d: crates/models/tests/learnability.rs
+
+/root/repo/target/debug/deps/learnability-95af4ac3111223eb: crates/models/tests/learnability.rs
+
+crates/models/tests/learnability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linalg-738b9f5a40a35611.d: crates/bench/benches/linalg.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinalg-738b9f5a40a35611.rmeta: crates/bench/benches/linalg.rs Cargo.toml
+
+crates/bench/benches/linalg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linalg-b5c42d29dd3dd4c9.d: crates/bench/benches/linalg.rs
+
+/root/repo/target/debug/deps/linalg-b5c42d29dd3dd4c9: crates/bench/benches/linalg.rs
+
+crates/bench/benches/linalg.rs:

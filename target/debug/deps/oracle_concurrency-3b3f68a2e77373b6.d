@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_concurrency-3b3f68a2e77373b6.d: crates/fl/tests/oracle_concurrency.rs
+
+/root/repo/target/debug/deps/oracle_concurrency-3b3f68a2e77373b6: crates/fl/tests/oracle_concurrency.rs
+
+crates/fl/tests/oracle_concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_concurrency-73ec40529a869bf7.d: crates/fl/tests/oracle_concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_concurrency-73ec40529a869bf7.rmeta: crates/fl/tests/oracle_concurrency.rs Cargo.toml
+
+crates/fl/tests/oracle_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_throughput-9529fd2a0ec074fe.d: crates/bench/src/bin/oracle_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_throughput-9529fd2a0ec074fe.rmeta: crates/bench/src/bin/oracle_throughput.rs Cargo.toml
+
+crates/bench/src/bin/oracle_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

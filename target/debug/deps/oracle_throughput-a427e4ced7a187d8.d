@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_throughput-a427e4ced7a187d8.d: crates/bench/src/bin/oracle_throughput.rs
+
+/root/repo/target/debug/deps/oracle_throughput-a427e4ced7a187d8: crates/bench/src/bin/oracle_throughput.rs
+
+crates/bench/src/bin/oracle_throughput.rs:

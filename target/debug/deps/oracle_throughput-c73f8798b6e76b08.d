@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_throughput-c73f8798b6e76b08.d: crates/bench/src/bin/oracle_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_throughput-c73f8798b6e76b08.rmeta: crates/bench/src/bin/oracle_throughput.rs Cargo.toml
+
+crates/bench/src/bin/oracle_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

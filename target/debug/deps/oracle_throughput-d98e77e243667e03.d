@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_throughput-d98e77e243667e03.d: crates/bench/src/bin/oracle_throughput.rs
+
+/root/repo/target/debug/deps/oracle_throughput-d98e77e243667e03: crates/bench/src/bin/oracle_throughput.rs
+
+crates/bench/src/bin/oracle_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1caff332259d6cf3.d: crates/linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1caff332259d6cf3: crates/linalg/tests/properties.rs
+
+crates/linalg/tests/properties.rs:

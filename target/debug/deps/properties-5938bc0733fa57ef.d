@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5938bc0733fa57ef.d: crates/linalg/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5938bc0733fa57ef.rmeta: crates/linalg/tests/properties.rs Cargo.toml
+
+crates/linalg/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a63575c31d47b0d5.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a63575c31d47b0d5: tests/properties.rs
+
+tests/properties.rs:

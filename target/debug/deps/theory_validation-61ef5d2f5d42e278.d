@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_validation-61ef5d2f5d42e278.d: tests/theory_validation.rs
+
+/root/repo/target/debug/deps/theory_validation-61ef5d2f5d42e278: tests/theory_validation.rs
+
+tests/theory_validation.rs:

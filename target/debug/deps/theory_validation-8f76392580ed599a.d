@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory_validation-8f76392580ed599a.d: tests/theory_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory_validation-8f76392580ed599a.rmeta: tests/theory_validation.rs Cargo.toml
+
+tests/theory_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training-080fe84b1e697fea.d: crates/bench/benches/training.rs
+
+/root/repo/target/debug/deps/training-080fe84b1e697fea: crates/bench/benches/training.rs
+
+crates/bench/benches/training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training-437c5819431afc6a.d: crates/bench/benches/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining-437c5819431afc6a.rmeta: crates/bench/benches/training.rs Cargo.toml
+
+crates/bench/benches/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

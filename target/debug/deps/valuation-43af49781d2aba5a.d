@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/valuation-43af49781d2aba5a.d: crates/bench/benches/valuation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvaluation-43af49781d2aba5a.rmeta: crates/bench/benches/valuation.rs Cargo.toml
+
+crates/bench/benches/valuation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

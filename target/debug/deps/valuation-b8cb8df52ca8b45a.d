@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/valuation-b8cb8df52ca8b45a.d: crates/bench/benches/valuation.rs
+
+/root/repo/target/debug/deps/valuation-b8cb8df52ca8b45a: crates/bench/benches/valuation.rs
+
+crates/bench/benches/valuation.rs:

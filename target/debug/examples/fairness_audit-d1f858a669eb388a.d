@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fairness_audit-d1f858a669eb388a.d: examples/fairness_audit.rs
+
+/root/repo/target/debug/examples/fairness_audit-d1f858a669eb388a: examples/fairness_audit.rs
+
+examples/fairness_audit.rs:

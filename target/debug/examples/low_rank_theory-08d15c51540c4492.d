@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/low_rank_theory-08d15c51540c4492.d: examples/low_rank_theory.rs
+
+/root/repo/target/debug/examples/low_rank_theory-08d15c51540c4492: examples/low_rank_theory.rs
+
+examples/low_rank_theory.rs:

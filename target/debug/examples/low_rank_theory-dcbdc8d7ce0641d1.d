@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/low_rank_theory-dcbdc8d7ce0641d1.d: examples/low_rank_theory.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblow_rank_theory-dcbdc8d7ce0641d1.rmeta: examples/low_rank_theory.rs Cargo.toml
+
+examples/low_rank_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/noisy_client_detection-a1f023603183842d.d: examples/noisy_client_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoisy_client_detection-a1f023603183842d.rmeta: examples/noisy_client_detection.rs Cargo.toml
+
+examples/noisy_client_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noisy_client_detection-c0408368ec90e424.d: examples/noisy_client_detection.rs
+
+/root/repo/target/debug/examples/noisy_client_detection-c0408368ec90e424: examples/noisy_client_detection.rs
+
+examples/noisy_client_detection.rs:

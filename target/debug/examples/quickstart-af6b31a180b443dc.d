@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-af6b31a180b443dc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-af6b31a180b443dc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reward_allocation-326d864fc6b98e7f.d: examples/reward_allocation.rs
+
+/root/repo/target/debug/examples/reward_allocation-326d864fc6b98e7f: examples/reward_allocation.rs
+
+examples/reward_allocation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reward_allocation-c46541374b8f2b11.d: examples/reward_allocation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreward_allocation-c46541374b8f2b11.rmeta: examples/reward_allocation.rs Cargo.toml
+
+examples/reward_allocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

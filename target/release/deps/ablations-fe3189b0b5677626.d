@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-fe3189b0b5677626.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-fe3189b0b5677626: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/comfedsv-3b027b09f659f3b3.d: src/lib.rs src/experiments.rs
+
+/root/repo/target/release/deps/libcomfedsv-3b027b09f659f3b3.rlib: src/lib.rs src/experiments.rs
+
+/root/repo/target/release/deps/libcomfedsv-3b027b09f659f3b3.rmeta: src/lib.rs src/experiments.rs
+
+src/lib.rs:
+src/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/example1-127e397ba671e347.d: crates/bench/src/bin/example1.rs
+
+/root/repo/target/release/deps/example1-127e397ba671e347: crates/bench/src/bin/example1.rs
+
+crates/bench/src/bin/example1.rs:

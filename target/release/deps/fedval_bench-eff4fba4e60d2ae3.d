@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fedval_bench-eff4fba4e60d2ae3.d: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libfedval_bench-eff4fba4e60d2ae3.rlib: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libfedval_bench-eff4fba4e60d2ae3.rmeta: crates/bench/src/lib.rs crates/bench/src/fairness_trials.rs crates/bench/src/profile.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fairness_trials.rs:
+crates/bench/src/profile.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedval_data-692d08717b3a558e.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libfedval_data-692d08717b3a558e.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libfedval_data-692d08717b3a558e.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/images.rs crates/data/src/noise.rs crates/data/src/partition.rs crates/data/src/randn.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/images.rs:
+crates/data/src/noise.rs:
+crates/data/src/partition.rs:
+crates/data/src/randn.rs:
+crates/data/src/synthetic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedval_fl-ed8ef06bd897f7ef.d: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs
+
+/root/repo/target/release/deps/libfedval_fl-ed8ef06bd897f7ef.rlib: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs
+
+/root/repo/target/release/deps/libfedval_fl-ed8ef06bd897f7ef.rmeta: crates/fl/src/lib.rs crates/fl/src/config.rs crates/fl/src/subset.rs crates/fl/src/trainer.rs crates/fl/src/utility.rs crates/fl/src/utility_matrix.rs
+
+crates/fl/src/lib.rs:
+crates/fl/src/config.rs:
+crates/fl/src/subset.rs:
+crates/fl/src/trainer.rs:
+crates/fl/src/utility.rs:
+crates/fl/src/utility_matrix.rs:

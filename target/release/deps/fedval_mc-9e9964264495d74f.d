@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedval_mc-9e9964264495d74f.d: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs
+
+/root/repo/target/release/deps/libfedval_mc-9e9964264495d74f.rlib: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs
+
+/root/repo/target/release/deps/libfedval_mc-9e9964264495d74f.rmeta: crates/mc/src/lib.rs crates/mc/src/als.rs crates/mc/src/ccd.rs crates/mc/src/factors.rs crates/mc/src/problem.rs crates/mc/src/sgd.rs
+
+crates/mc/src/lib.rs:
+crates/mc/src/als.rs:
+crates/mc/src/ccd.rs:
+crates/mc/src/factors.rs:
+crates/mc/src/problem.rs:
+crates/mc/src/sgd.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fedval_metrics-641691a79cb172bc.d: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libfedval_metrics-641691a79cb172bc.rlib: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libfedval_metrics-641691a79cb172bc.rmeta: crates/metrics/src/lib.rs crates/metrics/src/ecdf.rs crates/metrics/src/gini.rs crates/metrics/src/jaccard.rs crates/metrics/src/kendall.rs crates/metrics/src/ranking.rs crates/metrics/src/spearman.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/ecdf.rs:
+crates/metrics/src/gini.rs:
+crates/metrics/src/jaccard.rs:
+crates/metrics/src/kendall.rs:
+crates/metrics/src/ranking.rs:
+crates/metrics/src/spearman.rs:
+crates/metrics/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedval_models-82c94699b1fb5d1a.d: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs
+
+/root/repo/target/release/deps/libfedval_models-82c94699b1fb5d1a.rlib: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs
+
+/root/repo/target/release/deps/libfedval_models-82c94699b1fb5d1a.rmeta: crates/models/src/lib.rs crates/models/src/cnn.rs crates/models/src/init.rs crates/models/src/linear.rs crates/models/src/mlp.rs crates/models/src/optim.rs crates/models/src/traits.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cnn.rs:
+crates/models/src/init.rs:
+crates/models/src/linear.rs:
+crates/models/src/mlp.rs:
+crates/models/src/optim.rs:
+crates/models/src/traits.rs:

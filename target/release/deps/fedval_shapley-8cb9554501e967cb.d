@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fedval_shapley-8cb9554501e967cb.d: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs
+
+/root/repo/target/release/deps/libfedval_shapley-8cb9554501e967cb.rlib: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs
+
+/root/repo/target/release/deps/libfedval_shapley-8cb9554501e967cb.rmeta: crates/shapley/src/lib.rs crates/shapley/src/coeffs.rs crates/shapley/src/comfedsv.rs crates/shapley/src/exact.rs crates/shapley/src/fairness.rs crates/shapley/src/fedsv.rs crates/shapley/src/group_testing.rs crates/shapley/src/observation.rs crates/shapley/src/pipeline.rs crates/shapley/src/theory.rs crates/shapley/src/tmc.rs
+
+crates/shapley/src/lib.rs:
+crates/shapley/src/coeffs.rs:
+crates/shapley/src/comfedsv.rs:
+crates/shapley/src/exact.rs:
+crates/shapley/src/fairness.rs:
+crates/shapley/src/fedsv.rs:
+crates/shapley/src/group_testing.rs:
+crates/shapley/src/observation.rs:
+crates/shapley/src/pipeline.rs:
+crates/shapley/src/theory.rs:
+crates/shapley/src/tmc.rs:

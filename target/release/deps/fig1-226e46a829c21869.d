@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-226e46a829c21869.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-226e46a829c21869: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-fe73b6c20bed90c4.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-fe73b6c20bed90c4: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

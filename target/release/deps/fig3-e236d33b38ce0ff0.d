@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-e236d33b38ce0ff0.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-e236d33b38ce0ff0: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-45df6493bbb8eb10.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-45df6493bbb8eb10: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

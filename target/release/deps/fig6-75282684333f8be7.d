@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-75282684333f8be7.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-75282684333f8be7: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-da188e19c742948e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-da188e19c742948e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

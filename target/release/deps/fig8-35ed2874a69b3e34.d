@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-35ed2874a69b3e34.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-35ed2874a69b3e34: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_throughput-a1e828a5c4d2fe81.d: crates/bench/src/bin/oracle_throughput.rs
+
+/root/repo/target/release/deps/oracle_throughput-a1e828a5c4d2fe81: crates/bench/src/bin/oracle_throughput.rs
+
+crates/bench/src/bin/oracle_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_gate_probe-e55d8bc2942198d1.d: examples/_gate_probe.rs
+
+/root/repo/target/release/examples/_gate_probe-e55d8bc2942198d1: examples/_gate_probe.rs
+
+examples/_gate_probe.rs:

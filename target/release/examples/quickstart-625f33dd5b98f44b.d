@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-625f33dd5b98f44b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-625f33dd5b98f44b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reward_allocation-6064ea285da90ebb.d: examples/reward_allocation.rs
+
+/root/repo/target/release/examples/reward_allocation-6064ea285da90ebb: examples/reward_allocation.rs
+
+examples/reward_allocation.rs:

@@ -3,7 +3,7 @@
 //! backs Fig. 3's rank sweep with timing data).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fedval_mc::{solve_als, solve_sgd, AlsConfig, CompletionProblem, SgdConfig};
+use fedval_mc::{AlsConfig, CompletionProblem, MatrixCompleter, SgdConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,10 +44,13 @@ fn bench_als_sizes(c: &mut Criterion) {
         let p = masked_problem(100, cols, 4, 0.05, 1);
         group.bench_with_input(BenchmarkId::from_parameter(cols), &cols, |b, _| {
             b.iter(|| {
-                std::hint::black_box(solve_als(
-                    &p,
-                    &AlsConfig::new(4).with_lambda(0.05).with_max_iters(10),
-                ))
+                std::hint::black_box(
+                    AlsConfig::new(4)
+                        .with_lambda(0.05)
+                        .with_max_iters(10)
+                        .complete(&p)
+                        .unwrap(),
+                )
             })
         });
     }
@@ -60,10 +63,13 @@ fn bench_als_rank_sweep(c: &mut Criterion) {
     for &rank in &[1usize, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
             b.iter(|| {
-                std::hint::black_box(solve_als(
-                    &p,
-                    &AlsConfig::new(rank).with_lambda(0.05).with_max_iters(10),
-                ))
+                std::hint::black_box(
+                    AlsConfig::new(rank)
+                        .with_lambda(0.05)
+                        .with_max_iters(10)
+                        .complete(&p)
+                        .unwrap(),
+                )
             })
         });
     }
@@ -74,10 +80,13 @@ fn bench_sgd(c: &mut Criterion) {
     let p = masked_problem(100, 1024, 4, 0.05, 3);
     c.bench_function("sgd_1024_cols_20_epochs", |b| {
         b.iter(|| {
-            std::hint::black_box(solve_sgd(
-                &p,
-                &SgdConfig::new(4).with_lambda(0.05).with_epochs(20),
-            ))
+            std::hint::black_box(
+                SgdConfig::new(4)
+                    .with_lambda(0.05)
+                    .with_epochs(20)
+                    .complete(&p)
+                    .unwrap(),
+            )
         })
     });
 }

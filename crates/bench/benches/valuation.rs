@@ -4,10 +4,7 @@
 use comfedsv::experiments::ExperimentBuilder;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedval_fl::FlConfig;
-use fedval_shapley::{
-    comfedsv_pipeline, fedsv, fedsv_monte_carlo, ground_truth_valuation, ComFedSvConfig,
-    EstimatorKind, FedSvConfig,
-};
+use fedval_shapley::{ComFedSv, EstimatorKind, ExactShapley, FedSv, FedSvConfig};
 
 fn build(
     n: usize,
@@ -29,7 +26,7 @@ fn bench_fedsv_exact(c: &mut Criterion) {
     c.bench_function("fedsv_exact_n8_t5_k3", |b| {
         b.iter(|| {
             let oracle = world.oracle(&trace);
-            std::hint::black_box(fedsv(&oracle))
+            std::hint::black_box(FedSv::exact().run(&oracle).unwrap())
         })
     });
 }
@@ -42,13 +39,14 @@ fn bench_fedsv_monte_carlo(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let oracle = world.oracle(&trace);
-                std::hint::black_box(fedsv_monte_carlo(
-                    &oracle,
-                    &FedSvConfig {
+                std::hint::black_box(
+                    FedSv::monte_carlo(FedSvConfig {
                         permutations_per_round: Some(20),
                         seed: 1,
-                    },
-                ))
+                    })
+                    .run(&oracle)
+                    .unwrap(),
+                )
             })
         });
     }
@@ -60,10 +58,7 @@ fn bench_comfedsv_exact_pipeline(c: &mut Criterion) {
     c.bench_function("comfedsv_exact_pipeline_n8_t5", |b| {
         b.iter(|| {
             let oracle = world.oracle(&trace);
-            std::hint::black_box(comfedsv_pipeline(
-                &oracle,
-                &ComFedSvConfig::exact(4).with_lambda(0.01),
-            ))
+            std::hint::black_box(ComFedSv::exact(4).with_lambda(0.01).run(&oracle).unwrap())
         })
     });
 }
@@ -76,9 +71,8 @@ fn bench_comfedsv_monte_carlo_pipeline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let oracle = world.oracle(&trace);
-                std::hint::black_box(comfedsv_pipeline(
-                    &oracle,
-                    &ComFedSvConfig {
+                std::hint::black_box(
+                    ComFedSv {
                         rank: 5,
                         lambda: 0.01,
                         estimator: EstimatorKind::MonteCarlo {
@@ -87,8 +81,10 @@ fn bench_comfedsv_monte_carlo_pipeline(c: &mut Criterion) {
                         als_max_iters: 20,
                         solver: Default::default(),
                         seed: 1,
-                    },
-                ))
+                    }
+                    .run(&oracle)
+                    .unwrap(),
+                )
             })
         });
     }
@@ -100,7 +96,7 @@ fn bench_ground_truth(c: &mut Criterion) {
     c.bench_function("ground_truth_n8_t5", |b| {
         b.iter(|| {
             let oracle = world.oracle(&trace);
-            std::hint::black_box(ground_truth_valuation(&oracle))
+            std::hint::black_box(ExactShapley.run(&oracle).unwrap())
         })
     });
 }

@@ -38,12 +38,15 @@ fn quality_world(seed: u64) -> (comfedsv::experiments::World, fedval_fl::Trainin
 fn ablation_rank_and_lambda() {
     let (world, trace) = quality_world(3);
     let oracle = world.oracle(&trace);
-    let gt = ground_truth_valuation(&oracle);
+    let gt = ExactShapley.run(&oracle).unwrap();
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for rank in 1..=10usize {
-        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(rank).with_lambda(0.01));
+        let out = ComFedSv::exact(rank)
+            .with_lambda(0.01)
+            .run(&oracle)
+            .unwrap();
         let rho = spearman_rho(&out.values, &gt).unwrap_or(f64::NAN);
         rows.push((rank.to_string(), rho));
         csv.push(vec!["rank".into(), rank.to_string(), format!("{rho}")]);
@@ -56,7 +59,7 @@ fn ablation_rank_and_lambda() {
 
     let mut rows = Vec::new();
     for lambda in [1e-4, 1e-3, 1e-2, 1e-1, 1.0] {
-        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(6).with_lambda(lambda));
+        let out = ComFedSv::exact(6).with_lambda(lambda).run(&oracle).unwrap();
         let rho = spearman_rho(&out.values, &gt).unwrap_or(f64::NAN);
         rows.push((format!("{lambda}"), rho));
         csv.push(vec!["lambda".into(), format!("{lambda}"), format!("{rho}")]);
@@ -72,18 +75,16 @@ fn ablation_rank_and_lambda() {
 fn ablation_solver() {
     let (world, trace) = quality_world(5);
     let oracle = world.oracle(&trace);
-    let als = comfedsv_pipeline(
-        &oracle,
-        &ComFedSvConfig::exact(6)
-            .with_lambda(0.01)
-            .with_solver(CompletionSolver::Als),
-    );
-    let ccd = comfedsv_pipeline(
-        &oracle,
-        &ComFedSvConfig::exact(6)
-            .with_lambda(0.01)
-            .with_solver(CompletionSolver::Ccd),
-    );
+    let als = ComFedSv::exact(6)
+        .with_lambda(0.01)
+        .with_solver(CompletionSolver::Als)
+        .run(&oracle)
+        .unwrap();
+    let ccd = ComFedSv::exact(6)
+        .with_lambda(0.01)
+        .with_solver(CompletionSolver::Ccd)
+        .run(&oracle)
+        .unwrap();
     let rho = spearman_rho(&als.values, &ccd.values).unwrap_or(f64::NAN);
     println!("\n== Ablation: ALS vs CCD++ (LIBPMF) ==");
     println!(
@@ -127,8 +128,8 @@ fn ablation_assumption1() {
         let cfg = FlConfig::new(10, 3, 0.2, 7).with_everyone_heard(heard);
         let trace = world.train(&cfg);
         let oracle = world.oracle(&trace);
-        let gt = ground_truth_valuation(&oracle);
-        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(6).with_lambda(0.01));
+        let gt = ExactShapley.run(&oracle).unwrap();
+        let out = ComFedSv::exact(6).with_lambda(0.01).run(&oracle).unwrap();
         let observed = (0..out.problem.num_cols())
             .filter(|&c| !out.problem.col_entries(c).is_empty())
             .count();
@@ -184,14 +185,15 @@ fn ablation_heterogeneity() {
             };
             let plain = FlConfig::new(10, 3, 0.2, seed).with_everyone_heard(false);
             let trace_plain = world.train(&plain);
-            let fed = fedsv(&world.oracle(&trace_plain));
+            let fed = FedSv::exact().run(&world.oracle(&trace_plain)).unwrap();
             fed_d += relative_difference(fed[0], fed[9]) / trials as f64;
 
             let trace = world.train(&FlConfig::new(10, 3, 0.2, seed));
-            let out = comfedsv_pipeline(
-                &world.oracle(&trace),
-                &ComFedSvConfig::exact(6).with_lambda(0.01).with_seed(seed),
-            );
+            let out = ComFedSv::exact(6)
+                .with_lambda(0.01)
+                .with_seed(seed)
+                .run(&world.oracle(&trace))
+                .unwrap();
             com_d += relative_difference(out.values[0], out.values[9]) / trials as f64;
         }
         println!("{alpha:>8}  {fed_d:>12.4}  {com_d:>12.4}");

@@ -14,7 +14,7 @@
 use comfedsv::experiments::ExperimentBuilder;
 use fedval_bench::{print_series, profile, write_csv};
 use fedval_fl::{full_utility_matrix, FlConfig};
-use fedval_mc::{solve_als, AlsConfig, CompletionProblem};
+use fedval_mc::{AlsConfig, CompletionProblem, MatrixCompleter};
 
 fn main() {
     let prof = profile();
@@ -56,10 +56,12 @@ fn main() {
     }
 
     let rel_error = |problem: &CompletionProblem, rank: usize| {
-        let (factors, _) = solve_als(
-            problem,
-            &AlsConfig::new(rank).with_lambda(0.05).with_max_iters(60),
-        );
+        let factors = AlsConfig::new(rank)
+            .with_lambda(0.05)
+            .with_max_iters(60)
+            .complete(problem)
+            .unwrap()
+            .factors;
         let mut sq = 0.0;
         for round in 0..t {
             for bits in 0..(1u64 << n) {

@@ -17,7 +17,7 @@ use comfedsv::experiments::{DatasetKind, ExperimentBuilder};
 use fedval_bench::{profile, write_csv};
 use fedval_fl::FlConfig;
 use fedval_metrics::spearman_rho;
-use fedval_shapley::{comfedsv_pipeline, fedsv, ground_truth_valuation, ComFedSvConfig};
+use fedval_shapley::{ComFedSv, ExactShapley, FedSv};
 
 fn main() {
     let prof = profile();
@@ -45,9 +45,13 @@ fn main() {
         let trace = world.train(&FlConfig::new(prof.short_rounds, 3, 0.1, 5));
         let oracle = world.oracle(&trace);
 
-        let gt = ground_truth_valuation(&oracle);
-        let fed = fedsv(&oracle);
-        let com = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(6).with_lambda(0.01)).values;
+        let gt = ExactShapley.run(&oracle).unwrap();
+        let fed = FedSv::exact().run(&oracle).unwrap();
+        let com = ComFedSv::exact(6)
+            .with_lambda(0.01)
+            .run(&oracle)
+            .unwrap()
+            .values;
 
         let rho_gt = spearman_rho(&gt, &truth).unwrap_or(f64::NAN);
         let rho_fed = spearman_rho(&fed, &truth).unwrap_or(f64::NAN);

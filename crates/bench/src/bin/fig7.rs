@@ -12,9 +12,7 @@ use comfedsv::experiments::ExperimentBuilder;
 use fedval_bench::{profile, write_csv};
 use fedval_fl::FlConfig;
 use fedval_metrics::{bottom_k_indices, jaccard_index};
-use fedval_shapley::{
-    comfedsv_pipeline, fedsv_monte_carlo, ComFedSvConfig, EstimatorKind, FedSvConfig,
-};
+use fedval_shapley::{ComFedSv, EstimatorKind, FedSv, FedSvConfig};
 
 fn main() {
     let prof = profile();
@@ -44,13 +42,12 @@ fn main() {
         let oracle = world.oracle(&trace);
 
         // FedSV with its default O(K log K) per-round permutation budget.
-        let fed = fedsv_monte_carlo(
-            &oracle,
-            &FedSvConfig {
-                permutations_per_round: None,
-                seed: 3,
-            },
-        );
+        let fed = FedSv::monte_carlo(FedSvConfig {
+            permutations_per_round: None,
+            seed: 3,
+        })
+        .run(&oracle)
+        .unwrap();
         let j_fed = jaccard_index(&bottom_k_indices(&fed, noisy_count), &truth);
 
         // ComFedSV with M ≈ 2 N ln N global permutations (the paper's
@@ -58,19 +55,18 @@ fn main() {
         // variance at smaller M degrades the bottom-k set).
         let m_perms =
             ((2.0 * n as f64 * (n as f64).ln()).ceil() as usize).max(prof.mc_permutations);
-        let com = comfedsv_pipeline(
-            &oracle,
-            &ComFedSvConfig {
-                rank: 6,
-                lambda: 0.005,
-                estimator: EstimatorKind::MonteCarlo {
-                    num_permutations: m_perms,
-                },
-                als_max_iters: 50,
-                solver: Default::default(),
-                seed: 4,
+        let com = ComFedSv {
+            rank: 6,
+            lambda: 0.005,
+            estimator: EstimatorKind::MonteCarlo {
+                num_permutations: m_perms,
             },
-        )
+            als_max_iters: 50,
+            solver: Default::default(),
+            seed: 4,
+        }
+        .run(&oracle)
+        .unwrap()
         .values;
         let j_com = jaccard_index(&bottom_k_indices(&com, noisy_count), &truth);
 

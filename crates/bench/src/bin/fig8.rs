@@ -10,9 +10,7 @@
 use comfedsv::experiments::ExperimentBuilder;
 use fedval_bench::{profile, write_csv};
 use fedval_fl::FlConfig;
-use fedval_shapley::{
-    comfedsv_pipeline, fedsv_monte_carlo, ComFedSvConfig, EstimatorKind, FedSvConfig,
-};
+use fedval_shapley::{ComFedSv, EstimatorKind, FedSv, FedSvConfig};
 use std::time::Instant;
 
 fn main() {
@@ -48,13 +46,12 @@ fn main() {
         let oracle_fed = world.oracle(&trace_plain);
         oracle_fed.reset_counter();
         let t0 = Instant::now();
-        let _ = fedsv_monte_carlo(
-            &oracle_fed,
-            &FedSvConfig {
-                permutations_per_round: None, // ⌈K ln K⌉ + 1
-                seed: 2,
-            },
-        );
+        let _ = FedSv::monte_carlo(FedSvConfig {
+            permutations_per_round: None, // ⌈K ln K⌉ + 1
+            seed: 2,
+        })
+        .run(&oracle_fed)
+        .unwrap();
         let fed_time = t0.elapsed().as_secs_f64();
         let fed_calls = oracle_fed.loss_evaluations();
 
@@ -63,19 +60,18 @@ fn main() {
         oracle_com.reset_counter();
         let m = ((n as f64) * (n as f64).ln()).ceil() as usize / 2 + 1;
         let t1 = Instant::now();
-        let _ = comfedsv_pipeline(
-            &oracle_com,
-            &ComFedSvConfig {
-                rank: 6,
-                lambda: 0.01,
-                estimator: EstimatorKind::MonteCarlo {
-                    num_permutations: m,
-                },
-                als_max_iters: 30,
-                solver: Default::default(),
-                seed: 2,
+        let _ = ComFedSv {
+            rank: 6,
+            lambda: 0.01,
+            estimator: EstimatorKind::MonteCarlo {
+                num_permutations: m,
             },
-        );
+            als_max_iters: 30,
+            solver: Default::default(),
+            seed: 2,
+        }
+        .run(&oracle_com)
+        .unwrap();
         let com_time = t1.elapsed().as_secs_f64();
         let com_calls = oracle_com.loss_evaluations();
 

@@ -17,7 +17,7 @@
 use comfedsv::experiments::ExperimentBuilder;
 use fedval_bench::{profile, write_csv};
 use fedval_fl::FlConfig;
-use fedval_shapley::{comfedsv_pipeline, ComFedSvConfig, EstimatorKind};
+use fedval_shapley::{ComFedSv, EstimatorKind};
 use std::time::Instant;
 
 fn thread_counts() -> Vec<usize> {
@@ -55,7 +55,7 @@ fn main() {
         .build();
     let trace = world.train(&FlConfig::new(rounds, k, 0.2, 9));
     let m = ((n as f64) * (n as f64).ln()).ceil() as usize / 2 + 1;
-    let config = ComFedSvConfig {
+    let config = ComFedSv {
         rank: 6,
         lambda: 0.01,
         estimator: EstimatorKind::MonteCarlo {
@@ -78,7 +78,7 @@ fn main() {
         let oracle = world.oracle(&trace).with_parallelism(threads);
         oracle.reset_counter();
         let t0 = Instant::now();
-        let out = comfedsv_pipeline(&oracle, &config);
+        let out = config.run(&oracle).unwrap();
         let secs = t0.elapsed().as_secs_f64();
         let calls = oracle.loss_evaluations();
 

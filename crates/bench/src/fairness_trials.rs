@@ -6,7 +6,7 @@
 use comfedsv::experiments::{DatasetKind, ExperimentBuilder};
 use fedval_fl::FlConfig;
 use fedval_metrics::relative_difference;
-use fedval_shapley::{comfedsv_pipeline, fedsv, ComFedSvConfig};
+use fedval_shapley::{ComFedSv, FedSv};
 
 /// Result of one fairness sweep.
 pub struct FairnessTrialResult {
@@ -48,17 +48,18 @@ pub fn run_fairness_trials(
         let plain = FlConfig::new(rounds, clients_per_round, 0.2, seed).with_everyone_heard(false);
         let trace_plain = world.train(&plain);
         let oracle_plain = world.oracle(&trace_plain);
-        let fed = fedsv(&oracle_plain);
+        let fed = FedSv::exact().run(&oracle_plain).unwrap();
         fedsv_diffs.push(relative_difference(fed[0], fed[num_clients - 1]));
 
         // ComFedSV runs on the Assumption-1 protocol it requires.
         let heard = FlConfig::new(rounds, clients_per_round, 0.2, seed);
         let trace_heard = world.train(&heard);
         let oracle_heard = world.oracle(&trace_heard);
-        let out = comfedsv_pipeline(
-            &oracle_heard,
-            &ComFedSvConfig::exact(6).with_lambda(0.01).with_seed(seed),
-        );
+        let out = ComFedSv::exact(6)
+            .with_lambda(0.01)
+            .with_seed(seed)
+            .run(&oracle_heard)
+            .unwrap();
         comfedsv_diffs.push(relative_difference(
             out.values[0],
             out.values[num_clients - 1],

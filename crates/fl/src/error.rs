@@ -1,0 +1,59 @@
+//! Typed errors for the recorded-run utility layer.
+//!
+//! Everything exponential in the client count is gated on
+//! [`MAX_EXACT_CLIENTS`](crate::MAX_EXACT_CLIENTS), and the fallible
+//! entry points report violations as [`OracleError`] values instead of
+//! panicking — the valuation crates convert these into their own error
+//! types, so an invalid configuration surfaces as a `Result` all the way
+//! up the stack.
+
+use std::fmt;
+
+/// Why a utility-oracle request could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleError {
+    /// An exact-enumeration path was asked to enumerate `2^clients`
+    /// coalitions with `clients` above the supported maximum.
+    TooManyClients {
+        /// Requested client count `N`.
+        clients: usize,
+        /// The enforced ceiling ([`MAX_EXACT_CLIENTS`](crate::MAX_EXACT_CLIENTS)).
+        max: usize,
+    },
+    /// The recorded training trace contains no rounds, so there are no
+    /// utilities to evaluate.
+    EmptyTrace,
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::TooManyClients { clients, max } => write!(
+                f,
+                "exact enumeration over {clients} clients is exponential (max {max}); \
+                 use a sampling estimator"
+            ),
+            OracleError::EmptyTrace => {
+                write!(f, "training trace has no rounds; nothing to value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_limit() {
+        let e = OracleError::TooManyClients {
+            clients: 17,
+            max: 16,
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("16"));
+        assert!(OracleError::EmptyTrace.to_string().contains("no rounds"));
+    }
+}

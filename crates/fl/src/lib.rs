@@ -24,13 +24,27 @@
 //! * [`utility_matrix`] — full and observed utility-matrix builders.
 
 pub mod config;
+pub mod error;
 pub mod subset;
 pub mod trainer;
 pub mod utility;
 pub mod utility_matrix;
 
+/// Largest client count for which the exact (full coalition-space) paths
+/// run: exact enumeration registers `2^N` coalitions, so everything from
+/// [`full_utility_matrix`] up through the valuation crates' exact
+/// estimators is gated to `N ≤ 16` (65 536 coalitions — about the
+/// practical ceiling for the `O(N · 2^N)` sums). Beyond this, use a
+/// sampling estimator. This constant lives here, at the bottom of the
+/// valuation stack, so every layer (`fl`, `mc` consumers, `shapley`)
+/// shares one gate; `fedval_shapley` re-exports it for compatibility.
+pub const MAX_EXACT_CLIENTS: usize = 16;
+
 pub use config::FlConfig;
+pub use error::OracleError;
 pub use subset::Subset;
 pub use trainer::{train_federated, TrainingTrace};
 pub use utility::{EvalPlan, UtilityOracle};
-pub use utility_matrix::{full_utility_matrix, observed_entries, ObservedEntry};
+pub use utility_matrix::{
+    full_utility_matrix, observed_entries, try_full_utility_matrix, ObservedEntry,
+};

@@ -9,8 +9,10 @@
 //! * [`observed_entries`] — the entries a real deployment observes,
 //!   `{(t, S) : S ⊆ I_t}`, which feed the matrix-completion problem (9).
 
+use crate::error::OracleError;
 use crate::subset::Subset;
 use crate::utility::{EvalPlan, UtilityOracle};
+use crate::MAX_EXACT_CLIENTS;
 use fedval_linalg::Matrix;
 
 /// One observed utility-matrix entry.
@@ -27,15 +29,32 @@ pub struct ObservedEntry {
 /// Builds the full `T × 2^N` utility matrix. Column `j` corresponds to the
 /// subset with bitmask `j` (column 0, the empty coalition, is all zeros).
 ///
-/// Gated to `N ≤ 16` — beyond that the matrix itself (let alone the loss
-/// evaluations) is impractical, which is exactly the paper's motivation for
-/// the Monte-Carlo estimator.
+/// Gated to `N ≤` [`MAX_EXACT_CLIENTS`] — beyond that the matrix itself
+/// (let alone the loss evaluations) is impractical, which is exactly the
+/// paper's motivation for the Monte-Carlo estimator. Panics on violation;
+/// [`try_full_utility_matrix`] is the fallible variant.
 pub fn full_utility_matrix(oracle: &UtilityOracle<'_>) -> Matrix {
+    match try_full_utility_matrix(oracle) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`full_utility_matrix`]: rejects `N >` [`MAX_EXACT_CLIENTS`]
+/// with a typed error instead of panicking.
+pub fn try_full_utility_matrix(oracle: &UtilityOracle<'_>) -> Result<Matrix, OracleError> {
     let n = oracle.num_clients();
-    assert!(
-        n <= 16,
-        "full utility matrix is exponential; use sampling for N > 16"
-    );
+    if n > MAX_EXACT_CLIENTS {
+        return Err(OracleError::TooManyClients {
+            clients: n,
+            max: MAX_EXACT_CLIENTS,
+        });
+    }
+    if oracle.num_rounds() == 0 {
+        // A 0 × 2^N matrix has no utilities to study; reject it the same
+        // way the valuation layer rejects empty traces.
+        return Err(OracleError::EmptyTrace);
+    }
     let t = oracle.num_rounds();
     let cols = 1usize << n;
     // Evaluate the whole grid as one parallel batch, then read it out.
@@ -55,7 +74,7 @@ pub fn full_utility_matrix(oracle: &UtilityOracle<'_>) -> Matrix {
             m.set(round, j, oracle.utility(round, s));
         }
     }
-    m
+    Ok(m)
 }
 
 /// Collects every observed entry `{(t, S) : S ⊆ I_t, S ≠ ∅}` — the
@@ -185,7 +204,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exponential")]
+    fn full_matrix_rejects_empty_trace() {
+        let (_, proto, test) = setup(3, 1, 1);
+        let clients: Vec<Dataset> = (0..3)
+            .map(|i| {
+                let f = M::from_fn(4, 2, |r, c| ((r + c + i) % 3) as f64 - 1.0);
+                let labels: Vec<usize> = (0..4).map(|r| (r + i) % 2).collect();
+                Dataset::new(f, labels, 2).unwrap()
+            })
+            .collect();
+        let trace = train_federated(&proto, &clients, &FlConfig::new(0, 2, 0.2, 1));
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        assert_eq!(
+            try_full_utility_matrix(&oracle).unwrap_err(),
+            OracleError::EmptyTrace
+        );
+    }
+
+    #[test]
     fn full_matrix_rejects_large_n() {
         let (_, _, test) = setup(3, 1, 1);
         let clients: Vec<Dataset> = (0..17)
@@ -198,6 +234,12 @@ mod tests {
         let proto = LogisticRegression::new(2, 2, 0.01, 5);
         let trace = train_federated(&proto, &clients, &FlConfig::new(1, 2, 0.2, 1));
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let _ = full_utility_matrix(&oracle);
+        assert_eq!(
+            try_full_utility_matrix(&oracle).unwrap_err(),
+            OracleError::TooManyClients {
+                clients: 17,
+                max: MAX_EXACT_CLIENTS
+            }
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! and columns are independent within a half-step and are solved in
 //! parallel.
 
+use crate::completer::{check_finite, Completion, CompletionError, MatrixCompleter};
 use crate::factors::Factors;
 use crate::problem::CompletionProblem;
 use fedval_linalg::{cholesky, Matrix};
@@ -60,11 +61,42 @@ impl AlsConfig {
     }
 }
 
+impl MatrixCompleter for AlsConfig {
+    fn name(&self) -> &'static str {
+        "als"
+    }
+
+    fn complete(&self, problem: &CompletionProblem) -> Result<Completion, CompletionError> {
+        if self.rank == 0 {
+            return Err(CompletionError::InvalidRank);
+        }
+        if self.lambda.is_nan() || self.lambda <= 0.0 {
+            // The ridge sub-solves need λ > 0 to stay SPD.
+            return Err(CompletionError::InvalidLambda {
+                lambda: self.lambda,
+            });
+        }
+        let (factors, trace) = run_als(problem, self);
+        check_finite(self.name(), factors, trace)
+    }
+}
+
 /// Runs ALS on `problem`, returning the factors and the per-sweep objective
 /// trajectory (first entry = objective after initialization).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `MatrixCompleter` impl: `config.complete(problem)`"
+)]
 pub fn solve_als(problem: &CompletionProblem, config: &AlsConfig) -> (Factors, Vec<f64>) {
-    assert!(config.rank > 0, "rank must be positive");
-    assert!(config.lambda > 0.0, "lambda must be positive");
+    match config.complete(problem) {
+        Ok(c) => (c.factors, c.objective_trace),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The ALS iteration itself; configuration validity is the caller's
+/// responsibility ([`MatrixCompleter::complete`] checks it).
+fn run_als(problem: &CompletionProblem, config: &AlsConfig) -> (Factors, Vec<f64>) {
     let t = problem.num_rows();
     let c = problem.num_cols();
     let r = config.rank;
@@ -194,6 +226,12 @@ fn parallel_for<T: Sync>(items: &[T], target: &mut Matrix, f: impl Fn(&T, &mut [
 mod tests {
     use super::*;
 
+    /// Trait-API shorthand used throughout these tests.
+    fn solve_als(problem: &CompletionProblem, config: &AlsConfig) -> (Factors, Vec<f64>) {
+        let c = config.complete(problem).unwrap();
+        (c.factors, c.objective_trace)
+    }
+
     /// Builds a problem from a dense low-rank matrix with a random mask.
     fn masked_low_rank(
         t: usize,
@@ -302,16 +340,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank must be positive")]
     fn rejects_zero_rank() {
         let p = CompletionProblem::new(1);
-        let _ = solve_als(&p, &AlsConfig::new(0));
+        assert!(matches!(
+            AlsConfig::new(0).complete(&p),
+            Err(CompletionError::InvalidRank)
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "lambda must be positive")]
     fn rejects_zero_lambda() {
         let p = CompletionProblem::new(1);
-        let _ = solve_als(&p, &AlsConfig::new(1).with_lambda(0.0));
+        assert!(matches!(
+            AlsConfig::new(1).with_lambda(0.0).complete(&p),
+            Err(CompletionError::InvalidLambda { .. })
+        ));
     }
 }

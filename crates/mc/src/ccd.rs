@@ -8,6 +8,7 @@
 //! unlike ALS it needs no linear solves, so its per-sweep cost is linear
 //! in the number of observations.
 
+use crate::completer::{check_finite, Completion, CompletionError, MatrixCompleter};
 use crate::factors::Factors;
 use crate::problem::CompletionProblem;
 use fedval_linalg::Matrix;
@@ -58,11 +59,42 @@ impl CcdConfig {
     }
 }
 
+impl MatrixCompleter for CcdConfig {
+    fn name(&self) -> &'static str {
+        "ccd"
+    }
+
+    fn complete(&self, problem: &CompletionProblem) -> Result<Completion, CompletionError> {
+        if self.rank == 0 {
+            return Err(CompletionError::InvalidRank);
+        }
+        if self.lambda.is_nan() || self.lambda <= 0.0 {
+            // Each 1-D ridge update divides by λ + Σ h² — λ > 0 keeps it safe.
+            return Err(CompletionError::InvalidLambda {
+                lambda: self.lambda,
+            });
+        }
+        let (factors, trace) = run_ccd(problem, self);
+        check_finite(self.name(), factors, trace)
+    }
+}
+
 /// Runs CCD++ on `problem`, returning factors and the per-sweep objective
 /// trajectory (first entry = objective after initialization).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `MatrixCompleter` impl: `config.complete(problem)`"
+)]
 pub fn solve_ccd(problem: &CompletionProblem, config: &CcdConfig) -> (Factors, Vec<f64>) {
-    assert!(config.rank > 0, "rank must be positive");
-    assert!(config.lambda > 0.0, "lambda must be positive");
+    match config.complete(problem) {
+        Ok(c) => (c.factors, c.objective_trace),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The CCD++ iteration itself; configuration validity is the caller's
+/// responsibility ([`MatrixCompleter::complete`] checks it).
+fn run_ccd(problem: &CompletionProblem, config: &CcdConfig) -> (Factors, Vec<f64>) {
     let t = problem.num_rows();
     let c = problem.num_cols();
     let r = config.rank;
@@ -165,6 +197,12 @@ fn objective(
 mod tests {
     use super::*;
 
+    /// Trait-API shorthand used throughout these tests.
+    fn solve_ccd(problem: &CompletionProblem, config: &CcdConfig) -> (Factors, Vec<f64>) {
+        let c = config.complete(problem).unwrap();
+        (c.factors, c.objective_trace)
+    }
+
     fn masked_low_rank(
         t: usize,
         c: usize,
@@ -219,12 +257,12 @@ mod tests {
         // the recovered matrices must agree closely.
         let (p, _) = masked_low_rank(14, 16, 2, 0.6, 4);
         let (f_ccd, _) = solve_ccd(&p, &CcdConfig::new(2).with_lambda(1e-3).with_max_iters(300));
-        let (f_als, _) = crate::als::solve_als(
-            &p,
-            &crate::als::AlsConfig::new(2)
-                .with_lambda(1e-3)
-                .with_max_iters(300),
-        );
+        let f_als = crate::als::AlsConfig::new(2)
+            .with_lambda(1e-3)
+            .with_max_iters(300)
+            .complete(&p)
+            .unwrap()
+            .factors;
         let a = f_ccd.complete();
         let b = f_als.complete();
         let rel = a.sub(&b).unwrap().frobenius_norm() / b.frobenius_norm().max(1e-12);
@@ -264,9 +302,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank must be positive")]
     fn rejects_zero_rank() {
         let p = CompletionProblem::new(1);
-        let _ = solve_ccd(&p, &CcdConfig::new(0));
+        assert!(matches!(
+            CcdConfig::new(0).complete(&p),
+            Err(CompletionError::InvalidRank)
+        ));
     }
 }

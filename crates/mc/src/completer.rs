@@ -1,0 +1,175 @@
+//! The pluggable completion-solver interface.
+//!
+//! Every factorization solver in this crate (ALS, CCD++, SGD) minimizes
+//! the same objective (9)/(13) over the same sparse
+//! [`CompletionProblem`], so the valuation layer above should not care
+//! which one runs. [`MatrixCompleter`] is the object-safe contract they
+//! all satisfy: validate the configuration, solve, and return a
+//! [`Completion`] (factors + objective trajectory) or a typed
+//! [`CompletionError`] — never panic. Consumers hold a
+//! `Box<dyn MatrixCompleter>` and stay solver-agnostic.
+//!
+//! The solver *configuration types* are the completers: [`AlsConfig`],
+//! [`CcdConfig`], and [`SgdConfig`] each implement the trait, so a config
+//! value doubles as a solver object.
+//!
+//! [`AlsConfig`]: crate::als::AlsConfig
+//! [`CcdConfig`]: crate::ccd::CcdConfig
+//! [`SgdConfig`]: crate::sgd::SgdConfig
+
+use crate::factors::Factors;
+use crate::problem::CompletionProblem;
+use std::fmt;
+
+/// Typed failure modes of a completion solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompletionError {
+    /// The factor rank was zero (every solver needs `r ≥ 1`).
+    InvalidRank,
+    /// The regularization weight is outside the solver's admissible range
+    /// (ALS and CCD++ need `λ > 0` for well-posed ridge sub-problems; SGD
+    /// accepts `λ ≥ 0`).
+    InvalidLambda {
+        /// The rejected value.
+        lambda: f64,
+    },
+    /// The objective became non-finite during the solve (step size too
+    /// large, pathological data, …).
+    SolverDiverged {
+        /// Which solver diverged (its [`MatrixCompleter::name`]).
+        solver: &'static str,
+        /// Sweep/epoch index at which the objective first left ℝ.
+        sweep: usize,
+    },
+}
+
+impl fmt::Display for CompletionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompletionError::InvalidRank => write!(f, "completion rank must be positive"),
+            CompletionError::InvalidLambda { lambda } => {
+                write!(f, "regularization lambda {lambda} is not admissible")
+            }
+            CompletionError::SolverDiverged { solver, sweep } => {
+                write!(f, "{solver} solver diverged at sweep {sweep}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompletionError {}
+
+/// A solved completion: the `(W, H)` factor pair plus the objective value
+/// after initialization and after every sweep (the "residual trajectory"
+/// surfaced by valuation diagnostics).
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Solved factors.
+    pub factors: Factors,
+    /// Objective trajectory; `objective_trace[0]` is the post-init value.
+    pub objective_trace: Vec<f64>,
+}
+
+/// Object-safe interface over the factorization solvers.
+///
+/// Implementations validate their configuration and return typed errors
+/// instead of panicking, so a `Box<dyn MatrixCompleter>` can be driven by
+/// user-supplied settings safely.
+pub trait MatrixCompleter: Send + Sync {
+    /// Short lowercase solver name ("als", "ccd", "sgd", …).
+    fn name(&self) -> &'static str;
+
+    /// Solves `problem`, returning factors and the objective trajectory.
+    fn complete(&self, problem: &CompletionProblem) -> Result<Completion, CompletionError>;
+}
+
+/// Shared post-solve check: a non-finite objective anywhere in the
+/// trajectory means the solver diverged.
+pub(crate) fn check_finite(
+    solver: &'static str,
+    factors: Factors,
+    objective_trace: Vec<f64>,
+) -> Result<Completion, CompletionError> {
+    if let Some(sweep) = objective_trace.iter().position(|o| !o.is_finite()) {
+        return Err(CompletionError::SolverDiverged { solver, sweep });
+    }
+    Ok(Completion {
+        factors,
+        objective_trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::AlsConfig;
+    use crate::ccd::CcdConfig;
+    use crate::sgd::SgdConfig;
+
+    fn tiny_problem() -> CompletionProblem {
+        let mut p = CompletionProblem::new(3);
+        p.add_observation(0, 1, 1.0);
+        p.add_observation(1, 1, 1.5);
+        p.add_observation(2, 3, -0.5);
+        p
+    }
+
+    #[test]
+    fn all_solvers_run_behind_the_trait() {
+        let p = tiny_problem();
+        let solvers: Vec<Box<dyn MatrixCompleter>> = vec![
+            Box::new(AlsConfig::new(2)),
+            Box::new(CcdConfig::new(2)),
+            Box::new(SgdConfig::new(2).with_epochs(20)),
+        ];
+        for s in solvers {
+            let c = s.complete(&p).unwrap();
+            assert_eq!(c.factors.rank(), 2, "{}", s.name());
+            assert!(c.objective_trace.iter().all(|o| o.is_finite()));
+        }
+    }
+
+    #[test]
+    fn zero_rank_is_a_typed_error() {
+        let p = tiny_problem();
+        for s in [
+            &AlsConfig::new(0) as &dyn MatrixCompleter,
+            &CcdConfig::new(0),
+            &SgdConfig::new(0),
+        ] {
+            assert!(
+                matches!(s.complete(&p), Err(CompletionError::InvalidRank)),
+                "{}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn divergent_sgd_is_reported_not_panicked() {
+        // An absurd learning rate makes SGD blow up to infinity.
+        let mut p = CompletionProblem::new(4);
+        for i in 0..4u64 {
+            for j in 0..4u64 {
+                p.add_observation(i as usize, j, 10.0);
+            }
+        }
+        let mut cfg = SgdConfig::new(3).with_epochs(200);
+        cfg.learning_rate = 1e6;
+        match cfg.complete(&p) {
+            Err(CompletionError::SolverDiverged { solver: "sgd", .. }) => {}
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_human_readable() {
+        let e = CompletionError::InvalidLambda { lambda: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = CompletionError::SolverDiverged {
+            solver: "sgd",
+            sweep: 3,
+        };
+        assert!(e.to_string().contains("sgd"));
+    }
+}

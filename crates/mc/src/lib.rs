@@ -14,7 +14,14 @@
 //! all over a shared sparse [`CompletionProblem`] representation whose
 //! columns are keyed by subset bitmasks.
 //!
+//! All three solvers are driven through the object-safe
+//! [`MatrixCompleter`] trait (implemented by their config types), which
+//! validates inputs and returns typed [`CompletionError`]s instead of
+//! panicking — the valuation layer above holds a
+//! `Box<dyn MatrixCompleter>` and never cares which algorithm runs.
+//!
 //! * [`problem`] — observed-entry store with row/column adjacency.
+//! * [`completer`] — the [`MatrixCompleter`] trait and its error type.
 //! * [`als`] — alternating least squares via ridge sub-solves.
 //! * [`ccd`] — CCD++ cyclic coordinate descent (the LIBPMF algorithm).
 //! * [`sgd`] — stochastic gradient solver.
@@ -27,12 +34,22 @@
 
 pub mod als;
 pub mod ccd;
+pub mod completer;
 pub mod factors;
 pub mod problem;
 pub mod sgd;
 
-pub use als::{solve_als, AlsConfig};
-pub use ccd::{solve_ccd, CcdConfig};
+pub use als::AlsConfig;
+pub use ccd::CcdConfig;
+pub use completer::{Completion, CompletionError, MatrixCompleter};
 pub use factors::Factors;
 pub use problem::CompletionProblem;
-pub use sgd::{solve_sgd, SgdConfig};
+pub use sgd::SgdConfig;
+
+// Deprecated free-function surface, kept for downstream compatibility.
+#[allow(deprecated)]
+pub use als::solve_als;
+#[allow(deprecated)]
+pub use ccd::solve_ccd;
+#[allow(deprecated)]
+pub use sgd::solve_sgd;

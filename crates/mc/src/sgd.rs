@@ -8,6 +8,7 @@
 //! entry the factors are shrunk by `λ / n_obs(row or col)` so a full epoch
 //! applies the same total shrinkage as the global objective.
 
+use crate::completer::{check_finite, Completion, CompletionError, MatrixCompleter};
 use crate::factors::Factors;
 use crate::problem::CompletionProblem;
 use fedval_linalg::Matrix;
@@ -56,10 +57,41 @@ impl SgdConfig {
     }
 }
 
+impl MatrixCompleter for SgdConfig {
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+
+    fn complete(&self, problem: &CompletionProblem) -> Result<Completion, CompletionError> {
+        if self.rank == 0 {
+            return Err(CompletionError::InvalidRank);
+        }
+        if self.lambda.is_nan() || self.lambda < 0.0 {
+            // SGD only shrinks, so λ = 0 is fine; negative λ amplifies.
+            return Err(CompletionError::InvalidLambda {
+                lambda: self.lambda,
+            });
+        }
+        let (factors, trace) = run_sgd(problem, self);
+        check_finite(self.name(), factors, trace)
+    }
+}
+
 /// Runs SGD, returning factors and the objective after each epoch.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `MatrixCompleter` impl: `config.complete(problem)`"
+)]
 pub fn solve_sgd(problem: &CompletionProblem, config: &SgdConfig) -> (Factors, Vec<f64>) {
-    assert!(config.rank > 0, "rank must be positive");
-    assert!(config.lambda >= 0.0, "lambda must be non-negative");
+    match config.complete(problem) {
+        Ok(c) => (c.factors, c.objective_trace),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The SGD epochs themselves; configuration validity is the caller's
+/// responsibility ([`MatrixCompleter::complete`] checks it).
+fn run_sgd(problem: &CompletionProblem, config: &SgdConfig) -> (Factors, Vec<f64>) {
     let t = problem.num_rows();
     let c = problem.num_cols();
     let r = config.rank;
@@ -119,6 +151,12 @@ pub fn solve_sgd(problem: &CompletionProblem, config: &SgdConfig) -> (Factors, V
 mod tests {
     use super::*;
 
+    /// Trait-API shorthand used throughout these tests.
+    fn solve_sgd(problem: &CompletionProblem, config: &SgdConfig) -> (Factors, Vec<f64>) {
+        let c = config.complete(problem).unwrap();
+        (c.factors, c.objective_trace)
+    }
+
     fn masked_low_rank(
         t: usize,
         c: usize,
@@ -166,12 +204,12 @@ mod tests {
     fn agrees_with_als_on_recovered_entries() {
         let (p, full) = masked_low_rank(14, 16, 2, 0.6, 4);
         let (f_sgd, _) = solve_sgd(&p, &SgdConfig::new(2).with_lambda(1e-3).with_epochs(400));
-        let (f_als, _) = crate::als::solve_als(
-            &p,
-            &crate::als::AlsConfig::new(2)
-                .with_lambda(1e-3)
-                .with_max_iters(200),
-        );
+        let f_als = crate::als::AlsConfig::new(2)
+            .with_lambda(1e-3)
+            .with_max_iters(200)
+            .complete(&p)
+            .unwrap()
+            .factors;
         let rec_sgd = f_sgd.complete();
         let rec_als = f_als.complete();
         let denom = full.frobenius_norm();

@@ -1,6 +1,12 @@
 //! The classical Shapley value (equation (5) with `c = 1/N`).
+//!
+//! [`exact_shapley`] is the closure-driven mathematical kernel (usable
+//! for arbitrary games); the oracle-driven ground-truth valuation lives
+//! in [`ExactShapley`](crate::pipeline::ExactShapley), which implements
+//! [`Valuator`](crate::valuator::Valuator).
 
 use crate::coeffs::BinomialTable;
+use crate::error::ValuationError;
 use crate::MAX_EXACT_CLIENTS;
 use fedval_fl::Subset;
 
@@ -9,7 +15,7 @@ use fedval_fl::Subset;
 ///
 /// `s_i = (1/N) Σ_{S ⊆ I\{i}} [1 / C(N−1, |S|)] (u(S ∪ {i}) − u(S))`
 ///
-/// Gated to `n ≤` [`MAX_EXACT_CLIENTS`](crate::MAX_EXACT_CLIENTS) players
+/// Gated to `n ≤` [`MAX_EXACT_CLIENTS`] players
 /// (the cost is `N · 2^{N−1}` utility calls) — the same gate as every
 /// other exact-enumeration path in this crate.
 ///
@@ -24,12 +30,35 @@ use fedval_fl::Subset;
 ///     assert!((v - c).abs() < 1e-12);
 /// }
 /// ```
-pub fn exact_shapley(n: usize, mut u: impl FnMut(Subset) -> f64) -> Vec<f64> {
-    assert!(n >= 1, "need at least one player");
-    assert!(
-        n <= MAX_EXACT_CLIENTS,
-        "exact Shapley is exponential; use sampling for n > {MAX_EXACT_CLIENTS}"
-    );
+pub fn exact_shapley(n: usize, u: impl FnMut(Subset) -> f64) -> Vec<f64> {
+    match try_exact_shapley(n, u) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`exact_shapley`]: rejects `n = 0` and
+/// `n >` [`MAX_EXACT_CLIENTS`] with typed
+/// errors instead of panicking.
+pub fn try_exact_shapley(
+    n: usize,
+    u: impl FnMut(Subset) -> f64,
+) -> Result<Vec<f64>, ValuationError> {
+    if n == 0 {
+        return Err(ValuationError::NotEnoughClients { clients: 0, min: 1 });
+    }
+    if n > MAX_EXACT_CLIENTS {
+        return Err(ValuationError::TooManyClients {
+            clients: n,
+            max: MAX_EXACT_CLIENTS,
+        });
+    }
+    Ok(exact_shapley_unchecked(n, u))
+}
+
+/// The enumeration kernel; `1 ≤ n ≤ MAX_EXACT_CLIENTS` is the caller's
+/// responsibility (the fallible wrappers check it).
+pub(crate) fn exact_shapley_unchecked(n: usize, mut u: impl FnMut(Subset) -> f64) -> Vec<f64> {
     let table = BinomialTable::new(n);
     // Memoize utilities: 2^n values.
     let mut cache = vec![f64::NAN; 1usize << n];
@@ -142,8 +171,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exponential")]
     fn rejects_large_games() {
-        let _ = exact_shapley(MAX_EXACT_CLIENTS + 1, |_| 0.0);
+        assert_eq!(
+            try_exact_shapley(MAX_EXACT_CLIENTS + 1, |_| 0.0).unwrap_err(),
+            ValuationError::TooManyClients {
+                clients: MAX_EXACT_CLIENTS + 1,
+                max: MAX_EXACT_CLIENTS
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_players() {
+        assert_eq!(
+            try_exact_shapley(0, |_| 0.0).unwrap_err(),
+            ValuationError::NotEnoughClients { clients: 0, min: 1 }
+        );
     }
 }

@@ -34,6 +34,51 @@ pub fn completion_delta(full: &Matrix, factors: &Factors, problem: &CompletionPr
     worst
 }
 
+/// ε-fairness of a valuation measured against a trusted reference
+/// valuation (typically the ground truth from the full utility matrix):
+/// the estimate is `ε`-close to the fair valuation with
+/// `ε = max_i |v_i − ref_i|`. Attached to
+/// [`Diagnostics`](crate::valuator::Diagnostics) when a
+/// [`ValuationSession`](crate::session::ValuationSession) is given a
+/// ground truth.
+#[derive(Debug, Clone)]
+pub struct ReferenceReport {
+    /// `max_i |v_i − ref_i|` — the ε of ε-fairness w.r.t. the reference.
+    pub epsilon: f64,
+    /// Mean absolute deviation from the reference.
+    pub mean_abs_error: f64,
+    /// Spearman rank correlation with the reference (`None` for
+    /// degenerate inputs).
+    pub spearman_rho: Option<f64>,
+}
+
+/// Measures how far `values` is from a trusted `reference` valuation.
+///
+/// Panics if the lengths differ (the session guarantees they match).
+pub fn reference_report(values: &[f64], reference: &[f64]) -> ReferenceReport {
+    assert_eq!(
+        values.len(),
+        reference.len(),
+        "valuation/reference length mismatch"
+    );
+    let mut epsilon = 0.0_f64;
+    let mut total = 0.0_f64;
+    for (v, r) in values.iter().zip(reference) {
+        let d = (v - r).abs();
+        epsilon = epsilon.max(d);
+        total += d;
+    }
+    ReferenceReport {
+        epsilon,
+        mean_abs_error: if values.is_empty() {
+            0.0
+        } else {
+            total / values.len() as f64
+        },
+        spearman_rho: fedval_metrics::spearman_rho(values, reference),
+    }
+}
+
 /// Report of how ε-fair a valuation is w.r.t. a reference utility.
 #[derive(Debug, Clone)]
 pub struct FairnessReport {
@@ -67,7 +112,10 @@ pub fn epsilon_fair_report(
     mut utility: impl FnMut(Subset) -> f64,
     utility_tol: f64,
 ) -> FairnessReport {
-    assert!(n <= 16, "fairness scan is exponential in N");
+    assert!(
+        n <= crate::MAX_EXACT_CLIENTS,
+        "fairness scan is exponential in N"
+    );
     assert_eq!(values.len(), n);
     let full = Subset::full(n);
     // Cache utilities.
@@ -131,6 +179,15 @@ pub fn epsilon_fair_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reference_report_measures_epsilon() {
+        let r = reference_report(&[1.0, 2.0, 3.5], &[1.0, 2.5, 3.0]);
+        assert!((r.epsilon - 0.5).abs() < 1e-12);
+        assert!((r.mean_abs_error - 1.0 / 3.0).abs() < 1e-12);
+        // Same ranking despite the perturbation.
+        assert!((r.spearman_rho.unwrap() - 1.0).abs() < 1e-12);
+    }
 
     #[test]
     fn theorem1_tolerance_formula() {

@@ -8,6 +8,8 @@
 //! utility calls).
 
 use crate::coeffs::BinomialTable;
+use crate::error::ValuationError;
+use crate::valuator::{Diagnostics, RunContext, ValuationReport, Valuator};
 use crate::MAX_EXACT_CLIENTS;
 use fedval_fl::{EvalPlan, Subset, UtilityOracle};
 use rand::rngs::StdRng;
@@ -24,25 +26,118 @@ pub struct FedSvConfig {
     pub seed: u64,
 }
 
+/// The FedSV valuation method (Wang et al., paper Definition 2) as a
+/// [`Valuator`] strategy object.
+///
+/// Two estimators, one method: [`FedSv::exact`] enumerates every
+/// in-cohort coalition (gated to cohorts of
+/// [`MAX_EXACT_CLIENTS`]); and
+/// [`FedSv::monte_carlo`] walks sampled permutations per round,
+/// absorbing [`FedSvConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct FedSv {
+    /// `None` → exact per-round enumeration; `Some` → Monte-Carlo
+    /// permutation sampling with the given parameters.
+    pub sampling: Option<FedSvConfig>,
+}
+
+impl FedSv {
+    /// Exact per-round enumeration.
+    pub fn exact() -> Self {
+        FedSv { sampling: None }
+    }
+
+    /// Monte-Carlo permutation sampling.
+    pub fn monte_carlo(config: FedSvConfig) -> Self {
+        FedSv {
+            sampling: Some(config),
+        }
+    }
+
+    /// Values every client; dispatches to the configured estimator.
+    pub fn run(&self, oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
+        match &self.sampling {
+            None => try_fedsv(oracle),
+            Some(cfg) => Ok(try_fedsv_monte_carlo(oracle, cfg)?.0),
+        }
+    }
+}
+
+impl Valuator for FedSv {
+    fn name(&self) -> &'static str {
+        match self.sampling {
+            None => "fedsv",
+            Some(_) => "fedsv-mc",
+        }
+    }
+
+    fn value(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<ValuationReport, ValuationError> {
+        let before = oracle.loss_evaluations();
+        let (values, permutations_used) = match &self.sampling {
+            None => {
+                ctx.emit(self.name(), "enumerate per-round cohorts");
+                (try_fedsv(oracle)?, 0)
+            }
+            Some(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.seed = ctx.seed_or(cfg.seed);
+                ctx.emit(self.name(), "sample per-round permutations");
+                try_fedsv_monte_carlo(oracle, &cfg)?
+            }
+        };
+        Ok(ValuationReport {
+            method: self.name(),
+            values,
+            diagnostics: Diagnostics {
+                cells_evaluated: oracle.loss_evaluations() - before,
+                permutations_used,
+                ..Diagnostics::default()
+            },
+        })
+    }
+}
+
 /// Exact FedSV: per-round exact Shapley over the selected cohort.
 ///
 /// Cost: `Σ_t 2^{|I_t|}` utility evaluations (batched across worker
 /// threads) — fine for the paper's small experiments (`K = 3`), gated to
-/// cohorts of at most [`MAX_EXACT_CLIENTS`](crate::MAX_EXACT_CLIENTS)
-/// clients, and infeasible for Fig. 7's `K = 50` (use
-/// [`fedsv_monte_carlo`]).
+/// cohorts of at most [`MAX_EXACT_CLIENTS`]
+/// clients, and infeasible for Fig. 7's `K = 50` (use the Monte-Carlo
+/// estimator).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FedSv::exact().run(oracle)` (or drive it as a `Valuator` through a `ValuationSession`)"
+)]
 pub fn fedsv(oracle: &UtilityOracle<'_>) -> Vec<f64> {
+    match try_fedsv(oracle) {
+        Ok(values) => values,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible exact FedSV (see [`FedSv::exact`]).
+fn try_fedsv(oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
     let n = oracle.num_clients();
+    if oracle.num_rounds() == 0 {
+        return Err(ValuationError::EmptyTrace);
+    }
     let table = BinomialTable::new(n.max(1));
     // Plan every in-cohort coalition of every round, evaluate in parallel,
     // then run the (now evaluation-free) weighted sums below.
     let mut plan = EvalPlan::new();
     for t in 0..oracle.num_rounds() {
         let cohort = oracle.trace().selected(t);
-        assert!(
-            cohort.len() <= MAX_EXACT_CLIENTS,
-            "exact FedSV cohort too large; use fedsv_monte_carlo"
-        );
+        if cohort.len() > MAX_EXACT_CLIENTS {
+            return Err(ValuationError::CohortTooLarge {
+                round: t,
+                cohort: cohort.len(),
+                max: MAX_EXACT_CLIENTS,
+            });
+        }
         plan.add_subsets_of(t, cohort);
     }
     oracle.evaluate_plan(&plan);
@@ -60,14 +155,37 @@ pub fn fedsv(oracle: &UtilityOracle<'_>) -> Vec<f64> {
             values[i] += acc;
         }
     }
-    values
+    Ok(values)
 }
 
 /// Monte-Carlo FedSV: within each round, the Shapley value over `I_t` is
 /// estimated as the average marginal contribution over sampled permutations
 /// of the cohort.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FedSv::monte_carlo(config).run(oracle)` (or drive it as a `Valuator` through a `ValuationSession`)"
+)]
 pub fn fedsv_monte_carlo(oracle: &UtilityOracle<'_>, config: &FedSvConfig) -> Vec<f64> {
+    match try_fedsv_monte_carlo(oracle, config) {
+        Ok((values, _)) => values,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible Monte-Carlo FedSV (see [`FedSv::monte_carlo`]); the second
+/// element is the number of permutations actually walked (the adaptive
+/// `⌈K ln K⌉ + 1` default makes it data-dependent).
+fn try_fedsv_monte_carlo(
+    oracle: &UtilityOracle<'_>,
+    config: &FedSvConfig,
+) -> Result<(Vec<f64>, usize), ValuationError> {
     let n = oracle.num_clients();
+    if oracle.num_rounds() == 0 {
+        return Err(ValuationError::EmptyTrace);
+    }
+    if config.permutations_per_round == Some(0) {
+        return Err(ValuationError::NoPermutations);
+    }
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Draw every permutation up front (the RNG stream never depended on
@@ -103,8 +221,10 @@ pub fn fedsv_monte_carlo(oracle: &UtilityOracle<'_>, config: &FedSvConfig) -> Ve
     // Accumulate marginals in the original serial order — every read is
     // now a table hit, and the float sums are bit-identical.
     let mut values = vec![0.0; n];
+    let mut walked = 0usize;
     for (t, perms) in &per_round {
         let inv_m = 1.0 / perms.len() as f64;
+        walked += perms.len();
         for perm in perms {
             let mut prefix = Subset::EMPTY;
             for &i in perm {
@@ -114,7 +234,7 @@ pub fn fedsv_monte_carlo(oracle: &UtilityOracle<'_>, config: &FedSvConfig) -> Ve
             }
         }
     }
-    values
+    Ok((values, walked))
 }
 
 #[cfg(test)]
@@ -161,7 +281,7 @@ mod tests {
         // outside every I_t (t ≥ 1) only earn from round 0.
         let (trace, proto, test) = run(5, 1, 2, 1);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let v = fedsv(&oracle);
+        let v = FedSv::exact().run(&oracle).unwrap();
         assert_eq!(v.len(), 5);
         // Round 0 selects everyone, so nobody is structurally zero here;
         // instead check that a no-everyone-heard run zeroes the unselected.
@@ -169,7 +289,7 @@ mod tests {
         let cfg = FlConfig::new(1, 2, 0.3, 7).with_everyone_heard(false);
         let trace2 = train_federated(&proto, &clients, &cfg);
         let oracle2 = UtilityOracle::new(&trace2, &proto, &test);
-        let v2 = fedsv(&oracle2);
+        let v2 = FedSv::exact().run(&oracle2).unwrap();
         let cohort = trace2.selected(0);
         for i in 0..5 {
             if !cohort.contains(i) {
@@ -183,7 +303,7 @@ mod tests {
     fn single_round_full_cohort_matches_classical_shapley() {
         let (trace, proto, test) = run(4, 1, 4, 1);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let v = fedsv(&oracle);
+        let v = FedSv::exact().run(&oracle).unwrap();
         let classical = crate::exact::exact_shapley(4, |s| oracle.utility(0, s));
         for (a, b) in v.iter().zip(&classical) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
@@ -195,7 +315,7 @@ mod tests {
         // Balance within each round: Σ_{i∈I_t} s_{t,i} = U_t(I_t).
         let (trace, proto, test) = run(4, 3, 3, 5);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let v = fedsv(&oracle);
+        let v = FedSv::exact().run(&oracle).unwrap();
         let expected: f64 = (0..3).map(|t| oracle.utility(t, trace.selected(t))).sum();
         let total: f64 = v.iter().sum();
         assert!((total - expected).abs() < 1e-10, "{total} vs {expected}");
@@ -205,14 +325,13 @@ mod tests {
     fn monte_carlo_converges_to_exact() {
         let (trace, proto, test) = run(5, 3, 3, 9);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let exact = fedsv(&oracle);
-        let mc = fedsv_monte_carlo(
-            &oracle,
-            &FedSvConfig {
-                permutations_per_round: Some(4000),
-                seed: 3,
-            },
-        );
+        let exact = FedSv::exact().run(&oracle).unwrap();
+        let mc = FedSv::monte_carlo(FedSvConfig {
+            permutations_per_round: Some(4000),
+            seed: 3,
+        })
+        .run(&oracle)
+        .unwrap();
         for (a, b) in exact.iter().zip(&mc) {
             assert!((a - b).abs() < 5e-3, "exact {a} vs mc {b}");
         }
@@ -226,8 +345,8 @@ mod tests {
             permutations_per_round: Some(50),
             seed: 42,
         };
-        let a = fedsv_monte_carlo(&oracle, &cfg);
-        let b = fedsv_monte_carlo(&oracle, &cfg);
+        let a = FedSv::monte_carlo(cfg.clone()).run(&oracle).unwrap();
+        let b = FedSv::monte_carlo(cfg.clone()).run(&oracle).unwrap();
         assert_eq!(a, b);
     }
 
@@ -239,7 +358,7 @@ mod tests {
         // produce finite values.
         let (trace, proto, test) = run(4, 2, 3, 8);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let v = fedsv_monte_carlo(&oracle, &cfg);
+        let v = FedSv::monte_carlo(cfg.clone()).run(&oracle).unwrap();
         assert!(v.iter().all(|x| x.is_finite()));
     }
 
@@ -255,7 +374,7 @@ mod tests {
         let trace = train_federated(&proto, &clients, &cfg);
         let test = test_set();
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let v = fedsv(&oracle);
+        let v = FedSv::exact().run(&oracle).unwrap();
         // At least one round selected exactly one of the twins; unless both
         // twins were selected equally often the values differ.
         let times_0 = (0..4).filter(|&t| trace.selected(t).contains(0)).count();

@@ -14,15 +14,19 @@
 //! recovered from the differences plus the balance equation
 //! `Σ_i s_i = U(I)`.
 
+use crate::error::ValuationError;
+use crate::valuator::{Diagnostics, RunContext, ValuationReport, Valuator};
 use fedval_fl::{EvalPlan, Subset, UtilityOracle};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::Rng;
 use rand::SeedableRng;
 
-/// Group-testing configuration.
+/// The group-testing valuation method (Jia et al.) as a
+/// [`Valuator`] strategy object; the former
+/// `GroupTestingConfig` name remains as a deprecated alias.
 #[derive(Debug, Clone)]
-pub struct GroupTestingConfig {
+pub struct GroupTesting {
     /// Number of sampled coalitions `T` (Jia et al. need
     /// `O(N (log N)²)` for an ε-guarantee).
     pub num_samples: usize,
@@ -30,26 +34,81 @@ pub struct GroupTestingConfig {
     pub seed: u64,
 }
 
-impl GroupTestingConfig {
+/// Deprecated name of [`GroupTesting`].
+#[deprecated(since = "0.2.0", note = "renamed to `GroupTesting`")]
+pub type GroupTestingConfig = GroupTesting;
+
+impl GroupTesting {
     /// `T = ⌈c · N (ln N)²⌉` samples for a given constant.
     pub fn scaled(n: usize, c: f64) -> Self {
         let ln = (n.max(2) as f64).ln();
-        GroupTestingConfig {
+        GroupTesting {
             num_samples: (c * n as f64 * ln * ln).ceil() as usize,
             seed: 0,
         }
     }
+
+    /// Estimates the whole-run Shapley value by group testing.
+    ///
+    /// Requires `n ≥ 2`. Returns values satisfying the balance equation
+    /// `Σ_i s_i = U(I)` exactly (it is imposed during recovery).
+    pub fn run(&self, oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
+        let n = oracle.num_clients();
+        if n < 2 {
+            return Err(ValuationError::NotEnoughClients { clients: n, min: 2 });
+        }
+        if self.num_samples == 0 {
+            return Err(ValuationError::NoSamples);
+        }
+        if oracle.num_rounds() == 0 {
+            return Err(ValuationError::EmptyTrace);
+        }
+        Ok(run_group_testing(oracle, self))
+    }
+}
+
+impl Valuator for GroupTesting {
+    fn name(&self) -> &'static str {
+        "group-testing"
+    }
+
+    fn value(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<ValuationReport, ValuationError> {
+        let mut cfg = self.clone();
+        cfg.seed = ctx.seed_or(self.seed);
+        let before = oracle.loss_evaluations();
+        ctx.emit(self.name(), "sample coalitions");
+        let values = cfg.run(oracle)?;
+        Ok(ValuationReport {
+            method: self.name(),
+            values,
+            diagnostics: Diagnostics {
+                cells_evaluated: oracle.loss_evaluations() - before,
+                ..Diagnostics::default()
+            },
+        })
+    }
 }
 
 /// Estimates the whole-run Shapley value by group testing.
-///
-/// Requires `n ≥ 2`. Returns values satisfying the balance equation
-/// `Σ_i s_i = U(I)` exactly (it is imposed during recovery).
-pub fn group_testing_shapley(oracle: &UtilityOracle<'_>, config: &GroupTestingConfig) -> Vec<f64> {
-    let n = oracle.num_clients();
-    assert!(n >= 2, "group testing needs at least two clients");
-    assert!(config.num_samples > 0, "need at least one sample");
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GroupTesting::run` (or drive it as a `Valuator` through a `ValuationSession`)"
+)]
+pub fn group_testing_shapley(oracle: &UtilityOracle<'_>, config: &GroupTesting) -> Vec<f64> {
+    match config.run(oracle) {
+        Ok(values) => values,
+        Err(e) => panic!("{e}"),
+    }
+}
 
+/// The sampling and recovery core; configuration validity is
+/// [`GroupTesting::run`]'s responsibility.
+fn run_group_testing(oracle: &UtilityOracle<'_>, config: &GroupTesting) -> Vec<f64> {
+    let n = oracle.num_clients();
     // Harmonic size distribution over k = 1..N-1.
     let weights: Vec<f64> = (1..n)
         .map(|k| 1.0 / k as f64 + 1.0 / (n - k) as f64)
@@ -136,13 +195,12 @@ mod tests {
     fn balance_holds_by_construction() {
         let (trace, proto, test) = setup(1);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let v = group_testing_shapley(
-            &oracle,
-            &GroupTestingConfig {
-                num_samples: 50,
-                seed: 3,
-            },
-        );
+        let v = GroupTesting {
+            num_samples: 50,
+            seed: 3,
+        }
+        .run(&oracle)
+        .unwrap();
         let total: f64 = v.iter().sum();
         let grand = oracle.total_utility(Subset::full(5));
         assert!((total - grand).abs() < 1e-10);
@@ -152,14 +210,13 @@ mod tests {
     fn converges_to_exact_shapley() {
         let (trace, proto, test) = setup(2);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let exact = crate::pipeline::ground_truth_valuation(&oracle);
-        let v = group_testing_shapley(
-            &oracle,
-            &GroupTestingConfig {
-                num_samples: 60_000,
-                seed: 5,
-            },
-        );
+        let exact = crate::pipeline::ExactShapley.run(&oracle).unwrap();
+        let v = GroupTesting {
+            num_samples: 60_000,
+            seed: 5,
+        }
+        .run(&oracle)
+        .unwrap();
         for (a, b) in v.iter().zip(&exact) {
             assert!((a - b).abs() < 0.02, "gt {a} vs exact {b}");
         }
@@ -169,8 +226,8 @@ mod tests {
     fn ranking_agrees_at_moderate_budget() {
         let (trace, proto, test) = setup(3);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let exact = crate::pipeline::ground_truth_valuation(&oracle);
-        let v = group_testing_shapley(&oracle, &GroupTestingConfig::scaled(5, 200.0));
+        let exact = crate::pipeline::ExactShapley.run(&oracle).unwrap();
+        let v = GroupTesting::scaled(5, 200.0).run(&oracle).unwrap();
         let rho = fedval_metrics::spearman_rho(&v, &exact).unwrap();
         assert!(rho > 0.6, "rank agreement {rho}");
     }
@@ -179,24 +236,23 @@ mod tests {
     fn deterministic_given_seed() {
         let (trace, proto, test) = setup(4);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let cfg = GroupTestingConfig {
+        let cfg = GroupTesting {
             num_samples: 200,
             seed: 9,
         };
-        let a = group_testing_shapley(&oracle, &cfg);
-        let b = group_testing_shapley(&oracle, &cfg);
+        let a = cfg.run(&oracle).unwrap();
+        let b = cfg.run(&oracle).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn scaled_budget_grows_superlinearly() {
-        let small = GroupTestingConfig::scaled(10, 1.0).num_samples;
-        let large = GroupTestingConfig::scaled(100, 1.0).num_samples;
+        let small = GroupTesting::scaled(10, 1.0).num_samples;
+        let large = GroupTesting::scaled(100, 1.0).num_samples;
         assert!(large > 10 * small, "{small} -> {large}");
     }
 
     #[test]
-    #[should_panic(expected = "at least two clients")]
     fn rejects_single_client() {
         let (trace, proto, test) = setup(5);
         // Build a single-client trace.
@@ -204,12 +260,25 @@ mod tests {
         let single = train_federated(&proto, &clients, &FlConfig::new(1, 1, 0.1, 1));
         let oracle = UtilityOracle::new(&single, &proto, &test);
         drop(trace);
-        let _ = group_testing_shapley(
-            &oracle,
-            &GroupTestingConfig {
-                num_samples: 1,
-                seed: 0,
-            },
-        );
+        let err = GroupTesting {
+            num_samples: 1,
+            seed: 0,
+        }
+        .run(&oracle)
+        .unwrap_err();
+        assert_eq!(err, ValuationError::NotEnoughClients { clients: 1, min: 2 });
+    }
+
+    #[test]
+    fn rejects_zero_samples() {
+        let (trace, proto, test) = setup(6);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let err = GroupTesting {
+            num_samples: 0,
+            seed: 0,
+        }
+        .run(&oracle)
+        .unwrap_err();
+        assert_eq!(err, ValuationError::NoSamples);
     }
 }

@@ -2,14 +2,20 @@
 //!
 //! The pipeline consumes a [`UtilityOracle`] (wrapping a recorded FedAvg
 //! run), builds the partially observed completion problem, solves it with
-//! ALS, and evaluates ComFedSV — exactly (full coalition space, Definition
-//! 4) or by Monte-Carlo permutation sampling (Algorithm 1 / equation (12)).
+//! a pluggable [`MatrixCompleter`], and evaluates ComFedSV — exactly (full
+//! coalition space, Definition 4) or by Monte-Carlo permutation sampling
+//! (Algorithm 1 / equation (12)). The method struct [`ComFedSv`]
+//! implements [`Valuator`]; its fallible
+//! [`ComFedSv::run`] returns the rich [`ValuationOutput`] for callers
+//! that need the factors and the completion problem.
 
 use crate::comfedsv::{comfedsv_from_factors, comfedsv_monte_carlo};
-use crate::exact::exact_shapley;
+use crate::error::ValuationError;
+use crate::exact::exact_shapley_unchecked;
+use crate::valuator::{Diagnostics, RunContext, ValuationReport, Valuator};
 use crate::MAX_EXACT_CLIENTS;
 use fedval_fl::{EvalPlan, Subset, UtilityOracle};
-use fedval_mc::{solve_als, solve_ccd, AlsConfig, CcdConfig, CompletionProblem, Factors};
+use fedval_mc::{AlsConfig, CcdConfig, CompletionProblem, Factors, MatrixCompleter, SgdConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -19,7 +25,7 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EstimatorKind {
     /// Register all `2^N` coalition columns and evaluate Definition 4
-    /// exactly (requires `N ≤` [`MAX_EXACT_CLIENTS`](crate::MAX_EXACT_CLIENTS)).
+    /// exactly (requires `N ≤` [`MAX_EXACT_CLIENTS`]).
     ExactSubsets,
     /// Algorithm 1: `M` sampled permutations, reduced problem (13),
     /// estimator (12).
@@ -30,7 +36,10 @@ pub enum EstimatorKind {
     },
 }
 
-/// Which factorization solver completes the utility matrix.
+/// Which factorization solver completes the utility matrix. Each variant
+/// materializes as a [`MatrixCompleter`] via
+/// [`CompletionSolver::completer`], so the pipeline itself is
+/// solver-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CompletionSolver {
     /// Alternating least squares (exact ridge sub-solves; default).
@@ -38,18 +47,63 @@ pub enum CompletionSolver {
     Als,
     /// CCD++ — the LIBPMF algorithm the paper's released code uses.
     Ccd,
+    /// Stochastic gradient descent — the cheap baseline for very large
+    /// column counts (sweep budget is interpreted as epochs).
+    Sgd,
 }
 
-/// Pipeline configuration.
+impl CompletionSolver {
+    /// Builds the boxed solver for this variant with the pipeline's
+    /// hyper-parameters (`max_iters` = ALS/CCD sweeps or SGD epochs).
+    pub fn completer(
+        &self,
+        rank: usize,
+        lambda: f64,
+        max_iters: usize,
+        seed: u64,
+    ) -> Box<dyn MatrixCompleter> {
+        match self {
+            CompletionSolver::Als => Box::new(AlsConfig {
+                rank,
+                lambda,
+                max_iters,
+                tol: 1e-9,
+                seed,
+            }),
+            CompletionSolver::Ccd => Box::new(CcdConfig {
+                rank,
+                lambda,
+                max_iters,
+                inner_iters: 3,
+                tol: 1e-9,
+                seed,
+            }),
+            CompletionSolver::Sgd => {
+                let mut cfg = SgdConfig::new(rank)
+                    .with_lambda(lambda)
+                    .with_epochs(max_iters);
+                cfg.seed = seed;
+                Box::new(cfg)
+            }
+        }
+    }
+}
+
+/// The ComFedSV valuation method (paper Algorithm 1): train-trace
+/// observation, matrix completion, Definition-4 / equation-(12) values.
+///
+/// This struct is both the configuration and the
+/// [`Valuator`] strategy object; the former
+/// `ComFedSvConfig` name remains as a deprecated alias.
 #[derive(Debug, Clone)]
-pub struct ComFedSvConfig {
+pub struct ComFedSv {
     /// Completion rank `r` (Propositions 1–2 justify `O(log T)`).
     pub rank: usize,
     /// Regularization `λ` of problem (9)/(13).
     pub lambda: f64,
     /// Estimator variant.
     pub estimator: EstimatorKind,
-    /// Solver sweep budget.
+    /// Solver sweep budget (epochs for the SGD solver).
     pub als_max_iters: usize,
     /// Which completion solver to run.
     pub solver: CompletionSolver,
@@ -57,10 +111,14 @@ pub struct ComFedSvConfig {
     pub seed: u64,
 }
 
-impl ComFedSvConfig {
+/// Deprecated name of [`ComFedSv`].
+#[deprecated(since = "0.2.0", note = "renamed to `ComFedSv`")]
+pub type ComFedSvConfig = ComFedSv;
+
+impl ComFedSv {
     /// Defaults for the paper's small experiments (exact subsets, rank 5).
     pub fn exact(rank: usize) -> Self {
-        ComFedSvConfig {
+        ComFedSv {
             rank,
             lambda: 0.1,
             estimator: EstimatorKind::ExactSubsets,
@@ -73,7 +131,7 @@ impl ComFedSvConfig {
     /// Defaults for Algorithm 1 with `M = ⌈N ln N⌉ + 1` permutations.
     pub fn monte_carlo(rank: usize, n: usize) -> Self {
         let m = ((n as f64) * (n as f64).ln().max(1.0)).ceil() as usize + 1;
-        ComFedSvConfig {
+        ComFedSv {
             rank,
             lambda: 0.1,
             estimator: EstimatorKind::MonteCarlo {
@@ -102,10 +160,227 @@ impl ComFedSvConfig {
         self.solver = solver;
         self
     }
+
+    /// Runs the full pipeline with the solver configured in
+    /// [`solver`](ComFedSv::solver). Returns the rich
+    /// [`ValuationOutput`]; the [`Valuator`] impl wraps this into a
+    /// [`ValuationReport`].
+    pub fn run(&self, oracle: &UtilityOracle<'_>) -> Result<ValuationOutput, ValuationError> {
+        let completer =
+            self.solver
+                .completer(self.rank, self.lambda, self.als_max_iters, self.seed);
+        self.run_with(oracle, completer.as_ref())
+    }
+
+    /// Runs the pipeline with a caller-supplied completion solver —
+    /// anything implementing [`MatrixCompleter`], including solvers not
+    /// covered by the [`CompletionSolver`] enum.
+    pub fn run_with(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        completer: &dyn MatrixCompleter,
+    ) -> Result<ValuationOutput, ValuationError> {
+        let n = oracle.num_clients();
+        let t = oracle.num_rounds();
+        if t == 0 {
+            return Err(ValuationError::EmptyTrace);
+        }
+        match self.estimator {
+            EstimatorKind::ExactSubsets => {
+                if n > MAX_EXACT_CLIENTS {
+                    return Err(ValuationError::TooManyClients {
+                        clients: n,
+                        max: MAX_EXACT_CLIENTS,
+                    });
+                }
+                // Plan every in-cohort coalition, evaluate the batch in
+                // parallel, then replay the plan into the completion problem
+                // (plan order == the former serial observation order).
+                let mut plan = EvalPlan::new();
+                for round in 0..t {
+                    plan.add_subsets_of(round, oracle.trace().selected(round));
+                }
+                oracle.evaluate_plan(&plan);
+                let mut problem = CompletionProblem::new(t);
+                problem.add_observations(
+                    plan.cells()
+                        .iter()
+                        .map(|&(round, s)| (round, s.bits(), oracle.utility(round, s))),
+                );
+                // Register the full coalition space so Definition 4's sum sees
+                // a factor row for every subset.
+                for bits in 1..(1u64 << n) {
+                    problem.ensure_column(bits);
+                }
+                let completion = completer.complete(&problem)?;
+                let values = comfedsv_from_factors(&completion.factors, &problem, n);
+                Ok(ValuationOutput {
+                    values,
+                    factors: completion.factors,
+                    problem,
+                    objective_trace: completion.objective_trace,
+                    permutations: Vec::new(),
+                })
+            }
+            EstimatorKind::MonteCarlo { num_permutations } => {
+                if num_permutations == 0 {
+                    return Err(ValuationError::NoPermutations);
+                }
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                let mut base: Vec<usize> = (0..n).collect();
+                let permutations: Vec<Vec<usize>> = (0..num_permutations)
+                    .map(|_| {
+                        base.shuffle(&mut rng);
+                        base.clone()
+                    })
+                    .collect();
+
+                // Distinct non-empty prefixes across all permutations.
+                let mut prefixes: Vec<Subset> = Vec::new();
+                let mut seen: HashSet<u64> = HashSet::new();
+                for perm in &permutations {
+                    let mut prefix = Subset::EMPTY;
+                    for &i in perm {
+                        prefix = prefix.with(i);
+                        if seen.insert(prefix.bits()) {
+                            prefixes.push(prefix);
+                        }
+                    }
+                }
+
+                // Observe each prefix in every round whose cohort contains it
+                // (Algorithm 1's `π_m(i) ⊆ I_t` test): plan the cells, batch
+                // evaluate, then replay the plan into the problem.
+                let mut plan = EvalPlan::new();
+                for round in 0..t {
+                    let cohort = oracle.trace().selected(round);
+                    for &p in &prefixes {
+                        if p.is_subset_of(cohort) {
+                            plan.add(round, p);
+                        }
+                    }
+                }
+                oracle.evaluate_plan(&plan);
+                let mut problem = CompletionProblem::new(t);
+                for &p in &prefixes {
+                    problem.ensure_column(p.bits());
+                }
+                problem.add_observations(
+                    plan.cells()
+                        .iter()
+                        .map(|&(round, p)| (round, p.bits(), oracle.utility(round, p))),
+                );
+
+                let completion = completer.complete(&problem)?;
+                let values = comfedsv_monte_carlo(&completion.factors, &problem, n, &permutations);
+                Ok(ValuationOutput {
+                    values,
+                    factors: completion.factors,
+                    problem,
+                    objective_trace: completion.objective_trace,
+                    permutations,
+                })
+            }
+        }
+    }
+}
+
+impl Valuator for ComFedSv {
+    fn name(&self) -> &'static str {
+        match self.estimator {
+            EstimatorKind::ExactSubsets => "comfedsv",
+            EstimatorKind::MonteCarlo { .. } => "comfedsv-mc",
+        }
+    }
+
+    fn value(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<ValuationReport, ValuationError> {
+        let mut cfg = self.clone();
+        cfg.seed = ctx.seed_or(self.seed);
+        let before = oracle.loss_evaluations();
+        ctx.emit(self.name(), "observe + complete + value");
+        let out = cfg.run(oracle)?;
+        Ok(ValuationReport {
+            method: self.name(),
+            values: out.values,
+            diagnostics: Diagnostics {
+                cells_evaluated: oracle.loss_evaluations() - before,
+                permutations_used: out.permutations.len(),
+                objective_trace: out.objective_trace,
+                ..Diagnostics::default()
+            },
+        })
+    }
+}
+
+/// The exact-Shapley ground-truth valuation as a
+/// [`Valuator`] strategy: equation (14)
+/// evaluated from the *full* utility matrix (exponential — gated to
+/// `N ≤` [`MAX_EXACT_CLIENTS`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactShapley;
+
+impl ExactShapley {
+    /// The ground-truth valuation of every client (classical Shapley
+    /// value of the summed utility `U(S) = Σ_t U_t(S)`).
+    pub fn run(&self, oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
+        let n = oracle.num_clients();
+        if n == 0 {
+            return Err(ValuationError::NotEnoughClients { clients: 0, min: 1 });
+        }
+        // Gate before planning: the batch below is T · (2^N − 1) model
+        // evaluations, so an oversized N must fail here, not after hours of
+        // work when the Shapley sum finally checks.
+        if n > MAX_EXACT_CLIENTS {
+            return Err(ValuationError::TooManyClients {
+                clients: n,
+                max: MAX_EXACT_CLIENTS,
+            });
+        }
+        if oracle.num_rounds() == 0 {
+            return Err(ValuationError::EmptyTrace);
+        }
+        // The exact value reads the entire T × 2^N grid; evaluate it as one
+        // parallel batch up front.
+        let mut plan = EvalPlan::new();
+        for round in 0..oracle.num_rounds() {
+            plan.add_subsets_of(round, Subset::full(n));
+        }
+        oracle.evaluate_plan(&plan);
+        Ok(exact_shapley_unchecked(n, |s| oracle.total_utility(s)))
+    }
+}
+
+impl Valuator for ExactShapley {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn value(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<ValuationReport, ValuationError> {
+        let before = oracle.loss_evaluations();
+        ctx.emit(self.name(), "evaluate full utility grid");
+        let values = self.run(oracle)?;
+        Ok(ValuationReport {
+            method: self.name(),
+            values,
+            diagnostics: Diagnostics {
+                cells_evaluated: oracle.loss_evaluations() - before,
+                ..Diagnostics::default()
+            },
+        })
+    }
 }
 
 /// Everything the pipeline produces (kept for diagnostics and the
 /// experiment harnesses).
+#[derive(Debug)]
 pub struct ValuationOutput {
     /// The ComFedSV of every client.
     pub values: Vec<f64>,
@@ -120,151 +395,29 @@ pub struct ValuationOutput {
 }
 
 /// Runs the ComFedSV pipeline against a recorded training run.
-pub fn comfedsv_pipeline(oracle: &UtilityOracle<'_>, config: &ComFedSvConfig) -> ValuationOutput {
-    let n = oracle.num_clients();
-    let t = oracle.num_rounds();
-    match config.estimator {
-        EstimatorKind::ExactSubsets => {
-            assert!(
-                n <= MAX_EXACT_CLIENTS,
-                "exact-subsets pipeline needs N <= {MAX_EXACT_CLIENTS}"
-            );
-            // Plan every in-cohort coalition, evaluate the batch in
-            // parallel, then replay the plan into the completion problem
-            // (plan order == the former serial observation order).
-            let mut plan = EvalPlan::new();
-            for round in 0..t {
-                plan.add_subsets_of(round, oracle.trace().selected(round));
-            }
-            oracle.evaluate_plan(&plan);
-            let mut problem = CompletionProblem::new(t);
-            problem.add_observations(
-                plan.cells()
-                    .iter()
-                    .map(|&(round, s)| (round, s.bits(), oracle.utility(round, s))),
-            );
-            // Register the full coalition space so Definition 4's sum sees
-            // a factor row for every subset.
-            for bits in 1..(1u64 << n) {
-                problem.ensure_column(bits);
-            }
-            let (factors, objective_trace) = run_solver(&problem, config);
-            let values = comfedsv_from_factors(&factors, &problem, n);
-            ValuationOutput {
-                values,
-                factors,
-                problem,
-                objective_trace,
-                permutations: Vec::new(),
-            }
-        }
-        EstimatorKind::MonteCarlo { num_permutations } => {
-            assert!(num_permutations > 0, "need at least one permutation");
-            let mut rng = StdRng::seed_from_u64(config.seed);
-            let mut base: Vec<usize> = (0..n).collect();
-            let permutations: Vec<Vec<usize>> = (0..num_permutations)
-                .map(|_| {
-                    base.shuffle(&mut rng);
-                    base.clone()
-                })
-                .collect();
-
-            // Distinct non-empty prefixes across all permutations.
-            let mut prefixes: Vec<Subset> = Vec::new();
-            let mut seen: HashSet<u64> = HashSet::new();
-            for perm in &permutations {
-                let mut prefix = Subset::EMPTY;
-                for &i in perm {
-                    prefix = prefix.with(i);
-                    if seen.insert(prefix.bits()) {
-                        prefixes.push(prefix);
-                    }
-                }
-            }
-
-            // Observe each prefix in every round whose cohort contains it
-            // (Algorithm 1's `π_m(i) ⊆ I_t` test): plan the cells, batch
-            // evaluate, then replay the plan into the problem.
-            let mut plan = EvalPlan::new();
-            for round in 0..t {
-                let cohort = oracle.trace().selected(round);
-                for &p in &prefixes {
-                    if p.is_subset_of(cohort) {
-                        plan.add(round, p);
-                    }
-                }
-            }
-            oracle.evaluate_plan(&plan);
-            let mut problem = CompletionProblem::new(t);
-            for &p in &prefixes {
-                problem.ensure_column(p.bits());
-            }
-            problem.add_observations(
-                plan.cells()
-                    .iter()
-                    .map(|&(round, p)| (round, p.bits(), oracle.utility(round, p))),
-            );
-
-            let (factors, objective_trace) = run_solver(&problem, config);
-            let values = comfedsv_monte_carlo(&factors, &problem, n, &permutations);
-            ValuationOutput {
-                values,
-                factors,
-                problem,
-                objective_trace,
-                permutations,
-            }
-        }
-    }
-}
-
-/// Dispatches to the configured completion solver.
-fn run_solver(problem: &CompletionProblem, config: &ComFedSvConfig) -> (Factors, Vec<f64>) {
-    match config.solver {
-        CompletionSolver::Als => solve_als(
-            problem,
-            &AlsConfig {
-                rank: config.rank,
-                lambda: config.lambda,
-                max_iters: config.als_max_iters,
-                tol: 1e-9,
-                seed: config.seed,
-            },
-        ),
-        CompletionSolver::Ccd => solve_ccd(
-            problem,
-            &CcdConfig {
-                rank: config.rank,
-                lambda: config.lambda,
-                max_iters: config.als_max_iters,
-                inner_iters: 3,
-                tol: 1e-9,
-                seed: config.seed,
-            },
-        ),
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ComFedSv::run` (or drive it as a `Valuator` through a `ValuationSession`)"
+)]
+pub fn comfedsv_pipeline(oracle: &UtilityOracle<'_>, config: &ComFedSv) -> ValuationOutput {
+    match config.run(oracle) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
 }
 
 /// The paper's ground-truth metric: ComFedSV computed from the *full*
 /// utility matrix (equation (14)), which reduces to the classical Shapley
 /// value of the summed utility `U(S) = Σ_t U_t(S)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExactShapley::run` (or drive it as a `Valuator` through a `ValuationSession`)"
+)]
 pub fn ground_truth_valuation(oracle: &UtilityOracle<'_>) -> Vec<f64> {
-    let n = oracle.num_clients();
-    // Gate before planning: the batch below is T · (2^N − 1) model
-    // evaluations, so an oversized N must fail here, not after hours of
-    // work when exact_shapley finally checks.
-    assert!(
-        n <= MAX_EXACT_CLIENTS,
-        "ground-truth valuation is exponential in N (max {MAX_EXACT_CLIENTS})"
-    );
-    // The exact value reads the entire T × 2^N grid; evaluate it as one
-    // parallel batch up front.
-    let mut plan = EvalPlan::new();
-    for round in 0..oracle.num_rounds() {
-        plan.add_subsets_of(round, Subset::full(n));
+    match ExactShapley.run(oracle) {
+        Ok(values) => values,
+        Err(e) => panic!("{e}"),
     }
-    oracle.evaluate_plan(&plan);
-    exact_shapley(n, |s| oracle.total_utility(s))
 }
 
 #[cfg(test)]
@@ -312,8 +465,8 @@ mod tests {
         let (clients, proto, test, cfg) = make_world(4, 4, 4, 1, false);
         let trace = train_federated(&proto, &clients, &cfg);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let gt = ground_truth_valuation(&oracle);
-        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-6));
+        let gt = ExactShapley.run(&oracle).unwrap();
+        let out = ComFedSv::exact(4).with_lambda(1e-6).run(&oracle).unwrap();
         for (a, b) in out.values.iter().zip(&gt) {
             assert!((a - b).abs() < 5e-3, "comfedsv {a} vs ground truth {b}");
         }
@@ -324,8 +477,8 @@ mod tests {
         let (clients, proto, test, cfg) = make_world(5, 8, 3, 3, false);
         let trace = train_federated(&proto, &clients, &cfg);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let gt = ground_truth_valuation(&oracle);
-        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-3));
+        let gt = ExactShapley.run(&oracle).unwrap();
+        let out = ComFedSv::exact(4).with_lambda(1e-3).run(&oracle).unwrap();
         let rho = fedval_metrics::spearman_rho(&out.values, &gt).unwrap();
         assert!(rho > 0.7, "rank correlation with ground truth: {rho}");
     }
@@ -338,9 +491,9 @@ mod tests {
         let (clients, proto, test, cfg) = make_world(5, 8, 2, 7, true);
         let trace = train_federated(&proto, &clients, &cfg);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-3));
+        let out = ComFedSv::exact(4).with_lambda(1e-3).run(&oracle).unwrap();
         let d_com = fedval_metrics::relative_difference(out.values[0], out.values[4]);
-        let fed = crate::fedsv::fedsv(&oracle);
+        let fed = crate::fedsv::FedSv::exact().run(&oracle).unwrap();
         let d_fed = fedval_metrics::relative_difference(fed[0], fed[4]);
         // ComFedSV must not be less fair than FedSV on this construction
         // (a strict improvement is typical but selection noise exists).
@@ -355,8 +508,8 @@ mod tests {
         let (clients, proto, test, cfg) = make_world(5, 6, 3, 5, false);
         let trace = train_federated(&proto, &clients, &cfg);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let exact = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-3));
-        let mc_cfg = ComFedSvConfig {
+        let exact = ComFedSv::exact(4).with_lambda(1e-3).run(&oracle).unwrap();
+        let mc_cfg = ComFedSv {
             rank: 4,
             lambda: 1e-3,
             estimator: EstimatorKind::MonteCarlo {
@@ -366,7 +519,7 @@ mod tests {
             solver: Default::default(),
             seed: 2,
         };
-        let mc = comfedsv_pipeline(&oracle, &mc_cfg);
+        let mc = mc_cfg.run(&oracle).unwrap();
         let rho = fedval_metrics::spearman_rho(&mc.values, &exact.values).unwrap();
         assert!(rho >= 0.7, "MC vs exact rank correlation {rho}");
     }
@@ -376,7 +529,7 @@ mod tests {
         let (clients, proto, test, cfg) = make_world(4, 4, 2, 9, false);
         let trace = train_federated(&proto, &clients, &cfg);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let cfg2 = ComFedSvConfig {
+        let cfg2 = ComFedSv {
             rank: 3,
             lambda: 0.01,
             estimator: EstimatorKind::MonteCarlo {
@@ -386,7 +539,7 @@ mod tests {
             solver: Default::default(),
             seed: 4,
         };
-        let out = comfedsv_pipeline(&oracle, &cfg2);
+        let out = cfg2.run(&oracle).unwrap();
         assert_eq!(out.permutations.len(), 5);
         // Every registered column must be a prefix of some permutation.
         let mut prefix_keys = HashSet::new();
@@ -410,10 +563,85 @@ mod tests {
         let (clients, proto, test, cfg) = make_world(4, 3, 2, 11, false);
         let trace = train_federated(&proto, &clients, &cfg);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let c = ComFedSvConfig::exact(3).with_seed(5);
-        let a = comfedsv_pipeline(&oracle, &c);
-        let b = comfedsv_pipeline(&oracle, &c);
+        let c = ComFedSv::exact(3).with_seed(5);
+        let a = c.run(&oracle).unwrap();
+        let b = c.run(&oracle).unwrap();
         assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn sgd_solver_is_reachable_with_als_like_trajectory() {
+        // The SGD baseline runs through the same pluggable-completer
+        // pipeline; its residual trajectory must have the ALS shape
+        // (monotone-ish decrease to a small fraction of the initial
+        // objective) and its values must agree with ALS on ranking.
+        let (clients, proto, test, cfg) = make_world(4, 5, 3, 15, false);
+        let trace = train_federated(&proto, &clients, &cfg);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let als = ComFedSv::exact(3).with_lambda(1e-3).run(&oracle).unwrap();
+        let mut sgd_cfg = ComFedSv::exact(3)
+            .with_lambda(1e-3)
+            .with_solver(CompletionSolver::Sgd);
+        // SGD epochs are much cheaper than ALS sweeps; give it a
+        // comparable total budget.
+        sgd_cfg.als_max_iters = 600;
+        let sgd = sgd_cfg.run(&oracle).unwrap();
+        for t in [&als.objective_trace, &sgd.objective_trace] {
+            assert!(t.len() >= 2);
+            assert!(
+                t.last().unwrap() < &t[0],
+                "objective did not decrease: {} -> {}",
+                t[0],
+                t.last().unwrap()
+            );
+        }
+        // Same objective, same λ: SGD must land within an order of
+        // magnitude of the ALS optimum (its decayed steps stall a little
+        // above the exact ridge solves).
+        let als_final = *als.objective_trace.last().unwrap();
+        let sgd_final = *sgd.objective_trace.last().unwrap();
+        assert!(
+            sgd_final <= 10.0 * als_final.max(1e-12),
+            "SGD objective {sgd_final} far above ALS {als_final}"
+        );
+        let rho = fedval_metrics::spearman_rho(&sgd.values, &als.values).unwrap();
+        assert!(rho > 0.6, "SGD vs ALS pipeline agreement {rho}");
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        use crate::error::ValuationError;
+        let (clients, proto, test, cfg) = make_world(4, 3, 2, 17, false);
+        let trace = train_federated(&proto, &clients, &cfg);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        // Zero permutations.
+        let mut mc = ComFedSv::monte_carlo(3, 4);
+        mc.estimator = EstimatorKind::MonteCarlo {
+            num_permutations: 0,
+        };
+        assert_eq!(mc.run(&oracle).unwrap_err(), ValuationError::NoPermutations);
+        // Bad solver config surfaces as a completion error.
+        let bad = ComFedSv::exact(0);
+        assert!(matches!(
+            bad.run(&oracle).unwrap_err(),
+            ValuationError::Completion(fedval_mc::CompletionError::InvalidRank)
+        ));
+    }
+
+    #[test]
+    fn empty_trace_is_a_typed_error() {
+        use crate::error::ValuationError;
+        let (clients, proto, test, _) = make_world(4, 3, 2, 19, false);
+        let trace = train_federated(&proto, &clients, &FlConfig::new(0, 2, 0.3, 19));
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        assert_eq!(
+            ComFedSv::exact(3).run(&oracle).unwrap_err(),
+            ValuationError::EmptyTrace
+        );
+        assert_eq!(
+            ExactShapley.run(&oracle).unwrap_err(),
+            ValuationError::EmptyTrace
+        );
     }
 
     #[test]
@@ -423,7 +651,7 @@ mod tests {
         let (clients, proto, test, cfg) = make_world(4, 5, 2, 13, false);
         let trace = train_federated(&proto, &clients, &cfg);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let gt = ground_truth_valuation(&oracle);
+        let gt = ExactShapley.run(&oracle).unwrap();
         let total: f64 = gt.iter().sum();
         let grand = oracle.total_utility(Subset::full(4));
         assert!((total - grand).abs() < 1e-10);

@@ -1,0 +1,524 @@
+//! One harness for every valuation method.
+//!
+//! A [`ValuationSession`] owns the cross-method run state — the seed
+//! override, the progress callback, an optional ground-truth reference —
+//! and a string-keyed registry of [`Valuator`] factories, so experiment
+//! harnesses sweep every method through one loop:
+//!
+//! ```
+//! use fedval_shapley::session::ValuationSession;
+//! # use fedval_data::Dataset;
+//! # use fedval_fl::{train_federated, FlConfig, UtilityOracle};
+//! # use fedval_linalg::Matrix;
+//! # use fedval_models::LogisticRegression;
+//! # let clients: Vec<Dataset> = (0..4)
+//! #     .map(|i| {
+//! #         let f = Matrix::from_fn(10, 3, |r, c| (((r + 1) * (c + 2) + i) % 7) as f64 / 3.0 - 1.0);
+//! #         let labels: Vec<usize> = (0..10).map(|r| (r + i) % 2).collect();
+//! #         Dataset::new(f, labels, 2).unwrap()
+//! #     })
+//! #     .collect();
+//! # let test = {
+//! #     let f = Matrix::from_fn(10, 3, |r, c| ((r * 3 + c) % 7) as f64 / 3.0 - 1.0);
+//! #     let labels: Vec<usize> = (0..10).map(|r| r % 2).collect();
+//! #     Dataset::new(f, labels, 2).unwrap()
+//! # };
+//! # let proto = LogisticRegression::new(3, 2, 0.05, 17);
+//! # let trace = train_federated(&proto, &clients, &FlConfig::new(3, 2, 0.3, 7));
+//! # let oracle = UtilityOracle::new(&trace, &proto, &test);
+//! let mut session = ValuationSession::builder().rank(3).seed(7).build();
+//! for name in session.method_names() {
+//!     let report = session.run(&name, &oracle).unwrap();
+//!     assert_eq!(report.values.len(), 4, "{name}");
+//! }
+//! ```
+//!
+//! The default registry covers the paper's full method matrix: the exact
+//! ground truth, both FedSV estimators, both ComFedSV estimators, TMC,
+//! and group testing. [`ValuationSessionBuilder::register`] adds custom
+//! strategies under new keys.
+
+use crate::error::ValuationError;
+use crate::fairness::reference_report;
+use crate::fedsv::{FedSv, FedSvConfig};
+use crate::group_testing::GroupTesting;
+use crate::pipeline::{ComFedSv, CompletionSolver, EstimatorKind, ExactShapley};
+use crate::tmc::Tmc;
+use crate::valuator::{ProgressEvent, RunContext, ValuationReport, Valuator};
+use fedval_fl::UtilityOracle;
+
+/// Hyper-parameter defaults the built-in registry hands to each method.
+#[derive(Debug, Clone)]
+pub struct MethodDefaults {
+    /// Completion rank `r` for ComFedSV.
+    pub rank: usize,
+    /// Completion regularization `λ`.
+    pub lambda: f64,
+    /// Completion-solver sweep budget.
+    pub max_iters: usize,
+    /// Which completion solver ComFedSV uses.
+    pub solver: CompletionSolver,
+    /// Permutation budget for the whole-run Monte-Carlo methods
+    /// ("comfedsv-mc" and "tmc"). "fedsv-mc" keeps its per-cohort
+    /// `⌈K ln K⌉ + 1` adaptive default.
+    pub permutations: usize,
+    /// Coalition samples for "group-testing".
+    pub samples: usize,
+    /// TMC truncation tolerance.
+    pub truncation_tol: f64,
+    /// Seed handed to every method (overridable per run by the session
+    /// seed).
+    pub seed: u64,
+}
+
+impl Default for MethodDefaults {
+    fn default() -> Self {
+        MethodDefaults {
+            rank: 5,
+            lambda: 1e-3,
+            max_iters: 100,
+            solver: CompletionSolver::Als,
+            permutations: 200,
+            samples: 400,
+            truncation_tol: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// A named [`Valuator`] factory.
+type Factory = Box<dyn Fn(&MethodDefaults) -> Box<dyn Valuator> + Send + Sync>;
+
+/// Boxed progress callback stored by the session.
+type ProgressSink = Box<dyn FnMut(ProgressEvent<'_>)>;
+
+/// Builder for [`ValuationSession`]; start with
+/// [`ValuationSession::builder`].
+pub struct ValuationSessionBuilder {
+    defaults: MethodDefaults,
+    seed: Option<u64>,
+    progress: Option<ProgressSink>,
+    ground_truth: Option<Vec<f64>>,
+    extra: Vec<(String, Factory)>,
+}
+
+impl ValuationSessionBuilder {
+    /// Session-wide seed: overrides every registered method's own seed
+    /// (and is passed through [`RunContext`] to custom valuators).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Completion rank for the ComFedSV methods.
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.defaults.rank = rank;
+        self
+    }
+
+    /// Completion regularization `λ`.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.defaults.lambda = lambda;
+        self
+    }
+
+    /// Completion-solver sweep budget.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.defaults.max_iters = iters;
+        self
+    }
+
+    /// Completion solver for the ComFedSV methods.
+    pub fn solver(mut self, solver: CompletionSolver) -> Self {
+        self.defaults.solver = solver;
+        self
+    }
+
+    /// Permutation budget for "comfedsv-mc" and "tmc".
+    pub fn permutations(mut self, m: usize) -> Self {
+        self.defaults.permutations = m;
+        self
+    }
+
+    /// Coalition-sample budget for "group-testing".
+    pub fn samples(mut self, t: usize) -> Self {
+        self.defaults.samples = t;
+        self
+    }
+
+    /// TMC truncation tolerance.
+    pub fn truncation_tol(mut self, tol: f64) -> Self {
+        self.defaults.truncation_tol = tol;
+        self
+    }
+
+    /// A trusted reference valuation (one value per client); every
+    /// report's diagnostics then carry an ε-fairness
+    /// [`ReferenceReport`](crate::fairness::ReferenceReport) against it.
+    pub fn ground_truth(mut self, values: Vec<f64>) -> Self {
+        self.ground_truth = Some(values);
+        self
+    }
+
+    /// Progress callback invoked by methods at stage boundaries.
+    pub fn progress(mut self, callback: impl FnMut(ProgressEvent<'_>) + 'static) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Registers a custom method under `name` (later registrations win
+    /// over built-ins with the same key).
+    pub fn register(
+        mut self,
+        name: impl Into<String>,
+        factory: impl Fn(&MethodDefaults) -> Box<dyn Valuator> + Send + Sync + 'static,
+    ) -> Self {
+        self.extra.push((name.into(), Box::new(factory)));
+        self
+    }
+
+    /// Finalizes the session.
+    pub fn build(mut self) -> ValuationSession {
+        if let Some(seed) = self.seed {
+            self.defaults.seed = seed;
+        }
+        let mut registry: Vec<(String, Factory)> = vec![
+            (
+                "exact".into(),
+                Box::new(|_: &MethodDefaults| Box::new(ExactShapley) as Box<dyn Valuator>),
+            ),
+            (
+                "fedsv".into(),
+                Box::new(|_: &MethodDefaults| Box::new(FedSv::exact()) as Box<dyn Valuator>),
+            ),
+            (
+                "fedsv-mc".into(),
+                Box::new(|d: &MethodDefaults| {
+                    Box::new(FedSv::monte_carlo(FedSvConfig {
+                        permutations_per_round: None,
+                        seed: d.seed,
+                    })) as Box<dyn Valuator>
+                }),
+            ),
+            (
+                "comfedsv".into(),
+                Box::new(|d: &MethodDefaults| {
+                    Box::new(
+                        ComFedSv::exact(d.rank)
+                            .with_lambda(d.lambda)
+                            .with_solver(d.solver)
+                            .with_seed(d.seed),
+                    ) as Box<dyn Valuator>
+                }),
+            ),
+            (
+                "comfedsv-mc".into(),
+                Box::new(|d: &MethodDefaults| {
+                    let mut cfg = ComFedSv::exact(d.rank)
+                        .with_lambda(d.lambda)
+                        .with_solver(d.solver)
+                        .with_seed(d.seed);
+                    cfg.estimator = EstimatorKind::MonteCarlo {
+                        num_permutations: d.permutations,
+                    };
+                    Box::new(cfg) as Box<dyn Valuator>
+                }),
+            ),
+            (
+                "tmc".into(),
+                Box::new(|d: &MethodDefaults| {
+                    Box::new(Tmc {
+                        permutations: d.permutations,
+                        truncation_tol: d.truncation_tol,
+                        seed: d.seed,
+                    }) as Box<dyn Valuator>
+                }),
+            ),
+            (
+                "group-testing".into(),
+                Box::new(|d: &MethodDefaults| {
+                    Box::new(GroupTesting {
+                        num_samples: d.samples,
+                        seed: d.seed,
+                    }) as Box<dyn Valuator>
+                }),
+            ),
+        ];
+        for (name, factory) in self.extra {
+            if let Some(slot) = registry.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 = factory;
+            } else {
+                registry.push((name, factory));
+            }
+        }
+        ValuationSession {
+            defaults: self.defaults,
+            seed: self.seed,
+            progress: self.progress,
+            ground_truth: self.ground_truth,
+            registry,
+        }
+    }
+}
+
+/// The cross-method harness: seeding, progress, ground-truth comparison,
+/// and the string-keyed method registry. Construct with
+/// [`ValuationSession::builder`].
+pub struct ValuationSession {
+    defaults: MethodDefaults,
+    seed: Option<u64>,
+    progress: Option<ProgressSink>,
+    ground_truth: Option<Vec<f64>>,
+    registry: Vec<(String, Factory)>,
+}
+
+impl ValuationSession {
+    /// Starts a builder with [`MethodDefaults::default`].
+    pub fn builder() -> ValuationSessionBuilder {
+        ValuationSessionBuilder {
+            defaults: MethodDefaults::default(),
+            seed: None,
+            progress: None,
+            ground_truth: None,
+            extra: Vec::new(),
+        }
+    }
+
+    /// The registered method keys, in registration order.
+    pub fn method_names(&self) -> Vec<String> {
+        self.registry.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Constructs the valuator registered under `name`.
+    pub fn valuator(&self, name: &str) -> Result<Box<dyn Valuator>, ValuationError> {
+        self.registry
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f(&self.defaults))
+            .ok_or_else(|| ValuationError::UnknownMethod { name: name.into() })
+    }
+
+    /// Runs the method registered under `name` against `oracle`.
+    pub fn run(
+        &mut self,
+        name: &str,
+        oracle: &UtilityOracle<'_>,
+    ) -> Result<ValuationReport, ValuationError> {
+        let valuator = self.valuator(name)?;
+        self.run_valuator(valuator.as_ref(), oracle)
+    }
+
+    /// Runs an explicit valuator with this session's seed, progress
+    /// callback, and ground-truth comparison.
+    pub fn run_valuator(
+        &mut self,
+        valuator: &dyn Valuator,
+        oracle: &UtilityOracle<'_>,
+    ) -> Result<ValuationReport, ValuationError> {
+        let mut ctx = RunContext::new();
+        if let Some(seed) = self.seed {
+            ctx = ctx.with_seed(seed);
+        }
+        let mut report = match self.progress.as_mut() {
+            Some(cb) => valuator.value(oracle, &mut ctx.with_progress(&mut **cb))?,
+            None => valuator.value(oracle, &mut ctx)?,
+        };
+        if let Some(gt) = &self.ground_truth {
+            if gt.len() != report.values.len() {
+                return Err(ValuationError::ReferenceMismatch {
+                    reference: gt.len(),
+                    valued: report.values.len(),
+                });
+            }
+            report.diagnostics.fairness = Some(reference_report(&report.values, gt));
+        }
+        Ok(report)
+    }
+
+    /// Runs every registered method, pairing each key with its outcome.
+    /// Methods that reject the oracle (e.g. "exact" beyond the
+    /// enumeration gate) report their error instead of aborting the
+    /// sweep.
+    pub fn run_all(
+        &mut self,
+        oracle: &UtilityOracle<'_>,
+    ) -> Vec<(String, Result<ValuationReport, ValuationError>)> {
+        let names = self.method_names();
+        names
+            .into_iter()
+            .map(|name| {
+                let outcome = self.run(&name, oracle);
+                (name, outcome)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valuator::Diagnostics;
+    use fedval_data::Dataset;
+    use fedval_fl::{train_federated, FlConfig};
+    use fedval_linalg::Matrix;
+    use fedval_models::LogisticRegression;
+
+    fn world(seed: u64) -> (fedval_fl::TrainingTrace, LogisticRegression, Dataset) {
+        let clients: Vec<Dataset> = (0..5)
+            .map(|i| {
+                let f = Matrix::from_fn(12, 3, |r, c| {
+                    (((r + 1) * (c + 2) + 3 * i) % 7) as f64 / 3.0 - 1.0
+                });
+                let labels: Vec<usize> = (0..12).map(|r| (r + i) % 2).collect();
+                Dataset::new(f, labels, 2).unwrap()
+            })
+            .collect();
+        let test = {
+            let f = Matrix::from_fn(16, 3, |r, c| ((r * 3 + c) % 7) as f64 / 3.0 - 1.0);
+            let labels: Vec<usize> = (0..16).map(|r| r % 2).collect();
+            Dataset::new(f, labels, 2).unwrap()
+        };
+        let proto = LogisticRegression::new(3, 2, 0.01, 11);
+        let trace = train_federated(&proto, &clients, &FlConfig::new(4, 3, 0.3, seed));
+        (trace, proto, test)
+    }
+
+    #[test]
+    fn default_registry_covers_all_methods() {
+        let session = ValuationSession::builder().build();
+        let names = session.method_names();
+        for expected in [
+            "exact",
+            "fedsv",
+            "fedsv-mc",
+            "comfedsv",
+            "comfedsv-mc",
+            "tmc",
+            "group-testing",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn every_builtin_method_runs() {
+        let (trace, proto, test) = world(1);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        let mut session = ValuationSession::builder().rank(3).permutations(40).build();
+        for (name, outcome) in session.run_all(&oracle) {
+            let report = outcome.unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(report.values.len(), 5, "{name}");
+            assert!(report.values.iter().all(|v| v.is_finite()), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_method_is_a_typed_error() {
+        let session = ValuationSession::builder().build();
+        assert_eq!(
+            session.valuator("nope").err().unwrap(),
+            ValuationError::UnknownMethod {
+                name: "nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn ground_truth_attaches_fairness_report() {
+        let (trace, proto, test) = world(2);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        let gt = ExactShapley.run(&oracle).unwrap();
+        let mut session = ValuationSession::builder()
+            .rank(3)
+            .ground_truth(gt.clone())
+            .build();
+        let report = session.run("exact", &oracle).unwrap();
+        let fairness = report.diagnostics.fairness.expect("fairness report");
+        // Exact vs itself: zero epsilon, perfect rank agreement.
+        assert!(fairness.epsilon < 1e-15);
+        assert!((fairness.spearman_rho.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_ground_truth_is_a_typed_error() {
+        let (trace, proto, test) = world(6);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        // Reference from a 3-client world, oracle has 5 clients.
+        let mut session = ValuationSession::builder()
+            .rank(3)
+            .ground_truth(vec![0.0; 3])
+            .build();
+        assert_eq!(
+            session.run("fedsv", &oracle).unwrap_err(),
+            ValuationError::ReferenceMismatch {
+                reference: 3,
+                valued: 5
+            }
+        );
+    }
+
+    #[test]
+    fn progress_events_flow_through() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (trace, proto, test) = world(3);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        let events: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&events);
+        let mut session = ValuationSession::builder()
+            .rank(3)
+            .progress(move |e| sink.borrow_mut().push(format!("{}:{}", e.method, e.stage)))
+            .build();
+        session.run("fedsv", &oracle).unwrap();
+        assert!(events.borrow().iter().any(|e| e.starts_with("fedsv:")));
+    }
+
+    #[test]
+    fn session_seed_overrides_method_seed() {
+        let (trace, proto, test) = world(4);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        let run_with_seed = |seed: u64| {
+            let mut s = ValuationSession::builder()
+                .rank(3)
+                .permutations(30)
+                .seed(seed)
+                .build();
+            s.run("tmc", &oracle).unwrap().values
+        };
+        assert_eq!(run_with_seed(9), run_with_seed(9));
+        assert_ne!(run_with_seed(9), run_with_seed(10));
+    }
+
+    #[test]
+    fn custom_registration_overrides_builtin() {
+        struct Zeros;
+        impl Valuator for Zeros {
+            fn name(&self) -> &'static str {
+                "zeros"
+            }
+            fn value(
+                &self,
+                oracle: &fedval_fl::UtilityOracle<'_>,
+                _ctx: &mut RunContext<'_>,
+            ) -> Result<ValuationReport, ValuationError> {
+                Ok(ValuationReport {
+                    method: "zeros",
+                    values: vec![0.0; oracle.num_clients()],
+                    diagnostics: Diagnostics::default(),
+                })
+            }
+        }
+        let (trace, proto, test) = world(5);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        let mut session = ValuationSession::builder()
+            .register("zeros", |_| Box::new(Zeros))
+            .register("tmc", |_| Box::new(Zeros))
+            .build();
+        assert_eq!(session.run("zeros", &oracle).unwrap().values, vec![0.0; 5]);
+        // The built-in "tmc" key now resolves to the custom strategy.
+        assert_eq!(session.run("tmc", &oracle).unwrap().values, vec![0.0; 5]);
+        // Re-registering did not duplicate the key.
+        let names = session.method_names();
+        assert_eq!(names.iter().filter(|n| *n == "tmc").count(), 1);
+    }
+}

@@ -18,14 +18,18 @@
 //! including every bundled quick/default profile — on its serial path).
 //! Speculative cross-permutation batching is a ROADMAP item.
 
+use crate::error::ValuationError;
+use crate::valuator::{Diagnostics, RunContext, ValuationReport, Valuator};
 use fedval_fl::{Subset, UtilityOracle};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-/// TMC configuration.
+/// The truncated-Monte-Carlo valuation method (Ghorbani & Zou) as a
+/// [`Valuator`] strategy object; the former
+/// `TmcConfig` name remains as a deprecated alias.
 #[derive(Debug, Clone)]
-pub struct TmcConfig {
+pub struct Tmc {
     /// Number of sampled permutations.
     pub permutations: usize,
     /// Truncate a permutation once
@@ -35,9 +39,13 @@ pub struct TmcConfig {
     pub seed: u64,
 }
 
-impl Default for TmcConfig {
+/// Deprecated name of [`Tmc`].
+#[deprecated(since = "0.2.0", note = "renamed to `Tmc`")]
+pub type TmcConfig = Tmc;
+
+impl Default for Tmc {
     fn default() -> Self {
-        TmcConfig {
+        Tmc {
             permutations: 100,
             truncation_tol: 0.01,
             seed: 0,
@@ -45,7 +53,7 @@ impl Default for TmcConfig {
     }
 }
 
-/// Output of [`tmc_shapley`].
+/// Output of a TMC run.
 #[derive(Debug, Clone)]
 pub struct TmcOutput {
     /// Estimated Shapley values.
@@ -54,13 +62,71 @@ pub struct TmcOutput {
     pub truncated_fraction: f64,
 }
 
+impl Tmc {
+    /// Runs the truncated permutation walk, returning the rich
+    /// [`TmcOutput`]; the [`Valuator`] impl wraps this into a
+    /// [`ValuationReport`].
+    pub fn run(&self, oracle: &UtilityOracle<'_>) -> Result<TmcOutput, ValuationError> {
+        if self.permutations == 0 {
+            return Err(ValuationError::NoPermutations);
+        }
+        // NaN and ±∞ both fail is_finite; NaN < 0.0 is false, so the
+        // order of the clauses does not matter.
+        if !self.truncation_tol.is_finite() || self.truncation_tol < 0.0 {
+            return Err(ValuationError::InvalidTolerance {
+                value: self.truncation_tol,
+            });
+        }
+        if oracle.num_rounds() == 0 {
+            return Err(ValuationError::EmptyTrace);
+        }
+        Ok(run_tmc(oracle, self))
+    }
+}
+
+impl Valuator for Tmc {
+    fn name(&self) -> &'static str {
+        "tmc"
+    }
+
+    fn value(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<ValuationReport, ValuationError> {
+        let mut cfg = self.clone();
+        cfg.seed = ctx.seed_or(self.seed);
+        let before = oracle.loss_evaluations();
+        ctx.emit(self.name(), "truncated permutation walk");
+        let out = cfg.run(oracle)?;
+        Ok(ValuationReport {
+            method: self.name(),
+            values: out.values,
+            diagnostics: Diagnostics {
+                cells_evaluated: oracle.loss_evaluations() - before,
+                permutations_used: self.permutations,
+                truncated_fraction: Some(out.truncated_fraction),
+                ..Diagnostics::default()
+            },
+        })
+    }
+}
+
 /// Truncated Monte-Carlo estimate of the whole-run Shapley value.
-pub fn tmc_shapley(oracle: &UtilityOracle<'_>, config: &TmcConfig) -> TmcOutput {
-    assert!(config.permutations > 0, "need at least one permutation");
-    assert!(
-        config.truncation_tol >= 0.0,
-        "tolerance must be non-negative"
-    );
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Tmc::run` (or drive it as a `Valuator` through a `ValuationSession`)"
+)]
+pub fn tmc_shapley(oracle: &UtilityOracle<'_>, config: &Tmc) -> TmcOutput {
+    match config.run(oracle) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The truncated walk itself; configuration validity is [`Tmc::run`]'s
+/// responsibility.
+fn run_tmc(oracle: &UtilityOracle<'_>, config: &Tmc) -> TmcOutput {
     let n = oracle.num_clients();
     let grand = oracle.total_utility_parallel(Subset::full(n));
     let threshold = config.truncation_tol * grand.abs();
@@ -137,15 +203,14 @@ mod tests {
     fn untruncated_tmc_converges_to_exact() {
         let (trace, proto, test) = setup(1);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let exact = crate::pipeline::ground_truth_valuation(&oracle);
-        let out = tmc_shapley(
-            &oracle,
-            &TmcConfig {
-                permutations: 3000,
-                truncation_tol: 0.0,
-                seed: 5,
-            },
-        );
+        let exact = crate::pipeline::ExactShapley.run(&oracle).unwrap();
+        let out = Tmc {
+            permutations: 3000,
+            truncation_tol: 0.0,
+            seed: 5,
+        }
+        .run(&oracle)
+        .unwrap();
         for (a, b) in out.values.iter().zip(&exact) {
             assert!((a - b).abs() < 0.01, "tmc {a} vs exact {b}");
         }
@@ -156,14 +221,13 @@ mod tests {
         // Marginals telescope, so Σ_i values = U(I) exactly per permutation.
         let (trace, proto, test) = setup(2);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let out = tmc_shapley(
-            &oracle,
-            &TmcConfig {
-                permutations: 20,
-                truncation_tol: 0.0,
-                seed: 7,
-            },
-        );
+        let out = Tmc {
+            permutations: 20,
+            truncation_tol: 0.0,
+            seed: 7,
+        }
+        .run(&oracle)
+        .unwrap();
         let total: f64 = out.values.iter().sum();
         let grand = oracle.total_utility(Subset::full(5));
         assert!((total - grand).abs() < 1e-10);
@@ -176,26 +240,24 @@ mod tests {
 
         let oracle_a = UtilityOracle::new(&trace, &proto, &test);
         oracle_a.reset_counter();
-        let _ = tmc_shapley(
-            &oracle_a,
-            &TmcConfig {
-                permutations: 50,
-                truncation_tol: 0.0,
-                seed: 9,
-            },
-        );
+        let _ = Tmc {
+            permutations: 50,
+            truncation_tol: 0.0,
+            seed: 9,
+        }
+        .run(&oracle_a)
+        .unwrap();
         let full_calls = oracle_a.loss_evaluations();
 
         let oracle_b = UtilityOracle::new(&trace, &proto, &test);
         oracle_b.reset_counter();
-        let out = tmc_shapley(
-            &oracle_b,
-            &TmcConfig {
-                permutations: 50,
-                truncation_tol: 0.5, // aggressive truncation
-                seed: 9,
-            },
-        );
+        let out = Tmc {
+            permutations: 50,
+            truncation_tol: 0.5, // aggressive truncation
+            seed: 9,
+        }
+        .run(&oracle_b)
+        .unwrap();
         let truncated_calls = oracle_b.loss_evaluations();
         assert!(out.truncated_fraction > 0.0, "expected some truncation");
         assert!(
@@ -208,15 +270,14 @@ mod tests {
     fn aggressive_truncation_still_ranks_reasonably() {
         let (trace, proto, test) = setup(4);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let exact = crate::pipeline::ground_truth_valuation(&oracle);
-        let out = tmc_shapley(
-            &oracle,
-            &TmcConfig {
-                permutations: 2000,
-                truncation_tol: 0.05,
-                seed: 11,
-            },
-        );
+        let exact = crate::pipeline::ExactShapley.run(&oracle).unwrap();
+        let out = Tmc {
+            permutations: 2000,
+            truncation_tol: 0.05,
+            seed: 11,
+        }
+        .run(&oracle)
+        .unwrap();
         let rho = fedval_metrics::spearman_rho(&out.values, &exact).unwrap();
         assert!(rho > 0.6, "rank correlation under truncation {rho}");
     }
@@ -225,28 +286,41 @@ mod tests {
     fn deterministic_given_seed() {
         let (trace, proto, test) = setup(5);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let cfg = TmcConfig {
+        let cfg = Tmc {
             permutations: 25,
             truncation_tol: 0.1,
             seed: 13,
         };
-        let a = tmc_shapley(&oracle, &cfg);
-        let b = tmc_shapley(&oracle, &cfg);
+        let a = cfg.run(&oracle).unwrap();
+        let b = cfg.run(&oracle).unwrap();
         assert_eq!(a.values, b.values);
     }
 
     #[test]
-    #[should_panic(expected = "at least one permutation")]
     fn rejects_zero_permutations() {
         let (trace, proto, test) = setup(6);
         let oracle = UtilityOracle::new(&trace, &proto, &test);
-        let _ = tmc_shapley(
-            &oracle,
-            &TmcConfig {
-                permutations: 0,
-                truncation_tol: 0.0,
-                seed: 0,
-            },
-        );
+        let err = Tmc {
+            permutations: 0,
+            truncation_tol: 0.0,
+            seed: 0,
+        }
+        .run(&oracle)
+        .unwrap_err();
+        assert_eq!(err, ValuationError::NoPermutations);
+    }
+
+    #[test]
+    fn rejects_negative_tolerance() {
+        let (trace, proto, test) = setup(7);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let err = Tmc {
+            permutations: 5,
+            truncation_tol: -0.1,
+            seed: 0,
+        }
+        .run(&oracle)
+        .unwrap_err();
+        assert_eq!(err, ValuationError::InvalidTolerance { value: -0.1 });
     }
 }

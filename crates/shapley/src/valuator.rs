@@ -1,0 +1,162 @@
+//! The unified valuation-method interface.
+//!
+//! The paper treats ComFedSV, FedSV, TMC, group testing, and the exact
+//! Shapley value as interchangeable estimators over one utility oracle;
+//! this module is that framing as a type. The stack has three layers:
+//!
+//! 1. **[`Valuator`]** (this module) — a strategy object that turns a
+//!    [`UtilityOracle`] into per-client values. Implemented by
+//!    [`ComFedSv`](crate::pipeline::ComFedSv),
+//!    [`FedSv`](crate::fedsv::FedSv), [`Tmc`](crate::tmc::Tmc),
+//!    [`GroupTesting`](crate::group_testing::GroupTesting), and
+//!    [`ExactShapley`](crate::pipeline::ExactShapley).
+//! 2. **[`UtilityOracle`]** (`fedval_fl`) — the batched, cached
+//!    evaluation of round utilities `U_t(S)` over a recorded run.
+//! 3. **[`MatrixCompleter`](fedval_mc::MatrixCompleter)** (`fedval_mc`) —
+//!    the pluggable solver that ComFedSV uses to fill in unobserved
+//!    cells.
+//!
+//! Every implementation returns a [`ValuationReport`] (values plus
+//! [`Diagnostics`]) or a typed
+//! [`ValuationError`] — invalid
+//! configurations never panic. Methods are driven either directly
+//! (`valuator.value(&oracle, &mut RunContext::new())`) or through a
+//! [`ValuationSession`](crate::session::ValuationSession), which owns
+//! seeding, progress callbacks, and a string-keyed method registry.
+
+use crate::error::ValuationError;
+use crate::fairness::ReferenceReport;
+use fedval_fl::UtilityOracle;
+
+/// A progress notification emitted while a method runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressEvent<'a> {
+    /// Which method is running ([`Valuator::name`]).
+    pub method: &'a str,
+    /// What it is doing right now ("plan", "evaluate", "complete", …).
+    pub stage: &'a str,
+}
+
+/// Per-run state a [`Valuator`] receives: the session-level seed override
+/// and the progress sink. A default context (no override, no callback)
+/// reproduces the method's standalone behavior bit-for-bit.
+#[derive(Default)]
+pub struct RunContext<'a> {
+    seed: Option<u64>,
+    progress: Option<&'a mut dyn FnMut(ProgressEvent<'_>)>,
+}
+
+impl<'a> RunContext<'a> {
+    /// A context with no seed override and no progress callback.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides every method's own seed with `seed` (what
+    /// [`ValuationSession::builder().seed(…)`](crate::session::ValuationSessionBuilder::seed)
+    /// sets).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Attaches a progress callback.
+    pub fn with_progress(mut self, callback: &'a mut dyn FnMut(ProgressEvent<'_>)) -> Self {
+        self.progress = Some(callback);
+        self
+    }
+
+    /// The seed a method should use: the session override if present,
+    /// otherwise the method's own `default`.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Emits a progress event (no-op without a callback).
+    pub fn emit(&mut self, method: &str, stage: &str) {
+        if let Some(cb) = self.progress.as_mut() {
+            cb(ProgressEvent { method, stage });
+        }
+    }
+}
+
+/// Everything a valuation run reports beyond the values themselves.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    /// Model loss evaluations performed during this run (the paper's
+    /// Fig.-8 cost unit; cache hits on the oracle are free and excluded).
+    pub cells_evaluated: u64,
+    /// Completion-solver objective trajectory (empty for methods that do
+    /// not complete a matrix).
+    pub objective_trace: Vec<f64>,
+    /// Permutations actually walked (0 for non-permutation methods).
+    pub permutations_used: usize,
+    /// Fraction of marginal evaluations skipped by truncation (TMC only).
+    pub truncated_fraction: Option<f64>,
+    /// ε-fairness against a reference valuation, filled in by the session
+    /// when a ground truth was supplied.
+    pub fairness: Option<ReferenceReport>,
+}
+
+/// The outcome of one valuation run: per-client values plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct ValuationReport {
+    /// Which method produced this ([`Valuator::name`]).
+    pub method: &'static str,
+    /// One value per client, indexed by client id.
+    pub values: Vec<f64>,
+    /// Run diagnostics.
+    pub diagnostics: Diagnostics,
+}
+
+/// A data-valuation strategy over a recorded federated run.
+///
+/// Object-safe: methods are held as `Box<dyn Valuator>` by the session
+/// registry and swept uniformly. Implementations validate their
+/// configuration against the oracle and return typed errors; they must
+/// be deterministic given the oracle and the effective seed.
+pub trait Valuator {
+    /// Stable lowercase method key ("comfedsv", "fedsv-mc", "tmc", …).
+    fn name(&self) -> &'static str;
+
+    /// Values every client of `oracle`'s world.
+    fn value(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<ValuationReport, ValuationError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_seed_override() {
+        let ctx = RunContext::new();
+        assert_eq!(ctx.seed_or(7), 7);
+        let ctx = RunContext::new().with_seed(42);
+        assert_eq!(ctx.seed_or(7), 42);
+    }
+
+    #[test]
+    fn context_emits_to_callback() {
+        let mut events: Vec<(String, String)> = Vec::new();
+        let mut sink = |e: ProgressEvent<'_>| {
+            events.push((e.method.to_string(), e.stage.to_string()));
+        };
+        {
+            let mut ctx = RunContext::new().with_progress(&mut sink);
+            ctx.emit("tmc", "walk");
+            ctx.emit("tmc", "done");
+        }
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], ("tmc".into(), "walk".into()));
+    }
+
+    #[test]
+    fn emit_without_callback_is_a_noop() {
+        let mut ctx = RunContext::new();
+        ctx.emit("fedsv", "stage");
+    }
+}

@@ -34,8 +34,12 @@ fn main() {
         let trace = world.train(&FlConfig::new(10, 3, 0.2, seed));
         let oracle = world.oracle(&trace);
 
-        let fed = fedsv(&oracle);
-        let com = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(6).with_lambda(0.01)).values;
+        let fed = FedSv::exact().run(&oracle).expect("small cohorts");
+        let com = ComFedSv::exact(6)
+            .with_lambda(0.01)
+            .run(&oracle)
+            .expect("10 clients is exact-safe")
+            .values;
         let d_fed = relative_difference(fed[0], fed[9]);
         let d_com = relative_difference(com[0], com[9]);
         println!("{trial:>6}  {d_fed:>14.4}  {d_com:>14.4}");

@@ -73,7 +73,10 @@ fn main() {
     println!("\neps-rank at eps = 5% of max entry: measured {measured}, Prop-1 bound {bound}");
 
     // 4. Complete the observed entries and measure δ.
-    let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(6).with_lambda(1e-3));
+    let out = ComFedSv::exact(6)
+        .with_lambda(1e-3)
+        .run(&oracle)
+        .expect("8 clients is exact-safe");
     let delta = completion_delta(&u, &out.factors, &out.problem);
     println!("completion delta = ||U - WH'||_1 = {delta:.6}");
 
@@ -85,7 +88,7 @@ fn main() {
     println!("  Theorem-1 tolerance 4*delta/N = {tol:.6}");
     println!("  guarantee holds: {}", gap <= tol);
 
-    let fed = fedsv(&oracle);
+    let fed = FedSv::exact().run(&oracle).expect("small cohorts");
     println!(
         "  (FedSV gap on the same run: {:.6})",
         (fed[0] - fed[7]).abs()

@@ -31,9 +31,13 @@ fn main() {
     let trace = world.train(&FlConfig::new(10, 3, 0.1, 3));
     let oracle = world.oracle(&trace);
 
-    let fed = fedsv(&oracle);
-    let com = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(6).with_lambda(0.01)).values;
-    let gt = ground_truth_valuation(&oracle);
+    let fed = FedSv::exact().run(&oracle).expect("small cohorts");
+    let com = ComFedSv::exact(6)
+        .with_lambda(0.01)
+        .run(&oracle)
+        .expect("10 clients is exact-safe")
+        .values;
+    let gt = ExactShapley.run(&oracle).expect("10 clients is exact-safe");
 
     println!("== graded corruption (client i: 5i% corrupted examples) ==");
     println!("{:>10}  {:>10}", "metric", "spearman");
@@ -54,8 +58,12 @@ fn main() {
         .build();
     let trace2 = world2.train(&FlConfig::new(10, 3, 0.2, 4));
     let oracle2 = world2.oracle(&trace2);
-    let fed2 = fedsv(&oracle2);
-    let com2 = comfedsv_pipeline(&oracle2, &ComFedSvConfig::exact(6).with_lambda(0.01)).values;
+    let fed2 = FedSv::exact().run(&oracle2).expect("small cohorts");
+    let com2 = ComFedSv::exact(6)
+        .with_lambda(0.01)
+        .run(&oracle2)
+        .expect("10 clients is exact-safe")
+        .values;
 
     println!("\n== label flipping (clients 1, 4, 7 have 30% flipped labels) ==");
     for (name, values) in [("FedSV", &fed2), ("ComFedSV", &com2)] {

@@ -5,9 +5,10 @@
 //! ```
 //!
 //! Builds a 10-client heterogeneous synthetic task, trains FedAvg with
-//! partial participation, and prints three valuations side by side:
-//! FedSV (the baseline), ComFedSV (this paper), and the ground truth
-//! computed from the full utility matrix.
+//! partial participation, and sweeps the full valuation-method matrix —
+//! FedSV (the baseline), ComFedSV (this paper), TMC, group testing, and
+//! the exact ground truth — through one [`ValuationSession`], printing
+//! each method's values, cost, and ε-fairness against the ground truth.
 
 use comfedsv::prelude::*;
 
@@ -31,24 +32,45 @@ fn main() {
         world.test_accuracy(&trace.final_params)
     );
 
-    // Value the clients.
+    // Compute the ground truth once, then hand it to the session so every
+    // report carries an ε-fairness comparison.
     let oracle = world.oracle(&trace);
-    let fed = fedsv(&oracle);
-    let com = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(6).with_lambda(0.01)).values;
-    let truth = ground_truth_valuation(&oracle);
+    let truth = ExactShapley.run(&oracle).expect("10 clients is exact-safe");
+    let mut session = ValuationSession::builder()
+        .rank(6)
+        .lambda(0.01)
+        .seed(7)
+        .ground_truth(truth.clone())
+        .build();
 
     println!(
-        "\n{:>7}  {:>12}  {:>12}  {:>12}",
-        "client", "FedSV", "ComFedSV", "ground truth"
+        "\n{:>14}  {:>12}  {:>12}  {:>10}  {:>10}",
+        "method", "client 0", "client 9", "cells", "rho vs gt"
     );
-    for i in 0..world.num_clients() {
-        println!(
-            "{:>7}  {:>12.5}  {:>12.5}  {:>12.5}",
-            i, fed[i], com[i], truth[i]
-        );
+    for name in session.method_names() {
+        // Fresh oracle per method so the cells column reports each
+        // method's true evaluation cost (the oracle caches utilities,
+        // and a shared one would show 0 for everything after the
+        // ground-truth pass above).
+        let oracle = world.oracle(&trace);
+        match session.run(&name, &oracle) {
+            Ok(report) => {
+                let fairness = report.diagnostics.fairness.as_ref();
+                println!(
+                    "{:>14}  {:>12.5}  {:>12.5}  {:>10}  {:>10.3}",
+                    report.method,
+                    report.values[0],
+                    report.values[9],
+                    report.diagnostics.cells_evaluated,
+                    fairness.and_then(|f| f.spearman_rho).unwrap_or(f64::NAN)
+                );
+            }
+            Err(e) => println!("{name:>14}  failed: {e}"),
+        }
     }
 
-    let rho_fed = comfedsv::metrics::spearman_rho(&fed, &truth).unwrap_or(f64::NAN);
-    let rho_com = comfedsv::metrics::spearman_rho(&com, &truth).unwrap_or(f64::NAN);
-    println!("\nrank correlation with ground truth: FedSV {rho_fed:.3}, ComFedSV {rho_com:.3}");
+    println!("\nground truth per client:");
+    for (i, v) in truth.iter().enumerate() {
+        println!("{i:>7}  {v:>12.5}");
+    }
 }

@@ -32,19 +32,18 @@ fn main() {
     );
 
     let oracle = world.oracle(&trace);
-    let out = comfedsv_pipeline(
-        &oracle,
-        &ComFedSvConfig {
-            rank: 6,
-            lambda: 0.01,
-            estimator: EstimatorKind::MonteCarlo {
-                num_permutations: 150,
-            },
-            als_max_iters: 50,
-            solver: Default::default(),
-            seed: 11,
+    let out = ComFedSv {
+        rank: 6,
+        lambda: 0.01,
+        estimator: EstimatorKind::MonteCarlo {
+            num_permutations: 150,
         },
-    );
+        als_max_iters: 50,
+        solver: Default::default(),
+        seed: 11,
+    }
+    .run(&oracle)
+    .expect("Monte-Carlo pipeline scales to 40 clients");
     println!(
         "completion: {} observed entries over {} prefix columns, ALS objective {:.4} -> {:.4}",
         out.problem.num_observations(),

@@ -14,6 +14,29 @@ use fedval_data::{
 };
 use fedval_fl::{train_federated, FlConfig, TrainingTrace, UtilityOracle};
 use fedval_models::{Activation, Cnn, CnnConfig, LogisticRegression, Mlp, Model};
+use fedval_shapley::{ValuationError, ValuationReport, ValuationSession};
+
+/// Sweeps valuation methods over a recorded run through one
+/// [`ValuationSession`] — the cross-method harness the examples and the
+/// per-figure benchmark bins share. With an empty `names` slice every
+/// registered method runs (in registry order); otherwise only the named
+/// ones, in the given order. Methods that reject the oracle (e.g.
+/// "exact" beyond the enumeration gate) report their typed error instead
+/// of aborting the sweep.
+pub fn sweep_methods(
+    session: &mut ValuationSession,
+    oracle: &UtilityOracle<'_>,
+    names: &[&str],
+) -> Vec<(String, Result<ValuationReport, ValuationError>)> {
+    if names.is_empty() {
+        session.run_all(oracle)
+    } else {
+        names
+            .iter()
+            .map(|&n| (n.to_string(), session.run(n, oracle)))
+            .collect()
+    }
+}
 
 /// Which of the paper's four tasks to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -400,6 +423,28 @@ mod tests {
         assert!(u.is_finite());
         let acc = w.test_accuracy(&trace.final_params);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn sweep_methods_runs_named_and_all() {
+        let w = ExperimentBuilder::synthetic(true)
+            .num_clients(4)
+            .samples_per_client(25)
+            .seed(9)
+            .build();
+        let trace = w.train(&FlConfig::new(3, 2, 0.2, 9));
+        let oracle = w.oracle(&trace);
+        let mut session = fedval_shapley::ValuationSession::builder()
+            .rank(3)
+            .permutations(20)
+            .seed(9)
+            .build();
+        let named = sweep_methods(&mut session, &oracle, &["fedsv", "comfedsv"]);
+        assert_eq!(named.len(), 2);
+        assert_eq!(named[0].0, "fedsv");
+        assert!(named.iter().all(|(_, r)| r.is_ok()));
+        let all = sweep_methods(&mut session, &oracle, &[]);
+        assert_eq!(all.len(), session.method_names().len());
     }
 
     #[test]

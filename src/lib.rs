@@ -9,6 +9,9 @@
 //!
 //! ## Quickstart
 //!
+//! Every valuation method is a [`Valuator`](fedval_shapley::Valuator)
+//! strategy driven through one [`ValuationSession`] harness:
+//!
 //! ```
 //! use comfedsv::prelude::*;
 //!
@@ -24,14 +27,30 @@
 //!
 //! // 3. Value every client with ComFedSV (Algorithm 1).
 //! let oracle = world.oracle(&trace);
-//! let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4));
+//! let out = ComFedSv::exact(4).run(&oracle).unwrap();
 //! assert_eq!(out.values.len(), 6);
+//!
+//! // 4. Or sweep the whole method matrix through one session.
+//! let mut session = ValuationSession::builder().rank(4).seed(7).build();
+//! for name in session.method_names() {
+//!     let report = session.run(&name, &oracle).unwrap();
+//!     assert_eq!(report.values.len(), 6, "{name}");
+//! }
 //! ```
+//!
+//! The trait layering is `Valuator` (strategy) over
+//! [`UtilityOracle`](fedval_fl::UtilityOracle) (batched utility
+//! evaluation) over [`MatrixCompleter`](fedval_mc::MatrixCompleter)
+//! (pluggable completion solver); failures are typed
+//! [`ValuationError`](fedval_shapley::ValuationError)s. See MIGRATION.md
+//! for the mapping from the old free functions.
 //!
 //! The [`prelude`] re-exports the types needed by typical users; the
 //! [`experiments`] module hosts the configured dataset/model pairings used
 //! by the paper's evaluation and by this repo's examples and benchmark
 //! harnesses.
+//!
+//! [`ValuationSession`]: fedval_shapley::ValuationSession
 
 pub use fedval_data as data;
 pub use fedval_fl as fl;
@@ -48,10 +67,17 @@ pub mod prelude {
     pub use crate::experiments::{DatasetKind, ExperimentBuilder, World};
     pub use fedval_data::{Dataset, SyntheticConfig};
     pub use fedval_fl::{FlConfig, Subset, TrainingTrace, UtilityOracle};
-    pub use fedval_mc::{AlsConfig, CompletionProblem, Factors};
+    pub use fedval_mc::{AlsConfig, CompletionError, CompletionProblem, Factors, MatrixCompleter};
     pub use fedval_models::{LearningRate, Model};
     pub use fedval_shapley::{
+        ComFedSv, CompletionSolver, Diagnostics, EstimatorKind, ExactShapley, FedSv, FedSvConfig,
+        GroupTesting, MethodDefaults, RunContext, Tmc, ValuationError, ValuationReport,
+        ValuationSession, Valuator,
+    };
+
+    // Deprecated legacy surface (see MIGRATION.md).
+    #[allow(deprecated)]
+    pub use fedval_shapley::{
         comfedsv_pipeline, fedsv, fedsv_monte_carlo, ground_truth_valuation, ComFedSvConfig,
-        EstimatorKind, FedSvConfig,
     };
 }

@@ -1,0 +1,270 @@
+//! Equivalence suite for the `Valuator` redesign: every strategy object
+//! must be **bit-identical** to the legacy free function it replaced on a
+//! seeded world, and the old panic paths must now surface as typed
+//! [`ValuationError`]s.
+
+#![allow(deprecated)]
+
+use comfedsv::prelude::*;
+use comfedsv::shapley::{
+    fedsv, fedsv_monte_carlo, ground_truth_valuation, group_testing_shapley, tmc_shapley,
+    GroupTesting, Tmc, ValuationSession,
+};
+
+fn seeded_world() -> (World, TrainingTrace) {
+    let world = ExperimentBuilder::synthetic(true)
+        .num_clients(6)
+        .samples_per_client(40)
+        .test_samples(80)
+        .seed(23)
+        .build();
+    let trace = world.train(&FlConfig::new(6, 3, 0.2, 23));
+    (world, trace)
+}
+
+#[test]
+fn comfedsv_valuator_matches_legacy_pipeline_bitwise() {
+    let (world, trace) = seeded_world();
+    let oracle = world.oracle(&trace);
+    let cfg = ComFedSv::exact(5).with_lambda(1e-3).with_seed(23);
+    let legacy = comfedsv_pipeline(&oracle, &cfg);
+    let new = cfg.run(&oracle).unwrap();
+    assert_eq!(legacy.values, new.values);
+    assert_eq!(legacy.objective_trace, new.objective_trace);
+    // Through the trait object as well.
+    let boxed: Box<dyn Valuator> = Box::new(cfg.clone());
+    let report = boxed.value(&oracle, &mut RunContext::new()).unwrap();
+    assert_eq!(report.values, legacy.values);
+}
+
+#[test]
+fn comfedsv_monte_carlo_matches_legacy_bitwise() {
+    let (world, trace) = seeded_world();
+    let oracle = world.oracle(&trace);
+    let cfg = ComFedSv {
+        rank: 4,
+        lambda: 1e-3,
+        estimator: EstimatorKind::MonteCarlo {
+            num_permutations: 60,
+        },
+        als_max_iters: 50,
+        solver: Default::default(),
+        seed: 5,
+    };
+    let legacy = comfedsv_pipeline(&oracle, &cfg);
+    let new = cfg.run(&oracle).unwrap();
+    assert_eq!(legacy.values, new.values);
+    assert_eq!(legacy.permutations, new.permutations);
+}
+
+#[test]
+fn fedsv_valuators_match_legacy_bitwise() {
+    let (world, trace) = seeded_world();
+    let oracle = world.oracle(&trace);
+    assert_eq!(fedsv(&oracle), FedSv::exact().run(&oracle).unwrap());
+
+    let mc_cfg = FedSvConfig {
+        permutations_per_round: Some(80),
+        seed: 7,
+    };
+    assert_eq!(
+        fedsv_monte_carlo(&oracle, &mc_cfg),
+        FedSv::monte_carlo(mc_cfg.clone()).run(&oracle).unwrap()
+    );
+    let boxed: Box<dyn Valuator> = Box::new(FedSv::monte_carlo(mc_cfg));
+    let report = boxed.value(&oracle, &mut RunContext::new()).unwrap();
+    assert_eq!(report.method, "fedsv-mc");
+    assert_eq!(
+        report.values,
+        FedSv::monte_carlo(FedSvConfig {
+            permutations_per_round: Some(80),
+            seed: 7,
+        })
+        .run(&oracle)
+        .unwrap()
+    );
+}
+
+#[test]
+fn tmc_valuator_matches_legacy_bitwise() {
+    let (world, trace) = seeded_world();
+    let oracle = world.oracle(&trace);
+    let cfg = Tmc {
+        permutations: 40,
+        truncation_tol: 0.02,
+        seed: 3,
+    };
+    let legacy = tmc_shapley(&oracle, &cfg);
+    let new = cfg.run(&oracle).unwrap();
+    assert_eq!(legacy.values, new.values);
+    assert_eq!(legacy.truncated_fraction, new.truncated_fraction);
+}
+
+#[test]
+fn group_testing_valuator_matches_legacy_bitwise() {
+    let (world, trace) = seeded_world();
+    let oracle = world.oracle(&trace);
+    let cfg = GroupTesting {
+        num_samples: 150,
+        seed: 11,
+    };
+    assert_eq!(
+        group_testing_shapley(&oracle, &cfg),
+        cfg.run(&oracle).unwrap()
+    );
+}
+
+#[test]
+fn exact_valuator_matches_legacy_ground_truth_bitwise() {
+    let (world, trace) = seeded_world();
+    let oracle = world.oracle(&trace);
+    assert_eq!(
+        ground_truth_valuation(&oracle),
+        ExactShapley.run(&oracle).unwrap()
+    );
+}
+
+#[test]
+fn session_sweep_is_bit_identical_to_direct_valuators() {
+    let (world, trace) = seeded_world();
+    let oracle = world.oracle(&trace);
+    let mut session = ValuationSession::builder().rank(4).seed(23).build();
+    let direct = ComFedSv::exact(4)
+        .with_lambda(1e-3)
+        .with_seed(23)
+        .run(&oracle)
+        .unwrap();
+    let via_session = session.run("comfedsv", &oracle).unwrap();
+    // Session defaults: rank 4 (set above), λ 1e-3 (default), seed 23.
+    assert_eq!(via_session.values, direct.values);
+}
+
+#[test]
+fn all_methods_box_as_dyn_valuator() {
+    let (world, trace) = seeded_world();
+    let methods: Vec<Box<dyn Valuator>> = vec![
+        Box::new(ExactShapley),
+        Box::new(FedSv::exact()),
+        Box::new(FedSv::monte_carlo(FedSvConfig::default())),
+        Box::new(ComFedSv::exact(4).with_lambda(1e-3)),
+        Box::new(Tmc {
+            permutations: 20,
+            truncation_tol: 0.01,
+            seed: 1,
+        }),
+        Box::new(GroupTesting {
+            num_samples: 60,
+            seed: 1,
+        }),
+    ];
+    for m in methods {
+        // Fresh oracle per method: cells_evaluated counts real model
+        // evaluations, and a shared cache would zero it for later runs.
+        let oracle = world.oracle(&trace);
+        let report = m.value(&oracle, &mut RunContext::new()).unwrap();
+        assert_eq!(report.values.len(), 6, "{}", m.name());
+        assert!(report.values.iter().all(|v| v.is_finite()), "{}", m.name());
+        assert!(report.diagnostics.cells_evaluated > 0, "{}", m.name());
+    }
+}
+
+#[test]
+fn too_many_clients_is_a_typed_error_at_n17() {
+    // 17 clients: one past the exact-enumeration gate.
+    let world = ExperimentBuilder::synthetic(false)
+        .num_clients(17)
+        .samples_per_client(8)
+        .test_samples(20)
+        .seed(1)
+        .build();
+    let trace = world.train(&FlConfig::new(1, 2, 0.2, 1));
+    let oracle = world.oracle(&trace);
+    assert_eq!(
+        ExactShapley.run(&oracle).unwrap_err(),
+        ValuationError::TooManyClients {
+            clients: 17,
+            max: comfedsv::shapley::MAX_EXACT_CLIENTS
+        }
+    );
+    assert_eq!(
+        ComFedSv::exact(4).run(&oracle).unwrap_err(),
+        ValuationError::TooManyClients {
+            clients: 17,
+            max: comfedsv::shapley::MAX_EXACT_CLIENTS
+        }
+    );
+    // Exact FedSV trips on the round-0 everyone-heard cohort of 17.
+    assert!(matches!(
+        FedSv::exact().run(&oracle).unwrap_err(),
+        ValuationError::CohortTooLarge {
+            round: 0,
+            cohort: 17,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn empty_trace_is_rejected_by_every_method() {
+    let world = ExperimentBuilder::synthetic(false)
+        .num_clients(4)
+        .samples_per_client(10)
+        .test_samples(20)
+        .seed(2)
+        .build();
+    let trace = world.train(&FlConfig::new(0, 2, 0.2, 2));
+    let oracle = world.oracle(&trace);
+    let methods: Vec<Box<dyn Valuator>> = vec![
+        Box::new(ExactShapley),
+        Box::new(FedSv::exact()),
+        Box::new(FedSv::monte_carlo(FedSvConfig::default())),
+        Box::new(ComFedSv::exact(3)),
+        Box::new(Tmc::default()),
+        Box::new(GroupTesting {
+            num_samples: 10,
+            seed: 0,
+        }),
+    ];
+    for m in methods {
+        assert_eq!(
+            m.value(&oracle, &mut RunContext::new()).unwrap_err(),
+            ValuationError::EmptyTrace,
+            "{}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn invalid_sampling_budgets_are_typed_errors() {
+    let (world, trace) = seeded_world();
+    let oracle = world.oracle(&trace);
+    assert_eq!(
+        Tmc {
+            permutations: 0,
+            truncation_tol: 0.0,
+            seed: 0
+        }
+        .run(&oracle)
+        .unwrap_err(),
+        ValuationError::NoPermutations
+    );
+    assert_eq!(
+        GroupTesting {
+            num_samples: 0,
+            seed: 0
+        }
+        .run(&oracle)
+        .unwrap_err(),
+        ValuationError::NoSamples
+    );
+    assert_eq!(
+        FedSv::monte_carlo(FedSvConfig {
+            permutations_per_round: Some(0),
+            seed: 0
+        })
+        .run(&oracle)
+        .unwrap_err(),
+        ValuationError::NoPermutations
+    );
+}

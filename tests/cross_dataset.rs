@@ -21,14 +21,14 @@ fn all_dataset_kinds_train_and_value() {
         let trace = world.train(&FlConfig::new(3, 2, 0.15, 2));
         assert_eq!(trace.num_rounds(), 3, "{}", kind.name());
         let oracle = world.oracle(&trace);
-        let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(3).with_lambda(0.01));
+        let out = ComFedSv::exact(3).with_lambda(0.01).run(&oracle).unwrap();
         assert_eq!(out.values.len(), 5, "{}", kind.name());
         assert!(
             out.values.iter().all(|v| v.is_finite()),
             "{}: non-finite values",
             kind.name()
         );
-        let fed = fedsv(&oracle);
+        let fed = FedSv::exact().run(&oracle).unwrap();
         assert!(fed.iter().all(|v| v.is_finite()), "{}", kind.name());
     }
 }
@@ -87,7 +87,7 @@ fn fully_participating_fedsv_is_symmetric_for_duplicates() {
         .build();
     let trace = world.train(&FlConfig::new(4, 4, 0.2, 5));
     let oracle = world.oracle(&trace);
-    let fed = fedsv(&oracle);
+    let fed = FedSv::exact().run(&oracle).unwrap();
     let d = relative_difference(fed[0], fed[3]);
     assert!(
         d < 1e-9,
@@ -124,7 +124,7 @@ fn label_noise_lowers_a_client_value_on_average() {
             .build();
         let trace = world.train(&FlConfig::new(8, 5, 0.3, seed));
         let oracle = world.oracle(&trace);
-        let gt = ground_truth_valuation(&oracle);
+        let gt = ExactShapley.run(&oracle).unwrap();
         poisoned_total += gt[2];
         clean_total += (gt[0] + gt[1] + gt[3] + gt[4]) / 4.0;
     }

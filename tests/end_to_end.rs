@@ -23,8 +23,8 @@ fn pipeline_tracks_ground_truth_ranking() {
     let world = small_world(1, false);
     let trace = world.train(&FlConfig::new(6, 3, 0.2, 1));
     let oracle = world.oracle(&trace);
-    let gt = ground_truth_valuation(&oracle);
-    let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(5).with_lambda(1e-3));
+    let gt = ExactShapley.run(&oracle).unwrap();
+    let out = ComFedSv::exact(5).with_lambda(1e-3).run(&oracle).unwrap();
     let rho = spearman_rho(&out.values, &gt).unwrap();
     assert!(rho > 0.6, "rank correlation with ground truth {rho}");
 }
@@ -36,7 +36,7 @@ fn theorem1_fairness_bound_holds_for_duplicated_clients() {
     let world = small_world(3, true);
     let trace = world.train(&FlConfig::new(6, 3, 0.2, 3));
     let oracle = world.oracle(&trace);
-    let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(5).with_lambda(1e-3));
+    let out = ComFedSv::exact(5).with_lambda(1e-3).run(&oracle).unwrap();
     let full = full_utility_matrix(&oracle);
     let delta = completion_delta(&full, &out.factors, &out.problem);
     let tol = theorem1_tolerance(delta, world.num_clients());
@@ -60,11 +60,12 @@ fn comfedsv_is_fairer_than_fedsv_on_average() {
         let world = small_world(seed, true);
         let trace = world.train(&FlConfig::new(6, 2, 0.2, seed));
         let oracle = world.oracle(&trace);
-        let fed = fedsv(&oracle);
-        let out = comfedsv_pipeline(
-            &oracle,
-            &ComFedSvConfig::exact(5).with_lambda(1e-3).with_seed(seed),
-        );
+        let fed = FedSv::exact().run(&oracle).unwrap();
+        let out = ComFedSv::exact(5)
+            .with_lambda(1e-3)
+            .with_seed(seed)
+            .run(&oracle)
+            .unwrap();
         fed_total += relative_difference(fed[0], fed[5]);
         com_total += relative_difference(out.values[0], out.values[5]);
     }
@@ -81,20 +82,19 @@ fn monte_carlo_matches_exact_at_scale_boundary() {
     let world = small_world(9, false);
     let trace = world.train(&FlConfig::new(5, 3, 0.2, 9));
     let oracle = world.oracle(&trace);
-    let exact = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(5).with_lambda(1e-3));
-    let mc = comfedsv_pipeline(
-        &oracle,
-        &ComFedSvConfig {
-            rank: 5,
-            lambda: 1e-3,
-            estimator: EstimatorKind::MonteCarlo {
-                num_permutations: 300,
-            },
-            als_max_iters: 100,
-            solver: Default::default(),
-            seed: 1,
+    let exact = ComFedSv::exact(5).with_lambda(1e-3).run(&oracle).unwrap();
+    let mc = ComFedSv {
+        rank: 5,
+        lambda: 1e-3,
+        estimator: EstimatorKind::MonteCarlo {
+            num_permutations: 300,
         },
-    );
+        als_max_iters: 100,
+        solver: Default::default(),
+        seed: 1,
+    }
+    .run(&oracle)
+    .unwrap();
     let rho = spearman_rho(&exact.values, &mc.values).unwrap();
     assert!(rho > 0.7, "exact vs MC rank correlation {rho}");
 }
@@ -104,7 +104,7 @@ fn fedsv_balance_equals_sum_of_round_utilities() {
     let world = small_world(13, false);
     let trace = world.train(&FlConfig::new(5, 3, 0.2, 13));
     let oracle = world.oracle(&trace);
-    let fed = fedsv(&oracle);
+    let fed = FedSv::exact().run(&oracle).unwrap();
     let expected: f64 = (0..trace.num_rounds())
         .map(|t| oracle.utility(t, trace.selected(t)))
         .sum();
@@ -133,12 +133,12 @@ fn oracle_call_counting_reflects_work() {
 
     let oracle_fed = world.oracle(&trace);
     oracle_fed.reset_counter();
-    let _ = fedsv(&oracle_fed);
+    let _ = FedSv::exact().run(&oracle_fed).unwrap();
     let fed_calls = oracle_fed.loss_evaluations();
 
     let oracle_gt = world.oracle(&trace);
     oracle_gt.reset_counter();
-    let _ = ground_truth_valuation(&oracle_gt);
+    let _ = ExactShapley.run(&oracle_gt).unwrap();
     let gt_calls = oracle_gt.loss_evaluations();
 
     assert!(fed_calls > 0 && gt_calls > 0);

@@ -4,7 +4,7 @@
 
 use comfedsv::metrics::spearman_rho;
 use comfedsv::prelude::*;
-use comfedsv::shapley::{tmc_shapley, CompletionSolver, TmcConfig};
+use comfedsv::shapley::Tmc;
 use fedval_fl::UtilityOracle;
 
 fn world(seed: u64) -> World {
@@ -21,18 +21,16 @@ fn ccd_pipeline_matches_als_pipeline() {
     let w = world(1);
     let trace = w.train(&FlConfig::new(6, 3, 0.2, 1));
     let oracle = w.oracle(&trace);
-    let als = comfedsv_pipeline(
-        &oracle,
-        &ComFedSvConfig::exact(5)
-            .with_lambda(1e-2)
-            .with_solver(CompletionSolver::Als),
-    );
-    let ccd = comfedsv_pipeline(
-        &oracle,
-        &ComFedSvConfig::exact(5)
-            .with_lambda(1e-2)
-            .with_solver(CompletionSolver::Ccd),
-    );
+    let als = ComFedSv::exact(5)
+        .with_lambda(1e-2)
+        .with_solver(CompletionSolver::Als)
+        .run(&oracle)
+        .unwrap();
+    let ccd = ComFedSv::exact(5)
+        .with_lambda(1e-2)
+        .with_solver(CompletionSolver::Ccd)
+        .run(&oracle)
+        .unwrap();
     let rho = spearman_rho(&als.values, &ccd.values).unwrap();
     assert!(rho > 0.9, "ALS vs CCD++ pipeline rank agreement {rho}");
     // Objectives must be in the same ballpark (same problem, same λ).
@@ -51,19 +49,18 @@ fn tmc_tracks_ground_truth_with_fewer_calls() {
 
     let oracle_gt = w.oracle(&trace);
     oracle_gt.reset_counter();
-    let gt = ground_truth_valuation(&oracle_gt);
+    let gt = ExactShapley.run(&oracle_gt).unwrap();
     let gt_calls = oracle_gt.loss_evaluations();
 
     let oracle_tmc = w.oracle(&trace);
     oracle_tmc.reset_counter();
-    let out = tmc_shapley(
-        &oracle_tmc,
-        &TmcConfig {
-            permutations: 60,
-            truncation_tol: 0.05,
-            seed: 2,
-        },
-    );
+    let out = Tmc {
+        permutations: 60,
+        truncation_tol: 0.05,
+        seed: 2,
+    }
+    .run(&oracle_tmc)
+    .unwrap();
     let tmc_calls = oracle_tmc.loss_evaluations();
 
     let rho = spearman_rho(&out.values, &gt).unwrap();
@@ -82,9 +79,9 @@ fn stochastic_fedavg_pipeline_runs_end_to_end() {
         .with_batch_size(8);
     let trace = w.train(&cfg);
     let oracle = w.oracle(&trace);
-    let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(5).with_lambda(1e-2));
+    let out = ComFedSv::exact(5).with_lambda(1e-2).run(&oracle).unwrap();
     assert!(out.values.iter().all(|v| v.is_finite()));
-    let gt = ground_truth_valuation(&oracle);
+    let gt = ExactShapley.run(&oracle).unwrap();
     let rho = spearman_rho(&out.values, &gt).unwrap();
     assert!(rho > 0.5, "stochastic-trace pipeline quality {rho}");
 }
@@ -111,9 +108,9 @@ fn ground_truth_additivity_under_test_set_split() {
     let oracle_a = UtilityOracle::new(&trace, w.prototype.as_ref(), &test_a);
     let oracle_b = UtilityOracle::new(&trace, w.prototype.as_ref(), &test_b);
 
-    let s = ground_truth_valuation(&oracle_full);
-    let s1 = ground_truth_valuation(&oracle_a);
-    let s2 = ground_truth_valuation(&oracle_b);
+    let s = ExactShapley.run(&oracle_full).unwrap();
+    let s1 = ExactShapley.run(&oracle_a).unwrap();
+    let s2 = ExactShapley.run(&oracle_b).unwrap();
     for i in 0..w.num_clients() {
         let combined = 0.5 * (s1[i] + s2[i]);
         assert!(
@@ -140,22 +137,23 @@ fn comfedsv_approximate_additivity_under_test_set_split() {
     let test_b = w.test.subset(&second);
     let test_full = w.test.subset(&even);
 
-    let cfg = ComFedSvConfig::exact(5).with_lambda(1e-3);
-    let s = comfedsv_pipeline(
-        &UtilityOracle::new(&trace, w.prototype.as_ref(), &test_full),
-        &cfg,
-    )
-    .values;
-    let s1 = comfedsv_pipeline(
-        &UtilityOracle::new(&trace, w.prototype.as_ref(), &test_a),
-        &cfg,
-    )
-    .values;
-    let s2 = comfedsv_pipeline(
-        &UtilityOracle::new(&trace, w.prototype.as_ref(), &test_b),
-        &cfg,
-    )
-    .values;
+    let cfg = ComFedSv::exact(5).with_lambda(1e-3);
+    let s = cfg
+        .run(&UtilityOracle::new(
+            &trace,
+            w.prototype.as_ref(),
+            &test_full,
+        ))
+        .unwrap()
+        .values;
+    let s1 = cfg
+        .run(&UtilityOracle::new(&trace, w.prototype.as_ref(), &test_a))
+        .unwrap()
+        .values;
+    let s2 = cfg
+        .run(&UtilityOracle::new(&trace, w.prototype.as_ref(), &test_b))
+        .unwrap()
+        .values;
 
     let scale = s.iter().map(|v| v.abs()).fold(0.0_f64, f64::max).max(1e-12);
     for i in 0..w.num_clients() {
@@ -185,7 +183,7 @@ fn dirichlet_partition_feeds_the_pipeline() {
     // (empty datasets contribute a pure-regularization gradient).
     let trace = w.train(&FlConfig::new(4, 3, 0.2, 11));
     let oracle = w.oracle(&trace);
-    let out = comfedsv_pipeline(&oracle, &ComFedSvConfig::exact(4).with_lambda(1e-2));
+    let out = ComFedSv::exact(4).with_lambda(1e-2).run(&oracle).unwrap();
     assert_eq!(out.values.len(), 6);
     assert!(out.values.iter().all(|v| v.is_finite()));
 }

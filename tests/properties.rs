@@ -5,7 +5,7 @@
 use comfedsv::metrics::{jaccard_index, relative_difference, spearman_rho, Ecdf};
 use comfedsv::shapley::exact_shapley;
 use fedval_fl::Subset;
-use fedval_mc::{solve_als, AlsConfig, CompletionProblem};
+use fedval_mc::{AlsConfig, CompletionProblem, MatrixCompleter};
 use proptest::prelude::*;
 
 /// A random game over `n` players encoded as utilities per coalition
@@ -83,7 +83,12 @@ proptest! {
                 }
             }
         }
-        let (_, trace) = solve_als(&p, &AlsConfig::new(rank).with_lambda(0.1).with_max_iters(15));
+        let trace = AlsConfig::new(rank)
+            .with_lambda(0.1)
+            .with_max_iters(15)
+            .complete(&p)
+            .unwrap()
+            .objective_trace;
         for w in trace.windows(2) {
             prop_assert!(w[1] <= w[0] + 1e-7, "objective increased: {} -> {}", w[0], w[1]);
         }

@@ -181,7 +181,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed size or a `lo..hi` range.
+    /// Length specification for [`vec()`]: a fixed size or a `lo..hi` range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

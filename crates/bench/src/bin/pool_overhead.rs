@@ -1,0 +1,130 @@
+//! Pool-overhead benchmark: spawn-per-batch vs. the persistent pool.
+//!
+//! The workloads this workspace cares about are *many small batches*:
+//! TMC submits a few-cell utility column per prefix, ALS a row sweep per
+//! half-step, hundreds or thousands of times per valuation. This bench
+//! measures exactly that dispatch pattern on a synthetic microsecond-
+//! scale task — a batch of `CHUNKS` jobs, repeated `BATCHES` times —
+//! three ways:
+//!
+//! 1. `std::thread::scope`, spawning fresh OS threads per batch (what
+//!    `fedval_fl`/`fedval_mc` did before the `fedval_runtime` refactor);
+//! 2. [`Pool::global`] — the persistent worker pool (what they do now);
+//! 3. single-threaded inline, as the floor.
+//!
+//! Both parallel strategies compute identical results (asserted). On a
+//! multi-core host the pool's per-batch cost is queue-push + wakeup
+//! instead of thread create + join, which is the difference between the
+//! dispatch overhead rivaling the work and disappearing into it. On the
+//! single-core CI container absolute numbers compress, but the
+//! spawn-vs-enqueue gap is still visible.
+
+use fedval_bench::write_csv;
+use fedval_runtime::Pool;
+use std::time::Instant;
+
+/// One microsecond-scale work item, roughly the cost class of a small
+/// model's loss evaluation.
+fn work_item(seed: u64) -> f64 {
+    let mut acc = seed as f64 + 1.0;
+    for i in 0..200 {
+        acc = (acc + i as f64).sqrt() + 1.0;
+    }
+    acc
+}
+
+const BATCHES: usize = 2_000;
+const CHUNKS: usize = 4;
+
+fn run_spawn_per_batch() -> (f64, f64) {
+    let t0 = Instant::now();
+    let mut checksum = 0.0;
+    for batch in 0..BATCHES {
+        let mut out = [0.0f64; CHUNKS];
+        std::thread::scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(move || *slot = work_item((batch * CHUNKS + i) as u64));
+            }
+        });
+        checksum += out.iter().sum::<f64>();
+    }
+    (t0.elapsed().as_secs_f64(), checksum)
+}
+
+fn run_persistent_pool() -> (f64, f64) {
+    let pool = Pool::global();
+    let t0 = Instant::now();
+    let mut checksum = 0.0;
+    for batch in 0..BATCHES {
+        let mut out = [0.0f64; CHUNKS];
+        pool.scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(move || *slot = work_item((batch * CHUNKS + i) as u64));
+            }
+        });
+        checksum += out.iter().sum::<f64>();
+    }
+    (t0.elapsed().as_secs_f64(), checksum)
+}
+
+fn run_inline() -> (f64, f64) {
+    let t0 = Instant::now();
+    let mut checksum = 0.0;
+    for batch in 0..BATCHES {
+        // Same per-batch accumulation order as the parallel strategies,
+        // so the checksums are comparable bit-for-bit.
+        let mut out = [0.0f64; CHUNKS];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = work_item((batch * CHUNKS + i) as u64);
+        }
+        checksum += out.iter().sum::<f64>();
+    }
+    (t0.elapsed().as_secs_f64(), checksum)
+}
+
+fn main() {
+    println!(
+        "== pool overhead: {BATCHES} batches x {CHUNKS} jobs (pool: {} workers) ==",
+        Pool::global().threads()
+    );
+    println!("{:>18}  {:>12}  {:>14}", "strategy", "seconds", "us/batch");
+
+    let (inline_secs, inline_sum) = run_inline();
+    let (spawn_secs, spawn_sum) = run_spawn_per_batch();
+    let (pool_secs, pool_sum) = run_persistent_pool();
+    assert_eq!(
+        spawn_sum.to_bits(),
+        pool_sum.to_bits(),
+        "strategies must compute identical results"
+    );
+    assert_eq!(spawn_sum.to_bits(), inline_sum.to_bits());
+
+    let rows = [
+        ("inline", inline_secs),
+        ("spawn-per-batch", spawn_secs),
+        ("persistent-pool", pool_secs),
+    ];
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for (name, secs) in rows {
+        let per_batch_us = secs * 1e6 / BATCHES as f64;
+        println!("{name:>18}  {secs:>12.3}  {per_batch_us:>14.1}");
+        csv_rows.push(vec![
+            name.to_string(),
+            format!("{secs}"),
+            format!("{per_batch_us}"),
+        ]);
+    }
+    println!(
+        "\nper-batch dispatch saved by the pool: {:.1} us ({:.2}x)",
+        (spawn_secs - pool_secs) * 1e6 / BATCHES as f64,
+        spawn_secs / pool_secs.max(1e-12)
+    );
+    match write_csv(
+        "pool_overhead",
+        &["strategy", "seconds", "us_per_batch"],
+        &csv_rows,
+    ) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

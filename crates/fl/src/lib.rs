@@ -13,9 +13,10 @@
 //! selected subsets, and the server-side test losses. The
 //! [`utility::UtilityOracle`] then evaluates the paper's round utilities
 //! `U_t(S) = ℓ(w_t; D_c) − ℓ(mean_{k∈S} w^{t+1}_k; D_c)` — either one
-//! cell at a time, or (the fast path) as an [`EvalPlan`] batch spread
-//! across worker threads with per-worker scratch models. Evaluations are
-//! cached exactly-once and counted (the cost unit of the paper's Fig. 8).
+//! cell at a time, or (the fast path) as an [`EvalPlan`] batch submitted
+//! to the persistent `fedval_runtime` worker pool with per-worker
+//! scratch models and cooperative cancellation. Evaluations are cached
+//! exactly-once and counted (the cost unit of the paper's Fig. 8).
 //!
 //! * [`subset`] — bitmask-encoded client coalitions.
 //! * [`config`] — simulation configuration.

@@ -123,8 +123,10 @@ pub fn train_federated(
     }
 }
 
-/// Computes `w^{t+1}_i` for every client, in parallel across a small thread
-/// pool (one chunk of clients per thread).
+/// Computes `w^{t+1}_i` for every client, chunked across the persistent
+/// `fedval_runtime` pool with one scratch model per chunk. Each client's
+/// update depends only on its own data and the (fixed) global model, so
+/// results are bit-identical for any pool size.
 #[allow(clippy::too_many_arguments)]
 fn parallel_local_updates(
     prototype: &dyn Model,
@@ -136,15 +138,12 @@ fn parallel_local_updates(
     round_seed: u64,
 ) -> Vec<Vec<f64>> {
     let n = clients.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
-        .max(1);
-    let chunk = n.div_ceil(threads);
+    let pool = fedval_runtime::Pool::global();
+    let workers = pool.threads().min(n).max(1);
+    let chunk = n.div_ceil(workers);
     let mut out: Vec<Vec<f64>> = vec![Vec::new(); n];
 
-    std::thread::scope(|scope| {
+    pool.scope(|scope| {
         for (chunk_idx, out_chunk) in out.chunks_mut(chunk).enumerate() {
             let start = chunk_idx * chunk;
             scope.spawn(move || {

@@ -21,14 +21,20 @@
 //!    deduplicates cells and preserves first-insertion order, so callers
 //!    can also replay it to build downstream structures (e.g. a
 //!    completion problem) in a deterministic order.
-//! 2. **Parallel evaluate.** [`UtilityOracle::evaluate_plan`] partitions
-//!    the not-yet-evaluated cells across worker threads. Each worker
-//!    clones the model prototype once ([`Model::clone_model`] is a plain
-//!    deep copy of the flat parameter vector, so per-worker scratch
-//!    models are cheap) and writes each result into that cell's
-//!    write-once slot. Slots are `OnceLock`s: a cell is computed exactly
-//!    once no matter how many threads race on it, and reads after
-//!    initialization are lock-free.
+//! 2. **Parallel evaluate.** [`UtilityOracle::evaluate_plan`] submits
+//!    the not-yet-evaluated cells to a persistent
+//!    [`fedval_runtime::Pool`] in contiguous chunks — by default the
+//!    process-wide [`Pool::global`](fedval_runtime::Pool::global)
+//!    (sized by `FEDVAL_THREADS`), overridable per oracle with
+//!    [`UtilityOracle::with_pool`]. Each chunk clones the model
+//!    prototype once ([`Model::clone_model`] is a plain deep copy of
+//!    the flat parameter vector, so per-worker scratch models are
+//!    cheap) and writes each result into that cell's write-once slot.
+//!    Slots are `OnceLock`s: a cell is computed exactly once no matter
+//!    how many threads race on it, and reads after initialization are
+//!    lock-free. [`UtilityOracle::try_evaluate_plan`] is the
+//!    cancellable variant: a [`CancelToken`] is observed at cell
+//!    boundaries and abandons the rest of the batch.
 //! 3. **Read.** [`UtilityOracle::utility`] stays the single-cell API it
 //!    always was — now a thin shim over the result table. A cache miss
 //!    (a cell outside any evaluated plan) falls back to a serial
@@ -49,6 +55,7 @@ use crate::subset::Subset;
 use crate::trainer::TrainingTrace;
 use fedval_data::Dataset;
 use fedval_models::Model;
+use fedval_runtime::{CancelToken, Cancelled, PoolHandle};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -134,8 +141,10 @@ pub struct UtilityOracle<'a> {
     /// The result table: one write-once slot per evaluated cell.
     table: RwLock<HashMap<(usize, Subset), Cell>>,
     calls: AtomicU64,
-    /// Worker threads used by [`Self::evaluate_plan`].
-    parallelism: usize,
+    /// Which pool [`Self::evaluate_plan`] submits batches to.
+    pool: PoolHandle,
+    /// Optional cap on workers per batch; `None` uses the pool width.
+    parallelism: Option<usize>,
 }
 
 impl<'a> UtilityOracle<'a> {
@@ -161,14 +170,15 @@ impl<'a> UtilityOracle<'a> {
             base_losses,
             table: RwLock::new(HashMap::new()),
             calls: AtomicU64::new(calls),
-            parallelism: std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1),
+            pool: PoolHandle::Global,
+            parallelism: None,
         }
     }
 
-    /// Overrides the number of worker threads batch evaluation may use
+    /// Overrides the number of workers a batch may fan out to
     /// (`1` forces the serial path; used by the throughput benchmarks).
+    /// Chunks beyond the pool's width simply queue — the cap bounds
+    /// concurrency, not correctness.
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         self.set_parallelism(threads);
         self
@@ -176,12 +186,47 @@ impl<'a> UtilityOracle<'a> {
 
     /// See [`Self::with_parallelism`].
     pub fn set_parallelism(&mut self, threads: usize) {
-        self.parallelism = threads.max(1);
+        self.parallelism = Some(threads.max(1));
     }
 
-    /// Worker threads batch evaluation may use.
+    /// Worker cap for batch evaluation: the explicit override if one was
+    /// set, otherwise the width of the configured pool.
     pub fn parallelism(&self) -> usize {
-        self.parallelism
+        self.parallelism.unwrap_or_else(|| self.pool.threads())
+    }
+
+    /// Submits batches to `pool` instead of the process-wide
+    /// [`Pool::global`](fedval_runtime::Pool::global) — tests pin exact
+    /// pool sizes this way without perturbing the global pool.
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.set_pool(pool);
+        self
+    }
+
+    /// See [`Self::with_pool`].
+    pub fn set_pool(&mut self, pool: PoolHandle) {
+        self.pool = pool;
+    }
+
+    /// A fresh-cache clone of this oracle over the same trace, model
+    /// architecture, and test set: the per-round base losses are copied
+    /// (not recounted), the result table starts empty, and the call
+    /// counter starts at zero. Used by
+    /// `ValuationSession`'s isolated-runs mode so every method pays —
+    /// and reports — its full evaluation cost instead of drafting behind
+    /// an earlier method's cache.
+    pub fn isolated(&self) -> UtilityOracle<'a> {
+        UtilityOracle {
+            trace: self.trace,
+            test_data: self.test_data,
+            prototype: self.prototype.clone_model(),
+            scratch: Mutex::new(self.prototype.clone_model()),
+            base_losses: self.base_losses.clone(),
+            table: RwLock::new(HashMap::new()),
+            calls: AtomicU64::new(0),
+            pool: self.pool.clone(),
+            parallelism: self.parallelism,
+        }
     }
 
     /// The trace this oracle reads.
@@ -234,10 +279,28 @@ impl<'a> UtilityOracle<'a> {
     }
 
     /// Evaluates every planned cell that is not yet in the result table,
-    /// in parallel across [`Self::parallelism`] workers with per-worker
-    /// scratch models. Each cell is evaluated exactly once even when
-    /// plans overlap or other threads query concurrently.
+    /// in parallel across at most [`Self::parallelism`] chunks submitted
+    /// to the configured pool, with per-chunk scratch models. Each cell
+    /// is evaluated exactly once even when plans overlap or other
+    /// threads query concurrently.
     pub fn evaluate_plan(&self, plan: &EvalPlan) {
+        // A fresh token is never cancelled, so the batch cannot fail.
+        self.try_evaluate_plan(plan, &CancelToken::new())
+            .expect("fresh token is never cancelled");
+    }
+
+    /// [`Self::evaluate_plan`] with cooperative cancellation: `cancel`
+    /// is observed at cell boundaries, and once set the not-yet-started
+    /// remainder of the batch is abandoned and `Err(Cancelled)` is
+    /// returned. Cells evaluated before the cut stay in the table (they
+    /// are correct and write-once), so a retry resumes where the
+    /// cancelled batch stopped.
+    pub fn try_evaluate_plan(
+        &self,
+        plan: &EvalPlan,
+        cancel: &CancelToken,
+    ) -> Result<(), Cancelled> {
+        cancel.check()?;
         let pending: Vec<((usize, Subset), Cell)> = plan
             .cells()
             .iter()
@@ -246,41 +309,43 @@ impl<'a> UtilityOracle<'a> {
             .filter(|(_, slot)| slot.get().is_none())
             .collect();
         if pending.is_empty() {
-            return;
+            return Ok(());
         }
-        // Thread spawn + per-worker model clone costs tens of µs; on cheap
-        // models a loss evaluation is single-digit µs. Only fan out when
-        // each worker gets enough cells to amortize its setup — small
-        // batches (e.g. TMC's per-prefix T-cell columns) stay serial.
+        // A batch submission costs a queue push + wakeup and one model
+        // clone per chunk; on cheap models a loss evaluation is
+        // single-digit µs. Only fan out when each chunk gets enough
+        // cells to amortize that setup — small batches (e.g. TMC's
+        // per-prefix T-cell columns) stay serial.
         const MIN_CELLS_PER_WORKER: usize = 16;
-        let threads = self
-            .parallelism
+        let workers = self
+            .parallelism()
             .min(pending.len() / MIN_CELLS_PER_WORKER)
             .max(1);
-        if threads == 1 {
+        if workers == 1 {
             // Lock order must match `utility()` — slot first, scratch
             // inside the init closure — or a concurrent single-cell call
             // holding a slot while waiting for the scratch mutex would
             // deadlock against us holding scratch while waiting on the slot.
             for ((t, s), slot) in &pending {
+                cancel.check()?;
                 slot.get_or_init(|| {
                     let mut scratch = self.scratch.lock();
                     self.compute_cell(scratch.as_mut(), *t, *s)
                 });
             }
-            return;
+            // Trailing check mirrors the pooled path: cancellation during
+            // the final cell reports Cancelled regardless of pool size.
+            return cancel.check();
         }
-        let chunk = pending.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for work in pending.chunks(chunk) {
-                scope.spawn(move || {
-                    let mut model = self.prototype.clone_model();
-                    for ((t, s), slot) in work {
-                        slot.get_or_init(|| self.compute_cell(model.as_mut(), *t, *s));
-                    }
-                });
-            }
-        });
+        self.pool.get().for_each_init(
+            pending,
+            workers,
+            || self.prototype.clone_model(),
+            |model, ((t, s), slot)| {
+                slot.get_or_init(|| self.compute_cell(model.as_mut(), t, s));
+            },
+            Some(cancel),
+        )
     }
 
     /// The round utility `U_t(S)`. Empty coalitions produce no model, so

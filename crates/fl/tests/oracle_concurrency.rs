@@ -4,13 +4,67 @@
 //!    plans and single-cell queries, each distinct `(round, subset)` cell
 //!    is evaluated exactly once (`loss_evaluations()` equals the number
 //!    of distinct cells).
-//! 2. **Determinism**: values produced under contention are bit-identical
-//!    to a single-threaded run with the same seed.
+//! 2. **Determinism**: values produced under contention — and across
+//!    worker pools of any size — are bit-identical to a single-threaded
+//!    run with the same seed.
+//! 3. **Cancellation**: a cancelled batch stops at a cell boundary,
+//!    reports [`Cancelled`], and leaves already-evaluated cells valid.
+//!
+//! (The `std::thread::scope` uses below are the *test harness* hammering
+//! the oracle from many threads; the oracle itself routes all batch
+//! parallelism through `fedval_runtime::Pool`.)
 
 use fedval_data::Dataset;
 use fedval_fl::{train_federated, EvalPlan, FlConfig, Subset, UtilityOracle};
 use fedval_linalg::Matrix;
-use fedval_models::LogisticRegression;
+use fedval_models::{LogisticRegression, Model};
+use fedval_runtime::{CancelToken, Cancelled, Pool, PoolHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Test double: a model that cancels a [`CancelToken`] from inside its
+/// own `loss()` after a fixed number of evaluations (counted across all
+/// clones), pinning the cancellation to an exact cell boundary.
+struct CancellingModel {
+    inner: LogisticRegression,
+    calls: Arc<AtomicU64>,
+    trigger: u64,
+    token: CancelToken,
+}
+
+impl Model for CancellingModel {
+    fn params(&self) -> &[f64] {
+        self.inner.params()
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        self.inner.params_mut()
+    }
+
+    fn loss(&self, data: &Dataset) -> f64 {
+        if self.calls.fetch_add(1, Ordering::SeqCst) + 1 == self.trigger {
+            self.token.cancel();
+        }
+        self.inner.loss(data)
+    }
+
+    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+        self.inner.grad(data, out)
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        self.inner.predict(x)
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        Box::new(CancellingModel {
+            inner: self.inner.clone(),
+            calls: Arc::clone(&self.calls),
+            trigger: self.trigger,
+            token: self.token.clone(),
+        })
+    }
+}
 
 fn world(
     n: usize,
@@ -138,4 +192,112 @@ fn concurrent_column_prefetches_share_the_table() {
 
     // 31 subsets × 5 rounds distinct cells, each exactly once.
     assert_eq!(oracle.loss_evaluations(), 31 * 5);
+}
+
+#[test]
+fn valuations_bit_identical_across_pool_sizes_and_serial_path() {
+    let (trace, proto, test) = world(6, 4, 3);
+    let plan = full_plan(6, 4);
+    let distinct = plan.len() as u64;
+
+    // Pre-refactor serial reference: `with_parallelism(1)` takes the
+    // inline scratch-model loop — the code path that predates the pool.
+    let serial = UtilityOracle::new(&trace, &proto, &test).with_parallelism(1);
+    serial.reset_counter();
+    serial.evaluate_plan(&plan);
+    assert_eq!(serial.loss_evaluations(), distinct);
+
+    for pool_size in [1usize, 2, 4] {
+        let oracle = UtilityOracle::new(&trace, &proto, &test)
+            .with_pool(PoolHandle::owned(Pool::new(pool_size)));
+        assert_eq!(oracle.parallelism(), pool_size);
+        oracle.reset_counter();
+        oracle.evaluate_plan(&plan);
+        assert_eq!(
+            oracle.loss_evaluations(),
+            distinct,
+            "pool size {pool_size}: each distinct cell exactly once"
+        );
+        for &(t, s) in plan.cells() {
+            assert_eq!(
+                serial.utility(t, s).to_bits(),
+                oracle.utility(t, s).to_bits(),
+                "cell ({t}, {s:?}) diverged from the serial path at pool size {pool_size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancelled_batch_reports_cancelled_and_keeps_partial_results() {
+    let (trace, proto, test) = world(6, 4, 3);
+    let plan = full_plan(6, 4);
+
+    // Pre-cancelled: nothing is evaluated at all.
+    let oracle = UtilityOracle::new(&trace, &proto, &test);
+    oracle.reset_counter();
+    let token = CancelToken::new();
+    token.cancel();
+    assert_eq!(oracle.try_evaluate_plan(&plan, &token), Err(Cancelled));
+    assert_eq!(oracle.loss_evaluations(), 0);
+
+    // Cancelled mid-batch, deterministically: a wrapper model flips the
+    // token from inside its own `loss()` once a budget of evaluations is
+    // spent, so the cut lands at an exact cell boundary — the serial
+    // path must stop within one cell of it.
+    let budget = 7u64;
+    let token = CancelToken::new();
+    let wrapper = CancellingModel {
+        inner: proto.clone(),
+        // The oracle's constructor itself evaluates the 4 per-round base
+        // losses through this model; spend the budget after those.
+        calls: Arc::new(AtomicU64::new(0)),
+        trigger: 4 + budget,
+        token: token.clone(),
+    };
+    let oracle = UtilityOracle::new(&trace, &wrapper, &test).with_parallelism(1);
+    oracle.reset_counter();
+    assert_eq!(oracle.try_evaluate_plan(&plan, &token), Err(Cancelled));
+    let after_cancel = oracle.loss_evaluations();
+    assert_eq!(
+        after_cancel, budget,
+        "the batch stopped exactly one cell after the cancellation"
+    );
+
+    // Partial results are valid and a retry completes the remainder
+    // exactly once.
+    let fresh = CancelToken::new();
+    oracle.try_evaluate_plan(&plan, &fresh).unwrap();
+    assert_eq!(oracle.loss_evaluations(), plan.len() as u64);
+    let reference = UtilityOracle::new(&trace, &proto, &test).with_parallelism(1);
+    for &(t, s) in plan.cells() {
+        assert_eq!(
+            reference.utility(t, s).to_bits(),
+            oracle.utility(t, s).to_bits()
+        );
+    }
+}
+
+#[test]
+fn isolated_oracle_starts_with_an_empty_cache() {
+    let (trace, proto, test) = world(5, 3, 3);
+    let oracle = UtilityOracle::new(&trace, &proto, &test);
+    let plan = full_plan(5, 3);
+    oracle.reset_counter();
+    oracle.evaluate_plan(&plan);
+    let cost = oracle.loss_evaluations();
+    assert_eq!(cost, plan.len() as u64);
+
+    // The isolated clone re-pays the full cost and agrees bit-for-bit.
+    let iso = oracle.isolated();
+    assert_eq!(iso.loss_evaluations(), 0, "counter starts at zero");
+    iso.evaluate_plan(&plan);
+    assert_eq!(iso.loss_evaluations(), cost, "full cost paid again");
+    for &(t, s) in plan.cells() {
+        assert_eq!(oracle.utility(t, s).to_bits(), iso.utility(t, s).to_bits());
+    }
+    // Base losses were copied, not recounted.
+    for t in 0..3 {
+        assert_eq!(oracle.base_loss(t).to_bits(), iso.base_loss(t).to_bits());
+    }
 }

@@ -4,10 +4,13 @@
 //! sub-problem of objective (9)/(13) with the other factor fixed — so the
 //! objective is monotonically non-increasing, which the tests verify. Rows
 //! and columns are independent within a half-step and are solved in
-//! parallel.
+//! parallel through the persistent `fedval_runtime` pool (see
+//! `crate::parallel`), eliminating the per-sweep thread-spawn overhead
+//! the old scoped-thread implementation paid.
 
-use crate::completer::{check_finite, Completion, CompletionError, MatrixCompleter};
+use crate::completer::{check_finite, Completion, CompletionError, MatrixCompleter, SolveHooks};
 use crate::factors::Factors;
+use crate::parallel::pooled_rows;
 use crate::problem::CompletionProblem;
 use fedval_linalg::{cholesky, Matrix};
 use rand::rngs::StdRng;
@@ -66,7 +69,11 @@ impl MatrixCompleter for AlsConfig {
         "als"
     }
 
-    fn complete(&self, problem: &CompletionProblem) -> Result<Completion, CompletionError> {
+    fn complete_with(
+        &self,
+        problem: &CompletionProblem,
+        hooks: SolveHooks<'_>,
+    ) -> Result<Completion, CompletionError> {
         if self.rank == 0 {
             return Err(CompletionError::InvalidRank);
         }
@@ -76,7 +83,7 @@ impl MatrixCompleter for AlsConfig {
                 lambda: self.lambda,
             });
         }
-        let (factors, trace) = run_als(problem, self);
+        let (factors, trace) = run_als(problem, self, hooks)?;
         check_finite(self.name(), factors, trace)
     }
 }
@@ -96,7 +103,11 @@ pub fn solve_als(problem: &CompletionProblem, config: &AlsConfig) -> (Factors, V
 
 /// The ALS iteration itself; configuration validity is the caller's
 /// responsibility ([`MatrixCompleter::complete`] checks it).
-fn run_als(problem: &CompletionProblem, config: &AlsConfig) -> (Factors, Vec<f64>) {
+fn run_als(
+    problem: &CompletionProblem,
+    config: &AlsConfig,
+    mut hooks: SolveHooks<'_>,
+) -> Result<(Factors, Vec<f64>), CompletionError> {
     let t = problem.num_rows();
     let c = problem.num_cols();
     let r = config.rank;
@@ -123,25 +134,26 @@ fn run_als(problem: &CompletionProblem, config: &AlsConfig) -> (Factors, Vec<f64
     };
 
     let mut objective_trace = vec![factors.objective(problem, config.lambda)];
-    for _sweep in 0..config.max_iters {
+    for sweep in 0..config.max_iters {
+        hooks.check()?;
         half_step_rows(problem, &mut factors, config.lambda);
         half_step_cols(problem, &mut factors, config.lambda);
         let obj = factors.objective(problem, config.lambda);
         let prev = *objective_trace.last().expect("non-empty");
         objective_trace.push(obj);
+        hooks.sweep(sweep + 1, obj);
         if prev - obj <= config.tol * prev.abs().max(1e-12) {
             break;
         }
     }
-    (factors, objective_trace)
+    Ok((factors, objective_trace))
 }
 
 /// Solves every row of `W` given fixed `H`.
 fn half_step_rows(problem: &CompletionProblem, factors: &mut Factors, lambda: f64) {
     let r = factors.rank();
     let h = factors.h.clone();
-    let rows: Vec<usize> = (0..problem.num_rows()).collect();
-    parallel_for(&rows, &mut factors.w, |&row, out| {
+    pooled_rows(factors.w.as_mut_slice(), r, |row, out| {
         let entry_ids = problem.row_entries(row);
         solve_one(problem, &h, entry_ids, lambda, r, Side::Row, out);
     });
@@ -151,8 +163,7 @@ fn half_step_rows(problem: &CompletionProblem, factors: &mut Factors, lambda: f6
 fn half_step_cols(problem: &CompletionProblem, factors: &mut Factors, lambda: f64) {
     let r = factors.rank();
     let w = factors.w.clone();
-    let cols: Vec<usize> = (0..problem.num_cols()).collect();
-    parallel_for(&cols, &mut factors.h, |&col, out| {
+    pooled_rows(factors.h.as_mut_slice(), r, |col, out| {
         let entry_ids = problem.col_entries(col);
         solve_one(problem, &w, entry_ids, lambda, r, Side::Col, out);
     });
@@ -192,34 +203,6 @@ fn solve_one(
     let solution =
         cholesky::ridge_solve(&design, &rhs, lambda).expect("ridge system is SPD for lambda > 0");
     out.copy_from_slice(&solution);
-}
-
-/// Applies `f` to every item, writing into the corresponding row of `target`
-/// in parallel chunks.
-fn parallel_for<T: Sync>(items: &[T], target: &mut Matrix, f: impl Fn(&T, &mut [f64]) + Sync) {
-    let n = items.len();
-    if n == 0 {
-        return;
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
-        .max(1);
-    let cols = target.cols();
-    let chunk_rows = n.div_ceil(threads);
-    let data = target.as_mut_slice();
-    std::thread::scope(|scope| {
-        for (chunk_idx, data_chunk) in data.chunks_mut(chunk_rows * cols).enumerate() {
-            let start = chunk_idx * chunk_rows;
-            let f = &f;
-            scope.spawn(move || {
-                for (local, out_row) in data_chunk.chunks_mut(cols).enumerate() {
-                    f(&items[start + local], out_row);
-                }
-            });
-        }
-    });
 }
 
 #[cfg(test)]

@@ -7,9 +7,16 @@
 //! 1-D ridge minimizer. Like ALS it monotonically decreases the objective;
 //! unlike ALS it needs no linear solves, so its per-sweep cost is linear
 //! in the number of observations.
+//!
+//! The scalar updates within one rank dimension are independent across
+//! rows (resp. columns) — each reads only the residuals and the *other*
+//! factor's column — so large sweeps fan those loops out across the
+//! persistent `fedval_runtime` pool (see `crate::parallel`) exactly
+//! like the ALS half-steps, staying bit-identical to the serial order.
 
-use crate::completer::{check_finite, Completion, CompletionError, MatrixCompleter};
+use crate::completer::{check_finite, Completion, CompletionError, MatrixCompleter, SolveHooks};
 use crate::factors::Factors;
+use crate::parallel::pooled_rows;
 use crate::problem::CompletionProblem;
 use fedval_linalg::Matrix;
 use rand::rngs::StdRng;
@@ -64,7 +71,11 @@ impl MatrixCompleter for CcdConfig {
         "ccd"
     }
 
-    fn complete(&self, problem: &CompletionProblem) -> Result<Completion, CompletionError> {
+    fn complete_with(
+        &self,
+        problem: &CompletionProblem,
+        hooks: SolveHooks<'_>,
+    ) -> Result<Completion, CompletionError> {
         if self.rank == 0 {
             return Err(CompletionError::InvalidRank);
         }
@@ -74,7 +85,7 @@ impl MatrixCompleter for CcdConfig {
                 lambda: self.lambda,
             });
         }
-        let (factors, trace) = run_ccd(problem, self);
+        let (factors, trace) = run_ccd(problem, self, hooks)?;
         check_finite(self.name(), factors, trace)
     }
 }
@@ -94,7 +105,11 @@ pub fn solve_ccd(problem: &CompletionProblem, config: &CcdConfig) -> (Factors, V
 
 /// The CCD++ iteration itself; configuration validity is the caller's
 /// responsibility ([`MatrixCompleter::complete`] checks it).
-fn run_ccd(problem: &CompletionProblem, config: &CcdConfig) -> (Factors, Vec<f64>) {
+fn run_ccd(
+    problem: &CompletionProblem,
+    config: &CcdConfig,
+    mut hooks: SolveHooks<'_>,
+) -> Result<(Factors, Vec<f64>), CompletionError> {
     let t = problem.num_rows();
     let c = problem.num_cols();
     let r = config.rank;
@@ -124,37 +139,59 @@ fn run_ccd(problem: &CompletionProblem, config: &CcdConfig) -> (Factors, Vec<f64
         .map(|&(row, col, v)| v - factors.predict(row, col))
         .collect();
 
+    // Per-dimension scratch columns: the factor matrices are row-major,
+    // so the pooled per-row/per-column updates write into these
+    // contiguous buffers and are scattered back into column `k`.
+    let mut wk = vec![0.0; t];
+    let mut hk = vec![0.0; c];
+
     let mut objective_trace = vec![objective(problem, &factors, &residuals, config.lambda)];
-    for _sweep in 0..config.max_iters {
+    for sweep in 0..config.max_iters {
+        hooks.check()?;
         for k in 0..r {
             // Fold dimension k back into the residual: r̂_e = r_e + w_tk h_ck.
             for (e, &(row, col, _)) in problem.entries().iter().enumerate() {
                 residuals[e] += factors.w.get(row, k) * factors.h.get(col, k);
             }
             for _inner in 0..config.inner_iters {
-                // Update column k of W: 1-D ridge per row.
-                for row in 0..t {
-                    let mut num = 0.0;
-                    let mut den = config.lambda;
-                    for &e in problem.row_entries(row) {
-                        let (_, col, _) = problem.entries()[e];
-                        let h = factors.h.get(col, k);
-                        num += residuals[e] * h;
-                        den += h * h;
-                    }
-                    factors.w.set(row, k, num / den);
+                // Update column k of W: 1-D ridge per row. Rows read only
+                // the residuals and H, so they fan out across the pool.
+                {
+                    let h = &factors.h;
+                    let residuals = &residuals;
+                    pooled_rows(&mut wk, 1, |row, out| {
+                        let mut num = 0.0;
+                        let mut den = config.lambda;
+                        for &e in problem.row_entries(row) {
+                            let (_, col, _) = problem.entries()[e];
+                            let hv = h.get(col, k);
+                            num += residuals[e] * hv;
+                            den += hv * hv;
+                        }
+                        out[0] = num / den;
+                    });
+                }
+                for (row, &v) in wk.iter().enumerate() {
+                    factors.w.set(row, k, v);
                 }
                 // Update column k of H: 1-D ridge per column.
-                for col in 0..c {
-                    let mut num = 0.0;
-                    let mut den = config.lambda;
-                    for &e in problem.col_entries(col) {
-                        let (row, _, _) = problem.entries()[e];
-                        let w = factors.w.get(row, k);
-                        num += residuals[e] * w;
-                        den += w * w;
-                    }
-                    factors.h.set(col, k, num / den);
+                {
+                    let w = &factors.w;
+                    let residuals = &residuals;
+                    pooled_rows(&mut hk, 1, |col, out| {
+                        let mut num = 0.0;
+                        let mut den = config.lambda;
+                        for &e in problem.col_entries(col) {
+                            let (row, _, _) = problem.entries()[e];
+                            let wv = w.get(row, k);
+                            num += residuals[e] * wv;
+                            den += wv * wv;
+                        }
+                        out[0] = num / den;
+                    });
+                }
+                for (col, &v) in hk.iter().enumerate() {
+                    factors.h.set(col, k, v);
                 }
             }
             // Subtract the refreshed rank-one term from the residual.
@@ -165,6 +202,7 @@ fn run_ccd(problem: &CompletionProblem, config: &CcdConfig) -> (Factors, Vec<f64
         let obj = objective(problem, &factors, &residuals, config.lambda);
         let prev = *objective_trace.last().expect("non-empty");
         objective_trace.push(obj);
+        hooks.sweep(sweep + 1, obj);
         if prev - obj <= config.tol * prev.abs().max(1e-12) {
             break;
         }
@@ -179,7 +217,7 @@ fn run_ccd(problem: &CompletionProblem, config: &CcdConfig) -> (Factors, Vec<f64
         }
     }
 
-    (factors, objective_trace)
+    Ok((factors, objective_trace))
 }
 
 fn objective(

@@ -19,6 +19,7 @@
 
 use crate::factors::Factors;
 use crate::problem::CompletionProblem;
+use fedval_runtime::{CancelToken, Cancelled};
 use std::fmt;
 
 /// Typed failure modes of a completion solve.
@@ -41,6 +42,9 @@ pub enum CompletionError {
         /// Sweep/epoch index at which the objective first left ℝ.
         sweep: usize,
     },
+    /// The solve was cancelled through the [`SolveHooks`] cancel token
+    /// before it converged (observed at sweep boundaries).
+    Cancelled,
 }
 
 impl fmt::Display for CompletionError {
@@ -53,11 +57,67 @@ impl fmt::Display for CompletionError {
             CompletionError::SolverDiverged { solver, sweep } => {
                 write!(f, "{solver} solver diverged at sweep {sweep}")
             }
+            CompletionError::Cancelled => write!(f, "completion solve was cancelled"),
         }
     }
 }
 
 impl std::error::Error for CompletionError {}
+
+impl From<Cancelled> for CompletionError {
+    fn from(_: Cancelled) -> Self {
+        CompletionError::Cancelled
+    }
+}
+
+/// Per-solve observation and cancellation hooks threaded through
+/// [`MatrixCompleter::complete_with`].
+///
+/// The default value ([`SolveHooks::new`]) observes nothing and never
+/// cancels — [`MatrixCompleter::complete`] is exactly
+/// `complete_with(problem, SolveHooks::new())`.
+#[derive(Default)]
+pub struct SolveHooks<'a> {
+    on_sweep: Option<&'a mut dyn FnMut(usize, f64)>,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl<'a> SolveHooks<'a> {
+    /// No observer, no cancellation.
+    pub fn new() -> Self {
+        SolveHooks::default()
+    }
+
+    /// Calls `observer(sweep_index, objective)` after every completed
+    /// sweep/epoch (`sweep_index` counts from 1; the post-init objective
+    /// is not reported — it is `objective_trace[0]` in the result).
+    pub fn with_on_sweep(mut self, observer: &'a mut dyn FnMut(usize, f64)) -> Self {
+        self.on_sweep = Some(observer);
+        self
+    }
+
+    /// Observes `cancel` at sweep boundaries; a cancelled solve returns
+    /// [`CompletionError::Cancelled`] instead of partial factors.
+    pub fn with_cancel(mut self, cancel: &'a CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Reports one finished sweep to the observer (no-op without one).
+    pub(crate) fn sweep(&mut self, index: usize, objective: f64) {
+        if let Some(observer) = self.on_sweep.as_mut() {
+            observer(index, objective);
+        }
+    }
+
+    /// `Err(Cancelled)` once the token (if any) is cancelled.
+    pub(crate) fn check(&self) -> Result<(), CompletionError> {
+        match self.cancel {
+            Some(token) => token.check().map_err(CompletionError::from),
+            None => Ok(()),
+        }
+    }
+}
 
 /// A solved completion: the `(W, H)` factor pair plus the objective value
 /// after initialization and after every sweep (the "residual trajectory"
@@ -80,7 +140,18 @@ pub trait MatrixCompleter: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Solves `problem`, returning factors and the objective trajectory.
-    fn complete(&self, problem: &CompletionProblem) -> Result<Completion, CompletionError>;
+    fn complete(&self, problem: &CompletionProblem) -> Result<Completion, CompletionError> {
+        self.complete_with(problem, SolveHooks::new())
+    }
+
+    /// [`Self::complete`] with per-sweep observation and cooperative
+    /// cancellation — the valuation layer bridges its progress stream
+    /// and cancel token through these hooks.
+    fn complete_with(
+        &self,
+        problem: &CompletionProblem,
+        hooks: SolveHooks<'_>,
+    ) -> Result<Completion, CompletionError>;
 }
 
 /// Shared post-solve check: a non-finite objective anywhere in the
@@ -160,6 +231,60 @@ mod tests {
             Err(CompletionError::SolverDiverged { solver: "sgd", .. }) => {}
             other => panic!("expected divergence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sweep_observer_sees_every_epoch() {
+        let p = tiny_problem();
+        let mut sweeps: Vec<(usize, f64)> = Vec::new();
+        let mut observer = |i: usize, obj: f64| sweeps.push((i, obj));
+        let c = AlsConfig::new(2)
+            .complete_with(&p, SolveHooks::new().with_on_sweep(&mut observer))
+            .unwrap();
+        // One event per post-init trajectory entry, indices from 1, and
+        // the reported objectives are exactly the trajectory.
+        assert_eq!(sweeps.len(), c.objective_trace.len() - 1);
+        for (k, &(i, obj)) in sweeps.iter().enumerate() {
+            assert_eq!(i, k + 1);
+            assert_eq!(obj.to_bits(), c.objective_trace[k + 1].to_bits());
+        }
+    }
+
+    #[test]
+    fn cancelled_solve_is_a_typed_error() {
+        use fedval_runtime::CancelToken;
+        let p = tiny_problem();
+        let token = CancelToken::new();
+        token.cancel();
+        for s in [
+            &AlsConfig::new(2) as &dyn MatrixCompleter,
+            &CcdConfig::new(2),
+            &SgdConfig::new(2),
+        ] {
+            assert_eq!(
+                s.complete_with(&p, SolveHooks::new().with_cancel(&token))
+                    .unwrap_err(),
+                CompletionError::Cancelled,
+                "{}",
+                s.name()
+            );
+        }
+        // Cancelling from the sweep observer stops at the next boundary
+        // (SGD runs a fixed epoch budget, so the cut point is exact).
+        let token = CancelToken::new();
+        let mut seen = 0usize;
+        let mut observer = |_: usize, _: f64| {
+            seen += 1;
+            if seen == 2 {
+                token.cancel();
+            }
+        };
+        let hooks = SolveHooks::new()
+            .with_on_sweep(&mut observer)
+            .with_cancel(&token);
+        let err = SgdConfig::new(2).with_epochs(10).complete_with(&p, hooks);
+        assert_eq!(err.unwrap_err(), CompletionError::Cancelled);
+        assert_eq!(seen, 2, "solve stopped within one epoch of cancellation");
     }
 
     #[test]

@@ -36,15 +36,16 @@ pub mod als;
 pub mod ccd;
 pub mod completer;
 pub mod factors;
+mod parallel;
 pub mod problem;
 pub mod sgd;
 
 pub use als::AlsConfig;
 pub use ccd::CcdConfig;
-pub use completer::{Completion, CompletionError, MatrixCompleter};
+pub use completer::{Completion, CompletionError, MatrixCompleter, SolveHooks};
 pub use factors::Factors;
 pub use problem::CompletionProblem;
-pub use sgd::SgdConfig;
+pub use sgd::{SgdConfig, StepSchedule};
 
 // Deprecated free-function surface, kept for downstream compatibility.
 #[allow(deprecated)]

@@ -1,0 +1,97 @@
+//! Cooperative cancellation for batch work.
+//!
+//! A [`CancelToken`] is a cheaply cloneable flag shared between the
+//! party driving a long computation (a valuation session, a CLI handler)
+//! and the layers doing the work (the worker pool, the utility oracle,
+//! the completion solvers). Cancellation is *cooperative*: setting the
+//! flag never interrupts an item mid-flight; workers observe it at item
+//! boundaries and abandon the rest of their batch, so a cancelled run
+//! stops within at most one work item per worker.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable cancellation flag.
+///
+/// All clones observe the same flag; once [`cancel`](CancelToken::cancel)
+/// has been called the token stays cancelled forever (make a new token
+/// for a new run).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`cancel`](CancelToken::cancel) has been called on any
+    /// clone of this token.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// `Err(Cancelled)` once cancelled — the form batch loops use
+    /// (`token.check()?`).
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The unit error a cancelled batch reports. Higher layers convert it
+/// into their own error vocabulary (e.g.
+/// `ValuationError::Cancelled` in `fedval_shapley`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "the run was cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.check(), Ok(()));
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(Cancelled));
+        // Idempotent.
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        std::thread::spawn(move || c.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

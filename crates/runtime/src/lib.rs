@@ -1,0 +1,43 @@
+//! Shared execution layer for the valuation stack.
+//!
+//! Every hot path in this workspace — the utility oracle's batch
+//! evaluation in `fedval_fl`, the ALS/CCD row and column sub-solves in
+//! `fedval_mc`, and the permutation walks driven by `fedval_shapley` —
+//! has the same shape: many small, independent work items whose results
+//! land in pre-determined slots. Before this crate each of those sites
+//! paid a fresh `std::thread::scope` spawn per batch; with batches of a
+//! few dozen microsecond-scale items (the TMC pattern), spawn and join
+//! overhead rivaled the work itself.
+//!
+//! # The plan → submit → join discipline
+//!
+//! 1. **Plan.** The caller collects its work items up front (an
+//!    `EvalPlan` of utility cells, the rows of a factor half-step, …).
+//!    Each item carries — or indexes — its own output slot, so result
+//!    placement is deterministic no matter which worker runs it or in
+//!    what order.
+//! 2. **Submit.** The batch is split into contiguous chunks and pushed
+//!    onto a persistent [`Pool`] — either the process-wide
+//!    [`Pool::global`] (sized by the `FEDVAL_THREADS` environment
+//!    variable, falling back to the hardware parallelism) or an owned
+//!    [`Pool::new`] for tests that need a specific size. Workers park
+//!    between batches instead of being respawned; each chunk may
+//!    initialize per-worker scratch state (e.g. a cloned model) once.
+//! 3. **Join.** The submitting thread waits for its batch — helping to
+//!    drain the queue while it waits, so a one-worker pool still makes
+//!    progress when the caller blocks — and only then reads the results.
+//!    A [`CancelToken`] is checked at item boundaries: cancellation
+//!    abandons the not-yet-started remainder of the batch and surfaces
+//!    as [`Cancelled`].
+//!
+//! Determinism contract: the pool never changes *what* is computed, only
+//! *where*. Work items must write to disjoint (or write-once) slots and
+//! must not depend on execution order; under that contract, results are
+//! bit-identical across pool sizes, which the consuming crates assert in
+//! their tests.
+
+pub mod cancel;
+pub mod pool;
+
+pub use cancel::{CancelToken, Cancelled};
+pub use pool::{Pool, PoolHandle, Scope};

@@ -1,0 +1,633 @@
+//! The persistent worker pool.
+//!
+//! Workers are spawned once — when the pool is created — and park on a
+//! condition variable between batches, so submitting a batch costs a
+//! queue push and a wakeup instead of a `std::thread::spawn` per chunk.
+//! Two entry points cover the workspace's needs:
+//!
+//! * [`Pool::scope`] — structured borrowing like `std::thread::scope`:
+//!   spawned closures may borrow the caller's stack, and the scope joins
+//!   every spawn (propagating panics) before returning.
+//! * [`Pool::for_each_init`] — the chunked batch API the utility oracle
+//!   and the solvers use: items are split into contiguous chunks, each
+//!   chunk initializes per-worker scratch state once, and an optional
+//!   [`CancelToken`] is observed at item boundaries.
+//!
+//! While a submitting thread waits for its batch it *helps*: it pops and
+//! runs queued jobs instead of blocking, so a pool is never a deadlock
+//! risk for its own callers and a 1-worker pool on a 1-core host behaves
+//! like the old inline loop.
+
+use crate::cancel::{CancelToken, Cancelled};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of queued work.
+///
+/// Jobs are `'static` from the queue's point of view; [`Scope::spawn`]
+/// is the only producer and guarantees (by joining before its borrows
+/// end) that the erasure is sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide pool backing [`Pool::global`].
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    queue: Mutex<QueueState>,
+    /// Signalled when a job is pushed or shutdown begins.
+    work_available: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Shared {
+    fn push(&self, job: Job) {
+        let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        state.jobs.push_back(job);
+        drop(state);
+        self.work_available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        state.jobs.pop_front()
+    }
+
+    /// Blocking pop for workers; `None` means shutdown.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self
+                .work_available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A persistent pool of worker threads.
+///
+/// Construct a sized pool with [`Pool::new`] (tests, benchmarks) or use
+/// the lazily initialized process-wide [`Pool::global`]. Owned pools
+/// shut their workers down on drop; the global pool lives for the whole
+/// process.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns a pool with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fedval-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.pop() {
+                            // Jobs are panic-wrapped by `Scope::spawn`;
+                            // nothing to catch here.
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// The process-wide pool, created on first use.
+    ///
+    /// Its size is the `FEDVAL_THREADS` environment variable when that
+    /// parses as a single positive integer (comma-separated lists — the
+    /// `oracle_throughput` benchmark's sweep syntax — are ignored here),
+    /// otherwise the hardware parallelism.
+    pub fn global() -> &'static Pool {
+        GLOBAL.get_or_init(|| Pool::new(global_threads()))
+    }
+
+    /// The width [`Pool::global`] has — or will have when first used —
+    /// *without* forcing its construction, so purely-serial workloads
+    /// that only consult the width never spawn the worker threads.
+    pub fn global_width() -> usize {
+        match GLOBAL.get() {
+            Some(pool) => pool.threads(),
+            None => global_threads(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowed closures can be
+    /// spawned; joins every spawn (running queued jobs on this thread
+    /// while waiting) before returning. Panics from spawned jobs are
+    /// propagated here, after all sibling jobs have finished.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            tracker: Arc::new(Tracker::default()),
+            _env: std::marker::PhantomData,
+        };
+        // Join even when `f` itself panics: spawned jobs still borrow
+        // the caller's stack and must finish before we unwind past it.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        self.wait(&scope.tracker);
+        let job_panic = scope.tracker.take_panic();
+        match (result, job_panic) {
+            (Err(payload), _) => resume_unwind(payload),
+            (_, Some(payload)) => resume_unwind(payload),
+            (Ok(value), None) => value,
+        }
+    }
+
+    /// The chunked batch primitive: splits `items` into at most
+    /// `max_workers` contiguous chunks, runs each chunk as one pool job
+    /// that calls `init()` once (per-worker scratch state) and then
+    /// `work(&mut scratch, item)` per item, and joins the batch.
+    ///
+    /// `cancel` is observed before every item; once cancelled, the
+    /// not-yet-started remainder of every chunk is abandoned and the
+    /// call returns [`Cancelled`]. Items must write their results into
+    /// slots they own or that are write-once — under that contract the
+    /// outcome is bit-identical for every `max_workers`, including the
+    /// inline `max_workers == 1` fast path.
+    pub fn for_each_init<T, S>(
+        &self,
+        items: Vec<T>,
+        max_workers: usize,
+        init: impl Fn() -> S + Sync,
+        work: impl Fn(&mut S, T) + Sync,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Cancelled>
+    where
+        T: Send,
+    {
+        let check = |c: Option<&CancelToken>| c.map_or(Ok(()), CancelToken::check);
+        check(cancel)?;
+        if items.is_empty() {
+            return Ok(());
+        }
+        let workers = max_workers.min(items.len()).max(1);
+        if workers == 1 {
+            let mut scratch = init();
+            for item in items {
+                check(cancel)?;
+                work(&mut scratch, item);
+            }
+            // Trailing check, matching the parallel path below: a token
+            // cancelled during the final item reports Cancelled for
+            // every pool size.
+            return check(cancel);
+        }
+        let chunk_len = items.len().div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        self.scope(|scope| {
+            for chunk in chunks {
+                let init = &init;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    for item in chunk {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
+                        work(&mut scratch, item);
+                    }
+                });
+            }
+        });
+        check(cancel)
+    }
+
+    /// Waits for `tracker` to reach zero pending jobs, running queued
+    /// jobs on the calling thread while any are available.
+    fn wait(&self, tracker: &Tracker) {
+        loop {
+            if tracker.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if let Some(job) = self.shared.try_pop() {
+                job();
+                continue;
+            }
+            // Queue empty, jobs still in flight on workers: block until
+            // the tracker signals completion. No new jobs for this
+            // tracker can appear (only this thread spawns into it).
+            let mut done = tracker.done.lock().unwrap_or_else(|e| e.into_inner());
+            while tracker.pending.load(Ordering::Acquire) != 0 {
+                done = tracker
+                    .completed
+                    .wait(done)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            return;
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.shutdown = true;
+        }
+        self.shared.work_available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Per-batch bookkeeping: pending-job count, completion signal, and the
+/// first panic payload (re-raised by [`Pool::scope`]).
+#[derive(Default)]
+struct Tracker {
+    pending: AtomicUsize,
+    done: Mutex<()>,
+    completed: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Tracker {
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        if let Some(payload) = panic {
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+        // Hold the completion lock across the decrement so a waiter
+        // cannot observe pending != 0, miss this notify, and sleep.
+        let guard = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.completed.notify_all();
+        }
+        drop(guard);
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+/// A batch scope tied to a [`Pool`]; created by [`Pool::scope`].
+///
+/// The `'env` lifetime plays the same role as in `std::thread::scope`:
+/// spawned closures may borrow anything that outlives the `scope` call.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool Pool,
+    tracker: Arc<Tracker>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Queues `job` on the pool. The closure may borrow from `'env`; the
+    /// enclosing [`Pool::scope`] call joins it before those borrows end.
+    /// A panicking job is recorded and re-raised by `scope` after the
+    /// whole batch has drained.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
+        self.tracker.pending.fetch_add(1, Ordering::AcqRel);
+        let tracker = Arc::clone(&self.tracker);
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(job));
+            tracker.complete(outcome.err());
+        });
+        // SAFETY: the job borrows at most `'env` data. `Pool::scope`
+        // always waits for the tracker to drain — on success *and* on
+        // unwind — before returning, so the closure finishes (on a
+        // worker or on the waiting thread itself) strictly before any
+        // `'env` borrow can expire. Erasing the lifetime only changes
+        // what the queue's type says, not when the job actually runs.
+        let erased: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                wrapped,
+            )
+        };
+        self.pool.shared.push(erased);
+    }
+
+    /// Number of worker threads in the owning pool (chunking hint).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+/// Which pool a component submits to: the process-wide singleton or an
+/// owned instance (tests pin sizes with owned pools without perturbing
+/// the global one).
+#[derive(Clone, Default)]
+pub enum PoolHandle {
+    /// Use [`Pool::global`].
+    #[default]
+    Global,
+    /// Use a shared owned pool.
+    Owned(Arc<Pool>),
+}
+
+impl PoolHandle {
+    /// Wraps an owned pool.
+    pub fn owned(pool: Pool) -> Self {
+        PoolHandle::Owned(Arc::new(pool))
+    }
+
+    /// The pool this handle designates.
+    pub fn get(&self) -> &Pool {
+        match self {
+            PoolHandle::Global => Pool::global(),
+            PoolHandle::Owned(pool) => pool,
+        }
+    }
+
+    /// Worker-thread count of the designated pool. For
+    /// [`PoolHandle::Global`] this does not force pool construction
+    /// (see [`Pool::global_width`]).
+    pub fn threads(&self) -> usize {
+        match self {
+            PoolHandle::Global => Pool::global_width(),
+            PoolHandle::Owned(pool) => pool.threads(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolHandle::Global => write!(f, "PoolHandle::Global({} threads)", self.threads()),
+            PoolHandle::Owned(p) => write!(f, "PoolHandle::Owned({} threads)", p.threads()),
+        }
+    }
+}
+
+/// Size of [`Pool::global`]: `FEDVAL_THREADS` when it is a single
+/// positive integer, else the hardware parallelism.
+fn global_threads() -> usize {
+    if let Ok(spec) = std::env::var("FEDVAL_THREADS") {
+        if let Ok(n) = spec.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn scope_runs_every_spawn_and_joins() {
+        let pool = Pool::new(3);
+        let counter = AtomicU64::new(0);
+        pool.scope(|scope| {
+            for _ in 0..100 {
+                let counter = &counter;
+                scope.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_spawns_may_borrow_locals() {
+        let pool = Pool::new(2);
+        let input = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut output = vec![0u64; input.len()];
+        pool.scope(|scope| {
+            for (out, chunk) in output.chunks_mut(2).zip(input.chunks(2)) {
+                scope.spawn(move || {
+                    for (o, i) in out.iter_mut().zip(chunk) {
+                        *o = i * 10;
+                    }
+                });
+            }
+        });
+        assert_eq!(output, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn workers_are_reused_across_batches() {
+        let pool = Pool::new(2);
+        let ids = Mutex::new(HashSet::<ThreadId>::new());
+        let caller = std::thread::current().id();
+        for _ in 0..50 {
+            pool.scope(|scope| {
+                for _ in 0..4 {
+                    let ids = &ids;
+                    scope.spawn(move || {
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                    });
+                }
+            });
+        }
+        // 200 jobs ran on at most the 2 workers plus the helping caller:
+        // the pool persists; nothing was respawned per batch.
+        let ids = ids.into_inner().unwrap();
+        let worker_ids: Vec<_> = ids.iter().filter(|&&id| id != caller).collect();
+        assert!(
+            worker_ids.len() <= 2,
+            "expected at most 2 distinct worker threads, saw {}",
+            worker_ids.len()
+        );
+    }
+
+    #[test]
+    fn panics_propagate_after_the_batch_drains() {
+        let pool = Pool::new(2);
+        let finished = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("boom"));
+                for _ in 0..10 {
+                    let finished = &finished;
+                    scope.spawn(move || {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "job panic must surface from scope()");
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            10,
+            "sibling jobs still ran to completion"
+        );
+        // The pool survives a panicked batch.
+        let ok = AtomicU64::new(0);
+        pool.scope(|scope| {
+            let ok = &ok;
+            scope.spawn(move || {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn for_each_init_places_results_deterministically() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&i| (i as u64) * 3 + 1).collect();
+        for workers in [1, 2, 4, 7] {
+            let pool = Pool::new(workers);
+            let out: Vec<OnceLock<u64>> = (0..items.len()).map(|_| OnceLock::new()).collect();
+            let inits = AtomicU64::new(0);
+            pool.for_each_init(
+                items.clone(),
+                workers,
+                || inits.fetch_add(1, Ordering::Relaxed),
+                |_, i| {
+                    out[i].set((i as u64) * 3 + 1).unwrap();
+                },
+                None,
+            )
+            .unwrap();
+            let got: Vec<u64> = out.iter().map(|c| *c.get().unwrap()).collect();
+            assert_eq!(got, expect, "workers={workers}");
+            assert!(
+                inits.load(Ordering::Relaxed) <= workers as u64,
+                "scratch initialized once per chunk at most"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_init_observes_cancellation() {
+        let pool = Pool::new(2);
+        // Pre-cancelled: nothing runs at all.
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicU64::new(0);
+        let err = pool.for_each_init(
+            vec![(); 64],
+            2,
+            || (),
+            |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            },
+            Some(&token),
+        );
+        assert_eq!(err, Err(Cancelled));
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+
+        // Cancelled mid-batch: the remainder is abandoned.
+        let token = CancelToken::new();
+        let ran = AtomicU64::new(0);
+        let cancel_after = 5u64;
+        let err = pool.for_each_init(
+            vec![(); 10_000],
+            1, // inline path: deterministic item order
+            || (),
+            |_, _| {
+                if ran.fetch_add(1, Ordering::Relaxed) + 1 == cancel_after {
+                    token.cancel();
+                }
+            },
+            Some(&token),
+        );
+        assert_eq!(err, Err(Cancelled));
+        assert_eq!(ran.load(Ordering::Relaxed), cancel_after);
+    }
+
+    #[test]
+    fn single_worker_pool_does_not_deadlock_when_caller_waits() {
+        // The caller helps drain the queue, so even a 1-worker pool
+        // processes a batch wider than itself.
+        let pool = Pool::new(1);
+        let counter = AtomicU64::new(0);
+        pool.scope(|scope| {
+            for _ in 0..32 {
+                let counter = &counter;
+                scope.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        // Width is observable before construction and consistent after.
+        let width = Pool::global_width();
+        assert!(width >= 1);
+        let a = Pool::global() as *const Pool;
+        let b = Pool::global() as *const Pool;
+        assert_eq!(a, b);
+        assert_eq!(Pool::global().threads(), width);
+        assert_eq!(Pool::global_width(), width);
+        assert_eq!(PoolHandle::Global.get() as *const Pool, a);
+        assert_eq!(PoolHandle::Global.threads(), width);
+    }
+
+    #[test]
+    fn concurrent_scopes_share_one_pool() {
+        let pool = Arc::new(Pool::new(2));
+        let total = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        pool.scope(|scope| {
+                            for _ in 0..8 {
+                                let total = &total;
+                                scope.spawn(move || {
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 20 * 8);
+    }
+}

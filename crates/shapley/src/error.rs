@@ -75,6 +75,11 @@ pub enum ValuationError {
         /// Clients the method valued.
         valued: usize,
     },
+    /// The run was cancelled through its
+    /// [`CancelToken`](fedval_runtime::CancelToken) (e.g. via
+    /// [`ValuationSession::cancel_handle`](crate::session::ValuationSession::cancel_handle))
+    /// before it finished. No partial values are returned.
+    Cancelled,
 }
 
 impl fmt::Display for ValuationError {
@@ -112,6 +117,7 @@ impl fmt::Display for ValuationError {
                 "ground-truth reference covers {reference} clients but the \
                  valuation covers {valued}; it must come from the same world"
             ),
+            ValuationError::Cancelled => write!(f, "the valuation run was cancelled"),
         }
     }
 }
@@ -127,7 +133,18 @@ impl std::error::Error for ValuationError {
 
 impl From<CompletionError> for ValuationError {
     fn from(e: CompletionError) -> Self {
-        ValuationError::Completion(e)
+        match e {
+            // A cancelled solve is the run's cancellation, not a solver
+            // failure — surface it uniformly.
+            CompletionError::Cancelled => ValuationError::Cancelled,
+            other => ValuationError::Completion(other),
+        }
+    }
+}
+
+impl From<fedval_runtime::Cancelled> for ValuationError {
+    fn from(_: fedval_runtime::Cancelled) -> Self {
+        ValuationError::Cancelled
     }
 }
 
@@ -162,6 +179,14 @@ mod tests {
         );
         let e: ValuationError = OracleError::EmptyTrace.into();
         assert_eq!(e, ValuationError::EmptyTrace);
+    }
+
+    #[test]
+    fn cancellation_converts_from_every_layer() {
+        let e: ValuationError = fedval_runtime::Cancelled.into();
+        assert_eq!(e, ValuationError::Cancelled);
+        let e: ValuationError = CompletionError::Cancelled.into();
+        assert_eq!(e, ValuationError::Cancelled, "not wrapped as Completion");
     }
 
     #[test]

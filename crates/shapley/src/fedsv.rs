@@ -56,9 +56,10 @@ impl FedSv {
 
     /// Values every client; dispatches to the configured estimator.
     pub fn run(&self, oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
+        let mut ctx = RunContext::new();
         match &self.sampling {
-            None => try_fedsv(oracle),
-            Some(cfg) => Ok(try_fedsv_monte_carlo(oracle, cfg)?.0),
+            None => try_fedsv(oracle, &mut ctx),
+            Some(cfg) => Ok(try_fedsv_monte_carlo(oracle, cfg, &mut ctx)?.0),
         }
     }
 }
@@ -80,13 +81,13 @@ impl Valuator for FedSv {
         let (values, permutations_used) = match &self.sampling {
             None => {
                 ctx.emit(self.name(), "enumerate per-round cohorts");
-                (try_fedsv(oracle)?, 0)
+                (try_fedsv(oracle, ctx)?, 0)
             }
             Some(cfg) => {
                 let mut cfg = cfg.clone();
                 cfg.seed = ctx.seed_or(cfg.seed);
                 ctx.emit(self.name(), "sample per-round permutations");
-                try_fedsv_monte_carlo(oracle, &cfg)?
+                try_fedsv_monte_carlo(oracle, &cfg, ctx)?
             }
         };
         Ok(ValuationReport {
@@ -113,14 +114,17 @@ impl Valuator for FedSv {
     note = "use `FedSv::exact().run(oracle)` (or drive it as a `Valuator` through a `ValuationSession`)"
 )]
 pub fn fedsv(oracle: &UtilityOracle<'_>) -> Vec<f64> {
-    match try_fedsv(oracle) {
+    match try_fedsv(oracle, &mut RunContext::new()) {
         Ok(values) => values,
         Err(e) => panic!("{e}"),
     }
 }
 
 /// Fallible exact FedSV (see [`FedSv::exact`]).
-fn try_fedsv(oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
+fn try_fedsv(
+    oracle: &UtilityOracle<'_>,
+    ctx: &mut RunContext<'_>,
+) -> Result<Vec<f64>, ValuationError> {
     let n = oracle.num_clients();
     if oracle.num_rounds() == 0 {
         return Err(ValuationError::EmptyTrace);
@@ -140,7 +144,7 @@ fn try_fedsv(oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
         }
         plan.add_subsets_of(t, cohort);
     }
-    oracle.evaluate_plan(&plan);
+    oracle.try_evaluate_plan(&plan, ctx.cancel_token())?;
     let mut values = vec![0.0; n];
     for t in 0..oracle.num_rounds() {
         let cohort = oracle.trace().selected(t);
@@ -166,7 +170,7 @@ fn try_fedsv(oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
     note = "use `FedSv::monte_carlo(config).run(oracle)` (or drive it as a `Valuator` through a `ValuationSession`)"
 )]
 pub fn fedsv_monte_carlo(oracle: &UtilityOracle<'_>, config: &FedSvConfig) -> Vec<f64> {
-    match try_fedsv_monte_carlo(oracle, config) {
+    match try_fedsv_monte_carlo(oracle, config, &mut RunContext::new()) {
         Ok((values, _)) => values,
         Err(e) => panic!("{e}"),
     }
@@ -174,10 +178,13 @@ pub fn fedsv_monte_carlo(oracle: &UtilityOracle<'_>, config: &FedSvConfig) -> Ve
 
 /// Fallible Monte-Carlo FedSV (see [`FedSv::monte_carlo`]); the second
 /// element is the number of permutations actually walked (the adaptive
-/// `⌈K ln K⌉ + 1` default makes it data-dependent).
+/// `⌈K ln K⌉ + 1` default makes it data-dependent). Emits one
+/// permutation-level progress event per walked permutation and observes
+/// the context's cancellation token at permutation and batch boundaries.
 fn try_fedsv_monte_carlo(
     oracle: &UtilityOracle<'_>,
     config: &FedSvConfig,
+    ctx: &mut RunContext<'_>,
 ) -> Result<(Vec<f64>, usize), ValuationError> {
     let n = oracle.num_clients();
     if oracle.num_rounds() == 0 {
@@ -216,22 +223,25 @@ fn try_fedsv_monte_carlo(
             plan.add_prefixes(*t, perm);
         }
     }
-    oracle.evaluate_plan(&plan);
+    oracle.try_evaluate_plan(&plan, ctx.cancel_token())?;
 
     // Accumulate marginals in the original serial order — every read is
     // now a table hit, and the float sums are bit-identical.
+    let total: usize = per_round.iter().map(|(_, perms)| perms.len()).sum();
     let mut values = vec![0.0; n];
     let mut walked = 0usize;
     for (t, perms) in &per_round {
         let inv_m = 1.0 / perms.len() as f64;
-        walked += perms.len();
         for perm in perms {
+            ctx.check_cancelled()?;
             let mut prefix = Subset::EMPTY;
             for &i in perm {
                 let marginal = oracle.marginal(*t, prefix, i);
                 values[i] += marginal * inv_m;
                 prefix = prefix.with(i);
             }
+            walked += 1;
+            ctx.emit_permutation("fedsv-mc", walked, total);
         }
     }
     Ok((values, walked))

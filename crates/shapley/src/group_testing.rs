@@ -53,6 +53,14 @@ impl GroupTesting {
     /// Requires `n ≥ 2`. Returns values satisfying the balance equation
     /// `Σ_i s_i = U(I)` exactly (it is imposed during recovery).
     pub fn run(&self, oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
+        self.run_inner(oracle, &mut RunContext::new())
+    }
+
+    fn run_inner(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<Vec<f64>, ValuationError> {
         let n = oracle.num_clients();
         if n < 2 {
             return Err(ValuationError::NotEnoughClients { clients: n, min: 2 });
@@ -63,7 +71,7 @@ impl GroupTesting {
         if oracle.num_rounds() == 0 {
             return Err(ValuationError::EmptyTrace);
         }
-        Ok(run_group_testing(oracle, self))
+        run_group_testing(oracle, self, ctx)
     }
 }
 
@@ -81,7 +89,7 @@ impl Valuator for GroupTesting {
         cfg.seed = ctx.seed_or(self.seed);
         let before = oracle.loss_evaluations();
         ctx.emit(self.name(), "sample coalitions");
-        let values = cfg.run(oracle)?;
+        let values = cfg.run_inner(oracle, ctx)?;
         Ok(ValuationReport {
             method: self.name(),
             values,
@@ -107,7 +115,11 @@ pub fn group_testing_shapley(oracle: &UtilityOracle<'_>, config: &GroupTesting) 
 
 /// The sampling and recovery core; configuration validity is
 /// [`GroupTesting::run`]'s responsibility.
-fn run_group_testing(oracle: &UtilityOracle<'_>, config: &GroupTesting) -> Vec<f64> {
+fn run_group_testing(
+    oracle: &UtilityOracle<'_>,
+    config: &GroupTesting,
+    ctx: &mut RunContext<'_>,
+) -> Result<Vec<f64>, ValuationError> {
     let n = oracle.num_clients();
     // Harmonic size distribution over k = 1..N-1.
     let weights: Vec<f64> = (1..n)
@@ -139,7 +151,7 @@ fn run_group_testing(oracle: &UtilityOracle<'_>, config: &GroupTesting) -> Vec<f
         plan.add_column(rounds, Subset::from_indices(members));
     }
     plan.add_column(rounds, Subset::full(n));
-    oracle.evaluate_plan(&plan);
+    oracle.try_evaluate_plan(&plan, ctx.cancel_token())?;
 
     // Accumulate b_i = Σ_t U(S_t) β_ti and the sum of utilities, from
     // which every pairwise difference is (z / T)(b_i − b_j).
@@ -158,9 +170,9 @@ fn run_group_testing(oracle: &UtilityOracle<'_>, config: &GroupTesting) -> Vec<f
     // s_i = U(I)/N + scale (b_i − mean(b)).
     let grand = oracle.total_utility(Subset::full(n));
     let mean_b: f64 = b.iter().sum::<f64>() / n as f64;
-    b.iter()
+    Ok(b.iter()
         .map(|&bi| grand / n as f64 + scale * (bi - mean_b))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

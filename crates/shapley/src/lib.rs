@@ -79,7 +79,12 @@ pub use pipeline::{ComFedSv, CompletionSolver, EstimatorKind, ExactShapley, Valu
 pub use session::{MethodDefaults, ValuationSession, ValuationSessionBuilder};
 pub use theory::{path_length, prop1_rank_bound, prop2_rank_bound};
 pub use tmc::{Tmc, TmcOutput};
-pub use valuator::{Diagnostics, ProgressEvent, RunContext, ValuationReport, Valuator};
+pub use valuator::{Diagnostics, Progress, ProgressEvent, RunContext, ValuationReport, Valuator};
+
+// The cancellation vocabulary comes from the shared execution layer;
+// re-exported so session users need not depend on `fedval_runtime`
+// directly.
+pub use fedval_runtime::CancelToken;
 
 // Deprecated free-function/alias surface, kept for downstream
 // compatibility; see MIGRATION.md at the workspace root.

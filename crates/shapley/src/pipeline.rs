@@ -15,7 +15,9 @@ use crate::exact::exact_shapley_unchecked;
 use crate::valuator::{Diagnostics, RunContext, ValuationReport, Valuator};
 use crate::MAX_EXACT_CLIENTS;
 use fedval_fl::{EvalPlan, Subset, UtilityOracle};
-use fedval_mc::{AlsConfig, CcdConfig, CompletionProblem, Factors, MatrixCompleter, SgdConfig};
+use fedval_mc::{
+    AlsConfig, CcdConfig, CompletionProblem, Factors, MatrixCompleter, SgdConfig, SolveHooks,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -180,6 +182,19 @@ impl ComFedSv {
         oracle: &UtilityOracle<'_>,
         completer: &dyn MatrixCompleter,
     ) -> Result<ValuationOutput, ValuationError> {
+        self.run_inner(oracle, completer, &mut RunContext::new())
+    }
+
+    /// The pipeline body under an explicit [`RunContext`]: observation
+    /// batches honor the cancellation token, and the completion solve
+    /// reports sweep-level progress through the context (bridged via
+    /// [`SolveHooks`]).
+    fn run_inner(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        completer: &dyn MatrixCompleter,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<ValuationOutput, ValuationError> {
         let n = oracle.num_clients();
         let t = oracle.num_rounds();
         if t == 0 {
@@ -200,7 +215,7 @@ impl ComFedSv {
                 for round in 0..t {
                     plan.add_subsets_of(round, oracle.trace().selected(round));
                 }
-                oracle.evaluate_plan(&plan);
+                oracle.try_evaluate_plan(&plan, ctx.cancel_token())?;
                 let mut problem = CompletionProblem::new(t);
                 problem.add_observations(
                     plan.cells()
@@ -212,7 +227,7 @@ impl ComFedSv {
                 for bits in 1..(1u64 << n) {
                     problem.ensure_column(bits);
                 }
-                let completion = completer.complete(&problem)?;
+                let completion = complete_with_context(self.name(), completer, &problem, ctx)?;
                 let values = comfedsv_from_factors(&completion.factors, &problem, n);
                 Ok(ValuationOutput {
                     values,
@@ -260,7 +275,7 @@ impl ComFedSv {
                         }
                     }
                 }
-                oracle.evaluate_plan(&plan);
+                oracle.try_evaluate_plan(&plan, ctx.cancel_token())?;
                 let mut problem = CompletionProblem::new(t);
                 for &p in &prefixes {
                     problem.ensure_column(p.bits());
@@ -271,7 +286,7 @@ impl ComFedSv {
                         .map(|&(round, p)| (round, p.bits(), oracle.utility(round, p))),
                 );
 
-                let completion = completer.complete(&problem)?;
+                let completion = complete_with_context(self.name(), completer, &problem, ctx)?;
                 let values = comfedsv_monte_carlo(&completion.factors, &problem, n, &permutations);
                 Ok(ValuationOutput {
                     values,
@@ -302,7 +317,10 @@ impl Valuator for ComFedSv {
         cfg.seed = ctx.seed_or(self.seed);
         let before = oracle.loss_evaluations();
         ctx.emit(self.name(), "observe + complete + value");
-        let out = cfg.run(oracle)?;
+        let completer = cfg
+            .solver
+            .completer(cfg.rank, cfg.lambda, cfg.als_max_iters, cfg.seed);
+        let out = cfg.run_inner(oracle, completer.as_ref(), ctx)?;
         Ok(ValuationReport {
             method: self.name(),
             values: out.values,
@@ -316,6 +334,26 @@ impl Valuator for ComFedSv {
     }
 }
 
+/// Runs a completion solve with the context's cancel token and a
+/// sweep-progress bridge: every solver sweep/epoch surfaces as a
+/// [`Progress::Sweep`](crate::valuator::Progress::Sweep) event on the
+/// context's callback.
+fn complete_with_context(
+    method: &str,
+    completer: &dyn MatrixCompleter,
+    problem: &CompletionProblem,
+    ctx: &mut RunContext<'_>,
+) -> Result<fedval_mc::Completion, ValuationError> {
+    let token = ctx.cancel_token().clone();
+    let mut on_sweep = |index: usize, objective: f64| ctx.emit_sweep(method, index, objective);
+    let hooks = SolveHooks::new()
+        .with_on_sweep(&mut on_sweep)
+        .with_cancel(&token);
+    completer
+        .complete_with(problem, hooks)
+        .map_err(ValuationError::from)
+}
+
 /// The exact-Shapley ground-truth valuation as a
 /// [`Valuator`] strategy: equation (14)
 /// evaluated from the *full* utility matrix (exponential — gated to
@@ -327,6 +365,14 @@ impl ExactShapley {
     /// The ground-truth valuation of every client (classical Shapley
     /// value of the summed utility `U(S) = Σ_t U_t(S)`).
     pub fn run(&self, oracle: &UtilityOracle<'_>) -> Result<Vec<f64>, ValuationError> {
+        self.run_inner(oracle, &mut RunContext::new())
+    }
+
+    fn run_inner(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<Vec<f64>, ValuationError> {
         let n = oracle.num_clients();
         if n == 0 {
             return Err(ValuationError::NotEnoughClients { clients: 0, min: 1 });
@@ -349,7 +395,7 @@ impl ExactShapley {
         for round in 0..oracle.num_rounds() {
             plan.add_subsets_of(round, Subset::full(n));
         }
-        oracle.evaluate_plan(&plan);
+        oracle.try_evaluate_plan(&plan, ctx.cancel_token())?;
         Ok(exact_shapley_unchecked(n, |s| oracle.total_utility(s)))
     }
 }
@@ -366,7 +412,7 @@ impl Valuator for ExactShapley {
     ) -> Result<ValuationReport, ValuationError> {
         let before = oracle.loss_evaluations();
         ctx.emit(self.name(), "evaluate full utility grid");
-        let values = self.run(oracle)?;
+        let values = self.run_inner(oracle, ctx)?;
         Ok(ValuationReport {
             method: self.name(),
             values,
@@ -595,14 +641,14 @@ mod tests {
                 t.last().unwrap()
             );
         }
-        // Same objective, same λ: SGD must land within an order of
-        // magnitude of the ALS optimum (its decayed steps stall a little
-        // above the exact ridge solves).
+        // Same objective, same λ: with the adaptive-backoff schedule SGD
+        // must land within ~2× of the ALS optimum (the old unconditional
+        // decay stalled an order of magnitude above it).
         let als_final = *als.objective_trace.last().unwrap();
         let sgd_final = *sgd.objective_trace.last().unwrap();
         assert!(
-            sgd_final <= 10.0 * als_final.max(1e-12),
-            "SGD objective {sgd_final} far above ALS {als_final}"
+            sgd_final <= 2.0 * als_final.max(1e-12),
+            "SGD objective {sgd_final} not within 2x of ALS {als_final}"
         );
         let rho = fedval_metrics::spearman_rho(&sgd.values, &als.values).unwrap();
         assert!(rho > 0.6, "SGD vs ALS pipeline agreement {rho}");

@@ -46,6 +46,7 @@ use crate::pipeline::{ComFedSv, CompletionSolver, EstimatorKind, ExactShapley};
 use crate::tmc::Tmc;
 use crate::valuator::{ProgressEvent, RunContext, ValuationReport, Valuator};
 use fedval_fl::UtilityOracle;
+use fedval_runtime::CancelToken;
 
 /// Hyper-parameter defaults the built-in registry hands to each method.
 #[derive(Debug, Clone)]
@@ -99,6 +100,7 @@ pub struct ValuationSessionBuilder {
     seed: Option<u64>,
     progress: Option<ProgressSink>,
     ground_truth: Option<Vec<f64>>,
+    isolated_runs: bool,
     extra: Vec<(String, Factory)>,
 }
 
@@ -160,9 +162,24 @@ impl ValuationSessionBuilder {
         self
     }
 
-    /// Progress callback invoked by methods at stage boundaries.
+    /// Progress callback invoked by methods at stage boundaries and —
+    /// for the Monte-Carlo walks and the completion solvers — at
+    /// permutation/sweep granularity (see
+    /// [`Progress`](crate::valuator::Progress)).
     pub fn progress(mut self, callback: impl FnMut(ProgressEvent<'_>) + 'static) -> Self {
         self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Gives every run its own fresh oracle cache
+    /// ([`UtilityOracle::isolated`]), so each method's
+    /// `cells_evaluated` is its full standalone cost rather than "new
+    /// cells the previous methods happened not to need" — the stable
+    /// per-method accounting Fig.-8-style comparisons want. Costs more
+    /// wall clock (shared cells are re-evaluated per method); values are
+    /// unchanged either way.
+    pub fn isolated_runs(mut self, isolated: bool) -> Self {
+        self.isolated_runs = isolated;
         self
     }
 
@@ -231,6 +248,7 @@ impl ValuationSessionBuilder {
                         permutations: d.permutations,
                         truncation_tol: d.truncation_tol,
                         seed: d.seed,
+                        ..Tmc::default()
                     }) as Box<dyn Valuator>
                 }),
             ),
@@ -256,6 +274,8 @@ impl ValuationSessionBuilder {
             seed: self.seed,
             progress: self.progress,
             ground_truth: self.ground_truth,
+            isolated_runs: self.isolated_runs,
+            cancel: CancelToken::new(),
             registry,
         }
     }
@@ -269,6 +289,8 @@ pub struct ValuationSession {
     seed: Option<u64>,
     progress: Option<ProgressSink>,
     ground_truth: Option<Vec<f64>>,
+    isolated_runs: bool,
+    cancel: CancelToken,
     registry: Vec<(String, Factory)>,
 }
 
@@ -280,8 +302,39 @@ impl ValuationSession {
             seed: None,
             progress: None,
             ground_truth: None,
+            isolated_runs: false,
             extra: Vec::new(),
         }
+    }
+
+    /// A handle that cancels this session's runs: every run shares the
+    /// session's [`CancelToken`], so calling
+    /// [`cancel`](CancelToken::cancel) on the returned clone — from a
+    /// progress callback, another thread, a signal handler — makes the
+    /// in-flight method stop at its next permutation/sweep/batch
+    /// boundary and return [`ValuationError::Cancelled`]. The token
+    /// stays cancelled (subsequent runs also report `Cancelled`) until
+    /// [`reset_cancelled`](ValuationSession::reset_cancelled).
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Replaces a cancelled session's token so new runs can proceed.
+    /// Handles returned by earlier
+    /// [`cancel_handle`](ValuationSession::cancel_handle) calls keep
+    /// pointing at the old token.
+    pub fn reset_cancelled(&mut self) {
+        self.cancel = CancelToken::new();
+    }
+
+    /// See [`ValuationSessionBuilder::isolated_runs`].
+    pub fn set_isolated_runs(&mut self, isolated: bool) {
+        self.isolated_runs = isolated;
+    }
+
+    /// Whether runs currently get a fresh oracle cache.
+    pub fn isolated_runs(&self) -> bool {
+        self.isolated_runs
     }
 
     /// The registered method keys, in registration order.
@@ -309,16 +362,20 @@ impl ValuationSession {
     }
 
     /// Runs an explicit valuator with this session's seed, progress
-    /// callback, and ground-truth comparison.
+    /// callback, cancellation token, ground-truth comparison, and —
+    /// when [`isolated_runs`](ValuationSessionBuilder::isolated_runs)
+    /// is set — a fresh oracle cache.
     pub fn run_valuator(
         &mut self,
         valuator: &dyn Valuator,
         oracle: &UtilityOracle<'_>,
     ) -> Result<ValuationReport, ValuationError> {
-        let mut ctx = RunContext::new();
+        let mut ctx = RunContext::new().with_cancel(self.cancel.clone());
         if let Some(seed) = self.seed {
             ctx = ctx.with_seed(seed);
         }
+        let isolated = self.isolated_runs.then(|| oracle.isolated());
+        let oracle = isolated.as_ref().unwrap_or(oracle);
         let mut report = match self.progress.as_mut() {
             Some(cb) => valuator.value(oracle, &mut ctx.with_progress(&mut **cb))?,
             None => valuator.value(oracle, &mut ctx)?,
@@ -487,6 +544,130 @@ mod tests {
         };
         assert_eq!(run_with_seed(9), run_with_seed(9));
         assert_ne!(run_with_seed(9), run_with_seed(10));
+    }
+
+    #[test]
+    fn cancel_handle_stops_a_tmc_run_mid_walk() {
+        use crate::valuator::Progress;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (trace, proto, test) = world(7);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        let events: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&events);
+        // The callback wants the session's cancel handle, which only
+        // exists after build: hand it over through a shared cell.
+        let handle_cell: Rc<RefCell<Option<fedval_runtime::CancelToken>>> =
+            Rc::new(RefCell::new(None));
+        let handle_for_callback = Rc::clone(&handle_cell);
+        let mut session = ValuationSession::builder()
+            .permutations(300)
+            .seed(5)
+            .progress(move |e| {
+                if let Progress::Permutation { index, .. } = e.progress {
+                    sink.borrow_mut().push(index);
+                    if index == 2 {
+                        if let Some(handle) = handle_for_callback.borrow().as_ref() {
+                            handle.cancel();
+                        }
+                    }
+                }
+            })
+            .build();
+        *handle_cell.borrow_mut() = Some(session.cancel_handle());
+        let err = session.run("tmc", &oracle).unwrap_err();
+        assert_eq!(err, ValuationError::Cancelled);
+        assert_eq!(
+            *events.borrow(),
+            vec![1, 2],
+            "permutation-level events flowed and the walk stopped within one"
+        );
+        // The token stays set: the next run reports Cancelled too…
+        assert_eq!(
+            session.run("tmc", &oracle).unwrap_err(),
+            ValuationError::Cancelled
+        );
+        // …until the session is reset.
+        session.reset_cancelled();
+        events.borrow_mut().clear();
+        assert!(session.run("fedsv", &oracle).is_ok());
+    }
+
+    #[test]
+    fn isolated_runs_make_per_method_cost_stable() {
+        let (trace, proto, test) = world(8);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        // Shared cache: the second method drafts behind the first, so its
+        // reported cost understates its standalone cost.
+        let mut shared = ValuationSession::builder().rank(3).seed(2).build();
+        let exact_shared = shared.run("exact", &oracle).unwrap();
+        let fedsv_shared = shared.run("fedsv", &oracle).unwrap();
+
+        // Isolated: every run pays — and reports — its full cost, equal to
+        // what a standalone run against a fresh oracle would report.
+        let mut isolated = ValuationSession::builder()
+            .rank(3)
+            .seed(2)
+            .isolated_runs(true)
+            .build();
+        let exact_iso = isolated.run("exact", &oracle).unwrap();
+        let fedsv_iso = isolated.run("fedsv", &oracle).unwrap();
+        let fedsv_standalone = {
+            let fresh = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+            let mut s = ValuationSession::builder().rank(3).seed(2).build();
+            s.run("fedsv", &fresh).unwrap()
+        };
+        assert_eq!(
+            fedsv_iso.diagnostics.cells_evaluated, fedsv_standalone.diagnostics.cells_evaluated,
+            "isolated cost equals standalone cost"
+        );
+        assert!(
+            fedsv_shared.diagnostics.cells_evaluated < fedsv_iso.diagnostics.cells_evaluated,
+            "shared-cache cost {} must understate the isolated cost {}",
+            fedsv_shared.diagnostics.cells_evaluated,
+            fedsv_iso.diagnostics.cells_evaluated
+        );
+        // Values are identical either way; only the accounting differs.
+        assert_eq!(exact_shared.values, exact_iso.values);
+        assert_eq!(fedsv_shared.values, fedsv_iso.values);
+        // And the caller's oracle cache was left untouched by the
+        // isolated runs beyond what the shared session already put there.
+        assert_eq!(
+            exact_shared.diagnostics.cells_evaluated,
+            exact_iso.diagnostics.cells_evaluated
+        );
+    }
+
+    #[test]
+    fn run_all_reuses_the_pool_across_calls() {
+        // Two consecutive run_all sweeps over one session: the second
+        // reuses both the oracle cache and the persistent global pool.
+        // (Worker persistence itself is asserted in fedval_runtime; here
+        // we pin the cross-call behavioral contract: identical values,
+        // zero re-evaluation.)
+        let (trace, proto, test) = world(9);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        let mut session = ValuationSession::builder()
+            .rank(3)
+            .permutations(25)
+            .seed(4)
+            .build();
+        let first = session.run_all(&oracle);
+        let evals_after_first = oracle.loss_evaluations();
+        let second = session.run_all(&oracle);
+        assert_eq!(
+            oracle.loss_evaluations(),
+            evals_after_first,
+            "second sweep is served entirely from the result table"
+        );
+        for ((name_a, a), (name_b, b)) in first.iter().zip(&second) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(
+                a.as_ref().unwrap().values,
+                b.as_ref().unwrap().values,
+                "{name_a}: pool reuse must not perturb values"
+            );
+        }
     }
 
     #[test]

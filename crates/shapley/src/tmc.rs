@@ -9,18 +9,25 @@
 //! contributions are treated as zero and the (expensive) utility calls for
 //! them are skipped.
 //!
-//! Truncation makes the walk inherently adaptive — which cells are needed
-//! depends on values already computed — so unlike the other estimators
-//! this one cannot pre-plan its whole workload. The best it can do is
-//! column granularity: each prefix's `T` round-utilities are submitted as
-//! one batch, which fans out across workers only when `T` is large
-//! enough to amortize thread setup (the engine keeps short columns —
-//! including every bundled quick/default profile — on its serial path).
-//! Speculative cross-permutation batching is a ROADMAP item.
+//! Truncation makes the walk inherently adaptive — which cells are
+//! needed depends on values already computed — so a strictly lazy walk
+//! degenerates into many tiny per-prefix batches that never saturate a
+//! worker pool. This implementation instead *speculates*: the RNG
+//! stream never depends on utility values, so all permutations are
+//! drawn up front and the first [`Tmc::speculation`] prefix columns of
+//! every permutation are planned as **one** cross-permutation
+//! [`EvalPlan`] batch, evaluated in parallel on the persistent
+//! `fedval_runtime` pool. The walk itself then runs off table hits,
+//! checking cancellation and emitting a permutation-level progress
+//! event per permutation. Speculation never changes the estimate (the
+//! accumulation order is untouched); it can only evaluate cells that
+//! truncation would have skipped — at most the truncated tail of each
+//! permutation — which is the price of keeping the workers busy. Set
+//! `speculation: 0` to recover the strictly lazy per-column batching.
 
 use crate::error::ValuationError;
 use crate::valuator::{Diagnostics, RunContext, ValuationReport, Valuator};
-use fedval_fl::{Subset, UtilityOracle};
+use fedval_fl::{EvalPlan, Subset, UtilityOracle};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -35,6 +42,11 @@ pub struct Tmc {
     /// Truncate a permutation once
     /// `|U(I) − U(prefix)| ≤ tol · |U(I)|`.
     pub truncation_tol: f64,
+    /// How many leading prefixes of every permutation are speculatively
+    /// planned as one cross-permutation batch (clamped to `N`; the
+    /// default `usize::MAX` speculates whole permutations, wasting at
+    /// most each truncated tail; `0` disables speculation).
+    pub speculation: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -48,6 +60,7 @@ impl Default for Tmc {
         Tmc {
             permutations: 100,
             truncation_tol: 0.01,
+            speculation: usize::MAX,
             seed: 0,
         }
     }
@@ -67,6 +80,19 @@ impl Tmc {
     /// [`TmcOutput`]; the [`Valuator`] impl wraps this into a
     /// [`ValuationReport`].
     pub fn run(&self, oracle: &UtilityOracle<'_>) -> Result<TmcOutput, ValuationError> {
+        self.run_with(oracle, &mut RunContext::new())
+    }
+
+    /// [`Tmc::run`] under an explicit [`RunContext`]: honors its
+    /// cancellation token (permutation-level, plus cell-level inside
+    /// batches) and emits a permutation-level progress event per walked
+    /// permutation. Note the context's seed override is *not* applied
+    /// here — that is [`Valuator::value`]'s job.
+    pub fn run_with(
+        &self,
+        oracle: &UtilityOracle<'_>,
+        ctx: &mut RunContext<'_>,
+    ) -> Result<TmcOutput, ValuationError> {
         if self.permutations == 0 {
             return Err(ValuationError::NoPermutations);
         }
@@ -80,7 +106,7 @@ impl Tmc {
         if oracle.num_rounds() == 0 {
             return Err(ValuationError::EmptyTrace);
         }
-        Ok(run_tmc(oracle, self))
+        run_tmc(oracle, self, ctx)
     }
 }
 
@@ -98,7 +124,7 @@ impl Valuator for Tmc {
         cfg.seed = ctx.seed_or(self.seed);
         let before = oracle.loss_evaluations();
         ctx.emit(self.name(), "truncated permutation walk");
-        let out = cfg.run(oracle)?;
+        let out = cfg.run_with(oracle, ctx)?;
         Ok(ValuationReport {
             method: self.name(),
             values: out.values,
@@ -124,34 +150,76 @@ pub fn tmc_shapley(oracle: &UtilityOracle<'_>, config: &Tmc) -> TmcOutput {
     }
 }
 
-/// The truncated walk itself; configuration validity is [`Tmc::run`]'s
-/// responsibility.
-fn run_tmc(oracle: &UtilityOracle<'_>, config: &Tmc) -> TmcOutput {
+/// The truncated walk itself; configuration validity is
+/// [`Tmc::run_with`]'s responsibility.
+fn run_tmc(
+    oracle: &UtilityOracle<'_>,
+    config: &Tmc,
+    ctx: &mut RunContext<'_>,
+) -> Result<TmcOutput, ValuationError> {
     let n = oracle.num_clients();
-    let grand = oracle.total_utility_parallel(Subset::full(n));
+    let rounds = oracle.num_rounds();
+    let grand = {
+        let mut plan = EvalPlan::new();
+        plan.add_column(rounds, Subset::full(n));
+        oracle.try_evaluate_plan(&plan, ctx.cancel_token())?;
+        oracle.total_utility(Subset::full(n))
+    };
     let threshold = config.truncation_tol * grand.abs();
 
+    // The RNG stream never depends on utility values, so all
+    // permutations can be drawn up front — the exact sequence the lazy
+    // walk would have drawn.
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..n).collect();
+    let permutations: Vec<Vec<usize>> = (0..config.permutations)
+        .map(|_| {
+            order.shuffle(&mut rng);
+            order.clone()
+        })
+        .collect();
+
+    // Batch-aware truncation: plan the first `speculation` prefix
+    // columns of *every* permutation as one batch. The plan dedups
+    // shared prefixes, and the engine fans the whole frontier across
+    // the pool at once instead of T cells at a time.
+    let speculation = config.speculation.min(n);
+    if speculation > 0 {
+        let mut plan = EvalPlan::new();
+        for perm in &permutations {
+            let mut prefix = Subset::EMPTY;
+            for &i in &perm[..speculation] {
+                prefix = prefix.with(i);
+                plan.add_column(rounds, prefix);
+            }
+        }
+        oracle.try_evaluate_plan(&plan, ctx.cancel_token())?;
+    }
+
     let mut values = vec![0.0; n];
     let inv_m = 1.0 / config.permutations as f64;
     let mut evaluated = 0u64;
     let mut skipped = 0u64;
-    for _ in 0..config.permutations {
-        order.shuffle(&mut rng);
+    for (walked, perm) in permutations.iter().enumerate() {
+        ctx.check_cancelled()?;
         let mut prefix = Subset::EMPTY;
         let mut prefix_utility = 0.0;
         let mut truncated = false;
-        for &i in &order {
+        for (position, &i) in perm.iter().enumerate() {
             if truncated {
                 skipped += 1;
                 continue;
             }
             prefix = prefix.with(i);
-            // Truncation decides cell-by-cell, so permutations cannot be
-            // pre-planned wholesale — but each prefix's T-round column
-            // can be evaluated as one parallel batch.
-            let u = oracle.total_utility_parallel(prefix);
+            // Speculated prefixes are table hits; beyond the horizon
+            // (or with speculation disabled) each prefix's T-round
+            // column is evaluated as one cancellable batch.
+            if position >= speculation {
+                let mut plan = EvalPlan::new();
+                plan.add_column(rounds, prefix);
+                oracle.try_evaluate_plan(&plan, ctx.cancel_token())?;
+            }
+            let u = oracle.total_utility(prefix);
             evaluated += 1;
             values[i] += (u - prefix_utility) * inv_m;
             prefix_utility = u;
@@ -159,16 +227,17 @@ fn run_tmc(oracle: &UtilityOracle<'_>, config: &Tmc) -> TmcOutput {
                 truncated = true;
             }
         }
+        ctx.emit_permutation("tmc", walked + 1, config.permutations);
     }
     let total = evaluated + skipped;
-    TmcOutput {
+    Ok(TmcOutput {
         values,
         truncated_fraction: if total == 0 {
             0.0
         } else {
             skipped as f64 / total as f64
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -208,6 +277,7 @@ mod tests {
             permutations: 3000,
             truncation_tol: 0.0,
             seed: 5,
+            ..Tmc::default()
         }
         .run(&oracle)
         .unwrap();
@@ -225,6 +295,7 @@ mod tests {
             permutations: 20,
             truncation_tol: 0.0,
             seed: 7,
+            ..Tmc::default()
         }
         .run(&oracle)
         .unwrap();
@@ -244,6 +315,7 @@ mod tests {
             permutations: 50,
             truncation_tol: 0.0,
             seed: 9,
+            ..Tmc::default()
         }
         .run(&oracle_a)
         .unwrap();
@@ -255,6 +327,7 @@ mod tests {
             permutations: 50,
             truncation_tol: 0.5, // aggressive truncation
             seed: 9,
+            ..Tmc::default()
         }
         .run(&oracle_b)
         .unwrap();
@@ -275,6 +348,7 @@ mod tests {
             permutations: 2000,
             truncation_tol: 0.05,
             seed: 11,
+            ..Tmc::default()
         }
         .run(&oracle)
         .unwrap();
@@ -290,10 +364,84 @@ mod tests {
             permutations: 25,
             truncation_tol: 0.1,
             seed: 13,
+            ..Tmc::default()
         };
         let a = cfg.run(&oracle).unwrap();
         let b = cfg.run(&oracle).unwrap();
         assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn speculation_never_changes_the_estimate() {
+        // Full, partial, and disabled speculation must agree bit-for-bit
+        // with each other (only the evaluation cost may differ), and the
+        // lazy walk must match the pre-speculation implementation's
+        // access pattern (per-prefix columns only).
+        let (trace, proto, test) = setup(8);
+        let lazy_oracle = UtilityOracle::new(&trace, &proto, &test);
+        let lazy = Tmc {
+            permutations: 40,
+            truncation_tol: 0.2,
+            speculation: 0,
+            seed: 17,
+        }
+        .run(&lazy_oracle)
+        .unwrap();
+        let lazy_calls = lazy_oracle.loss_evaluations();
+        for speculation in [2, usize::MAX] {
+            let oracle = UtilityOracle::new(&trace, &proto, &test);
+            let out = Tmc {
+                permutations: 40,
+                truncation_tol: 0.2,
+                speculation,
+                seed: 17,
+            }
+            .run(&oracle)
+            .unwrap();
+            for (a, b) in lazy.values.iter().zip(&out.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "speculation {speculation}");
+            }
+            assert_eq!(lazy.truncated_fraction, out.truncated_fraction);
+            assert!(
+                oracle.loss_evaluations() >= lazy_calls,
+                "speculation can only add evaluations"
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_walk_returns_cancelled_within_one_permutation() {
+        use crate::valuator::Progress;
+        let (trace, proto, test) = setup(9);
+        let oracle = UtilityOracle::new(&trace, &proto, &test);
+        let cfg = Tmc {
+            permutations: 500,
+            truncation_tol: 0.0,
+            seed: 3,
+            ..Tmc::default()
+        };
+        let token = fedval_runtime::CancelToken::new();
+        let canceller = token.clone();
+        let mut walked = Vec::new();
+        let mut sink = |e: crate::valuator::ProgressEvent<'_>| {
+            if let Progress::Permutation { index, .. } = e.progress {
+                walked.push(index);
+                if index == 3 {
+                    canceller.cancel();
+                }
+            }
+        };
+        let mut ctx = RunContext::new()
+            .with_progress(&mut sink)
+            .with_cancel(token);
+        let err = cfg.run_with(&oracle, &mut ctx).unwrap_err();
+        assert_eq!(err, ValuationError::Cancelled);
+        drop(ctx);
+        assert_eq!(
+            walked,
+            vec![1, 2, 3],
+            "the walk stopped within one permutation of the cancel"
+        );
     }
 
     #[test]
@@ -304,6 +452,7 @@ mod tests {
             permutations: 0,
             truncation_tol: 0.0,
             seed: 0,
+            ..Tmc::default()
         }
         .run(&oracle)
         .unwrap_err();
@@ -318,6 +467,7 @@ mod tests {
             permutations: 5,
             truncation_tol: -0.1,
             seed: 0,
+            ..Tmc::default()
         }
         .run(&oracle)
         .unwrap_err();

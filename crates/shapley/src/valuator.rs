@@ -27,6 +27,32 @@
 use crate::error::ValuationError;
 use crate::fairness::ReferenceReport;
 use fedval_fl::UtilityOracle;
+use fedval_runtime::CancelToken;
+
+/// How far along the reporting method is — the fine-grained payload of a
+/// [`ProgressEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Progress {
+    /// A coarse stage boundary ("plan", "evaluate", "complete", …).
+    Stage,
+    /// One Monte-Carlo permutation finished (`index` of `total`,
+    /// counting from 1) — emitted by TMC and FedSV-MC walks.
+    Permutation {
+        /// Permutations finished so far.
+        index: usize,
+        /// Total permutation budget of the run.
+        total: usize,
+    },
+    /// One completion-solver sweep/epoch finished, with its objective —
+    /// bridged from the solver's
+    /// [`SolveHooks`](fedval_mc::SolveHooks) by the ComFedSV pipeline.
+    Sweep {
+        /// Sweep index, counting from 1.
+        index: usize,
+        /// Objective after the sweep.
+        objective: f64,
+    },
+}
 
 /// A progress notification emitted while a method runs.
 #[derive(Debug, Clone, Copy)]
@@ -35,15 +61,19 @@ pub struct ProgressEvent<'a> {
     pub method: &'a str,
     /// What it is doing right now ("plan", "evaluate", "complete", …).
     pub stage: &'a str,
+    /// Fine-grained position within the stage.
+    pub progress: Progress,
 }
 
-/// Per-run state a [`Valuator`] receives: the session-level seed override
-/// and the progress sink. A default context (no override, no callback)
-/// reproduces the method's standalone behavior bit-for-bit.
+/// Per-run state a [`Valuator`] receives: the session-level seed
+/// override, the progress sink, and the cancellation token. A default
+/// context (no override, no callback, fresh token) reproduces the
+/// method's standalone behavior bit-for-bit.
 #[derive(Default)]
 pub struct RunContext<'a> {
     seed: Option<u64>,
     progress: Option<&'a mut dyn FnMut(ProgressEvent<'_>)>,
+    cancel: CancelToken,
 }
 
 impl<'a> RunContext<'a> {
@@ -66,16 +96,61 @@ impl<'a> RunContext<'a> {
         self
     }
 
+    /// Shares `token` as this run's cancellation flag (what
+    /// [`ValuationSession::cancel_handle`](crate::session::ValuationSession::cancel_handle)
+    /// hands out).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The run's cancellation token — methods pass it down to
+    /// [`UtilityOracle::try_evaluate_plan`] and
+    /// [`SolveHooks::with_cancel`](fedval_mc::SolveHooks::with_cancel).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// `Err(ValuationError::Cancelled)` once the run's token is set —
+    /// methods call this at permutation/batch boundaries
+    /// (`ctx.check_cancelled()?`).
+    pub fn check_cancelled(&self) -> Result<(), ValuationError> {
+        self.cancel.check().map_err(ValuationError::from)
+    }
+
     /// The seed a method should use: the session override if present,
     /// otherwise the method's own `default`.
     pub fn seed_or(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
     }
 
-    /// Emits a progress event (no-op without a callback).
+    /// Emits a coarse stage-boundary event (no-op without a callback).
     pub fn emit(&mut self, method: &str, stage: &str) {
+        self.emit_progress(method, stage, Progress::Stage);
+    }
+
+    /// Emits a permutation-level event (`index` of `total`, from 1).
+    pub fn emit_permutation(&mut self, method: &str, index: usize, total: usize) {
+        self.emit_progress(
+            method,
+            "permutation",
+            Progress::Permutation { index, total },
+        );
+    }
+
+    /// Emits a completion-sweep event.
+    pub fn emit_sweep(&mut self, method: &str, index: usize, objective: f64) {
+        self.emit_progress(method, "sweep", Progress::Sweep { index, objective });
+    }
+
+    /// Emits an event with an explicit [`Progress`] payload.
+    pub fn emit_progress(&mut self, method: &str, stage: &str, progress: Progress) {
         if let Some(cb) = self.progress.as_mut() {
-            cb(ProgressEvent { method, stage });
+            cb(ProgressEvent {
+                method,
+                stage,
+                progress,
+            });
         }
     }
 }
@@ -158,5 +233,51 @@ mod tests {
     fn emit_without_callback_is_a_noop() {
         let mut ctx = RunContext::new();
         ctx.emit("fedsv", "stage");
+        ctx.emit_permutation("tmc", 1, 10);
+        ctx.emit_sweep("comfedsv", 1, 0.5);
+    }
+
+    #[test]
+    fn fine_grained_events_carry_their_payload() {
+        let mut events: Vec<(String, Progress)> = Vec::new();
+        let mut sink = |e: ProgressEvent<'_>| {
+            events.push((e.stage.to_string(), e.progress));
+        };
+        {
+            let mut ctx = RunContext::new().with_progress(&mut sink);
+            ctx.emit("tmc", "walk");
+            ctx.emit_permutation("tmc", 3, 20);
+            ctx.emit_sweep("comfedsv", 2, 1.25);
+        }
+        assert_eq!(events[0], ("walk".into(), Progress::Stage));
+        assert_eq!(
+            events[1],
+            (
+                "permutation".into(),
+                Progress::Permutation {
+                    index: 3,
+                    total: 20
+                }
+            )
+        );
+        assert_eq!(
+            events[2],
+            (
+                "sweep".into(),
+                Progress::Sweep {
+                    index: 2,
+                    objective: 1.25
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn default_context_is_never_cancelled() {
+        let ctx = RunContext::new();
+        assert!(ctx.check_cancelled().is_ok());
+        let token = ctx.cancel_token().clone();
+        token.cancel();
+        assert_eq!(ctx.check_cancelled(), Err(ValuationError::Cancelled));
     }
 }

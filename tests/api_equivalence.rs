@@ -93,6 +93,7 @@ fn tmc_valuator_matches_legacy_bitwise() {
         permutations: 40,
         truncation_tol: 0.02,
         seed: 3,
+        ..Tmc::default()
     };
     let legacy = tmc_shapley(&oracle, &cfg);
     let new = cfg.run(&oracle).unwrap();
@@ -151,6 +152,7 @@ fn all_methods_box_as_dyn_valuator() {
             permutations: 20,
             truncation_tol: 0.01,
             seed: 1,
+            ..Tmc::default()
         }),
         Box::new(GroupTesting {
             num_samples: 60,
@@ -243,7 +245,8 @@ fn invalid_sampling_budgets_are_typed_errors() {
         Tmc {
             permutations: 0,
             truncation_tol: 0.0,
-            seed: 0
+            seed: 0,
+            ..Tmc::default()
         }
         .run(&oracle)
         .unwrap_err(),

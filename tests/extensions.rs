@@ -58,6 +58,7 @@ fn tmc_tracks_ground_truth_with_fewer_calls() {
         permutations: 60,
         truncation_tol: 0.05,
         seed: 2,
+        ..Tmc::default()
     }
     .run(&oracle_tmc)
     .unwrap();

@@ -1,0 +1,329 @@
+//! Cell-throughput benchmark: per-sample vs. batched numeric kernels.
+//!
+//! PRs 1 and 4 parallelized *dispatch*; this benchmark measures what PR 5
+//! changed — the samples/second of the compute inside one utility cell.
+//! For each model family it times the same workload two ways:
+//!
+//! * **per_sample** — the retained pre-refactor reference loops
+//!   (`loss_per_sample`/`grad_per_sample`: one example at a time, fresh
+//!   `Vec` buffers per call), and
+//! * **batched** — the cache-blocked minibatch GEMM kernels with a
+//!   reused [`fedval_models::Workspace`].
+//!
+//! Both paths produce bit-identical results (asserted on every run —
+//! the determinism contract, not a tolerance), so the ratio is pure
+//! kernel speed: allocation, contiguity, cache reuse. Workloads:
+//!
+//! * `*_train` — full-batch gradient-descent passes (the trainer's local
+//!   update), samples/sec = `samples × passes / seconds`;
+//! * `mlp_cell_loss` — repeated test-set loss evaluations (exactly what
+//!   a utility-oracle cell costs), samples/sec likewise.
+//!
+//! Output: an aligned table on stdout and machine-readable JSON written
+//! to `target/BENCH_cell_throughput.json` (schema documented in the
+//! `fedval_bench` crate docs, `src/lib.rs`). A reference smoke run is
+//! committed at the repo root as `BENCH_cell_throughput.json` so future
+//! PRs have a perf trajectory to regress against — update it
+//! deliberately with `--out BENCH_cell_throughput.json`, not as a side
+//! effect of every run. `--smoke` shrinks every workload for CI.
+
+use fedval_data::Dataset;
+use fedval_linalg::{vector, Matrix};
+use fedval_models::{
+    optim::SgdScratch, Activation, Cnn, CnnConfig, LogisticRegression, Mlp, Model,
+};
+use std::time::Instant;
+
+/// One timed measurement.
+struct Measurement {
+    case: &'static str,
+    path: &'static str,
+    samples: usize,
+    passes: usize,
+    seconds: f64,
+    /// Bitwise checksum of the resulting parameters/losses, used to
+    /// assert the two paths computed the same thing.
+    checksum: u64,
+}
+
+impl Measurement {
+    fn samples_per_sec(&self) -> f64 {
+        (self.samples * self.passes) as f64 / self.seconds.max(1e-12)
+    }
+}
+
+fn synthetic(n: usize, dim: usize, classes: usize, seed: u64) -> Dataset {
+    let f = Matrix::from_fn(n, dim, |r, c| {
+        (((r + 1) * (c + 2) + seed as usize * 3) % 17) as f64 / 8.0 - 1.0
+    });
+    let labels: Vec<usize> = (0..n).map(|r| (r * 7 + seed as usize) % classes).collect();
+    Dataset::new(f, labels, classes).unwrap()
+}
+
+fn checksum(values: &[f64]) -> u64 {
+    values
+        .iter()
+        .fold(0u64, |acc, v| acc.rotate_left(7) ^ v.to_bits())
+}
+
+/// Times `passes` full-batch gradient steps with per-sample gradients.
+fn train_per_sample<M: Model>(
+    model: &mut M,
+    grad_ref: impl Fn(&M, &Dataset, &mut [f64]) -> f64,
+    data: &Dataset,
+    eta: f64,
+    passes: usize,
+) -> f64 {
+    let mut grad = vec![0.0; model.num_params()];
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        grad_ref(model, data, &mut grad);
+        vector::axpy(-eta, &grad, model.params_mut());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Times `passes` full-batch gradient steps through the batched kernels
+/// with a reused workspace.
+fn train_batched(model: &mut dyn Model, data: &Dataset, eta: f64, passes: usize) -> f64 {
+    let mut scratch = SgdScratch::new();
+    let mut grad = vec![0.0; model.num_params()];
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        model.grad_with(data, &mut grad, &mut scratch.ws);
+        vector::axpy(-eta, &grad, model.params_mut());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Timing repetitions per path; the fastest is reported, which screens
+/// out scheduler noise on busy hosts (results are asserted identical
+/// across repetitions anyway — training is deterministic).
+const REPS: usize = 3;
+
+fn push_train_pair<M: Model + Clone>(
+    out: &mut Vec<Measurement>,
+    case: &'static str,
+    proto: &M,
+    grad_ref: impl Fn(&M, &Dataset, &mut [f64]) -> f64,
+    data: &Dataset,
+    passes: usize,
+) {
+    let eta = 0.05;
+    let mut reference = proto.clone();
+    let mut batched = proto.clone();
+    let mut secs_ref = f64::INFINITY;
+    let mut secs_batched = f64::INFINITY;
+    for _ in 0..REPS {
+        reference = proto.clone();
+        secs_ref = secs_ref.min(train_per_sample(
+            &mut reference,
+            &grad_ref,
+            data,
+            eta,
+            passes,
+        ));
+        batched = proto.clone();
+        secs_batched = secs_batched.min(train_batched(&mut batched, data, eta, passes));
+    }
+    let (ck_ref, ck_batched) = (checksum(reference.params()), checksum(batched.params()));
+    assert_eq!(
+        ck_ref, ck_batched,
+        "{case}: batched training diverged from the per-sample reference"
+    );
+    out.push(Measurement {
+        case,
+        path: "per_sample",
+        samples: data.len(),
+        passes,
+        seconds: secs_ref,
+        checksum: ck_ref,
+    });
+    out.push(Measurement {
+        case,
+        path: "batched",
+        samples: data.len(),
+        passes,
+        seconds: secs_batched,
+        checksum: ck_batched,
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target/BENCH_cell_throughput.json".to_string());
+
+    // The MLP problem is MNIST-shaped ([784, 64, 10] — the paper's
+    // "simple fully connected network"), so the wide input layer that
+    // dominates a real cell evaluation dominates here too. Smoke sizes
+    // keep CI under a few seconds.
+    let (n, dim, hidden, classes, passes) = if smoke {
+        (320, 784, 64, 10, 6)
+    } else {
+        (1024, 784, 64, 10, 10)
+    };
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+
+    // MLP training (the acceptance workload).
+    let data = synthetic(n, dim, classes, 1);
+    let mlp = Mlp::new(&[dim, hidden, classes], Activation::Relu, 0.01, 7);
+    push_train_pair(
+        &mut measurements,
+        "mlp_train",
+        &mlp,
+        |m: &Mlp, d, g| m.grad_per_sample(d, g),
+        &data,
+        passes,
+    );
+
+    // Logistic-regression training.
+    let logreg = LogisticRegression::new(dim, classes, 0.01, 7);
+    push_train_pair(
+        &mut measurements,
+        "logistic_train",
+        &logreg,
+        |m: &LogisticRegression, d, g| m.grad_per_sample(d, g),
+        &data,
+        passes,
+    );
+
+    // CNN training (smaller: the conv is the dominant cost either way).
+    let (img, cnn_n, cnn_passes) = if smoke { (8, 96, 2) } else { (12, 256, 5) };
+    let cnn_data = synthetic(cnn_n, img * img, 4, 2);
+    let cnn = Cnn::new(CnnConfig::small(img, img, 4), 7);
+    push_train_pair(
+        &mut measurements,
+        "cnn_train",
+        &cnn,
+        |m: &Cnn, d, g| m.grad_per_sample(d, g),
+        &cnn_data,
+        cnn_passes,
+    );
+
+    // Oracle-cell loss: repeated test-set evaluations on a fixed model.
+    {
+        let reps = passes * 4;
+        let mut ws = fedval_models::Workspace::new();
+        let mut secs_batched = f64::INFINITY;
+        let mut secs_ref = f64::INFINITY;
+        let mut acc_b = 0.0;
+        let mut acc_r = 0.0;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            acc_b = 0.0;
+            for _ in 0..reps {
+                acc_b += mlp.loss_with(&data, &mut ws);
+            }
+            secs_batched = secs_batched.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            acc_r = 0.0;
+            for _ in 0..reps {
+                acc_r += mlp.loss_per_sample(&data);
+            }
+            secs_ref = secs_ref.min(t0.elapsed().as_secs_f64());
+        }
+        assert_eq!(
+            acc_r.to_bits(),
+            acc_b.to_bits(),
+            "mlp_cell_loss: batched loss diverged from the per-sample reference"
+        );
+        measurements.push(Measurement {
+            case: "mlp_cell_loss",
+            path: "per_sample",
+            samples: n,
+            passes: reps,
+            seconds: secs_ref,
+            checksum: acc_r.to_bits(),
+        });
+        measurements.push(Measurement {
+            case: "mlp_cell_loss",
+            path: "batched",
+            samples: n,
+            passes: reps,
+            seconds: secs_batched,
+            checksum: acc_b.to_bits(),
+        });
+    }
+
+    // Report.
+    let mode = if smoke { "smoke" } else { "full" };
+    println!(
+        "== cell throughput ({mode}): per-sample vs batched kernels (pool width {}) ==",
+        fedval_runtime::Pool::global_width()
+    );
+    println!(
+        "{:>16}  {:>12}  {:>10}  {:>10}  {:>14}",
+        "case", "path", "samples", "seconds", "samples/sec"
+    );
+    for m in &measurements {
+        println!(
+            "{:>16}  {:>12}  {:>10}  {:>10.4}  {:>14.0}",
+            m.case,
+            m.path,
+            m.samples * m.passes,
+            m.seconds,
+            m.samples_per_sec()
+        );
+    }
+
+    let cases: Vec<&'static str> = {
+        let mut seen = Vec::new();
+        for m in &measurements {
+            if !seen.contains(&m.case) {
+                seen.push(m.case);
+            }
+        }
+        seen
+    };
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    println!();
+    for case in &cases {
+        let per_sample = measurements
+            .iter()
+            .find(|m| m.case == *case && m.path == "per_sample")
+            .expect("both paths measured");
+        let batched = measurements
+            .iter()
+            .find(|m| m.case == *case && m.path == "batched")
+            .expect("both paths measured");
+        let speedup = batched.samples_per_sec() / per_sample.samples_per_sec().max(1e-12);
+        println!("{case}: batched is {speedup:.2}x the per-sample path (bit-identical results)");
+        speedups.push((case.to_string(), speedup));
+    }
+
+    // Machine-readable JSON (schema: fedval_bench crate docs).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"cell_throughput\",\n");
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!(
+        "  \"pool_threads\": {},\n",
+        fedval_runtime::Pool::global_width()
+    ));
+    json.push_str("  \"cases\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"path\": \"{}\", \"samples\": {}, \"passes\": {}, \"seconds\": {}, \"samples_per_sec\": {}, \"checksum\": \"{:016x}\"}}{comma}\n",
+            m.case, m.path, m.samples, m.passes, m.seconds, m.samples_per_sec(), m.checksum
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup\": {");
+    for (i, (case, speedup)) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { ", " };
+        json.push_str(&format!("\"{case}\": {speedup}{comma}"));
+    }
+    json.push_str("}\n}\n");
+    match std::fs::write(&out_path, json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\njson write failed: {e}"),
+    }
+}

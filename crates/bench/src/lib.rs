@@ -7,6 +7,39 @@
 //!
 //! Set `FEDVAL_PROFILE=quick|default|paper` to trade fidelity for runtime;
 //! see [`mod@profile`].
+//!
+//! # `BENCH_cell_throughput.json` schema
+//!
+//! The `cell_throughput` binary (per-sample vs. batched kernel
+//! throughput; `--smoke` for the CI-sized run) writes a JSON object to
+//! `target/BENCH_cell_throughput.json` by default; the committed
+//! repo-root `BENCH_cell_throughput.json` is the reference smoke run
+//! for perf-trajectory tracking, refreshed deliberately via
+//! `--out BENCH_cell_throughput.json`:
+//!
+//! ```json
+//! {
+//!   "bench": "cell_throughput",
+//!   "mode": "smoke" | "full",
+//!   "pool_threads": 1,
+//!   "cases": [
+//!     {
+//!       "case": "mlp_train" | "logistic_train" | "cnn_train" | "mlp_cell_loss",
+//!       "path": "per_sample" | "batched",
+//!       "samples": 320,            // examples per pass
+//!       "passes": 6,               // training passes / loss repetitions
+//!       "seconds": 0.0123,         // wall-clock for samples × passes
+//!       "samples_per_sec": 156097.5,
+//!       "checksum": "1a2b…"        // bitwise result checksum; equal across the two paths of a case
+//!     }
+//!   ],
+//!   "speedup": { "<case>": 2.1, … }  // batched ÷ per_sample samples/sec
+//! }
+//! ```
+//!
+//! Every case's two paths are asserted bit-identical before the file is
+//! written, so a schema consumer can treat `speedup` as pure kernel
+//! speed (allocation + cache + SIMD), not a numerical trade-off.
 
 pub mod fairness_trials;
 pub mod profile;

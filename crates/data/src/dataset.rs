@@ -96,6 +96,24 @@ impl Dataset {
         }
     }
 
+    /// [`subset`](Dataset::subset) into a caller-provided dataset,
+    /// reusing its buffers — the allocation-free form the minibatch SGD
+    /// loop calls once per step. `out`'s previous shape is irrelevant;
+    /// it is resized to `indices.len() × self.dim()`.
+    pub fn subset_into(&self, indices: &[usize], out: &mut Dataset) {
+        let d = self.dim();
+        out.num_classes = self.num_classes;
+        // Every row is copied below; skip the zero-fill pass.
+        out.features.resize_for_overwrite(indices.len(), d);
+        out.labels.clear();
+        for (row, &idx) in indices.iter().enumerate() {
+            out.features
+                .row_mut(row)
+                .copy_from_slice(self.features.row(idx));
+            out.labels.push(self.labels[idx]);
+        }
+    }
+
     /// Splits into `(first, second)` where `first` holds `n_first` examples.
     pub fn split_at(&self, n_first: usize) -> (Dataset, Dataset) {
         let n = self.len().min(n_first);
@@ -177,6 +195,21 @@ mod tests {
         assert_eq!(s.example(0).0, &[4.0, 5.0]);
         assert_eq!(s.example(1).0, &[0.0, 1.0]);
         assert_eq!(s.labels(), &[0, 0]);
+    }
+
+    #[test]
+    fn subset_into_matches_subset_and_reuses_buffers() {
+        let d = tiny();
+        let mut out = d.subset(&[]);
+        d.subset_into(&[2, 0], &mut out);
+        let expect = d.subset(&[2, 0]);
+        assert_eq!(out.features().as_slice(), expect.features().as_slice());
+        assert_eq!(out.labels(), expect.labels());
+        assert_eq!(out.num_classes(), expect.num_classes());
+        // Refill with a different selection: buffers are recycled.
+        d.subset_into(&[1], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.example(0).0, &[2.0, 3.0]);
     }
 
     #[test]

@@ -48,12 +48,20 @@ impl TrainingTrace {
     /// FedAvg aggregate of the round-`t` local models over subset `s`
     /// (`w̄_S = mean_{k∈S} w^{t+1}_k`). `None` for the empty subset.
     pub fn aggregate(&self, t: usize, s: Subset) -> Option<Vec<f64>> {
+        let mut out = Vec::new();
+        self.aggregate_into(t, s, &mut out).then_some(out)
+    }
+
+    /// [`aggregate`](TrainingTrace::aggregate) into a caller-provided
+    /// buffer (the oracle's per-cell allocation-free path); returns
+    /// `false` without touching `out` for the empty subset.
+    pub fn aggregate_into(&self, t: usize, s: Subset, out: &mut Vec<f64>) -> bool {
         let record = &self.rounds[t];
         let vectors = s
             .members()
             .into_iter()
             .map(|k| record.local_params[k].as_slice());
-        fedval_linalg::vector::mean_of(vectors)
+        fedval_linalg::vector::mean_into(vectors, out)
     }
 }
 
@@ -147,22 +155,32 @@ fn parallel_local_updates(
         for (chunk_idx, out_chunk) in out.chunks_mut(chunk).enumerate() {
             let start = chunk_idx * chunk;
             scope.spawn(move || {
+                // One scratch model + one set of minibatch buffers per
+                // worker chunk, reused across every client it handles.
                 let mut model = prototype.clone_model();
+                let mut scratch = optim::SgdScratch::new();
                 for (offset, slot) in out_chunk.iter_mut().enumerate() {
                     let i = start + offset;
                     model.set_params(global);
                     match batch_size {
                         None => {
-                            optim::local_updates(model.as_mut(), &clients[i], eta, local_steps);
+                            optim::local_updates_with(
+                                model.as_mut(),
+                                &clients[i],
+                                eta,
+                                local_steps,
+                                &mut scratch,
+                            );
                         }
                         Some(batch) => {
-                            local_minibatch_updates(
+                            optim::minibatch_updates(
                                 model.as_mut(),
                                 &clients[i],
                                 eta,
                                 local_steps,
                                 batch,
                                 round_seed ^ (i as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+                                &mut scratch,
                             );
                         }
                     }
@@ -173,35 +191,6 @@ fn parallel_local_updates(
     });
 
     out
-}
-
-/// Stochastic local updates: each step samples a fresh minibatch without
-/// replacement (clamped to the client's dataset size). Deterministic given
-/// the seed, so traces stay reproducible.
-fn local_minibatch_updates(
-    model: &mut dyn Model,
-    data: &Dataset,
-    eta: f64,
-    steps: usize,
-    batch: usize,
-    seed: u64,
-) {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let b = batch.min(data.len()).max(1);
-    if b == data.len() {
-        // Clamped to the full dataset: identical to the deterministic path
-        // (and bit-identical — no index reshuffling of the summation).
-        optim::local_updates(model, data, eta, steps);
-        return;
-    }
-    for _ in 0..steps {
-        let mut picks = sample(&mut rng, data.len(), b).into_vec();
-        picks.sort_unstable();
-        let minibatch = data.subset(&picks);
-        optim::sgd_step(model, &minibatch, eta);
-    }
 }
 
 #[cfg(test)]

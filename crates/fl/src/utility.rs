@@ -29,12 +29,17 @@
 //!    [`UtilityOracle::with_pool`]. Each chunk clones the model
 //!    prototype once ([`Model::clone_model`] is a plain deep copy of
 //!    the flat parameter vector, so per-worker scratch models are
-//!    cheap) and writes each result into that cell's write-once slot.
-//!    Slots are `OnceLock`s: a cell is computed exactly once no matter
-//!    how many threads race on it, and reads after initialization are
-//!    lock-free. [`UtilityOracle::try_evaluate_plan`] is the
+//!    cheap) and writes each result into that cell's compute-once slot.
+//!    Slots are compute-once cells (initialized under the cell's write
+//!    lock): a cell is computed exactly once no matter how many threads
+//!    race on it, and reads after initialization take an uncontended
+//!    read lock. [`UtilityOracle::try_evaluate_plan`] is the
 //!    cancellable variant: a [`CancelToken`] is observed at cell
-//!    boundaries and abandons the rest of the batch.
+//!    boundaries *and between minibatch chunks inside a cell* (the
+//!    batched model kernels check the workspace token every
+//!    `fedval_models::workspace::CHUNK_ROWS` examples), so even a huge
+//!    single evaluation stops promptly; a cell abandoned mid-evaluation
+//!    is left unset — not stored, not counted — and a retry resumes it.
 //! 3. **Read.** [`UtilityOracle::utility`] stays the single-cell API it
 //!    always was — now a thin shim over the result table. A cache miss
 //!    (a cell outside any evaluated plan) falls back to a serial
@@ -54,12 +59,12 @@
 use crate::subset::Subset;
 use crate::trainer::TrainingTrace;
 use fedval_data::Dataset;
-use fedval_models::Model;
+use fedval_models::{Model, Workspace};
 use fedval_runtime::{CancelToken, Cancelled, PoolHandle};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// An ordered, deduplicated batch of `(round, subset)` utility cells to
 /// evaluate. Empty subsets are skipped on insertion (`U_t(∅) = 0` by
@@ -125,8 +130,50 @@ impl EvalPlan {
     }
 }
 
-/// A write-once utility cell: evaluated exactly once, read lock-free.
-type Cell = Arc<OnceLock<f64>>;
+/// One utility cell: `None` until evaluated. Initialization happens
+/// under the cell's write lock, so racing evaluators serialize and each
+/// cell is computed exactly once; reads after initialization take an
+/// uncontended read lock. A cancelled evaluation simply drops the write
+/// guard with the slot still `None`, so a retry recomputes it — no
+/// poisoned state, no unwinding.
+type Cell = Arc<RwLock<Option<f64>>>;
+
+/// Per-worker evaluation state: a scratch model, its reusable minibatch
+/// [`Workspace`] (the batched loss kernels run allocation-free through
+/// it), and the FedAvg aggregate buffer. One per batch worker, one
+/// behind the serial-path mutex.
+struct CellScratch {
+    model: Box<dyn Model>,
+    ws: Workspace,
+    aggregate: Vec<f64>,
+}
+
+impl CellScratch {
+    fn new(model: Box<dyn Model>) -> Self {
+        CellScratch {
+            model,
+            ws: Workspace::new(),
+            aggregate: Vec::new(),
+        }
+    }
+}
+
+/// Fills `slot` exactly once with `compute`'s value, running `compute`
+/// under the cell's write lock (racing evaluators block, then observe
+/// the stored value — never recompute). When `compute` reports
+/// [`Cancelled`] — the workspace token fired *inside* the model's
+/// minibatch loops — the slot is left `None`: the cell is not stored,
+/// not counted, and a retry recomputes it.
+fn init_cell(
+    slot: &Cell,
+    compute: impl FnOnce() -> Result<f64, Cancelled>,
+) -> Result<(), Cancelled> {
+    let mut guard = slot.write();
+    if guard.is_none() {
+        *guard = Some(compute()?);
+    }
+    Ok(())
+}
 
 /// Evaluates `U_t(S)` against a recorded [`TrainingTrace`].
 pub struct UtilityOracle<'a> {
@@ -134,11 +181,11 @@ pub struct UtilityOracle<'a> {
     test_data: &'a Dataset,
     /// Architecture + initial parameters; cloned once per batch worker.
     prototype: Box<dyn Model>,
-    /// Scratch model for the serial single-cell fallback path.
-    scratch: Mutex<Box<dyn Model>>,
+    /// Scratch state for the serial single-cell fallback path.
+    scratch: Mutex<CellScratch>,
     /// `ℓ(w_t; D_c)` per round, computed once.
     base_losses: Vec<f64>,
-    /// The result table: one write-once slot per evaluated cell.
+    /// The result table: one compute-once slot per evaluated cell.
     table: RwLock<HashMap<(usize, Subset), Cell>>,
     calls: AtomicU64,
     /// Which pool [`Self::evaluate_plan`] submits batches to.
@@ -151,15 +198,15 @@ impl<'a> UtilityOracle<'a> {
     /// Builds an oracle. Evaluates the `T` per-round base losses eagerly
     /// (they are shared by every utility query in the round).
     pub fn new(trace: &'a TrainingTrace, prototype: &dyn Model, test_data: &'a Dataset) -> Self {
-        let mut scratch = prototype.clone_model();
+        let mut scratch = CellScratch::new(prototype.clone_model());
         let mut calls = 0u64;
         let base_losses: Vec<f64> = trace
             .rounds
             .iter()
             .map(|r| {
-                scratch.set_params(&r.global_params);
+                scratch.model.set_params(&r.global_params);
                 calls += 1;
-                scratch.loss(test_data)
+                scratch.model.loss_with(test_data, &mut scratch.ws)
             })
             .collect();
         UtilityOracle {
@@ -220,7 +267,7 @@ impl<'a> UtilityOracle<'a> {
             trace: self.trace,
             test_data: self.test_data,
             prototype: self.prototype.clone_model(),
-            scratch: Mutex::new(self.prototype.clone_model()),
+            scratch: Mutex::new(CellScratch::new(self.prototype.clone_model())),
             base_losses: self.base_losses.clone(),
             table: RwLock::new(HashMap::new()),
             calls: AtomicU64::new(0),
@@ -259,7 +306,7 @@ impl<'a> UtilityOracle<'a> {
         self.calls.store(0, Ordering::Relaxed);
     }
 
-    /// The write-once slot for a cell, creating it if needed.
+    /// The compute-once slot for a cell, creating it if needed.
     fn slot(&self, cell: (usize, Subset)) -> Cell {
         if let Some(slot) = self.table.read().get(&cell) {
             return Arc::clone(slot);
@@ -267,15 +314,38 @@ impl<'a> UtilityOracle<'a> {
         Arc::clone(self.table.write().entry(cell).or_default())
     }
 
-    /// Evaluates one cell on the given scratch model. Counted.
-    fn compute_cell(&self, model: &mut dyn Model, t: usize, s: Subset) -> f64 {
-        let aggregate = self
-            .trace
-            .aggregate(t, s)
-            .expect("non-empty subset aggregates");
-        model.set_params(&aggregate);
+    /// Evaluates one cell on the given scratch state: FedAvg aggregate
+    /// into the reusable buffer, batched loss through the reusable
+    /// workspace. Counted on completion.
+    fn compute_cell(&self, scratch: &mut CellScratch, t: usize, s: Subset) -> f64 {
+        let found = self.trace.aggregate_into(t, s, &mut scratch.aggregate);
+        assert!(found, "non-empty subset aggregates");
+        scratch.model.set_params(&scratch.aggregate);
+        let loss = scratch.model.loss_with(self.test_data, &mut scratch.ws);
         self.calls.fetch_add(1, Ordering::Relaxed);
-        self.base_losses[t] - model.loss(self.test_data)
+        self.base_losses[t] - loss
+    }
+
+    /// [`compute_cell`](Self::compute_cell) observing `cancel` *inside*
+    /// the model's minibatch loss loops (between minibatch chunks). An
+    /// abandoned evaluation is not counted — the cell is simply left
+    /// uncomputed for a retry.
+    fn try_compute_cell(
+        &self,
+        scratch: &mut CellScratch,
+        t: usize,
+        s: Subset,
+        cancel: &CancelToken,
+    ) -> Result<f64, Cancelled> {
+        let found = self.trace.aggregate_into(t, s, &mut scratch.aggregate);
+        assert!(found, "non-empty subset aggregates");
+        scratch.model.set_params(&scratch.aggregate);
+        scratch.ws.set_cancel(Some(cancel.clone()));
+        let loss = scratch.model.try_loss_with(self.test_data, &mut scratch.ws);
+        scratch.ws.set_cancel(None);
+        let loss = loss?;
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(self.base_losses[t] - loss)
     }
 
     /// Evaluates every planned cell that is not yet in the result table,
@@ -293,7 +363,7 @@ impl<'a> UtilityOracle<'a> {
     /// is observed at cell boundaries, and once set the not-yet-started
     /// remainder of the batch is abandoned and `Err(Cancelled)` is
     /// returned. Cells evaluated before the cut stay in the table (they
-    /// are correct and write-once), so a retry resumes where the
+    /// are correct and already stored), so a retry resumes where the
     /// cancelled batch stopped.
     pub fn try_evaluate_plan(
         &self,
@@ -306,7 +376,7 @@ impl<'a> UtilityOracle<'a> {
             .iter()
             .inspect(|(t, _)| assert!(*t < self.trace.num_rounds(), "round out of range"))
             .map(|&cell| (cell, self.slot(cell)))
-            .filter(|(_, slot)| slot.get().is_none())
+            .filter(|(_, slot)| slot.read().is_none())
             .collect();
         if pending.is_empty() {
             return Ok(());
@@ -328,10 +398,10 @@ impl<'a> UtilityOracle<'a> {
             // deadlock against us holding scratch while waiting on the slot.
             for ((t, s), slot) in &pending {
                 cancel.check()?;
-                slot.get_or_init(|| {
+                init_cell(slot, || {
                     let mut scratch = self.scratch.lock();
-                    self.compute_cell(scratch.as_mut(), *t, *s)
-                });
+                    self.try_compute_cell(&mut scratch, *t, *s, cancel)
+                })?;
             }
             // Trailing check mirrors the pooled path: cancellation during
             // the final cell reports Cancelled regardless of pool size.
@@ -340,9 +410,12 @@ impl<'a> UtilityOracle<'a> {
         self.pool.get().for_each_init(
             pending,
             workers,
-            || self.prototype.clone_model(),
-            |model, ((t, s), slot)| {
-                slot.get_or_init(|| self.compute_cell(model.as_mut(), t, s));
+            || CellScratch::new(self.prototype.clone_model()),
+            |scratch, ((t, s), slot)| {
+                // A mid-cell cancellation leaves the slot unset; the
+                // pool observes the shared token at the next item
+                // boundary and reports Cancelled for the whole batch.
+                let _ = init_cell(&slot, || self.try_compute_cell(scratch, t, s, cancel));
             },
             Some(cancel),
         )
@@ -351,22 +424,30 @@ impl<'a> UtilityOracle<'a> {
     /// The round utility `U_t(S)`. Empty coalitions produce no model, so
     /// `U_t(∅) = 0` by convention (no contribution, no utility).
     ///
-    /// A thin shim over the result table: planned-and-evaluated cells are
-    /// lock-free reads; anything else is evaluated serially on the shared
-    /// scratch model and stored.
+    /// A thin shim over the result table: planned-and-evaluated cells
+    /// cost one uncontended read lock; anything else is evaluated
+    /// serially on the shared scratch model and stored.
     pub fn utility(&self, t: usize, s: Subset) -> f64 {
         assert!(t < self.trace.num_rounds(), "round out of range");
         if s.is_empty() {
             return 0.0;
         }
         let slot = self.slot((t, s));
-        if let Some(&v) = slot.get() {
+        if let Some(v) = *slot.read() {
             return v;
         }
-        *slot.get_or_init(|| {
+        // Lock order: cell write lock first, scratch mutex inside — the
+        // same order the batch paths use, so they never deadlock.
+        let mut guard = slot.write();
+        if let Some(v) = *guard {
+            return v;
+        }
+        let v = {
             let mut scratch = self.scratch.lock();
-            self.compute_cell(scratch.as_mut(), t, s)
-        })
+            self.compute_cell(&mut scratch, t, s)
+        };
+        *guard = Some(v);
+        v
     }
 
     /// Marginal contribution `U_t(S ∪ {i}) − U_t(S)`.

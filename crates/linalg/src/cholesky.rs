@@ -30,26 +30,7 @@ impl CholeskyFactor {
             });
         }
         let mut l = Matrix::zeros(n, n);
-        for j in 0..n {
-            let mut diag = a.get(j, j);
-            for k in 0..j {
-                let v = l.get(j, k);
-                diag -= v * v;
-            }
-            if diag <= 0.0 || !diag.is_finite() {
-                return Err(LinalgError::NotPositiveDefinite { pivot: j });
-            }
-            let d = diag.sqrt();
-            l.set(j, j, d);
-            let inv_d = 1.0 / d;
-            for i in (j + 1)..n {
-                let mut v = a.get(i, j);
-                for k in 0..j {
-                    v -= l.get(i, k) * l.get(j, k);
-                }
-                l.set(i, j, v * inv_d);
-            }
-        }
+        factor_lower(a, &mut l)?;
         Ok(CholeskyFactor { l })
     }
 
@@ -73,23 +54,8 @@ impl CholeskyFactor {
                 rhs: (b.len(), 1),
             });
         }
-        // Forward: L y = b.
         let mut y = b.to_vec();
-        for i in 0..n {
-            let mut v = y[i];
-            for k in 0..i {
-                v -= self.l.get(i, k) * y[k];
-            }
-            y[i] = v / self.l.get(i, i);
-        }
-        // Backward: Lᵀ x = y.
-        for i in (0..n).rev() {
-            let mut v = y[i];
-            for k in (i + 1)..n {
-                v -= self.l.get(k, i) * y[k];
-            }
-            y[i] = v / self.l.get(i, i);
-        }
+        solve_in_place(&self.l, &mut y);
         Ok(y)
     }
 
@@ -115,6 +81,74 @@ impl CholeskyFactor {
     }
 }
 
+/// Writes the lower-triangular Cholesky factor of `a` into `l` (which
+/// must already be `n × n`; only its lower triangle is written, and the
+/// strict upper triangle is assumed zero — [`Matrix::resize`] and
+/// [`Matrix::zeros`] both establish that).
+fn factor_lower(a: &Matrix, l: &mut Matrix) -> Result<()> {
+    let n = a.rows();
+    for j in 0..n {
+        let mut diag = a.get(j, j);
+        for k in 0..j {
+            let v = l.get(j, k);
+            diag -= v * v;
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j });
+        }
+        let d = diag.sqrt();
+        l.set(j, j, d);
+        let inv_d = 1.0 / d;
+        for i in (j + 1)..n {
+            let mut v = a.get(i, j);
+            for k in 0..j {
+                v -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, v * inv_d);
+        }
+    }
+    Ok(())
+}
+
+/// Forward/backward substitution `A x = b` with `A = L Lᵀ`, solving in
+/// place over `y` (which holds `b` on entry, `x` on exit).
+fn solve_in_place(l: &Matrix, y: &mut [f64]) {
+    let n = l.rows();
+    // Forward: L y = b.
+    for i in 0..n {
+        let mut v = y[i];
+        for k in 0..i {
+            v -= l.get(i, k) * y[k];
+        }
+        y[i] = v / l.get(i, i);
+    }
+    // Backward: Lᵀ x = y.
+    for i in (0..n).rev() {
+        let mut v = y[i];
+        for k in (i + 1)..n {
+            v -= l.get(k, i) * y[k];
+        }
+        y[i] = v / l.get(i, i);
+    }
+}
+
+/// Reusable buffers for [`ridge_solve_into`]: the Gram matrix, its
+/// Cholesky factor, and the right-hand side. One per ALS worker; grows
+/// to the largest rank seen and never allocates again.
+#[derive(Debug, Clone, Default)]
+pub struct RidgeScratch {
+    gram: Matrix,
+    l: Matrix,
+    rhs: Vec<f64>,
+}
+
+impl RidgeScratch {
+    /// Empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        RidgeScratch::default()
+    }
+}
+
 /// Solves the ridge-regularized normal equations `(AᵀA + λI) x = Aᵀ b`.
 ///
 /// This is the exact sub-problem of the ALS pass over problem (13): each row
@@ -122,12 +156,36 @@ impl CholeskyFactor {
 /// its row (resp. column). `λ` must be strictly positive, which also
 /// guarantees positive definiteness regardless of `A`'s rank.
 pub fn ridge_solve(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    let mut out = vec![0.0; a.cols()];
+    ridge_solve_into(a, b, lambda, &mut out, &mut RidgeScratch::new())?;
+    Ok(out)
+}
+
+/// [`ridge_solve`] into a caller-provided solution slice (`a.cols()`
+/// long) with reusable [`RidgeScratch`] buffers — the allocation-free
+/// form the ALS half-steps call per factor row. The normal-equation
+/// assembly routes through the blocked
+/// [`gemm::gram_into`](crate::gemm::gram_into) kernel; per element the
+/// accumulation order over `a`'s rows is unchanged from the direct
+/// assembly. (Unlike the pre-scratch assembly, exact-zero terms are no
+/// longer skipped: on finite inputs — which the completion problem
+/// enforces at observation insert — adding a `±0.0` product can only
+/// alter a sum's bits in contrived signed-zero cases that the
+/// accumulators, starting from `+0.0`, do not reach; the end-to-end
+/// valuation bit-equality tests pin this.)
+pub fn ridge_solve_into(
+    a: &Matrix,
+    b: &[f64],
+    lambda: f64,
+    out: &mut [f64],
+    scratch: &mut RidgeScratch,
+) -> Result<()> {
     if lambda <= 0.0 {
         return Err(LinalgError::InvalidDimension {
             what: "ridge lambda must be positive",
         });
     }
-    if a.rows() != b.len() {
+    if a.rows() != b.len() || out.len() != a.cols() {
         return Err(LinalgError::ShapeMismatch {
             op: "ridge_solve",
             lhs: a.shape(),
@@ -135,27 +193,28 @@ pub fn ridge_solve(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
         });
     }
     let r = a.cols();
-    // Gram matrix AᵀA + λ I, built directly (r is small).
-    let mut gram = Matrix::zeros(r, r);
+    // gram_into overwrites every entry; solve_in_place reads only the
+    // lower triangle factor_lower writes — no zero-fill needed.
+    scratch.gram.resize_for_overwrite(r, r);
+    crate::gemm::gram_into(
+        a.as_slice(),
+        a.rows(),
+        r,
+        lambda,
+        scratch.gram.as_mut_slice(),
+    );
+    // Right-hand side Aᵀ b, accumulated row by row (i ascending, exactly
+    // the matvec_transpose order).
+    scratch.rhs.clear();
+    scratch.rhs.resize(r, 0.0);
     for i in 0..a.rows() {
-        let row = a.row(i);
-        for p in 0..r {
-            let rp = row[p];
-            if rp == 0.0 {
-                continue;
-            }
-            for q in 0..r {
-                let v = gram.get(p, q) + rp * row[q];
-                gram.set(p, q, v);
-            }
-        }
+        crate::vector::axpy(b[i], a.row(i), &mut scratch.rhs);
     }
-    for p in 0..r {
-        let v = gram.get(p, p) + lambda;
-        gram.set(p, p, v);
-    }
-    let rhs = a.matvec_transpose(b)?;
-    CholeskyFactor::new(&gram)?.solve(&rhs)
+    scratch.l.resize_for_overwrite(r, r);
+    factor_lower(&scratch.gram, &mut scratch.l)?;
+    out.copy_from_slice(&scratch.rhs);
+    solve_in_place(&scratch.l, out);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -256,6 +315,25 @@ mod tests {
         let x = ridge_solve(&a, &b, 1e-3).unwrap();
         // Symmetry of the problem forces x[0] == x[1].
         assert!(approx(x[0], x[1], 1e-9));
+    }
+
+    #[test]
+    fn ridge_solve_into_matches_allocating_form_bitwise() {
+        let a = Matrix::from_rows(&[&[1.0, 0.3], &[0.2, 1.1], &[-0.5, 2.0], &[1.5, -0.4]]).unwrap();
+        let b = [0.5, -1.0, 2.0, 0.25];
+        let expect = ridge_solve(&a, &b, 0.05).unwrap();
+        let mut scratch = RidgeScratch::new();
+        let mut out = vec![0.0; 2];
+        // Two calls through the same scratch: the second reuses buffers.
+        for _ in 0..2 {
+            ridge_solve_into(&a, &b, 0.05, &mut out, &mut scratch).unwrap();
+            for (x, y) in out.iter().zip(&expect) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Wrong output length is a shape error, not a panic.
+        let mut short = vec![0.0; 1];
+        assert!(ridge_solve_into(&a, &b, 0.05, &mut short, &mut scratch).is_err());
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Cache-blocked GEMM family: the allocation-free batch kernels behind
+//! the minibatch model math, the ALS normal equations, and the factor
+//! products.
+//!
+//! # The determinism contract
+//!
+//! Every kernel here computes each output element as **one full-length,
+//! in-order sequential sum over the shared dimension** — exactly the
+//! arithmetic of the naive per-element loop ([`mod@reference`]), and exactly
+//! the arithmetic of the per-sample `vector::dot`/`vector::axpy` loops
+//! the models used before they were batched. Blocking reorders *memory
+//! traffic* (which panel of the operands is resident in cache), never
+//! the floating-point reductions, so results are bit-identical to the
+//! naive loops for every shape — including ragged block edges. The
+//! property tests in `crates/linalg/tests/properties.rs` assert this
+//! bit-for-bit on random shapes, and the repo's wider determinism
+//! contract (parallel-vs-serial valuations compare equal to the bit)
+//! rests on it.
+//!
+//! Because of that contract, none of these kernels split a *reduction*
+//! across multiple accumulators (no SIMD-style partial sums within one
+//! output element). The speed comes from three things that reorder
+//! memory traffic only:
+//!
+//! * **panel blocking** — packed/transposed-`B` panels sized to stay
+//!   cache-resident while every row of `A` streams past;
+//! * **register blocking** — the k (or sample) loop is unrolled eight
+//!   wide so each output element is loaded/stored once per eight
+//!   contributions, with the adds written as one left-to-right chain
+//!   (`((c + p₀) + p₁) + p₂ …`), i.e. the same reduction order;
+//! * **vectorization across output elements** — the inner loops run
+//!   over a contiguous span of *independent* outputs, which the
+//!   compiler turns into SIMD; on x86-64 each kernel also has an
+//!   AVX2-compiled instantiation selected by runtime feature detection.
+//!   Lane width cannot change results: every lane is a different output
+//!   element, and rustc performs no floating-point contraction (no FMA
+//!   fusing), so each element's mul/add sequence is exactly the naive
+//!   one.
+//!
+//! # Layout conventions
+//!
+//! All kernels operate on row-major `&[f64]` views with explicit
+//! dimensions, so callers with flat parameter vectors (the models) and
+//! callers with [`Matrix`](crate::Matrix) values share one code path.
+//! `Matrix::matmul` and `Matrix::matmul_transpose` are thin wrappers
+//! over [`gemm_nn_into`] / [`gemm_nt_into`].
+
+use crate::vector;
+
+/// Reusable packing buffer for the kernels that transpose a panel of
+/// `B` ([`gemm_nt_into`]). Create once, pass to every call: the buffer
+/// grows to the largest panel it has seen and is never shrunk, so a
+/// steady-state caller performs no allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    packed: Vec<f64>,
+}
+
+impl Scratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// Target footprint of one packed/resident `B` panel. Half of a
+/// conservative 256 KiB L2: large enough to amortize packing, small
+/// enough that the panel survives a full sweep of `A`'s rows.
+const PANEL_BYTES: usize = 128 * 1024;
+
+/// Number of `B` columns (or rows, for the `nt` variant) per panel for
+/// a shared dimension of `k`.
+#[inline]
+fn panel_width(k: usize) -> usize {
+    (PANEL_BYTES / (8 * k.max(1))).clamp(8, 512)
+}
+
+/// Rows per panel in the `tn` (accumulating) kernel: bounds how much of
+/// `A`/`B` is touched between revisits of an output row.
+const TN_ROW_PANEL: usize = 128;
+
+/// Output columns per panel in the `tn` kernel: keeps the active slab of
+/// `C` (`m × TN_COL_PANEL` doubles) and the matching `B` panel columns
+/// cache-resident when `n` is wide (e.g. a 784-dim input layer's weight
+/// gradient). Panelling `n` splits independent outputs only.
+const TN_COL_PANEL: usize = 256;
+
+/// `C = A · B` — `a` is `m × k`, `b` is `k × n`, `c` is `m × n`, all
+/// row-major; `c` is overwritten.
+///
+/// The loop nest is i-k-j over panels of `b` columns: the inner loop is
+/// `c[i][j] += a[i][kk] · b[kk][j]` across a contiguous run of `j` —
+/// independent output accumulators, so the compiler vectorizes it, while
+/// each element still accumulates `kk` in ascending order through one
+/// accumulator (its slot in `c`), bit-identical to the naive dot. The
+/// panel bound keeps `b[.., j0..j1]` and the active `c` row slice
+/// cache-resident across the full `k` sweep.
+pub fn gemm_nn_into(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the feature was just detected at runtime.
+        unsafe { gemm_nn_avx2(a, b, c, m, k, n) };
+        return;
+    }
+    gemm_nn_impl(a, b, c, m, k, n);
+}
+
+/// AVX2-compiled instantiation of [`gemm_nn_impl`] (see the module docs
+/// on why wider lanes cannot change the bits).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nn_avx2(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    gemm_nn_impl(a, b, c, m, k, n);
+}
+
+#[inline(always)]
+fn gemm_nn_impl(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    c.iter_mut().for_each(|v| *v = 0.0);
+    let jb = panel_width(k);
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + jb).min(n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n + j0..i * n + j1];
+            accumulate_rows(a_row, b, n, j0, j1, c_row);
+        }
+        j0 = j1;
+    }
+}
+
+/// `c_row[j] += Σ_kk coeffs[kk] · rows[kk·stride + j0 + j]`, `kk`
+/// ascending per element. The kk loop is register-blocked eight wide:
+/// each `c_row` element is loaded and stored once per eight
+/// contributions, but the adds are written as one left-to-right chain —
+/// `((c + p₀) + p₁) + p₂ …` — so the reduction order (and the bits)
+/// match the plain one-at-a-time loop exactly.
+#[inline]
+fn accumulate_rows(
+    coeffs: &[f64],
+    rows: &[f64],
+    stride: usize,
+    j0: usize,
+    j1: usize,
+    c_row: &mut [f64],
+) {
+    debug_assert_eq!(c_row.len(), j1 - j0);
+    let k = coeffs.len();
+    let row = |kk: usize| &rows[kk * stride + j0..kk * stride + j1];
+    let mut kk = 0;
+    while kk + 8 <= k {
+        let a: [f64; 8] = coeffs[kk..kk + 8].try_into().expect("length 8");
+        let (b0, b1, b2, b3) = (row(kk), row(kk + 1), row(kk + 2), row(kk + 3));
+        let (b4, b5, b6, b7) = (row(kk + 4), row(kk + 5), row(kk + 6), row(kk + 7));
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            // Slices all have c_row's length; LLVM hoists the bounds
+            // checks and vectorizes across j.
+            let s = *cv + a[0] * b0[j];
+            let s = s + a[1] * b1[j];
+            let s = s + a[2] * b2[j];
+            let s = s + a[3] * b3[j];
+            let s = s + a[4] * b4[j];
+            let s = s + a[5] * b5[j];
+            let s = s + a[6] * b6[j];
+            *cv = s + a[7] * b7[j];
+        }
+        kk += 8;
+    }
+    while kk < k {
+        vector::axpy(coeffs[kk], row(kk), c_row);
+        kk += 1;
+    }
+}
+
+/// `C = A · Bᵀ` — `a` is `m × k`, `b` is `n × k`, `c` is `m × n`, all
+/// row-major; `c` is overwritten. The models' forward passes
+/// (`X · Wᵀ` with `W` stored `out × in`) and the factor product `W Hᵀ`
+/// land here.
+///
+/// Each panel of `b` rows is packed (transposed) into `scratch` once —
+/// `packed[kk][jj] = b[j0 + jj][kk]` — and reused across all `m` rows
+/// of `a`, turning the computation into the vectorizable i-k-j nest of
+/// [`gemm_nn_into`]. The packing is a pure copy; `c[i][j]` is still one
+/// in-order sum over `k`.
+pub fn gemm_nt_into(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut Scratch,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the feature was just detected at runtime.
+        unsafe { gemm_nt_avx2(a, b, c, m, k, n, scratch) };
+        return;
+    }
+    gemm_nt_impl(a, b, c, m, k, n, scratch);
+}
+
+/// AVX2-compiled instantiation of [`gemm_nt_impl`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nt_avx2(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut Scratch,
+) {
+    gemm_nt_impl(a, b, c, m, k, n, scratch);
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_nt_impl(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut Scratch,
+) {
+    c.iter_mut().for_each(|v| *v = 0.0);
+    // Cap the panel at n: a narrow product must not size (and zero) the
+    // packing buffer for columns that do not exist.
+    let jb = panel_width(k).min(n.max(1));
+    if scratch.packed.len() < jb * k {
+        scratch.packed.resize(jb * k, 0.0);
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + jb).min(n);
+        let w = j1 - j0;
+        // Pack rows j0..j1 of b transposed: packed[kk][jj] = b[j0+jj][kk].
+        for jj in 0..w {
+            for (kk, &v) in b[(j0 + jj) * k..(j0 + jj + 1) * k].iter().enumerate() {
+                scratch.packed[kk * w + jj] = v;
+            }
+        }
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n + j0..i * n + j1];
+            accumulate_rows(a_row, &scratch.packed[..k * w], w, 0, w, c_row);
+        }
+        j0 = j1;
+    }
+}
+
+/// `C += Aᵀ · B` — `a` is `l × m`, `b` is `l × n`, `c` is `m × n`, all
+/// row-major; `c` accumulates.
+///
+/// `c[p][q] += Σ_i a[i][p] · b[i][q]` with `i` strictly ascending per
+/// element — the batched form of "for each sample, `axpy` its
+/// contribution into the gradient", bit-identical to that per-sample
+/// loop. `l` is panelled so each output row is
+/// revisited while the `a`/`b` panel is still resident, and wide `n` is
+/// panelled so the active `C` slab stays cache-resident; panels are
+/// processed in ascending order, preserving the per-element sum order.
+pub fn gemm_tn_acc(a: &[f64], b: &[f64], c: &mut [f64], l: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), l * m);
+    debug_assert_eq!(b.len(), l * n);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the feature was just detected at runtime.
+        unsafe { gemm_tn_avx2(a, b, c, l, m, n) };
+        return;
+    }
+    gemm_tn_impl(a, b, c, l, m, n);
+}
+
+/// AVX2-compiled instantiation of [`gemm_tn_impl`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_tn_avx2(a: &[f64], b: &[f64], c: &mut [f64], l: usize, m: usize, n: usize) {
+    gemm_tn_impl(a, b, c, l, m, n);
+}
+
+#[inline(always)]
+fn gemm_tn_impl(a: &[f64], b: &[f64], c: &mut [f64], l: usize, m: usize, n: usize) {
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + TN_COL_PANEL).min(n);
+        let mut i0 = 0;
+        while i0 < l {
+            let i1 = (i0 + TN_ROW_PANEL).min(l);
+            for p in 0..m {
+                let c_row = &mut c[p * n + j0..p * n + j1];
+                // Register-blocked over samples: c_row is loaded/stored
+                // once per eight contributions, adds in strict
+                // i-ascending order (per element, across panels too) —
+                // bit-identical to one axpy per i.
+                let brow = |i: usize| &b[i * n + j0..i * n + j1];
+                let mut i = i0;
+                while i + 8 <= i1 {
+                    let mut ai = [0.0f64; 8];
+                    for (u, av) in ai.iter_mut().enumerate() {
+                        *av = a[(i + u) * m + p];
+                    }
+                    let (b0, b1, b2, b3) = (brow(i), brow(i + 1), brow(i + 2), brow(i + 3));
+                    let (b4, b5, b6, b7) = (brow(i + 4), brow(i + 5), brow(i + 6), brow(i + 7));
+                    for (j, cv) in c_row.iter_mut().enumerate() {
+                        let s = *cv + ai[0] * b0[j];
+                        let s = s + ai[1] * b1[j];
+                        let s = s + ai[2] * b2[j];
+                        let s = s + ai[3] * b3[j];
+                        let s = s + ai[4] * b4[j];
+                        let s = s + ai[5] * b5[j];
+                        let s = s + ai[6] * b6[j];
+                        *cv = s + ai[7] * b7[j];
+                    }
+                    i += 8;
+                }
+                while i < i1 {
+                    vector::axpy(a[i * m + p], brow(i), c_row);
+                    i += 1;
+                }
+            }
+            i0 = i1;
+        }
+        j0 = j1;
+    }
+}
+
+/// Adds `bias` to every row of the `rows × cols` matrix `c` — the fused
+/// epilogue of a forward pass (`logits = dot + bias`, one addition per
+/// element, applied after the full dot like the per-sample code did).
+pub fn add_bias_rows(c: &mut [f64], cols: usize, bias: &[f64]) {
+    debug_assert_eq!(bias.len(), cols);
+    debug_assert_eq!(c.len() % cols.max(1), 0);
+    for row in c.chunks_exact_mut(cols) {
+        for (cv, &bv) in row.iter_mut().zip(bias) {
+            *cv += bv;
+        }
+    }
+}
+
+/// Accumulates column sums: `out[j] += Σ_i a[i][j]`, `i` ascending —
+/// the batched bias gradient.
+pub fn col_sums_acc(a: &[f64], cols: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), cols);
+    debug_assert_eq!(a.len() % cols.max(1), 0);
+    for row in a.chunks_exact(cols) {
+        vector::axpy(1.0, row, out);
+    }
+}
+
+/// Ridge Gram matrix `G = AᵀA + λI` — `a` is `m × r`, `out` is `r × r`,
+/// overwritten. The assembly half of the ALS normal equations, routed
+/// through [`gemm_tn_acc`] (per element: `i` ascending over `a`'s rows,
+/// `λ` added to the diagonal afterwards — the order the unblocked
+/// assembly used).
+pub fn gram_into(a: &[f64], m: usize, r: usize, lambda: f64, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), r * r);
+    out.iter_mut().for_each(|v| *v = 0.0);
+    gemm_tn_acc(a, a, out, m, r, r);
+    for p in 0..r {
+        out[p * r + p] += lambda;
+    }
+}
+
+/// Unblocked reference kernels: the semantic spec the blocked family is
+/// tested against (bit-for-bit, see `tests/properties.rs`). Retained as
+/// plain per-element loops on purpose — slow, obviously correct.
+pub mod reference {
+    use crate::vector;
+
+    /// `C = A · B`, per element one in-order dot over `k`.
+    pub fn gemm_nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// `C = A · Bᵀ`, per element one in-order dot over `k`.
+    pub fn gemm_nt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                c[i * n + j] = vector::dot(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    /// `C += Aᵀ · B`, per element `i` ascending.
+    pub fn gemm_tn_acc(a: &[f64], b: &[f64], c: &mut [f64], l: usize, m: usize, n: usize) {
+        for i in 0..l {
+            for p in 0..m {
+                for q in 0..n {
+                    c[p * n + q] += a[i * m + p] * b[i * n + q];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill (xorshift-ish; no rand dep here).
+    fn fill(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nt_matches_reference_bits_on_ragged_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 33, 9),
+            (5, 600, 13),
+            (64, 7, 530),
+        ] {
+            let a = fill(m as u64 * 31 + k as u64, m * k);
+            let b = fill(n as u64 * 17 + 3, n * k);
+            let mut fast = vec![0.0; m * n];
+            let mut slow = vec![1.0; m * n];
+            let mut scratch = Scratch::new();
+            gemm_nt_into(&a, &b, &mut fast, m, k, n, &mut scratch);
+            reference::gemm_nt(&a, &b, &mut slow, m, k, n);
+            for (x, y) in fast.iter().zip(&slow) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn nn_matches_reference_bits_on_ragged_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (4, 6, 5), (9, 520, 11), (30, 3, 700)] {
+            let a = fill(m as u64 + 7, m * k);
+            let b = fill(k as u64 + 11, k * n);
+            let mut fast = vec![0.0; m * n];
+            let mut slow = vec![2.0; m * n];
+            gemm_nn_into(&a, &b, &mut fast, m, k, n);
+            reference::gemm_nn(&a, &b, &mut slow, m, k, n);
+            for (x, y) in fast.iter().zip(&slow) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn tn_acc_matches_reference_bits_and_accumulates() {
+        for &(l, m, n) in &[(1, 1, 1), (5, 3, 4), (300, 6, 9), (129, 2, 2)] {
+            let a = fill(l as u64 * 3, l * m);
+            let b = fill(l as u64 * 5 + 1, l * n);
+            let init = fill(9, m * n);
+            let mut fast = init.clone();
+            let mut slow = init;
+            gemm_tn_acc(&a, &b, &mut fast, l, m, n);
+            reference::gemm_tn_acc(&a, &b, &mut slow, l, m, n);
+            for (x, y) in fast.iter().zip(&slow) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({l},{m},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn bias_and_col_sums_match_hand_loops() {
+        let a = fill(1, 4 * 3);
+        let bias = fill(2, 3);
+        let mut c = a.clone();
+        add_bias_rows(&mut c, 3, &bias);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert_eq!(c[i * 3 + j].to_bits(), (a[i * 3 + j] + bias[j]).to_bits());
+            }
+        }
+        let mut sums = vec![0.5; 3];
+        let mut expect = sums.clone();
+        col_sums_acc(&a, 3, &mut sums);
+        for i in 0..4 {
+            for j in 0..3 {
+                expect[j] += a[i * 3 + j];
+            }
+        }
+        for (x, y) in sums.iter().zip(&expect) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn gram_matches_unblocked_assembly() {
+        let (m, r) = (23, 4);
+        let a = fill(5, m * r);
+        let lambda = 0.37;
+        let mut fast = vec![0.0; r * r];
+        gram_into(&a, m, r, lambda, &mut fast);
+        // The pre-refactor assembly: i outer, per-element i ascending,
+        // lambda added after.
+        let mut slow = vec![0.0; r * r];
+        for i in 0..m {
+            let row = &a[i * r..(i + 1) * r];
+            for p in 0..r {
+                for q in 0..r {
+                    slow[p * r + q] += row[p] * row[q];
+                }
+            }
+        }
+        for p in 0..r {
+            slow[p * r + p] += lambda;
+        }
+        for (x, y) in fast.iter().zip(&slow) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_across_shapes() {
+        let mut scratch = Scratch::new();
+        let a = fill(1, 6 * 520);
+        let b = fill(2, 9 * 520);
+        let mut c = vec![0.0; 6 * 9];
+        gemm_nt_into(&a, &b, &mut c, 6, 520, 9, &mut scratch);
+        let cap = scratch.packed.capacity();
+        // A smaller problem must not grow the buffer.
+        let a2 = fill(3, 2 * 8);
+        let b2 = fill(4, 3 * 8);
+        let mut c2 = vec![0.0; 2 * 3];
+        gemm_nt_into(&a2, &b2, &mut c2, 2, 8, 3, &mut scratch);
+        assert_eq!(scratch.packed.capacity(), cap);
+    }
+}

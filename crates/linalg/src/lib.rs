@@ -3,6 +3,8 @@
 //! The paper's pipeline needs a small but complete set of dense kernels:
 //!
 //! * a row-major [`Matrix`] with BLAS-1/2/3 style operations ([`matrix`]),
+//! * the cache-blocked, bit-deterministic GEMM family behind the
+//!   minibatch model kernels and the ALS normal equations ([`gemm`]),
 //! * vector kernels shared by the model/optimizer code ([`vector`]),
 //! * a Cholesky SPD solver used by the ALS matrix-completion sub-problems
 //!   ([`cholesky`]),
@@ -21,6 +23,7 @@
 
 pub mod cholesky;
 pub mod error;
+pub mod gemm;
 pub mod low_rank;
 pub mod matrix;
 pub mod qr;

@@ -7,8 +7,10 @@
 
 use crate::{LinalgError, Result};
 
-/// Dense row-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq)]
+/// Dense row-major `f64` matrix. The default value is the empty `0 × 0`
+/// matrix (what workspace buffers start as before their first
+/// [`resize`](Matrix::resize)).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -167,7 +169,10 @@ impl Matrix {
         out
     }
 
-    /// Matrix-matrix product `self * rhs`.
+    /// Matrix-matrix product `self * rhs`, evaluated by the cache-blocked
+    /// [`gemm::gemm_nn_into`](crate::gemm::gemm_nn_into) kernel. Each
+    /// entry is one in-order sum over the shared dimension, bit-identical
+    /// to the naive triple loop (see [`crate::gemm`]'s contract).
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -177,26 +182,20 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous
-        // rows of `rhs` and `out`, which matters for the T x 2^N matrices.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+        crate::gemm::gemm_nn_into(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         Ok(out)
     }
 
     /// Matrix-transpose product `self * rhs^T`, avoiding materializing the
-    /// transpose. Used for factor products `W Hᵀ`.
+    /// transpose. Used for factor products `W Hᵀ`. Routed through the
+    /// blocked [`gemm::gemm_nt_into`](crate::gemm::gemm_nt_into).
     pub fn matmul_transpose(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.cols {
             return Err(LinalgError::ShapeMismatch {
@@ -206,17 +205,16 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
+        let mut scratch = crate::gemm::Scratch::new();
+        crate::gemm::gemm_nt_into(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &mut scratch,
+        );
         Ok(out)
     }
 
@@ -325,6 +323,28 @@ impl Matrix {
     /// `true` when every entry is finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Reshapes in place to `rows × cols`, reusing the allocation (the
+    /// backing vector only grows, never shrinks its capacity). Every
+    /// entry is reset to zero — this is how the minibatch workspaces
+    /// recycle their per-chunk buffers without allocating.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// [`resize`](Matrix::resize) for buffers the caller fully
+    /// overwrites before reading: existing entries are kept (stale) and
+    /// only a grown tail is zeroed, skipping the clear-and-fill pass.
+    /// The minibatch hot loops use this for activation/delta buffers
+    /// that every chunk rewrites end to end.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Extracts a sub-matrix of the given row range (end exclusive).

@@ -75,6 +75,36 @@ where
     Some(acc)
 }
 
+/// [`mean_of`] into a caller-provided buffer: `out` is overwritten with
+/// the element-wise mean and `true` is returned, or left untouched with
+/// `false` for an empty set. Bit-identical to [`mean_of`] (same
+/// accumulate-then-scale order); the allocation-free form the utility
+/// oracle uses for its per-cell FedAvg aggregates.
+pub fn mean_into<'a, I>(vectors: I, out: &mut Vec<f64>) -> bool
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let mut it = vectors.into_iter();
+    let Some(first) = it.next() else {
+        return false;
+    };
+    out.clear();
+    out.extend_from_slice(first);
+    let mut count = 1usize;
+    for v in it {
+        debug_assert_eq!(v.len(), out.len());
+        for (a, &x) in out.iter_mut().zip(v) {
+            *a += x;
+        }
+        count += 1;
+    }
+    let inv = 1.0 / count as f64;
+    for a in out.iter_mut() {
+        *a *= inv;
+    }
+    true
+}
+
 /// Index of the maximum entry (first one wins on ties).
 pub fn argmax(a: &[f64]) -> usize {
     let mut best = 0;
@@ -163,6 +193,25 @@ mod tests {
     fn mean_of_single_is_identity() {
         let a = vec![1.5, -2.5];
         assert_eq!(mean_of([a.as_slice()]).unwrap(), a);
+    }
+
+    #[test]
+    fn mean_into_matches_mean_of_bits_and_reuses_buffer() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.3, -0.7, 10.0];
+        let c = vec![5.5, 0.1, -2.0];
+        let expect = mean_of([a.as_slice(), b.as_slice(), c.as_slice()]).unwrap();
+        let mut out = vec![9.0; 7]; // wrong size on purpose
+        assert!(mean_into(
+            [a.as_slice(), b.as_slice(), c.as_slice()],
+            &mut out
+        ));
+        assert_eq!(out.len(), 3);
+        for (x, y) in out.iter().zip(&expect) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(!mean_into(std::iter::empty::<&[f64]>(), &mut out));
+        assert_eq!(out.len(), 3, "empty set leaves the buffer alone");
     }
 
     #[test]

@@ -39,6 +39,58 @@ proptest! {
     }
 
     #[test]
+    fn blocked_gemm_nn_bit_identical_to_naive_reference(
+        // Random shapes, including ragged panel edges: dims straddle the
+        // kernel's minimum panel width (8) and stay odd-sized.
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mk_data = |s: u64, len: usize| -> Vec<f64> {
+            (0..len).map(|i| (((i as u64 * 2654435761 + s * 40503) % 997) as f64 / 499.0) - 1.0).collect()
+        };
+        let a = mk_data(seed, m * k);
+        let b = mk_data(seed + 1, k * n);
+        let mut blocked = vec![0.0; m * n];
+        let mut naive = vec![7.0; m * n];
+        fedval_linalg::gemm::gemm_nn_into(&a, &b, &mut blocked, m, k, n);
+        fedval_linalg::gemm::reference::gemm_nn(&a, &b, &mut naive, m, k, n);
+        for (x, y) in blocked.iter().zip(&naive) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // And Matrix::matmul takes the same blocked path.
+        let am = Matrix::from_vec(m, k, a).unwrap();
+        let bm = Matrix::from_vec(k, n, b).unwrap();
+        let via_matrix = am.matmul(&bm).unwrap();
+        for (x, y) in via_matrix.as_slice().iter().zip(&naive) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_nt_bit_identical_to_naive_reference(
+        m in 1usize..30,
+        k in 1usize..60,
+        n in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        let mk_data = |s: u64, len: usize| -> Vec<f64> {
+            (0..len).map(|i| (((i as u64 * 1099087573 + s * 97) % 883) as f64 / 441.0) - 1.0).collect()
+        };
+        let a = mk_data(seed, m * k);
+        let b = mk_data(seed + 2, n * k);
+        let mut blocked = vec![0.0; m * n];
+        let mut naive = vec![3.0; m * n];
+        let mut scratch = fedval_linalg::gemm::Scratch::new();
+        fedval_linalg::gemm::gemm_nt_into(&a, &b, &mut blocked, m, k, n, &mut scratch);
+        fedval_linalg::gemm::reference::gemm_nt(&a, &b, &mut naive, m, k, n);
+        for (x, y) in blocked.iter().zip(&naive) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
     fn svd_reconstructs_and_is_sorted(m in matrix(5, 4)) {
         let svd = Svd::new(&m).unwrap();
         for w in svd.sigma.windows(2) {

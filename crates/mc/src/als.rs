@@ -10,7 +10,7 @@
 
 use crate::completer::{check_finite, Completion, CompletionError, MatrixCompleter, SolveHooks};
 use crate::factors::Factors;
-use crate::parallel::pooled_rows;
+use crate::parallel::pooled_rows_init;
 use crate::problem::CompletionProblem;
 use fedval_linalg::{cholesky, Matrix};
 use rand::rngs::StdRng;
@@ -149,24 +149,45 @@ fn run_als(
     Ok((factors, objective_trace))
 }
 
+/// Per-worker buffers for the ridge sub-solves of one half-step: the
+/// gathered design matrix and right-hand side, plus the Gram/Cholesky
+/// scratch. Reused across every row a worker handles — the half-steps
+/// used to allocate all four per sub-solve.
+#[derive(Default)]
+struct RowScratch {
+    design: Matrix,
+    rhs: Vec<f64>,
+    ridge: cholesky::RidgeScratch,
+}
+
 /// Solves every row of `W` given fixed `H`.
 fn half_step_rows(problem: &CompletionProblem, factors: &mut Factors, lambda: f64) {
     let r = factors.rank();
     let h = factors.h.clone();
-    pooled_rows(factors.w.as_mut_slice(), r, |row, out| {
-        let entry_ids = problem.row_entries(row);
-        solve_one(problem, &h, entry_ids, lambda, r, Side::Row, out);
-    });
+    pooled_rows_init(
+        factors.w.as_mut_slice(),
+        r,
+        RowScratch::default,
+        |scratch, row, out| {
+            let entry_ids = problem.row_entries(row);
+            solve_one(problem, &h, entry_ids, lambda, Side::Row, scratch, out);
+        },
+    );
 }
 
 /// Solves every row of `H` given fixed `W`.
 fn half_step_cols(problem: &CompletionProblem, factors: &mut Factors, lambda: f64) {
     let r = factors.rank();
     let w = factors.w.clone();
-    pooled_rows(factors.h.as_mut_slice(), r, |col, out| {
-        let entry_ids = problem.col_entries(col);
-        solve_one(problem, &w, entry_ids, lambda, r, Side::Col, out);
-    });
+    pooled_rows_init(
+        factors.h.as_mut_slice(),
+        r,
+        RowScratch::default,
+        |scratch, col, out| {
+            let entry_ids = problem.col_entries(col);
+            solve_one(problem, &w, entry_ids, lambda, Side::Col, scratch, out);
+        },
+    );
 }
 
 enum Side {
@@ -174,35 +195,48 @@ enum Side {
     Col,
 }
 
-/// Ridge-solves one factor row against its observed entries. A row/column
-/// with no observations is regularized to zero.
+/// Ridge-solves one factor row against its observed entries, assembling
+/// the normal equations through the blocked
+/// [`gemm`](fedval_linalg::gemm) Gram kernel
+/// ([`cholesky::ridge_solve_into`]). A row/column with no observations
+/// is regularized to zero.
 fn solve_one(
     problem: &CompletionProblem,
     other: &Matrix,
     entry_ids: &[usize],
     lambda: f64,
-    rank: usize,
     side: Side,
+    scratch: &mut RowScratch,
     out: &mut [f64],
 ) {
     if entry_ids.is_empty() {
         out.iter_mut().for_each(|v| *v = 0.0);
         return;
     }
-    let mut design = Matrix::zeros(entry_ids.len(), rank);
-    let mut rhs = Vec::with_capacity(entry_ids.len());
+    let rank = other.cols();
+    // Every design row is fully overwritten below; skip the zero-fill.
+    scratch.design.resize_for_overwrite(entry_ids.len(), rank);
+    scratch.rhs.clear();
     for (k, &eid) in entry_ids.iter().enumerate() {
         let (row, col, value) = problem.entries()[eid];
         let other_index = match side {
             Side::Row => col,
             Side::Col => row,
         };
-        design.row_mut(k).copy_from_slice(other.row(other_index));
-        rhs.push(value);
+        scratch
+            .design
+            .row_mut(k)
+            .copy_from_slice(other.row(other_index));
+        scratch.rhs.push(value);
     }
-    let solution =
-        cholesky::ridge_solve(&design, &rhs, lambda).expect("ridge system is SPD for lambda > 0");
-    out.copy_from_slice(&solution);
+    cholesky::ridge_solve_into(
+        &scratch.design,
+        &scratch.rhs,
+        lambda,
+        out,
+        &mut scratch.ridge,
+    )
+    .expect("ridge system is SPD for lambda > 0");
 }
 
 #[cfg(test)]

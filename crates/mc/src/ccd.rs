@@ -139,32 +139,45 @@ fn run_ccd(
         .map(|&(row, col, v)| v - factors.predict(row, col))
         .collect();
 
-    // Per-dimension scratch columns: the factor matrices are row-major,
-    // so the pooled per-row/per-column updates write into these
-    // contiguous buffers and are scattered back into column `k`.
+    // Per-dimension scratch columns. The factor matrices are row-major
+    // (stride `r` between consecutive rows of one column), so the inner
+    // products of a rank dimension would stride-gather through them on
+    // every entry; instead, column `k` of each factor is mirrored in the
+    // contiguous `wcol`/`hcol` caches (refreshed after each scatter) and
+    // every fold/unfold/ridge pass reads those — same values, unit
+    // stride. `wk`/`hk` receive the pooled per-row updates.
     let mut wk = vec![0.0; t];
     let mut hk = vec![0.0; c];
+    let mut wcol = vec![0.0; t];
+    let mut hcol = vec![0.0; c];
 
     let mut objective_trace = vec![objective(problem, &factors, &residuals, config.lambda)];
     for sweep in 0..config.max_iters {
         hooks.check()?;
         for k in 0..r {
+            for (row, v) in wcol.iter_mut().enumerate() {
+                *v = factors.w.get(row, k);
+            }
+            for (col, v) in hcol.iter_mut().enumerate() {
+                *v = factors.h.get(col, k);
+            }
             // Fold dimension k back into the residual: r̂_e = r_e + w_tk h_ck.
             for (e, &(row, col, _)) in problem.entries().iter().enumerate() {
-                residuals[e] += factors.w.get(row, k) * factors.h.get(col, k);
+                residuals[e] += wcol[row] * hcol[col];
             }
             for _inner in 0..config.inner_iters {
                 // Update column k of W: 1-D ridge per row. Rows read only
-                // the residuals and H, so they fan out across the pool.
+                // the residuals and H's cached column, so they fan out
+                // across the pool.
                 {
-                    let h = &factors.h;
+                    let hcol = &hcol;
                     let residuals = &residuals;
                     pooled_rows(&mut wk, 1, |row, out| {
                         let mut num = 0.0;
                         let mut den = config.lambda;
                         for &e in problem.row_entries(row) {
                             let (_, col, _) = problem.entries()[e];
-                            let hv = h.get(col, k);
+                            let hv = hcol[col];
                             num += residuals[e] * hv;
                             den += hv * hv;
                         }
@@ -174,16 +187,17 @@ fn run_ccd(
                 for (row, &v) in wk.iter().enumerate() {
                     factors.w.set(row, k, v);
                 }
+                wcol.copy_from_slice(&wk);
                 // Update column k of H: 1-D ridge per column.
                 {
-                    let w = &factors.w;
+                    let wcol = &wcol;
                     let residuals = &residuals;
                     pooled_rows(&mut hk, 1, |col, out| {
                         let mut num = 0.0;
                         let mut den = config.lambda;
                         for &e in problem.col_entries(col) {
                             let (row, _, _) = problem.entries()[e];
-                            let wv = w.get(row, k);
+                            let wv = wcol[row];
                             num += residuals[e] * wv;
                             den += wv * wv;
                         }
@@ -193,10 +207,11 @@ fn run_ccd(
                 for (col, &v) in hk.iter().enumerate() {
                     factors.h.set(col, k, v);
                 }
+                hcol.copy_from_slice(&hk);
             }
             // Subtract the refreshed rank-one term from the residual.
             for (e, &(row, col, _)) in problem.entries().iter().enumerate() {
-                residuals[e] -= factors.w.get(row, k) * factors.h.get(col, k);
+                residuals[e] -= wcol[row] * hcol[col];
             }
         }
         let obj = objective(problem, &factors, &residuals, config.lambda);

@@ -8,8 +8,10 @@
 
 use crate::init::xavier_fill;
 use crate::traits::Model;
+use crate::workspace::{check, chunks, Workspace};
 use fedval_data::Dataset;
-use fedval_linalg::vector;
+use fedval_linalg::{gemm, vector, Matrix};
+use fedval_runtime::{CancelToken, Cancelled};
 
 /// Architecture of [`Cnn`].
 #[derive(Debug, Clone)]
@@ -130,20 +132,16 @@ impl Cnn {
         }
     }
 
-    /// Forward pass. Writes the post-ReLU conv maps, pooled maps, and
-    /// logits into the provided buffers (resized as needed).
-    fn forward_into(
-        &self,
-        x: &[f64],
-        conv_out: &mut Vec<f64>,
-        pooled: &mut Vec<f64>,
-        logits: &mut Vec<f64>,
-    ) {
-        let (h, w) = (self.config.height, self.config.width);
-        debug_assert_eq!(x.len(), h * w);
+    /// Conv + pool for one sample, writing the post-ReLU conv maps into
+    /// `conv_row` and the pooled maps into `pooled_row`. The scalar
+    /// kernel loop keeps its original accumulation order (`acc = bias`,
+    /// then one 3-wide dot per kernel row) — the batched path reuses it
+    /// per row, so conv results stay bit-identical to the per-sample
+    /// code.
+    fn conv_pool_sample(&self, x: &[f64], conv_row: &mut [f64], pooled_row: &mut [f64]) {
+        let w = self.config.width;
+        debug_assert_eq!(x.len(), self.config.height * w);
         let k = self.config.filters;
-        conv_out.clear();
-        conv_out.resize(k * self.conv_h * self.conv_w, 0.0);
         for f in 0..k {
             let wf = &self.params[self.conv_w_off + f * KERNEL * KERNEL
                 ..self.conv_w_off + (f + 1) * KERNEL * KERNEL];
@@ -157,27 +155,43 @@ impl Cnn {
                         acc += vector::dot(row, wrow);
                     }
                     // ReLU applied in place.
-                    conv_out[f * self.conv_h * self.conv_w + i * self.conv_w + j] = acc.max(0.0);
+                    conv_row[f * self.conv_h * self.conv_w + i * self.conv_w + j] = acc.max(0.0);
                 }
             }
         }
         // 2x2 average pooling (stride 2, trailing row/col dropped).
-        pooled.clear();
-        pooled.resize(self.dense_in(), 0.0);
         for f in 0..k {
             let plane =
-                &conv_out[f * self.conv_h * self.conv_w..(f + 1) * self.conv_h * self.conv_w];
+                &conv_row[f * self.conv_h * self.conv_w..(f + 1) * self.conv_h * self.conv_w];
             for i in 0..self.pool_h {
                 for j in 0..self.pool_w {
                     let a = plane[(2 * i) * self.conv_w + 2 * j];
                     let b = plane[(2 * i) * self.conv_w + 2 * j + 1];
                     let c = plane[(2 * i + 1) * self.conv_w + 2 * j];
                     let d = plane[(2 * i + 1) * self.conv_w + 2 * j + 1];
-                    pooled[f * self.pool_h * self.pool_w + i * self.pool_w + j] =
+                    pooled_row[f * self.pool_h * self.pool_w + i * self.pool_w + j] =
                         0.25 * (a + b + c + d);
                 }
             }
         }
+    }
+
+    /// Forward pass for one sample. Writes the post-ReLU conv maps,
+    /// pooled maps, and logits into the provided buffers (resized as
+    /// needed). Used by `predict` and the retained reference loops.
+    fn forward_into(
+        &self,
+        x: &[f64],
+        conv_out: &mut Vec<f64>,
+        pooled: &mut Vec<f64>,
+        logits: &mut Vec<f64>,
+    ) {
+        let k = self.config.filters;
+        conv_out.clear();
+        conv_out.resize(k * self.conv_h * self.conv_w, 0.0);
+        pooled.clear();
+        pooled.resize(self.dense_in(), 0.0);
+        self.conv_pool_sample(x, conv_out, pooled);
         // Dense head.
         let dense_in = self.dense_in();
         logits.clear();
@@ -188,18 +202,220 @@ impl Cnn {
             *l = vector::dot(wrow, pooled) + self.params[self.dense_b_off + c];
         }
     }
+
+    /// Batched forward over a chunk: per-sample conv/pool into workspace
+    /// matrix rows (no per-sample allocation), then one `pooled · Wᵀ`
+    /// GEMM plus fused bias add for the dense head.
+    fn forward_chunk(
+        &self,
+        x: &[f64],
+        rows: usize,
+        conv: &mut Matrix,
+        pooled: &mut Matrix,
+        logits: &mut Matrix,
+        scratch: &mut gemm::Scratch,
+    ) {
+        let in_dim = self.input_dim();
+        let dense_in = self.dense_in();
+        let classes = self.config.num_classes;
+        conv.resize_for_overwrite(rows, self.config.filters * self.conv_h * self.conv_w);
+        pooled.resize_for_overwrite(rows, dense_in);
+        for r in 0..rows {
+            self.conv_pool_sample(
+                &x[r * in_dim..(r + 1) * in_dim],
+                conv.row_mut(r),
+                pooled.row_mut(r),
+            );
+        }
+        logits.resize_for_overwrite(rows, classes);
+        gemm::gemm_nt_into(
+            pooled.as_slice(),
+            &self.params[self.dense_w_off..self.dense_b_off],
+            logits.as_mut_slice(),
+            rows,
+            dense_in,
+            classes,
+            scratch,
+        );
+        gemm::add_bias_rows(
+            logits.as_mut_slice(),
+            classes,
+            &self.params[self.dense_b_off..],
+        );
+    }
 }
 
-impl Model for Cnn {
-    fn params(&self) -> &[f64] {
-        &self.params
+impl Cnn {
+    /// Pool + ReLU backward and conv weight/bias accumulation for one
+    /// sample — the original scalar loop, accumulation order unchanged.
+    fn conv_backward_sample(
+        &self,
+        x: &[f64],
+        conv_row: &[f64],
+        pooled_delta: &[f64],
+        out: &mut [f64],
+    ) {
+        let k = self.config.filters;
+        let w = self.config.width;
+        for f in 0..k {
+            let plane =
+                &conv_row[f * self.conv_h * self.conv_w..(f + 1) * self.conv_h * self.conv_w];
+            for pi in 0..self.pool_h {
+                for pj in 0..self.pool_w {
+                    let pd =
+                        pooled_delta[f * self.pool_h * self.pool_w + pi * self.pool_w + pj] * 0.25;
+                    if pd == 0.0 {
+                        continue;
+                    }
+                    for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                        let ci = 2 * pi + di;
+                        let cj = 2 * pj + dj;
+                        // ReLU derivative: active iff output > 0.
+                        if plane[ci * self.conv_w + cj] <= 0.0 {
+                            continue;
+                        }
+                        // conv cell (f, ci, cj) delta = pd; accumulate
+                        // into filter weights and bias.
+                        let wf_grad = &mut out[self.conv_w_off + f * KERNEL * KERNEL
+                            ..self.conv_w_off + (f + 1) * KERNEL * KERNEL];
+                        for ki in 0..KERNEL {
+                            let xrow = &x[(ci + ki) * w + cj..(ci + ki) * w + cj + KERNEL];
+                            vector::axpy(pd, xrow, &mut wf_grad[ki * KERNEL..(ki + 1) * KERNEL]);
+                        }
+                        out[self.conv_b_off + f] += pd;
+                    }
+                }
+            }
+        }
     }
 
-    fn params_mut(&mut self) -> &mut [f64] {
-        &mut self.params
+    fn batched_loss(
+        &self,
+        data: &Dataset,
+        ws: &mut Workspace,
+        cancel: Option<&CancelToken>,
+    ) -> Result<f64, Cancelled> {
+        assert_eq!(data.dim(), self.input_dim(), "dataset dimension mismatch");
+        if data.is_empty() {
+            return Ok(self.reg_term());
+        }
+        let in_dim = self.input_dim();
+        let feat = data.features().as_slice();
+        let labels = data.labels();
+        let (bufs, gemm_scratch) = ws.parts(3);
+        let mut total = 0.0;
+        for (start, end) in chunks(data.len()) {
+            check(cancel)?;
+            let rows = end - start;
+            let (conv, rest) = bufs.split_at_mut(1);
+            let (pooled, logits) = rest.split_at_mut(1);
+            self.forward_chunk(
+                &feat[start * in_dim..end * in_dim],
+                rows,
+                &mut conv[0],
+                &mut pooled[0],
+                &mut logits[0],
+                gemm_scratch,
+            );
+            for (r, &y) in labels[start..end].iter().enumerate() {
+                let row = logits[0].row(r);
+                total += vector::log_sum_exp(row) - row[y];
+            }
+        }
+        Ok(total / data.len() as f64 + self.reg_term())
     }
 
-    fn loss(&self, data: &Dataset) -> f64 {
+    fn batched_grad(
+        &self,
+        data: &Dataset,
+        out: &mut [f64],
+        ws: &mut Workspace,
+        cancel: Option<&CancelToken>,
+    ) -> Result<f64, Cancelled> {
+        assert_eq!(out.len(), self.params.len(), "gradient buffer mismatch");
+        assert_eq!(data.dim(), self.input_dim(), "dataset dimension mismatch");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        if data.is_empty() {
+            vector::axpy(self.config.reg, &self.params, out);
+            return Ok(self.reg_term());
+        }
+        let inv_n = 1.0 / data.len() as f64;
+        let in_dim = self.input_dim();
+        let dense_in = self.dense_in();
+        let classes = self.config.num_classes;
+        let feat = data.features().as_slice();
+        let labels = data.labels();
+        let (bufs, gemm_scratch) = ws.parts(5);
+        let mut total = 0.0;
+        for (start, end) in chunks(data.len()) {
+            check(cancel)?;
+            let rows = end - start;
+            let x = &feat[start * in_dim..end * in_dim];
+            let (conv, rest) = bufs.split_at_mut(1);
+            let (pooled, rest) = rest.split_at_mut(1);
+            let (logits, rest) = rest.split_at_mut(1);
+            let (coeff, pooled_delta) = rest.split_at_mut(1);
+            let (conv, pooled, logits) = (&mut conv[0], &mut pooled[0], &mut logits[0]);
+            let (coeff, pooled_delta) = (&mut coeff[0], &mut pooled_delta[0]);
+
+            self.forward_chunk(x, rows, conv, pooled, logits, gemm_scratch);
+            // coeff row = (softmax(logits) − onehot(y)) · inv_n — the
+            // per-sample code's `delta_c`, including the scaling.
+            coeff.resize_for_overwrite(rows, classes);
+            for (r, &y) in labels[start..end].iter().enumerate() {
+                let lrow = logits.row(r);
+                total += vector::log_sum_exp(lrow) - lrow[y];
+                let crow = coeff.row_mut(r);
+                vector::softmax_into(lrow, crow);
+                crow[y] -= 1.0;
+                for v in crow {
+                    *v *= inv_n;
+                }
+            }
+            // Dense head: W += coeffᵀ · pooled, bias += column sums.
+            gemm::gemm_tn_acc(
+                coeff.as_slice(),
+                pooled.as_slice(),
+                &mut out[self.dense_w_off..self.dense_b_off],
+                rows,
+                classes,
+                dense_in,
+            );
+            gemm::col_sums_acc(
+                coeff.as_slice(),
+                classes,
+                &mut out[self.dense_b_off..self.dense_b_off + classes],
+            );
+            // pooled_delta = coeff · W_dense (class-ascending per element,
+            // as the per-sample axpy loop).
+            pooled_delta.resize_for_overwrite(rows, dense_in);
+            gemm::gemm_nn_into(
+                coeff.as_slice(),
+                &self.params[self.dense_w_off..self.dense_b_off],
+                pooled_delta.as_mut_slice(),
+                rows,
+                classes,
+                dense_in,
+            );
+            // Conv backward, per sample in ascending order.
+            for r in 0..rows {
+                self.conv_backward_sample(
+                    &x[r * in_dim..(r + 1) * in_dim],
+                    conv.row(r),
+                    pooled_delta.row(r),
+                    out,
+                );
+            }
+        }
+        vector::axpy(self.config.reg, &self.params, out);
+        Ok(total * inv_n + self.reg_term())
+    }
+
+    /// The pre-batching per-sample loss loop, retained verbatim as the
+    /// naive reference the equivalence tests and the `cell_throughput`
+    /// benchmark compare against.
+    #[doc(hidden)]
+    pub fn loss_per_sample(&self, data: &Dataset) -> f64 {
         assert_eq!(data.dim(), self.input_dim(), "dataset dimension mismatch");
         if data.is_empty() {
             return self.reg_term();
@@ -216,7 +432,10 @@ impl Model for Cnn {
         total / data.len() as f64 + self.reg_term()
     }
 
-    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+    /// The pre-batching per-sample gradient loop (see
+    /// [`loss_per_sample`](Cnn::loss_per_sample)).
+    #[doc(hidden)]
+    pub fn grad_per_sample(&self, data: &Dataset, out: &mut [f64]) -> f64 {
         assert_eq!(out.len(), self.params.len(), "gradient buffer mismatch");
         assert_eq!(data.dim(), self.input_dim(), "dataset dimension mismatch");
         out.iter_mut().for_each(|v| *v = 0.0);
@@ -225,9 +444,7 @@ impl Model for Cnn {
             return self.reg_term();
         }
         let inv_n = 1.0 / data.len() as f64;
-        let k = self.config.filters;
         let dense_in = self.dense_in();
-        let (h, w) = (self.config.height, self.config.width);
         let mut conv = Vec::new();
         let mut pooled = Vec::new();
         let mut logits = Vec::new();
@@ -255,47 +472,54 @@ impl Model for Cnn {
                 vector::axpy(delta_c, wrow, &mut pooled_delta);
             }
 
-            // Back through pooling (each conv cell gets 1/4 of its pool's
-            // delta) and ReLU (mask on post-ReLU conv value).
-            for f in 0..k {
-                let plane =
-                    &conv[f * self.conv_h * self.conv_w..(f + 1) * self.conv_h * self.conv_w];
-                for pi in 0..self.pool_h {
-                    for pj in 0..self.pool_w {
-                        let pd = pooled_delta
-                            [f * self.pool_h * self.pool_w + pi * self.pool_w + pj]
-                            * 0.25;
-                        if pd == 0.0 {
-                            continue;
-                        }
-                        for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
-                            let ci = 2 * pi + di;
-                            let cj = 2 * pj + dj;
-                            // ReLU derivative: active iff output > 0.
-                            if plane[ci * self.conv_w + cj] <= 0.0 {
-                                continue;
-                            }
-                            // conv cell (f, ci, cj) delta = pd; accumulate
-                            // into filter weights and bias.
-                            let wf_grad = &mut out[self.conv_w_off + f * KERNEL * KERNEL
-                                ..self.conv_w_off + (f + 1) * KERNEL * KERNEL];
-                            for ki in 0..KERNEL {
-                                let xrow = &x[(ci + ki) * w + cj..(ci + ki) * w + cj + KERNEL];
-                                vector::axpy(
-                                    pd,
-                                    xrow,
-                                    &mut wf_grad[ki * KERNEL..(ki + 1) * KERNEL],
-                                );
-                            }
-                            out[self.conv_b_off + f] += pd;
-                        }
-                    }
-                }
-            }
+            // Back through pooling and ReLU.
+            self.conv_backward_sample(x, &conv, &pooled_delta, out);
         }
         vector::axpy(self.config.reg, &self.params, out);
-        let _ = h;
         total * inv_n + self.reg_term()
+    }
+}
+
+impl Model for Cnn {
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    fn loss(&self, data: &Dataset) -> f64 {
+        self.loss_with(data, &mut Workspace::new())
+    }
+
+    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+        self.grad_with(data, out, &mut Workspace::new())
+    }
+
+    fn loss_with(&self, data: &Dataset, ws: &mut Workspace) -> f64 {
+        self.batched_loss(data, ws, None)
+            .expect("uncancellable evaluation")
+    }
+
+    fn grad_with(&self, data: &Dataset, out: &mut [f64], ws: &mut Workspace) -> f64 {
+        self.batched_grad(data, out, ws, None)
+            .expect("uncancellable evaluation")
+    }
+
+    fn try_loss_with(&self, data: &Dataset, ws: &mut Workspace) -> Result<f64, Cancelled> {
+        let cancel = ws.cancel_token().cloned();
+        self.batched_loss(data, ws, cancel.as_ref())
+    }
+
+    fn try_grad_with(
+        &self,
+        data: &Dataset,
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<f64, Cancelled> {
+        let cancel = ws.cancel_token().cloned();
+        self.batched_grad(data, out, ws, cancel.as_ref())
     }
 
     fn predict(&self, x: &[f64]) -> usize {
@@ -397,6 +621,31 @@ mod tests {
         let coords: Vec<usize> = (0..m.num_params()).step_by(5).collect();
         let err = finite_difference_check(&mut m, &d, &coords, 1e-6);
         assert!(err < 1e-5, "fd mismatch {err}");
+    }
+
+    #[test]
+    fn batched_paths_match_per_sample_reference_bitwise() {
+        let d = image_dataset(23, 7, 8, 3, 4);
+        let m = Cnn::new(
+            CnnConfig {
+                height: 7,
+                width: 8,
+                filters: 3,
+                num_classes: 3,
+                reg: 0.01,
+            },
+            17,
+        );
+        assert_eq!(m.loss(&d).to_bits(), m.loss_per_sample(&d).to_bits());
+        let mut ws = crate::workspace::Workspace::new();
+        let mut g_batched = vec![0.0; m.num_params()];
+        let mut g_ref = vec![0.0; m.num_params()];
+        let lb = m.grad_with(&d, &mut g_batched, &mut ws);
+        let lr = m.grad_per_sample(&d, &mut g_ref);
+        assert_eq!(lb.to_bits(), lr.to_bits());
+        for (a, b) in g_batched.iter().zip(&g_ref) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

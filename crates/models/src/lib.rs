@@ -14,8 +14,21 @@
 //! * [`linear`] — multinomial logistic regression with optional L2.
 //! * [`mlp`] — fully connected network with manual backprop.
 //! * [`cnn`] — small convolutional network (conv → ReLU → pool → dense).
-//! * [`optim`] — SGD step and the paper's learning-rate schedules.
+//! * [`optim`] — SGD steps, minibatch SGD, and the learning-rate
+//!   schedules.
 //! * [`init`] — seeded parameter initialization.
+//! * [`workspace`] — reusable minibatch buffers for the batched kernels.
+//!
+//! # Batched evaluation
+//!
+//! `loss`/`grad` run through cache-blocked minibatch GEMM kernels
+//! (`fedval_linalg::gemm`): examples are processed in `(batch ×
+//! features)` chunks with preallocated per-layer activation/gradient
+//! matrices from a [`Workspace`]. Every reduction keeps the per-sample,
+//! ascending accumulation order, so batched results are bit-identical
+//! to the per-sample loops — which are retained on each model as
+//! `loss_per_sample`/`grad_per_sample` reference paths and asserted
+//! equal (to the bit) in `tests/batched_equivalence.rs`.
 
 pub mod cnn;
 pub mod init;
@@ -23,9 +36,11 @@ pub mod linear;
 pub mod mlp;
 pub mod optim;
 pub mod traits;
+pub mod workspace;
 
 pub use cnn::{Cnn, CnnConfig};
 pub use linear::LogisticRegression;
 pub use mlp::{Activation, Mlp};
 pub use optim::{sgd_step, LearningRate};
 pub use traits::Model;
+pub use workspace::Workspace;

@@ -7,8 +7,10 @@
 
 use crate::init::xavier_fill;
 use crate::traits::Model;
+use crate::workspace::{check, chunks, Workspace};
 use fedval_data::Dataset;
-use fedval_linalg::vector;
+use fedval_linalg::{gemm, vector};
+use fedval_runtime::{CancelToken, Cancelled};
 
 /// Multinomial (softmax) logistic regression.
 ///
@@ -81,18 +83,117 @@ impl LogisticRegression {
             0.5 * self.reg * vector::dot(&self.params, &self.params)
         }
     }
-}
 
-impl Model for LogisticRegression {
-    fn params(&self) -> &[f64] {
-        &self.params
+    /// Fills `logits` (`rows × num_classes`) for a chunk of examples:
+    /// one `X · Wᵀ` GEMM plus the fused bias add — per element the same
+    /// `dot + bias` the per-sample path computes.
+    fn logits_chunk(
+        &self,
+        x: &[f64],
+        rows: usize,
+        logits: &mut fedval_linalg::Matrix,
+        scratch: &mut gemm::Scratch,
+    ) {
+        let (c, d) = (self.num_classes, self.dim);
+        logits.resize_for_overwrite(rows, c);
+        gemm::gemm_nt_into(
+            x,
+            &self.params[..c * d],
+            logits.as_mut_slice(),
+            rows,
+            d,
+            c,
+            scratch,
+        );
+        gemm::add_bias_rows(logits.as_mut_slice(), c, &self.params[c * d..]);
     }
 
-    fn params_mut(&mut self) -> &mut [f64] {
-        &mut self.params
+    fn batched_loss(
+        &self,
+        data: &Dataset,
+        ws: &mut Workspace,
+        cancel: Option<&CancelToken>,
+    ) -> Result<f64, Cancelled> {
+        assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
+        if data.is_empty() {
+            return Ok(self.reg_term());
+        }
+        let d = self.dim;
+        let feat = data.features().as_slice();
+        let labels = data.labels();
+        let (bufs, gemm_scratch) = ws.parts(1);
+        let mut total = 0.0;
+        for (start, end) in chunks(data.len()) {
+            check(cancel)?;
+            self.logits_chunk(
+                &feat[start * d..end * d],
+                end - start,
+                &mut bufs[0],
+                gemm_scratch,
+            );
+            for (r, &y) in labels[start..end].iter().enumerate() {
+                let row = bufs[0].row(r);
+                total += vector::log_sum_exp(row) - row[y];
+            }
+        }
+        Ok(total / data.len() as f64 + self.reg_term())
     }
 
-    fn loss(&self, data: &Dataset) -> f64 {
+    fn batched_grad(
+        &self,
+        data: &Dataset,
+        out: &mut [f64],
+        ws: &mut Workspace,
+        cancel: Option<&CancelToken>,
+    ) -> Result<f64, Cancelled> {
+        assert_eq!(out.len(), self.params.len(), "gradient buffer mismatch");
+        assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let (c, d) = (self.num_classes, self.dim);
+        if data.is_empty() {
+            vector::axpy(self.reg, &self.params, out);
+            return Ok(self.reg_term());
+        }
+        let inv_n = 1.0 / data.len() as f64;
+        let feat = data.features().as_slice();
+        let labels = data.labels();
+        let (bufs, gemm_scratch) = ws.parts(2);
+        let mut total = 0.0;
+        for (start, end) in chunks(data.len()) {
+            check(cancel)?;
+            let rows = end - start;
+            let x = &feat[start * d..end * d];
+            let (logits, coeff) = {
+                let (a, b) = bufs.split_at_mut(1);
+                (&mut a[0], &mut b[0])
+            };
+            self.logits_chunk(x, rows, logits, gemm_scratch);
+            coeff.resize_for_overwrite(rows, c);
+            for (r, &y) in labels[start..end].iter().enumerate() {
+                let lrow = logits.row(r);
+                total += vector::log_sum_exp(lrow) - lrow[y];
+                // coeff row = (softmax(logits) − onehot(y)) · inv_n.
+                let crow = coeff.row_mut(r);
+                vector::softmax_into(lrow, crow);
+                crow[y] -= 1.0;
+                for v in crow {
+                    *v *= inv_n;
+                }
+            }
+            // W += coeffᵀ X, bias += column sums — sample-ascending
+            // accumulation, bit-identical to the per-sample axpy loop.
+            gemm::gemm_tn_acc(coeff.as_slice(), x, &mut out[..c * d], rows, c, d);
+            gemm::col_sums_acc(coeff.as_slice(), c, &mut out[c * d..]);
+        }
+        vector::axpy(self.reg, &self.params, out);
+        Ok(total * inv_n + self.reg_term())
+    }
+
+    /// The pre-batching per-sample loss loop, retained verbatim as the
+    /// naive reference the equivalence tests and the `cell_throughput`
+    /// benchmark compare against.
+    #[doc(hidden)]
+    pub fn loss_per_sample(&self, data: &Dataset) -> f64 {
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         if data.is_empty() {
             return self.reg_term();
@@ -108,7 +209,10 @@ impl Model for LogisticRegression {
         total / data.len() as f64 + self.reg_term()
     }
 
-    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+    /// The pre-batching per-sample gradient loop (see
+    /// [`loss_per_sample`](LogisticRegression::loss_per_sample)).
+    #[doc(hidden)]
+    pub fn grad_per_sample(&self, data: &Dataset, out: &mut [f64]) -> f64 {
         assert_eq!(out.len(), self.params.len(), "gradient buffer mismatch");
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
         out.iter_mut().for_each(|v| *v = 0.0);
@@ -138,6 +242,49 @@ impl Model for LogisticRegression {
         }
         vector::axpy(self.reg, &self.params, out);
         total * inv_n + self.reg_term()
+    }
+}
+
+impl Model for LogisticRegression {
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    fn loss(&self, data: &Dataset) -> f64 {
+        self.loss_with(data, &mut Workspace::new())
+    }
+
+    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+        self.grad_with(data, out, &mut Workspace::new())
+    }
+
+    fn loss_with(&self, data: &Dataset, ws: &mut Workspace) -> f64 {
+        self.batched_loss(data, ws, None)
+            .expect("uncancellable evaluation")
+    }
+
+    fn grad_with(&self, data: &Dataset, out: &mut [f64], ws: &mut Workspace) -> f64 {
+        self.batched_grad(data, out, ws, None)
+            .expect("uncancellable evaluation")
+    }
+
+    fn try_loss_with(&self, data: &Dataset, ws: &mut Workspace) -> Result<f64, Cancelled> {
+        let cancel = ws.cancel_token().cloned();
+        self.batched_loss(data, ws, cancel.as_ref())
+    }
+
+    fn try_grad_with(
+        &self,
+        data: &Dataset,
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<f64, Cancelled> {
+        let cancel = ws.cancel_token().cloned();
+        self.batched_grad(data, out, ws, cancel.as_ref())
     }
 
     fn predict(&self, x: &[f64]) -> usize {
@@ -243,6 +390,33 @@ mod tests {
         let mut m = LogisticRegression::zeros(2, 2, 2.0);
         m.params_mut()[0] = 3.0;
         assert!((m.loss(&d) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_paths_match_per_sample_reference_bitwise() {
+        // More examples than one minibatch chunk, with a ragged tail, so
+        // the chunked reductions cross chunk boundaries.
+        let n = crate::workspace::CHUNK_ROWS * 2 + 37;
+        let f = Matrix::from_fn(n, 3, |r, c| (((r + 2) * (c + 3)) % 11) as f64 / 5.0 - 1.0);
+        let labels: Vec<usize> = (0..n).map(|r| r % 3).collect();
+        let d = Dataset::new(f, labels, 3).unwrap();
+        let m = LogisticRegression::new(3, 3, 0.05, 13);
+
+        assert_eq!(m.loss(&d).to_bits(), m.loss_per_sample(&d).to_bits());
+        let mut ws = crate::workspace::Workspace::new();
+        assert_eq!(
+            m.loss_with(&d, &mut ws).to_bits(),
+            m.loss_per_sample(&d).to_bits()
+        );
+
+        let mut g_batched = vec![0.0; m.num_params()];
+        let mut g_ref = vec![0.0; m.num_params()];
+        let lb = m.grad_with(&d, &mut g_batched, &mut ws);
+        let lr = m.grad_per_sample(&d, &mut g_ref);
+        assert_eq!(lb.to_bits(), lr.to_bits());
+        for (a, b) in g_batched.iter().zip(&g_ref) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

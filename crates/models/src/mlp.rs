@@ -6,8 +6,10 @@
 
 use crate::init::xavier_fill;
 use crate::traits::Model;
+use crate::workspace::{check, chunks, Workspace};
 use fedval_data::Dataset;
-use fedval_linalg::vector;
+use fedval_linalg::{gemm, vector, Matrix};
+use fedval_runtime::{CancelToken, Cancelled};
 
 /// Hidden-layer activation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,7 +125,8 @@ impl Mlp {
 
     /// Runs a forward pass, storing each layer's activated output in
     /// `acts` (layer 0 output at index 0, etc.). The final entry holds the
-    /// raw logits (no softmax).
+    /// raw logits (no softmax). Per-sample path: used by `predict` and
+    /// the retained reference loops.
     fn forward_into(&self, x: &[f64], acts: &mut Vec<Vec<f64>>) {
         acts.clear();
         let mut current: &[f64] = x;
@@ -143,18 +146,179 @@ impl Mlp {
             current = acts.last().expect("just pushed").as_slice();
         }
     }
-}
 
-impl Model for Mlp {
-    fn params(&self) -> &[f64] {
-        &self.params
+    /// Batched forward over a chunk of `rows` examples: per layer one
+    /// `X · Wᵀ` GEMM, fused bias add, and the activation map. `acts[li]`
+    /// holds layer `li`'s activated output (`rows × width`); the last
+    /// entry holds raw logits. Per element this is the same
+    /// `dot + bias` (then `σ`) as [`forward_into`](Mlp::forward_into).
+    fn forward_chunk(
+        &self,
+        x: &[f64],
+        rows: usize,
+        acts: &mut [Matrix],
+        scratch: &mut gemm::Scratch,
+    ) {
+        let last = self.shapes.len() - 1;
+        for li in 0..self.shapes.len() {
+            let s = &self.shapes[li];
+            let (prev, rest) = acts.split_at_mut(li);
+            let cur = &mut rest[0];
+            let input: &[f64] = if li == 0 { x } else { prev[li - 1].as_slice() };
+            cur.resize_for_overwrite(rows, s.output);
+            gemm::gemm_nt_into(
+                input,
+                &self.params[s.w_off..s.w_off + s.output * s.input],
+                cur.as_mut_slice(),
+                rows,
+                s.input,
+                s.output,
+                scratch,
+            );
+            gemm::add_bias_rows(
+                cur.as_mut_slice(),
+                s.output,
+                &self.params[s.b_off..s.b_off + s.output],
+            );
+            if li != last {
+                for v in cur.as_mut_slice() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+        }
     }
 
-    fn params_mut(&mut self) -> &mut [f64] {
-        &mut self.params
+    fn batched_loss(
+        &self,
+        data: &Dataset,
+        ws: &mut Workspace,
+        cancel: Option<&CancelToken>,
+    ) -> Result<f64, Cancelled> {
+        assert_eq!(data.dim(), self.sizes[0], "dataset dimension mismatch");
+        if data.is_empty() {
+            return Ok(self.reg_term());
+        }
+        let nl = self.shapes.len();
+        let d = self.sizes[0];
+        let feat = data.features().as_slice();
+        let labels = data.labels();
+        let (acts, gemm_scratch) = ws.parts(nl);
+        let mut total = 0.0;
+        for (start, end) in chunks(data.len()) {
+            check(cancel)?;
+            self.forward_chunk(&feat[start * d..end * d], end - start, acts, gemm_scratch);
+            let logits = &acts[nl - 1];
+            for (r, &y) in labels[start..end].iter().enumerate() {
+                let row = logits.row(r);
+                total += vector::log_sum_exp(row) - row[y];
+            }
+        }
+        Ok(total / data.len() as f64 + self.reg_term())
     }
 
-    fn loss(&self, data: &Dataset) -> f64 {
+    fn batched_grad(
+        &self,
+        data: &Dataset,
+        out: &mut [f64],
+        ws: &mut Workspace,
+        cancel: Option<&CancelToken>,
+    ) -> Result<f64, Cancelled> {
+        assert_eq!(out.len(), self.params.len(), "gradient buffer mismatch");
+        assert_eq!(data.dim(), self.sizes[0], "dataset dimension mismatch");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        if data.is_empty() {
+            vector::axpy(self.reg, &self.params, out);
+            return Ok(self.reg_term());
+        }
+        let nl = self.shapes.len();
+        let d = self.sizes[0];
+        let inv_n = 1.0 / data.len() as f64;
+        let feat = data.features().as_slice();
+        let labels = data.labels();
+        // Buffers: nl activations, then delta / delta_prev / delta_scaled.
+        let (bufs, gemm_scratch) = ws.parts(nl + 3);
+        let mut total = 0.0;
+        for (start, end) in chunks(data.len()) {
+            check(cancel)?;
+            let rows = end - start;
+            let x = &feat[start * d..end * d];
+            let (acts, rest) = bufs.split_at_mut(nl);
+            let (delta_buf, rest) = rest.split_at_mut(1);
+            let (prev_buf, ds_buf) = rest.split_at_mut(1);
+            let (delta, delta_prev, ds) = (&mut delta_buf[0], &mut prev_buf[0], &mut ds_buf[0]);
+
+            self.forward_chunk(x, rows, acts, gemm_scratch);
+            let classes = *self.sizes.last().expect("validated at construction");
+            delta.resize_for_overwrite(rows, classes);
+            {
+                let logits = &acts[nl - 1];
+                for (r, &y) in labels[start..end].iter().enumerate() {
+                    let lrow = logits.row(r);
+                    total += vector::log_sum_exp(lrow) - lrow[y];
+                    // delta row = softmax(logits) − onehot(y), unscaled.
+                    let drow = delta.row_mut(r);
+                    vector::softmax_into(lrow, drow);
+                    drow[y] -= 1.0;
+                }
+            }
+
+            for li in (0..nl).rev() {
+                let s = &self.shapes[li];
+                let input: &[f64] = if li == 0 { x } else { acts[li - 1].as_slice() };
+                // Scaled copy ds = delta · inv_n: the per-sample code
+                // multiplied each coefficient by inv_n at use.
+                ds.resize_for_overwrite(rows, s.output);
+                for (dsv, &dv) in ds.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+                    *dsv = dv * inv_n;
+                }
+                // W += dsᵀ · input, bias += column sums of ds —
+                // sample-ascending, bit-identical to the per-sample axpy.
+                gemm::gemm_tn_acc(
+                    ds.as_slice(),
+                    input,
+                    &mut out[s.w_off..s.w_off + s.output * s.input],
+                    rows,
+                    s.output,
+                    s.input,
+                );
+                gemm::col_sums_acc(
+                    ds.as_slice(),
+                    s.output,
+                    &mut out[s.b_off..s.b_off + s.output],
+                );
+                if li == 0 {
+                    break;
+                }
+                // delta_prev = (delta · W) ⊙ σ'(act), unscaled delta as
+                // in the per-sample path.
+                delta_prev.resize_for_overwrite(rows, s.input);
+                gemm::gemm_nn_into(
+                    delta.as_slice(),
+                    &self.params[s.w_off..s.w_off + s.output * s.input],
+                    delta_prev.as_mut_slice(),
+                    rows,
+                    s.output,
+                    s.input,
+                );
+                for (pd, &a) in delta_prev
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(acts[li - 1].as_slice())
+                {
+                    *pd *= self.activation.derivative_from_output(a);
+                }
+                std::mem::swap(delta, delta_prev);
+            }
+        }
+        vector::axpy(self.reg, &self.params, out);
+        Ok(total * inv_n + self.reg_term())
+    }
+
+    /// The pre-batching per-sample loss loop, retained verbatim as the
+    /// naive reference the equivalence tests and the `cell_throughput`
+    /// benchmark compare against.
+    #[doc(hidden)]
+    pub fn loss_per_sample(&self, data: &Dataset) -> f64 {
         assert_eq!(data.dim(), self.sizes[0], "dataset dimension mismatch");
         if data.is_empty() {
             return self.reg_term();
@@ -170,7 +334,10 @@ impl Model for Mlp {
         total / data.len() as f64 + self.reg_term()
     }
 
-    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+    /// The pre-batching per-sample gradient loop (see
+    /// [`loss_per_sample`](Mlp::loss_per_sample)).
+    #[doc(hidden)]
+    pub fn grad_per_sample(&self, data: &Dataset, out: &mut [f64]) -> f64 {
         assert_eq!(out.len(), self.params.len(), "gradient buffer mismatch");
         assert_eq!(data.dim(), self.sizes[0], "dataset dimension mismatch");
         out.iter_mut().for_each(|v| *v = 0.0);
@@ -227,6 +394,49 @@ impl Model for Mlp {
         }
         vector::axpy(self.reg, &self.params, out);
         total * inv_n + self.reg_term()
+    }
+}
+
+impl Model for Mlp {
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    fn loss(&self, data: &Dataset) -> f64 {
+        self.loss_with(data, &mut Workspace::new())
+    }
+
+    fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64 {
+        self.grad_with(data, out, &mut Workspace::new())
+    }
+
+    fn loss_with(&self, data: &Dataset, ws: &mut Workspace) -> f64 {
+        self.batched_loss(data, ws, None)
+            .expect("uncancellable evaluation")
+    }
+
+    fn grad_with(&self, data: &Dataset, out: &mut [f64], ws: &mut Workspace) -> f64 {
+        self.batched_grad(data, out, ws, None)
+            .expect("uncancellable evaluation")
+    }
+
+    fn try_loss_with(&self, data: &Dataset, ws: &mut Workspace) -> Result<f64, Cancelled> {
+        let cancel = ws.cancel_token().cloned();
+        self.batched_loss(data, ws, cancel.as_ref())
+    }
+
+    fn try_grad_with(
+        &self,
+        data: &Dataset,
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<f64, Cancelled> {
+        let cancel = ws.cancel_token().cloned();
+        self.batched_grad(data, out, ws, cancel.as_ref())
     }
 
     fn predict(&self, x: &[f64]) -> usize {
@@ -314,6 +524,29 @@ mod tests {
         let f = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
         let d = Dataset::new(f, vec![2], 3).unwrap();
         assert!((m.loss(&d) - 3.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_paths_match_per_sample_reference_bitwise() {
+        // Cross minibatch-chunk boundaries with a ragged tail; two
+        // hidden layers so the batched backprop swaps delta buffers.
+        let n = crate::workspace::CHUNK_ROWS + 91;
+        let f = Matrix::from_fn(n, 5, |r, c| (((r + 1) * (c + 2)) % 13) as f64 / 6.0 - 1.0);
+        let labels: Vec<usize> = (0..n).map(|r| (r * 7) % 4).collect();
+        let d = Dataset::new(f, labels, 4).unwrap();
+        for activation in [Activation::Tanh, Activation::Relu] {
+            let m = Mlp::new(&[5, 9, 6, 4], activation, 0.02, 23);
+            assert_eq!(m.loss(&d).to_bits(), m.loss_per_sample(&d).to_bits());
+            let mut g_batched = vec![0.0; m.num_params()];
+            let mut g_ref = vec![0.0; m.num_params()];
+            let mut ws = crate::workspace::Workspace::new();
+            let lb = m.grad_with(&d, &mut g_batched, &mut ws);
+            let lr = m.grad_per_sample(&d, &mut g_ref);
+            assert_eq!(lb.to_bits(), lr.to_bits());
+            for (a, b) in g_batched.iter().zip(&g_ref) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{activation:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! SGD step and the paper's learning-rate schedules.
+//! SGD steps, minibatch SGD, and the paper's learning-rate schedules.
 
 use crate::traits::Model;
+use crate::workspace::Workspace;
 use fedval_data::Dataset;
 use fedval_linalg::vector;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
 
 /// Learning-rate schedule `η_t` (t is the 0-based round index).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,14 +53,45 @@ impl LearningRate {
     }
 }
 
+/// Reusable buffers for the SGD helpers: the gradient vector, the
+/// model's minibatch [`Workspace`], and the gathered-minibatch dataset.
+/// One per trainer worker; a steady-state training loop allocates
+/// nothing per step.
+#[derive(Default)]
+pub struct SgdScratch {
+    grad: Vec<f64>,
+    /// The model workspace, exposed so callers driving `loss_with`
+    /// directly (benchmarks, evaluators) can share it.
+    pub ws: Workspace,
+    minibatch: Option<Dataset>,
+}
+
+impl SgdScratch {
+    /// Empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        SgdScratch::default()
+    }
+}
+
 /// One full-batch gradient-descent step `w ← w − η ∇F(w)` on `data`.
 /// Returns the loss at the *pre-step* parameters. This mirrors the paper's
 /// local update (equation (3)): one deterministic step per round.
 pub fn sgd_step(model: &mut dyn Model, data: &Dataset, eta: f64) -> f64 {
+    sgd_step_with(model, data, eta, &mut SgdScratch::new())
+}
+
+/// [`sgd_step`] with reusable buffers: the gradient runs through the
+/// model's batched `grad_with` kernel and the scratch's workspace.
+pub fn sgd_step_with(
+    model: &mut dyn Model,
+    data: &Dataset,
+    eta: f64,
+    scratch: &mut SgdScratch,
+) -> f64 {
     let n = model.num_params();
-    let mut grad = vec![0.0; n];
-    let loss = model.grad(data, &mut grad);
-    vector::axpy(-eta, &grad, model.params_mut());
+    scratch.grad.resize(n, 0.0);
+    let loss = model.grad_with(data, &mut scratch.grad, &mut scratch.ws);
+    vector::axpy(-eta, &scratch.grad, model.params_mut());
     loss
 }
 
@@ -64,14 +99,63 @@ pub fn sgd_step(model: &mut dyn Model, data: &Dataset, eta: f64) -> f64 {
 /// simulator supports more, matching "an arbitrary number of local
 /// updates"). Returns the loss before the first step.
 pub fn local_updates(model: &mut dyn Model, data: &Dataset, eta: f64, steps: usize) -> f64 {
+    local_updates_with(model, data, eta, steps, &mut SgdScratch::new())
+}
+
+/// [`local_updates`] with reusable buffers.
+pub fn local_updates_with(
+    model: &mut dyn Model,
+    data: &Dataset,
+    eta: f64,
+    steps: usize,
+    scratch: &mut SgdScratch,
+) -> f64 {
     let mut first_loss = 0.0;
     for s in 0..steps {
-        let loss = sgd_step(model, data, eta);
+        let loss = sgd_step_with(model, data, eta, scratch);
         if s == 0 {
             first_loss = loss;
         }
     }
     first_loss
+}
+
+/// True minibatch SGD: each step samples a fresh size-`batch` minibatch
+/// without replacement (clamped to the dataset size) and takes one
+/// gradient step on it through the batched kernels. Deterministic given
+/// the seed — the sampling (seeded [`StdRng`], indices sorted ascending)
+/// is exactly the trainer's historical scheme, and a clamped
+/// `batch == data.len()` short-circuits to the deterministic full-batch
+/// path with no RNG draws, so existing traces reproduce bit-for-bit.
+///
+/// With `batch == 1` this reproduces the pre-batching per-sample
+/// trajectories bit-for-bit (asserted in
+/// `crates/fl/tests/batch_compat.rs`).
+pub fn minibatch_updates(
+    model: &mut dyn Model,
+    data: &Dataset,
+    eta: f64,
+    steps: usize,
+    batch: usize,
+    seed: u64,
+    scratch: &mut SgdScratch,
+) {
+    let b = batch.min(data.len()).max(1);
+    if b == data.len() {
+        // Clamped to the full dataset: identical to the deterministic path
+        // (and bit-identical — no index reshuffling of the summation).
+        local_updates_with(model, data, eta, steps, scratch);
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut minibatch = scratch.minibatch.take().unwrap_or_else(|| data.subset(&[]));
+    for _ in 0..steps {
+        let mut picks = sample(&mut rng, data.len(), b).into_vec();
+        picks.sort_unstable();
+        data.subset_into(&picks, &mut minibatch);
+        sgd_step_with(model, &minibatch, eta, scratch);
+    }
+    scratch.minibatch = Some(minibatch);
 }
 
 #[cfg(test)]
@@ -145,5 +229,44 @@ mod tests {
         let before = m.params().to_vec();
         local_updates(&mut m, &d, 0.1, 0);
         assert_eq!(m.params(), &before[..]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_buffers() {
+        let d = blobs();
+        let mut with_scratch = LogisticRegression::new(2, 2, 0.01, 2);
+        let mut fresh = with_scratch.clone();
+        let mut scratch = SgdScratch::new();
+        for _ in 0..4 {
+            sgd_step_with(&mut with_scratch, &d, 0.1, &mut scratch);
+            sgd_step(&mut fresh, &d, 0.1);
+        }
+        assert_eq!(with_scratch.params(), fresh.params());
+    }
+
+    #[test]
+    fn minibatch_updates_is_seeded_and_reuses_buffers() {
+        let d = blobs();
+        let mut a = LogisticRegression::new(2, 2, 0.01, 3);
+        let mut b = a.clone();
+        let mut scratch_a = SgdScratch::new();
+        let mut scratch_b = SgdScratch::new();
+        minibatch_updates(&mut a, &d, 0.1, 5, 2, 42, &mut scratch_a);
+        minibatch_updates(&mut b, &d, 0.1, 5, 2, 42, &mut scratch_b);
+        assert_eq!(a.params(), b.params(), "same seed, same trajectory");
+        // Scratch from a previous run perturbs nothing.
+        let mut c = LogisticRegression::new(2, 2, 0.01, 3);
+        minibatch_updates(&mut c, &d, 0.1, 5, 2, 42, &mut scratch_a);
+        assert_eq!(a.params(), c.params());
+    }
+
+    #[test]
+    fn minibatch_clamped_to_full_dataset_is_deterministic_path() {
+        let d = blobs();
+        let mut a = LogisticRegression::new(2, 2, 0.01, 5);
+        let mut b = a.clone();
+        minibatch_updates(&mut a, &d, 0.2, 3, 100, 7, &mut SgdScratch::new());
+        local_updates(&mut b, &d, 0.2, 3);
+        assert_eq!(a.params(), b.params());
     }
 }

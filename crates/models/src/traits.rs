@@ -1,6 +1,8 @@
 //! The [`Model`] abstraction shared by every learner in the repo.
 
+use crate::workspace::Workspace;
 use fedval_data::Dataset;
+use fedval_runtime::Cancelled;
 
 /// A differentiable classifier with a flat parameter vector.
 ///
@@ -22,6 +24,52 @@ pub trait Model: Send + Sync {
     /// Writes the full-batch gradient of [`Model::loss`] into `out` and
     /// returns the loss. `out.len()` must equal `num_params()`.
     fn grad(&self, data: &Dataset, out: &mut [f64]) -> f64;
+
+    /// [`loss`](Model::loss) with caller-provided, reusable minibatch
+    /// buffers. The built-in models override this with their batched
+    /// kernels so repeated evaluations (the utility oracle's cell loop,
+    /// the trainer's local updates) never re-allocate; the provided
+    /// default simply ignores `ws`, so third-party models keep working
+    /// unchanged.
+    fn loss_with(&self, data: &Dataset, ws: &mut Workspace) -> f64 {
+        let _ = ws;
+        self.loss(data)
+    }
+
+    /// [`grad`](Model::grad) with caller-provided, reusable minibatch
+    /// buffers (see [`loss_with`](Model::loss_with)).
+    fn grad_with(&self, data: &Dataset, out: &mut [f64], ws: &mut Workspace) -> f64 {
+        let _ = ws;
+        self.grad(data, out)
+    }
+
+    /// Cancellable [`loss_with`](Model::loss_with): observes the
+    /// workspace's [`CancelToken`](fedval_runtime::CancelToken) between
+    /// minibatch chunks and abandons the evaluation with
+    /// `Err(Cancelled)` — this is what lets the utility oracle stop
+    /// *inside* a cell instead of finishing a huge evaluation first.
+    /// The provided default checks once up front, then runs the
+    /// uncancellable path.
+    fn try_loss_with(&self, data: &Dataset, ws: &mut Workspace) -> Result<f64, Cancelled> {
+        if let Some(token) = ws.cancel_token() {
+            token.check()?;
+        }
+        Ok(self.loss_with(data, ws))
+    }
+
+    /// Cancellable [`grad_with`](Model::grad_with); same contract as
+    /// [`try_loss_with`](Model::try_loss_with).
+    fn try_grad_with(
+        &self,
+        data: &Dataset,
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<f64, Cancelled> {
+        if let Some(token) = ws.cancel_token() {
+            token.check()?;
+        }
+        Ok(self.grad_with(data, out, ws))
+    }
 
     /// Predicted class for one feature vector.
     fn predict(&self, x: &[f64]) -> usize;

@@ -1,0 +1,140 @@
+//! Reusable minibatch workspaces for the batched model kernels.
+//!
+//! Every model's `loss`/`grad` is evaluated as a sequence of minibatch
+//! chunks of at most [`CHUNK_ROWS`] examples, each chunk one set of
+//! GEMM calls over `(batch × features)` matrices. The per-layer
+//! activation/gradient buffers those calls need live in a [`Workspace`]:
+//! create one per worker (the utility oracle keeps one per scratch
+//! model, the trainer one per chunk worker) and every subsequent
+//! evaluation reuses the same allocations — the pre-batching code paid
+//! a `Vec<Vec<f64>>` of allocations *per sample*.
+//!
+//! A workspace can also carry a [`CancelToken`]; the chunked loops
+//! observe it between minibatches (`Model::try_loss_with`), which is
+//! what lets a cancelled valuation stop *inside* a utility cell instead
+//! of finishing an arbitrarily large model evaluation first.
+
+use fedval_linalg::{gemm, Matrix};
+use fedval_runtime::{CancelToken, Cancelled};
+
+/// Rows per minibatch chunk of the batched kernels. Large enough that
+/// the GEMM calls amortize their setup, small enough that one chunk's
+/// activations stay modest and cancellation latency is bounded.
+pub const CHUNK_ROWS: usize = 256;
+
+/// Reusable per-worker buffers for the batched model kernels plus an
+/// optional cancellation token observed between minibatch chunks.
+#[derive(Default)]
+pub struct Workspace {
+    bufs: Vec<Matrix>,
+    gemm: gemm::Scratch,
+    cancel: Option<CancelToken>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are grown by the first evaluation.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Attaches `token`: chunked evaluations driven through
+    /// [`Model::try_loss_with`](crate::Model::try_loss_with) /
+    /// [`try_grad_with`](crate::Model::try_grad_with) will observe it
+    /// between minibatches.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Replaces (or clears) the attached cancellation token.
+    pub fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The first `count` scratch matrices (created empty on first use)
+    /// plus the shared GEMM packing scratch. Models carve their
+    /// activation/delta buffers out of the slice with `split_at_mut`.
+    pub(crate) fn parts(&mut self, count: usize) -> (&mut [Matrix], &mut gemm::Scratch) {
+        if self.bufs.len() < count {
+            self.bufs.resize_with(count, Matrix::default);
+        }
+        (&mut self.bufs[..count], &mut self.gemm)
+    }
+}
+
+/// `Err(Cancelled)` once `cancel` is set; `Ok` when absent.
+#[inline]
+pub(crate) fn check(cancel: Option<&CancelToken>) -> Result<(), Cancelled> {
+    match cancel {
+        Some(token) => token.check(),
+        None => Ok(()),
+    }
+}
+
+/// The `[start, end)` minibatch chunks covering `n` examples, in
+/// ascending order (ascending order is load-bearing: it keeps the
+/// chunked reductions bit-identical to the per-sample loops).
+pub(crate) fn chunks(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..n.div_ceil(CHUNK_ROWS)).map(move |c| (c * CHUNK_ROWS, ((c + 1) * CHUNK_ROWS).min(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        for n in [
+            0,
+            1,
+            CHUNK_ROWS - 1,
+            CHUNK_ROWS,
+            CHUNK_ROWS + 1,
+            3 * CHUNK_ROWS + 7,
+        ] {
+            let mut expect_start = 0;
+            for (start, end) in chunks(n) {
+                assert_eq!(start, expect_start);
+                assert!(end > start && end <= n);
+                expect_start = end;
+            }
+            assert_eq!(expect_start, n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn workspace_buffers_persist_across_parts_calls() {
+        let mut ws = Workspace::new();
+        {
+            let (bufs, _) = ws.parts(3);
+            bufs[2].resize(4, 5);
+        }
+        let (bufs, _) = ws.parts(2);
+        assert_eq!(bufs.len(), 2);
+        let (bufs, _) = ws.parts(3);
+        assert_eq!(bufs[2].shape(), (4, 5), "buffer three survived");
+    }
+
+    #[test]
+    fn check_respects_token() {
+        assert!(check(None).is_ok());
+        let token = CancelToken::new();
+        assert!(check(Some(&token)).is_ok());
+        token.cancel();
+        assert_eq!(check(Some(&token)), Err(Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_roundtrip() {
+        let token = CancelToken::new();
+        let mut ws = Workspace::new().with_cancel(token.clone());
+        assert!(ws.cancel_token().is_some());
+        ws.set_cancel(None);
+        assert!(ws.cancel_token().is_none());
+    }
+}

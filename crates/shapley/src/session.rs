@@ -396,14 +396,33 @@ impl ValuationSession {
     /// Methods that reject the oracle (e.g. "exact" beyond the
     /// enumeration gate) report their error instead of aborting the
     /// sweep.
+    ///
+    /// Before each method starts, the progress callback (if any)
+    /// receives a
+    /// [`Progress::Method`](crate::valuator::Progress::Method) envelope
+    /// event (`index` of `total`, 1-based, stage `"method"`), so a CLI
+    /// can draw an overall sweep bar around the per-method streams.
     pub fn run_all(
         &mut self,
         oracle: &UtilityOracle<'_>,
     ) -> Vec<(String, Result<ValuationReport, ValuationError>)> {
         let names = self.method_names();
+        let total = names.len();
         names
             .into_iter()
-            .map(|name| {
+            .enumerate()
+            .map(|(i, name)| {
+                if let Some(cb) = self.progress.as_mut() {
+                    cb(ProgressEvent {
+                        method: &name,
+                        stage: "method",
+                        progress: crate::valuator::Progress::Method {
+                            index: i + 1,
+                            total,
+                            name: &name,
+                        },
+                    });
+                }
                 let outcome = self.run(&name, oracle);
                 (name, outcome)
             })
@@ -528,6 +547,36 @@ mod tests {
             .build();
         session.run("fedsv", &oracle).unwrap();
         assert!(events.borrow().iter().any(|e| e.starts_with("fedsv:")));
+    }
+
+    #[test]
+    fn run_all_emits_method_envelope_events() {
+        use crate::valuator::Progress;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (trace, proto, test) = world(10);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        let envelopes: Rc<RefCell<Vec<(usize, usize, String)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&envelopes);
+        let mut session = ValuationSession::builder()
+            .rank(3)
+            .permutations(10)
+            .progress(move |e| {
+                if let Progress::Method { index, total, name } = e.progress {
+                    assert_eq!(name, e.method, "envelope name mirrors the event method");
+                    sink.borrow_mut().push((index, total, name.to_string()));
+                }
+            })
+            .build();
+        let outcomes = session.run_all(&oracle);
+        let envelopes = envelopes.borrow();
+        assert_eq!(envelopes.len(), outcomes.len(), "one envelope per method");
+        for (i, ((index, total, name), (method, _))) in envelopes.iter().zip(&outcomes).enumerate()
+        {
+            assert_eq!(*index, i + 1, "1-based position");
+            assert_eq!(*total, outcomes.len());
+            assert_eq!(name, method);
+        }
     }
 
     #[test]

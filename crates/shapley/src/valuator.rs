@@ -32,7 +32,7 @@ use fedval_runtime::CancelToken;
 /// How far along the reporting method is — the fine-grained payload of a
 /// [`ProgressEvent`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Progress {
+pub enum Progress<'a> {
     /// A coarse stage boundary ("plan", "evaluate", "complete", …).
     Stage,
     /// One Monte-Carlo permutation finished (`index` of `total`,
@@ -52,6 +52,20 @@ pub enum Progress {
         /// Objective after the sweep.
         objective: f64,
     },
+    /// The `run_all` envelope: method `index` of `total` (1-based) is
+    /// about to start. Emitted by
+    /// [`ValuationSession::run_all`](crate::session::ValuationSession::run_all)
+    /// before each method, so CLIs can draw an overall progress bar
+    /// around the per-method streams.
+    Method {
+        /// Position of the starting method, counting from 1.
+        index: usize,
+        /// Number of methods in the sweep.
+        total: usize,
+        /// Registry key of the starting method (also in
+        /// [`ProgressEvent::method`]).
+        name: &'a str,
+    },
 }
 
 /// A progress notification emitted while a method runs.
@@ -62,7 +76,7 @@ pub struct ProgressEvent<'a> {
     /// What it is doing right now ("plan", "evaluate", "complete", …).
     pub stage: &'a str,
     /// Fine-grained position within the stage.
-    pub progress: Progress,
+    pub progress: Progress<'a>,
 }
 
 /// Per-run state a [`Valuator`] receives: the session-level seed
@@ -144,7 +158,7 @@ impl<'a> RunContext<'a> {
     }
 
     /// Emits an event with an explicit [`Progress`] payload.
-    pub fn emit_progress(&mut self, method: &str, stage: &str, progress: Progress) {
+    pub fn emit_progress(&mut self, method: &str, stage: &str, progress: Progress<'_>) {
         if let Some(cb) = self.progress.as_mut() {
             cb(ProgressEvent {
                 method,
@@ -239,35 +253,66 @@ mod tests {
 
     #[test]
     fn fine_grained_events_carry_their_payload() {
-        let mut events: Vec<(String, Progress)> = Vec::new();
+        // Progress borrows from the event (the Method variant carries
+        // the method name), so the sink stores an owned rendering.
+        let mut events: Vec<(String, String)> = Vec::new();
         let mut sink = |e: ProgressEvent<'_>| {
-            events.push((e.stage.to_string(), e.progress));
+            events.push((e.stage.to_string(), format!("{:?}", e.progress)));
         };
         {
             let mut ctx = RunContext::new().with_progress(&mut sink);
             ctx.emit("tmc", "walk");
             ctx.emit_permutation("tmc", 3, 20);
             ctx.emit_sweep("comfedsv", 2, 1.25);
+            ctx.emit_progress(
+                "fedsv",
+                "method",
+                Progress::Method {
+                    index: 2,
+                    total: 7,
+                    name: "fedsv",
+                },
+            );
         }
-        assert_eq!(events[0], ("walk".into(), Progress::Stage));
+        assert_eq!(events[0], ("walk".into(), format!("{:?}", Progress::Stage)));
         assert_eq!(
             events[1],
             (
                 "permutation".into(),
-                Progress::Permutation {
-                    index: 3,
-                    total: 20
-                }
+                format!(
+                    "{:?}",
+                    Progress::Permutation {
+                        index: 3,
+                        total: 20
+                    }
+                )
             )
         );
         assert_eq!(
             events[2],
             (
                 "sweep".into(),
-                Progress::Sweep {
-                    index: 2,
-                    objective: 1.25
-                }
+                format!(
+                    "{:?}",
+                    Progress::Sweep {
+                        index: 2,
+                        objective: 1.25
+                    }
+                )
+            )
+        );
+        assert_eq!(
+            events[3],
+            (
+                "method".into(),
+                format!(
+                    "{:?}",
+                    Progress::Method {
+                        index: 2,
+                        total: 7,
+                        name: "fedsv",
+                    }
+                )
             )
         );
     }

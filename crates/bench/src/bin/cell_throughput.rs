@@ -1,18 +1,26 @@
-//! Cell-throughput benchmark: per-sample vs. batched numeric kernels.
+//! Cell-throughput benchmark: per-sample vs. batched numeric kernels,
+//! at both determinism tiers.
 //!
-//! PRs 1 and 4 parallelized *dispatch*; this benchmark measures what PR 5
-//! changed — the samples/second of the compute inside one utility cell.
-//! For each model family it times the same workload two ways:
+//! PRs 1 and 4 parallelized *dispatch*; PR 5 batched the compute inside
+//! one utility cell; PR 6 added the [`DeterminismTier::Fast`] kernels.
+//! For each model family this benchmark times the same workload three
+//! ways:
 //!
 //! * **per_sample** — the retained pre-refactor reference loops
 //!   (`loss_per_sample`/`grad_per_sample`: one example at a time, fresh
-//!   `Vec` buffers per call), and
-//! * **batched** — the cache-blocked minibatch GEMM kernels with a
-//!   reused [`fedval_models::Workspace`].
+//!   `Vec` buffers per call);
+//! * **batched / bit_exact** — the cache-blocked minibatch GEMM kernels
+//!   with a reused [`fedval_models::Workspace`] pinned to
+//!   [`DeterminismTier::BitExact`]. Results are asserted bit-identical
+//!   to the per-sample path (the determinism contract, not a
+//!   tolerance);
+//! * **batched / fast** — the same kernels with the workspace pinned to
+//!   [`DeterminismTier::Fast`]: FMA-fused, reduction-reordered GEMM
+//!   microkernels and (for the CNN) im2col convolution. Results are
+//!   asserted within a composite tolerance of the per-sample reference
+//!   (per-op bounds: `fedval_linalg::gemm::fast_epsilon`).
 //!
-//! Both paths produce bit-identical results (asserted on every run —
-//! the determinism contract, not a tolerance), so the ratio is pure
-//! kernel speed: allocation, contiguity, cache reuse. Workloads:
+//! Workloads:
 //!
 //! * `*_train` — full-batch gradient-descent passes (the trainer's local
 //!   update), samples/sec = `samples × passes / seconds`;
@@ -25,12 +33,14 @@
 //! committed at the repo root as `BENCH_cell_throughput.json` so future
 //! PRs have a perf trajectory to regress against — update it
 //! deliberately with `--out BENCH_cell_throughput.json`, not as a side
-//! effect of every run. `--smoke` shrinks every workload for CI.
+//! effect of every run. `--smoke` shrinks every workload for CI; a
+//! smoke run also prints current-vs-committed throughput ratios when
+//! the committed baseline is readable.
 
 use fedval_data::Dataset;
 use fedval_linalg::{vector, Matrix};
 use fedval_models::{
-    optim::SgdScratch, Activation, Cnn, CnnConfig, LogisticRegression, Mlp, Model,
+    optim::SgdScratch, Activation, Cnn, CnnConfig, DeterminismTier, LogisticRegression, Mlp, Model,
 };
 use std::time::Instant;
 
@@ -38,11 +48,15 @@ use std::time::Instant;
 struct Measurement {
     case: &'static str,
     path: &'static str,
+    /// Tier label: the per-sample loops are inherently bit-exact, so
+    /// their rows carry "bit_exact" too.
+    tier: &'static str,
     samples: usize,
     passes: usize,
     seconds: f64,
-    /// Bitwise checksum of the resulting parameters/losses, used to
-    /// assert the two paths computed the same thing.
+    /// Bitwise checksum of the resulting parameters/losses. Equal
+    /// between per_sample and batched/bit_exact; recorded (but
+    /// tier-specific) for batched/fast.
     checksum: u64,
 }
 
@@ -66,6 +80,20 @@ fn checksum(values: &[f64]) -> u64 {
         .fold(0u64, |acc, v| acc.rotate_left(7) ^ v.to_bits())
 }
 
+/// Composite model-level tolerance for the Fast tier vs. the bit-exact
+/// reference; the per-op GEMM ε (`fedval_linalg::gemm::fast_epsilon`)
+/// is orders of magnitude tighter, but training compounds it over
+/// passes. A genuine kernel bug shows up at ~1e-2.
+fn assert_fast_close(case: &str, fast: &[f64], reference: &[f64]) {
+    assert_eq!(fast.len(), reference.len());
+    for (i, (a, b)) in fast.iter().zip(reference).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+            "{case}: fast tier diverged at [{i}]: {a} vs {b}"
+        );
+    }
+}
+
 /// Times `passes` full-batch gradient steps with per-sample gradients.
 fn train_per_sample<M: Model>(
     model: &mut M,
@@ -84,9 +112,16 @@ fn train_per_sample<M: Model>(
 }
 
 /// Times `passes` full-batch gradient steps through the batched kernels
-/// with a reused workspace.
-fn train_batched(model: &mut dyn Model, data: &Dataset, eta: f64, passes: usize) -> f64 {
+/// with a reused workspace pinned to `tier`.
+fn train_batched(
+    model: &mut dyn Model,
+    data: &Dataset,
+    eta: f64,
+    passes: usize,
+    tier: DeterminismTier,
+) -> f64 {
     let mut scratch = SgdScratch::new();
+    scratch.ws.set_tier(tier);
     let mut grad = vec![0.0; model.num_params()];
     let t0 = Instant::now();
     for _ in 0..passes {
@@ -98,10 +133,10 @@ fn train_batched(model: &mut dyn Model, data: &Dataset, eta: f64, passes: usize)
 
 /// Timing repetitions per path; the fastest is reported, which screens
 /// out scheduler noise on busy hosts (results are asserted identical
-/// across repetitions anyway — training is deterministic).
+/// across repetitions anyway — training is deterministic per tier).
 const REPS: usize = 3;
 
-fn push_train_pair<M: Model + Clone>(
+fn push_train_case<M: Model + Clone>(
     out: &mut Vec<Measurement>,
     case: &'static str,
     proto: &M,
@@ -111,9 +146,11 @@ fn push_train_pair<M: Model + Clone>(
 ) {
     let eta = 0.05;
     let mut reference = proto.clone();
-    let mut batched = proto.clone();
+    let mut exact = proto.clone();
+    let mut fast = proto.clone();
     let mut secs_ref = f64::INFINITY;
-    let mut secs_batched = f64::INFINITY;
+    let mut secs_exact = f64::INFINITY;
+    let mut secs_fast = f64::INFINITY;
     for _ in 0..REPS {
         reference = proto.clone();
         secs_ref = secs_ref.min(train_per_sample(
@@ -123,17 +160,33 @@ fn push_train_pair<M: Model + Clone>(
             eta,
             passes,
         ));
-        batched = proto.clone();
-        secs_batched = secs_batched.min(train_batched(&mut batched, data, eta, passes));
+        exact = proto.clone();
+        secs_exact = secs_exact.min(train_batched(
+            &mut exact,
+            data,
+            eta,
+            passes,
+            DeterminismTier::BitExact,
+        ));
+        fast = proto.clone();
+        secs_fast = secs_fast.min(train_batched(
+            &mut fast,
+            data,
+            eta,
+            passes,
+            DeterminismTier::Fast,
+        ));
     }
-    let (ck_ref, ck_batched) = (checksum(reference.params()), checksum(batched.params()));
+    let (ck_ref, ck_exact) = (checksum(reference.params()), checksum(exact.params()));
     assert_eq!(
-        ck_ref, ck_batched,
-        "{case}: batched training diverged from the per-sample reference"
+        ck_ref, ck_exact,
+        "{case}: bit-exact batched training diverged from the per-sample reference"
     );
+    assert_fast_close(case, fast.params(), reference.params());
     out.push(Measurement {
         case,
         path: "per_sample",
+        tier: "bit_exact",
         samples: data.len(),
         passes,
         seconds: secs_ref,
@@ -142,11 +195,76 @@ fn push_train_pair<M: Model + Clone>(
     out.push(Measurement {
         case,
         path: "batched",
+        tier: "bit_exact",
         samples: data.len(),
         passes,
-        seconds: secs_batched,
-        checksum: ck_batched,
+        seconds: secs_exact,
+        checksum: ck_exact,
     });
+    out.push(Measurement {
+        case,
+        path: "batched",
+        tier: "fast",
+        samples: data.len(),
+        passes,
+        seconds: secs_fast,
+        checksum: checksum(fast.params()),
+    });
+}
+
+/// Pulls `"key": value` out of a flat JSON object line — just enough to
+/// read the committed baseline rows back without a JSON dependency.
+fn scan_str<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = row.find(&pat)? + pat.len();
+    let end = row[start..].find('"')? + start;
+    Some(&row[start..end])
+}
+
+fn scan_num(row: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = row.find(&pat)? + pat.len();
+    let end = row[start..].find([',', '}']).map(|i| i + start)?;
+    row[start..end].trim().parse().ok()
+}
+
+/// Prints current-vs-committed samples/sec ratios for every `(case,
+/// path, tier)` the committed smoke baseline also measured. Baselines
+/// predating the `tier` field match their rows as `bit_exact`.
+fn compare_against_committed(measurements: &[Measurement], baseline_path: &str) {
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        println!("(no committed baseline at {baseline_path}; skipping comparison)");
+        return;
+    };
+    println!("\n== vs committed {baseline_path} (current ÷ committed samples/sec) ==");
+    let mut matched = 0usize;
+    for row in baseline.lines().filter(|l| l.contains("\"case\"")) {
+        let (Some(case), Some(path)) = (scan_str(row, "case"), scan_str(row, "path")) else {
+            continue;
+        };
+        let tier = scan_str(row, "tier").unwrap_or("bit_exact");
+        let Some(committed) = scan_num(row, "samples_per_sec") else {
+            continue;
+        };
+        if let Some(m) = measurements
+            .iter()
+            .find(|m| m.case == case && m.path == path && m.tier == tier)
+        {
+            matched += 1;
+            println!(
+                "{:>16}  {:>12}  {:>9}  {:>6.2}x  ({:.0} vs {:.0})",
+                case,
+                path,
+                tier,
+                m.samples_per_sec() / committed.max(1e-12),
+                m.samples_per_sec(),
+                committed
+            );
+        }
+    }
+    if matched == 0 {
+        println!("(no comparable rows found in the committed baseline)");
+    }
 }
 
 fn main() {
@@ -162,7 +280,7 @@ fn main() {
     // The MLP problem is MNIST-shaped ([784, 64, 10] — the paper's
     // "simple fully connected network"), so the wide input layer that
     // dominates a real cell evaluation dominates here too. Smoke sizes
-    // keep CI under a few seconds.
+    // keep CI under a minute.
     let (n, dim, hidden, classes, passes) = if smoke {
         (320, 784, 64, 10, 6)
     } else {
@@ -174,7 +292,7 @@ fn main() {
     // MLP training (the acceptance workload).
     let data = synthetic(n, dim, classes, 1);
     let mlp = Mlp::new(&[dim, hidden, classes], Activation::Relu, 0.01, 7);
-    push_train_pair(
+    push_train_case(
         &mut measurements,
         "mlp_train",
         &mlp,
@@ -185,7 +303,7 @@ fn main() {
 
     // Logistic-regression training.
     let logreg = LogisticRegression::new(dim, classes, 0.01, 7);
-    push_train_pair(
+    push_train_case(
         &mut measurements,
         "logistic_train",
         &logreg,
@@ -194,11 +312,13 @@ fn main() {
         passes,
     );
 
-    // CNN training (smaller: the conv is the dominant cost either way).
-    let (img, cnn_n, cnn_passes) = if smoke { (8, 96, 2) } else { (12, 256, 5) };
+    // CNN training. Sized so every timed path runs ≥50 ms on a 1-core
+    // container — the pre-PR-6 smoke case (96 samples × 2 passes) ran
+    // in ~0.5 ms, pure timer noise.
+    let (img, cnn_n, cnn_passes) = if smoke { (8, 2048, 50) } else { (12, 2048, 50) };
     let cnn_data = synthetic(cnn_n, img * img, 4, 2);
     let cnn = Cnn::new(CnnConfig::small(img, img, 4), 7);
-    push_train_pair(
+    push_train_case(
         &mut measurements,
         "cnn_train",
         &cnn,
@@ -210,45 +330,66 @@ fn main() {
     // Oracle-cell loss: repeated test-set evaluations on a fixed model.
     {
         let reps = passes * 4;
-        let mut ws = fedval_models::Workspace::new();
-        let mut secs_batched = f64::INFINITY;
+        let mut ws_exact = fedval_models::Workspace::bit_exact();
+        let mut ws_fast = fedval_models::Workspace::new().with_tier(DeterminismTier::Fast);
+        let mut secs_exact = f64::INFINITY;
+        let mut secs_fast = f64::INFINITY;
         let mut secs_ref = f64::INFINITY;
-        let mut acc_b = 0.0;
-        let mut acc_r = 0.0;
+        let mut acc_exact = 0.0;
+        let mut acc_fast = 0.0;
+        let mut acc_ref = 0.0;
         for _ in 0..REPS {
             let t0 = Instant::now();
-            acc_b = 0.0;
+            acc_exact = 0.0;
             for _ in 0..reps {
-                acc_b += mlp.loss_with(&data, &mut ws);
+                acc_exact += mlp.loss_with(&data, &mut ws_exact);
             }
-            secs_batched = secs_batched.min(t0.elapsed().as_secs_f64());
+            secs_exact = secs_exact.min(t0.elapsed().as_secs_f64());
             let t0 = Instant::now();
-            acc_r = 0.0;
+            acc_fast = 0.0;
             for _ in 0..reps {
-                acc_r += mlp.loss_per_sample(&data);
+                acc_fast += mlp.loss_with(&data, &mut ws_fast);
+            }
+            secs_fast = secs_fast.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            acc_ref = 0.0;
+            for _ in 0..reps {
+                acc_ref += mlp.loss_per_sample(&data);
             }
             secs_ref = secs_ref.min(t0.elapsed().as_secs_f64());
         }
         assert_eq!(
-            acc_r.to_bits(),
-            acc_b.to_bits(),
-            "mlp_cell_loss: batched loss diverged from the per-sample reference"
+            acc_ref.to_bits(),
+            acc_exact.to_bits(),
+            "mlp_cell_loss: bit-exact batched loss diverged from the per-sample reference"
         );
+        assert_fast_close("mlp_cell_loss", &[acc_fast], &[acc_ref]);
         measurements.push(Measurement {
             case: "mlp_cell_loss",
             path: "per_sample",
+            tier: "bit_exact",
             samples: n,
             passes: reps,
             seconds: secs_ref,
-            checksum: acc_r.to_bits(),
+            checksum: acc_ref.to_bits(),
         });
         measurements.push(Measurement {
             case: "mlp_cell_loss",
             path: "batched",
+            tier: "bit_exact",
             samples: n,
             passes: reps,
-            seconds: secs_batched,
-            checksum: acc_b.to_bits(),
+            seconds: secs_exact,
+            checksum: acc_exact.to_bits(),
+        });
+        measurements.push(Measurement {
+            case: "mlp_cell_loss",
+            path: "batched",
+            tier: "fast",
+            samples: n,
+            passes: reps,
+            seconds: secs_fast,
+            checksum: acc_fast.to_bits(),
         });
     }
 
@@ -259,14 +400,20 @@ fn main() {
         fedval_runtime::Pool::global_width()
     );
     println!(
-        "{:>16}  {:>12}  {:>10}  {:>10}  {:>14}",
-        "case", "path", "samples", "seconds", "samples/sec"
+        "kernel dispatch: bit_exact -> {}, fast -> {}",
+        fedval_linalg::cpu::kernel_isa(DeterminismTier::BitExact),
+        fedval_linalg::cpu::kernel_isa(DeterminismTier::Fast)
+    );
+    println!(
+        "{:>16}  {:>12}  {:>9}  {:>10}  {:>10}  {:>14}",
+        "case", "path", "tier", "samples", "seconds", "samples/sec"
     );
     for m in &measurements {
         println!(
-            "{:>16}  {:>12}  {:>10}  {:>10.4}  {:>14.0}",
+            "{:>16}  {:>12}  {:>9}  {:>10}  {:>10.4}  {:>14.0}",
             m.case,
             m.path,
+            m.tier,
             m.samples * m.passes,
             m.seconds,
             m.samples_per_sec()
@@ -282,20 +429,29 @@ fn main() {
         }
         seen
     };
-    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let find = |case: &str, path: &str, tier: &str| {
+        measurements
+            .iter()
+            .find(|m| m.case == case && m.path == path && m.tier == tier)
+            .expect("all three paths measured")
+    };
+    let mut speedups: Vec<(String, f64, f64)> = Vec::new();
     println!();
     for case in &cases {
-        let per_sample = measurements
-            .iter()
-            .find(|m| m.case == *case && m.path == "per_sample")
-            .expect("both paths measured");
-        let batched = measurements
-            .iter()
-            .find(|m| m.case == *case && m.path == "batched")
-            .expect("both paths measured");
-        let speedup = batched.samples_per_sec() / per_sample.samples_per_sec().max(1e-12);
-        println!("{case}: batched is {speedup:.2}x the per-sample path (bit-identical results)");
-        speedups.push((case.to_string(), speedup));
+        let per_sample = find(case, "per_sample", "bit_exact");
+        let exact = find(case, "batched", "bit_exact");
+        let fast = find(case, "batched", "fast");
+        let speedup = exact.samples_per_sec() / per_sample.samples_per_sec().max(1e-12);
+        let speedup_fast = fast.samples_per_sec() / per_sample.samples_per_sec().max(1e-12);
+        println!(
+            "{case}: batched bit_exact {speedup:.2}x (bit-identical), fast {speedup_fast:.2}x \
+             (within ε) the per-sample path"
+        );
+        speedups.push((case.to_string(), speedup, speedup_fast));
+    }
+
+    if smoke {
+        compare_against_committed(&measurements, "BENCH_cell_throughput.json");
     }
 
     // Machine-readable JSON (schema: fedval_bench crate docs).
@@ -311,15 +467,21 @@ fn main() {
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
         json.push_str(&format!(
-            "    {{\"case\": \"{}\", \"path\": \"{}\", \"samples\": {}, \"passes\": {}, \"seconds\": {}, \"samples_per_sec\": {}, \"checksum\": \"{:016x}\"}}{comma}\n",
-            m.case, m.path, m.samples, m.passes, m.seconds, m.samples_per_sec(), m.checksum
+            "    {{\"case\": \"{}\", \"path\": \"{}\", \"tier\": \"{}\", \"samples\": {}, \"passes\": {}, \"seconds\": {}, \"samples_per_sec\": {}, \"checksum\": \"{:016x}\"}}{comma}\n",
+            m.case, m.path, m.tier, m.samples, m.passes, m.seconds, m.samples_per_sec(), m.checksum
         ));
     }
     json.push_str("  ],\n");
     json.push_str("  \"speedup\": {");
-    for (i, (case, speedup)) in speedups.iter().enumerate() {
+    for (i, (case, speedup, _)) in speedups.iter().enumerate() {
         let comma = if i + 1 == speedups.len() { "" } else { ", " };
         json.push_str(&format!("\"{case}\": {speedup}{comma}"));
+    }
+    json.push_str("},\n");
+    json.push_str("  \"speedup_fast\": {");
+    for (i, (case, _, speedup_fast)) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { ", " };
+        json.push_str(&format!("\"{case}\": {speedup_fast}{comma}"));
     }
     json.push_str("}\n}\n");
     match std::fs::write(&out_path, json) {

@@ -11,11 +11,12 @@
 //! # `BENCH_cell_throughput.json` schema
 //!
 //! The `cell_throughput` binary (per-sample vs. batched kernel
-//! throughput; `--smoke` for the CI-sized run) writes a JSON object to
-//! `target/BENCH_cell_throughput.json` by default; the committed
-//! repo-root `BENCH_cell_throughput.json` is the reference smoke run
-//! for perf-trajectory tracking, refreshed deliberately via
-//! `--out BENCH_cell_throughput.json`:
+//! throughput at both determinism tiers; `--smoke` for the CI-sized
+//! run) writes a JSON object to `target/BENCH_cell_throughput.json` by
+//! default; the committed repo-root `BENCH_cell_throughput.json` is the
+//! reference smoke run for perf-trajectory tracking, refreshed
+//! deliberately via `--out BENCH_cell_throughput.json` (a `--smoke` run
+//! also prints current ÷ committed throughput ratios per row):
 //!
 //! ```json
 //! {
@@ -26,20 +27,27 @@
 //!     {
 //!       "case": "mlp_train" | "logistic_train" | "cnn_train" | "mlp_cell_loss",
 //!       "path": "per_sample" | "batched",
+//!       "tier": "bit_exact" | "fast", // per_sample rows are always "bit_exact"
 //!       "samples": 320,            // examples per pass
 //!       "passes": 6,               // training passes / loss repetitions
 //!       "seconds": 0.0123,         // wall-clock for samples × passes
 //!       "samples_per_sec": 156097.5,
-//!       "checksum": "1a2b…"        // bitwise result checksum; equal across the two paths of a case
+//!       "checksum": "1a2b…"        // bitwise result checksum; equal between
+//!                                  // per_sample and batched bit_exact rows
 //!     }
 //!   ],
-//!   "speedup": { "<case>": 2.1, … }  // batched ÷ per_sample samples/sec
+//!   "speedup":      { "<case>": 2.1, … },  // batched bit_exact ÷ per_sample samples/sec
+//!   "speedup_fast": { "<case>": 4.2, … }   // batched fast ÷ per_sample samples/sec
 //! }
 //! ```
 //!
-//! Every case's two paths are asserted bit-identical before the file is
-//! written, so a schema consumer can treat `speedup` as pure kernel
-//! speed (allocation + cache + SIMD), not a numerical trade-off.
+//! Per case, the batched bit_exact path is asserted bit-identical to the
+//! per-sample path before the file is written (so `speedup` is pure
+//! kernel speed — allocation + cache + SIMD, not a numerical
+//! trade-off), and the batched fast path is asserted within the
+//! documented tolerance of the reference (so `speedup_fast` additionally
+//! buys FMA fusion and reduction reordering at bounded ε — see
+//! `fedval_linalg::DeterminismTier`).
 
 pub mod fairness_trials;
 pub mod profile;

@@ -1,6 +1,6 @@
 //! Federated-learning simulation configuration.
 
-use fedval_models::LearningRate;
+use fedval_models::{DeterminismTier, LearningRate};
 
 /// Configuration of one FedAvg run.
 #[derive(Debug, Clone)]
@@ -30,6 +30,13 @@ pub struct FlConfig {
     /// mode — use full batch for the identical-client fairness
     /// constructions, as the paper's theory does.
     pub batch_size: Option<usize>,
+    /// Numeric tier of the local-update kernels. The default is the
+    /// process default ([`DeterminismTier::default_tier`], i.e.
+    /// `FEDVAL_TIER` or `BitExact`). `Fast` trades the bit-exact
+    /// reduction order for FMA-fused GEMM kernels — trajectories remain
+    /// deterministic run-to-run at a fixed tier, but differ across tiers
+    /// within the documented ε per operation.
+    pub tier: DeterminismTier,
 }
 
 impl FlConfig {
@@ -44,6 +51,7 @@ impl FlConfig {
             seed,
             everyone_heard_round: true,
             batch_size: None,
+            tier: DeterminismTier::default_tier(),
         }
     }
 
@@ -71,6 +79,13 @@ impl FlConfig {
     pub fn with_batch_size(mut self, batch: usize) -> Self {
         assert!(batch >= 1, "batch size must be positive");
         self.batch_size = Some(batch);
+        self
+    }
+
+    /// Builder-style override of the numeric tier the local-update
+    /// kernels run at (see [`DeterminismTier`]).
+    pub fn with_tier(mut self, tier: DeterminismTier) -> Self {
+        self.tier = tier;
         self
     }
 }
@@ -111,6 +126,14 @@ mod tests {
     fn batch_size_builder() {
         let c = FlConfig::new(1, 1, 0.1, 1).with_batch_size(16);
         assert_eq!(c.batch_size, Some(16));
+    }
+
+    #[test]
+    fn tier_defaults_to_process_default_and_overrides() {
+        let c = FlConfig::new(1, 1, 0.1, 1);
+        assert_eq!(c.tier, DeterminismTier::default_tier());
+        let c = c.with_tier(DeterminismTier::Fast);
+        assert_eq!(c.tier, DeterminismTier::Fast);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub const MAX_EXACT_CLIENTS: usize = 16;
 
 pub use config::FlConfig;
 pub use error::OracleError;
+pub use fedval_models::DeterminismTier;
 pub use subset::Subset;
 pub use trainer::{train_federated, TrainingTrace};
 pub use utility::{EvalPlan, UtilityOracle};

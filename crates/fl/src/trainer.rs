@@ -3,7 +3,7 @@
 use crate::config::FlConfig;
 use crate::subset::Subset;
 use fedval_data::Dataset;
-use fedval_models::{optim, Model};
+use fedval_models::{optim, DeterminismTier, Model};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
@@ -97,6 +97,7 @@ pub fn train_federated(
             config.local_steps,
             config.batch_size,
             config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            config.tier,
         );
 
         // Client selection: round 0 selects everyone (Assumption 1).
@@ -134,7 +135,9 @@ pub fn train_federated(
 /// Computes `w^{t+1}_i` for every client, chunked across the persistent
 /// `fedval_runtime` pool with one scratch model per chunk. Each client's
 /// update depends only on its own data and the (fixed) global model, so
-/// results are bit-identical for any pool size.
+/// results are bit-identical for any pool size (at any fixed `tier` —
+/// the tier is pinned on every worker's workspace, so concurrent runs at
+/// different tiers share the global pool safely).
 #[allow(clippy::too_many_arguments)]
 fn parallel_local_updates(
     prototype: &dyn Model,
@@ -144,6 +147,7 @@ fn parallel_local_updates(
     local_steps: usize,
     batch_size: Option<usize>,
     round_seed: u64,
+    tier: DeterminismTier,
 ) -> Vec<Vec<f64>> {
     let n = clients.len();
     let pool = fedval_runtime::Pool::global();
@@ -159,6 +163,7 @@ fn parallel_local_updates(
                 // worker chunk, reused across every client it handles.
                 let mut model = prototype.clone_model();
                 let mut scratch = optim::SgdScratch::new();
+                scratch.ws.set_tier(tier);
                 for (offset, slot) in out_chunk.iter_mut().enumerate() {
                     let i = start + offset;
                     model.set_params(global);
@@ -367,6 +372,25 @@ mod tests {
         // Clamped batch = full dataset: must equal the full-batch run.
         let full = train_federated(&proto(), &cl, &FlConfig::new(2, 2, 0.1, 3));
         assert_eq!(trace.final_params, full.final_params);
+    }
+
+    #[test]
+    fn fast_tier_training_is_deterministic_and_close_to_bit_exact() {
+        let cl = clients(4);
+        let fast_cfg = FlConfig::new(3, 2, 0.1, 5).with_tier(DeterminismTier::Fast);
+        let a = train_federated(&proto(), &cl, &fast_cfg);
+        let b = train_federated(&proto(), &cl, &fast_cfg);
+        assert_eq!(
+            a.final_params, b.final_params,
+            "fast tier is deterministic run-to-run"
+        );
+        let exact_cfg = FlConfig::new(3, 2, 0.1, 5).with_tier(DeterminismTier::BitExact);
+        let exact = train_federated(&proto(), &cl, &exact_cfg);
+        for (x, y) in a.final_params.iter().zip(&exact.final_params) {
+            // Composite model-level bound; the per-op GEMM ε is far
+            // tighter (see fedval_linalg::gemm::fast_epsilon).
+            assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@
 use crate::subset::Subset;
 use crate::trainer::TrainingTrace;
 use fedval_data::Dataset;
-use fedval_models::{Model, Workspace};
+use fedval_models::{DeterminismTier, Model, Workspace};
 use fedval_runtime::{CancelToken, Cancelled, PoolHandle};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
@@ -149,10 +149,10 @@ struct CellScratch {
 }
 
 impl CellScratch {
-    fn new(model: Box<dyn Model>) -> Self {
+    fn new(model: Box<dyn Model>, tier: DeterminismTier) -> Self {
         CellScratch {
             model,
-            ws: Workspace::new(),
+            ws: Workspace::new().with_tier(tier),
             aggregate: Vec::new(),
         }
     }
@@ -192,13 +192,19 @@ pub struct UtilityOracle<'a> {
     pool: PoolHandle,
     /// Optional cap on workers per batch; `None` uses the pool width.
     parallelism: Option<usize>,
+    /// Numeric tier every cell evaluation runs at (pinned on the serial
+    /// scratch and on each per-batch worker workspace).
+    tier: DeterminismTier,
 }
 
 impl<'a> UtilityOracle<'a> {
-    /// Builds an oracle. Evaluates the `T` per-round base losses eagerly
-    /// (they are shared by every utility query in the round).
+    /// Builds an oracle at the process-default tier
+    /// ([`DeterminismTier::default_tier`]). Evaluates the `T` per-round
+    /// base losses eagerly (they are shared by every utility query in
+    /// the round).
     pub fn new(trace: &'a TrainingTrace, prototype: &dyn Model, test_data: &'a Dataset) -> Self {
-        let mut scratch = CellScratch::new(prototype.clone_model());
+        let tier = DeterminismTier::default_tier();
+        let mut scratch = CellScratch::new(prototype.clone_model(), tier);
         let mut calls = 0u64;
         let base_losses: Vec<f64> = trace
             .rounds
@@ -219,6 +225,7 @@ impl<'a> UtilityOracle<'a> {
             calls: AtomicU64::new(calls),
             pool: PoolHandle::Global,
             parallelism: None,
+            tier,
         }
     }
 
@@ -242,6 +249,32 @@ impl<'a> UtilityOracle<'a> {
         self.parallelism.unwrap_or_else(|| self.pool.threads())
     }
 
+    /// Sets the numeric tier cell evaluations run at (builder style).
+    ///
+    /// Call this before querying or batch-evaluating any cells: the
+    /// result table caches values at whatever tier computed them, and
+    /// the per-round base losses are evaluated at construction (at the
+    /// process-default tier). The latter is harmless for cross-tier
+    /// comparisons — every utility is a difference against the *same*
+    /// base loss, so the base-loss tier cancels out of utility deltas —
+    /// but mixed-tier cell caches are not meaningful; use
+    /// [`Self::isolated_with_tier`] for a fresh-cache oracle instead.
+    pub fn with_tier(mut self, tier: DeterminismTier) -> Self {
+        self.set_tier(tier);
+        self
+    }
+
+    /// See [`Self::with_tier`].
+    pub fn set_tier(&mut self, tier: DeterminismTier) {
+        self.tier = tier;
+        self.scratch.lock().ws.set_tier(tier);
+    }
+
+    /// The tier cell evaluations run at.
+    pub fn tier(&self) -> DeterminismTier {
+        self.tier
+    }
+
     /// Submits batches to `pool` instead of the process-wide
     /// [`Pool::global`](fedval_runtime::Pool::global) — tests pin exact
     /// pool sizes this way without perturbing the global pool.
@@ -263,16 +296,25 @@ impl<'a> UtilityOracle<'a> {
     /// and reports — its full evaluation cost instead of drafting behind
     /// an earlier method's cache.
     pub fn isolated(&self) -> UtilityOracle<'a> {
+        self.isolated_with_tier(self.tier)
+    }
+
+    /// [`Self::isolated`] with the clone's cell evaluations pinned to
+    /// `tier` — the fresh result table never mixes tiers. The copied
+    /// base losses keep their original values (see [`Self::with_tier`]
+    /// for why that cancels out of utility comparisons).
+    pub fn isolated_with_tier(&self, tier: DeterminismTier) -> UtilityOracle<'a> {
         UtilityOracle {
             trace: self.trace,
             test_data: self.test_data,
             prototype: self.prototype.clone_model(),
-            scratch: Mutex::new(CellScratch::new(self.prototype.clone_model())),
+            scratch: Mutex::new(CellScratch::new(self.prototype.clone_model(), tier)),
             base_losses: self.base_losses.clone(),
             table: RwLock::new(HashMap::new()),
             calls: AtomicU64::new(0),
             pool: self.pool.clone(),
             parallelism: self.parallelism,
+            tier,
         }
     }
 
@@ -410,7 +452,7 @@ impl<'a> UtilityOracle<'a> {
         self.pool.get().for_each_init(
             pending,
             workers,
-            || CellScratch::new(self.prototype.clone_model()),
+            || CellScratch::new(self.prototype.clone_model(), self.tier),
             |scratch, ((t, s), slot)| {
                 // A mid-cell cancellation leaves the slot unset; the
                 // pool observes the shared token at the next item
@@ -690,6 +732,33 @@ mod tests {
             "column reads must all hit the table"
         );
         assert_eq!(total, oracle.total_utility_parallel(s));
+    }
+
+    #[test]
+    fn fast_tier_oracle_is_deterministic_and_close_to_bit_exact() {
+        let (trace, proto, test) = setup();
+        let exact = UtilityOracle::new(&trace, &proto, &test).with_tier(DeterminismTier::BitExact);
+        let fast = exact.isolated_with_tier(DeterminismTier::Fast);
+        let fast2 = exact.isolated_with_tier(DeterminismTier::Fast);
+        assert_eq!(fast.tier(), DeterminismTier::Fast);
+        assert_eq!(exact.tier(), DeterminismTier::BitExact);
+        for t in 0..trace.num_rounds() {
+            for bits in 1u64..16 {
+                let s = Subset::from_bits(bits);
+                let a = exact.utility(t, s);
+                let b = fast.utility(t, s);
+                // Composite model-level bound; per-op ε is far tighter.
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                    "({t}, {s:?}): {a} vs {b}"
+                );
+                assert_eq!(
+                    b.to_bits(),
+                    fast2.utility(t, s).to_bits(),
+                    "fast tier is deterministic"
+                );
+            }
+        }
     }
 
     #[test]

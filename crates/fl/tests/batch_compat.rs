@@ -15,7 +15,9 @@
 use fedval_data::Dataset;
 use fedval_fl::{train_federated, EvalPlan, FlConfig, Subset, UtilityOracle};
 use fedval_linalg::{vector, Matrix};
-use fedval_models::{optim, Activation, LogisticRegression, Mlp, Model, Workspace};
+use fedval_models::{
+    optim, Activation, DeterminismTier, LogisticRegression, Mlp, Model, Workspace,
+};
 use fedval_runtime::{CancelToken, Cancelled};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
@@ -83,10 +85,13 @@ fn minibatch_sgd_bit_identical_to_per_sample_reference() {
         for (ci, data) in clients.iter().enumerate() {
             let seed = 100 + ci as u64;
 
-            // Logistic regression.
+            // Logistic regression. The per-sample reference loops are
+            // inherently bit-exact, so the batched side is pinned to
+            // BitExact regardless of the FEDVAL_TIER environment.
             let mut batched = LogisticRegression::new(3, 2, 0.01, 7);
             let mut reference = batched.clone();
             let mut scratch = optim::SgdScratch::new();
+            scratch.ws.set_tier(DeterminismTier::BitExact);
             optim::minibatch_updates(&mut batched, data, 0.2, 5, batch, seed, &mut scratch);
             reference_minibatch_updates(
                 &mut reference,
@@ -152,11 +157,14 @@ fn federated_training_trajectories_unchanged_across_batch_sizes() {
 #[test]
 fn oracle_cells_match_per_sample_loss_reference() {
     // Every utility cell evaluated through the batched kernels equals
-    // base_loss − per-sample loss of the aggregate, to the bit.
+    // base_loss − per-sample loss of the aggregate, to the bit. The
+    // oracle is pinned to BitExact (the per-sample reference loop is
+    // inherently bit-exact); the base-loss tier cancels out of both
+    // sides of the comparison.
     let (clients, test) = six_client_world();
     let proto = LogisticRegression::new(3, 2, 0.01, 11);
     let trace = train_federated(&proto, &clients, &FlConfig::new(4, 3, 0.3, 5));
-    let oracle = UtilityOracle::new(&trace, &proto, &test);
+    let oracle = UtilityOracle::new(&trace, &proto, &test).with_tier(DeterminismTier::BitExact);
     let mut plan = EvalPlan::new();
     for t in 0..trace.num_rounds() {
         plan.add_subsets_of(t, Subset::full(6));

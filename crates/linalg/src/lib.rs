@@ -22,20 +22,24 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod cholesky;
+pub mod cpu;
 pub mod error;
 pub mod gemm;
 pub mod low_rank;
 pub mod matrix;
 pub mod qr;
 pub mod svd;
+pub mod tier;
 pub mod vector;
 
 pub use cholesky::CholeskyFactor;
+pub use cpu::{CpuFeatures, KernelIsa};
 pub use error::LinalgError;
 pub use low_rank::{eps_rank_upper_bound, truncated_reconstruction};
 pub use matrix::Matrix;
 pub use qr::QrFactor;
 pub use svd::{singular_values, Svd};
+pub use tier::DeterminismTier;
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,150 @@
+//! The determinism/performance knob of the numeric kernels.
+//!
+//! PRs 1–5 kept every kernel **bit-exact**: each output element is one
+//! full-length, in-order sequential sum, so batched, blocked, and
+//! SIMD-dispatched code produces bit-identical results to the naive
+//! per-sample loops. That contract is what [`DeterminismTier::BitExact`]
+//! (the default) continues to guarantee. [`DeterminismTier::Fast`]
+//! relaxes *only* the within-element reduction order and floating-point
+//! contraction, in exchange for FMA-fused, wider-SIMD kernels and a
+//! GEMM-routed convolution — with a documented per-op error bound
+//! ([`fast_epsilon`](crate::gemm::fast_epsilon)) against the bit-exact
+//! reference.
+//!
+//! The tier is a *per-session* property: it is carried by value through
+//! `Workspace` → model kernels → `UtilityOracle` → `ValuationSession`,
+//! never stored in a global, so concurrent sessions sharing one worker
+//! pool can mix tiers safely.
+
+use std::sync::OnceLock;
+
+/// Which arithmetic contract the numeric kernels honor.
+///
+/// # Exactly which operations may reorder under `Fast`
+///
+/// `Fast` changes the floating-point *result* of these operations, and
+/// only these:
+///
+/// * **GEMM reductions** ([`gemm_nn_tiered`](crate::gemm::gemm_nn_tiered),
+///   [`gemm_nt_tiered`](crate::gemm::gemm_nt_tiered),
+///   [`gemm_tn_acc_tiered`](crate::gemm::gemm_tn_acc_tiered)): the
+///   per-element dot over the shared dimension is split into **two
+///   interleaved partial chains** (even/odd terms of each 8-term block)
+///   combined pairwise at the end, and each multiply–add is **FMA-fused**
+///   (one rounding instead of two). Memory-traffic blocking is unchanged.
+/// * **CNN convolution forward/backward** (`fedval_models`): the conv
+///   layer routes through im2col + the tiered GEMM family, so each conv
+///   activation becomes a kernel-row-major 9-term FMA dot instead of the
+///   scalar row-by-row accumulation, and the conv weight gradient
+///   accumulates over `samples × positions` in the tiered `tn` kernel's
+///   order instead of sample-by-sample. ReLU, average pooling, bias
+///   addition, and the loss epilogue are element-wise and unchanged.
+///
+/// Everything else — `add_bias_rows`, `col_sums_acc`, `vector::dot` /
+/// `axpy`, softmax/log-sum-exp, Cholesky/QR/SVD, the ALS matrix
+/// completion (`gram_into` stays bit-exact on purpose), and all
+/// per-sample reference paths — is identical in both tiers.
+///
+/// `Fast` is still **deterministic**: the alternative reduction order is
+/// fixed and the kernel instantiation is chosen once per process
+/// ([`kernel_isa`](crate::cpu::kernel_isa)), so two `Fast` runs of the
+/// same computation on the same machine are bit-identical *to each
+/// other* — serial-vs-parallel equivalence holds within a tier. Only the
+/// cross-tier comparison is relaxed, to within
+/// [`fast_epsilon`](crate::gemm::fast_epsilon).
+///
+/// On hardware without runtime-detected FMA support, `Fast` falls back
+/// to the bit-exact kernels (the tiers then coincide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeterminismTier {
+    /// Reference arithmetic: every reduction is one in-order sequential
+    /// sum; results are bit-identical across blocking, threading, and
+    /// SIMD width. The default.
+    #[default]
+    BitExact,
+    /// FMA-fused, reduction-reordered kernels within a documented ε of
+    /// [`BitExact`](Self::BitExact); deterministic within the tier.
+    Fast,
+}
+
+impl DeterminismTier {
+    /// Parses a tier name: `fast` → `Fast`; `bitexact` / `bit_exact` /
+    /// `bit-exact` / `exact` → `BitExact` (ASCII case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "fast" => Some(DeterminismTier::Fast),
+            "bitexact" | "bit_exact" | "bit-exact" | "exact" => Some(DeterminismTier::BitExact),
+            _ => None,
+        }
+    }
+
+    /// The tier requested by the `FEDVAL_TIER` environment variable, if
+    /// set to a recognized value (see [`parse`](Self::parse)).
+    pub fn from_env() -> Option<Self> {
+        std::env::var("FEDVAL_TIER")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+    }
+
+    /// The process-wide default tier: `FEDVAL_TIER` if set and valid,
+    /// otherwise [`BitExact`](Self::BitExact). Read once and cached —
+    /// this is what `Workspace::new()` and the oracle/trainer
+    /// constructors use, so the env override flows through the whole
+    /// stack while explicit `with_tier(..)` calls still win.
+    pub fn default_tier() -> Self {
+        static DEFAULT: OnceLock<DeterminismTier> = OnceLock::new();
+        *DEFAULT.get_or_init(|| Self::from_env().unwrap_or_default())
+    }
+
+    /// Stable lowercase name (`"bit_exact"` / `"fast"`) — used by the
+    /// bench JSON schema and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeterminismTier::BitExact => "bit_exact",
+            DeterminismTier::Fast => "fast",
+        }
+    }
+}
+
+impl std::fmt::Display for DeterminismTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_bit_exact() {
+        assert_eq!(DeterminismTier::default(), DeterminismTier::BitExact);
+    }
+
+    #[test]
+    fn parse_accepts_spellings_and_rejects_junk() {
+        assert_eq!(DeterminismTier::parse("fast"), Some(DeterminismTier::Fast));
+        assert_eq!(
+            DeterminismTier::parse(" FAST "),
+            Some(DeterminismTier::Fast)
+        );
+        for s in ["bitexact", "bit_exact", "bit-exact", "exact", "BitExact"] {
+            assert_eq!(
+                DeterminismTier::parse(s),
+                Some(DeterminismTier::BitExact),
+                "{s}"
+            );
+        }
+        assert_eq!(DeterminismTier::parse("turbo"), None);
+        assert_eq!(DeterminismTier::parse(""), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for t in [DeterminismTier::BitExact, DeterminismTier::Fast] {
+            assert_eq!(DeterminismTier::parse(t.name()), Some(t));
+            assert_eq!(format!("{t}"), t.name());
+        }
+    }
+}

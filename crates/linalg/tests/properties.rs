@@ -1,7 +1,8 @@
 //! Property-based tests for the dense linear-algebra kernels.
 
 use fedval_linalg::{
-    cholesky::ridge_solve, eps_rank_upper_bound, CholeskyFactor, Matrix, QrFactor, Svd,
+    cholesky::ridge_solve, eps_rank_upper_bound, CholeskyFactor, DeterminismTier, Matrix, QrFactor,
+    Svd,
 };
 use proptest::prelude::*;
 
@@ -87,6 +88,72 @@ proptest! {
         fedval_linalg::gemm::reference::gemm_nt(&a, &b, &mut naive, m, k, n);
         for (x, y) in blocked.iter().zip(&naive) {
             prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_tier_gemms_within_documented_epsilon_of_naive(
+        // Random/ragged shapes straddling the 8-wide register block and
+        // the panel edges, mirroring the bit-exact property tests.
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mk_data = |s: u64, len: usize| -> Vec<f64> {
+            (0..len).map(|i| (((i as u64 * 2654435761 + s * 40503) % 997) as f64 / 499.0) - 1.0).collect()
+        };
+        let a = mk_data(seed, m * k);
+        let b = mk_data(seed + 1, k * n);
+        let bt = mk_data(seed + 2, n * k);
+        // Per-element bound: fast_epsilon(k, Σ|aᵢ||bᵢ|).
+        let bound = |ar: &[f64], bc: &mut dyn Iterator<Item = f64>| -> f64 {
+            let mag: f64 = ar.iter().zip(bc).map(|(x, y)| (x * y).abs()).sum();
+            fedval_linalg::gemm::fast_epsilon(ar.len(), mag)
+        };
+
+        let mut fast = vec![0.0; m * n];
+        let mut naive = vec![7.0; m * n];
+        fedval_linalg::gemm::gemm_nn_tiered(&a, &b, &mut fast, m, k, n, DeterminismTier::Fast);
+        fedval_linalg::gemm::reference::gemm_nn(&a, &b, &mut naive, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let eps = bound(&a[i * k..(i + 1) * k], &mut (0..k).map(|kk| b[kk * n + j]));
+                prop_assert!((fast[i * n + j] - naive[i * n + j]).abs() <= eps);
+            }
+        }
+
+        let mut fast_nt = vec![0.0; m * n];
+        let mut naive_nt = vec![3.0; m * n];
+        let mut scratch = fedval_linalg::gemm::Scratch::new();
+        fedval_linalg::gemm::gemm_nt_tiered(
+            &a, &bt, &mut fast_nt, m, k, n, &mut scratch, DeterminismTier::Fast,
+        );
+        fedval_linalg::gemm::reference::gemm_nt(&a, &bt, &mut naive_nt, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let eps = bound(
+                    &a[i * k..(i + 1) * k],
+                    &mut bt[j * k..(j + 1) * k].iter().copied(),
+                );
+                prop_assert!((fast_nt[i * n + j] - naive_nt[i * n + j]).abs() <= eps);
+            }
+        }
+
+        // tn_acc: treat a as (k × m) and accumulate into a warm C.
+        let init = mk_data(seed + 3, m * n);
+        let at = mk_data(seed + 4, k * m);
+        let mut fast_tn = init.clone();
+        let mut naive_tn = init.clone();
+        fedval_linalg::gemm::gemm_tn_acc_tiered(&at, &b, &mut fast_tn, k, m, n, DeterminismTier::Fast);
+        fedval_linalg::gemm::reference::gemm_tn_acc(&at, &b, &mut naive_tn, k, m, n);
+        for p in 0..m {
+            for q in 0..n {
+                let col: Vec<f64> = (0..k).map(|i| at[i * m + p]).collect();
+                let eps = bound(&col, &mut (0..k).map(|i| b[i * n + q]))
+                    + fedval_linalg::gemm::fast_epsilon(1, init[p * n + q].abs());
+                prop_assert!((fast_tn[p * n + q] - naive_tn[p * n + q]).abs() <= eps);
+            }
         }
     }
 

@@ -10,7 +10,9 @@ use crate::init::xavier_fill;
 use crate::traits::Model;
 use crate::workspace::{check, chunks, Workspace};
 use fedval_data::Dataset;
-use fedval_linalg::{gemm, vector, Matrix};
+#[cfg(target_arch = "x86_64")]
+use fedval_linalg::KernelIsa;
+use fedval_linalg::{gemm, vector, DeterminismTier, Matrix};
 use fedval_runtime::{CancelToken, Cancelled};
 
 /// Architecture of [`Cnn`].
@@ -42,6 +44,12 @@ impl CnnConfig {
 }
 
 const KERNEL: usize = 3;
+
+/// Sub-block rows for the `Fast`-tier gradient: small enough that the
+/// channel-last conv activations, pooled maps, and deltas for one
+/// sub-block fit in L2 together, so the fused backward re-reads the
+/// forward's conv buffer without an L3 round trip.
+const FAST_GRAD_ROWS: usize = 64;
 
 /// Convolutional classifier: conv3×3(K) → ReLU → avgpool2×2 → dense.
 #[derive(Debug, Clone)]
@@ -243,6 +251,433 @@ impl Cnn {
             &self.params[self.dense_b_off..],
         );
     }
+
+    /// `Fast`-tier batched forward: one fused conv+bias+ReLU+pool pass
+    /// straight from the input rows (see [`conv_forward_fused`]) writing
+    /// the **channel-last** conv activations (`convf[pos][f]`) the
+    /// backward pass masks against and the f-major `pooled` rows the
+    /// dense head expects, then the tiered dense GEMM. Reorders the conv
+    /// reduction (tap-order broadcast FMA instead of the scalar
+    /// accumulation) — within the documented ε of [`forward_chunk`].
+    fn forward_chunk_fast(
+        &self,
+        x: &[f64],
+        rows: usize,
+        convf: &mut Matrix,
+        pooled: &mut Matrix,
+        logits: &mut Matrix,
+        scratch: &mut gemm::Scratch,
+    ) {
+        let tier = DeterminismTier::Fast;
+        let in_dim = self.input_dim();
+        let k = self.config.filters;
+        let (ch, cw) = (self.conv_h, self.conv_w);
+        let positions = ch * cw;
+        let dense_in = self.dense_in();
+        let classes = self.config.num_classes;
+
+        // Conv positions outside every pool window (odd conv dims) are
+        // left unwritten in `convf`; nothing downstream reads them — the
+        // backward ReLU mask only visits pooled positions.
+        convf.resize_for_overwrite(rows * positions, k);
+        pooled.resize_for_overwrite(rows, dense_in);
+        conv_forward_fused(
+            &ConvFwd {
+                x,
+                rows,
+                in_dim,
+                width: self.config.width,
+                conv_h: ch,
+                conv_w: cw,
+                pool_h: self.pool_h,
+                pool_w: self.pool_w,
+                filters: k,
+                weights: &self.params[self.conv_w_off..self.conv_b_off],
+                bias: &self.params[self.conv_b_off..self.dense_w_off],
+                dense_in,
+            },
+            convf.as_mut_slice(),
+            pooled.as_mut_slice(),
+        );
+        logits.resize_for_overwrite(rows, classes);
+        gemm::gemm_nt_tiered(
+            pooled.as_slice(),
+            &self.params[self.dense_w_off..self.dense_b_off],
+            logits.as_mut_slice(),
+            rows,
+            dense_in,
+            classes,
+            scratch,
+            tier,
+        );
+        gemm::add_bias_rows(
+            logits.as_mut_slice(),
+            classes,
+            &self.params[self.dense_b_off..],
+        );
+    }
+}
+
+/// Per-chunk inputs for the fused `Fast`-tier conv forward pass.
+struct ConvFwd<'a> {
+    /// Input rows for the chunk, `rows × in_dim`.
+    x: &'a [f64],
+    rows: usize,
+    in_dim: usize,
+    /// Image width (row stride within one input row).
+    width: usize,
+    conv_h: usize,
+    conv_w: usize,
+    pool_h: usize,
+    pool_w: usize,
+    filters: usize,
+    /// Conv weights in the filter-major parameter layout (`filters × 9`).
+    weights: &'a [f64],
+    /// Conv bias, one per filter.
+    bias: &'a [f64],
+    dense_in: usize,
+}
+
+/// Register-tiled body of the fused conv forward: the filter weights are
+/// hoisted into a tap-major `[tap][filter]` register file once, then
+/// every pool window computes its four conv positions as nine broadcast
+/// FMAs each — straight from the input row, no im2col expansion — fuses
+/// bias + ReLU, stores the channel-last activation row, and accumulates
+/// the 2×2 average into the f-major pooled plane.
+///
+/// `KF` is the padded filter width (4/8/16); lanes `f ≥ filters` hold
+/// zero weights/bias so they stay zero throughout, and the activation
+/// store narrows back to `filters` lanes (constant-trip conditional
+/// stores — a runtime-length `copy_from_slice` here becomes a memcpy
+/// libcall that spills the register file per position).
+#[inline(always)]
+fn conv_forward_fused_body<const KF: usize>(p: &ConvFwd, conv: &mut [f64], pooled: &mut [f64]) {
+    let k = p.filters;
+    let pool_plane = p.pool_h * p.pool_w;
+    let positions = p.conv_h * p.conv_w;
+    let mut wreg = [[0.0f64; KF]; KERNEL * KERNEL];
+    let mut breg = [0.0f64; KF];
+    for f in 0..k {
+        for (t, wt) in wreg.iter_mut().enumerate() {
+            wt[f] = p.weights[f * KERNEL * KERNEL + t];
+        }
+        breg[f] = p.bias[f];
+    }
+    for r in 0..p.rows {
+        let xr = &p.x[r * p.in_dim..(r + 1) * p.in_dim];
+        let base = r * positions;
+        let prow = &mut pooled[r * p.dense_in..(r + 1) * p.dense_in];
+        for pi in 0..p.pool_h {
+            for pj in 0..p.pool_w {
+                let mut pacc = [0.0f64; KF];
+                for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    let ci = 2 * pi + di;
+                    let cj = 2 * pj + dj;
+                    let mut acc = breg;
+                    for (t, wt) in wreg.iter().enumerate() {
+                        let xv = xr[(ci + t / KERNEL) * p.width + cj + t % KERNEL];
+                        for (av, &wv) in acc.iter_mut().zip(wt) {
+                            *av = xv.mul_add(wv, *av);
+                        }
+                    }
+                    for av in &mut acc {
+                        *av = av.max(0.0);
+                    }
+                    let pos = base + ci * p.conv_w + cj;
+                    let crow = &mut conv[pos * k..(pos + 1) * k];
+                    if k == KF {
+                        let dst: &mut [f64; KF] = crow.try_into().unwrap();
+                        *dst = acc;
+                    } else {
+                        for (f, &av) in acc.iter().enumerate() {
+                            if f < k {
+                                crow[f] = av;
+                            }
+                        }
+                    }
+                    for (pv, &av) in pacc.iter_mut().zip(&acc) {
+                        *pv += av;
+                    }
+                }
+                let widx = pi * p.pool_w + pj;
+                for (f, &pv) in pacc.iter().enumerate() {
+                    if f < k {
+                        prow[f * pool_plane + widx] = pv * 0.25;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// AVX2+FMA instantiation of [`conv_forward_fused_body`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn conv_forward_fused_avx2(p: &ConvFwd, conv: &mut [f64], pooled: &mut [f64]) {
+    match p.filters {
+        0..=4 => conv_forward_fused_body::<4>(p, conv, pooled),
+        5..=8 => conv_forward_fused_body::<8>(p, conv, pooled),
+        _ => conv_forward_fused_body::<16>(p, conv, pooled),
+    }
+}
+
+/// AVX-512+FMA instantiation of [`conv_forward_fused_body`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn conv_forward_fused_avx512(p: &ConvFwd, conv: &mut [f64], pooled: &mut [f64]) {
+    match p.filters {
+        0..=4 => conv_forward_fused_body::<4>(p, conv, pooled),
+        5..=8 => conv_forward_fused_body::<8>(p, conv, pooled),
+        _ => conv_forward_fused_body::<16>(p, conv, pooled),
+    }
+}
+
+/// Portable fallback for wide filter counts or CPUs without runtime
+/// FMA: same window-order traversal, runtime-length filter loop, plain
+/// multiply-add (`mul_add` without FMA codegen is a libm call).
+fn conv_forward_fused_scalar(p: &ConvFwd, conv: &mut [f64], pooled: &mut [f64]) {
+    let k = p.filters;
+    let pool_plane = p.pool_h * p.pool_w;
+    let positions = p.conv_h * p.conv_w;
+    for r in 0..p.rows {
+        let xr = &p.x[r * p.in_dim..(r + 1) * p.in_dim];
+        let base = r * positions;
+        let prow = &mut pooled[r * p.dense_in..(r + 1) * p.dense_in];
+        for pi in 0..p.pool_h {
+            for pj in 0..p.pool_w {
+                let widx = pi * p.pool_w + pj;
+                for f in 0..k {
+                    let wf = &p.weights[f * KERNEL * KERNEL..(f + 1) * KERNEL * KERNEL];
+                    let mut pacc = 0.0;
+                    for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                        let ci = 2 * pi + di;
+                        let cj = 2 * pj + dj;
+                        let mut acc = p.bias[f];
+                        for ki in 0..KERNEL {
+                            for kj in 0..KERNEL {
+                                acc += xr[(ci + ki) * p.width + cj + kj] * wf[ki * KERNEL + kj];
+                            }
+                        }
+                        let act = acc.max(0.0);
+                        conv[(base + ci * p.conv_w + cj) * k + f] = act;
+                        pacc += act;
+                    }
+                    prow[f * pool_plane + widx] = pacc * 0.25;
+                }
+            }
+        }
+    }
+}
+
+/// Fused `Fast`-tier conv forward: dispatches on the cached CPU feature
+/// probe (same policy as the tiered GEMMs). Replaces the im2col buffer +
+/// conv GEMM + bias/ReLU sweep + pool gather with a single pass over the
+/// input rows; the conv reduction runs in tap order, which is what the
+/// `Fast` tier's ε contract licenses.
+fn conv_forward_fused(p: &ConvFwd, conv: &mut [f64], pooled: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if p.filters <= 16 {
+        match fedval_linalg::cpu::kernel_isa(DeterminismTier::Fast) {
+            KernelIsa::Avx512Fma => {
+                // SAFETY: `kernel_isa` reports these variants only when
+                // the corresponding features are present at runtime.
+                unsafe { conv_forward_fused_avx512(p, conv, pooled) };
+                return;
+            }
+            KernelIsa::Avx2Fma => {
+                // SAFETY: as above.
+                unsafe { conv_forward_fused_avx2(p, conv, pooled) };
+                return;
+            }
+            _ => {}
+        }
+    }
+    conv_forward_fused_scalar(p, conv, pooled);
+}
+
+/// Per-chunk inputs for the fused `Fast`-tier conv backward pass.
+///
+/// The fused kernel reads the raw input rows directly instead of the
+/// im2col expansion, so the backward pass touches `rows · in_dim`
+/// doubles where the materialized `dcols`/`cols` route streamed
+/// `2 · rows · positions · max(9, filters)` — the difference is what
+/// keeps the chunk L2-resident.
+struct ConvBack<'a> {
+    /// Input rows for the chunk, `rows × in_dim`.
+    x: &'a [f64],
+    rows: usize,
+    in_dim: usize,
+    /// Image width (row stride within one input row).
+    width: usize,
+    conv_h: usize,
+    conv_w: usize,
+    pool_h: usize,
+    pool_w: usize,
+    filters: usize,
+    /// Post-ReLU conv activations in channel-last layout
+    /// (`conv[pos · filters + f]`), as produced by the fast forward.
+    conv: &'a [f64],
+    /// Upstream pooled deltas, `rows × dense_in`, f-major planes.
+    pooled_delta: &'a [f64],
+    dense_in: usize,
+}
+
+/// Register-tiled body of the fused conv backward: for every pool
+/// window, broadcast the pooled delta once, then for each of its four
+/// conv positions mask by the forward ReLU and accumulate the bias and
+/// the nine tap gradients into a `[tap][filter]` register file. The
+/// accumulators only spill to memory once per chunk, and positions
+/// outside any pool window (odd conv dims) contribute nothing — exactly
+/// as in the per-sample backward.
+///
+/// `KF` is the padded filter width (4/8/16); lanes `f ≥ filters` are
+/// forced to zero via constant-trip conditional loads — a runtime-length
+/// `copy_from_slice` here becomes a memcpy libcall that spills every
+/// accumulator per position.
+#[inline(always)]
+fn conv_backward_fused_body<const KF: usize>(p: &ConvBack, wgrad: &mut [f64], bgrad: &mut [f64]) {
+    let k = p.filters;
+    let pool_plane = p.pool_h * p.pool_w;
+    let positions = p.conv_h * p.conv_w;
+    let mut wacc = [[0.0f64; KF]; KERNEL * KERNEL];
+    let mut bacc = [0.0f64; KF];
+    for r in 0..p.rows {
+        let xr = &p.x[r * p.in_dim..(r + 1) * p.in_dim];
+        let pdrow = &p.pooled_delta[r * p.dense_in..(r + 1) * p.dense_in];
+        let base = r * positions;
+        for pi in 0..p.pool_h {
+            for pj in 0..p.pool_w {
+                let widx = pi * p.pool_w + pj;
+                let mut pd = [0.0f64; KF];
+                for (f, v) in pd.iter_mut().enumerate() {
+                    *v = if f < k {
+                        pdrow[f * pool_plane + widx] * 0.25
+                    } else {
+                        0.0
+                    };
+                }
+                for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    let ci = 2 * pi + di;
+                    let cj = 2 * pj + dj;
+                    let pos = base + ci * p.conv_w + cj;
+                    let crow = &p.conv[pos * k..(pos + 1) * k];
+                    let mut drow = [0.0f64; KF];
+                    for (f, v) in drow.iter_mut().enumerate() {
+                        let act = if f < k { crow[f] } else { 0.0 };
+                        *v = if act > 0.0 { pd[f] } else { 0.0 };
+                    }
+                    for (bv, &dv) in bacc.iter_mut().zip(&drow) {
+                        *bv += dv;
+                    }
+                    for (t, wt) in wacc.iter_mut().enumerate() {
+                        let xv = xr[(ci + t / KERNEL) * p.width + cj + t % KERNEL];
+                        for (wv, &dv) in wt.iter_mut().zip(&drow) {
+                            *wv = xv.mul_add(dv, *wv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Spill once: `wacc` is tap-major, the parameter layout is
+    // filter-major (`wgrad[f · 9 + tap]`).
+    for f in 0..k {
+        for (t, wt) in wacc.iter().enumerate() {
+            wgrad[f * KERNEL * KERNEL + t] += wt[f];
+        }
+        bgrad[f] += bacc[f];
+    }
+}
+
+/// AVX2+FMA instantiation of [`conv_backward_fused_body`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn conv_backward_fused_avx2(p: &ConvBack, wgrad: &mut [f64], bgrad: &mut [f64]) {
+    match p.filters {
+        0..=4 => conv_backward_fused_body::<4>(p, wgrad, bgrad),
+        5..=8 => conv_backward_fused_body::<8>(p, wgrad, bgrad),
+        _ => conv_backward_fused_body::<16>(p, wgrad, bgrad),
+    }
+}
+
+/// AVX-512+FMA instantiation of [`conv_backward_fused_body`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn conv_backward_fused_avx512(p: &ConvBack, wgrad: &mut [f64], bgrad: &mut [f64]) {
+    match p.filters {
+        0..=4 => conv_backward_fused_body::<4>(p, wgrad, bgrad),
+        5..=8 => conv_backward_fused_body::<8>(p, wgrad, bgrad),
+        _ => conv_backward_fused_body::<16>(p, wgrad, bgrad),
+    }
+}
+
+/// Portable fallback for wide filter counts or CPUs without runtime
+/// FMA: same window-order traversal, runtime-length filter loop, plain
+/// multiply-add (`mul_add` without FMA codegen is a libm call).
+fn conv_backward_fused_scalar(p: &ConvBack, wgrad: &mut [f64], bgrad: &mut [f64]) {
+    let k = p.filters;
+    let pool_plane = p.pool_h * p.pool_w;
+    let positions = p.conv_h * p.conv_w;
+    for r in 0..p.rows {
+        let xr = &p.x[r * p.in_dim..(r + 1) * p.in_dim];
+        let pdrow = &p.pooled_delta[r * p.dense_in..(r + 1) * p.dense_in];
+        let base = r * positions;
+        for pi in 0..p.pool_h {
+            for pj in 0..p.pool_w {
+                let widx = pi * p.pool_w + pj;
+                for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    let ci = 2 * pi + di;
+                    let cj = 2 * pj + dj;
+                    let pos = base + ci * p.conv_w + cj;
+                    let crow = &p.conv[pos * k..(pos + 1) * k];
+                    for (f, &act) in crow.iter().enumerate() {
+                        if act <= 0.0 {
+                            continue;
+                        }
+                        let dv = pdrow[f * pool_plane + widx] * 0.25;
+                        if dv == 0.0 {
+                            continue;
+                        }
+                        bgrad[f] += dv;
+                        let wf = &mut wgrad[f * KERNEL * KERNEL..(f + 1) * KERNEL * KERNEL];
+                        for ki in 0..KERNEL {
+                            for kj in 0..KERNEL {
+                                wf[ki * KERNEL + kj] += xr[(ci + ki) * p.width + cj + kj] * dv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fused `Fast`-tier conv backward: dispatches on the cached CPU
+/// feature probe (same policy as the tiered GEMMs) and accumulates into
+/// the conv weight/bias gradient slices. Replaces the materialized
+/// `dcols` build + `dcolsᵀ·cols` GEMM + column sums with one pass that
+/// never leaves registers; the reduction order (row → pool window →
+/// position → tap) differs from both, which is what the `Fast` tier's ε
+/// contract licenses.
+fn conv_backward_fused(p: &ConvBack, wgrad: &mut [f64], bgrad: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if p.filters <= 16 {
+        match fedval_linalg::cpu::kernel_isa(DeterminismTier::Fast) {
+            KernelIsa::Avx512Fma => {
+                // SAFETY: `kernel_isa` reports these variants only when
+                // the corresponding features are present at runtime.
+                unsafe { conv_backward_fused_avx512(p, wgrad, bgrad) };
+                return;
+            }
+            KernelIsa::Avx2Fma => {
+                // SAFETY: as above.
+                unsafe { conv_backward_fused_avx2(p, wgrad, bgrad) };
+                return;
+            }
+            _ => {}
+        }
+    }
+    conv_backward_fused_scalar(p, wgrad, bgrad);
 }
 
 impl Cnn {
@@ -302,21 +737,34 @@ impl Cnn {
         let in_dim = self.input_dim();
         let feat = data.features().as_slice();
         let labels = data.labels();
+        let fast = ws.tier() == DeterminismTier::Fast;
         let (bufs, gemm_scratch) = ws.parts(3);
         let mut total = 0.0;
         for (start, end) in chunks(data.len()) {
             check(cancel)?;
             let rows = end - start;
+            let x = &feat[start * in_dim..end * in_dim];
             let (conv, rest) = bufs.split_at_mut(1);
             let (pooled, logits) = rest.split_at_mut(1);
-            self.forward_chunk(
-                &feat[start * in_dim..end * in_dim],
-                rows,
-                &mut conv[0],
-                &mut pooled[0],
-                &mut logits[0],
-                gemm_scratch,
-            );
+            if fast {
+                self.forward_chunk_fast(
+                    x,
+                    rows,
+                    &mut conv[0],
+                    &mut pooled[0],
+                    &mut logits[0],
+                    gemm_scratch,
+                );
+            } else {
+                self.forward_chunk(
+                    x,
+                    rows,
+                    &mut conv[0],
+                    &mut pooled[0],
+                    &mut logits[0],
+                    gemm_scratch,
+                );
+            }
             for (r, &y) in labels[start..end].iter().enumerate() {
                 let row = logits[0].row(r);
                 total += vector::log_sum_exp(row) - row[y];
@@ -345,10 +793,35 @@ impl Cnn {
         let classes = self.config.num_classes;
         let feat = data.features().as_slice();
         let labels = data.labels();
+        let tier = ws.tier();
+        let fast = tier == DeterminismTier::Fast;
         let (bufs, gemm_scratch) = ws.parts(5);
         let mut total = 0.0;
         for (start, end) in chunks(data.len()) {
             check(cancel)?;
+            if fast {
+                // The Fast tier re-chunks into smaller sub-blocks so the
+                // conv activations written by the forward pass are still
+                // L2-resident when the fused backward re-reads them for
+                // the ReLU mask — at full chunk size the conv buffer
+                // round-trips through L3. BitExact keeps the original
+                // chunking: its gradient grouping (one accumulating GEMM
+                // per chunk) is part of the bit-for-bit contract.
+                let mut s0 = start;
+                while s0 < end {
+                    let s1 = (s0 + FAST_GRAD_ROWS).min(end);
+                    total += self.grad_chunk_fast(
+                        &feat[s0 * in_dim..s1 * in_dim],
+                        &labels[s0..s1],
+                        inv_n,
+                        out,
+                        bufs,
+                        gemm_scratch,
+                    );
+                    s0 = s1;
+                }
+                continue;
+            }
             let rows = end - start;
             let x = &feat[start * in_dim..end * in_dim];
             let (conv, rest) = bufs.split_at_mut(1);
@@ -373,13 +846,14 @@ impl Cnn {
                 }
             }
             // Dense head: W += coeffᵀ · pooled, bias += column sums.
-            gemm::gemm_tn_acc(
+            gemm::gemm_tn_acc_tiered(
                 coeff.as_slice(),
                 pooled.as_slice(),
                 &mut out[self.dense_w_off..self.dense_b_off],
                 rows,
                 classes,
                 dense_in,
+                tier,
             );
             gemm::col_sums_acc(
                 coeff.as_slice(),
@@ -389,13 +863,14 @@ impl Cnn {
             // pooled_delta = coeff · W_dense (class-ascending per element,
             // as the per-sample axpy loop).
             pooled_delta.resize_for_overwrite(rows, dense_in);
-            gemm::gemm_nn_into(
+            gemm::gemm_nn_tiered(
                 coeff.as_slice(),
                 &self.params[self.dense_w_off..self.dense_b_off],
                 pooled_delta.as_mut_slice(),
                 rows,
                 classes,
                 dense_in,
+                tier,
             );
             // Conv backward, per sample in ascending order.
             for r in 0..rows {
@@ -409,6 +884,99 @@ impl Cnn {
         }
         vector::axpy(self.config.reg, &self.params, out);
         Ok(total * inv_n + self.reg_term())
+    }
+
+    /// `Fast`-tier gradient for one sub-block of rows: fused forward,
+    /// softmax coefficients, dense-head gradient GEMMs, and the fused
+    /// conv backward — every buffer sized to the sub-block so the whole
+    /// round trip stays in L2. Returns the sub-block's summed
+    /// cross-entropy (pre-`inv_n` scaling).
+    fn grad_chunk_fast(
+        &self,
+        x: &[f64],
+        labels: &[usize],
+        inv_n: f64,
+        out: &mut [f64],
+        bufs: &mut [Matrix],
+        gemm_scratch: &mut gemm::Scratch,
+    ) -> f64 {
+        let tier = DeterminismTier::Fast;
+        let rows = labels.len();
+        let in_dim = self.input_dim();
+        let dense_in = self.dense_in();
+        let classes = self.config.num_classes;
+        let (conv, rest) = bufs.split_at_mut(1);
+        let (pooled, rest) = rest.split_at_mut(1);
+        let (logits, rest) = rest.split_at_mut(1);
+        let (coeff, pooled_delta) = rest.split_at_mut(1);
+        let (conv, pooled, logits) = (&mut conv[0], &mut pooled[0], &mut logits[0]);
+        let (coeff, pooled_delta) = (&mut coeff[0], &mut pooled_delta[0]);
+
+        self.forward_chunk_fast(x, rows, conv, pooled, logits, gemm_scratch);
+        // coeff row = (softmax(logits) − onehot(y)) · inv_n, as in the
+        // BitExact chunk body.
+        let mut total = 0.0;
+        coeff.resize_for_overwrite(rows, classes);
+        for (r, &y) in labels.iter().enumerate() {
+            let lrow = logits.row(r);
+            total += vector::log_sum_exp(lrow) - lrow[y];
+            let crow = coeff.row_mut(r);
+            vector::softmax_into(lrow, crow);
+            crow[y] -= 1.0;
+            for v in crow {
+                *v *= inv_n;
+            }
+        }
+        // Dense head: W += coeffᵀ · pooled, bias += column sums.
+        gemm::gemm_tn_acc_tiered(
+            coeff.as_slice(),
+            pooled.as_slice(),
+            &mut out[self.dense_w_off..self.dense_b_off],
+            rows,
+            classes,
+            dense_in,
+            tier,
+        );
+        gemm::col_sums_acc(
+            coeff.as_slice(),
+            classes,
+            &mut out[self.dense_b_off..self.dense_b_off + classes],
+        );
+        pooled_delta.resize_for_overwrite(rows, dense_in);
+        gemm::gemm_nn_tiered(
+            coeff.as_slice(),
+            &self.params[self.dense_w_off..self.dense_b_off],
+            pooled_delta.as_mut_slice(),
+            rows,
+            classes,
+            dense_in,
+            tier,
+        );
+        // Fused conv backward: routes the pooled deltas through the ReLU
+        // mask and accumulates the conv weight/bias gradients straight
+        // from the input rows — no `dcols` scatter, no im2col replay,
+        // register-resident accumulators (see [`conv_backward_fused`]).
+        let (wgrad, bgrad) =
+            out[self.conv_w_off..self.dense_w_off].split_at_mut(self.conv_b_off - self.conv_w_off);
+        conv_backward_fused(
+            &ConvBack {
+                x,
+                rows,
+                in_dim,
+                width: self.config.width,
+                conv_h: self.conv_h,
+                conv_w: self.conv_w,
+                pool_h: self.pool_h,
+                pool_w: self.pool_w,
+                filters: self.config.filters,
+                conv: conv.as_slice(),
+                pooled_delta: pooled_delta.as_slice(),
+                dense_in,
+            },
+            wgrad,
+            bgrad,
+        );
+        total
     }
 
     /// The pre-batching per-sample loss loop, retained verbatim as the
@@ -636,14 +1204,73 @@ mod tests {
             },
             17,
         );
-        assert_eq!(m.loss(&d).to_bits(), m.loss_per_sample(&d).to_bits());
-        let mut ws = crate::workspace::Workspace::new();
+        // Pinned to BitExact: this contract must hold regardless of the
+        // FEDVAL_TIER environment the suite runs under.
+        let mut ws = crate::workspace::Workspace::bit_exact();
+        assert_eq!(
+            m.loss_with(&d, &mut ws).to_bits(),
+            m.loss_per_sample(&d).to_bits()
+        );
         let mut g_batched = vec![0.0; m.num_params()];
         let mut g_ref = vec![0.0; m.num_params()];
         let lb = m.grad_with(&d, &mut g_batched, &mut ws);
         let lr = m.grad_per_sample(&d, &mut g_ref);
         assert_eq!(lb.to_bits(), lr.to_bits());
         for (a, b) in g_batched.iter().zip(&g_ref) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_tier_matches_reference_within_tolerance() {
+        // 300 samples spans a chunk boundary; the ragged 7×8 image
+        // (conv 5×6, pool 2×3) leaves a trailing conv row unused, which
+        // the Fast gather/scatter must skip exactly like the scalar pool.
+        let d = image_dataset(300, 7, 8, 3, 4);
+        let m = Cnn::new(
+            CnnConfig {
+                height: 7,
+                width: 8,
+                filters: 3,
+                num_classes: 3,
+                reg: 0.01,
+            },
+            17,
+        );
+        // Composite bound: the per-op GEMM ε (≲1e-12 at these depths and
+        // magnitudes) composed through softmax/log-sum-exp stays orders
+        // of magnitude below 1e-9; an actual layout or masking bug shows
+        // up at ~1e-2.
+        let tol = |reference: f64| 1e-9 * (1.0 + reference.abs());
+        let mut ws = crate::workspace::Workspace::new().with_tier(DeterminismTier::Fast);
+        let lf = m.loss_with(&d, &mut ws);
+        let lr = m.loss_per_sample(&d);
+        assert!((lf - lr).abs() <= tol(lr), "loss {lf} vs {lr}");
+        let mut g_fast = vec![0.0; m.num_params()];
+        let mut g_ref = vec![0.0; m.num_params()];
+        let lgf = m.grad_with(&d, &mut g_fast, &mut ws);
+        let lgr = m.grad_per_sample(&d, &mut g_ref);
+        assert!((lgf - lgr).abs() <= tol(lgr), "grad loss {lgf} vs {lgr}");
+        for (i, (a, b)) in g_fast.iter().zip(&g_ref).enumerate() {
+            assert!((a - b).abs() <= tol(*b), "param {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fast_tier_is_deterministic_within_itself() {
+        let d = image_dataset(64, 8, 8, 4, 1);
+        let m = Cnn::new(CnnConfig::small(8, 8, 4), 9);
+        let mut ws1 = crate::workspace::Workspace::new().with_tier(DeterminismTier::Fast);
+        let mut ws2 = crate::workspace::Workspace::new().with_tier(DeterminismTier::Fast);
+        assert_eq!(
+            m.loss_with(&d, &mut ws1).to_bits(),
+            m.loss_with(&d, &mut ws2).to_bits()
+        );
+        let mut g1 = vec![0.0; m.num_params()];
+        let mut g2 = vec![0.0; m.num_params()];
+        m.grad_with(&d, &mut g1, &mut ws1);
+        m.grad_with(&d, &mut g2, &mut ws2);
+        for (a, b) in g1.iter().zip(&g2) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
     }

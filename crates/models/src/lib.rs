@@ -24,11 +24,18 @@
 //! `loss`/`grad` run through cache-blocked minibatch GEMM kernels
 //! (`fedval_linalg::gemm`): examples are processed in `(batch ×
 //! features)` chunks with preallocated per-layer activation/gradient
-//! matrices from a [`Workspace`]. Every reduction keeps the per-sample,
-//! ascending accumulation order, so batched results are bit-identical
-//! to the per-sample loops — which are retained on each model as
-//! `loss_per_sample`/`grad_per_sample` reference paths and asserted
-//! equal (to the bit) in `tests/batched_equivalence.rs`.
+//! matrices from a [`Workspace`]. In the default
+//! [`DeterminismTier::BitExact`] tier every reduction keeps the
+//! per-sample, ascending accumulation order, so batched results are
+//! bit-identical to the per-sample loops — which are retained on each
+//! model as `loss_per_sample`/`grad_per_sample` reference paths and
+//! asserted equal (to the bit) in `tests/batched_equivalence.rs`.
+//!
+//! A workspace carrying [`DeterminismTier::Fast`] instead routes the
+//! GEMMs through FMA-fused, reduction-reordered kernels and — for the
+//! CNN — an im2col convolution, trading bit-exactness for speed within
+//! the documented ε of `fedval_linalg::gemm::fast_epsilon`; see the
+//! [`DeterminismTier`] rustdoc for exactly which operations may reorder.
 
 pub mod cnn;
 pub mod init;
@@ -39,6 +46,7 @@ pub mod traits;
 pub mod workspace;
 
 pub use cnn::{Cnn, CnnConfig};
+pub use fedval_linalg::DeterminismTier;
 pub use linear::LogisticRegression;
 pub use mlp::{Activation, Mlp};
 pub use optim::{sgd_step, LearningRate};

@@ -9,7 +9,7 @@ use crate::init::xavier_fill;
 use crate::traits::Model;
 use crate::workspace::{check, chunks, Workspace};
 use fedval_data::Dataset;
-use fedval_linalg::{gemm, vector};
+use fedval_linalg::{gemm, vector, DeterminismTier};
 use fedval_runtime::{CancelToken, Cancelled};
 
 /// Multinomial (softmax) logistic regression.
@@ -93,10 +93,11 @@ impl LogisticRegression {
         rows: usize,
         logits: &mut fedval_linalg::Matrix,
         scratch: &mut gemm::Scratch,
+        tier: DeterminismTier,
     ) {
         let (c, d) = (self.num_classes, self.dim);
         logits.resize_for_overwrite(rows, c);
-        gemm::gemm_nt_into(
+        gemm::gemm_nt_tiered(
             x,
             &self.params[..c * d],
             logits.as_mut_slice(),
@@ -104,6 +105,7 @@ impl LogisticRegression {
             d,
             c,
             scratch,
+            tier,
         );
         gemm::add_bias_rows(logits.as_mut_slice(), c, &self.params[c * d..]);
     }
@@ -121,6 +123,7 @@ impl LogisticRegression {
         let d = self.dim;
         let feat = data.features().as_slice();
         let labels = data.labels();
+        let tier = ws.tier();
         let (bufs, gemm_scratch) = ws.parts(1);
         let mut total = 0.0;
         for (start, end) in chunks(data.len()) {
@@ -130,6 +133,7 @@ impl LogisticRegression {
                 end - start,
                 &mut bufs[0],
                 gemm_scratch,
+                tier,
             );
             for (r, &y) in labels[start..end].iter().enumerate() {
                 let row = bufs[0].row(r);
@@ -157,6 +161,7 @@ impl LogisticRegression {
         let inv_n = 1.0 / data.len() as f64;
         let feat = data.features().as_slice();
         let labels = data.labels();
+        let tier = ws.tier();
         let (bufs, gemm_scratch) = ws.parts(2);
         let mut total = 0.0;
         for (start, end) in chunks(data.len()) {
@@ -167,7 +172,7 @@ impl LogisticRegression {
                 let (a, b) = bufs.split_at_mut(1);
                 (&mut a[0], &mut b[0])
             };
-            self.logits_chunk(x, rows, logits, gemm_scratch);
+            self.logits_chunk(x, rows, logits, gemm_scratch, tier);
             coeff.resize_for_overwrite(rows, c);
             for (r, &y) in labels[start..end].iter().enumerate() {
                 let lrow = logits.row(r);
@@ -181,8 +186,9 @@ impl LogisticRegression {
                 }
             }
             // W += coeffᵀ X, bias += column sums — sample-ascending
-            // accumulation, bit-identical to the per-sample axpy loop.
-            gemm::gemm_tn_acc(coeff.as_slice(), x, &mut out[..c * d], rows, c, d);
+            // accumulation, bit-identical to the per-sample axpy loop in
+            // the BitExact tier.
+            gemm::gemm_tn_acc_tiered(coeff.as_slice(), x, &mut out[..c * d], rows, c, d, tier);
             gemm::col_sums_acc(coeff.as_slice(), c, &mut out[c * d..]);
         }
         vector::axpy(self.reg, &self.params, out);
@@ -402,8 +408,9 @@ mod tests {
         let d = Dataset::new(f, labels, 3).unwrap();
         let m = LogisticRegression::new(3, 3, 0.05, 13);
 
-        assert_eq!(m.loss(&d).to_bits(), m.loss_per_sample(&d).to_bits());
-        let mut ws = crate::workspace::Workspace::new();
+        // Pinned to BitExact: this contract must hold regardless of the
+        // FEDVAL_TIER environment the suite runs under.
+        let mut ws = crate::workspace::Workspace::bit_exact();
         assert_eq!(
             m.loss_with(&d, &mut ws).to_bits(),
             m.loss_per_sample(&d).to_bits()
@@ -416,6 +423,27 @@ mod tests {
         assert_eq!(lb.to_bits(), lr.to_bits());
         for (a, b) in g_batched.iter().zip(&g_ref) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_tier_matches_reference_within_tolerance() {
+        let n = crate::workspace::CHUNK_ROWS + 19;
+        let f = Matrix::from_fn(n, 3, |r, c| (((r + 2) * (c + 3)) % 11) as f64 / 5.0 - 1.0);
+        let labels: Vec<usize> = (0..n).map(|r| r % 3).collect();
+        let d = Dataset::new(f, labels, 3).unwrap();
+        let m = LogisticRegression::new(3, 3, 0.05, 13);
+        let tol = |reference: f64| 1e-9 * (1.0 + reference.abs());
+        let mut ws = crate::workspace::Workspace::new().with_tier(DeterminismTier::Fast);
+        let lf = m.loss_with(&d, &mut ws);
+        let lr = m.loss_per_sample(&d);
+        assert!((lf - lr).abs() <= tol(lr), "loss {lf} vs {lr}");
+        let mut g_fast = vec![0.0; m.num_params()];
+        let mut g_ref = vec![0.0; m.num_params()];
+        m.grad_with(&d, &mut g_fast, &mut ws);
+        m.grad_per_sample(&d, &mut g_ref);
+        for (i, (a, b)) in g_fast.iter().zip(&g_ref).enumerate() {
+            assert!((a - b).abs() <= tol(*b), "param {i}: {a} vs {b}");
         }
     }
 

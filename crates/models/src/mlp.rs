@@ -8,7 +8,7 @@ use crate::init::xavier_fill;
 use crate::traits::Model;
 use crate::workspace::{check, chunks, Workspace};
 use fedval_data::Dataset;
-use fedval_linalg::{gemm, vector, Matrix};
+use fedval_linalg::{gemm, vector, DeterminismTier, Matrix};
 use fedval_runtime::{CancelToken, Cancelled};
 
 /// Hidden-layer activation.
@@ -158,6 +158,7 @@ impl Mlp {
         rows: usize,
         acts: &mut [Matrix],
         scratch: &mut gemm::Scratch,
+        tier: DeterminismTier,
     ) {
         let last = self.shapes.len() - 1;
         for li in 0..self.shapes.len() {
@@ -166,7 +167,7 @@ impl Mlp {
             let cur = &mut rest[0];
             let input: &[f64] = if li == 0 { x } else { prev[li - 1].as_slice() };
             cur.resize_for_overwrite(rows, s.output);
-            gemm::gemm_nt_into(
+            gemm::gemm_nt_tiered(
                 input,
                 &self.params[s.w_off..s.w_off + s.output * s.input],
                 cur.as_mut_slice(),
@@ -174,6 +175,7 @@ impl Mlp {
                 s.input,
                 s.output,
                 scratch,
+                tier,
             );
             gemm::add_bias_rows(
                 cur.as_mut_slice(),
@@ -202,11 +204,18 @@ impl Mlp {
         let d = self.sizes[0];
         let feat = data.features().as_slice();
         let labels = data.labels();
+        let tier = ws.tier();
         let (acts, gemm_scratch) = ws.parts(nl);
         let mut total = 0.0;
         for (start, end) in chunks(data.len()) {
             check(cancel)?;
-            self.forward_chunk(&feat[start * d..end * d], end - start, acts, gemm_scratch);
+            self.forward_chunk(
+                &feat[start * d..end * d],
+                end - start,
+                acts,
+                gemm_scratch,
+                tier,
+            );
             let logits = &acts[nl - 1];
             for (r, &y) in labels[start..end].iter().enumerate() {
                 let row = logits.row(r);
@@ -235,6 +244,7 @@ impl Mlp {
         let inv_n = 1.0 / data.len() as f64;
         let feat = data.features().as_slice();
         let labels = data.labels();
+        let tier = ws.tier();
         // Buffers: nl activations, then delta / delta_prev / delta_scaled.
         let (bufs, gemm_scratch) = ws.parts(nl + 3);
         let mut total = 0.0;
@@ -247,7 +257,7 @@ impl Mlp {
             let (prev_buf, ds_buf) = rest.split_at_mut(1);
             let (delta, delta_prev, ds) = (&mut delta_buf[0], &mut prev_buf[0], &mut ds_buf[0]);
 
-            self.forward_chunk(x, rows, acts, gemm_scratch);
+            self.forward_chunk(x, rows, acts, gemm_scratch, tier);
             let classes = *self.sizes.last().expect("validated at construction");
             delta.resize_for_overwrite(rows, classes);
             {
@@ -273,13 +283,14 @@ impl Mlp {
                 }
                 // W += dsᵀ · input, bias += column sums of ds —
                 // sample-ascending, bit-identical to the per-sample axpy.
-                gemm::gemm_tn_acc(
+                gemm::gemm_tn_acc_tiered(
                     ds.as_slice(),
                     input,
                     &mut out[s.w_off..s.w_off + s.output * s.input],
                     rows,
                     s.output,
                     s.input,
+                    tier,
                 );
                 gemm::col_sums_acc(
                     ds.as_slice(),
@@ -292,13 +303,14 @@ impl Mlp {
                 // delta_prev = (delta · W) ⊙ σ'(act), unscaled delta as
                 // in the per-sample path.
                 delta_prev.resize_for_overwrite(rows, s.input);
-                gemm::gemm_nn_into(
+                gemm::gemm_nn_tiered(
                     delta.as_slice(),
                     &self.params[s.w_off..s.w_off + s.output * s.input],
                     delta_prev.as_mut_slice(),
                     rows,
                     s.output,
                     s.input,
+                    tier,
                 );
                 for (pd, &a) in delta_prev
                     .as_mut_slice()
@@ -536,15 +548,49 @@ mod tests {
         let d = Dataset::new(f, labels, 4).unwrap();
         for activation in [Activation::Tanh, Activation::Relu] {
             let m = Mlp::new(&[5, 9, 6, 4], activation, 0.02, 23);
-            assert_eq!(m.loss(&d).to_bits(), m.loss_per_sample(&d).to_bits());
+            // Pinned to BitExact: this contract must hold regardless of
+            // the FEDVAL_TIER environment the suite runs under.
+            let mut ws = crate::workspace::Workspace::bit_exact();
+            assert_eq!(
+                m.loss_with(&d, &mut ws).to_bits(),
+                m.loss_per_sample(&d).to_bits()
+            );
             let mut g_batched = vec![0.0; m.num_params()];
             let mut g_ref = vec![0.0; m.num_params()];
-            let mut ws = crate::workspace::Workspace::new();
             let lb = m.grad_with(&d, &mut g_batched, &mut ws);
             let lr = m.grad_per_sample(&d, &mut g_ref);
             assert_eq!(lb.to_bits(), lr.to_bits());
             for (a, b) in g_batched.iter().zip(&g_ref) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{activation:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_tier_matches_reference_within_tolerance() {
+        let n = crate::workspace::CHUNK_ROWS + 91;
+        let f = Matrix::from_fn(n, 5, |r, c| (((r + 1) * (c + 2)) % 13) as f64 / 6.0 - 1.0);
+        let labels: Vec<usize> = (0..n).map(|r| (r * 7) % 4).collect();
+        let d = Dataset::new(f, labels, 4).unwrap();
+        let tol = |reference: f64| 1e-9 * (1.0 + reference.abs());
+        for activation in [Activation::Tanh, Activation::Relu] {
+            let m = Mlp::new(&[5, 9, 6, 4], activation, 0.02, 23);
+            let mut ws = crate::workspace::Workspace::new().with_tier(DeterminismTier::Fast);
+            let lf = m.loss_with(&d, &mut ws);
+            let lr = m.loss_per_sample(&d);
+            assert!(
+                (lf - lr).abs() <= tol(lr),
+                "{activation:?}: loss {lf} vs {lr}"
+            );
+            let mut g_fast = vec![0.0; m.num_params()];
+            let mut g_ref = vec![0.0; m.num_params()];
+            m.grad_with(&d, &mut g_fast, &mut ws);
+            m.grad_per_sample(&d, &mut g_ref);
+            for (i, (a, b)) in g_fast.iter().zip(&g_ref).enumerate() {
+                assert!(
+                    (a - b).abs() <= tol(*b),
+                    "{activation:?} param {i}: {a} vs {b}"
+                );
             }
         }
     }

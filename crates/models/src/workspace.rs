@@ -14,7 +14,7 @@
 //! what lets a cancelled valuation stop *inside* a utility cell instead
 //! of finishing an arbitrarily large model evaluation first.
 
-use fedval_linalg::{gemm, Matrix};
+use fedval_linalg::{gemm, DeterminismTier, Matrix};
 use fedval_runtime::{CancelToken, Cancelled};
 
 /// Rows per minibatch chunk of the batched kernels. Large enough that
@@ -24,17 +24,59 @@ pub const CHUNK_ROWS: usize = 256;
 
 /// Reusable per-worker buffers for the batched model kernels plus an
 /// optional cancellation token observed between minibatch chunks.
-#[derive(Default)]
+///
+/// The workspace also carries the evaluation's [`DeterminismTier`]: the
+/// batched model kernels read it to pick between the bit-exact and the
+/// FMA-fused `Fast` GEMM paths, so the tier travels with the worker
+/// state rather than living in a global — concurrent evaluations can
+/// mix tiers safely.
 pub struct Workspace {
     bufs: Vec<Matrix>,
     gemm: gemm::Scratch,
     cancel: Option<CancelToken>,
+    tier: DeterminismTier,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
+    }
 }
 
 impl Workspace {
-    /// An empty workspace; buffers are grown by the first evaluation.
+    /// An empty workspace at the process default tier
+    /// ([`DeterminismTier::default_tier`], i.e. `FEDVAL_TIER` or
+    /// `BitExact`); buffers are grown by the first evaluation.
     pub fn new() -> Self {
-        Workspace::default()
+        Workspace {
+            bufs: Vec::new(),
+            gemm: gemm::Scratch::new(),
+            cancel: None,
+            tier: DeterminismTier::default_tier(),
+        }
+    }
+
+    /// An empty workspace pinned to [`DeterminismTier::BitExact`] —
+    /// what the bitwise equivalence tests and reference baselines use
+    /// regardless of the `FEDVAL_TIER` environment.
+    pub fn bit_exact() -> Self {
+        Workspace::new().with_tier(DeterminismTier::BitExact)
+    }
+
+    /// Sets the tier (builder style).
+    pub fn with_tier(mut self, tier: DeterminismTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Replaces the tier in place.
+    pub fn set_tier(&mut self, tier: DeterminismTier) {
+        self.tier = tier;
+    }
+
+    /// The tier evaluations through this workspace run at.
+    pub fn tier(&self) -> DeterminismTier {
+        self.tier
     }
 
     /// Attaches `token`: chunked evaluations driven through
@@ -127,6 +169,17 @@ mod tests {
         assert!(check(Some(&token)).is_ok());
         token.cancel();
         assert_eq!(check(Some(&token)), Err(Cancelled));
+    }
+
+    #[test]
+    fn tier_roundtrip_and_bit_exact_pin() {
+        let mut ws = Workspace::new().with_tier(DeterminismTier::Fast);
+        assert_eq!(ws.tier(), DeterminismTier::Fast);
+        ws.set_tier(DeterminismTier::BitExact);
+        assert_eq!(ws.tier(), DeterminismTier::BitExact);
+        assert_eq!(Workspace::bit_exact().tier(), DeterminismTier::BitExact);
+        // The default constructor follows the process-wide default.
+        assert_eq!(Workspace::new().tier(), DeterminismTier::default_tier());
     }
 
     #[test]

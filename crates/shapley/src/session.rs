@@ -46,6 +46,7 @@ use crate::pipeline::{ComFedSv, CompletionSolver, EstimatorKind, ExactShapley};
 use crate::tmc::Tmc;
 use crate::valuator::{ProgressEvent, RunContext, ValuationReport, Valuator};
 use fedval_fl::UtilityOracle;
+use fedval_linalg::DeterminismTier;
 use fedval_runtime::CancelToken;
 
 /// Hyper-parameter defaults the built-in registry hands to each method.
@@ -101,6 +102,7 @@ pub struct ValuationSessionBuilder {
     progress: Option<ProgressSink>,
     ground_truth: Option<Vec<f64>>,
     isolated_runs: bool,
+    tier: Option<DeterminismTier>,
     extra: Vec<(String, Factory)>,
 }
 
@@ -180,6 +182,17 @@ impl ValuationSessionBuilder {
     /// unchanged either way.
     pub fn isolated_runs(mut self, isolated: bool) -> Self {
         self.isolated_runs = isolated;
+        self
+    }
+
+    /// Numeric tier every run of this session evaluates at. When set
+    /// and different from the oracle's own tier, `run`/`run_all` value
+    /// against a fresh-cache
+    /// [`UtilityOracle::isolated_with_tier`] clone — cached cells from
+    /// another tier are never mixed into the run. Unset (the default),
+    /// runs evaluate at whatever tier the oracle carries.
+    pub fn tier(mut self, tier: DeterminismTier) -> Self {
+        self.tier = Some(tier);
         self
     }
 
@@ -275,6 +288,7 @@ impl ValuationSessionBuilder {
             progress: self.progress,
             ground_truth: self.ground_truth,
             isolated_runs: self.isolated_runs,
+            tier: self.tier,
             cancel: CancelToken::new(),
             registry,
         }
@@ -290,6 +304,7 @@ pub struct ValuationSession {
     progress: Option<ProgressSink>,
     ground_truth: Option<Vec<f64>>,
     isolated_runs: bool,
+    tier: Option<DeterminismTier>,
     cancel: CancelToken,
     registry: Vec<(String, Factory)>,
 }
@@ -303,6 +318,7 @@ impl ValuationSession {
             progress: None,
             ground_truth: None,
             isolated_runs: false,
+            tier: None,
             extra: Vec::new(),
         }
     }
@@ -337,6 +353,17 @@ impl ValuationSession {
         self.isolated_runs
     }
 
+    /// See [`ValuationSessionBuilder::tier`]. `None` clears the
+    /// override (runs follow the oracle's tier again).
+    pub fn set_tier(&mut self, tier: Option<DeterminismTier>) {
+        self.tier = tier;
+    }
+
+    /// The session's numeric-tier override, if any.
+    pub fn tier(&self) -> Option<DeterminismTier> {
+        self.tier
+    }
+
     /// The registered method keys, in registration order.
     pub fn method_names(&self) -> Vec<String> {
         self.registry.iter().map(|(n, _)| n.clone()).collect()
@@ -364,7 +391,9 @@ impl ValuationSession {
     /// Runs an explicit valuator with this session's seed, progress
     /// callback, cancellation token, ground-truth comparison, and —
     /// when [`isolated_runs`](ValuationSessionBuilder::isolated_runs)
-    /// is set — a fresh oracle cache.
+    /// is set, or the session's
+    /// [`tier`](ValuationSessionBuilder::tier) differs from the
+    /// oracle's — a fresh oracle cache (retiered to the session tier).
     pub fn run_valuator(
         &mut self,
         valuator: &dyn Valuator,
@@ -374,7 +403,16 @@ impl ValuationSession {
         if let Some(seed) = self.seed {
             ctx = ctx.with_seed(seed);
         }
-        let isolated = self.isolated_runs.then(|| oracle.isolated());
+        if let Some(tier) = self.tier {
+            ctx = ctx.with_tier(tier);
+        }
+        // A tier override that disagrees with the oracle's tier forces
+        // a fresh-cache clone: the caller's oracle may hold cells
+        // computed at its own tier, and a run must never mix tiers
+        // within one result table.
+        let needs_retier = self.tier.is_some_and(|t| t != oracle.tier());
+        let isolated = (self.isolated_runs || needs_retier)
+            .then(|| oracle.isolated_with_tier(self.tier.unwrap_or(oracle.tier())));
         let oracle = isolated.as_ref().unwrap_or(oracle);
         let mut report = match self.progress.as_mut() {
             Some(cb) => valuator.value(oracle, &mut ctx.with_progress(&mut **cb))?,
@@ -717,6 +755,48 @@ mod tests {
                 "{name_a}: pool reuse must not perturb values"
             );
         }
+    }
+
+    #[test]
+    fn session_tier_override_retiers_without_touching_the_shared_cache() {
+        let (trace, proto, test) = world(11);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test)
+            .with_tier(DeterminismTier::BitExact);
+
+        let mut exact_session = ValuationSession::builder().rank(3).seed(2).build();
+        let exact = exact_session.run("fedsv", &oracle).unwrap();
+        let cached = oracle.loss_evaluations();
+
+        // A Fast-tier session never writes into the BitExact oracle's
+        // result table — it values against a fresh retiered clone.
+        let mut fast_session = ValuationSession::builder()
+            .rank(3)
+            .seed(2)
+            .tier(DeterminismTier::Fast)
+            .build();
+        assert_eq!(fast_session.tier(), Some(DeterminismTier::Fast));
+        let fast = fast_session.run("fedsv", &oracle).unwrap();
+        assert_eq!(
+            oracle.loss_evaluations(),
+            cached,
+            "retiered run left the caller's cache untouched"
+        );
+        // Same estimator, same seed: only kernel rounding differs.
+        for (a, b) in exact.values.iter().zip(&fast.values) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+        // Matching tiers without isolated_runs reuse the shared cache.
+        let mut matching = ValuationSession::builder()
+            .rank(3)
+            .seed(2)
+            .tier(DeterminismTier::BitExact)
+            .build();
+        let again = matching.run("fedsv", &oracle).unwrap();
+        assert_eq!(again.values, exact.values);
+        assert_eq!(
+            again.diagnostics.cells_evaluated, 0,
+            "matching tier drafts behind the existing cache"
+        );
     }
 
     #[test]

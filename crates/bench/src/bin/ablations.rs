@@ -167,21 +167,17 @@ fn ablation_heterogeneity() {
                 .seed(seed)
                 .build();
             let pool = Dataset::concat(&base.clients.iter().collect::<Vec<_>>()).unwrap();
+            // partition_dirichlet guarantees non-empty shards (it
+            // rebalances starved clients deterministically), so the
+            // fairness duplicate construction can apply directly.
             let mut clients = partition_dirichlet(&pool, 10, alpha, seed);
-            // Duplicate construction for the fairness statistic; drop empty
-            // shards by re-using client 0's data (Dirichlet can starve a
-            // client at small alpha).
-            for c in clients.iter_mut() {
-                if c.is_empty() {
-                    *c = clients_backup(&pool);
-                }
-            }
             fedval_data::duplicate_client(&mut clients, 0, 9);
             let world = comfedsv::experiments::World {
                 clients,
                 test: base.test.clone(),
                 prototype: base.prototype.clone_model(),
                 kind: base.kind,
+                behaviors: Vec::new(),
             };
             let plain = FlConfig::new(10, 3, 0.2, seed).with_everyone_heard(false);
             let trace_plain = world.train(&plain);
@@ -208,9 +204,4 @@ fn ablation_heterogeneity() {
         &["alpha", "fedsv_d09", "comfedsv_d09"],
         &csv,
     );
-}
-
-fn clients_backup(pool: &Dataset) -> Dataset {
-    let idx: Vec<usize> = (0..pool.len().min(20)).collect();
-    pool.subset(&idx)
 }

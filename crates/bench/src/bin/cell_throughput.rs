@@ -37,6 +37,7 @@
 //! smoke run also prints current-vs-committed throughput ratios when
 //! the committed baseline is readable.
 
+use fedval_bench::{scan_num, scan_str};
 use fedval_data::Dataset;
 use fedval_linalg::{vector, Matrix};
 use fedval_models::{
@@ -210,22 +211,6 @@ fn push_train_case<M: Model + Clone>(
         seconds: secs_fast,
         checksum: checksum(fast.params()),
     });
-}
-
-/// Pulls `"key": value` out of a flat JSON object line — just enough to
-/// read the committed baseline rows back without a JSON dependency.
-fn scan_str<'a>(row: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\": \"");
-    let start = row.find(&pat)? + pat.len();
-    let end = row[start..].find('"')? + start;
-    Some(&row[start..end])
-}
-
-fn scan_num(row: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\": ");
-    let start = row.find(&pat)? + pat.len();
-    let end = row[start..].find([',', '}']).map(|i| i + start)?;
-    row[start..end].trim().parse().ok()
 }
 
 /// Prints current-vs-committed samples/sec ratios for every `(case,

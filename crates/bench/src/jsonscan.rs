@@ -1,0 +1,56 @@
+//! Minimal flat-JSON field extraction for reading committed baseline
+//! files back without a JSON dependency.
+//!
+//! The benchmark binaries write their machine-readable output as one
+//! JSON object per line in a `"rows"` / `"cases"` array; the smoke modes
+//! read the committed copy back to compare against. These scanners pull
+//! `"key": value` pairs out of such a line. They are deliberately not a
+//! JSON parser — they assume the writer's own formatting (one object per
+//! line, `": "` separators, no escaped quotes in values), which is
+//! exactly what the binaries in this crate emit.
+
+/// Extracts the string value of `"key": "…"` from a flat JSON object
+/// line.
+pub fn scan_str<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = row.find(&pat)? + pat.len();
+    let end = row[start..].find('"')? + start;
+    Some(&row[start..end])
+}
+
+/// Extracts the numeric value of `"key": 1.25` from a flat JSON object
+/// line. Returns `None` for missing keys and non-numeric values
+/// (including `null`).
+pub fn scan_num(row: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = row.find(&pat)? + pat.len();
+    let end = row[start..].find([',', '}']).map(|i| i + start)?;
+    row[start..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROW: &str =
+        "    {\"case\": \"mlp\", \"tier\": \"fast\", \"seconds\": 0.5, \"auc\": null},";
+
+    #[test]
+    fn scans_strings_and_numbers() {
+        assert_eq!(scan_str(ROW, "case"), Some("mlp"));
+        assert_eq!(scan_str(ROW, "tier"), Some("fast"));
+        assert_eq!(scan_num(ROW, "seconds"), Some(0.5));
+    }
+
+    #[test]
+    fn missing_and_null_fields_are_none() {
+        assert_eq!(scan_str(ROW, "absent"), None);
+        assert_eq!(scan_num(ROW, "absent"), None);
+        assert_eq!(scan_num(ROW, "auc"), None, "null is not a number");
+    }
+
+    #[test]
+    fn last_field_terminated_by_brace() {
+        assert_eq!(scan_num("{\"x\": 2}", "x"), Some(2.0));
+    }
+}

@@ -48,11 +48,48 @@
 //! documented tolerance of the reference (so `speedup_fast` additionally
 //! buys FMA fusion and reduction reordering at bounded ε — see
 //! `fedval_linalg::DeterminismTier`).
+//!
+//! # `BENCH_robustness.json` schema
+//!
+//! The `robustness` binary runs every valuation method over every
+//! adversarial-client [`Scenario`](comfedsv::experiments::Scenario) and
+//! scores the per-client values as a bad-client detector. It writes
+//! `target/BENCH_robustness.json` by default; the committed repo-root
+//! `BENCH_robustness.json` is the reference full run (everything is
+//! seeded, so smoke rows are bit-identical to the corresponding full
+//! rows), refreshed deliberately via `--out BENCH_robustness.json`. A
+//! `--smoke` run covers the CI subset (free_riders + noisy_labels ×
+//! comfedsv/fedsv/tmc) and fails on AUC regressions beyond a 0.05
+//! one-sided tolerance; every run fails if ComFedSV's AUC drops below
+//! 0.9 on `free_riders` or `noisy_labels`:
+//!
+//! ```json
+//! {
+//!   "bench": "robustness",
+//!   "mode": "smoke" | "full",
+//!   "seed": 17,
+//!   "rows": [
+//!     {
+//!       "scenario": "iid_baseline" | "dirichlet_skew" | "noisy_labels"
+//!                 | "free_riders" | "stragglers" | "churn" | "mixed",
+//!       "method": "exact" | "fedsv" | "fedsv-mc" | "comfedsv"
+//!               | "comfedsv-mc" | "tmc" | "group-testing",
+//!       "bad_clients": 2,          // injected bad clients (k)
+//!       "auc": 1.0,                // detection ROC-AUC; null when k = 0
+//!       "precision_at_k": 1.0,     // bottom-k hit rate; null when k = 0
+//!       "cells_evaluated": 472,    // standalone oracle cost (isolated runs)
+//!       "seconds": 0.02            // wall-clock for the valuation
+//!     }
+//!   ]
+//! }
+//! ```
 
 pub mod fairness_trials;
+pub mod jsonscan;
 pub mod profile;
 pub mod report;
 
 pub use fairness_trials::{run_fairness_trials, FairnessTrialResult};
+pub use jsonscan::{scan_num, scan_str};
 pub use profile::{profile, Profile};
 pub use report::{print_series, write_csv};

@@ -1,0 +1,137 @@
+//! Data-level client-quality interventions for the scenario worlds.
+//!
+//! Protocol-level behaviors (free riding, straggling, churn) live in
+//! `fedval_fl::behavior` and are applied inside the trainer; *data*-level
+//! degradation — corrupted labels — has to happen here, when the world
+//! is materialized, so that every downstream consumer (training, utility
+//! evaluation, ground-truth valuation) sees the same corrupted datasets.
+//!
+//! [`apply_label_corruption`] is the one entry point: it drives
+//! [`flip_labels`] per listed client with the
+//! same per-client seed derivation the experiment builder has always
+//! used, so pre-existing worlds reproduce bit-for-bit through it.
+
+use crate::noise::flip_labels;
+use crate::Dataset;
+
+/// One client's label corruption: flip `fraction` of its labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelCorruption {
+    /// Index of the client to corrupt.
+    pub client: usize,
+    /// Fraction of the client's examples whose labels are flipped.
+    pub fraction: f64,
+}
+
+/// Flips labels for every listed client, seeded per client as
+/// `seed ^ (0x5A5A + client)` — the experiment builder's historical
+/// scheme, kept so legacy `label_noise` worlds are bit-identical when
+/// routed through here. Out-of-range clients and non-positive fractions
+/// are skipped.
+pub fn apply_label_corruption(clients: &mut [Dataset], specs: &[LabelCorruption], seed: u64) {
+    for spec in specs {
+        if spec.client < clients.len() && spec.fraction > 0.0 {
+            flip_labels(
+                &mut clients[spec.client],
+                spec.fraction,
+                seed ^ (0x5A5A + spec.client as u64),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedval_linalg::Matrix;
+
+    fn clients(n: usize) -> Vec<Dataset> {
+        (0..n)
+            .map(|i| {
+                let f = Matrix::from_fn(20, 2, |r, c| (r * 2 + c + i) as f64);
+                let labels: Vec<usize> = (0..20).map(|r| (r + i) % 4).collect();
+                Dataset::new(f, labels, 4).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corruption_touches_only_listed_clients() {
+        let clean = clients(3);
+        let mut noisy = clients(3);
+        apply_label_corruption(
+            &mut noisy,
+            &[LabelCorruption {
+                client: 1,
+                fraction: 0.5,
+            }],
+            9,
+        );
+        assert_eq!(clean[0].labels(), noisy[0].labels());
+        assert_ne!(clean[1].labels(), noisy[1].labels());
+        assert_eq!(clean[2].labels(), noisy[2].labels());
+        // Features are never touched.
+        assert_eq!(
+            clean[1].features().as_slice(),
+            noisy[1].features().as_slice()
+        );
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let spec = [LabelCorruption {
+            client: 0,
+            fraction: 0.4,
+        }];
+        let mut a = clients(2);
+        let mut b = clients(2);
+        apply_label_corruption(&mut a, &spec, 7);
+        apply_label_corruption(&mut b, &spec, 7);
+        assert_eq!(a[0].labels(), b[0].labels());
+        let mut c = clients(2);
+        apply_label_corruption(&mut c, &spec, 8);
+        assert_ne!(a[0].labels(), c[0].labels());
+    }
+
+    #[test]
+    fn out_of_range_and_zero_fraction_are_skipped() {
+        let clean = clients(2);
+        let mut noisy = clients(2);
+        apply_label_corruption(
+            &mut noisy,
+            &[
+                LabelCorruption {
+                    client: 5,
+                    fraction: 0.5,
+                },
+                LabelCorruption {
+                    client: 0,
+                    fraction: 0.0,
+                },
+            ],
+            1,
+        );
+        for (a, b) in clean.iter().zip(&noisy) {
+            assert_eq!(a.labels(), b.labels());
+        }
+    }
+
+    #[test]
+    fn matches_the_builders_historical_per_client_seeding() {
+        // The contract that keeps legacy worlds bit-identical: routing
+        // through apply_label_corruption equals calling flip_labels with
+        // seed ^ (0x5A5A + i) directly.
+        let mut via_helper = clients(2);
+        apply_label_corruption(
+            &mut via_helper,
+            &[LabelCorruption {
+                client: 1,
+                fraction: 0.3,
+            }],
+            42,
+        );
+        let mut direct = clients(2);
+        flip_labels(&mut direct[1], 0.3, 42 ^ (0x5A5A + 1));
+        assert_eq!(via_helper[1].labels(), direct[1].labels());
+    }
+}

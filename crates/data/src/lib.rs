@@ -14,6 +14,8 @@
 //! * [`partition`] — IID and label-sharding (non-IID) partitioners, and the
 //!   duplicate-client helper used by the fairness experiments.
 //! * [`noise`] — Gaussian feature noise and label flipping.
+//! * [`behavior`] — data-level client-quality interventions (per-client
+//!   label corruption) for the robustness scenario worlds.
 //! * [`randn`] — seeded standard-normal sampling (Box–Muller over `rand`).
 
 // Index-driven loops are deliberate in the numeric kernels: the loop
@@ -21,6 +23,7 @@
 // textbook formulas, which iterator chains would obscure.
 #![allow(clippy::needless_range_loop)]
 
+pub mod behavior;
 pub mod dataset;
 pub mod images;
 pub mod noise;
@@ -28,9 +31,12 @@ pub mod partition;
 pub mod randn;
 pub mod synthetic;
 
+pub use behavior::{apply_label_corruption, LabelCorruption};
 pub use dataset::Dataset;
 pub use images::{SimCifar10, SimFashionMnist, SimImageConfig, SimMnist};
 pub use noise::{add_feature_noise, flip_labels};
-pub use partition::{duplicate_client, partition_dirichlet, partition_iid, partition_shards};
+pub use partition::{
+    duplicate_client, partition_dirichlet, partition_iid, partition_shards, DirichletSkew,
+};
 pub use randn::NormalSampler;
 pub use synthetic::{SyntheticConfig, SyntheticFederated};

@@ -72,12 +72,63 @@ pub fn duplicate_client(clients: &mut [Dataset], src: usize, dst: usize) {
     }
 }
 
+/// Standard Dirichlet label-skew presets for the scenario catalog, so
+/// harnesses and docs agree on what "mild" vs. "severe" heterogeneity
+/// means. Pass [`alpha`](DirichletSkew::alpha) to
+/// [`partition_dirichlet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirichletSkew {
+    /// `α = 10`: near-IID, client class mixes close to the global mix.
+    Mild,
+    /// `α = 0.5`: the FL literature's usual "non-IID" operating point.
+    Moderate,
+    /// `α = 0.1`: most clients dominated by one or two classes.
+    Severe,
+}
+
+impl DirichletSkew {
+    /// The concentration parameter this preset names.
+    pub fn alpha(self) -> f64 {
+        match self {
+            DirichletSkew::Mild => 10.0,
+            DirichletSkew::Moderate => 0.5,
+            DirichletSkew::Severe => 0.1,
+        }
+    }
+
+    /// Short name used in harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DirichletSkew::Mild => "mild",
+            DirichletSkew::Moderate => "moderate",
+            DirichletSkew::Severe => "severe",
+        }
+    }
+
+    /// All presets, mildest first.
+    pub fn all() -> [DirichletSkew; 3] {
+        [
+            DirichletSkew::Mild,
+            DirichletSkew::Moderate,
+            DirichletSkew::Severe,
+        ]
+    }
+}
+
 /// Dirichlet label-skew partitioner (Hsu et al.): for each class, the
 /// per-client allocation proportions are drawn from `Dirichlet(α, …, α)`.
 ///
 /// `alpha → ∞` approaches IID; `alpha → 0` approaches one-class-per-client.
 /// This is the other standard non-IID construction in the FL literature
-/// and backs the heterogeneity ablation (`ablation_heterogeneity`).
+/// and backs the heterogeneity ablation (`ablation_heterogeneity`) and
+/// the robustness scenario catalog (see [`DirichletSkew`] for named
+/// presets).
+///
+/// Every example is assigned to exactly one client, and — whenever
+/// `data.len() ≥ num_clients` — no client comes back empty: skewed draws
+/// that would starve a client are rebalanced deterministically (examples
+/// move from the currently largest client), so downstream training
+/// never panics on an empty dataset.
 pub fn partition_dirichlet(
     data: &Dataset,
     num_clients: usize,
@@ -119,6 +170,27 @@ pub fn partition_dirichlet(
             start = end;
         }
     }
+
+    // Rebalance so no client ends up empty (a severe-α draw can starve
+    // one): repeatedly move the last example of the currently largest
+    // bucket into an empty one. Deterministic — ties break toward the
+    // lowest donor index, and the moved example is the donor's most
+    // recently assigned — and a pure function of the seeded draw above.
+    while let Some(empty) = buckets.iter().position(|b| b.is_empty()) {
+        let (donor, donor_len) = buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.len()))
+            .max_by_key(|&(i, len)| (len, std::cmp::Reverse(i)))
+            .expect("num_clients > 0");
+        if donor_len <= 1 {
+            // Fewer examples than clients: emptiness is unavoidable.
+            break;
+        }
+        let moved = buckets[donor].pop().expect("donor non-empty");
+        buckets[empty].push(moved);
+    }
+
     buckets.into_iter().map(|b| data.subset(&b)).collect()
 }
 
@@ -311,6 +383,41 @@ mod tests {
     fn dirichlet_rejects_bad_alpha() {
         let d = labelled_dataset(10, 2);
         let _ = partition_dirichlet(&d, 2, 0.0, 1);
+    }
+
+    #[test]
+    fn dirichlet_never_yields_empty_clients_under_severe_skew() {
+        // Severe skew over few examples used to starve clients; the
+        // deterministic rebalance guarantees everyone keeps ≥ 1 example
+        // whenever there are at least as many examples as clients.
+        for seed in 0..20 {
+            let d = labelled_dataset(40, 4);
+            let parts = partition_dirichlet(&d, 8, 0.05, seed);
+            let total: usize = parts.iter().map(|p| p.len()).sum();
+            assert_eq!(total, 40);
+            for (i, p) in parts.iter().enumerate() {
+                assert!(!p.is_empty(), "client {i} empty at seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_with_fewer_examples_than_clients_does_not_hang() {
+        let d = labelled_dataset(3, 2);
+        let parts = partition_dirichlet(&d, 5, 0.1, 2);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 3);
+        // Emptiness is unavoidable here, but nothing is lost or duplicated.
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 3);
+    }
+
+    #[test]
+    fn skew_presets_order_mildest_first() {
+        let all = DirichletSkew::all();
+        assert!(all[0].alpha() > all[1].alpha());
+        assert!(all[1].alpha() > all[2].alpha());
+        assert_eq!(DirichletSkew::Moderate.name(), "moderate");
+        assert_eq!(DirichletSkew::Severe.alpha(), 0.1);
     }
 
     #[test]

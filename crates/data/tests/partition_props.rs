@@ -1,0 +1,107 @@
+//! Property-based tests for the partitioners, centered on the Dirichlet
+//! label-skew construction the robustness scenario catalog depends on:
+//! for arbitrary (clients, α, seed, size) it must stay deterministic,
+//! cover every example exactly once, and never hand a client an empty
+//! dataset when there are at least as many examples as clients.
+
+use fedval_data::{partition_dirichlet, partition_iid, Dataset};
+use fedval_linalg::Matrix;
+use proptest::prelude::*;
+
+/// A dataset whose feature column 0 stores the example's global index,
+/// so partitions can be audited for exactly-once coverage.
+fn indexed_dataset(n: usize, num_classes: usize) -> Dataset {
+    let features = Matrix::from_fn(n, 2, |i, j| {
+        if j == 0 {
+            i as f64
+        } else {
+            (i * 31 % 17) as f64
+        }
+    });
+    let labels: Vec<usize> = (0..n).map(|i| i % num_classes).collect();
+    Dataset::new(features, labels, num_classes).unwrap()
+}
+
+/// Collects the global indices (feature column 0) of every example across
+/// all partitions, sorted.
+fn covered_indices(parts: &[Dataset]) -> Vec<usize> {
+    let mut out: Vec<usize> = parts
+        .iter()
+        .flat_map(|p| (0..p.len()).map(|i| p.features().get(i, 0) as usize))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dirichlet_covers_every_example_exactly_once(
+        num_clients in 1usize..12,
+        num_classes in 1usize..8,
+        n in 1usize..200,
+        alpha in 0.05f64..20.0,
+        seed in 0u64..10_000,
+    ) {
+        let d = indexed_dataset(n, num_classes);
+        let parts = partition_dirichlet(&d, num_clients, alpha, seed);
+        prop_assert_eq!(parts.len(), num_clients);
+        let covered = covered_indices(&parts);
+        let expected: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(covered, expected);
+        // Labels travel with their examples.
+        for p in &parts {
+            for i in 0..p.len() {
+                let global = p.features().get(i, 0) as usize;
+                prop_assert_eq!(p.labels()[i], global % num_classes);
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_deterministic_per_seed(
+        num_clients in 1usize..10,
+        alpha in 0.05f64..10.0,
+        seed in 0u64..10_000,
+    ) {
+        let d = indexed_dataset(120, 6);
+        let a = partition_dirichlet(&d, num_clients, alpha, seed);
+        let b = partition_dirichlet(&d, num_clients, alpha, seed);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.labels(), y.labels());
+            prop_assert_eq!(x.features().as_slice(), y.features().as_slice());
+        }
+    }
+
+    #[test]
+    fn dirichlet_never_yields_empty_clients_when_data_suffices(
+        num_clients in 1usize..12,
+        num_classes in 1usize..6,
+        alpha in 0.05f64..2.0,
+        seed in 0u64..10_000,
+        spare in 0usize..100,
+    ) {
+        // n ≥ num_clients by construction; low α maximizes starvation risk.
+        let n = num_clients + spare;
+        let d = indexed_dataset(n, num_classes);
+        let parts = partition_dirichlet(&d, num_clients, alpha, seed);
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(!p.is_empty(), "client {} received no data", i);
+        }
+    }
+
+    #[test]
+    fn iid_partition_covers_every_example_exactly_once(
+        num_clients in 1usize..12,
+        n in 1usize..200,
+        seed in 0u64..10_000,
+    ) {
+        let d = indexed_dataset(n, 4);
+        let parts = partition_iid(&d, num_clients, seed);
+        let covered = covered_indices(&parts);
+        let expected: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(covered, expected);
+    }
+}

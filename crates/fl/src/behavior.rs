@@ -1,0 +1,186 @@
+//! Per-client behavior injection for robustness scenarios.
+//!
+//! The paper's fairness claims are about *realistic* federations — ones
+//! with low-quality and outright adversarial participants. This module
+//! gives the simulator a per-client [`ClientBehavior`] knob (carried by
+//! [`FlConfig::behaviors`](crate::FlConfig::behaviors)) that the trainer
+//! applies deterministically inside the local-update step, so behavior-
+//! injected traces are exactly as reproducible as honest ones:
+//!
+//! * the selection RNG stream is untouched — behaviors never draw from
+//!   the trainer's `StdRng`, so an all-[`Honest`](ClientBehavior::Honest)
+//!   configuration is the *bit-identical* legacy code path;
+//! * the only randomness a behavior uses
+//!   ([`Straggler`](ClientBehavior::Straggler) participation coins) is a
+//!   stateless hash of `(seed, client, round)`, independent of pool
+//!   width, evaluation order, and every other client's behavior.
+//!
+//! Behaviors that skip training ([`FreeRider`](ClientBehavior::FreeRider),
+//! a non-participating [`Straggler`](ClientBehavior::Straggler), a churned
+//! client outside its [`Churn`](ClientBehavior::Churn) window) submit the
+//! broadcast global model unchanged — a zero update, equivalently a
+//! replay of the freshest model the client has seen. Under FedAvg
+//! aggregation this dilutes every coalition the client joins, which is
+//! precisely the signal the detection experiments expect valuations to
+//! pick up. [`NoisyLabels`](ClientBehavior::NoisyLabels) is a *data*
+//! intervention: the corruption is applied to the client's dataset at
+//! world-build time (`fedval_data::behavior::apply_label_corruption`);
+//! inside the protocol the client is honest.
+
+/// How one client behaves across a FedAvg run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ClientBehavior {
+    /// Trains honestly every round — the legacy (and default) path.
+    #[default]
+    Honest,
+    /// Never trains; every round it submits the broadcast global model
+    /// unchanged (a zero/stale update).
+    FreeRider,
+    /// Honest protocol participant whose local dataset has the given
+    /// fraction of its labels flipped at world-build time. Inside the
+    /// trainer this is indistinguishable from [`Honest`](Self::Honest);
+    /// the harm comes from the corrupted gradients.
+    NoisyLabels(f64),
+    /// Participates in each round independently with the given
+    /// probability (a deterministic `(seed, client, round)` coin);
+    /// skipped rounds submit the broadcast model unchanged.
+    Straggler(f64),
+    /// Present only for rounds `join_round ≤ t < leave_round`; outside
+    /// the window the client submits the broadcast model unchanged.
+    Churn {
+        /// First round (0-based) the client participates in.
+        join_round: usize,
+        /// First round the client no longer participates in.
+        leave_round: usize,
+    },
+}
+
+impl ClientBehavior {
+    /// Whether this client actually trains in round `round` of a run
+    /// seeded with `seed`. Deterministic: depends only on the arguments,
+    /// never on shared RNG state.
+    pub fn trains(&self, seed: u64, client: usize, round: usize) -> bool {
+        match *self {
+            ClientBehavior::Honest | ClientBehavior::NoisyLabels(_) => true,
+            ClientBehavior::FreeRider => false,
+            ClientBehavior::Straggler(p) => participation_coin(seed, client, round) < p,
+            ClientBehavior::Churn {
+                join_round,
+                leave_round,
+            } => join_round <= round && round < leave_round,
+        }
+    }
+
+    /// Ground-truth "bad client" label for the detection experiments:
+    /// `true` for every behavior that degrades the client's contribution
+    /// (free riding, label noise, partial participation, churn).
+    ///
+    /// Degenerate parameters that make a behavior honest in practice
+    /// (`NoisyLabels(0.0)`, `Straggler(p ≥ 1)`) are labelled good; a
+    /// `Churn` window is always labelled bad — the scenario catalog only
+    /// constructs genuinely partial windows.
+    pub fn is_bad(&self) -> bool {
+        match *self {
+            ClientBehavior::Honest => false,
+            ClientBehavior::FreeRider => true,
+            ClientBehavior::NoisyLabels(f) => f > 0.0,
+            ClientBehavior::Straggler(p) => p < 1.0,
+            ClientBehavior::Churn { .. } => true,
+        }
+    }
+
+    /// The label-flip fraction this behavior asks the world generator to
+    /// apply (0 for every non-[`NoisyLabels`](Self::NoisyLabels) variant).
+    pub fn label_noise_fraction(&self) -> f64 {
+        match *self {
+            ClientBehavior::NoisyLabels(f) => f.max(0.0),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Stateless participation coin in `[0, 1)`: a splitmix64 finalizer over
+/// `(seed, client, round)`. Every tuple gets an independent,
+/// reproducible draw without touching any shared RNG stream.
+fn participation_coin(seed: u64, client: usize, round: usize) -> f64 {
+    let mut z = seed
+        ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (round as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_honest() {
+        assert_eq!(ClientBehavior::default(), ClientBehavior::Honest);
+        assert!(!ClientBehavior::default().is_bad());
+    }
+
+    #[test]
+    fn honest_and_noisy_always_train() {
+        for t in 0..20 {
+            assert!(ClientBehavior::Honest.trains(1, 0, t));
+            assert!(ClientBehavior::NoisyLabels(0.5).trains(1, 0, t));
+        }
+    }
+
+    #[test]
+    fn free_rider_never_trains_and_is_bad() {
+        for t in 0..20 {
+            assert!(!ClientBehavior::FreeRider.trains(7, 3, t));
+        }
+        assert!(ClientBehavior::FreeRider.is_bad());
+    }
+
+    #[test]
+    fn straggler_coin_is_deterministic_and_roughly_calibrated() {
+        let b = ClientBehavior::Straggler(0.3);
+        let first: Vec<bool> = (0..400).map(|t| b.trains(11, 2, t)).collect();
+        let second: Vec<bool> = (0..400).map(|t| b.trains(11, 2, t)).collect();
+        assert_eq!(first, second, "same (seed, client, round) → same coin");
+        let rate = first.iter().filter(|&&x| x).count() as f64 / 400.0;
+        assert!(
+            (rate - 0.3).abs() < 0.08,
+            "participation rate {rate} far from 0.3"
+        );
+        // Different clients and seeds get independent streams.
+        let other: Vec<bool> = (0..400).map(|t| b.trains(11, 3, t)).collect();
+        assert_ne!(first, other);
+        let reseeded: Vec<bool> = (0..400).map(|t| b.trains(12, 2, t)).collect();
+        assert_ne!(first, reseeded);
+    }
+
+    #[test]
+    fn straggler_extremes() {
+        assert!((0..50).all(|t| ClientBehavior::Straggler(1.0).trains(3, 0, t)));
+        assert!((0..50).all(|t| !ClientBehavior::Straggler(0.0).trains(3, 0, t)));
+        assert!(!ClientBehavior::Straggler(1.0).is_bad());
+        assert!(ClientBehavior::Straggler(0.5).is_bad());
+    }
+
+    #[test]
+    fn churn_window_is_half_open() {
+        let b = ClientBehavior::Churn {
+            join_round: 2,
+            leave_round: 5,
+        };
+        let active: Vec<bool> = (0..7).map(|t| b.trains(1, 0, t)).collect();
+        assert_eq!(active, [false, false, true, true, true, false, false]);
+        assert!(b.is_bad());
+    }
+
+    #[test]
+    fn noisy_labels_reports_fraction_and_badness() {
+        assert_eq!(ClientBehavior::NoisyLabels(0.4).label_noise_fraction(), 0.4);
+        assert_eq!(ClientBehavior::Honest.label_noise_fraction(), 0.0);
+        assert!(ClientBehavior::NoisyLabels(0.4).is_bad());
+        assert!(!ClientBehavior::NoisyLabels(0.0).is_bad());
+    }
+}

@@ -1,5 +1,6 @@
 //! Federated-learning simulation configuration.
 
+use crate::behavior::ClientBehavior;
 use fedval_models::{DeterminismTier, LearningRate};
 
 /// Configuration of one FedAvg run.
@@ -37,6 +38,13 @@ pub struct FlConfig {
     /// deterministic run-to-run at a fixed tier, but differ across tiers
     /// within the documented ε per operation.
     pub tier: DeterminismTier,
+    /// Per-client protocol behavior (index = client id); clients beyond
+    /// the list's length are [`ClientBehavior::Honest`]. Empty (the
+    /// default) is the exact legacy all-honest code path — behaviors
+    /// never touch the selection RNG stream, so honest traces are
+    /// bit-identical with or without this field. See
+    /// [`crate::behavior`].
+    pub behaviors: Vec<ClientBehavior>,
 }
 
 impl FlConfig {
@@ -52,6 +60,7 @@ impl FlConfig {
             everyone_heard_round: true,
             batch_size: None,
             tier: DeterminismTier::default_tier(),
+            behaviors: Vec::new(),
         }
     }
 
@@ -88,6 +97,18 @@ impl FlConfig {
         self.tier = tier;
         self
     }
+
+    /// Builder-style per-client behavior injection (index = client id;
+    /// missing entries are honest). See [`crate::behavior`].
+    pub fn with_behaviors(mut self, behaviors: Vec<ClientBehavior>) -> Self {
+        self.behaviors = behaviors;
+        self
+    }
+
+    /// The behavior of client `i` (honest beyond the configured list).
+    pub fn behavior_of(&self, i: usize) -> ClientBehavior {
+        self.behaviors.get(i).copied().unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +123,8 @@ mod tests {
         assert_eq!(c.local_steps, 1);
         assert!(c.everyone_heard_round);
         assert!(c.batch_size.is_none());
+        assert!(c.behaviors.is_empty());
+        assert_eq!(c.behavior_of(3), ClientBehavior::Honest);
         assert_eq!(c.learning_rate.at(0), 0.1);
     }
 
@@ -140,5 +163,14 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_rejected() {
         let _ = FlConfig::new(1, 1, 0.1, 1).with_batch_size(0);
+    }
+
+    #[test]
+    fn behaviors_builder_indexes_per_client() {
+        let c = FlConfig::new(1, 1, 0.1, 1)
+            .with_behaviors(vec![ClientBehavior::Honest, ClientBehavior::FreeRider]);
+        assert_eq!(c.behavior_of(1), ClientBehavior::FreeRider);
+        // Beyond the list: honest.
+        assert_eq!(c.behavior_of(2), ClientBehavior::Honest);
     }
 }

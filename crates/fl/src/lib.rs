@@ -20,10 +20,12 @@
 //!
 //! * [`subset`] — bitmask-encoded client coalitions.
 //! * [`config`] — simulation configuration.
+//! * [`behavior`] — per-client adversarial/robustness behavior injection.
 //! * [`trainer`] — the FedAvg loop producing a [`TrainingTrace`].
 //! * [`utility`] — the utility oracle and its batch evaluation engine.
 //! * [`utility_matrix`] — full and observed utility-matrix builders.
 
+pub mod behavior;
 pub mod config;
 pub mod error;
 pub mod subset;
@@ -41,6 +43,7 @@ pub mod utility_matrix;
 /// shares one gate; `fedval_shapley` re-exports it for compatibility.
 pub const MAX_EXACT_CLIENTS: usize = 16;
 
+pub use behavior::ClientBehavior;
 pub use config::FlConfig;
 pub use error::OracleError;
 pub use fedval_models::DeterminismTier;

@@ -1,5 +1,6 @@
 //! The FedAvg training loop with full trace recording.
 
+use crate::behavior::ClientBehavior;
 use crate::config::FlConfig;
 use crate::subset::Subset;
 use fedval_data::Dataset;
@@ -88,7 +89,10 @@ pub fn train_federated(
     for t in 0..config.rounds {
         let eta = config.learning_rate.at(t);
 
-        // Every client computes its local update in parallel.
+        // Every client computes its local update in parallel. Behavior
+        // injection happens here: clients whose behavior skips this
+        // round submit the broadcast model unchanged (see
+        // `crate::behavior`).
         let local_params = parallel_local_updates(
             prototype,
             clients,
@@ -98,6 +102,9 @@ pub fn train_federated(
             config.batch_size,
             config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             config.tier,
+            &config.behaviors,
+            config.seed,
+            t,
         );
 
         // Client selection: round 0 selects everyone (Assumption 1).
@@ -138,6 +145,14 @@ pub fn train_federated(
 /// results are bit-identical for any pool size (at any fixed `tier` —
 /// the tier is pinned on every worker's workspace, so concurrent runs at
 /// different tiers share the global pool safely).
+///
+/// `behaviors` (indexed by client, honest beyond its length) decides per
+/// client whether round `round` trains at all: non-training clients
+/// (free riders, skipped stragglers, churned-out clients) submit
+/// `global` unchanged. The decision is a pure function of
+/// `(behavior_seed, client, round)`, so behavior injection is
+/// deterministic for any pool width — and with no behaviors configured
+/// this is the exact legacy code path.
 #[allow(clippy::too_many_arguments)]
 fn parallel_local_updates(
     prototype: &dyn Model,
@@ -148,6 +163,9 @@ fn parallel_local_updates(
     batch_size: Option<usize>,
     round_seed: u64,
     tier: DeterminismTier,
+    behaviors: &[ClientBehavior],
+    behavior_seed: u64,
+    round: usize,
 ) -> Vec<Vec<f64>> {
     let n = clients.len();
     let pool = fedval_runtime::Pool::global();
@@ -166,6 +184,13 @@ fn parallel_local_updates(
                 scratch.ws.set_tier(tier);
                 for (offset, slot) in out_chunk.iter_mut().enumerate() {
                     let i = start + offset;
+                    let behavior = behaviors.get(i).copied().unwrap_or_default();
+                    if !behavior.trains(behavior_seed, i, round) {
+                        // Zero update: the client submits the broadcast
+                        // model unchanged (free rider / skipped round).
+                        *slot = global.to_vec();
+                        continue;
+                    }
                     model.set_params(global);
                     match batch_size {
                         None => {
@@ -391,6 +416,84 @@ mod tests {
             // tighter (see fedval_linalg::gemm::fast_epsilon).
             assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()), "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn empty_behaviors_are_bit_identical_to_explicit_all_honest() {
+        let cl = clients(5);
+        let legacy = train_federated(&proto(), &cl, &FlConfig::new(4, 2, 0.1, 9));
+        let cfg =
+            FlConfig::new(4, 2, 0.1, 9).with_behaviors(vec![ClientBehavior::Honest; cl.len()]);
+        let honest = train_federated(&proto(), &cl, &cfg);
+        assert_eq!(legacy.final_params, honest.final_params);
+        for (a, b) in legacy.rounds.iter().zip(&honest.rounds) {
+            assert_eq!(a.local_params, b.local_params);
+            assert_eq!(a.selected, b.selected);
+        }
+    }
+
+    #[test]
+    fn free_rider_submits_the_broadcast_model_unchanged() {
+        let cl = clients(4);
+        let mut behaviors = vec![ClientBehavior::Honest; 4];
+        behaviors[2] = ClientBehavior::FreeRider;
+        let cfg = FlConfig::new(3, 2, 0.1, 7).with_behaviors(behaviors);
+        let trace = train_federated(&proto(), &cl, &cfg);
+        for r in &trace.rounds {
+            assert_eq!(
+                r.local_params[2], r.global_params,
+                "free rider = zero update"
+            );
+            // Honest clients actually moved.
+            assert_ne!(r.local_params[0], r.global_params);
+        }
+        // And the honest clients' updates are bit-identical to the
+        // all-honest run: behavior injection never perturbs other
+        // clients or the selection stream.
+        let legacy = train_federated(&proto(), &cl, &FlConfig::new(3, 2, 0.1, 7));
+        assert_eq!(
+            trace.rounds[0].local_params[0],
+            legacy.rounds[0].local_params[0]
+        );
+        assert_eq!(trace.rounds[0].selected, legacy.rounds[0].selected);
+    }
+
+    #[test]
+    fn straggler_skips_rounds_deterministically() {
+        let cl = clients(4);
+        let mut behaviors = vec![ClientBehavior::Honest; 4];
+        behaviors[1] = ClientBehavior::Straggler(0.5);
+        let cfg = FlConfig::new(12, 2, 0.1, 3).with_behaviors(behaviors);
+        let a = train_federated(&proto(), &cl, &cfg);
+        let b = train_federated(&proto(), &cl, &cfg);
+        assert_eq!(a.final_params, b.final_params, "seeded coins reproduce");
+        let skipped = a
+            .rounds
+            .iter()
+            .filter(|r| r.local_params[1] == r.global_params)
+            .count();
+        assert!(
+            (1..12).contains(&skipped),
+            "Straggler(0.5) should skip some but not all of 12 rounds (skipped {skipped})"
+        );
+    }
+
+    #[test]
+    fn churned_client_is_inactive_outside_its_window() {
+        let cl = clients(3);
+        let mut behaviors = vec![ClientBehavior::Honest; 3];
+        behaviors[0] = ClientBehavior::Churn {
+            join_round: 1,
+            leave_round: 3,
+        };
+        let cfg = FlConfig::new(4, 3, 0.1, 5).with_behaviors(behaviors);
+        let trace = train_federated(&proto(), &cl, &cfg);
+        let active: Vec<bool> = trace
+            .rounds
+            .iter()
+            .map(|r| r.local_params[0] != r.global_params)
+            .collect();
+        assert_eq!(active, [false, true, true, false]);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Bad-client detection metrics: rank-based ROC-AUC and precision@k.
+//!
+//! The robustness harness scores a valuation by how well it *separates*
+//! injected bad clients (free riders, noisy-label clients, stragglers,
+//! churners) from honest ones: a good valuation puts every bad client
+//! below every honest client. [`detection_auc`] is the Mann–Whitney
+//! formulation of the ROC-AUC for that ranking task (1.0 = perfect
+//! separation, 0.5 = chance, 0.0 = perfectly inverted);
+//! [`precision_at_k`] is the fraction of the `k` lowest-valued clients
+//! that are truly bad.
+//!
+//! Both reject malformed inputs with a typed [`DetectionError`] instead
+//! of degrading to a misleading number: non-finite valuations (a NaN
+//! would silently compare as a tie), mismatched lengths, and — for the
+//! AUC — degenerate label sets with no positives or no negatives, where
+//! the statistic is undefined.
+
+use crate::ranking::{bottom_k_indices, ranks_average_ties};
+use std::fmt;
+
+/// Why a detection metric could not be computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionError {
+    /// `values` and `bad` disagree in length.
+    LengthMismatch {
+        /// Number of valuations supplied.
+        values: usize,
+        /// Number of ground-truth labels supplied.
+        labels: usize,
+    },
+    /// A valuation is NaN or infinite; ranking it would be meaningless.
+    NotFinite {
+        /// Index of the first offending value.
+        index: usize,
+    },
+    /// All clients share one label, so separation is undefined.
+    Degenerate {
+        /// Number of bad clients.
+        bad: usize,
+        /// Number of good clients.
+        good: usize,
+    },
+    /// `k` is zero or exceeds the client count.
+    InvalidK {
+        /// Requested cut-off.
+        k: usize,
+        /// Number of clients.
+        clients: usize,
+    },
+}
+
+impl fmt::Display for DetectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DetectionError::LengthMismatch { values, labels } => {
+                write!(f, "{values} valuations but {labels} ground-truth labels")
+            }
+            DetectionError::NotFinite { index } => {
+                write!(f, "valuation at index {index} is not finite")
+            }
+            DetectionError::Degenerate { bad, good } => write!(
+                f,
+                "detection is undefined with {bad} bad and {good} good clients"
+            ),
+            DetectionError::InvalidK { k, clients } => {
+                write!(f, "k = {k} is not in 1..={clients}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectionError {}
+
+fn validate(values: &[f64], bad: &[bool]) -> Result<(), DetectionError> {
+    if values.len() != bad.len() {
+        return Err(DetectionError::LengthMismatch {
+            values: values.len(),
+            labels: bad.len(),
+        });
+    }
+    if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+        return Err(DetectionError::NotFinite { index });
+    }
+    Ok(())
+}
+
+/// Rank-based ROC-AUC for "bad clients should be valued *lower*":
+/// the probability that a uniformly drawn (bad, good) pair is ordered
+/// `value[bad] < value[good]`, with ties counting one half
+/// (the Mann–Whitney U statistic over average ranks).
+///
+/// Errors on length mismatch, non-finite valuations, and degenerate
+/// label sets (no bad clients, or no good ones) — never a silent 0.5.
+pub fn detection_auc(values: &[f64], bad: &[bool]) -> Result<f64, DetectionError> {
+    validate(values, bad)?;
+    let n_bad = bad.iter().filter(|&&b| b).count();
+    let n_good = bad.len() - n_bad;
+    if n_bad == 0 || n_good == 0 {
+        return Err(DetectionError::Degenerate {
+            bad: n_bad,
+            good: n_good,
+        });
+    }
+    let ranks = ranks_average_ties(values);
+    let rank_sum_bad: f64 = ranks
+        .iter()
+        .zip(bad)
+        .filter(|&(_, &b)| b)
+        .map(|(r, _)| r)
+        .sum();
+    // U counts (bad > good) pairs, ties as one half; the detection AUC
+    // is its complement.
+    let u = rank_sum_bad - (n_bad * (n_bad + 1)) as f64 / 2.0;
+    Ok(1.0 - u / (n_bad * n_good) as f64)
+}
+
+/// Fraction of the `k` lowest-valued clients that are truly bad (ties
+/// broken by client index, matching [`bottom_k_indices`]). The natural
+/// `k` is the number of injected bad clients, making this the paper's
+/// Fig.-7-style "flag the bottom k" detection rate.
+///
+/// Errors on length mismatch, non-finite valuations, `k == 0`, and
+/// `k > values.len()`. Degenerate label sets are allowed — all-good
+/// yields 0.0 and all-bad yields 1.0, which are exactly right here.
+pub fn precision_at_k(values: &[f64], bad: &[bool], k: usize) -> Result<f64, DetectionError> {
+    validate(values, bad)?;
+    if k == 0 || k > values.len() {
+        return Err(DetectionError::InvalidK {
+            k,
+            clients: values.len(),
+        });
+    }
+    let flagged = bottom_k_indices(values, k);
+    let hits = flagged.iter().filter(|&&i| bad[i]).count();
+    Ok(hits as f64 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_HIGH: [f64; 6] = [-2.0, 5.0, 6.0, -1.0, 7.0, 8.0];
+    const BAD2: [bool; 6] = [true, false, false, true, false, false];
+
+    #[test]
+    fn perfect_separation_is_auc_one() {
+        assert_eq!(detection_auc(&GOOD_HIGH, &BAD2), Ok(1.0));
+    }
+
+    #[test]
+    fn inverted_separation_is_auc_zero() {
+        let inverted: Vec<f64> = GOOD_HIGH.iter().map(|v| -v).collect();
+        assert_eq!(detection_auc(&inverted, &BAD2), Ok(0.0));
+    }
+
+    #[test]
+    fn interleaved_values_give_intermediate_auc() {
+        // bad at values 1.0 and 3.0, good at 2.0 and 4.0: of the 4
+        // (bad, good) pairs, 3 are correctly ordered → AUC 0.75.
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let bad = [true, false, true, false];
+        let auc = detection_auc(&values, &bad).unwrap();
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_tied_values_give_auc_half() {
+        let auc = detection_auc(&[3.0; 5], &[true, true, false, false, false]).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12, "ties count one half, got {auc}");
+    }
+
+    #[test]
+    fn partial_ties_average() {
+        // bad: {1.0}, good: {1.0, 2.0}; pair vs the tied good counts
+        // 0.5, vs 2.0 counts 1 → AUC 0.75.
+        let auc = detection_auc(&[1.0, 1.0, 2.0], &[true, false, false]).unwrap();
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_label_sets_are_errors_not_half() {
+        assert_eq!(
+            detection_auc(&[1.0, 2.0], &[false, false]),
+            Err(DetectionError::Degenerate { bad: 0, good: 2 })
+        );
+        assert_eq!(
+            detection_auc(&[1.0, 2.0], &[true, true]),
+            Err(DetectionError::Degenerate { bad: 2, good: 0 })
+        );
+    }
+
+    #[test]
+    fn nan_and_infinite_valuations_are_errors() {
+        assert_eq!(
+            detection_auc(&[1.0, f64::NAN, 2.0], &[true, false, false]),
+            Err(DetectionError::NotFinite { index: 1 })
+        );
+        assert_eq!(
+            detection_auc(&[f64::INFINITY, 1.0], &[true, false]),
+            Err(DetectionError::NotFinite { index: 0 })
+        );
+        assert_eq!(
+            precision_at_k(&[1.0, f64::NAN], &[true, false], 1),
+            Err(DetectionError::NotFinite { index: 1 })
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        assert_eq!(
+            detection_auc(&[1.0, 2.0], &[true]),
+            Err(DetectionError::LengthMismatch {
+                values: 2,
+                labels: 1
+            })
+        );
+        assert_eq!(
+            precision_at_k(&[1.0], &[true, false], 1),
+            Err(DetectionError::LengthMismatch {
+                values: 1,
+                labels: 2
+            })
+        );
+    }
+
+    #[test]
+    fn precision_at_k_counts_bottom_k_hits() {
+        assert_eq!(precision_at_k(&GOOD_HIGH, &BAD2, 2), Ok(1.0));
+        // k = 3 pulls in one honest client.
+        let p = precision_at_k(&GOOD_HIGH, &BAD2, 3).unwrap();
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        let inverted: Vec<f64> = GOOD_HIGH.iter().map(|v| -v).collect();
+        assert_eq!(precision_at_k(&inverted, &BAD2, 2), Ok(0.0));
+    }
+
+    #[test]
+    fn precision_at_k_allows_degenerate_labels() {
+        assert_eq!(precision_at_k(&[1.0, 2.0], &[false, false], 1), Ok(0.0));
+        assert_eq!(precision_at_k(&[1.0, 2.0], &[true, true], 2), Ok(1.0));
+    }
+
+    #[test]
+    fn precision_at_k_rejects_bad_k() {
+        assert_eq!(
+            precision_at_k(&[1.0, 2.0], &[true, false], 0),
+            Err(DetectionError::InvalidK { k: 0, clients: 2 })
+        );
+        assert_eq!(
+            precision_at_k(&[1.0, 2.0], &[true, false], 3),
+            Err(DetectionError::InvalidK { k: 3, clients: 2 })
+        );
+    }
+
+    #[test]
+    fn precision_ties_break_by_index_deterministically() {
+        // All values tied: bottom-2 is clients {0, 1} by index.
+        let p = precision_at_k(&[1.0; 4], &[true, false, true, false], 2).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+}

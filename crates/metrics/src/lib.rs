@@ -6,12 +6,15 @@
 //!   noisy-label detection).
 //! * [`ecdf`] — empirical cumulative distribution functions (paper Fig. 5,
 //!   fairness of `d_{0,9}`).
+//! * [`detection`] — bad-client detection scores (rank-based ROC-AUC and
+//!   precision@k) for the robustness harness.
 //! * [`ranking`] — ranking helpers (bottom-k selection, rank assignment with
 //!   tie handling).
 //! * [`stats`] — summary statistics used across the harnesses.
 //! * [`relative_difference`] — the paper's fairness statistic
 //!   `d_{i,j} = |s_i − s_j| / max(s_i, s_j)` (equation (7)).
 
+pub mod detection;
 pub mod ecdf;
 pub mod gini;
 pub mod jaccard;
@@ -20,6 +23,7 @@ pub mod ranking;
 pub mod spearman;
 pub mod stats;
 
+pub use detection::{detection_auc, precision_at_k, DetectionError};
 pub use ecdf::Ecdf;
 pub use gini::gini_coefficient;
 pub use jaccard::jaccard_index;

@@ -7,10 +7,12 @@
 //! The paper's Section VII-C use case: progressively noisier clients
 //! (client i has 5·i% of its examples corrupted) should be ranked
 //! progressively lower by a good valuation. Prints each metric's ranking
-//! and its Spearman correlation with the true quality ordering, plus a
-//! flagging variant scored by Jaccard overlap. Quality is graded by label
-//! corruption (see EXPERIMENTS.md for why feature noise is too weak a
-//! signal on the simulated datasets).
+//! and its Spearman correlation with the true quality ordering, then runs
+//! the robustness catalog's `noisy_labels` scenario and scores every
+//! valuation as a detector (ROC-AUC, precision@k, Jaccard overlap of the
+//! flagged set). Quality is graded by label corruption (see
+//! EXPERIMENTS.md for why feature noise is too weak a signal on the
+//! simulated datasets).
 
 use comfedsv::metrics::{bottom_k_indices, jaccard_index, spearman_rho};
 use comfedsv::prelude::*;
@@ -46,29 +48,40 @@ fn main() {
         println!("{name:>10}  {rho:>10.4}");
     }
 
-    // Part 2: label flipping — flag the 3 corrupted clients.
-    let corrupted = vec![(1usize, 0.3), (4, 0.3), (7, 0.3)];
-    let truth_set: Vec<usize> = corrupted.iter().map(|&(c, _)| c).collect();
-    let world2 = ExperimentBuilder::sim_mnist(false)
-        .num_clients(n)
-        .samples_per_client(60)
-        .test_samples(150)
-        .label_noise(corrupted)
-        .seed(4)
-        .build();
-    let trace2 = world2.train(&FlConfig::new(10, 3, 0.2, 4));
+    // Part 2: the robustness catalog's noisy_labels scenario — behavior-
+    // driven corruption with ground-truth bad-client labels, scored with
+    // the detection metrics the robustness harness uses.
+    let scenario = Scenario::noisy_labels();
+    let world2 = scenario.build(4);
+    let trace2 = world2.train(&scenario.fl_config(4));
     let oracle2 = world2.oracle(&trace2);
+    let bad = scenario.bad_clients();
+    let truth_set: Vec<usize> = bad
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i))
+        .collect();
+    let k = scenario.num_bad();
     let fed2 = FedSv::exact().run(&oracle2).expect("small cohorts");
-    let com2 = ComFedSv::exact(6)
+    let com2 = ComFedSv::exact(4)
         .with_lambda(0.01)
         .run(&oracle2)
-        .expect("10 clients is exact-safe")
+        .expect("8 clients is exact-safe")
         .values;
 
-    println!("\n== label flipping (clients 1, 4, 7 have 30% flipped labels) ==");
+    println!(
+        "\n== scenario '{}' (clients {truth_set:?} noisy) ==",
+        scenario.name
+    );
+    println!(
+        "{:>10}  {:>7}  {:>7}  {:>24}",
+        "metric", "auc", "prec@k", "flagged (Jaccard)"
+    );
     for (name, values) in [("FedSV", &fed2), ("ComFedSV", &com2)] {
-        let flagged = bottom_k_indices(values, truth_set.len());
+        let auc = detection_auc(values, &bad).expect("scenario has bad and good clients");
+        let p = precision_at_k(values, &bad, k).expect("k in range");
+        let flagged = bottom_k_indices(values, k);
         let j = jaccard_index(&flagged, &truth_set);
-        println!("{name:>10}: flagged {flagged:?}, Jaccard with truth = {j:.3}");
+        println!("{name:>10}  {auc:>7.3}  {p:>7.3}  {flagged:?} ({j:.3})");
     }
 }

@@ -64,10 +64,11 @@ pub mod experiments;
 
 /// The types most users need.
 pub mod prelude {
-    pub use crate::experiments::{DatasetKind, ExperimentBuilder, World};
-    pub use fedval_data::{Dataset, SyntheticConfig};
-    pub use fedval_fl::{FlConfig, Subset, TrainingTrace, UtilityOracle};
+    pub use crate::experiments::{DatasetKind, ExperimentBuilder, Scenario, World};
+    pub use fedval_data::{Dataset, DirichletSkew, SyntheticConfig};
+    pub use fedval_fl::{ClientBehavior, FlConfig, Subset, TrainingTrace, UtilityOracle};
     pub use fedval_mc::{AlsConfig, CompletionError, CompletionProblem, Factors, MatrixCompleter};
+    pub use fedval_metrics::{detection_auc, precision_at_k, DetectionError};
     pub use fedval_models::{LearningRate, Model};
     pub use fedval_shapley::{
         ComFedSv, CompletionSolver, Diagnostics, EstimatorKind, ExactShapley, FedSv, FedSvConfig,

@@ -179,9 +179,10 @@ fn dirichlet_partition_feeds_the_pipeline() {
         test: base.test.clone(),
         prototype: base.prototype.clone_model(),
         kind: base.kind,
+        behaviors: Vec::new(),
     };
-    // Some shards can be empty at small alpha; training must still run
-    // (empty datasets contribute a pure-regularization gradient).
+    // partition_dirichlet rebalances starved shards, so every client
+    // trains on at least one example.
     let trace = w.train(&FlConfig::new(4, 3, 0.2, 11));
     let oracle = w.oracle(&trace);
     let out = ComFedSv::exact(4).with_lambda(1e-2).run(&oracle).unwrap();

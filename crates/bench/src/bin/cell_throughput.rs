@@ -37,7 +37,7 @@
 //! smoke run also prints current-vs-committed throughput ratios when
 //! the committed baseline is readable.
 
-use fedval_bench::{scan_num, scan_str};
+use fedval_bench::{scan_num, scan_str, JsonWriter};
 use fedval_data::Dataset;
 use fedval_linalg::{vector, Matrix};
 use fedval_models::{
@@ -440,36 +440,37 @@ fn main() {
     }
 
     // Machine-readable JSON (schema: fedval_bench crate docs).
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"cell_throughput\",\n");
-    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    json.push_str(&format!(
-        "  \"pool_threads\": {},\n",
-        fedval_runtime::Pool::global_width()
-    ));
-    json.push_str("  \"cases\": [\n");
-    for (i, m) in measurements.iter().enumerate() {
-        let comma = if i + 1 == measurements.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{\"case\": \"{}\", \"path\": \"{}\", \"tier\": \"{}\", \"samples\": {}, \"passes\": {}, \"seconds\": {}, \"samples_per_sec\": {}, \"checksum\": \"{:016x}\"}}{comma}\n",
-            m.case, m.path, m.tier, m.samples, m.passes, m.seconds, m.samples_per_sec(), m.checksum
-        ));
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.str_field("bench", "cell_throughput");
+    w.str_field("mode", mode);
+    w.u64_field("pool_threads", fedval_runtime::Pool::global_width() as u64);
+    w.begin_array_field("cases");
+    for m in &measurements {
+        w.begin_object_compact();
+        w.str_field("case", m.case);
+        w.str_field("path", m.path);
+        w.str_field("tier", m.tier);
+        w.u64_field("samples", m.samples as u64);
+        w.u64_field("passes", m.passes as u64);
+        w.num_field("seconds", m.seconds);
+        w.num_field("samples_per_sec", m.samples_per_sec());
+        w.str_field("checksum", &format!("{:016x}", m.checksum));
+        w.end_object();
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"speedup\": {");
-    for (i, (case, speedup, _)) in speedups.iter().enumerate() {
-        let comma = if i + 1 == speedups.len() { "" } else { ", " };
-        json.push_str(&format!("\"{case}\": {speedup}{comma}"));
+    w.end_array();
+    w.begin_object_field_compact("speedup");
+    for (case, speedup, _) in &speedups {
+        w.num_field(case, *speedup);
     }
-    json.push_str("},\n");
-    json.push_str("  \"speedup_fast\": {");
-    for (i, (case, _, speedup_fast)) in speedups.iter().enumerate() {
-        let comma = if i + 1 == speedups.len() { "" } else { ", " };
-        json.push_str(&format!("\"{case}\": {speedup_fast}{comma}"));
+    w.end_object();
+    w.begin_object_field_compact("speedup_fast");
+    for (case, _, speedup_fast) in &speedups {
+        w.num_field(case, *speedup_fast);
     }
-    json.push_str("}\n}\n");
-    match std::fs::write(&out_path, json) {
+    w.end_object();
+    w.end_object();
+    match std::fs::write(&out_path, w.finish()) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => eprintln!("\njson write failed: {e}"),
     }

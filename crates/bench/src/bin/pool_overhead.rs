@@ -19,8 +19,19 @@
 //! single-core CI container absolute numbers compress, but the
 //! spawn-vs-enqueue gap is still visible.
 
+//!
+//! A second section reports **queue-wait latency**: for each scheduling
+//! policy, the delay between a batch's submission and each of its jobs
+//! actually starting on a worker, across `BATCHES` batches on an
+//! otherwise idle two-worker pool (mean and p99). This is the per-batch
+//! price of the scheduler itself — per-scope queue bookkeeping, WRR
+//! credit accounting — and the number that must stay in microseconds
+//! for the fair-share policy to be a safe default while `service_load`
+//! measures the seconds it saves under contention.
+
 use fedval_bench::write_csv;
-use fedval_runtime::Pool;
+use fedval_runtime::{Pool, SchedPolicy};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// One microsecond-scale work item, roughly the cost class of a small
@@ -82,6 +93,36 @@ fn run_inline() -> (f64, f64) {
     (t0.elapsed().as_secs_f64(), checksum)
 }
 
+/// Queue-wait distribution for one policy: submission → job start, for
+/// every job of every batch, on an idle two-worker pool.
+fn run_queue_wait(policy: SchedPolicy) -> (f64, f64) {
+    let pool = Pool::with_policy(2, policy);
+    let waits: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(BATCHES * CHUNKS));
+    // Warmup batch: fault in workers before timing.
+    pool.scope(|scope| scope.spawn(|| {}));
+    for _ in 0..BATCHES {
+        let submitted = Instant::now();
+        pool.scope(|scope| {
+            for _ in 0..CHUNKS {
+                let waits = &waits;
+                scope.spawn(move || {
+                    let wait_us = submitted.elapsed().as_secs_f64() * 1e6;
+                    waits
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(wait_us);
+                    std::hint::black_box(work_item(0));
+                });
+            }
+        });
+    }
+    let mut waits = waits.into_inner().unwrap_or_else(|e| e.into_inner());
+    waits.sort_by(|a, b| a.total_cmp(b));
+    let mean = waits.iter().sum::<f64>() / waits.len() as f64;
+    let p99 = waits[((0.99 * waits.len() as f64).ceil() as usize).clamp(1, waits.len()) - 1];
+    (mean, p99)
+}
+
 fn main() {
     println!(
         "== pool overhead: {BATCHES} batches x {CHUNKS} jobs (pool: {} workers) ==",
@@ -123,6 +164,27 @@ fn main() {
         "pool_overhead",
         &["strategy", "seconds", "us_per_batch"],
         &csv_rows,
+    ) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+
+    println!("\n== queue wait: submission -> job start, idle 2-worker pool ==");
+    println!("{:>8}  {:>12}  {:>12}", "policy", "mean us", "p99 us");
+    let mut wait_rows: Vec<Vec<String>> = Vec::new();
+    for policy in [SchedPolicy::Fifo, SchedPolicy::FairShare] {
+        let (mean_us, p99_us) = run_queue_wait(policy);
+        println!("{:>8}  {mean_us:>12.1}  {p99_us:>12.1}", policy.name());
+        wait_rows.push(vec![
+            policy.name().to_string(),
+            format!("{mean_us}"),
+            format!("{p99_us}"),
+        ]);
+    }
+    match write_csv(
+        "pool_queue_wait",
+        &["policy", "mean_us", "p99_us"],
+        &wait_rows,
     ) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),

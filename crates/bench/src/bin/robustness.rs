@@ -27,7 +27,7 @@
 //! scenarios — the acceptance gate for the method the paper proposes.
 
 use comfedsv::experiments::Scenario;
-use fedval_bench::{scan_num, scan_str};
+use fedval_bench::{scan_num, scan_str, JsonWriter};
 use fedval_metrics::{detection_auc, precision_at_k};
 use fedval_shapley::ValuationSession;
 use std::time::Instant;
@@ -65,13 +65,6 @@ fn fmt_opt(v: Option<f64>) -> String {
     match v {
         Some(v) => format!("{v:.3}"),
         None => "-".to_string(),
-    }
-}
-
-fn json_opt(v: Option<f64>) -> String {
-    match v {
-        Some(v) => format!("{v}"),
-        None => "null".to_string(),
     }
 }
 
@@ -243,27 +236,26 @@ fn compare_against_committed(rows: &[Row], baseline_path: &str) -> Vec<String> {
 }
 
 fn write_json(rows: &[Row], mode: &str, out_path: &str) {
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"robustness\",\n");
-    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    json.push_str(&format!("  \"seed\": {SEED},\n"));
-    json.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"method\": \"{}\", \"bad_clients\": {}, \"auc\": {}, \"precision_at_k\": {}, \"cells_evaluated\": {}, \"seconds\": {}}}{comma}\n",
-            r.scenario,
-            r.method,
-            r.bad_clients,
-            json_opt(r.auc),
-            json_opt(r.precision),
-            r.cells_evaluated,
-            r.seconds
-        ));
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.str_field("bench", "robustness");
+    w.str_field("mode", mode);
+    w.u64_field("seed", SEED);
+    w.begin_array_field("rows");
+    for r in rows {
+        w.begin_object_compact();
+        w.str_field("scenario", &r.scenario);
+        w.str_field("method", &r.method);
+        w.u64_field("bad_clients", r.bad_clients as u64);
+        w.opt_num_field("auc", r.auc);
+        w.opt_num_field("precision_at_k", r.precision);
+        w.u64_field("cells_evaluated", r.cells_evaluated);
+        w.num_field("seconds", r.seconds);
+        w.end_object();
     }
-    json.push_str("  ]\n}\n");
-    match std::fs::write(out_path, json) {
+    w.end_array();
+    w.end_object();
+    match std::fs::write(out_path, w.finish()) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => eprintln!("\njson write failed: {e}"),
     }

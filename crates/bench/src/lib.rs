@@ -83,13 +83,54 @@
 //!   ]
 //! }
 //! ```
+//!
+//! # `BENCH_service_latency.json` schema
+//!
+//! The `service_load` binary measures multi-tenant probe latency through
+//! `fedval_service`: per scheduling policy it keeps a saturating batch
+//! flood running on an owned two-worker pool, submits a series of small
+//! probe jobs per class, and records submit → terminal latency. It
+//! writes `target/BENCH_service_latency.json` by default; the committed
+//! repo-root `BENCH_service_latency.json` is the reference full run,
+//! refreshed deliberately via `--out BENCH_service_latency.json`. A
+//! `--smoke` run shrinks the probe count and fails (exit ≠ 0) if the
+//! interactive p99 speedup falls below 5×:
+//!
+//! ```json
+//! {
+//!   "bench": "service_latency",
+//!   "mode": "smoke" | "full",
+//!   "pool_threads": 2,
+//!   "probes_per_class": 12,
+//!   "rows": [
+//!     {
+//!       "policy": "fifo" | "fair",
+//!       "class": "interactive" | "batch",
+//!       "p50_ms": 32.8,            // nearest-rank percentiles of
+//!       "p99_ms": 56.0,            // submit → terminal latency
+//!       "mean_ms": 36.8
+//!     }
+//!   ],
+//!   "interactive_p99_speedup": 68.8  // fifo p99 ÷ fair p99, interactive class
+//! }
+//! ```
+//!
+//! Probe results are bit-identical across policies (the scheduler only
+//! reorders work); the related `pool_overhead` binary reports the
+//! scheduler's own cost — queue-wait mean/p99 per policy on an idle
+//! pool — as `target/figures/pool_queue_wait.csv`.
 
 pub mod fairness_trials;
-pub mod jsonscan;
 pub mod profile;
 pub mod report;
 
+/// Flat-JSON field extraction (re-exported from `fedval_jsonio`, which
+/// also serves the `fedval_service` wire format).
+pub use fedval_jsonio::scan as jsonscan;
+/// Layout-controlled JSON writing (re-exported from `fedval_jsonio`).
+pub use fedval_jsonio::write as jsonwrite;
+
 pub use fairness_trials::{run_fairness_trials, FairnessTrialResult};
-pub use jsonscan::{scan_num, scan_str};
+pub use fedval_jsonio::{scan_num, scan_str, JsonWriter};
 pub use profile::{profile, Profile};
 pub use report::{print_series, write_csv};

@@ -1,0 +1,113 @@
+//! Minimal flat-JSON field extraction without a JSON dependency.
+//!
+//! The benchmark binaries write their machine-readable output as one
+//! JSON object per line in a `"rows"` / `"cases"` array; the smoke
+//! modes read the committed copy back to compare against, and the
+//! `fedval_service` HTTP layer pulls fields out of request bodies. The
+//! scanners here extract `"key": value` pairs from such flat text. They
+//! are deliberately not a JSON parser — they assume the object is flat
+//! (no nested objects between the key and its value) and that string
+//! values don't contain escaped quotes, which holds for everything this
+//! workspace reads. Whitespace around the `:` separator is accepted, so
+//! hand-written or foreign wire bodies scan the same as this
+//! workspace's own output.
+
+/// Byte index just past `"key"` + optional whitespace + `:` + optional
+/// whitespace — i.e. the start of the value — or `None` when `text`
+/// has no such key. Occurrences of the quoted key *not* followed by a
+/// colon (e.g. as a string value) are skipped.
+fn value_start(text: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(hit) = text[from..].find(&pat) {
+        let after_key = from + hit + pat.len();
+        let rest = text[after_key..].trim_start();
+        if let Some(rest) = rest.strip_prefix(':') {
+            let value = rest.trim_start();
+            return Some(text.len() - value.len());
+        }
+        from = after_key;
+    }
+    None
+}
+
+/// Extracts the raw string value of `"key": "…"` from flat JSON text.
+///
+/// The returned slice is the text between the quotes, unprocessed: a
+/// value containing escape sequences is returned still-escaped (and a
+/// value containing an escaped quote is truncated at it). Returns
+/// `None` for missing keys and non-string values.
+pub fn scan_str<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let start = value_start(text, key)?;
+    let value = text[start..].strip_prefix('"')?;
+    let end = value.find('"')?;
+    Some(&value[..end])
+}
+
+/// Extracts the numeric value of `"key": 1.25` from flat JSON text.
+/// Returns `None` for missing keys and non-numeric values (including
+/// `null`).
+pub fn scan_num(text: &str, key: &str) -> Option<f64> {
+    let start = value_start(text, key)?;
+    let value = &text[start..];
+    let end = value
+        .find([',', '}', ']', ' ', '\t', '\r', '\n'])
+        .unwrap_or(value.len());
+    value[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROW: &str =
+        "    {\"case\": \"mlp\", \"tier\": \"fast\", \"seconds\": 0.5, \"auc\": null},";
+
+    #[test]
+    fn scans_strings_and_numbers() {
+        assert_eq!(scan_str(ROW, "case"), Some("mlp"));
+        assert_eq!(scan_str(ROW, "tier"), Some("fast"));
+        assert_eq!(scan_num(ROW, "seconds"), Some(0.5));
+    }
+
+    #[test]
+    fn missing_and_null_fields_are_none() {
+        assert_eq!(scan_str(ROW, "absent"), None);
+        assert_eq!(scan_num(ROW, "absent"), None);
+        assert_eq!(scan_num(ROW, "auc"), None, "null is not a number");
+    }
+
+    #[test]
+    fn last_field_terminated_by_brace() {
+        assert_eq!(scan_num("{\"x\": 2}", "x"), Some(2.0));
+    }
+
+    #[test]
+    fn whitespace_around_separator_is_tolerated() {
+        let body = "{ \"method\" :\"comfedsv\" ,\n  \"seed\"\t: 42 ,\n  \"lr\":0.25 }";
+        assert_eq!(scan_str(body, "method"), Some("comfedsv"));
+        assert_eq!(scan_num(body, "seed"), Some(42.0));
+        assert_eq!(scan_num(body, "lr"), Some(0.25));
+    }
+
+    #[test]
+    fn key_as_a_string_value_is_not_matched() {
+        // "tier" appears first as the *value* of "kind"; the scanner
+        // must skip it and find the real key.
+        let body = "{\"kind\": \"tier\", \"tier\": \"fast\"}";
+        assert_eq!(scan_str(body, "tier"), Some("fast"));
+    }
+
+    #[test]
+    fn numbers_terminated_by_whitespace_or_bracket() {
+        assert_eq!(scan_num("{\"x\": 7 }", "x"), Some(7.0));
+        assert_eq!(scan_num("[{\"x\": -1.5e3}]", "x"), Some(-1500.0));
+        assert_eq!(scan_num("{\"x\": 3\n}", "x"), Some(3.0));
+    }
+
+    #[test]
+    fn string_value_is_not_a_number() {
+        assert_eq!(scan_num("{\"x\": \"12\"}", "x"), None);
+        assert_eq!(scan_str("{\"x\": 12}", "x"), None);
+    }
+}

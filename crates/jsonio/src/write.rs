@@ -1,0 +1,472 @@
+//! Layout-controlled JSON writing without a JSON dependency.
+//!
+//! [`JsonWriter`] builds syntactically valid JSON while giving the
+//! caller explicit control over layout, because the committed
+//! `BENCH_*.json` baselines have a deliberate shape: pretty (one entry
+//! per line, two-space indent) top-level containers so diffs review
+//! well, with *compact* one-line objects as array rows so the smoke
+//! modes can scan them back line-by-line with
+//! [`scan`](crate::scan). The `fedval_service` wire format uses the
+//! same compact objects as whole message bodies.
+//!
+//! Two invariants the writer enforces that the hand-rolled
+//! `push_str(format!(…))` code it replaces did not:
+//!
+//! * string values are escaped ([`escape_into`]), so arbitrary text
+//!   (panic messages, client-supplied names) cannot corrupt the output;
+//! * non-finite floats become `null` instead of the invalid bare
+//!   tokens `NaN` / `inf`.
+
+/// Appends `s` to `out` with JSON string escaping (`"`, `\`, and
+/// control characters; no quotes are added).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The JSON-escaped form of `s` (no surrounding quotes).
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Whether a container lays its entries out one-per-line (pretty) or
+/// inline (compact).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    Pretty,
+    Compact,
+}
+
+struct Frame {
+    layout: Layout,
+    /// Closing delimiter: `}` or `]`.
+    close: char,
+    entries: usize,
+}
+
+/// An append-only JSON builder with explicit layout control.
+///
+/// Containers are opened pretty ([`JsonWriter::begin_object`],
+/// [`JsonWriter::begin_array`]) or compact
+/// ([`JsonWriter::begin_object_compact`]); pretty containers put each
+/// entry on its own line indented two spaces per depth, compact ones
+/// separate entries with `", "` on one line. A compact container nested
+/// in a pretty array renders as one row line — the committed-baseline
+/// format. Keys are given via the `*_field` methods inside objects;
+/// bare value methods append array elements.
+///
+/// ```
+/// use fedval_jsonio::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.str_field("bench", "demo");
+/// w.begin_array_field("rows");
+/// for i in 0..2 {
+///     w.begin_object_compact();
+///     w.u64_field("row", i);
+///     w.end_object();
+/// }
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(
+///     w.finish(),
+///     "{\n  \"bench\": \"demo\",\n  \"rows\": [\n    {\"row\": 0},\n    {\"row\": 1}\n  ]\n}\n"
+/// );
+/// ```
+#[derive(Default)]
+pub struct JsonWriter {
+    buf: String,
+    stack: Vec<Frame>,
+}
+
+impl JsonWriter {
+    /// An empty writer; open a top-level container next.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Starts the next entry: separator from the previous sibling plus,
+    /// in pretty containers, a fresh indented line.
+    fn prepare_entry(&mut self) {
+        let depth = self.stack.len();
+        if let Some(frame) = self.stack.last_mut() {
+            let first = frame.entries == 0;
+            frame.entries += 1;
+            match frame.layout {
+                Layout::Compact => {
+                    if !first {
+                        self.buf.push_str(", ");
+                    }
+                }
+                Layout::Pretty => {
+                    if !first {
+                        self.buf.push(',');
+                    }
+                    self.buf.push('\n');
+                    for _ in 0..depth {
+                        self.buf.push_str("  ");
+                    }
+                }
+            }
+        }
+    }
+
+    fn open(&mut self, open: char, close: char, layout: Layout) {
+        self.prepare_entry();
+        self.buf.push(open);
+        self.stack.push(Frame {
+            layout,
+            close,
+            entries: 0,
+        });
+    }
+
+    fn close(&mut self, expect: char) {
+        let frame = self.stack.pop().expect("close without matching open");
+        assert_eq!(frame.close, expect, "mismatched container close");
+        if frame.layout == Layout::Pretty && frame.entries > 0 {
+            self.buf.push('\n');
+            for _ in 0..self.stack.len() {
+                self.buf.push_str("  ");
+            }
+        }
+        self.buf.push(frame.close);
+    }
+
+    /// Writes `"key": ` as the start of a new entry; the caller appends
+    /// the value directly (never via `prepare_entry`, which would
+    /// separate key from value).
+    fn key(&mut self, key: &str) {
+        self.prepare_entry();
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\": ");
+    }
+
+    /// Appends pre-rendered JSON (already valid, already escaped) as
+    /// the value following a key written by `key()`.
+    fn push_raw(&mut self, raw: &str) {
+        self.buf.push_str(raw);
+    }
+
+    // --- containers ---
+
+    /// Opens a pretty `{` (top level or array element).
+    pub fn begin_object(&mut self) {
+        self.open('{', '}', Layout::Pretty);
+    }
+
+    /// Opens a compact one-line `{` (row / wire-body format).
+    pub fn begin_object_compact(&mut self) {
+        self.open('{', '}', Layout::Compact);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.close('}');
+    }
+
+    /// Opens a pretty `[` (top level or array element).
+    pub fn begin_array(&mut self) {
+        self.open('[', ']', Layout::Pretty);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.close(']');
+    }
+
+    /// Opens `"key": [` (pretty) inside an object.
+    pub fn begin_array_field(&mut self, key: &str) {
+        self.key(key);
+        self.buf.push('[');
+        self.stack.push(Frame {
+            layout: Layout::Pretty,
+            close: ']',
+            entries: 0,
+        });
+    }
+
+    /// Opens `"key": {` (pretty) inside an object.
+    pub fn begin_object_field(&mut self, key: &str) {
+        self.key(key);
+        self.buf.push('{');
+        self.stack.push(Frame {
+            layout: Layout::Pretty,
+            close: '}',
+            entries: 0,
+        });
+    }
+
+    /// Opens `"key": {` compact (inline map like `"speedup": {…}`)
+    /// inside an object.
+    pub fn begin_object_field_compact(&mut self, key: &str) {
+        self.key(key);
+        self.buf.push('{');
+        self.stack.push(Frame {
+            layout: Layout::Compact,
+            close: '}',
+            entries: 0,
+        });
+    }
+
+    /// Opens `"key": [` compact (inline list like `"values": [1, 2]`)
+    /// inside an object.
+    pub fn begin_array_field_compact(&mut self, key: &str) {
+        self.key(key);
+        self.buf.push('[');
+        self.stack.push(Frame {
+            layout: Layout::Compact,
+            close: ']',
+            entries: 0,
+        });
+    }
+
+    // --- object fields ---
+
+    /// `"key": "value"` with escaping.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+    }
+
+    /// `"key": 1.25` (shortest round-trip float; non-finite → `null`).
+    pub fn num_field(&mut self, key: &str, value: f64) {
+        self.key(key);
+        let rendered = Self::render_num(value);
+        self.push_raw(&rendered);
+    }
+
+    /// `"key": 42` (unsigned integer, exact).
+    pub fn u64_field(&mut self, key: &str, value: u64) {
+        self.key(key);
+        let rendered = value.to_string();
+        self.push_raw(&rendered);
+    }
+
+    /// `"key": value` or `"key": null`.
+    pub fn opt_num_field(&mut self, key: &str, value: Option<f64>) {
+        self.key(key);
+        let rendered = match value {
+            Some(v) => Self::render_num(v),
+            None => "null".to_string(),
+        };
+        self.push_raw(&rendered);
+    }
+
+    /// `"key": true` / `"key": false`.
+    pub fn bool_field(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.push_raw(if value { "true" } else { "false" });
+    }
+
+    /// `"key": null`.
+    pub fn null_field(&mut self, key: &str) {
+        self.key(key);
+        self.push_raw("null");
+    }
+
+    // --- array elements ---
+
+    /// A string element with escaping.
+    pub fn str_elem(&mut self, value: &str) {
+        self.prepare_entry();
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+    }
+
+    /// A numeric element (non-finite → `null`).
+    pub fn num_elem(&mut self, value: f64) {
+        self.prepare_entry();
+        let rendered = Self::render_num(value);
+        self.buf.push_str(&rendered);
+    }
+
+    fn render_num(value: f64) -> String {
+        if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// The finished document with a trailing newline. Panics if any
+    /// container is still open.
+    pub fn finish(mut self) -> String {
+        assert!(
+            self.stack.is_empty(),
+            "finish() with {} unclosed container(s)",
+            self.stack.len()
+        );
+        self.buf.push('\n');
+        self.buf
+    }
+
+    /// The finished document without a trailing newline (wire bodies).
+    pub fn finish_inline(self) -> String {
+        assert!(
+            self.stack.is_empty(),
+            "finish_inline() with {} unclosed container(s)",
+            self.stack.len()
+        );
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{scan_num, scan_str};
+
+    #[test]
+    fn committed_baseline_shape_is_reproduced() {
+        // The exact byte layout the bench binaries committed before the
+        // writer existed: pretty top level, compact row lines, inline
+        // compact maps.
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.str_field("bench", "cell_throughput");
+        w.str_field("mode", "smoke");
+        w.u64_field("pool_threads", 1);
+        w.begin_array_field("cases");
+        for (case, secs) in [("mlp", 0.5), ("cnn", 1.25)] {
+            w.begin_object_compact();
+            w.str_field("case", case);
+            w.num_field("seconds", secs);
+            w.end_object();
+        }
+        w.end_array();
+        w.begin_object_field_compact("speedup");
+        w.num_field("mlp", 2.0);
+        w.num_field("cnn", 3.5);
+        w.end_object();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\n  \"bench\": \"cell_throughput\",\n  \"mode\": \"smoke\",\n  \
+             \"pool_threads\": 1,\n  \"cases\": [\n    \
+             {\"case\": \"mlp\", \"seconds\": 0.5},\n    \
+             {\"case\": \"cnn\", \"seconds\": 1.25}\n  ],\n  \
+             \"speedup\": {\"mlp\": 2, \"cnn\": 3.5}\n}\n"
+        );
+    }
+
+    #[test]
+    fn output_scans_back() {
+        let mut w = JsonWriter::new();
+        w.begin_object_compact();
+        w.str_field("method", "comfedsv");
+        w.num_field("seed", 42.0);
+        w.opt_num_field("auc", None);
+        w.end_object();
+        let body = w.finish_inline();
+        assert_eq!(scan_str(&body, "method"), Some("comfedsv"));
+        assert_eq!(scan_num(&body, "seed"), Some(42.0));
+        assert_eq!(scan_num(&body, "auc"), None);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object_compact();
+        w.str_field("error", "bad \"quote\"\\path\nline2\u{1}");
+        w.end_object();
+        assert_eq!(
+            w.finish_inline(),
+            "{\"error\": \"bad \\\"quote\\\"\\\\path\\nline2\\u0001\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_object_compact();
+        w.num_field("nan", f64::NAN);
+        w.num_field("inf", f64::INFINITY);
+        w.num_field("ok", 1.0);
+        w.end_object();
+        assert_eq!(
+            w.finish_inline(),
+            "{\"nan\": null, \"inf\": null, \"ok\": 1}"
+        );
+    }
+
+    #[test]
+    fn arrays_of_scalars() {
+        let mut w = JsonWriter::new();
+        w.begin_object_compact();
+        w.begin_array_field("values");
+        w.num_elem(1.5);
+        w.num_elem(-2.0);
+        w.end_array();
+        w.end_object();
+        // A pretty array nested in a compact object still lays its
+        // elements out one per line — callers wanting fully inline
+        // output keep scalars in compact objects instead.
+        let out = w.finish_inline();
+        assert!(out.starts_with("{\"values\": ["));
+        assert!(out.contains("1.5"));
+        assert!(out.contains("-2"));
+    }
+
+    #[test]
+    fn compact_array_field_stays_inline() {
+        let mut w = JsonWriter::new();
+        w.begin_object_compact();
+        w.begin_array_field_compact("values");
+        w.num_elem(1.5);
+        w.num_elem(-2.0);
+        w.str_elem("x");
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish_inline(), "{\"values\": [1.5, -2, \"x\"]}");
+    }
+
+    #[test]
+    fn pretty_empty_containers_close_inline() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.begin_array_field("rows");
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), "{\n  \"rows\": []\n}\n");
+    }
+
+    #[test]
+    fn bool_and_null_fields() {
+        let mut w = JsonWriter::new();
+        w.begin_object_compact();
+        w.bool_field("done", true);
+        w.bool_field("cancelled", false);
+        w.null_field("report");
+        w.end_object();
+        assert_eq!(
+            w.finish_inline(),
+            "{\"done\": true, \"cancelled\": false, \"report\": null}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_rejects_unclosed_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        let _ = w.finish();
+    }
+}

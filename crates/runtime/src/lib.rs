@@ -35,9 +35,25 @@
 //! must not depend on execution order; under that contract, results are
 //! bit-identical across pool sizes, which the consuming crates assert in
 //! their tests.
+//!
+//! # Multi-tenant scheduling
+//!
+//! When several tenants share one pool (the `fedval_service` job
+//! manager), submissions are tagged with a [`JobClass`] — set for a
+//! region of code with [`with_job_class`] and inherited by everything
+//! spawned inside it, including nested scopes started from within pool
+//! jobs. Under the default [`SchedPolicy::FairShare`] policy the queue
+//! keeps one FIFO per *(class, scope)* and drains classes by weighted
+//! round-robin (interactive : batch = 4 : 1), rotating between tenants
+//! of equal class, while helping threads prefer their own scope's jobs.
+//! `FEDVAL_SCHED=fifo` restores the original single strict-FIFO queue
+//! as a measurable baseline. Because of the determinism contract the
+//! policy affects latency only, never results.
 
 pub mod cancel;
+pub mod class;
 pub mod pool;
 
 pub use cancel::{CancelToken, Cancelled};
+pub use class::{current_job_class, with_job_class, JobClass, SchedPolicy};
 pub use pool::{Pool, PoolHandle, Scope};

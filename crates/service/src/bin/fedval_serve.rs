@@ -1,0 +1,42 @@
+//! `fedval_serve`: the valuation service binary.
+//!
+//! ```text
+//! fedval_serve [--addr 127.0.0.1:7878]
+//! ```
+//!
+//! Serves the job API (see `fedval_service`'s crate docs for the routes
+//! and a curl walkthrough) on the global worker pool. Pool width and
+//! scheduling policy come from the usual environment knobs:
+//! `FEDVAL_THREADS` (width) and `FEDVAL_SCHED` (`fair` / `fifo`).
+
+use fedval_service::http::Server;
+use fedval_service::job::JobManager;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: fedval_serve [--addr HOST:PORT]");
+        return;
+    }
+    let manager = JobManager::new();
+    let server = match Server::bind(&addr, manager) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fedval_serve listening on {} ({} methods, {} scenarios)",
+        server.local_addr(),
+        JobManager::method_names().len(),
+        JobManager::scenario_names().len()
+    );
+    server.run();
+}

@@ -1,0 +1,730 @@
+//! The job layer: specs, lifecycle state, and the [`JobManager`] that
+//! multiplexes concurrent valuation jobs onto one worker pool.
+//!
+//! Each submitted [`JobSpec`] becomes a [`Job`] running on its own
+//! manager thread: the thread materializes the scenario world, trains
+//! the federated trace, and drives a [`ValuationSession`] against a
+//! per-job [`UtilityOracle`](fedval_fl::UtilityOracle) — so jobs share
+//! *compute* (the pool) but never state (each job has its own oracle
+//! cache, its own RNG seeding, its own cancel token). The whole run is
+//! wrapped in [`with_job_class`], so every pool submission the
+//! valuation stack makes — oracle batches, completion solves, nested
+//! training scopes — inherits the job's priority class and lands in
+//! that class's queues under fair-share scheduling.
+//!
+//! Because work placement never affects results (the `fedval_runtime`
+//! determinism contract), a job's report is bit-identical whether it
+//! ran alone or interleaved with any number of concurrent jobs — the
+//! service's core correctness property, asserted in this crate's
+//! `concurrency` test.
+
+use comfedsv::experiments::Scenario;
+use fedval_fl::ClientBehavior;
+use fedval_linalg::DeterminismTier;
+use fedval_runtime::{with_job_class, CancelToken, JobClass, PoolHandle};
+use fedval_shapley::{ValuationError, ValuationReport, ValuationSession};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What to value and how, as submitted by a client.
+///
+/// `method` keys the [`ValuationSession`] registry; `scenario` keys
+/// [`Scenario::catalog`]. The optional overrides reshape the scenario's
+/// world (clients, data sizes, training length) without defining new
+/// scenarios; method hyper-parameters mirror the session builder's.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Registry key: "exact", "fedsv", "comfedsv", "tmc", ….
+    pub method: String,
+    /// Catalog scenario the world is built from.
+    pub scenario: String,
+    /// Seed for world generation, training, and valuation.
+    pub seed: u64,
+    /// Numeric tier override (`None`: the oracle's default tier).
+    pub tier: Option<DeterminismTier>,
+    /// Scheduling class of every pool submission this job makes.
+    pub class: JobClass,
+    /// Completion rank for the ComFedSV methods.
+    pub rank: usize,
+    /// Permutation budget for "comfedsv-mc" and "tmc".
+    pub permutations: usize,
+    /// Coalition-sample budget for "group-testing".
+    pub samples: usize,
+    /// Override: number of clients in the world.
+    pub num_clients: Option<usize>,
+    /// Override: training examples per client.
+    pub samples_per_client: Option<usize>,
+    /// Override: FedAvg rounds.
+    pub rounds: Option<usize>,
+    /// Override: clients selected per round.
+    pub clients_per_round: Option<usize>,
+}
+
+impl JobSpec {
+    /// A spec for `method` with the service defaults: "iid_baseline",
+    /// seed 0, batch class, rank 4, 80 permutations, 200 samples, no
+    /// world overrides.
+    pub fn new(method: impl Into<String>) -> Self {
+        JobSpec {
+            method: method.into(),
+            scenario: "iid_baseline".into(),
+            seed: 0,
+            tier: None,
+            class: JobClass::Batch,
+            rank: 4,
+            permutations: 80,
+            samples: 200,
+            num_clients: None,
+            samples_per_client: None,
+            rounds: None,
+            clients_per_round: None,
+        }
+    }
+
+    /// The scenario with this spec's world overrides applied, or `None`
+    /// for an unknown scenario name. Behavior vectors are resized along
+    /// with `num_clients` (added clients are honest), and
+    /// `clients_per_round` is clamped to the client count.
+    pub fn resolve_scenario(&self) -> Option<Scenario> {
+        let mut scenario = Scenario::by_name(&self.scenario)?;
+        if let Some(n) = self.num_clients {
+            scenario.num_clients = n;
+            scenario.behaviors.resize(n, ClientBehavior::Honest);
+        }
+        if let Some(n) = self.samples_per_client {
+            scenario.samples_per_client = n;
+        }
+        if let Some(n) = self.rounds {
+            scenario.rounds = n;
+        }
+        if let Some(n) = self.clients_per_round {
+            scenario.clients_per_round = n;
+        }
+        scenario.clients_per_round = scenario.clients_per_round.min(scenario.num_clients).max(1);
+        Some(scenario)
+    }
+}
+
+/// Lifecycle of a [`Job`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted; the job thread has not started valuing yet.
+    Queued,
+    /// World building, training, or valuation in progress.
+    Running,
+    /// Finished with a report.
+    Done,
+    /// Stopped by [`JobManager::cancel`] (or a pre-cancelled token).
+    Cancelled,
+    /// Finished with an error (bad method for the oracle, panic, …).
+    Failed,
+}
+
+impl JobStatus {
+    /// Stable lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Whether the job has stopped (successfully or not).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Cancelled | JobStatus::Failed
+        )
+    }
+}
+
+/// Mutable run state guarded by the job's mutex.
+struct JobState {
+    status: JobStatus,
+    report: Option<ValuationReport>,
+    error: Option<String>,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+}
+
+/// Append-only log of line-delimited JSON event strings, with a
+/// condition variable so streamers can block for new entries.
+struct EventLog {
+    entries: Mutex<Vec<String>>,
+    appended: Condvar,
+}
+
+impl EventLog {
+    fn push(&self, line: String) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.push(line);
+        drop(entries);
+        self.appended.notify_all();
+    }
+}
+
+/// One submitted valuation job. Obtained from [`JobManager::submit`] /
+/// [`JobManager::get`]; shared between the job thread, the HTTP layer,
+/// and event streamers.
+pub struct Job {
+    id: u64,
+    spec: JobSpec,
+    cancel: CancelToken,
+    submitted: Instant,
+    state: Mutex<JobState>,
+    state_changed: Condvar,
+    events: EventLog,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.id)
+            .field("method", &self.spec.method)
+            .field("status", &self.status())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Job {
+    /// The manager-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The spec this job was submitted with.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> JobStatus {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).status
+    }
+
+    /// The finished report, when [`JobStatus::Done`].
+    pub fn report(&self) -> Option<ValuationReport> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .report
+            .clone()
+    }
+
+    /// The failure message, when [`JobStatus::Failed`].
+    pub fn error(&self) -> Option<String> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .error
+            .clone()
+    }
+
+    /// Milliseconds from submission until the job thread started
+    /// valuing (so far, if still queued).
+    pub fn queued_ms(&self) -> f64 {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let end = state.started.unwrap_or_else(Instant::now);
+        end.duration_since(self.submitted).as_secs_f64() * 1e3
+    }
+
+    /// Milliseconds the job has been (or was) running; 0 while queued.
+    pub fn run_ms(&self) -> f64 {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match state.started {
+            Some(started) => {
+                let end = state.finished.unwrap_or_else(Instant::now);
+                end.duration_since(started).as_secs_f64() * 1e3
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Milliseconds from submission to completion (so far, if not
+    /// terminal) — the end-to-end latency the service benchmark reports.
+    pub fn total_ms(&self) -> f64 {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let end = state.finished.unwrap_or_else(Instant::now);
+        end.duration_since(self.submitted).as_secs_f64() * 1e3
+    }
+
+    /// Cancels the job: the in-flight valuation stops at its next
+    /// permutation/sweep/batch boundary. (Training is not yet
+    /// cancellable; a cancel during training takes effect at the
+    /// pre-valuation check.)
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+        self.events.push(format!(
+            "{{\"job\": {}, \"stage\": \"cancel_requested\"}}",
+            self.id
+        ));
+    }
+
+    /// Blocks until the job is terminal, returning the final status.
+    pub fn wait(&self) -> JobStatus {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !state.status.is_terminal() {
+            state = self
+                .state_changed
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        state.status
+    }
+
+    /// Event lines from index `from` onward, plus whether more may
+    /// still arrive (`false` once the job is terminal and the log is
+    /// fully drained). Blocks up to `timeout` waiting for news when
+    /// nothing is pending.
+    pub fn events_since(&self, from: usize, timeout: Duration) -> (Vec<String>, bool) {
+        let mut entries = self
+            .events
+            .entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if entries.len() <= from && !self.status().is_terminal() {
+            let (guard, _) = self
+                .events
+                .appended
+                .wait_timeout(entries, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            entries = guard;
+        }
+        let fresh: Vec<String> = entries[from.min(entries.len())..].to_vec();
+        let drained_len = entries.len();
+        drop(entries);
+        // More events can only arrive while the job is live; if it went
+        // terminal we must re-check the log *after* reading status so a
+        // terminal event pushed between our snapshot and the status
+        // read is not lost.
+        let live = !self.status().is_terminal();
+        let more = live || {
+            let entries = self
+                .events
+                .entries
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            entries.len() > drained_len
+        };
+        (fresh, more)
+    }
+
+    fn set_status(&self, status: JobStatus) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.status = status;
+        match status {
+            JobStatus::Running => state.started = Some(Instant::now()),
+            s if s.is_terminal() => state.finished = Some(Instant::now()),
+            _ => {}
+        }
+        drop(state);
+        self.state_changed.notify_all();
+    }
+
+    fn finish(&self, outcome: Result<ValuationReport, String>, cancelled: bool) {
+        let status = if cancelled {
+            JobStatus::Cancelled
+        } else if outcome.is_ok() {
+            JobStatus::Done
+        } else {
+            JobStatus::Failed
+        };
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            match outcome {
+                Ok(report) => state.report = Some(report),
+                Err(message) => state.error = Some(message),
+            }
+        }
+        self.events.push(format!(
+            "{{\"job\": {}, \"stage\": \"{}\"}}",
+            self.id,
+            status.name()
+        ));
+        self.set_status(status);
+    }
+}
+
+/// Errors [`JobManager::submit`] reports without creating a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `method` is not in the session registry.
+    UnknownMethod(String),
+    /// `scenario` is not in the catalog.
+    UnknownScenario(String),
+    /// The manager is at its concurrent-job capacity.
+    AtCapacity(usize),
+    /// A structurally invalid spec (zero clients, …).
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownMethod(m) => write!(f, "unknown method {m:?}"),
+            SubmitError::UnknownScenario(s) => write!(f, "unknown scenario {s:?}"),
+            SubmitError::AtCapacity(n) => write!(f, "at capacity ({n} active jobs)"),
+            SubmitError::InvalidSpec(msg) => write!(f, "invalid spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct ManagerInner {
+    pool: PoolHandle,
+    /// Oracle parallelism per job (`None`: `max(2, pool width)` so even
+    /// a 1-core host fans cells out into schedulable chunks instead of
+    /// taking the oracle's inline path).
+    parallelism: Option<usize>,
+    max_active: usize,
+    active: AtomicUsize,
+    next_id: AtomicU64,
+    jobs: Mutex<Vec<Arc<Job>>>,
+}
+
+/// Multiplexes concurrent valuation jobs onto one worker pool.
+///
+/// Each job runs on its own thread with an isolated oracle; the shared
+/// pool's fair-share scheduler arbitrates compute between job classes.
+/// The manager retains every job (there is no eviction yet — the
+/// roadmap's persistent cell cache will revisit retention), so status
+/// and reports stay queryable after completion.
+#[derive(Clone)]
+pub struct JobManager {
+    inner: Arc<ManagerInner>,
+}
+
+impl Default for JobManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobManager {
+    /// Default capacity for concurrently active jobs.
+    pub const DEFAULT_MAX_ACTIVE: usize = 32;
+
+    /// A manager submitting to [`Pool::global`](fedval_runtime::Pool::global).
+    pub fn new() -> Self {
+        Self::with_pool(PoolHandle::Global)
+    }
+
+    /// A manager submitting to `pool` (benchmarks pin owned pools with
+    /// a chosen [`SchedPolicy`](fedval_runtime::SchedPolicy)).
+    pub fn with_pool(pool: PoolHandle) -> Self {
+        JobManager {
+            inner: Arc::new(ManagerInner {
+                pool,
+                parallelism: None,
+                max_active: Self::DEFAULT_MAX_ACTIVE,
+                active: AtomicUsize::new(0),
+                next_id: AtomicU64::new(1),
+                jobs: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The registry method keys jobs may request.
+    pub fn method_names() -> Vec<String> {
+        ValuationSession::builder().build().method_names()
+    }
+
+    /// The catalog scenario names jobs may request.
+    pub fn scenario_names() -> Vec<String> {
+        Scenario::catalog()
+            .into_iter()
+            .map(|s| s.name.to_string())
+            .collect()
+    }
+
+    /// The pool this manager's jobs submit to.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.inner.pool
+    }
+
+    /// Number of jobs currently queued or running.
+    pub fn active_jobs(&self) -> usize {
+        self.inner.active.load(Ordering::Acquire)
+    }
+
+    /// Validates `spec`, spawns its job thread, and returns the job
+    /// handle. The call returns as soon as the job is accepted; poll
+    /// [`Job::status`] / block on [`Job::wait`] for completion.
+    pub fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, SubmitError> {
+        if !Self::method_names().contains(&spec.method) {
+            return Err(SubmitError::UnknownMethod(spec.method));
+        }
+        let scenario = spec
+            .resolve_scenario()
+            .ok_or_else(|| SubmitError::UnknownScenario(spec.scenario.clone()))?;
+        if scenario.num_clients == 0 {
+            return Err(SubmitError::InvalidSpec("num_clients must be > 0".into()));
+        }
+        if scenario.samples_per_client == 0 {
+            return Err(SubmitError::InvalidSpec(
+                "samples_per_client must be > 0".into(),
+            ));
+        }
+        if scenario.rounds == 0 {
+            return Err(SubmitError::InvalidSpec("rounds must be > 0".into()));
+        }
+        // Reserve an active slot before spawning; releases at job end.
+        let active = self.inner.active.fetch_add(1, Ordering::AcqRel);
+        if active >= self.inner.max_active {
+            self.inner.active.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::AtCapacity(self.inner.max_active));
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(Job {
+            id,
+            spec,
+            cancel: CancelToken::new(),
+            submitted: Instant::now(),
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                report: None,
+                error: None,
+                started: None,
+                finished: None,
+            }),
+            state_changed: Condvar::new(),
+            events: EventLog {
+                entries: Mutex::new(Vec::new()),
+                appended: Condvar::new(),
+            },
+        });
+        self.inner
+            .jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&job));
+        job.events.push(format!(
+            "{{\"job\": {id}, \"stage\": \"submitted\", \"method\": \"{}\", \"scenario\": \"{}\", \"class\": \"{}\"}}",
+            fedval_jsonio::escaped(&job.spec.method),
+            fedval_jsonio::escaped(&job.spec.scenario),
+            job.spec.class
+        ));
+        let inner = Arc::clone(&self.inner);
+        let thread_job = Arc::clone(&job);
+        std::thread::Builder::new()
+            .name(format!("fedval-job-{id}"))
+            .spawn(move || {
+                run_job(&inner, &thread_job, scenario);
+                inner.active.fetch_sub(1, Ordering::AcqRel);
+            })
+            .expect("spawn job thread");
+        Ok(job)
+    }
+
+    /// The job with this id, if it exists.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.inner
+            .jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    /// Cancels the job with this id; returns its handle, or `None` for
+    /// an unknown id. Cancelling a terminal job is a no-op.
+    pub fn cancel(&self, id: u64) -> Option<Arc<Job>> {
+        let job = self.get(id)?;
+        if !job.status().is_terminal() {
+            job.cancel();
+        }
+        Some(job)
+    }
+}
+
+/// The job thread body: world → trace → oracle → session → report,
+/// entirely under the job's class tag.
+fn run_job(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        with_job_class(job.spec.class, || run_job_inner(inner, job, scenario))
+    }));
+    match outcome {
+        Ok(()) => {}
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".into());
+            job.finish(Err(format!("panic: {message}")), false);
+        }
+    }
+}
+
+fn run_job_inner(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
+    job.set_status(JobStatus::Running);
+    let spec = &job.spec;
+    if job.cancel.is_cancelled() {
+        job.finish(Err("cancelled before start".into()), true);
+        return;
+    }
+    job.events.push(format!(
+        "{{\"job\": {}, \"stage\": \"build_world\", \"clients\": {}}}",
+        job.id, scenario.num_clients
+    ));
+    let world = scenario.build(spec.seed);
+    job.events.push(format!(
+        "{{\"job\": {}, \"stage\": \"train\", \"rounds\": {}}}",
+        job.id, scenario.rounds
+    ));
+    let trace = world.train(&scenario.fl_config(spec.seed));
+    if job.cancel.is_cancelled() {
+        job.finish(Err("cancelled during training".into()), true);
+        return;
+    }
+    let mut oracle = world.oracle(&trace);
+    oracle.set_pool(inner.pool.clone());
+    // Fan cells out into schedulable chunks even on narrow pools: at
+    // parallelism 1 the oracle takes a fully-inline path that the
+    // fair-share scheduler never sees.
+    oracle.set_parallelism(
+        inner
+            .parallelism
+            .unwrap_or_else(|| inner.pool.threads().max(2)),
+    );
+    let progress_job = Arc::clone(job);
+    let mut builder = ValuationSession::builder()
+        .rank(spec.rank)
+        .permutations(spec.permutations)
+        .samples(spec.samples)
+        .seed(spec.seed)
+        .cancel_token(job.cancel.clone())
+        .progress(move |event| {
+            progress_job
+                .events
+                .push(crate::wire::render_progress(progress_job.id, &event));
+        });
+    if let Some(tier) = spec.tier {
+        builder = builder.tier(tier);
+    }
+    let mut session = builder.build();
+    match session.run(&spec.method, &oracle) {
+        Ok(report) => job.finish(Ok(report), false),
+        Err(ValuationError::Cancelled) => job.finish(Err("cancelled".into()), true),
+        Err(e) => job.finish(Err(e.to_string()), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(method: &str) -> JobSpec {
+        let mut spec = JobSpec::new(method);
+        spec.num_clients = Some(5);
+        spec.samples_per_client = Some(12);
+        spec.rounds = Some(3);
+        spec.clients_per_round = Some(3);
+        spec.seed = 11;
+        spec
+    }
+
+    #[test]
+    fn submit_runs_a_job_to_done() {
+        let manager = JobManager::new();
+        let job = manager.submit(tiny_spec("fedsv")).unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        let report = job.report().expect("report");
+        assert_eq!(report.values.len(), 5);
+        assert!(report.values.iter().all(|v| v.is_finite()));
+        assert!(job.queued_ms() >= 0.0);
+        assert!(job.run_ms() > 0.0);
+        // Lifecycle events bracket the run.
+        let (events, more) = job.events_since(0, Duration::from_millis(10));
+        assert!(!more, "terminal job with drained log");
+        assert!(events.first().unwrap().contains("\"submitted\""));
+        assert!(events.last().unwrap().contains("\"done\""));
+    }
+
+    #[test]
+    fn unknown_method_and_scenario_are_rejected() {
+        let manager = JobManager::new();
+        assert_eq!(
+            manager.submit(JobSpec::new("nope")).unwrap_err(),
+            SubmitError::UnknownMethod("nope".into())
+        );
+        let mut spec = JobSpec::new("fedsv");
+        spec.scenario = "mars".into();
+        assert_eq!(
+            manager.submit(spec).unwrap_err(),
+            SubmitError::UnknownScenario("mars".into())
+        );
+        let mut spec = JobSpec::new("fedsv");
+        spec.num_clients = Some(0);
+        assert!(matches!(
+            manager.submit(spec).unwrap_err(),
+            SubmitError::InvalidSpec(_)
+        ));
+    }
+
+    #[test]
+    fn cancel_stops_a_long_job() {
+        let manager = JobManager::new();
+        let mut spec = tiny_spec("tmc");
+        spec.permutations = 500_000;
+        let job = manager.submit(spec).unwrap();
+        // Let it get into the permutation walk, then cancel.
+        while job.status() == JobStatus::Queued {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        manager.cancel(job.id()).unwrap();
+        assert_eq!(job.wait(), JobStatus::Cancelled);
+        assert!(job.report().is_none());
+    }
+
+    #[test]
+    fn jobs_remain_queryable_after_completion() {
+        let manager = JobManager::new();
+        let job = manager.submit(tiny_spec("fedsv")).unwrap();
+        let id = job.id();
+        job.wait();
+        let fetched = manager.get(id).expect("retained job");
+        assert_eq!(fetched.status(), JobStatus::Done);
+        assert!(manager.get(id + 999).is_none());
+        // The active count drops just *after* the job turns terminal
+        // (the job thread decrements on exit); give it a beat.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while manager.active_jobs() != 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(manager.active_jobs(), 0);
+    }
+
+    #[test]
+    fn failed_methods_surface_as_failed_jobs() {
+        let manager = JobManager::new();
+        // "exact" refuses large worlds: 2^20 subsets is beyond its
+        // enumeration gate, which must surface as Failed, not a hang.
+        let mut spec = tiny_spec("exact");
+        spec.num_clients = Some(20);
+        let job = manager.submit(spec).unwrap();
+        assert_eq!(job.wait(), JobStatus::Failed);
+        assert!(job.error().is_some());
+    }
+
+    #[test]
+    fn resolve_scenario_applies_overrides() {
+        let mut spec = JobSpec::new("fedsv");
+        spec.scenario = "free_riders".into();
+        spec.num_clients = Some(12);
+        spec.clients_per_round = Some(50);
+        let s = spec.resolve_scenario().unwrap();
+        assert_eq!(s.num_clients, 12);
+        assert_eq!(s.behaviors.len(), 12);
+        assert_eq!(s.clients_per_round, 12, "clamped to the client count");
+        // The original free riders kept their behaviors.
+        assert_eq!(s.num_bad(), 2);
+    }
+}

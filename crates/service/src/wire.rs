@@ -1,0 +1,317 @@
+//! Wire formats: parsing [`JobSpec`] request bodies and rendering job
+//! status, reports, and progress events as JSON.
+//!
+//! Everything here rides on `fedval_jsonio` — the same flat scanner and
+//! writer the benchmark binaries use — so the service adds no JSON
+//! dependency and its output style (compact rows, `": "` separators)
+//! matches the committed `BENCH_*.json` artifacts.
+
+use crate::job::{Job, JobSpec, JobStatus};
+use fedval_jsonio::{escaped, scan_num, scan_str, JsonWriter};
+use fedval_linalg::DeterminismTier;
+use fedval_runtime::JobClass;
+use fedval_shapley::{Progress, ProgressEvent, ValuationReport};
+
+/// Parses a `POST /jobs` body into a [`JobSpec`].
+///
+/// Required: `"method"`. Optional: `"scenario"`, `"seed"`, `"tier"`
+/// (`"fast"` / `"bit_exact"`), `"class"` (`"interactive"` / `"batch"`),
+/// `"rank"`, `"permutations"`, `"samples"`, and the world overrides
+/// `"num_clients"` / `"samples_per_client"` / `"rounds"` /
+/// `"clients_per_round"`. Unknown keys are ignored; recognized keys
+/// with malformed values are errors, not silent defaults.
+pub fn parse_job_spec(body: &str) -> Result<JobSpec, String> {
+    let method = scan_str(body, "method").ok_or("missing required field \"method\"")?;
+    let mut spec = JobSpec::new(method);
+    if let Some(scenario) = scan_str(body, "scenario") {
+        spec.scenario = scenario.to_string();
+    }
+    if let Some(tier) = scan_str(body, "tier") {
+        spec.tier =
+            Some(DeterminismTier::parse(tier).ok_or_else(|| format!("unknown tier {tier:?}"))?);
+    }
+    if let Some(class) = scan_str(body, "class") {
+        spec.class = JobClass::parse(class).ok_or_else(|| format!("unknown class {class:?}"))?;
+    }
+    spec.seed = match scan_whole(body, "seed")? {
+        Some(seed) => seed,
+        None => spec.seed,
+    };
+    if let Some(rank) = scan_whole(body, "rank")? {
+        spec.rank = rank as usize;
+    }
+    if let Some(permutations) = scan_whole(body, "permutations")? {
+        spec.permutations = permutations as usize;
+    }
+    if let Some(samples) = scan_whole(body, "samples")? {
+        spec.samples = samples as usize;
+    }
+    spec.num_clients = scan_whole(body, "num_clients")?.map(|v| v as usize);
+    spec.samples_per_client = scan_whole(body, "samples_per_client")?.map(|v| v as usize);
+    spec.rounds = scan_whole(body, "rounds")?.map(|v| v as usize);
+    spec.clients_per_round = scan_whole(body, "clients_per_round")?.map(|v| v as usize);
+    Ok(spec)
+}
+
+/// Scans `key` as a non-negative integer; a present-but-fractional or
+/// negative value is an error (silently truncating a user's `"seed":
+/// 1.5` would run the wrong job).
+fn scan_whole(body: &str, key: &str) -> Result<Option<u64>, String> {
+    match scan_num(body, key) {
+        None => Ok(None),
+        Some(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Ok(Some(v as u64)),
+        Some(v) => Err(format!(
+            "field {key:?} must be a non-negative integer, got {v}"
+        )),
+    }
+}
+
+/// One line-delimited JSON event for a session [`ProgressEvent`],
+/// tagged with the emitting job's id.
+pub fn render_progress(job_id: u64, event: &ProgressEvent<'_>) -> String {
+    let mut line = format!(
+        "{{\"job\": {job_id}, \"method\": \"{}\", \"stage\": \"{}\"",
+        escaped(event.method),
+        escaped(event.stage)
+    );
+    match event.progress {
+        Progress::Stage => {}
+        Progress::Permutation { index, total } => {
+            line.push_str(&format!(", \"permutation\": {index}, \"total\": {total}"));
+        }
+        Progress::Sweep { index, objective } => {
+            line.push_str(&format!(", \"sweep\": {index}, \"objective\": {objective}"));
+        }
+        Progress::Method { index, total, name } => {
+            line.push_str(&format!(
+                ", \"method_index\": {index}, \"method_total\": {total}, \"starting\": \"{}\"",
+                escaped(name)
+            ));
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// The `GET /jobs/{id}` body: identity, spec echo, lifecycle timings,
+/// and — once terminal — the report or error.
+pub fn render_job(job: &Job) -> String {
+    let status = job.status();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.u64_field("job", job.id());
+    w.str_field("status", status.name());
+    w.str_field("method", &job.spec().method);
+    w.str_field("scenario", &job.spec().scenario);
+    w.u64_field("seed", job.spec().seed);
+    w.str_field("class", job.spec().class.name());
+    if let Some(tier) = job.spec().tier {
+        w.str_field("tier", tier.name());
+    }
+    w.num_field("queued_ms", job.queued_ms());
+    w.num_field("run_ms", job.run_ms());
+    if let Some(report) = job.report() {
+        write_report(&mut w, "report", &report);
+    }
+    if let Some(error) = job.error() {
+        w.str_field("error", &error);
+    }
+    w.end_object();
+    w.finish_inline()
+}
+
+/// Renders a [`ValuationReport`] as the `key` field of the currently
+/// open object (used for the `"report"` field of [`render_job`]).
+fn write_report(w: &mut JsonWriter, key: &str, report: &ValuationReport) {
+    w.begin_object_field(key);
+    w.str_field("method", report.method);
+    w.begin_array_field_compact("values");
+    for v in &report.values {
+        w.num_elem(*v);
+    }
+    w.end_array();
+    w.begin_object_field_compact("diagnostics");
+    w.u64_field("cells_evaluated", report.diagnostics.cells_evaluated);
+    w.u64_field(
+        "permutations_used",
+        report.diagnostics.permutations_used as u64,
+    );
+    w.opt_num_field("truncated_fraction", report.diagnostics.truncated_fraction);
+    w.u64_field(
+        "objective_sweeps",
+        report.diagnostics.objective_trace.len() as u64,
+    );
+    w.end_object();
+    w.end_object();
+}
+
+/// The `POST /jobs` acceptance body.
+pub fn render_accepted(job: &Job) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object_compact();
+    w.u64_field("job", job.id());
+    w.str_field("status", job.status().name());
+    w.str_field("class", job.spec().class.name());
+    w.end_object();
+    w.finish_inline()
+}
+
+/// A `{"error": ...}` body for 4xx/5xx responses.
+pub fn render_error(message: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object_compact();
+    w.str_field("error", message);
+    w.end_object();
+    w.finish_inline()
+}
+
+/// The `GET /healthz` body: liveness plus the catalog of what can be
+/// submitted (methods, scenarios) and the pool configuration.
+pub fn render_health(
+    active_jobs: usize,
+    pool_threads: usize,
+    policy: &str,
+    methods: &[String],
+    scenarios: &[String],
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.str_field("status", "ok");
+    w.u64_field("active_jobs", active_jobs as u64);
+    w.u64_field("pool_threads", pool_threads as u64);
+    w.str_field("policy", policy);
+    w.begin_array_field_compact("methods");
+    for m in methods {
+        w.str_elem(m);
+    }
+    w.end_array();
+    w.begin_array_field_compact("scenarios");
+    for s in scenarios {
+        w.str_elem(s);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish_inline()
+}
+
+/// Maps a terminal [`JobStatus`] to a human summary line streamed as
+/// the final event marker (informational only; the log's own terminal
+/// event carries the machine-readable stage).
+pub fn terminal_note(status: JobStatus) -> &'static str {
+    match status {
+        JobStatus::Done => "job finished",
+        JobStatus::Cancelled => "job cancelled",
+        JobStatus::Failed => "job failed",
+        _ => "job still running",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_spec_uses_defaults() {
+        let spec = parse_job_spec(r#"{"method": "comfedsv"}"#).unwrap();
+        assert_eq!(spec.method, "comfedsv");
+        assert_eq!(spec.scenario, "iid_baseline");
+        assert_eq!(spec.seed, 0);
+        assert_eq!(spec.class, JobClass::Batch);
+        assert!(spec.tier.is_none());
+        assert!(spec.num_clients.is_none());
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let body = r#"{
+            "method": "tmc",
+            "scenario": "free_riders",
+            "seed": 42,
+            "tier": "fast",
+            "class": "interactive",
+            "rank": 6,
+            "permutations": 120,
+            "samples": 300,
+            "num_clients": 10,
+            "samples_per_client": 20,
+            "rounds": 4,
+            "clients_per_round": 5
+        }"#;
+        let spec = parse_job_spec(body).unwrap();
+        assert_eq!(spec.method, "tmc");
+        assert_eq!(spec.scenario, "free_riders");
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.tier, Some(DeterminismTier::Fast));
+        assert_eq!(spec.class, JobClass::Interactive);
+        assert_eq!(spec.rank, 6);
+        assert_eq!(spec.permutations, 120);
+        assert_eq!(spec.samples, 300);
+        assert_eq!(spec.num_clients, Some(10));
+        assert_eq!(spec.samples_per_client, Some(20));
+        assert_eq!(spec.rounds, Some(4));
+        assert_eq!(spec.clients_per_round, Some(5));
+    }
+
+    #[test]
+    fn parse_rejects_bad_fields() {
+        assert!(parse_job_spec(r#"{"scenario": "iid_baseline"}"#).is_err());
+        assert!(parse_job_spec(r#"{"method": "tmc", "tier": "warp"}"#).is_err());
+        assert!(parse_job_spec(r#"{"method": "tmc", "class": "vip"}"#).is_err());
+        assert!(parse_job_spec(r#"{"method": "tmc", "seed": 1.5}"#).is_err());
+        assert!(parse_job_spec(r#"{"method": "tmc", "rounds": -3}"#).is_err());
+    }
+
+    #[test]
+    fn progress_events_render_each_variant() {
+        let ev = ProgressEvent {
+            method: "tmc",
+            stage: "walk",
+            progress: Progress::Permutation {
+                index: 3,
+                total: 80,
+            },
+        };
+        assert_eq!(
+            render_progress(7, &ev),
+            r#"{"job": 7, "method": "tmc", "stage": "walk", "permutation": 3, "total": 80}"#
+        );
+        let ev = ProgressEvent {
+            method: "comfedsv",
+            stage: "complete",
+            progress: Progress::Sweep {
+                index: 2,
+                objective: 1.25,
+            },
+        };
+        assert_eq!(
+            render_progress(1, &ev),
+            r#"{"job": 1, "method": "comfedsv", "stage": "complete", "sweep": 2, "objective": 1.25}"#
+        );
+        let ev = ProgressEvent {
+            method: "exact",
+            stage: "plan",
+            progress: Progress::Stage,
+        };
+        assert_eq!(
+            render_progress(2, &ev),
+            r#"{"job": 2, "method": "exact", "stage": "plan"}"#
+        );
+    }
+
+    #[test]
+    fn error_bodies_escape_messages() {
+        assert_eq!(
+            render_error("bad \"quote\""),
+            "{\"error\": \"bad \\\"quote\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn health_lists_catalogs() {
+        let body = render_health(2, 4, "fair", &["comfedsv".into()], &["iid_baseline".into()]);
+        assert!(body.contains("\"status\": \"ok\""));
+        assert!(body.contains("\"active_jobs\": 2"));
+        assert!(body.contains("\"methods\": [\"comfedsv\"]"));
+        assert!(body.contains("\"scenarios\": [\"iid_baseline\"]"));
+    }
+}

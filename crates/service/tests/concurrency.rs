@@ -1,0 +1,138 @@
+//! The service's two load-bearing promises, exercised in process
+//! through the [`JobManager`]:
+//!
+//! 1. **Bit-identity under multiplexing** — a job's values are
+//!    byte-for-byte the same whether it runs alone or interleaved with
+//!    concurrent jobs, on any pool width, under either scheduling
+//!    policy. Work placement never touches results.
+//! 2. **No starvation** — with a large batch job saturating the pool,
+//!    an interactive job still completes promptly under fair-share
+//!    scheduling.
+
+use fedval_runtime::{JobClass, Pool, PoolHandle, SchedPolicy};
+use fedval_service::job::{JobManager, JobSpec, JobStatus};
+use fedval_shapley::ValuationSession;
+use std::time::{Duration, Instant};
+
+fn tiny(method: &str, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(method);
+    spec.num_clients = Some(5);
+    spec.samples_per_client = Some(12);
+    spec.rounds = Some(3);
+    spec.clients_per_round = Some(3);
+    spec.seed = seed;
+    spec
+}
+
+/// The solo baseline: the same valuation run directly, no manager, no
+/// shared pool — the oracle's default inline evaluation path.
+fn solo(spec: &JobSpec) -> Vec<f64> {
+    let scenario = spec.resolve_scenario().expect("known scenario");
+    let world = scenario.build(spec.seed);
+    let trace = world.train(&scenario.fl_config(spec.seed));
+    let oracle = world.oracle(&trace);
+    let mut session = ValuationSession::builder()
+        .rank(spec.rank)
+        .permutations(spec.permutations)
+        .samples(spec.samples)
+        .seed(spec.seed)
+        .build();
+    session.run(&spec.method, &oracle).expect("solo run").values
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: client {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn interleaved_jobs_are_bit_identical_to_solo_runs() {
+    // Three different methods, seeds, and classes, submitted together
+    // so their cells interleave on the shared pool.
+    let mut specs = vec![tiny("comfedsv", 7), tiny("tmc", 21), tiny("fedsv", 35)];
+    specs[0].class = JobClass::Interactive;
+    let baselines: Vec<Vec<f64>> = specs.iter().map(solo).collect();
+
+    for policy in [SchedPolicy::FairShare, SchedPolicy::Fifo] {
+        for width in [1usize, 4] {
+            let pool = PoolHandle::owned(Pool::with_policy(width, policy));
+            let manager = JobManager::with_pool(pool);
+            let jobs: Vec<_> = specs
+                .iter()
+                .map(|s| manager.submit(s.clone()).expect("submit"))
+                .collect();
+            for ((job, baseline), spec) in jobs.iter().zip(&baselines).zip(&specs) {
+                assert_eq!(job.wait(), JobStatus::Done, "{}", spec.method);
+                let report = job.report().expect("report");
+                assert_bits_eq(
+                    &report.values,
+                    baseline,
+                    &format!("{}/{policy}/width {width}", spec.method),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interactive_job_is_not_starved_by_a_batch_flood() {
+    let pool = PoolHandle::owned(Pool::with_policy(2, SchedPolicy::FairShare));
+    let manager = JobManager::with_pool(pool);
+
+    // A batch job big enough to keep the pool busy for a long while.
+    let mut flood = tiny("tmc", 1);
+    flood.permutations = 200_000;
+    flood.class = JobClass::Batch;
+    let flood_job = manager.submit(flood).expect("submit flood");
+    // Let the flood reach its permutation walk before competing.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while flood_job.status() == JobStatus::Queued && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut probe = tiny("fedsv", 2);
+    probe.class = JobClass::Interactive;
+    let t0 = Instant::now();
+    let probe_job = manager.submit(probe).expect("submit probe");
+    assert_eq!(probe_job.wait(), JobStatus::Done);
+    let probe_elapsed = t0.elapsed();
+
+    manager.cancel(flood_job.id()).expect("cancel flood");
+    assert_eq!(flood_job.wait(), JobStatus::Cancelled);
+
+    // The probe takes well under a second solo; the bound leaves wide
+    // headroom for a loaded CI machine while still catching actual
+    // starvation (the flood alone runs for minutes).
+    assert!(
+        probe_elapsed < Duration::from_secs(10),
+        "interactive probe took {probe_elapsed:?} behind a batch flood"
+    );
+}
+
+#[test]
+fn same_manager_reproduces_itself_across_runs() {
+    // Determinism holds not just against solo baselines but between two
+    // submissions of the same spec to differently-loaded managers.
+    let spec = tiny("comfedsv-mc", 13);
+    let run = |concurrent: bool| {
+        let pool = PoolHandle::owned(Pool::with_policy(2, SchedPolicy::FairShare));
+        let manager = JobManager::with_pool(pool);
+        let noise = concurrent.then(|| manager.submit(tiny("tmc", 99)).expect("noise"));
+        let job = manager.submit(spec.clone()).expect("submit");
+        assert_eq!(job.wait(), JobStatus::Done);
+        if let Some(noise) = noise {
+            noise.wait();
+        }
+        job.report().expect("report").values
+    };
+    let quiet = run(false);
+    let busy = run(true);
+    assert_bits_eq(&quiet, &busy, "comfedsv-mc quiet vs busy manager");
+}

@@ -103,6 +103,7 @@ pub struct ValuationSessionBuilder {
     ground_truth: Option<Vec<f64>>,
     isolated_runs: bool,
     tier: Option<DeterminismTier>,
+    cancel: Option<CancelToken>,
     extra: Vec<(String, Factory)>,
 }
 
@@ -193,6 +194,17 @@ impl ValuationSessionBuilder {
     /// runs evaluate at whatever tier the oracle carries.
     pub fn tier(mut self, tier: DeterminismTier) -> Self {
         self.tier = Some(tier);
+        self
+    }
+
+    /// Uses `token` as the session's cancellation token instead of a
+    /// fresh one, so a controller that creates the token *before* the
+    /// session exists (the `fedval_service` job manager hands the token
+    /// to its HTTP `DELETE` handler at submission time) observes and
+    /// cancels the same flag as
+    /// [`cancel_handle`](ValuationSession::cancel_handle).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -289,7 +301,7 @@ impl ValuationSessionBuilder {
             ground_truth: self.ground_truth,
             isolated_runs: self.isolated_runs,
             tier: self.tier,
-            cancel: CancelToken::new(),
+            cancel: self.cancel.unwrap_or_default(),
             registry,
         }
     }
@@ -319,6 +331,7 @@ impl ValuationSession {
             ground_truth: None,
             isolated_runs: false,
             tier: None,
+            cancel: None,
             extra: Vec::new(),
         }
     }
@@ -677,6 +690,29 @@ mod tests {
         // …until the session is reset.
         session.reset_cancelled();
         events.borrow_mut().clear();
+        assert!(session.run("fedsv", &oracle).is_ok());
+    }
+
+    #[test]
+    fn external_cancel_token_is_adopted_by_the_session() {
+        let (trace, proto, test) = world(12);
+        let oracle = fedval_fl::UtilityOracle::new(&trace, &proto, &test);
+        // A controller creates the token before the session exists (the
+        // service wires DELETE /jobs/{id} to it at submission time)…
+        let token = CancelToken::new();
+        let mut session = ValuationSession::builder()
+            .rank(3)
+            .cancel_token(token.clone())
+            .build();
+        // …and cancelling the external token stops the session's runs.
+        token.cancel();
+        assert_eq!(
+            session.run("fedsv", &oracle).unwrap_err(),
+            ValuationError::Cancelled
+        );
+        // The session's own handle is the same flag.
+        assert!(session.cancel_handle().is_cancelled());
+        session.reset_cancelled();
         assert!(session.run("fedsv", &oracle).is_ok());
     }
 

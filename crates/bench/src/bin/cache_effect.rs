@@ -1,0 +1,289 @@
+//! Repeat-valuation latency with the shared utility-cell cache: cold
+//! vs warm, in-process and across a process restart.
+//!
+//! The cache tier's whole point is that the expensive parts of a
+//! valuation job — training the trace and evaluating utility cells —
+//! are pure functions of the spec, so a repeat job should be near-free.
+//! This binary measures exactly that through the real [`JobManager`]:
+//!
+//! * **in-process** — one manager with a disk-backed cell cache runs
+//!   the same spec twice. The first (cold) job trains and evaluates
+//!   everything; the warm repeats hit the manager's world memo (no
+//!   training) and the shared cache (no cell computes).
+//! * **cross-process** — the binary re-spawns itself (`--child`) twice
+//!   against one cache directory. The second child starts with empty
+//!   process state and must retrain, but loads every cell from the
+//!   first child's disk spill.
+//!
+//! Values are asserted bit-identical between every leg before any
+//! number is reported — the speedup is pure caching, never a numerical
+//! shortcut.
+//!
+//! Output: an aligned table on stdout and JSON written to
+//! `target/BENCH_cache.json` (schema in the `fedval_bench` crate docs,
+//! `src/lib.rs`). A reference run is committed at the repo root as
+//! `BENCH_cache.json`; refresh it deliberately with
+//! `--out BENCH_cache.json`. `--smoke` shrinks repetitions and fails
+//! (exit ≠ 0) if the in-process warm speedup falls below
+//! [`MIN_WARM_SPEEDUP`] — the acceptance gate for the cache tier.
+
+use fedval_bench::{scan_num, scan_str, JsonWriter};
+use fedval_cache::CellCache;
+use fedval_runtime::{Pool, PoolHandle, SchedPolicy};
+use fedval_service::job::{JobManager, JobSpec, JobStatus};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Required cold ÷ warm ratio of in-process repeat-job latency.
+const MIN_WARM_SPEEDUP: f64 = 10.0;
+
+/// The measured job: big enough that a cold run spends real time in
+/// training + cell evaluation, small enough for CI. The gated leg uses
+/// `exact` (4096 utility cells; run time is almost entirely cell
+/// evaluation, so caching shows its full effect); a secondary ungated
+/// leg runs `comfedsv`, whose warm floor is its matrix-completion
+/// solve — work the cache legitimately cannot remove.
+fn bench_spec(method: &str) -> JobSpec {
+    let mut spec = JobSpec::new(method);
+    spec.num_clients = Some(12);
+    spec.samples_per_client = Some(60);
+    spec.rounds = Some(10);
+    spec.clients_per_round = Some(6);
+    spec.rank = 4;
+    spec.seed = 33;
+    spec
+}
+
+fn manager_with_dir(dir: &Path) -> JobManager {
+    JobManager::with_pool_and_cache(
+        PoolHandle::owned(Pool::with_policy(2, SchedPolicy::FairShare)),
+        CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, dir),
+    )
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("fedval-cache-effect-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bitwise checksum of a value vector (order-sensitive XOR-rotate) —
+/// enough to assert two runs produced identical bytes across process
+/// boundaries.
+fn value_checksum(values: &[f64]) -> u64 {
+    let mut acc = 0u64;
+    for v in values {
+        acc = acc.rotate_left(7) ^ v.to_bits();
+    }
+    acc
+}
+
+struct RunOutcome {
+    run_ms: f64,
+    cells_computed: u64,
+    cell_hits: u64,
+    disk_warm_cells: u64,
+    world_reused: bool,
+    values: Vec<f64>,
+}
+
+fn run_once(manager: &JobManager, method: &str) -> RunOutcome {
+    let job = manager.submit(bench_spec(method)).expect("submit");
+    assert_eq!(
+        job.wait(),
+        JobStatus::Done,
+        "bench job failed: {:?}",
+        job.error()
+    );
+    let cache = job.cache_info().expect("cache info");
+    RunOutcome {
+        run_ms: job.run_ms(),
+        cells_computed: cache.cells_computed,
+        cell_hits: cache.cell_hits,
+        disk_warm_cells: cache.disk_warm_cells,
+        world_reused: cache.world_reused,
+        values: job.report().expect("report").values,
+    }
+}
+
+/// Child mode: one fresh manager over `dir`, one job, one flat-JSON
+/// result line on stdout (parsed by the parent with `scan_num`).
+fn run_child(dir: &Path) -> ! {
+    let manager = manager_with_dir(dir);
+    let out = run_once(&manager, "exact");
+    let mut w = JsonWriter::new();
+    w.begin_object_compact();
+    w.num_field("run_ms", out.run_ms);
+    w.u64_field("cells_computed", out.cells_computed);
+    w.u64_field("cell_hits", out.cell_hits);
+    w.u64_field("disk_warm_cells", out.disk_warm_cells);
+    w.str_field("checksum", &format!("{:016x}", value_checksum(&out.values)));
+    w.end_object();
+    println!("{}", w.finish_inline());
+    std::process::exit(0);
+}
+
+/// Spawns this binary in `--child` mode against `dir` and parses its
+/// result line.
+fn spawn_child(dir: &Path) -> (f64, u64, u64, u64, String) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let output = std::process::Command::new(exe)
+        .arg("--child")
+        .arg("--dir")
+        .arg(dir)
+        .output()
+        .expect("spawn child");
+    assert!(
+        output.status.success(),
+        "child failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.contains("\"run_ms\""))
+        .unwrap_or_else(|| panic!("no result line in child output: {stdout}"));
+    (
+        scan_num(line, "run_ms").expect("run_ms"),
+        scan_num(line, "cells_computed").expect("cells_computed") as u64,
+        scan_num(line, "cell_hits").expect("cell_hits") as u64,
+        scan_num(line, "disk_warm_cells").expect("disk_warm_cells") as u64,
+        scan_str(line, "checksum").expect("checksum").to_string(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--child") {
+        let dir = args
+            .iter()
+            .position(|a| a == "--dir")
+            .and_then(|i| args.get(i + 1))
+            .expect("--child requires --dir");
+        run_child(Path::new(dir));
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target/BENCH_cache.json".to_string());
+    let mode = if smoke { "smoke" } else { "full" };
+    let (cold_reps, warm_reps) = if smoke { (1, 3) } else { (3, 5) };
+
+    println!("== cache_effect ({mode}): repeat-valuation latency, cold vs warm ==");
+
+    // In-process legs: per repetition, a fresh manager + cache
+    // directory gives one cold run, then `warm_reps` warm repeats.
+    let measure = |method: &str| {
+        let mut cold_ms = f64::INFINITY;
+        let mut warm_ms = f64::INFINITY;
+        let mut warm_hits = 0u64;
+        let mut cold_cells = 0u64;
+        for rep in 0..cold_reps {
+            let dir = tmpdir(&format!("inproc-{method}-{rep}"));
+            let manager = manager_with_dir(&dir);
+            let cold = run_once(&manager, method);
+            assert!(!cold.world_reused, "first job must train");
+            assert!(cold.cells_computed > 0, "cold run must compute cells");
+            cold_ms = cold_ms.min(cold.run_ms);
+            cold_cells = cold.cells_computed;
+            for _ in 0..warm_reps {
+                let warm = run_once(&manager, method);
+                assert!(warm.world_reused, "repeat job must reuse the world memo");
+                assert_eq!(warm.cells_computed, 0, "repeat job must recompute nothing");
+                assert_eq!(
+                    value_checksum(&warm.values),
+                    value_checksum(&cold.values),
+                    "warm values diverged from cold"
+                );
+                warm_ms = warm_ms.min(warm.run_ms);
+                warm_hits = warm.cell_hits;
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        (cold_ms, warm_ms, warm_hits, cold_cells)
+    };
+    let (cold_ms, warm_ms, warm_hits, cold_cells) = measure("exact");
+    let speedup = cold_ms / warm_ms;
+    let (cfsv_cold_ms, cfsv_warm_ms, _, _) = measure("comfedsv");
+    let cfsv_speedup = cfsv_cold_ms / cfsv_warm_ms;
+    println!(
+        "{:>22}  {:>10}  {:>10}  {:>9}",
+        "leg", "cold ms", "warm ms", "speedup"
+    );
+    println!(
+        "{:>22}  {:>10.1}  {:>10.2}  {:>8.1}x   (gated: >= {MIN_WARM_SPEEDUP}x)",
+        "in-process exact", cold_ms, warm_ms, speedup
+    );
+    println!(
+        "{:>22}  {:>10.1}  {:>10.2}  {:>8.1}x   (warm floor = completion solve; not gated)",
+        "in-process comfedsv", cfsv_cold_ms, cfsv_warm_ms, cfsv_speedup
+    );
+
+    // Cross-process leg: two fresh processes over one cache directory.
+    // The warm child retrains (the world memo dies with the process)
+    // but loads every cell from the cold child's spill.
+    let dir = tmpdir("crossproc");
+    let t0 = Instant::now();
+    let (cross_cold_ms, cross_cold_cells, _, cross_cold_warm, cold_sum) = spawn_child(&dir);
+    let (cross_warm_ms, cross_warm_cells, _, disk_warm_cells, warm_sum) = spawn_child(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(cross_cold_warm, 0, "first child found a stale cache dir");
+    assert!(cross_cold_cells > 0);
+    assert_eq!(
+        cross_warm_cells, 0,
+        "disk-warm child recomputed {cross_warm_cells} cells"
+    );
+    assert!(disk_warm_cells > 0, "no cells loaded from disk");
+    assert_eq!(cold_sum, warm_sum, "cross-process values diverged");
+    let cross_speedup = cross_cold_ms / cross_warm_ms;
+    println!(
+        "{:>22}  {:>10.1}  {:>10.2}  {:>8.1}x   (children: {:.1}s; warm child retrains, cells all disk-warm)",
+        "cross-process exact",
+        cross_cold_ms,
+        cross_warm_ms,
+        cross_speedup,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.str_field("bench", "cache_effect");
+    w.str_field("mode", mode);
+    w.u64_field("pool_threads", 2);
+    w.str_field("method", "exact");
+    w.u64_field("cells_cold", cold_cells);
+    w.begin_object_field_compact("in_process");
+    w.num_field("cold_ms", cold_ms);
+    w.num_field("warm_ms", warm_ms);
+    w.num_field("speedup", speedup);
+    w.u64_field("warm_cell_hits", warm_hits);
+    w.end_object();
+    w.begin_object_field_compact("in_process_comfedsv");
+    w.num_field("cold_ms", cfsv_cold_ms);
+    w.num_field("warm_ms", cfsv_warm_ms);
+    w.num_field("speedup", cfsv_speedup);
+    w.end_object();
+    w.begin_object_field_compact("cross_process");
+    w.num_field("cold_ms", cross_cold_ms);
+    w.num_field("warm_ms", cross_warm_ms);
+    w.num_field("speedup", cross_speedup);
+    w.u64_field("disk_warm_cells", disk_warm_cells);
+    w.end_object();
+    w.num_field("warm_speedup", speedup);
+    w.end_object();
+    match std::fs::write(&out_path, w.finish()) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("json write failed: {e}"),
+    }
+
+    if smoke && speedup < MIN_WARM_SPEEDUP {
+        eprintln!("FAIL: in-process warm speedup {speedup:.1}x < required {MIN_WARM_SPEEDUP}x");
+        std::process::exit(1);
+    }
+    println!("all cache_effect gates passed");
+}

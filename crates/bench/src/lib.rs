@@ -119,6 +119,53 @@
 //! reorders work); the related `pool_overhead` binary reports the
 //! scheduler's own cost — queue-wait mean/p99 per policy on an idle
 //! pool — as `target/figures/pool_queue_wait.csv`.
+//!
+//! # `BENCH_cache.json` schema
+//!
+//! The `cache_effect` binary measures repeat-valuation latency through
+//! the real `fedval_service::JobManager` with a disk-backed
+//! `fedval_cache::CellCache`: one cold run (train + evaluate every
+//! cell) versus warm repeats served by the world memo and the shared
+//! cache, both in-process and across a process restart (the binary
+//! re-spawns itself twice against one cache directory for the
+//! cross-process leg). It writes `target/BENCH_cache.json` by default;
+//! the committed repo-root `BENCH_cache.json` is the reference full
+//! run, refreshed deliberately via `--out BENCH_cache.json`. A
+//! `--smoke` run shrinks repetitions and fails (exit ≠ 0) if the
+//! in-process warm speedup falls below 10×:
+//!
+//! ```json
+//! {
+//!   "bench": "cache_effect",
+//!   "mode": "smoke" | "full",
+//!   "pool_threads": 2,
+//!   "method": "exact",            // gated leg: run time ≈ pure cell work
+//!   "cells_cold": 40950,          // cells the cold run computed
+//!   "in_process": {
+//!     "cold_ms": 1590.3,          // first job: trains + computes all cells
+//!     "warm_ms": 15.0,            // min over repeats: memoized world, all hits
+//!     "speedup": 106.1,           // the gated number (≥10× in --smoke)
+//!     "warm_cell_hits": 40950
+//!   },
+//!   "in_process_comfedsv": {      // informational, not gated: comfedsv's
+//!     "cold_ms": 253.3,           // warm floor is its matrix-completion
+//!     "warm_ms": 69.4,            // solve, which caching cannot remove
+//!     "speedup": 3.7
+//!   },
+//!   "cross_process": {
+//!     "cold_ms": 1724.2,          // child 1: empty cache directory
+//!     "warm_ms": 45.6,            // child 2: retrains, loads all cells from disk
+//!     "speedup": 37.8,
+//!     "disk_warm_cells": 40950
+//!   },
+//!   "warm_speedup": 106.1         // = in_process.speedup (the CI gate)
+//! }
+//! ```
+//!
+//! Values are asserted bit-identical between every cold/warm pair
+//! before any number is written (in-process directly, cross-process via
+//! an order-sensitive checksum of the value bits), so every speedup is
+//! pure caching — never a numerical shortcut.
 
 pub mod fairness_trials;
 pub mod profile;

@@ -1,0 +1,435 @@
+//! On-disk cell segments: append-friendly persistence for completed
+//! utility cells, keyed by `(trace fingerprint, tier, round, subset)`.
+//!
+//! # Format (version 1)
+//!
+//! Each segment file is a 32-byte header followed by fixed-width
+//! 28-byte records, all little-endian:
+//!
+//! ```text
+//! header: magic "FVCELLS\0" (8) | version u32 (4) | tier u8 (1) |
+//!         pad [0;3] (3) | trace fingerprint u128 (16)
+//! record: round u32 | subset u64 | value f64 bits u64 | checksum u64
+//! ```
+//!
+//! The per-record checksum fingerprints the full cell identity *and*
+//! the value (trace, tier, round, subset, bits), so a flipped byte
+//! anywhere in a record is caught, and a record can never be attributed
+//! to the wrong trace even if files are renamed.
+//!
+//! # Degradation contract
+//!
+//! A corrupt, truncated, stale-versioned, or misnamed file must never
+//! produce a wrong value — cells are pure, so the safe response to any
+//! anomaly is to stop trusting the file and recompute. Concretely:
+//! header anomalies reject the whole file; a bad record checksum or a
+//! short tail stops the scan at the last good record (earlier records
+//! are individually checksummed, hence still trustworthy). Every
+//! anomaly increments a counter in [`LoadOutcome`] and logs one line to
+//! stderr.
+//!
+//! # Concurrency
+//!
+//! Writers never touch an existing file: each flush writes a fresh
+//! uniquely named segment (`seg-<trace>-t<tier>-p<pid>-<seq>.cells`)
+//! via a temp file + rename, so concurrent processes sharing a cache
+//! directory need no locking and readers never observe a partial
+//! segment (short of a crashed writer, which truncation detection
+//! absorbs). A human-readable `manifest.json` summarizing the directory
+//! is rewritten after each flush; it is advisory only — loads scan the
+//! directory, not the manifest.
+
+use crate::hash::{Fingerprint, FingerprintHasher};
+use fedval_jsonio::JsonWriter;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Segment file magic (8 bytes, includes a NUL so text files never
+/// match).
+pub const MAGIC: [u8; 8] = *b"FVCELLS\0";
+
+/// Current segment format version; bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_BYTES: usize = 32;
+const RECORD_BYTES: usize = 28;
+
+/// One persisted cell: `(round, subset bits, value)`.
+pub type DiskCell = (u32, u64, f64);
+
+/// Result of scanning a cache directory for one `(trace, tier)`.
+#[derive(Default, Debug)]
+pub struct LoadOutcome {
+    /// Verified cells, in scan order.
+    pub cells: Vec<DiskCell>,
+    /// Segment files that matched the requested trace/tier name prefix.
+    pub segments_scanned: u64,
+    /// Anomalies encountered (bad header, bad checksum, short tail).
+    /// Each was logged and the affected bytes ignored.
+    pub corrupt_events: u64,
+}
+
+/// Writer/loader for one cache directory.
+pub struct DiskCache {
+    dir: PathBuf,
+    /// Per-process suffix so concurrent flushes never collide.
+    seq: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) `dir` as a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCache {
+            dir,
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory backing this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segment_prefix(trace: Fingerprint, tier: u8) -> String {
+        format!("seg-{}-t{tier}-", trace.to_hex())
+    }
+
+    /// Loads every verified cell for `(trace, tier)` from all matching
+    /// segments. I/O errors on individual files are treated as corrupt
+    /// events (log + skip), not hard failures — a half-readable cache
+    /// must degrade to recompute.
+    pub fn load(&self, trace: Fingerprint, tier: u8) -> LoadOutcome {
+        let mut out = LoadOutcome::default();
+        let prefix = Self::segment_prefix(trace, tier);
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                log_event(&format!("cache dir {} unreadable: {e}", self.dir.display()));
+                out.corrupt_events += 1;
+                return out;
+            }
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".cells"))
+            })
+            .collect();
+        // Deterministic scan order across processes.
+        paths.sort();
+        for path in paths {
+            out.segments_scanned += 1;
+            match fs::read(&path) {
+                Ok(bytes) => read_segment(&path, &bytes, trace, tier, &mut out),
+                Err(e) => {
+                    log_event(&format!("segment {} unreadable: {e}", path.display()));
+                    out.corrupt_events += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Persists `cells` as one fresh segment for `(trace, tier)`;
+    /// returns the segment path. Empty input writes nothing.
+    pub fn append(
+        &self,
+        trace: Fingerprint,
+        tier: u8,
+        cells: &[DiskCell],
+    ) -> io::Result<Option<PathBuf>> {
+        if cells.is_empty() {
+            return Ok(None);
+        }
+        let mut buf = Vec::with_capacity(HEADER_BYTES + cells.len() * RECORD_BYTES);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.push(tier);
+        buf.extend_from_slice(&[0u8; 3]);
+        buf.extend_from_slice(&trace.to_le_bytes());
+        for &(round, subset, value) in cells {
+            let bits = value.to_bits();
+            buf.extend_from_slice(&round.to_le_bytes());
+            buf.extend_from_slice(&subset.to_le_bytes());
+            buf.extend_from_slice(&bits.to_le_bytes());
+            buf.extend_from_slice(&record_checksum(trace, tier, round, subset, bits).to_le_bytes());
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let name = format!(
+            "{}p{}-{seq}.cells",
+            Self::segment_prefix(trace, tier),
+            std::process::id()
+        );
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let path = self.dir.join(&name);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(Some(path))
+    }
+
+    /// Rewrites `manifest.json`: one row per segment file with its
+    /// trace, tier, and record count. Advisory (for humans and tooling;
+    /// never read on load).
+    pub fn write_manifest(&self) -> io::Result<()> {
+        let mut rows: Vec<(String, u64)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with("seg-") || !name.ends_with(".cells") {
+                continue;
+            }
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let records = len.saturating_sub(HEADER_BYTES as u64) / RECORD_BYTES as u64;
+            rows.push((name.to_string(), records));
+        }
+        rows.sort();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.str_field("format", "fedval-cell-cache");
+        w.u64_field("version", FORMAT_VERSION as u64);
+        w.begin_array_field("segments");
+        for (name, records) in &rows {
+            w.begin_object_compact();
+            w.str_field("file", name);
+            w.u64_field("records", *records);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let tmp = self.dir.join("manifest.json.tmp");
+        fs::write(&tmp, w.finish())?;
+        fs::rename(tmp, self.dir.join("manifest.json"))
+    }
+}
+
+/// The checksum stored with each record: a fingerprint fold of the full
+/// cell identity plus the value bits.
+fn record_checksum(trace: Fingerprint, tier: u8, round: u32, subset: u64, bits: u64) -> u64 {
+    let mut h = FingerprintHasher::new("fedval-cell-record-v1");
+    h.write_u64(trace.bits() as u64);
+    h.write_u64((trace.bits() >> 64) as u64);
+    h.write_u64(tier as u64);
+    h.write_u64(round as u64);
+    h.write_u64(subset);
+    h.write_u64(bits);
+    h.finish().bits() as u64
+}
+
+/// Parses one segment's bytes into `out`, enforcing the degradation
+/// contract (header anomaly → reject file; record anomaly → stop at
+/// last good record).
+fn read_segment(path: &Path, bytes: &[u8], trace: Fingerprint, tier: u8, out: &mut LoadOutcome) {
+    if bytes.len() < HEADER_BYTES {
+        log_event(&format!("segment {} truncated header", path.display()));
+        out.corrupt_events += 1;
+        return;
+    }
+    if bytes[..8] != MAGIC {
+        log_event(&format!("segment {} bad magic", path.display()));
+        out.corrupt_events += 1;
+        return;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        log_event(&format!(
+            "segment {} version {version} != {FORMAT_VERSION}; ignoring",
+            path.display()
+        ));
+        out.corrupt_events += 1;
+        return;
+    }
+    let file_tier = bytes[12];
+    let file_trace = Fingerprint::from_le_bytes(bytes[16..32].try_into().expect("16 bytes"));
+    if file_tier != tier || file_trace != trace {
+        // Misnamed or renamed file claiming the wrong identity.
+        log_event(&format!(
+            "segment {} header identity mismatch; ignoring",
+            path.display()
+        ));
+        out.corrupt_events += 1;
+        return;
+    }
+    let mut body = &bytes[HEADER_BYTES..];
+    while !body.is_empty() {
+        if body.len() < RECORD_BYTES {
+            log_event(&format!(
+                "segment {} short tail ({} bytes); kept {} records",
+                path.display(),
+                body.len(),
+                out.cells.len()
+            ));
+            out.corrupt_events += 1;
+            return;
+        }
+        let round = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+        let subset = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes"));
+        let bits = u64::from_le_bytes(body[12..20].try_into().expect("8 bytes"));
+        let check = u64::from_le_bytes(body[20..28].try_into().expect("8 bytes"));
+        if check != record_checksum(trace, tier, round, subset, bits) {
+            log_event(&format!(
+                "segment {} checksum mismatch; stopping scan",
+                path.display()
+            ));
+            out.corrupt_events += 1;
+            return;
+        }
+        out.cells.push((round, subset, f64::from_bits(bits)));
+        body = &body[RECORD_BYTES..];
+    }
+}
+
+fn log_event(msg: &str) {
+    eprintln!("fedval_cache: {msg} (degrading to recompute)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fedval-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn trace() -> Fingerprint {
+        Fingerprint::from_bits(0xdead_beef_cafe_f00d_1234_5678_9abc_def0)
+    }
+
+    fn sample_cells() -> Vec<DiskCell> {
+        vec![(0, 0b1, 0.5), (0, 0b11, -1.25), (3, 0b101, 1e-9)]
+    }
+
+    #[test]
+    fn round_trip_preserves_bits() {
+        let dir = tmpdir("roundtrip");
+        let disk = DiskCache::open(&dir).unwrap();
+        disk.append(trace(), 1, &sample_cells()).unwrap();
+        let out = disk.load(trace(), 1);
+        assert_eq!(out.cells, sample_cells());
+        assert_eq!(out.corrupt_events, 0);
+        assert_eq!(out.segments_scanned, 1);
+        // Wrong tier / trace: nothing matches, nothing corrupt.
+        assert!(disk.load(trace(), 0).cells.is_empty());
+        assert!(disk.load(Fingerprint::from_bits(1), 1).cells.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_accumulate_across_appends() {
+        let dir = tmpdir("accumulate");
+        let disk = DiskCache::open(&dir).unwrap();
+        disk.append(trace(), 0, &[(0, 1, 1.0)]).unwrap();
+        disk.append(trace(), 0, &[(1, 1, 2.0)]).unwrap();
+        let out = disk.load(trace(), 0);
+        assert_eq!(out.segments_scanned, 2);
+        assert_eq!(out.cells.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_keeps_verified_prefix() {
+        let dir = tmpdir("truncate");
+        let disk = DiskCache::open(&dir).unwrap();
+        let path = disk
+            .append(trace(), 0, &sample_cells())
+            .unwrap()
+            .expect("segment written");
+        let bytes = fs::read(&path).unwrap();
+        // Chop mid-way through the last record.
+        fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let out = disk.load(trace(), 0);
+        assert_eq!(out.cells, sample_cells()[..2].to_vec());
+        assert_eq!(out.corrupt_events, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_checksum_byte_stops_scan() {
+        let dir = tmpdir("flip");
+        let disk = DiskCache::open(&dir).unwrap();
+        let path = disk
+            .append(trace(), 0, &sample_cells())
+            .unwrap()
+            .expect("segment written");
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte in the second record's value field.
+        let off = HEADER_BYTES + RECORD_BYTES + 14;
+        bytes[off] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let out = disk.load(trace(), 0);
+        assert_eq!(out.cells, sample_cells()[..1].to_vec());
+        assert_eq!(out.corrupt_events, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_version_header_rejects_file() {
+        let dir = tmpdir("version");
+        let disk = DiskCache::open(&dir).unwrap();
+        let path = disk
+            .append(trace(), 0, &sample_cells())
+            .unwrap()
+            .expect("segment written");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] = 99; // version field
+        fs::write(&path, &bytes).unwrap();
+        let out = disk.load(trace(), 0);
+        assert!(out.cells.is_empty());
+        assert_eq!(out.corrupt_events, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn renamed_segment_cannot_serve_wrong_identity() {
+        let dir = tmpdir("rename");
+        let disk = DiskCache::open(&dir).unwrap();
+        let path = disk
+            .append(trace(), 0, &sample_cells())
+            .unwrap()
+            .expect("segment written");
+        // Pretend this file belongs to another trace by renaming it.
+        let other = Fingerprint::from_bits(42);
+        let new_name = format!("seg-{}-t0-p1-0.cells", other.to_hex());
+        fs::rename(&path, dir.join(new_name)).unwrap();
+        let out = disk.load(other, 0);
+        assert!(out.cells.is_empty());
+        assert_eq!(out.corrupt_events, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_lists_segments() {
+        let dir = tmpdir("manifest");
+        let disk = DiskCache::open(&dir).unwrap();
+        disk.append(trace(), 0, &sample_cells()).unwrap();
+        disk.write_manifest().unwrap();
+        let manifest = fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"format\": \"fedval-cell-cache\""));
+        assert!(manifest.contains("\"records\": 3"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_append_writes_nothing() {
+        let dir = tmpdir("empty");
+        let disk = DiskCache::open(&dir).unwrap();
+        assert!(disk.append(trace(), 0, &[]).unwrap().is_none());
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,243 @@
+//! Streaming 128-bit fingerprinting for training traces.
+//!
+//! A cache key must identify *everything* a utility cell's value depends
+//! on: the training trace (global/local parameters, selections, step
+//! sizes), the test set, the model architecture, and the base losses the
+//! oracle subtracts from. [`FingerprintHasher`] folds all of that into a
+//! [`Fingerprint`] — 128 bits of well-mixed (not cryptographic) state.
+//! The failure mode of a collision is a *wrong served value*, so the
+//! hasher errs on the side of specificity: extra hashed inputs can only
+//! lower the hit rate, never correctness, while 128 bits make accidental
+//! collisions between the handful of traces a deployment ever sees
+//! astronomically unlikely.
+//!
+//! The encoding is length-prefixed per field group (callers use
+//! [`FingerprintHasher::write_len`] at sequence boundaries) so
+//! `[1.0, 2.0] ++ [3.0]` and `[1.0] ++ [2.0, 3.0]` fingerprint
+//! differently.
+
+/// A 128-bit trace identity. Stable across processes and platforms
+/// (the hash mixes little-endian encodings only), so it can name
+/// on-disk segments.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
+    /// Rebuilds a fingerprint from its raw 128-bit value (disk headers).
+    pub fn from_bits(bits: u128) -> Self {
+        Fingerprint(bits)
+    }
+
+    /// The raw 128-bit value.
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Little-endian byte encoding, as written to segment headers.
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Inverse of [`to_le_bytes`](Self::to_le_bytes).
+    pub fn from_le_bytes(bytes: [u8; 16]) -> Self {
+        Fingerprint(u128::from_le_bytes(bytes))
+    }
+
+    /// 32-char lowercase hex, used in segment file names.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses [`to_hex`](Self::to_hex) output (exactly 32 hex chars).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+impl std::fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Fingerprint({:032x})", self.0)
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// SplitMix64's finalizer: a full-avalanche 64-bit permutation.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Streaming hasher producing a [`Fingerprint`].
+///
+/// Two independently seeded 64-bit lanes each absorb every input word
+/// through `mix64` with lane-distinct tweaks; `finish` folds in the
+/// total word count and finalizes both lanes. Deterministic across
+/// platforms; **not** collision-resistant against adversaries — cache
+/// keys identify a tenant's own traces, they are not a security
+/// boundary.
+pub struct FingerprintHasher {
+    a: u64,
+    b: u64,
+    words: u64,
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        Self::new("fedval-cell-cache-v1")
+    }
+}
+
+impl FingerprintHasher {
+    /// A fresh hasher, domain-separated by `domain` (hashed first, so
+    /// distinct domains never collide on identical payloads).
+    pub fn new(domain: &str) -> Self {
+        let mut h = FingerprintHasher {
+            a: 0x243f_6a88_85a3_08d3, // pi digits; arbitrary fixed seeds
+            b: 0x1319_8a2e_0370_7344,
+            words: 0,
+        };
+        h.write_bytes(domain.as_bytes());
+        h
+    }
+
+    /// Absorbs one 64-bit word into both lanes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.words = self.words.wrapping_add(1);
+        self.a = mix64(self.a ^ v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.b = mix64(self.b.rotate_left(23) ^ v).wrapping_add(0xc2b2_ae3d_27d4_eb4f);
+    }
+
+    /// Absorbs a `usize` (as u64, platform-independent).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Marks a sequence boundary by absorbing the sequence length, so
+    /// adjacent variable-length fields cannot alias.
+    pub fn write_len(&mut self, len: usize) {
+        self.write_u64(SEQ_MARKER_SALT);
+        self.write_u64(len as u64);
+    }
+
+    /// Absorbs a float by its exact bit pattern (`-0.0` ≠ `0.0`; every
+    /// NaN payload distinct — bit-exactness is the whole point).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a float slice with a leading length marker.
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        self.write_len(vs.len());
+        for &v in vs {
+            self.write_f64(v);
+        }
+    }
+
+    /// Absorbs arbitrary bytes (length-prefixed, little-endian packed).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_len(bytes.len());
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Final fingerprint; consumes the hasher.
+    pub fn finish(mut self) -> Fingerprint {
+        let words = self.words;
+        self.write_u64(words);
+        let hi = mix64(self.a ^ self.b.rotate_left(32));
+        let lo = mix64(self.b ^ hi);
+        Fingerprint(((hi as u128) << 64) | lo as u128)
+    }
+}
+
+/// Constant salt separating length markers from payload words.
+const SEQ_MARKER_SALT: u64 = 0xa076_1d64_78bd_642f;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(build: impl FnOnce(&mut FingerprintHasher)) -> Fingerprint {
+        let mut h = FingerprintHasher::default();
+        build(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let a = fp(|h| {
+            h.write_u64(1);
+            h.write_u64(2);
+        });
+        let b = fp(|h| {
+            h.write_u64(1);
+            h.write_u64(2);
+        });
+        let c = fp(|h| {
+            h.write_u64(2);
+            h.write_u64(1);
+        });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_prefix_prevents_sequence_aliasing() {
+        let a = fp(|h| {
+            h.write_f64s(&[1.0, 2.0]);
+            h.write_f64s(&[3.0]);
+        });
+        let b = fp(|h| {
+            h.write_f64s(&[1.0]);
+            h.write_f64s(&[2.0, 3.0]);
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn float_bit_patterns_are_distinguished() {
+        assert_ne!(fp(|h| h.write_f64(0.0)), fp(|h| h.write_f64(-0.0)));
+        assert_ne!(
+            fp(|h| h.write_f64(1.0)),
+            fp(|h| h.write_f64(1.0 + f64::EPSILON))
+        );
+    }
+
+    #[test]
+    fn domains_separate() {
+        let a = FingerprintHasher::new("domain-a").finish();
+        let b = FingerprintHasher::new("domain-b").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let f = fp(|h| h.write_u64(42));
+        assert_eq!(Fingerprint::from_hex(&f.to_hex()), Some(f));
+        assert_eq!(f.to_hex().len(), 32);
+        assert_eq!(Fingerprint::from_hex("zz"), None);
+        assert_eq!(Fingerprint::from_le_bytes(f.to_le_bytes()), f);
+    }
+
+    #[test]
+    fn empty_inputs_differ_from_zero_words() {
+        let empty = FingerprintHasher::default().finish();
+        let zero = fp(|h| h.write_u64(0));
+        assert_ne!(empty, zero);
+    }
+}

@@ -1,0 +1,443 @@
+//! `fedval_cache` — the system's shared utility-cell cache tier.
+//!
+//! ComFedSV's round-utility cells `U_t(S)` are pure functions of
+//! `(training trace, determinism tier, round, subset)`. This crate
+//! turns that purity into a cache hierarchy the rest of the workspace
+//! shares:
+//!
+//! * [`CellStore`] — an in-process bounded store of completed cells
+//!   with second-chance (clock-LRU) eviction and per-cell memory
+//!   accounting ([`CELL_COST_BYTES`]);
+//! * [`DiskCache`] — checksummed, versioned on-disk segments under a
+//!   configurable directory, so repeat valuations of the same trace
+//!   hit warm cells across processes; corrupt or stale files degrade
+//!   to recompute, never to wrong values;
+//! * [`CellCache`] — the façade gluing the two together: dirty cells
+//!   evicted under memory pressure spill to disk, [`CellCache::flush`]
+//!   persists whatever remains, and [`CellCache::attach`] pre-loads a
+//!   trace's persisted cells once per process.
+//!
+//! The oracle in `fedval_fl` keys into this cache with a
+//! [`Fingerprint`] that covers everything a cell's value depends on
+//! (trace parameters, test set, model, base losses), so a shared cache
+//! can serve many tenants' oracles concurrently while staying
+//! bit-identical to solo recomputation.
+//!
+//! # Configuration
+//!
+//! [`CacheConfig::from_env`] reads:
+//!
+//! * `FEDVAL_CACHE_DIR` — cache directory; unset disables disk spill
+//!   and persistence (in-memory sharing still applies);
+//! * `FEDVAL_CACHE_MEM_MB` — in-process budget in MiB (default 64;
+//!   minimum one cell).
+
+mod disk;
+mod hash;
+mod store;
+
+pub use disk::{DiskCache, DiskCell, LoadOutcome, FORMAT_VERSION, MAGIC};
+pub use hash::{Fingerprint, FingerprintHasher};
+pub use store::{CellKey, CellSlot, CellStore, SlotState, CELL_COST_BYTES};
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default in-process budget when `FEDVAL_CACHE_MEM_MB` is unset.
+pub const DEFAULT_MEM_BUDGET_BYTES: usize = 64 * 1024 * 1024;
+
+/// How a [`CellCache`] is provisioned.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// In-process budget in bytes (see [`CELL_COST_BYTES`] accounting).
+    pub memory_budget_bytes: usize,
+    /// Segment directory; `None` disables spill/persistence.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            memory_budget_bytes: DEFAULT_MEM_BUDGET_BYTES,
+            disk_dir: None,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Reads `FEDVAL_CACHE_DIR` / `FEDVAL_CACHE_MEM_MB` (unparseable
+    /// budget values fall back to the default — a bad env var should
+    /// not take the service down).
+    pub fn from_env() -> Self {
+        let memory_budget_bytes = std::env::var("FEDVAL_CACHE_MEM_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|mb| mb.saturating_mul(1024 * 1024))
+            .unwrap_or(DEFAULT_MEM_BUDGET_BYTES);
+        let disk_dir = std::env::var("FEDVAL_CACHE_DIR")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .map(PathBuf::from);
+        CacheConfig {
+            memory_budget_bytes,
+            disk_dir,
+        }
+    }
+}
+
+/// Point-in-time counters for observability and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Resident entries (completed cells + in-flight reservations).
+    pub resident_cells: usize,
+    /// [`CELL_COST_BYTES`] × resident entries.
+    pub resident_bytes: usize,
+    /// Configured budget in bytes.
+    pub capacity_bytes: usize,
+    /// Completed cells evicted under memory pressure.
+    pub evictions: u64,
+    /// Dirty cells written to disk (spill + flush).
+    pub spilled_cells: u64,
+    /// Cells loaded from disk segments over this cache's lifetime.
+    pub disk_cells_loaded: u64,
+    /// Disk anomalies absorbed (each logged, each degraded to
+    /// recompute).
+    pub corrupt_events: u64,
+}
+
+/// The shared cache tier: bounded in-process store + optional disk
+/// spill. Cheap to share via `Arc`; all methods take `&self`.
+pub struct CellCache {
+    store: CellStore,
+    disk: Option<DiskCache>,
+    /// `(trace, tier)` pairs already loaded from disk — attach is
+    /// once-per-process per trace.
+    attached: Mutex<HashSet<(Fingerprint, u8)>>,
+    /// Dirty cells evicted from memory, awaiting a segment write.
+    spill_buf: Mutex<Vec<(CellKey, f64)>>,
+    spilled_cells: AtomicU64,
+    disk_cells_loaded: AtomicU64,
+    corrupt_events: AtomicU64,
+}
+
+/// Spill-buffer high-water mark: exceeding it writes a segment eagerly
+/// so unbounded eviction pressure cannot re-grow memory in the buffer.
+const SPILL_FLUSH_CELLS: usize = 8192;
+
+impl CellCache {
+    /// Builds a cache from `config`. An unusable disk directory is a
+    /// logged degradation (cache runs memory-only), not an error.
+    pub fn new(config: CacheConfig) -> Arc<Self> {
+        let disk = config.disk_dir.and_then(|dir| match DiskCache::open(&dir) {
+            Ok(disk) => Some(disk),
+            Err(e) => {
+                eprintln!(
+                    "fedval_cache: cache dir {} unusable: {e} (running memory-only)",
+                    dir.display()
+                );
+                None
+            }
+        });
+        Arc::new(CellCache {
+            store: CellStore::with_budget_bytes(config.memory_budget_bytes),
+            disk,
+            attached: Mutex::new(HashSet::new()),
+            spill_buf: Mutex::new(Vec::new()),
+            spilled_cells: AtomicU64::new(0),
+            disk_cells_loaded: AtomicU64::new(0),
+            corrupt_events: AtomicU64::new(0),
+        })
+    }
+
+    /// Environment-configured cache ([`CacheConfig::from_env`]).
+    pub fn from_env() -> Arc<Self> {
+        Self::new(CacheConfig::from_env())
+    }
+
+    /// Memory-only cache with an explicit byte budget (tests, benches).
+    pub fn in_memory(budget_bytes: usize) -> Arc<Self> {
+        Self::new(CacheConfig {
+            memory_budget_bytes: budget_bytes,
+            disk_dir: None,
+        })
+    }
+
+    /// Disk-backed cache with an explicit budget and directory.
+    pub fn with_dir(budget_bytes: usize, dir: impl Into<PathBuf>) -> Arc<Self> {
+        Self::new(CacheConfig {
+            memory_budget_bytes: budget_bytes,
+            disk_dir: Some(dir.into()),
+        })
+    }
+
+    /// Whether a disk directory is configured and usable.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Loads `(trace, tier)`'s persisted cells into the store, once per
+    /// process; later calls (and disk-less caches) return 0. The count
+    /// is the number of verified cells loaded *now* — an oracle seeing
+    /// a positive count knows its trace is disk-warm.
+    pub fn attach(&self, trace: Fingerprint, tier: u8) -> u64 {
+        let Some(disk) = &self.disk else { return 0 };
+        {
+            let mut attached = self.attached.lock();
+            if !attached.insert((trace, tier)) {
+                return 0;
+            }
+        }
+        let outcome = disk.load(trace, tier);
+        self.corrupt_events
+            .fetch_add(outcome.corrupt_events, Ordering::Relaxed);
+        let mut loaded = 0u64;
+        for (round, subset, value) in outcome.cells {
+            let key = CellKey {
+                trace,
+                tier,
+                round,
+                subset,
+            };
+            let spill = self.store.insert_clean(key, value);
+            self.queue_spill(spill);
+            loaded += 1;
+        }
+        self.disk_cells_loaded.fetch_add(loaded, Ordering::Relaxed);
+        loaded
+    }
+
+    /// The slot for `key` plus what the lookup found (used by the
+    /// oracle to distinguish hits from fresh reservations).
+    pub fn slot(&self, key: CellKey) -> (CellSlot, SlotState) {
+        let (slot, state, spill) = self.store.slot(key);
+        self.queue_spill(spill);
+        (slot, state)
+    }
+
+    /// Records a freshly computed cell value (making it a dirty,
+    /// evictable resident).
+    pub fn complete(&self, key: CellKey, value: f64) {
+        let spill = self.store.mark_complete(key, value);
+        self.queue_spill(spill);
+    }
+
+    /// Persists all dirty cells (evicted spill buffer + still-resident)
+    /// and refreshes the manifest. Returns cells written. No-op without
+    /// a disk directory. I/O errors are logged degradations — dirty
+    /// cells stay buffered for the next flush attempt.
+    pub fn flush(&self) -> u64 {
+        let Some(_) = &self.disk else { return 0 };
+        let mut pending = std::mem::take(&mut *self.spill_buf.lock());
+        pending.extend(self.store.drain_dirty());
+        self.write_segments(pending)
+    }
+
+    /// Buffers evicted dirty cells for persistence (dropping them when
+    /// no disk is configured — recompute covers them) and writes a
+    /// segment eagerly past the high-water mark.
+    fn queue_spill(&self, spill: Vec<(CellKey, f64)>) {
+        if spill.is_empty() || self.disk.is_none() {
+            return;
+        }
+        let flush_now = {
+            let mut buf = self.spill_buf.lock();
+            buf.extend(spill);
+            buf.len() >= SPILL_FLUSH_CELLS
+        };
+        if flush_now {
+            let pending = std::mem::take(&mut *self.spill_buf.lock());
+            self.write_segments(pending);
+        }
+    }
+
+    /// Groups `cells` by `(trace, tier)` and writes one segment per
+    /// group; returns cells durably written.
+    fn write_segments(&self, cells: Vec<(CellKey, f64)>) -> u64 {
+        let Some(disk) = &self.disk else { return 0 };
+        if cells.is_empty() {
+            return 0;
+        }
+        let mut groups: Vec<((Fingerprint, u8), Vec<DiskCell>)> = Vec::new();
+        for (key, value) in cells {
+            let group = (key.trace, key.tier);
+            match groups.iter_mut().find(|(g, _)| *g == group) {
+                Some((_, rows)) => rows.push((key.round, key.subset, value)),
+                None => groups.push((group, vec![(key.round, key.subset, value)])),
+            }
+        }
+        let mut written = 0u64;
+        for ((trace, tier), rows) in groups {
+            match disk.append(trace, tier, &rows) {
+                Ok(_) => written += rows.len() as u64,
+                Err(e) => {
+                    eprintln!("fedval_cache: segment write failed: {e} (cells stay dirty)");
+                    let mut buf = self.spill_buf.lock();
+                    buf.extend(rows.iter().map(|&(round, subset, v)| {
+                        (
+                            CellKey {
+                                trace,
+                                tier,
+                                round,
+                                subset,
+                            },
+                            v,
+                        )
+                    }));
+                }
+            }
+        }
+        if written > 0 {
+            self.spilled_cells.fetch_add(written, Ordering::Relaxed);
+            if let Err(e) = disk.write_manifest() {
+                eprintln!("fedval_cache: manifest write failed: {e}");
+            }
+        }
+        written
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            resident_cells: self.store.len(),
+            resident_bytes: self.store.resident_bytes(),
+            capacity_bytes: self.store.capacity_cells() * CELL_COST_BYTES,
+            evictions: self.store.evictions(),
+            spilled_cells: self.spilled_cells.load(Ordering::Relaxed),
+            disk_cells_loaded: self.disk_cells_loaded.load(Ordering::Relaxed),
+            corrupt_events: self.corrupt_events.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for CellCache {
+    /// Best-effort persistence of whatever is still dirty when the last
+    /// owner lets go (jobs also flush explicitly at their boundaries).
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fedval-cellcache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(round: u32, subset: u64) -> CellKey {
+        CellKey {
+            trace: Fingerprint::from_bits(99),
+            tier: 0,
+            round,
+            subset,
+        }
+    }
+
+    #[test]
+    fn memory_only_cache_shares_and_evicts() {
+        let cache = CellCache::in_memory(2 * CELL_COST_BYTES);
+        for i in 0..5 {
+            let (slot, state) = cache.slot(key(i, 1));
+            assert_eq!(state, SlotState::Reserved);
+            *slot.write() = Some(i as f64);
+            drop(slot);
+            cache.complete(key(i, 1), i as f64);
+        }
+        let stats = cache.stats();
+        assert!(stats.resident_cells <= 2);
+        assert!(stats.evictions >= 3);
+        assert_eq!(stats.spilled_cells, 0, "no disk, nothing spilled");
+    }
+
+    #[test]
+    fn flush_then_attach_round_trips_across_cache_instances() {
+        let dir = tmpdir("roundtrip");
+        let values = [(0u32, 0b1u64, 0.125), (1, 0b11, -7.5)];
+        {
+            let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, &dir);
+            for &(round, subset, v) in &values {
+                let k = CellKey {
+                    round,
+                    subset,
+                    ..key(0, 0)
+                };
+                let (slot, _) = cache.slot(k);
+                *slot.write() = Some(v);
+                drop(slot);
+                cache.complete(k, v);
+            }
+            assert_eq!(cache.flush(), 2);
+        }
+        // Fresh cache instance = simulated process restart.
+        let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, &dir);
+        let loaded = cache.attach(Fingerprint::from_bits(99), 0);
+        assert_eq!(loaded, 2);
+        for &(round, subset, v) in &values {
+            let k = CellKey {
+                round,
+                subset,
+                ..key(0, 0)
+            };
+            let (slot, state) = cache.slot(k);
+            assert_eq!(state, SlotState::Complete);
+            assert_eq!(*slot.read(), Some(v));
+        }
+        // Second attach is a no-op.
+        assert_eq!(cache.attach(Fingerprint::from_bits(99), 0), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_pressure_spills_dirty_cells_to_disk() {
+        let dir = tmpdir("spill");
+        {
+            let cache = CellCache::with_dir(CELL_COST_BYTES, &dir);
+            for i in 0..10 {
+                let k = key(i, 1);
+                let (slot, _) = cache.slot(k);
+                *slot.write() = Some(i as f64);
+                drop(slot);
+                cache.complete(k, i as f64);
+            }
+            cache.flush();
+            assert!(cache.stats().spilled_cells == 10, "all 10 must persist");
+        }
+        let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, &dir);
+        assert_eq!(cache.attach(Fingerprint::from_bits(99), 0), 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_flushes_dirty_cells() {
+        let dir = tmpdir("dropflush");
+        {
+            let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, &dir);
+            let (slot, _) = cache.slot(key(0, 1));
+            *slot.write() = Some(2.5);
+            drop(slot);
+            cache.complete(key(0, 1), 2.5);
+            // No explicit flush: Drop must persist.
+        }
+        let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, &dir);
+        assert_eq!(cache.attach(Fingerprint::from_bits(99), 0), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_from_env_defaults() {
+        let config = CacheConfig::default();
+        assert_eq!(config.memory_budget_bytes, DEFAULT_MEM_BUDGET_BYTES);
+        assert!(config.disk_dir.is_none());
+    }
+}

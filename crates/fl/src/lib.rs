@@ -48,7 +48,7 @@ pub use config::FlConfig;
 pub use error::OracleError;
 pub use fedval_models::DeterminismTier;
 pub use subset::Subset;
-pub use trainer::{train_federated, TrainingTrace};
+pub use trainer::{train_federated, try_train_federated, TrainingTrace};
 pub use utility::{EvalPlan, UtilityOracle};
 pub use utility_matrix::{
     full_utility_matrix, observed_entries, try_full_utility_matrix, ObservedEntry,

@@ -5,6 +5,7 @@ use crate::config::FlConfig;
 use crate::subset::Subset;
 use fedval_data::Dataset;
 use fedval_models::{optim, DeterminismTier, Model};
+use fedval_runtime::{CancelToken, Cancelled};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
@@ -74,6 +75,22 @@ pub fn train_federated(
     clients: &[Dataset],
     config: &FlConfig,
 ) -> TrainingTrace {
+    try_train_federated(prototype, clients, config, &CancelToken::new())
+        .expect("fresh token is never cancelled")
+}
+
+/// [`train_federated`] with cooperative cancellation: `cancel` is
+/// observed at round boundaries, and once set the remaining rounds are
+/// abandoned with `Err(Cancelled)` — this is what lets a service
+/// `DELETE` stop a job during its training stage instead of waiting the
+/// whole run out. A run with a never-fired token is bit-identical to
+/// [`train_federated`] (same RNG draws, same aggregation order).
+pub fn try_train_federated(
+    prototype: &dyn Model,
+    clients: &[Dataset],
+    config: &FlConfig,
+    cancel: &CancelToken,
+) -> Result<TrainingTrace, Cancelled> {
     let n = clients.len();
     assert!(n > 0, "need at least one client");
     assert!(
@@ -87,6 +104,7 @@ pub fn train_federated(
     let mut rounds = Vec::with_capacity(config.rounds);
 
     for t in 0..config.rounds {
+        cancel.check()?;
         let eta = config.learning_rate.at(t);
 
         // Every client computes its local update in parallel. Behavior
@@ -132,11 +150,11 @@ pub fn train_federated(
         });
     }
 
-    TrainingTrace {
+    Ok(TrainingTrace {
         rounds,
         final_params: global,
         num_clients: n,
-    }
+    })
 }
 
 /// Computes `w^{t+1}_i` for every client, chunked across the persistent
@@ -243,6 +261,28 @@ mod tests {
 
     fn proto() -> LogisticRegression {
         LogisticRegression::new(2, 2, 0.01, 42)
+    }
+
+    #[test]
+    fn try_train_with_fresh_token_matches_uncancellable_path() {
+        let cl = clients(4);
+        let config = FlConfig::new(3, 2, 0.1, 9);
+        let a = train_federated(&proto(), &cl, &config);
+        let b = try_train_federated(&proto(), &cl, &config, &CancelToken::new()).unwrap();
+        assert_eq!(a.final_params, b.final_params);
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(ra.global_params, rb.global_params);
+            assert_eq!(ra.selected, rb.selected);
+        }
+    }
+
+    #[test]
+    fn try_train_observes_cancellation_between_rounds() {
+        let cl = clients(4);
+        let token = CancelToken::new();
+        token.cancel();
+        // Pre-fired token: not a single round runs.
+        assert!(try_train_federated(&proto(), &cl, &FlConfig::new(50, 2, 0.1, 9), &token).is_err());
     }
 
     #[test]

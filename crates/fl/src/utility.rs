@@ -55,9 +55,25 @@
 //!
 //! The oracle also counts test-loss evaluations
 //! ([`UtilityOracle::loss_evaluations`]) — the paper's cost unit.
+//!
+//! # The shared cache tier
+//!
+//! By default each oracle owns a private, unbounded result table — the
+//! historical behavior, bit-for-bit. Attaching a process-shared
+//! [`fedval_cache::CellCache`] ([`UtilityOracle::with_shared_cache`])
+//! moves the slots into a bounded store keyed by `(trace fingerprint,
+//! tier, round, subset)`: concurrent oracles over the same trace share
+//! completed cells, memory pressure evicts (and optionally spills to
+//! disk) cold cells, and a disk-backed cache warm-starts repeat
+//! valuations across processes. Because cells are pure functions of the
+//! fingerprinted inputs, eviction and sharing can change *when* a cell
+//! is computed — never its bits; the only relaxation is that an evicted
+//! cell may be recomputed if asked for again. Hits are tallied in
+//! [`UtilityOracle::cell_hits`], never in the loss-evaluation counter.
 
 use crate::subset::Subset;
 use crate::trainer::TrainingTrace;
+use fedval_cache::{CellCache, CellKey, Fingerprint, FingerprintHasher};
 use fedval_data::Dataset;
 use fedval_models::{DeterminismTier, Model, Workspace};
 use fedval_runtime::{CancelToken, Cancelled, PoolHandle};
@@ -160,19 +176,31 @@ impl CellScratch {
 
 /// Fills `slot` exactly once with `compute`'s value, running `compute`
 /// under the cell's write lock (racing evaluators block, then observe
-/// the stored value — never recompute). When `compute` reports
-/// [`Cancelled`] — the workspace token fired *inside* the model's
-/// minibatch loops — the slot is left `None`: the cell is not stored,
-/// not counted, and a retry recomputes it.
+/// the stored value — never recompute). Returns `Some(value)` when this
+/// call did the computing (callers notify the shared cache on that
+/// edge), `None` when the slot was already filled. When `compute`
+/// reports [`Cancelled`] — the workspace token fired *inside* the
+/// model's minibatch loops — the slot is left `None`: the cell is not
+/// stored, not counted, and a retry recomputes it.
 fn init_cell(
     slot: &Cell,
     compute: impl FnOnce() -> Result<f64, Cancelled>,
-) -> Result<(), Cancelled> {
+) -> Result<Option<f64>, Cancelled> {
     let mut guard = slot.write();
     if guard.is_none() {
-        *guard = Some(compute()?);
+        let v = compute()?;
+        *guard = Some(v);
+        return Ok(Some(v));
     }
-    Ok(())
+    Ok(None)
+}
+
+/// An attachment to the process's shared cell-cache tier: the cache
+/// handle plus this oracle's trace fingerprint (the cache-key prefix
+/// every cell of this oracle shares).
+struct SharedCells {
+    cache: Arc<CellCache>,
+    trace: Fingerprint,
 }
 
 /// Evaluates `U_t(S)` against a recorded [`TrainingTrace`].
@@ -186,8 +214,19 @@ pub struct UtilityOracle<'a> {
     /// `ℓ(w_t; D_c)` per round, computed once.
     base_losses: Vec<f64>,
     /// The result table: one compute-once slot per evaluated cell.
+    /// Unused (kept empty) when [`Self::shared`] routes slots to the
+    /// process-shared cache instead.
     table: RwLock<HashMap<(usize, Subset), Cell>>,
+    /// Attachment to the shared cell-cache tier; `None` keeps the
+    /// historical private-table behavior bit-for-bit.
+    shared: Option<SharedCells>,
     calls: AtomicU64,
+    /// Cells served without a loss evaluation (see
+    /// [`Self::cell_hits`]).
+    hits: AtomicU64,
+    /// Cells this oracle's trace found already persisted on disk when
+    /// it attached to the shared cache.
+    disk_warm: u64,
     /// Which pool [`Self::evaluate_plan`] submits batches to.
     pool: PoolHandle,
     /// Optional cap on workers per batch; `None` uses the pool width.
@@ -222,7 +261,48 @@ impl<'a> UtilityOracle<'a> {
             scratch: Mutex::new(scratch),
             base_losses,
             table: RwLock::new(HashMap::new()),
+            shared: None,
             calls: AtomicU64::new(calls),
+            hits: AtomicU64::new(0),
+            disk_warm: 0,
+            pool: PoolHandle::Global,
+            parallelism: None,
+            tier,
+        }
+    }
+
+    /// [`Self::new`] with the per-round base losses supplied instead of
+    /// recomputed — the service's world memo evaluates them once per
+    /// trained trace and every subsequent job's oracle reuses them, so
+    /// repeat jobs start with a zero call counter (the memoized base
+    /// losses were already paid for and reported by the first job).
+    ///
+    /// `base_losses` must come from an oracle over the *same* trace,
+    /// model, and test set (the trace fingerprint hashes them, so a
+    /// mismatch would also change the cache identity).
+    pub fn with_base_losses(
+        trace: &'a TrainingTrace,
+        prototype: &dyn Model,
+        test_data: &'a Dataset,
+        base_losses: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            base_losses.len(),
+            trace.num_rounds(),
+            "one base loss per round"
+        );
+        let tier = DeterminismTier::default_tier();
+        UtilityOracle {
+            trace,
+            test_data,
+            prototype: prototype.clone_model(),
+            scratch: Mutex::new(CellScratch::new(prototype.clone_model(), tier)),
+            base_losses,
+            table: RwLock::new(HashMap::new()),
+            shared: None,
+            calls: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            disk_warm: 0,
             pool: PoolHandle::Global,
             parallelism: None,
             tier,
@@ -268,6 +348,71 @@ impl<'a> UtilityOracle<'a> {
     pub fn set_tier(&mut self, tier: DeterminismTier) {
         self.tier = tier;
         self.scratch.lock().ws.set_tier(tier);
+        // The shared cache keys on the tier, so a retiered oracle reads
+        // and writes a disjoint cell namespace — but its disk segments
+        // for the new tier may exist and deserve loading.
+        if let Some(shared) = &self.shared {
+            self.disk_warm += shared.cache.attach(shared.trace, tier.id());
+        }
+    }
+
+    /// Attaches this oracle to the process-shared cell cache (builder
+    /// style): its result slots move from the private table to `cache`,
+    /// keyed by `(trace fingerprint, tier, round, subset)`, so
+    /// concurrent and future oracles over the same trace share every
+    /// completed cell — and, when the cache has a disk directory,
+    /// persisted cells from previous processes are loaded now.
+    ///
+    /// Sharing never changes values: cells are pure functions of the
+    /// fingerprinted inputs, and the compute-once slot discipline is
+    /// identical in both modes. Call before evaluating any cells —
+    /// cells already in the private table are not migrated.
+    pub fn with_shared_cache(mut self, cache: Arc<CellCache>) -> Self {
+        self.set_shared_cache(cache);
+        self
+    }
+
+    /// See [`Self::with_shared_cache`].
+    pub fn set_shared_cache(&mut self, cache: Arc<CellCache>) {
+        let trace = self.fingerprint();
+        self.disk_warm += cache.attach(trace, self.tier.id());
+        self.shared = Some(SharedCells { cache, trace });
+    }
+
+    /// Whether this oracle serves cells from the shared cache tier.
+    pub fn shared_cache_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The 128-bit identity of everything a cell value depends on:
+    /// model architecture descriptor + initial parameters, the full
+    /// training trace, the test set, and the base losses (which also
+    /// pin the tier they were evaluated at). Deterministic across
+    /// processes — this is the on-disk cache key prefix.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new("fedval-trace-v1");
+        h.write_bytes(self.prototype.cache_descriptor().as_bytes());
+        h.write_f64s(self.prototype.params());
+        h.write_usize(self.trace.num_clients);
+        h.write_len(self.trace.rounds.len());
+        for r in &self.trace.rounds {
+            h.write_f64s(&r.global_params);
+            h.write_len(r.local_params.len());
+            for lp in &r.local_params {
+                h.write_f64s(lp);
+            }
+            h.write_u64(r.selected.bits());
+            h.write_f64(r.eta);
+        }
+        h.write_f64s(&self.trace.final_params);
+        h.write_usize(self.test_data.num_classes());
+        h.write_f64s(self.test_data.features().as_slice());
+        h.write_len(self.test_data.labels().len());
+        for &label in self.test_data.labels() {
+            h.write_usize(label);
+        }
+        h.write_f64s(&self.base_losses);
+        h.finish()
     }
 
     /// The tier cell evaluations run at.
@@ -302,7 +447,10 @@ impl<'a> UtilityOracle<'a> {
     /// [`Self::isolated`] with the clone's cell evaluations pinned to
     /// `tier` — the fresh result table never mixes tiers. The copied
     /// base losses keep their original values (see [`Self::with_tier`]
-    /// for why that cancels out of utility comparisons).
+    /// for why that cancels out of utility comparisons). Isolation also
+    /// drops any shared-cache attachment: an isolated oracle exists to
+    /// measure a method's full standalone cost, which drafting behind
+    /// the shared tier would hide.
     pub fn isolated_with_tier(&self, tier: DeterminismTier) -> UtilityOracle<'a> {
         UtilityOracle {
             trace: self.trace,
@@ -311,7 +459,10 @@ impl<'a> UtilityOracle<'a> {
             scratch: Mutex::new(CellScratch::new(self.prototype.clone_model(), tier)),
             base_losses: self.base_losses.clone(),
             table: RwLock::new(HashMap::new()),
+            shared: None,
             calls: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            disk_warm: 0,
             pool: self.pool.clone(),
             parallelism: self.parallelism,
             tier,
@@ -338,22 +489,74 @@ impl<'a> UtilityOracle<'a> {
         self.base_losses[t]
     }
 
+    /// All per-round base losses, in round order — the slice to hand to
+    /// [`Self::with_base_losses`] when memoizing a trained trace.
+    pub fn base_losses(&self) -> &[f64] {
+        &self.base_losses
+    }
+
     /// Total test-loss evaluations so far (the paper's cost unit).
+    /// Cache hits — in-process or disk-warm — are *not* loss
+    /// evaluations and never inflate this counter; they are tallied
+    /// separately in [`Self::cell_hits`].
     pub fn loss_evaluations(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
     }
 
-    /// Resets the call counter (used between timed phases in Fig. 8).
-    pub fn reset_counter(&self) {
-        self.calls.store(0, Ordering::Relaxed);
+    /// Planned cells served from an already-completed slot without a
+    /// loss evaluation — the cache's contribution, counted when a batch
+    /// plan filters out resident cells (both private-table and
+    /// shared-cache modes). Repeat *reads* of a cell the same caller
+    /// already paid for are not hits; this counts work avoided, not
+    /// lookups made.
+    pub fn cell_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 
-    /// The compute-once slot for a cell, creating it if needed.
+    /// Cells found persisted on disk for this oracle's trace when it
+    /// attached to the shared cache (0 without a disk-backed cache).
+    pub fn disk_warm_cells(&self) -> u64 {
+        self.disk_warm
+    }
+
+    /// Resets the call and hit counters (used between timed phases in
+    /// Fig. 8).
+    pub fn reset_counter(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+    }
+
+    /// The shared-cache key for a cell of this oracle.
+    fn cell_key(&self, shared: &SharedCells, cell: (usize, Subset)) -> CellKey {
+        CellKey {
+            trace: shared.trace,
+            tier: self.tier.id(),
+            round: cell.0 as u32,
+            subset: cell.1.bits(),
+        }
+    }
+
+    /// The compute-once slot for a cell, creating it if needed — in the
+    /// shared cache when attached, in the private table otherwise.
     fn slot(&self, cell: (usize, Subset)) -> Cell {
+        if let Some(shared) = &self.shared {
+            let (slot, _) = shared.cache.slot(self.cell_key(shared, cell));
+            return slot;
+        }
         if let Some(slot) = self.table.read().get(&cell) {
             return Arc::clone(slot);
         }
         Arc::clone(self.table.write().entry(cell).or_default())
+    }
+
+    /// Tells the shared cache a cell now holds `value` (making it a
+    /// spillable resident). No-op in private-table mode. Callers must
+    /// not hold the cell's lock: the cache may evict (and read) other
+    /// unpinned slots under its own mutex.
+    fn note_complete(&self, cell: (usize, Subset), value: f64) {
+        if let Some(shared) = &self.shared {
+            shared.cache.complete(self.cell_key(shared, cell), value);
+        }
     }
 
     /// Evaluates one cell on the given scratch state: FedAvg aggregate
@@ -413,13 +616,23 @@ impl<'a> UtilityOracle<'a> {
         cancel: &CancelToken,
     ) -> Result<(), Cancelled> {
         cancel.check()?;
-        let pending: Vec<((usize, Subset), Cell)> = plan
-            .cells()
-            .iter()
-            .inspect(|(t, _)| assert!(*t < self.trace.num_rounds(), "round out of range"))
-            .map(|&cell| (cell, self.slot(cell)))
-            .filter(|(_, slot)| slot.read().is_none())
-            .collect();
+        let mut hits = 0u64;
+        let mut pending: Vec<((usize, Subset), Cell)> = Vec::new();
+        for &cell in plan.cells() {
+            assert!(cell.0 < self.trace.num_rounds(), "round out of range");
+            let slot = self.slot(cell);
+            if slot.read().is_none() {
+                pending.push((cell, slot));
+            } else {
+                // Already resident (an earlier plan, a concurrent
+                // oracle over the same trace, or a disk-warm cell):
+                // work avoided, counted as a hit — never as a call.
+                hits += 1;
+            }
+        }
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
         if pending.is_empty() {
             return Ok(());
         }
@@ -440,10 +653,13 @@ impl<'a> UtilityOracle<'a> {
             // deadlock against us holding scratch while waiting on the slot.
             for ((t, s), slot) in &pending {
                 cancel.check()?;
-                init_cell(slot, || {
+                let computed = init_cell(slot, || {
                     let mut scratch = self.scratch.lock();
                     self.try_compute_cell(&mut scratch, *t, *s, cancel)
                 })?;
+                if let Some(v) = computed {
+                    self.note_complete((*t, *s), v);
+                }
             }
             // Trailing check mirrors the pooled path: cancellation during
             // the final cell reports Cancelled regardless of pool size.
@@ -457,7 +673,11 @@ impl<'a> UtilityOracle<'a> {
                 // A mid-cell cancellation leaves the slot unset; the
                 // pool observes the shared token at the next item
                 // boundary and reports Cancelled for the whole batch.
-                let _ = init_cell(&slot, || self.try_compute_cell(scratch, t, s, cancel));
+                if let Ok(Some(v)) =
+                    init_cell(&slot, || self.try_compute_cell(scratch, t, s, cancel))
+                {
+                    self.note_complete((t, s), v);
+                }
             },
             Some(cancel),
         )
@@ -489,6 +709,10 @@ impl<'a> UtilityOracle<'a> {
             self.compute_cell(&mut scratch, t, s)
         };
         *guard = Some(v);
+        // The cache completion runs after the cell lock is released
+        // (the cache must never see us holding a slot it manages).
+        drop(guard);
+        self.note_complete((t, s), v);
         v
     }
 
@@ -759,6 +983,163 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn full_plan(rounds: usize, clients: usize) -> EvalPlan {
+        let mut plan = EvalPlan::new();
+        for t in 0..rounds {
+            plan.add_subsets_of(t, Subset::full(clients));
+        }
+        plan
+    }
+
+    #[test]
+    fn shared_cache_serves_bit_identical_values_and_counts_hits() {
+        let (trace, proto, test) = setup();
+        let solo = UtilityOracle::new(&trace, &proto, &test);
+        let cache = fedval_cache::CellCache::in_memory(fedval_cache::DEFAULT_MEM_BUDGET_BYTES);
+        let first = UtilityOracle::new(&trace, &proto, &test).with_shared_cache(Arc::clone(&cache));
+        let second =
+            UtilityOracle::new(&trace, &proto, &test).with_shared_cache(Arc::clone(&cache));
+
+        let plan = full_plan(trace.num_rounds(), 4);
+        solo.evaluate_plan(&plan);
+        first.reset_counter();
+        first.evaluate_plan(&plan);
+        assert_eq!(first.loss_evaluations(), plan.len() as u64);
+        assert_eq!(first.cell_hits(), 0);
+
+        // The second oracle drafts entirely behind the first.
+        second.reset_counter();
+        second.evaluate_plan(&plan);
+        assert_eq!(second.loss_evaluations(), 0, "hits must not count as calls");
+        assert_eq!(second.cell_hits(), plan.len() as u64);
+
+        for &(t, s) in plan.cells() {
+            let expect = solo.utility(t, s).to_bits();
+            assert_eq!(first.utility(t, s).to_bits(), expect);
+            assert_eq!(second.utility(t, s).to_bits(), expect);
+        }
+    }
+
+    #[test]
+    fn adversarially_small_budget_is_bit_identical_to_unbounded() {
+        let (trace, proto, test) = setup();
+        let solo = UtilityOracle::new(&trace, &proto, &test);
+        // One-cell budget: effectively evict-everything.
+        let cache = fedval_cache::CellCache::in_memory(1);
+        let starved =
+            UtilityOracle::new(&trace, &proto, &test).with_shared_cache(Arc::clone(&cache));
+        let plan = full_plan(trace.num_rounds(), 4);
+        starved.evaluate_plan(&plan);
+        for &(t, s) in plan.cells() {
+            assert_eq!(
+                starved.utility(t, s).to_bits(),
+                solo.utility(t, s).to_bits(),
+                "cell ({t}, {s:?}) diverged under eviction pressure"
+            );
+        }
+        assert!(
+            cache.stats().evictions > 0,
+            "a one-cell budget must actually evict"
+        );
+    }
+
+    #[test]
+    fn eviction_is_bit_identical_across_tiers_and_pool_widths() {
+        use fedval_runtime::Pool;
+        let (trace, proto, test) = setup();
+        let plan = full_plan(trace.num_rounds(), 4);
+        for tier in [DeterminismTier::BitExact, DeterminismTier::Fast] {
+            let baseline = UtilityOracle::new(&trace, &proto, &test).with_tier(tier);
+            baseline.evaluate_plan(&plan);
+            for width in [1usize, 4] {
+                // A fresh one-cell cache per leg so every width fights
+                // full eviction pressure on its own.
+                let cache = fedval_cache::CellCache::in_memory(1);
+                let starved = UtilityOracle::new(&trace, &proto, &test)
+                    .with_tier(tier)
+                    .with_pool(PoolHandle::owned(Pool::new(width)))
+                    .with_parallelism(width)
+                    .with_shared_cache(Arc::clone(&cache));
+                starved.evaluate_plan(&plan);
+                for &(t, s) in plan.cells() {
+                    assert_eq!(
+                        starved.utility(t, s).to_bits(),
+                        baseline.utility(t, s).to_bits(),
+                        "cell ({t}, {s:?}) diverged at tier {tier:?}, width {width}"
+                    );
+                }
+                assert!(
+                    cache.stats().evictions > 0,
+                    "{tier:?}/{width} never evicted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disk_warm_start_serves_cells_without_recompute() {
+        let (trace, proto, test) = setup();
+        let dir =
+            std::env::temp_dir().join(format!("fedval-oracle-warm-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = full_plan(trace.num_rounds(), 4);
+        let solo = UtilityOracle::new(&trace, &proto, &test);
+
+        {
+            let cache =
+                fedval_cache::CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir);
+            let cold =
+                UtilityOracle::new(&trace, &proto, &test).with_shared_cache(Arc::clone(&cache));
+            assert_eq!(cold.disk_warm_cells(), 0);
+            cold.evaluate_plan(&plan);
+            assert!(cache.flush() >= plan.len() as u64);
+        }
+
+        // Fresh cache = simulated process restart.
+        let cache = fedval_cache::CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir);
+        let warm = UtilityOracle::new(&trace, &proto, &test).with_shared_cache(Arc::clone(&cache));
+        assert_eq!(warm.disk_warm_cells(), plan.len() as u64);
+        warm.reset_counter();
+        warm.evaluate_plan(&plan);
+        assert_eq!(
+            warm.loss_evaluations(),
+            0,
+            "disk-warm cells must not recompute"
+        );
+        assert_eq!(warm.cell_hits(), plan.len() as u64);
+        for &(t, s) in plan.cells() {
+            assert_eq!(warm.utility(t, s).to_bits(), solo.utility(t, s).to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_trace_tier_and_model() {
+        let (trace, proto, test) = setup();
+        let a = UtilityOracle::new(&trace, &proto, &test);
+        let b = UtilityOracle::new(&trace, &proto, &test);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same inputs, same identity"
+        );
+        // A different model (other regularization) must change identity.
+        let proto2 = LogisticRegression::new(2, 2, 0.5, 7);
+        let c = UtilityOracle::new(&trace, &proto2, &test);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // A different trace must change identity.
+        let clients: Vec<Dataset> = (0..4)
+            .map(|i| {
+                let f = Matrix::from_fn(10, 2, |r, c| ((r + c + i) % 3) as f64 - 1.0);
+                let labels: Vec<usize> = (0..10).map(|r| (r + i) % 2).collect();
+                Dataset::new(f, labels, 2).unwrap()
+            })
+            .collect();
+        let trace2 = train_federated(&proto, &clients, &FlConfig::new(3, 2, 0.2, 1));
+        let d = UtilityOracle::new(&trace2, &proto, &test);
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

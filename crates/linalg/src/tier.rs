@@ -105,6 +105,16 @@ impl DeterminismTier {
             DeterminismTier::Fast => "fast",
         }
     }
+
+    /// Stable one-byte identifier (`BitExact` = 0, `Fast` = 1) — part of
+    /// the on-disk cell-cache key, so it must never be renumbered. New
+    /// tiers take fresh values.
+    pub fn id(self) -> u8 {
+        match self {
+            DeterminismTier::BitExact => 0,
+            DeterminismTier::Fast => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for DeterminismTier {
@@ -146,5 +156,12 @@ mod tests {
             assert_eq!(DeterminismTier::parse(t.name()), Some(t));
             assert_eq!(format!("{t}"), t.name());
         }
+    }
+
+    #[test]
+    fn ids_are_pinned() {
+        // On-disk cache keys depend on these exact values.
+        assert_eq!(DeterminismTier::BitExact.id(), 0);
+        assert_eq!(DeterminismTier::Fast.id(), 1);
     }
 }

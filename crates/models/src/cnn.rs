@@ -1053,6 +1053,17 @@ impl Model for Cnn {
         &self.params
     }
 
+    fn cache_descriptor(&self) -> String {
+        format!(
+            "cnn:h={}:w={}:filters={}:classes={}:reg={:x}",
+            self.config.height,
+            self.config.width,
+            self.config.filters,
+            self.config.num_classes,
+            self.config.reg.to_bits()
+        )
+    }
+
     fn params_mut(&mut self) -> &mut [f64] {
         &mut self.params
     }

@@ -256,6 +256,15 @@ impl Model for LogisticRegression {
         &self.params
     }
 
+    fn cache_descriptor(&self) -> String {
+        format!(
+            "logreg:dim={}:classes={}:reg={:x}",
+            self.dim,
+            self.num_classes,
+            self.reg.to_bits()
+        )
+    }
+
     fn params_mut(&mut self) -> &mut [f64] {
         &mut self.params
     }

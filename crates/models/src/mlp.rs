@@ -414,6 +414,15 @@ impl Model for Mlp {
         &self.params
     }
 
+    fn cache_descriptor(&self) -> String {
+        format!(
+            "mlp:sizes={:?}:act={:?}:reg={:x}",
+            self.sizes,
+            self.activation,
+            self.reg.to_bits()
+        )
+    }
+
     fn params_mut(&mut self) -> &mut [f64] {
         &mut self.params
     }

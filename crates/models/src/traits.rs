@@ -74,6 +74,18 @@ pub trait Model: Send + Sync {
     /// Predicted class for one feature vector.
     fn predict(&self, x: &[f64]) -> usize;
 
+    /// A stable string identifying the architecture and every
+    /// hyperparameter that affects [`loss`](Model::loss) *besides* the
+    /// parameter vector (layer shapes, regularization strength, …).
+    /// The shared cell cache hashes this into trace fingerprints, so
+    /// two models that would score the same parameters differently
+    /// **must** return different descriptors — otherwise cached cells
+    /// could be served across them. The default covers only the
+    /// parameter count; built-in models override it.
+    fn cache_descriptor(&self) -> String {
+        format!("model:params={}", self.num_params())
+    }
+
     /// Deep copy behind a trait object. FedAvg clones one prototype per
     /// client, and the utility oracle's batch engine clones one scratch
     /// model per worker thread — implementations should keep this a plain

@@ -3,14 +3,21 @@
 //!
 //! Each submitted [`JobSpec`] becomes a [`Job`] running on its own
 //! manager thread: the thread materializes the scenario world, trains
-//! the federated trace, and drives a [`ValuationSession`] against a
-//! per-job [`UtilityOracle`](fedval_fl::UtilityOracle) — so jobs share
-//! *compute* (the pool) but never state (each job has its own oracle
-//! cache, its own RNG seeding, its own cancel token). The whole run is
-//! wrapped in [`with_job_class`], so every pool submission the
-//! valuation stack makes — oracle batches, completion solves, nested
-//! training scopes — inherits the job's priority class and lands in
-//! that class's queues under fair-share scheduling.
+//! the federated trace (cancellably — a `DELETE` during training stops
+//! at the next round boundary), and drives a [`ValuationSession`]
+//! against a per-job [`UtilityOracle`]. Jobs
+//! share *compute* (the pool) and *read-only derived state* — the
+//! manager memoizes each `(scenario, seed)` world + trained trace, and
+//! every oracle attaches to one process-shared
+//! [`CellCache`] so a utility cell any job
+//! evaluated is free for all later jobs — but never mutable state:
+//! each job keeps its own RNG seeding and cancel token, and cache
+//! sharing is invisible in result bytes (cells are pure functions of
+//! the fingerprinted trace). The whole run is wrapped in
+//! [`with_job_class`], so every pool submission the valuation stack
+//! makes — oracle batches, completion solves, nested training scopes —
+//! inherits the job's priority class and lands in that class's queues
+//! under fair-share scheduling.
 //!
 //! Because work placement never affects results (the `fedval_runtime`
 //! determinism contract), a job's report is bit-identical whether it
@@ -18,11 +25,13 @@
 //! service's core correctness property, asserted in this crate's
 //! `concurrency` test.
 
-use comfedsv::experiments::Scenario;
-use fedval_fl::ClientBehavior;
+use comfedsv::experiments::{Scenario, World};
+use fedval_cache::{CacheStats, CellCache};
+use fedval_fl::{ClientBehavior, TrainingTrace, UtilityOracle};
 use fedval_linalg::DeterminismTier;
-use fedval_runtime::{with_job_class, CancelToken, JobClass, PoolHandle};
+use fedval_runtime::{with_job_class, CancelToken, Cancelled, JobClass, PoolHandle};
 use fedval_shapley::{ValuationError, ValuationReport, ValuationSession};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -142,11 +151,29 @@ impl JobStatus {
     }
 }
 
+/// How a job's oracle interacted with the shared cell-cache tier,
+/// captured when the job finishes and echoed in its status document.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobCacheInfo {
+    /// Whether the trained world/trace came from the manager's memo
+    /// (true: this job skipped world building and training entirely).
+    pub world_reused: bool,
+    /// Planned utility cells served from the shared cache without a
+    /// loss evaluation.
+    pub cell_hits: u64,
+    /// Loss evaluations this job actually performed.
+    pub cells_computed: u64,
+    /// Cells found already persisted on disk when the oracle attached
+    /// (0 without a `FEDVAL_CACHE_DIR`-backed cache).
+    pub disk_warm_cells: u64,
+}
+
 /// Mutable run state guarded by the job's mutex.
 struct JobState {
     status: JobStatus,
     report: Option<ValuationReport>,
     error: Option<String>,
+    cache: Option<JobCacheInfo>,
     started: Option<Instant>,
     finished: Option<Instant>,
 }
@@ -224,6 +251,17 @@ impl Job {
             .clone()
     }
 
+    /// Shared-cache accounting for this job, filled in when the job's
+    /// valuation finishes (`None` while queued/training, or when the
+    /// job never reached the oracle).
+    pub fn cache_info(&self) -> Option<JobCacheInfo> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).cache
+    }
+
+    fn set_cache_info(&self, info: JobCacheInfo) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).cache = Some(info);
+    }
+
     /// Milliseconds from submission until the job thread started
     /// valuing (so far, if still queued).
     pub fn queued_ms(&self) -> f64 {
@@ -252,10 +290,11 @@ impl Job {
         end.duration_since(self.submitted).as_secs_f64() * 1e3
     }
 
-    /// Cancels the job: the in-flight valuation stops at its next
-    /// permutation/sweep/batch boundary. (Training is not yet
-    /// cancellable; a cancel during training takes effect at the
-    /// pre-valuation check.)
+    /// Cancels the job: in-flight training stops at its next round
+    /// boundary, and an in-flight valuation stops at its next
+    /// permutation/sweep/batch boundary. If this job was training a
+    /// memoized world that other jobs are waiting on, one of the
+    /// waiters takes over the training.
     pub fn cancel(&self) {
         self.cancel.cancel();
         self.events.push(format!(
@@ -375,12 +414,64 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// A memoized `(scenario, seed)` product: the built world, its trained
+/// trace, and the per-round base losses the first oracle evaluated.
+/// Shared read-only between every job with the same key, so repeat and
+/// concurrent submissions train once and value many times.
+struct TrainedWorld {
+    world: World,
+    trace: TrainingTrace,
+    base_losses: Vec<f64>,
+}
+
+/// State of one world-memo slot.
+enum WorldState {
+    /// Some job thread is building/training this world right now;
+    /// waiters block on the memo condvar. If the builder is cancelled
+    /// or panics it removes the entry, and a waiter takes over.
+    Building,
+    /// Trained and immutable.
+    Ready(Arc<TrainedWorld>),
+}
+
+/// The world/trace memo: one slot per `(scenario, seed, fl-config)`
+/// key (the fl-config is derived from scenario + seed, so the resolved
+/// scenario's debug form plus the seed pins all three).
+struct WorldMemo {
+    map: Mutex<HashMap<String, WorldState>>,
+    changed: Condvar,
+}
+
+/// Removes a `Building` slot on unwind so a panicking builder never
+/// strands waiters; disarmed when the slot transitions normally.
+struct BuildGuard<'a> {
+    memo: &'a WorldMemo,
+    key: &'a str,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut map = self.memo.map.lock().unwrap_or_else(|e| e.into_inner());
+            map.remove(self.key);
+            drop(map);
+            self.memo.changed.notify_all();
+        }
+    }
+}
+
 struct ManagerInner {
     pool: PoolHandle,
     /// Oracle parallelism per job (`None`: `max(2, pool width)` so even
     /// a 1-core host fans cells out into schedulable chunks instead of
     /// taking the oracle's inline path).
     parallelism: Option<usize>,
+    /// The process-shared utility-cell cache every job's oracle
+    /// attaches to (possibly disk-backed via `FEDVAL_CACHE_DIR`).
+    cache: Arc<CellCache>,
+    /// Trained-world memo keyed by resolved scenario + seed.
+    worlds: WorldMemo,
     max_active: usize,
     active: AtomicUsize,
     next_id: AtomicU64,
@@ -389,11 +480,14 @@ struct ManagerInner {
 
 /// Multiplexes concurrent valuation jobs onto one worker pool.
 ///
-/// Each job runs on its own thread with an isolated oracle; the shared
-/// pool's fair-share scheduler arbitrates compute between job classes.
-/// The manager retains every job (there is no eviction yet — the
-/// roadmap's persistent cell cache will revisit retention), so status
-/// and reports stay queryable after completion.
+/// Each job runs on its own thread; the shared pool's fair-share
+/// scheduler arbitrates compute between job classes, the manager's
+/// world memo lets jobs with the same `(scenario, seed)` share one
+/// trained trace, and every job's oracle attaches to the manager's
+/// shared [`CellCache`] so evaluated utility cells are reused across
+/// jobs (and across processes, when the cache is disk-backed). The
+/// manager retains every job handle, so status and reports stay
+/// queryable after completion.
 #[derive(Clone)]
 pub struct JobManager {
     inner: Arc<ManagerInner>,
@@ -415,18 +509,43 @@ impl JobManager {
     }
 
     /// A manager submitting to `pool` (benchmarks pin owned pools with
-    /// a chosen [`SchedPolicy`](fedval_runtime::SchedPolicy)).
+    /// a chosen [`SchedPolicy`](fedval_runtime::SchedPolicy)). The cell
+    /// cache comes from the environment
+    /// ([`CellCache::from_env`]: `FEDVAL_CACHE_MEM_MB`,
+    /// `FEDVAL_CACHE_DIR`).
     pub fn with_pool(pool: PoolHandle) -> Self {
+        Self::with_pool_and_cache(pool, CellCache::from_env())
+    }
+
+    /// [`Self::with_pool`] with an explicit cell cache — benchmarks and
+    /// tests pin disk directories and adversarially small memory
+    /// budgets this way.
+    pub fn with_pool_and_cache(pool: PoolHandle, cache: Arc<CellCache>) -> Self {
         JobManager {
             inner: Arc::new(ManagerInner {
                 pool,
                 parallelism: None,
+                cache,
+                worlds: WorldMemo {
+                    map: Mutex::new(HashMap::new()),
+                    changed: Condvar::new(),
+                },
                 max_active: Self::DEFAULT_MAX_ACTIVE,
                 active: AtomicUsize::new(0),
                 next_id: AtomicU64::new(1),
                 jobs: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// The shared utility-cell cache this manager's oracles attach to.
+    pub fn cache(&self) -> &Arc<CellCache> {
+        &self.inner.cache
+    }
+
+    /// Current occupancy/eviction/spill statistics of the shared cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
     }
 
     /// The registry method keys jobs may request.
@@ -489,6 +608,7 @@ impl JobManager {
                 status: JobStatus::Queued,
                 report: None,
                 error: None,
+                cache: None,
                 started: None,
                 finished: None,
             }),
@@ -562,6 +682,82 @@ fn run_job(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
     }
 }
 
+/// Returns the memoized trained world for `scenario` + the job's seed,
+/// building and training it (cancellably) if this job gets there
+/// first. The boolean is `true` when the world came from the memo.
+fn obtain_world(
+    inner: &ManagerInner,
+    job: &Arc<Job>,
+    scenario: &Scenario,
+) -> Result<(Arc<TrainedWorld>, bool), Cancelled> {
+    let key = format!("{scenario:?}#{}", job.spec.seed);
+    {
+        let mut map = inner.worlds.map.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match map.get(&key) {
+                Some(WorldState::Ready(trained)) => return Ok((Arc::clone(trained), true)),
+                Some(WorldState::Building) => {
+                    // A peer is training this world. Wait with a
+                    // timeout so our own cancellation stays live: the
+                    // builder only notifies on completion or
+                    // abandonment.
+                    job.cancel.check()?;
+                    let (guard, _) = inner
+                        .worlds
+                        .changed
+                        .wait_timeout(map, Duration::from_millis(25))
+                        .unwrap_or_else(|e| e.into_inner());
+                    map = guard;
+                }
+                None => {
+                    map.insert(key.clone(), WorldState::Building);
+                    break;
+                }
+            }
+        }
+    }
+    // This job is the builder. The guard clears the slot if the build
+    // is cancelled or panics, waking a waiter to take over.
+    let mut guard = BuildGuard {
+        memo: &inner.worlds,
+        key: &key,
+        armed: true,
+    };
+    let trained = build_and_train(job, scenario)?;
+    let mut map = inner.worlds.map.lock().unwrap_or_else(|e| e.into_inner());
+    map.insert(key.clone(), WorldState::Ready(Arc::clone(&trained)));
+    guard.armed = false;
+    drop(map);
+    inner.worlds.changed.notify_all();
+    Ok((trained, false))
+}
+
+/// The builder side of [`obtain_world`]: world construction, one
+/// cancellable FedAvg run, and the one-time base-loss evaluation every
+/// later oracle over this trace reuses.
+fn build_and_train(job: &Arc<Job>, scenario: &Scenario) -> Result<Arc<TrainedWorld>, Cancelled> {
+    job.cancel.check()?;
+    job.events.push(format!(
+        "{{\"job\": {}, \"stage\": \"build_world\", \"clients\": {}}}",
+        job.id, scenario.num_clients
+    ));
+    let world = scenario.build(job.spec.seed);
+    job.events.push(format!(
+        "{{\"job\": {}, \"stage\": \"train\", \"rounds\": {}}}",
+        job.id, scenario.rounds
+    ));
+    let trace = world.try_train(&scenario.fl_config(job.spec.seed), &job.cancel)?;
+    let base_losses = {
+        let oracle = world.oracle(&trace);
+        oracle.base_losses().to_vec()
+    };
+    Ok(Arc::new(TrainedWorld {
+        world,
+        trace,
+        base_losses,
+    }))
+}
+
 fn run_job_inner(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
     job.set_status(JobStatus::Running);
     let spec = &job.spec;
@@ -569,21 +765,25 @@ fn run_job_inner(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
         job.finish(Err("cancelled before start".into()), true);
         return;
     }
-    job.events.push(format!(
-        "{{\"job\": {}, \"stage\": \"build_world\", \"clients\": {}}}",
-        job.id, scenario.num_clients
-    ));
-    let world = scenario.build(spec.seed);
-    job.events.push(format!(
-        "{{\"job\": {}, \"stage\": \"train\", \"rounds\": {}}}",
-        job.id, scenario.rounds
-    ));
-    let trace = world.train(&scenario.fl_config(spec.seed));
-    if job.cancel.is_cancelled() {
-        job.finish(Err("cancelled during training".into()), true);
-        return;
+    let (trained, world_reused) = match obtain_world(inner, job, &scenario) {
+        Ok(pair) => pair,
+        Err(Cancelled) => {
+            job.finish(Err("cancelled during training".into()), true);
+            return;
+        }
+    };
+    if world_reused {
+        job.events.push(format!(
+            "{{\"job\": {}, \"stage\": \"world_reused\", \"clients\": {}}}",
+            job.id, scenario.num_clients
+        ));
     }
-    let mut oracle = world.oracle(&trace);
+    let mut oracle = UtilityOracle::with_base_losses(
+        &trained.trace,
+        trained.world.prototype.as_ref(),
+        &trained.world.test,
+        trained.base_losses.clone(),
+    );
     oracle.set_pool(inner.pool.clone());
     // Fan cells out into schedulable chunks even on narrow pools: at
     // parallelism 1 the oracle takes a fully-inline path that the
@@ -593,6 +793,15 @@ fn run_job_inner(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
             .parallelism
             .unwrap_or_else(|| inner.pool.threads().max(2)),
     );
+    // Apply the spec's tier to the oracle itself (not just the session)
+    // so the session never needs a fresh-cache retier clone — which
+    // would detach the shared cache. Tier before attaching: the cache
+    // keys cells by tier, and attaching loads that tier's disk
+    // segments.
+    if let Some(tier) = spec.tier {
+        oracle.set_tier(tier);
+    }
+    oracle.set_shared_cache(Arc::clone(&inner.cache));
     let progress_job = Arc::clone(job);
     let mut builder = ValuationSession::builder()
         .rank(spec.rank)
@@ -609,7 +818,18 @@ fn run_job_inner(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
         builder = builder.tier(tier);
     }
     let mut session = builder.build();
-    match session.run(&spec.method, &oracle) {
+    let outcome = session.run(&spec.method, &oracle);
+    job.set_cache_info(JobCacheInfo {
+        world_reused,
+        cell_hits: oracle.cell_hits(),
+        cells_computed: oracle.loss_evaluations(),
+        disk_warm_cells: oracle.disk_warm_cells(),
+    });
+    // Persist whatever this job computed before reporting terminal
+    // state: a disk-backed cache must be warm for the next process by
+    // the time the client sees "done".
+    inner.cache.flush();
+    match outcome {
         Ok(report) => job.finish(Ok(report), false),
         Err(ValuationError::Cancelled) => job.finish(Err("cancelled".into()), true),
         Err(e) => job.finish(Err(e.to_string()), false),

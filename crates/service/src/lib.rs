@@ -58,4 +58,4 @@ pub mod job;
 pub mod wire;
 
 pub use http::{Server, ServerHandle};
-pub use job::{Job, JobManager, JobSpec, JobStatus, SubmitError};
+pub use job::{Job, JobCacheInfo, JobManager, JobSpec, JobStatus, SubmitError};

@@ -113,6 +113,14 @@ pub fn render_job(job: &Job) -> String {
     if let Some(report) = job.report() {
         write_report(&mut w, "report", &report);
     }
+    if let Some(cache) = job.cache_info() {
+        w.begin_object_field_compact("cache");
+        w.bool_field("world_reused", cache.world_reused);
+        w.u64_field("cell_hits", cache.cell_hits);
+        w.u64_field("cells_computed", cache.cells_computed);
+        w.u64_field("disk_warm_cells", cache.disk_warm_cells);
+        w.end_object();
+    }
     if let Some(error) = job.error() {
         w.str_field("error", &error);
     }
@@ -132,6 +140,7 @@ fn write_report(w: &mut JsonWriter, key: &str, report: &ValuationReport) {
     w.end_array();
     w.begin_object_field_compact("diagnostics");
     w.u64_field("cells_evaluated", report.diagnostics.cells_evaluated);
+    w.u64_field("cell_hits", report.diagnostics.cell_hits);
     w.u64_field(
         "permutations_used",
         report.diagnostics.permutations_used as u64,

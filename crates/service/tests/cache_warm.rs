@@ -1,0 +1,195 @@
+//! The cache tier's service-level promises, exercised in process
+//! through the [`JobManager`]:
+//!
+//! 1. **Repeat jobs are near-free** — a second submission of the same
+//!    spec reuses the memoized trained world and serves every utility
+//!    cell from the shared cache (zero loss evaluations), with values
+//!    byte-identical to the first run.
+//! 2. **Warm disk caches survive restarts** — a fresh manager over the
+//!    same `FEDVAL_CACHE_DIR` (simulating a new process) loads the
+//!    previous run's cells from disk and recomputes nothing.
+//! 3. **Training is cancellable** — `DELETE` during a long training
+//!    run stops at a round boundary instead of training to completion,
+//!    and a concurrent job waiting on the same world takes over.
+
+use fedval_cache::CellCache;
+use fedval_runtime::{Pool, PoolHandle, SchedPolicy};
+use fedval_service::job::{JobManager, JobSpec, JobStatus};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn tiny(method: &str, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(method);
+    spec.num_clients = Some(5);
+    spec.samples_per_client = Some(12);
+    spec.rounds = Some(3);
+    spec.clients_per_round = Some(3);
+    spec.seed = seed;
+    spec
+}
+
+fn manager() -> JobManager {
+    JobManager::with_pool(PoolHandle::owned(Pool::with_policy(
+        2,
+        SchedPolicy::FairShare,
+    )))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fedval-service-cache-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: client {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn repeat_job_is_served_from_the_shared_cache() {
+    let manager = manager();
+    let spec = tiny("fedsv", 17);
+
+    let first = manager.submit(spec.clone()).unwrap();
+    assert_eq!(first.wait(), JobStatus::Done);
+    let first_report = first.report().unwrap();
+    let first_cache = first.cache_info().unwrap();
+    assert!(!first_cache.world_reused, "first job trains the world");
+    assert!(first_cache.cells_computed > 0, "cold run computes cells");
+
+    let second = manager.submit(spec).unwrap();
+    assert_eq!(second.wait(), JobStatus::Done);
+    let second_report = second.report().unwrap();
+    let second_cache = second.cache_info().unwrap();
+    assert!(second_cache.world_reused, "second job skips training");
+    assert_eq!(
+        second_cache.cells_computed, 0,
+        "warm run recomputes nothing"
+    );
+    assert!(second_cache.cell_hits > 0, "warm run hits the cache");
+    assert_eq!(second_report.diagnostics.cells_evaluated, 0);
+    assert_eq!(second_report.diagnostics.cell_hits, second_cache.cell_hits);
+    assert_bits_eq(
+        &first_report.values,
+        &second_report.values,
+        "cold vs warm repeat",
+    );
+}
+
+#[test]
+fn concurrent_same_spec_jobs_train_once_and_agree() {
+    let manager = manager();
+    let spec = tiny("fedsv", 23);
+    let jobs: Vec<_> = (0..3)
+        .map(|_| manager.submit(spec.clone()).unwrap())
+        .collect();
+    let mut reports = Vec::new();
+    let mut reused = 0;
+    for job in &jobs {
+        assert_eq!(job.wait(), JobStatus::Done);
+        reports.push(job.report().unwrap());
+        if job.cache_info().unwrap().world_reused {
+            reused += 1;
+        }
+    }
+    assert_eq!(reused, 2, "exactly one job builds; the others reuse");
+    for report in &reports[1..] {
+        assert_bits_eq(&reports[0].values, &report.values, "concurrent same-spec");
+    }
+}
+
+#[test]
+fn warm_disk_cache_survives_a_manager_restart() {
+    let dir = tmpdir("restart");
+    let spec = tiny("fedsv", 31);
+
+    // "Process" one: cold run against an empty cache directory.
+    let cold_values = {
+        let manager = JobManager::with_pool_and_cache(
+            PoolHandle::owned(Pool::with_policy(2, SchedPolicy::FairShare)),
+            CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir),
+        );
+        let job = manager.submit(spec.clone()).unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        let cache = job.cache_info().unwrap();
+        assert_eq!(cache.disk_warm_cells, 0, "nothing persisted yet");
+        assert!(cache.cells_computed > 0);
+        job.report().unwrap().values
+    };
+
+    // "Process" two: a brand-new manager and cache over the same
+    // directory. The world memo is gone (it is in-process state), so
+    // training reruns, but every utility cell loads from disk.
+    let manager = JobManager::with_pool_and_cache(
+        PoolHandle::owned(Pool::with_policy(2, SchedPolicy::FairShare)),
+        CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir),
+    );
+    let job = manager.submit(spec).unwrap();
+    assert_eq!(job.wait(), JobStatus::Done);
+    let cache = job.cache_info().unwrap();
+    assert!(!cache.world_reused, "fresh manager retrains");
+    assert!(cache.disk_warm_cells > 0, "cells loaded from disk");
+    assert_eq!(cache.cells_computed, 0, "warm disk run recomputes nothing");
+    assert_bits_eq(
+        &cold_values,
+        &job.report().unwrap().values,
+        "cold vs disk-warm restart",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_during_training_stops_at_a_round_boundary() {
+    let manager = manager();
+    // Long enough that un-cancelled training would run for minutes.
+    let mut spec = tiny("fedsv", 41);
+    spec.rounds = Some(200_000);
+    spec.samples_per_client = Some(40);
+    let job = manager.submit(spec).unwrap();
+    while job.status() == JobStatus::Queued {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let t0 = Instant::now();
+    manager.cancel(job.id()).unwrap();
+    assert_eq!(job.wait(), JobStatus::Cancelled);
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "cancel during training should stop within a round, took {:?}",
+        t0.elapsed()
+    );
+    assert!(job.report().is_none());
+    assert_eq!(job.error().as_deref(), Some("cancelled during training"));
+}
+
+#[test]
+fn cancelled_builder_hands_training_to_a_waiting_job() {
+    let manager = manager();
+    let mut spec = tiny("fedsv", 47);
+    // Big enough that the builder is still training when cancelled,
+    // small enough that the surviving job retrains promptly.
+    spec.rounds = Some(400);
+    spec.samples_per_client = Some(60);
+    let builder = manager.submit(spec.clone()).unwrap();
+    while builder.status() == JobStatus::Queued {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let waiter = manager.submit(spec).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    manager.cancel(builder.id()).unwrap();
+    assert_eq!(builder.wait(), JobStatus::Cancelled);
+    // The waiter takes over training (or reuses the world if the
+    // builder finished before the cancel landed) and completes.
+    assert_eq!(waiter.wait(), JobStatus::Done);
+    assert_eq!(waiter.report().unwrap().values.len(), 5);
+}

@@ -78,6 +78,7 @@ impl Valuator for FedSv {
         ctx: &mut RunContext<'_>,
     ) -> Result<ValuationReport, ValuationError> {
         let before = oracle.loss_evaluations();
+        let hits_before = oracle.cell_hits();
         let (values, permutations_used) = match &self.sampling {
             None => {
                 ctx.emit(self.name(), "enumerate per-round cohorts");
@@ -95,6 +96,7 @@ impl Valuator for FedSv {
             values,
             diagnostics: Diagnostics {
                 cells_evaluated: oracle.loss_evaluations() - before,
+                cell_hits: oracle.cell_hits() - hits_before,
                 permutations_used,
                 ..Diagnostics::default()
             },

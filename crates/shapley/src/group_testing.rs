@@ -88,6 +88,7 @@ impl Valuator for GroupTesting {
         let mut cfg = self.clone();
         cfg.seed = ctx.seed_or(self.seed);
         let before = oracle.loss_evaluations();
+        let hits_before = oracle.cell_hits();
         ctx.emit(self.name(), "sample coalitions");
         let values = cfg.run_inner(oracle, ctx)?;
         Ok(ValuationReport {
@@ -95,6 +96,7 @@ impl Valuator for GroupTesting {
             values,
             diagnostics: Diagnostics {
                 cells_evaluated: oracle.loss_evaluations() - before,
+                cell_hits: oracle.cell_hits() - hits_before,
                 ..Diagnostics::default()
             },
         })

@@ -316,6 +316,7 @@ impl Valuator for ComFedSv {
         let mut cfg = self.clone();
         cfg.seed = ctx.seed_or(self.seed);
         let before = oracle.loss_evaluations();
+        let hits_before = oracle.cell_hits();
         ctx.emit(self.name(), "observe + complete + value");
         let completer = cfg
             .solver
@@ -326,6 +327,7 @@ impl Valuator for ComFedSv {
             values: out.values,
             diagnostics: Diagnostics {
                 cells_evaluated: oracle.loss_evaluations() - before,
+                cell_hits: oracle.cell_hits() - hits_before,
                 permutations_used: out.permutations.len(),
                 objective_trace: out.objective_trace,
                 ..Diagnostics::default()
@@ -411,6 +413,7 @@ impl Valuator for ExactShapley {
         ctx: &mut RunContext<'_>,
     ) -> Result<ValuationReport, ValuationError> {
         let before = oracle.loss_evaluations();
+        let hits_before = oracle.cell_hits();
         ctx.emit(self.name(), "evaluate full utility grid");
         let values = self.run_inner(oracle, ctx)?;
         Ok(ValuationReport {
@@ -418,6 +421,7 @@ impl Valuator for ExactShapley {
             values,
             diagnostics: Diagnostics {
                 cells_evaluated: oracle.loss_evaluations() - before,
+                cell_hits: oracle.cell_hits() - hits_before,
                 ..Diagnostics::default()
             },
         })

@@ -123,6 +123,7 @@ impl Valuator for Tmc {
         let mut cfg = self.clone();
         cfg.seed = ctx.seed_or(self.seed);
         let before = oracle.loss_evaluations();
+        let hits_before = oracle.cell_hits();
         ctx.emit(self.name(), "truncated permutation walk");
         let out = cfg.run_with(oracle, ctx)?;
         Ok(ValuationReport {
@@ -130,6 +131,7 @@ impl Valuator for Tmc {
             values: out.values,
             diagnostics: Diagnostics {
                 cells_evaluated: oracle.loss_evaluations() - before,
+                cell_hits: oracle.cell_hits() - hits_before,
                 permutations_used: self.permutations,
                 truncated_fraction: Some(out.truncated_fraction),
                 ..Diagnostics::default()

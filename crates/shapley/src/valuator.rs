@@ -194,6 +194,11 @@ pub struct Diagnostics {
     /// Model loss evaluations performed during this run (the paper's
     /// Fig.-8 cost unit; cache hits on the oracle are free and excluded).
     pub cells_evaluated: u64,
+    /// Utility cells this run needed that were already resident in the
+    /// oracle's cache (private table, shared store, or disk-warmed) —
+    /// work *avoided*. Reported separately so `cells_evaluated` keeps
+    /// its strict "losses actually computed" meaning.
+    pub cell_hits: u64,
     /// Completion-solver objective trajectory (empty for methods that do
     /// not complete a matrix).
     pub objective_trace: Vec<f64>,

@@ -13,8 +13,11 @@ use fedval_data::{
     partition_iid, partition_shards, Dataset, LabelCorruption, SimImageConfig, SyntheticConfig,
     SyntheticFederated,
 };
-use fedval_fl::{train_federated, ClientBehavior, FlConfig, TrainingTrace, UtilityOracle};
+use fedval_fl::{
+    train_federated, try_train_federated, ClientBehavior, FlConfig, TrainingTrace, UtilityOracle,
+};
 use fedval_models::{Activation, Cnn, CnnConfig, LogisticRegression, Mlp, Model};
+use fedval_runtime::{CancelToken, Cancelled};
 use fedval_shapley::{ValuationError, ValuationReport, ValuationSession};
 
 /// Sweeps valuation methods over a recorded run through one
@@ -390,6 +393,23 @@ impl World {
             return train_federated(self.prototype.as_ref(), &self.clients, &merged);
         }
         train_federated(self.prototype.as_ref(), &self.clients, config)
+    }
+
+    /// [`Self::train`] with cooperative cancellation: `cancel` is
+    /// checked at every round boundary, so a service job whose client
+    /// disconnects mid-training stops within one round instead of
+    /// training to completion first. A fresh token never fires, making
+    /// this a drop-in superset of [`Self::train`].
+    pub fn try_train(
+        &self,
+        config: &FlConfig,
+        cancel: &CancelToken,
+    ) -> Result<TrainingTrace, Cancelled> {
+        if config.behaviors.is_empty() && !self.behaviors.is_empty() {
+            let merged = config.clone().with_behaviors(self.behaviors.clone());
+            return try_train_federated(self.prototype.as_ref(), &self.clients, &merged, cancel);
+        }
+        try_train_federated(self.prototype.as_ref(), &self.clients, config, cancel)
     }
 
     /// Builds a utility oracle over a recorded trace.

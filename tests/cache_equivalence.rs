@@ -1,0 +1,204 @@
+//! The cache tier's end-to-end correctness bar: every seeded valuation
+//! (all 7 registered methods × 5 seeded worlds) is bit-identical with
+//! the shared cell cache enabled, under adversarial eviction pressure
+//! (a one-cell memory budget), and across a simulated process restart
+//! (fresh cache warmed from the disk spill of the previous one).
+//!
+//! Sharing and eviction may change *when* a cell is computed — never
+//! its bits: cells are pure functions of the fingerprinted trace, and
+//! recompute-on-miss is therefore free of correctness risk. This test
+//! is the repo-level enforcement of that claim.
+
+use comfedsv::prelude::*;
+use fedval_cache::CellCache;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SEEDS: [u64; 5] = [1, 7, 11, 21, 42];
+
+fn build_world(seed: u64) -> (World, TrainingTrace) {
+    let world = ExperimentBuilder::synthetic(true)
+        .num_clients(5)
+        .samples_per_client(30)
+        .test_samples(60)
+        .seed(seed)
+        .build();
+    let trace = world.train(&FlConfig::new(4, 3, 0.2, seed));
+    (world, trace)
+}
+
+fn session(seed: u64) -> ValuationSession {
+    ValuationSession::builder()
+        .rank(3)
+        .permutations(30)
+        .samples(80)
+        .seed(seed)
+        .build()
+}
+
+/// Runs every registered method against `oracle`, returning
+/// `(method, values)` pairs in registry order.
+fn sweep(oracle: &UtilityOracle<'_>, seed: u64) -> Vec<(String, Vec<f64>)> {
+    let mut session = session(seed);
+    session
+        .method_names()
+        .into_iter()
+        .map(|name| {
+            let report = session
+                .run(&name, oracle)
+                .unwrap_or_else(|e| panic!("method {name} failed: {e}"));
+            (name, report.values)
+        })
+        .collect()
+}
+
+fn assert_sweeps_eq(a: &[(String, Vec<f64>)], b: &[(String, Vec<f64>)], context: &str) {
+    assert_eq!(a.len(), b.len());
+    for ((name_a, va), (_, vb)) in a.iter().zip(b) {
+        assert_eq!(va.len(), vb.len());
+        for (i, (x, y)) in va.iter().zip(vb).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{context}: {name_a} client {i} diverged ({x} vs {y})"
+            );
+        }
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fedval-cache-equivalence-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn all_seeded_valuations_are_bit_identical_with_shared_cache() {
+    for seed in SEEDS {
+        let (world, trace) = build_world(seed);
+        let baseline = sweep(&world.oracle(&trace), seed);
+
+        let cache = CellCache::in_memory(fedval_cache::DEFAULT_MEM_BUDGET_BYTES);
+        let shared_oracle = world.oracle(&trace).with_shared_cache(Arc::clone(&cache));
+        let shared = sweep(&shared_oracle, seed);
+        assert_sweeps_eq(&baseline, &shared, &format!("seed {seed}, shared cache"));
+    }
+}
+
+#[test]
+fn all_seeded_valuations_are_bit_identical_under_eviction_pressure() {
+    for seed in SEEDS {
+        let (world, trace) = build_world(seed);
+        let baseline = sweep(&world.oracle(&trace), seed);
+
+        // A one-cell budget evicts essentially every completed cell;
+        // each method recomputes misses, and the bits must not move.
+        let cache = CellCache::in_memory(1);
+        let starved_oracle = world.oracle(&trace).with_shared_cache(Arc::clone(&cache));
+        let starved = sweep(&starved_oracle, seed);
+        assert_sweeps_eq(
+            &baseline,
+            &starved,
+            &format!("seed {seed}, eviction pressure"),
+        );
+        assert!(
+            cache.stats().evictions > 0,
+            "seed {seed}: one-cell budget never evicted"
+        );
+    }
+}
+
+#[test]
+fn poisoned_disk_caches_degrade_to_recompute_never_wrong_values() {
+    let seed = 7;
+    let dir = tmpdir("poison");
+    let (world, trace) = build_world(seed);
+
+    // Cold run spills one segment per (trace, tier) group.
+    let cold = {
+        let cache = CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir);
+        let oracle = world.oracle(&trace).with_shared_cache(Arc::clone(&cache));
+        let cold = sweep(&oracle, seed);
+        cache.flush();
+        cold
+    };
+    let segments: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cells"))
+        .collect();
+    assert!(!segments.is_empty(), "cold run must have spilled a segment");
+    let pristine: Vec<Vec<u8>> = segments.iter().map(|p| std::fs::read(p).unwrap()).collect();
+
+    // Three poisons: a truncated tail (crashed writer), one flipped
+    // checksum byte (bit rot), and a wrong-version header (stale
+    // format). Each must log a corrupt event and change no bits.
+    type Poison = fn(&mut Vec<u8>);
+    let poisons: [(&str, Poison); 3] = [
+        ("truncated file", |bytes| {
+            bytes.truncate(bytes.len() - 5);
+        }),
+        ("flipped checksum byte", |bytes| {
+            // First record starts at 32; its checksum occupies bytes
+            // 20..28 of the record.
+            bytes[32 + 20] ^= 0x01;
+        }),
+        ("wrong-version header", |bytes| {
+            bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        }),
+    ];
+    for (label, poison) in poisons {
+        for (path, bytes) in segments.iter().zip(&pristine) {
+            let mut poisoned = bytes.clone();
+            poison(&mut poisoned);
+            std::fs::write(path, poisoned).unwrap();
+        }
+        let cache = CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir);
+        let oracle = world.oracle(&trace).with_shared_cache(Arc::clone(&cache));
+        let warm = sweep(&oracle, seed);
+        assert_sweeps_eq(&cold, &warm, &format!("poison: {label}"));
+        assert!(
+            cache.stats().corrupt_events > 0,
+            "{label}: anomaly was not logged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_seeded_valuations_are_bit_identical_across_disk_warm_restart() {
+    for seed in SEEDS {
+        let dir = tmpdir(&format!("seed{seed}"));
+        let (world, trace) = build_world(seed);
+
+        // Cold "process": evaluate everything, spill to disk.
+        let cold = {
+            let cache = CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir);
+            let oracle = world.oracle(&trace).with_shared_cache(Arc::clone(&cache));
+            let cold = sweep(&oracle, seed);
+            assert!(cache.flush() > 0 || cache.stats().spilled_cells > 0);
+            cold
+        };
+
+        // Warm "process": a brand-new cache over the same directory
+        // serves every cell from disk without recomputation.
+        let cache = CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir);
+        let oracle = world.oracle(&trace).with_shared_cache(Arc::clone(&cache));
+        assert!(
+            oracle.disk_warm_cells() > 0,
+            "seed {seed}: no cells loaded from disk"
+        );
+        let before = oracle.loss_evaluations();
+        let warm = sweep(&oracle, seed);
+        assert_eq!(
+            oracle.loss_evaluations(),
+            before,
+            "seed {seed}: disk-warm sweep recomputed cells"
+        );
+        assert_sweeps_eq(&cold, &warm, &format!("seed {seed}, disk-warm restart"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

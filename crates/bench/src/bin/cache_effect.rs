@@ -12,8 +12,8 @@
 //!   training) and the shared cache (no cell computes).
 //! * **cross-process** — the binary re-spawns itself (`--child`) twice
 //!   against one cache directory. The second child starts with empty
-//!   process state and must retrain, but loads every cell from the
-//!   first child's disk spill.
+//!   process state but rehydrates the first child's persisted training
+//!   trace (no retraining) and loads every cell from its disk spill.
 //!
 //! Values are asserted bit-identical between every leg before any
 //! number is reported — the speedup is pure caching, never a numerical
@@ -225,8 +225,9 @@ fn main() {
     );
 
     // Cross-process leg: two fresh processes over one cache directory.
-    // The warm child retrains (the world memo dies with the process)
-    // but loads every cell from the cold child's spill.
+    // The warm child rehydrates the cold child's persisted trace (the
+    // in-process memo dies, the trace file doesn't) and loads every
+    // cell from its spill.
     let dir = tmpdir("crossproc");
     let t0 = Instant::now();
     let (cross_cold_ms, cross_cold_cells, _, cross_cold_warm, cold_sum) = spawn_child(&dir);
@@ -242,7 +243,7 @@ fn main() {
     assert_eq!(cold_sum, warm_sum, "cross-process values diverged");
     let cross_speedup = cross_cold_ms / cross_warm_ms;
     println!(
-        "{:>22}  {:>10.1}  {:>10.2}  {:>8.1}x   (children: {:.1}s; warm child retrains, cells all disk-warm)",
+        "{:>22}  {:>10.1}  {:>10.2}  {:>8.1}x   (children: {:.1}s; warm child trace-rehydrated, cells all disk-warm)",
         "cross-process exact",
         cross_cold_ms,
         cross_warm_ms,

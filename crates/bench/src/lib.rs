@@ -154,8 +154,8 @@
 //!   },
 //!   "cross_process": {
 //!     "cold_ms": 1724.2,          // child 1: empty cache directory
-//!     "warm_ms": 45.6,            // child 2: retrains, loads all cells from disk
-//!     "speedup": 37.8,
+//!     "warm_ms": 45.6,            // child 2: rehydrates the persisted trace,
+//!     "speedup": 37.8,            //          loads all cells from disk
 //!     "disk_warm_cells": 40950
 //!   },
 //!   "warm_speedup": 106.1         // = in_process.speedup (the CI gate)
@@ -166,6 +166,20 @@
 //! before any number is written (in-process directly, cross-process via
 //! an order-sensitive checksum of the value bits), so every speedup is
 //! pure caching — never a numerical shortcut.
+//!
+//! # The `chaos` binary
+//!
+//! `chaos` emits no JSON baseline — it is a pass/fail fault-injection
+//! harness for the crash-safety contract. Each scenario computes a
+//! clean-run value checksum, injects a fault (SIGKILL mid-spill or
+//! mid-training, two same-directory writer processes, truncated and
+//! bit-flipped segments/traces, a planted stale temp file, an unusable
+//! cache directory, a SIGTERM drain of the real `fedval_serve`
+//! binary), then asserts the recovered valuation is bit-identical to
+//! the baseline, corruption is counted in `corrupt_events` rather than
+//! trusted, and exactly one process trains a shared world. `--smoke`
+//! runs the kill + writer-race scenarios; `--sigterm-smoke` runs the
+//! serve drain; no flags runs everything. Exit ≠ 0 on any violation.
 
 pub mod fairness_trials;
 pub mod profile;

@@ -1,0 +1,166 @@
+//! Cross-process coordination for shared cache directories.
+//!
+//! Multiple `fedval_serve` processes may point `FEDVAL_CACHE_DIR` at
+//! the same directory. Segment writes were already safe without
+//! coordination (unique names, temp + rename), but two operations need
+//! mutual exclusion across processes:
+//!
+//! * **maintenance** (manifest rewrite, segment compaction, tmp GC) —
+//!   a single writer at a time, so two processes never compact the same
+//!   segments concurrently;
+//! * **world training** — two processes handed the same
+//!   `(scenario, seed, fl-config)` job should train once, with the
+//!   loser waiting for the winner's persisted trace instead of
+//!   duplicating minutes of FedAvg.
+//!
+//! Both use [`DirLock`]: an advisory, OS-level exclusive file lock
+//! (`flock`-style, via the `std::fs::File` locking API) on a named
+//! `*.lock` file inside the cache directory. The kernel releases the
+//! lock when the holding process exits **for any reason** — including
+//! `SIGKILL` — so a writer dying mid-operation never strands the
+//! directory; the next contender simply acquires the lock. The lock
+//! file's *contents* (holder pid + an acquisition note) are purely
+//! informational, a heartbeat for humans inspecting a shared directory;
+//! correctness rides on the kernel lock alone, never on the metadata.
+
+use std::fs::{self, File, OpenOptions, TryLockError};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// An exclusive advisory lock on one file in a cache directory. Held
+/// for the guard's lifetime; released on drop or process death.
+#[derive(Debug)]
+pub struct DirLock {
+    file: File,
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Tries to take the exclusive lock on `path` without blocking.
+    /// `Ok(None)` means another live process holds it. The lock file is
+    /// created if absent and never removed (removal would race fresh
+    /// acquisitions on the old inode).
+    pub fn try_acquire(path: impl Into<PathBuf>, note: &str) -> io::Result<Option<DirLock>> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => {}
+            Err(TryLockError::WouldBlock) => return Ok(None),
+            Err(TryLockError::Error(e)) => return Err(e),
+        }
+        let lock = DirLock { file, path };
+        lock.write_heartbeat(note);
+        Ok(Some(lock))
+    }
+
+    /// The lock file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rewrites the informational holder metadata (pid + note). Called
+    /// on acquisition and harmless to call again as a liveness
+    /// heartbeat; failures are ignored — the kernel lock is the truth.
+    pub fn write_heartbeat(&self, note: &str) {
+        let mut file = &self.file;
+        let _ = file.set_len(0);
+        let _ = writeln!(file, "pid {}\n{note}", std::process::id());
+        let _ = file.flush();
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        // Dropping the File releases the OS lock; scrub the metadata so
+        // a stale pid is not mistaken for a live holder by humans.
+        let _ = self.file.set_len(0);
+    }
+}
+
+/// Removes `*.tmp` leftovers from crashed writers. A temp file only
+/// exists for the instant between write and rename, so anything older
+/// than `max_age` is an orphan from a process that died mid-write.
+/// Returns the number of files removed; all errors are soft (another
+/// process may race the same cleanup).
+pub(crate) fn sweep_orphan_tmp(dir: &Path, max_age: std::time::Duration) -> u64 {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0u64;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        let is_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".tmp"));
+        if !is_tmp {
+            continue;
+        }
+        let old_enough = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= max_age);
+        if old_enough && fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fedval-coord-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lock_is_exclusive_within_a_process_and_releases_on_drop() {
+        let dir = tmpdir("excl");
+        let path = dir.join("writer.lock");
+        let held = DirLock::try_acquire(&path, "first")
+            .unwrap()
+            .expect("uncontended lock acquires");
+        assert!(
+            DirLock::try_acquire(&path, "second").unwrap().is_none(),
+            "second acquisition must observe the held lock"
+        );
+        let contents = fs::read_to_string(&path).unwrap();
+        assert!(contents.contains(&format!("pid {}", std::process::id())));
+        drop(held);
+        assert!(
+            DirLock::try_acquire(&path, "third").unwrap().is_some(),
+            "drop releases the lock"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_tmp_sweep_spares_fresh_files() {
+        let dir = tmpdir("sweep");
+        fs::write(dir.join("seg-x.cells.tmp"), b"partial").unwrap();
+        fs::write(dir.join("seg-x.cells"), b"real").unwrap();
+        assert_eq!(
+            sweep_orphan_tmp(&dir, Duration::from_secs(3600)),
+            0,
+            "a just-written tmp is presumed live"
+        );
+        assert_eq!(sweep_orphan_tmp(&dir, Duration::ZERO), 1);
+        assert!(!dir.join("seg-x.cells.tmp").exists());
+        assert!(dir.join("seg-x.cells").exists(), "non-tmp files untouched");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

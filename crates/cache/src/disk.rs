@@ -35,16 +35,28 @@
 //! via a temp file + rename, so concurrent processes sharing a cache
 //! directory need no locking and readers never observe a partial
 //! segment (short of a crashed writer, which truncation detection
-//! absorbs). A human-readable `manifest.json` summarizing the directory
-//! is rewritten after each flush; it is advisory only — loads scan the
-//! directory, not the manifest.
+//! absorbs). The operations that *do* mutate shared state — the
+//! `manifest.json` rewrite, segment compaction, and orphan-tmp GC — run
+//! under a single-writer advisory lock (`writer.lock`, see
+//! [`crate::DirLock`]); a contended writer simply skips its turn, and a
+//! writer killed mid-operation releases the lock with its process. The
+//! manifest stays advisory for reads — loads scan the directory, not
+//! the manifest — so even a torn manifest can never corrupt a value.
+//!
+//! [`DiskCache::maintain`] is the janitor: it sweeps `*.tmp` orphans
+//! left by crashed writers and compacts any `(trace, tier)` group that
+//! has accumulated more than [`COMPACT_MIN_SEGMENTS`] segment files
+//! into one merged, deduplicated segment — long-lived shared
+//! directories stay O(traces) files instead of O(flushes).
 
+use crate::coord::{sweep_orphan_tmp, DirLock};
 use crate::hash::{Fingerprint, FingerprintHasher};
 use fedval_jsonio::JsonWriter;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Segment file magic (8 bytes, includes a NUL so text files never
 /// match).
@@ -55,6 +67,19 @@ pub const FORMAT_VERSION: u32 = 1;
 
 const HEADER_BYTES: usize = 32;
 const RECORD_BYTES: usize = 28;
+
+/// Name of the single-writer advisory lock file inside a cache
+/// directory (guards manifest rewrite, compaction, and tmp GC).
+pub const WRITER_LOCK_FILE: &str = "writer.lock";
+
+/// A `(trace, tier)` group is compacted once it spans more than this
+/// many segment files.
+pub const COMPACT_MIN_SEGMENTS: usize = 8;
+
+/// A `*.tmp` file older than this is an orphan from a crashed writer
+/// (live temp files exist only for the instant between write and
+/// rename).
+const TMP_ORPHAN_AGE: Duration = Duration::from_secs(60);
 
 /// One persisted cell: `(round, subset bits, value)`.
 pub type DiskCell = (u32, u64, f64);
@@ -128,6 +153,12 @@ impl DiskCache {
             out.segments_scanned += 1;
             match fs::read(&path) {
                 Ok(bytes) => read_segment(&path, &bytes, trace, tier, &mut out),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // A concurrent maintainer compacted this segment
+                    // away between our directory scan and the read; its
+                    // cells live on in the merged segment. Benign.
+                    out.segments_scanned -= 1;
+                }
                 Err(e) => {
                     log_event(&format!("segment {} unreadable: {e}", path.display()));
                     out.corrupt_events += 1;
@@ -178,40 +209,193 @@ impl DiskCache {
         Ok(Some(path))
     }
 
-    /// Rewrites `manifest.json`: one row per segment file with its
-    /// trace, tier, and record count. Advisory (for humans and tooling;
-    /// never read on load).
+    /// Takes the directory's single-writer lock without blocking.
+    /// `Ok(None)` means another live process is the writer right now.
+    pub fn try_writer_lock(&self, note: &str) -> io::Result<Option<DirLock>> {
+        DirLock::try_acquire(self.dir.join(WRITER_LOCK_FILE), note)
+    }
+
+    /// Rewrites `manifest.json` under the single-writer lock: one row
+    /// per segment file with its record count, plus the persisted
+    /// traces. Advisory (for humans and tooling; never read on load).
+    /// Skips quietly when another process holds the writer lock — the
+    /// current writer rewrites the manifest as part of its own turn.
     pub fn write_manifest(&self) -> io::Result<()> {
-        let mut rows: Vec<(String, u64)> = Vec::new();
+        match self.try_writer_lock("manifest rewrite")? {
+            Some(_lock) => self.write_manifest_as_writer(),
+            None => Ok(()),
+        }
+    }
+
+    /// The manifest rewrite body; caller must hold the writer lock.
+    fn write_manifest_as_writer(&self) -> io::Result<()> {
+        let mut segments: Vec<(String, u64)> = Vec::new();
+        let mut traces: Vec<(String, u64)> = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if !name.starts_with("seg-") || !name.ends_with(".cells") {
-                continue;
-            }
             let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
-            let records = len.saturating_sub(HEADER_BYTES as u64) / RECORD_BYTES as u64;
-            rows.push((name.to_string(), records));
+            if name.starts_with("seg-") && name.ends_with(".cells") {
+                let records = len.saturating_sub(HEADER_BYTES as u64) / RECORD_BYTES as u64;
+                segments.push((name.to_string(), records));
+            } else if name.starts_with("trace-") && name.ends_with(".trace") {
+                traces.push((name.to_string(), len));
+            }
         }
-        rows.sort();
+        segments.sort();
+        traces.sort();
         let mut w = JsonWriter::new();
         w.begin_object();
         w.str_field("format", "fedval-cell-cache");
         w.u64_field("version", FORMAT_VERSION as u64);
+        w.u64_field("writer_pid", std::process::id() as u64);
         w.begin_array_field("segments");
-        for (name, records) in &rows {
+        for (name, records) in &segments {
             w.begin_object_compact();
             w.str_field("file", name);
             w.u64_field("records", *records);
             w.end_object();
         }
         w.end_array();
+        w.begin_array_field("traces");
+        for (name, bytes) in &traces {
+            w.begin_object_compact();
+            w.str_field("file", name);
+            w.u64_field("bytes", *bytes);
+            w.end_object();
+        }
+        w.end_array();
         w.end_object();
-        let tmp = self.dir.join("manifest.json.tmp");
+        let tmp = self
+            .dir
+            .join(format!("manifest.json.p{}.tmp", std::process::id()));
         fs::write(&tmp, w.finish())?;
         fs::rename(tmp, self.dir.join("manifest.json"))
     }
+
+    /// One maintenance turn: sweep orphaned temp files, compact
+    /// oversized `(trace, tier)` segment groups, refresh the manifest.
+    /// All under the single-writer lock; if another process is the
+    /// writer, this returns immediately with `held_elsewhere` set.
+    pub fn maintain(&self) -> MaintainOutcome {
+        let mut out = MaintainOutcome::default();
+        let lock = match self.try_writer_lock("maintenance") {
+            Ok(Some(lock)) => lock,
+            Ok(None) => {
+                out.held_elsewhere = true;
+                return out;
+            }
+            Err(e) => {
+                log_event(&format!("writer lock unavailable: {e}"));
+                out.corrupt_events += 1;
+                return out;
+            }
+        };
+        out.removed_tmp = sweep_orphan_tmp(&self.dir, TMP_ORPHAN_AGE);
+        self.compact_oversized_groups(&mut out);
+        let _ = lock; // held through compaction and the manifest rewrite
+        if let Err(e) = self.write_manifest_as_writer() {
+            log_event(&format!("manifest write failed: {e}"));
+        }
+        out
+    }
+
+    /// Merges every `(trace, tier)` group spanning more than
+    /// [`COMPACT_MIN_SEGMENTS`] files into one deduplicated segment.
+    /// Caller must hold the writer lock. The merged segment is written
+    /// (temp + rename) *before* the originals are deleted, so a crash
+    /// at any point loses no verified cell; a concurrent reader sees
+    /// old + new (duplicate cells are idempotent — identical values of
+    /// a pure function) or just new.
+    fn compact_oversized_groups(&self, out: &mut MaintainOutcome) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut groups: Vec<((Fingerprint, u8), Vec<PathBuf>)> = Vec::new();
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            let Some(identity) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(parse_segment_name)
+            else {
+                continue;
+            };
+            match groups.iter_mut().find(|(g, _)| *g == identity) {
+                Some((_, paths)) => paths.push(path),
+                None => groups.push((identity, vec![path])),
+            }
+        }
+        for ((trace, tier), mut paths) in groups {
+            if paths.len() <= COMPACT_MIN_SEGMENTS {
+                continue;
+            }
+            paths.sort();
+            // Read only the snapshot taken above: segments appended by
+            // other processes after this point are left alone.
+            let mut scan = LoadOutcome::default();
+            for path in &paths {
+                match fs::read(path) {
+                    Ok(bytes) => read_segment(path, &bytes, trace, tier, &mut scan),
+                    Err(e) => {
+                        log_event(&format!("segment {} unreadable: {e}", path.display()));
+                        scan.corrupt_events += 1;
+                    }
+                }
+            }
+            out.corrupt_events += scan.corrupt_events;
+            let mut seen = std::collections::HashSet::new();
+            let merged: Vec<DiskCell> = scan
+                .cells
+                .into_iter()
+                .filter(|&(round, subset, _)| seen.insert((round, subset)))
+                .collect();
+            match self.append(trace, tier, &merged) {
+                Ok(_) => {
+                    out.compacted_groups += 1;
+                    for path in &paths {
+                        if fs::remove_file(path).is_ok() {
+                            out.removed_segments += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Keep the originals: no write, no loss.
+                    log_event(&format!("compaction write failed: {e}"));
+                    out.corrupt_events += 1;
+                }
+            }
+        }
+    }
+}
+
+/// What one [`DiskCache::maintain`] turn did.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaintainOutcome {
+    /// Another process held the writer lock; nothing was done.
+    pub held_elsewhere: bool,
+    /// Orphaned `*.tmp` files removed.
+    pub removed_tmp: u64,
+    /// `(trace, tier)` groups merged into one segment.
+    pub compacted_groups: u64,
+    /// Original segment files deleted after a successful merge.
+    pub removed_segments: u64,
+    /// Anomalies encountered while compacting (logged, dropped).
+    pub corrupt_events: u64,
+}
+
+/// Parses `seg-<32-hex trace>-t<tier>-…cells` into its identity.
+fn parse_segment_name(name: &str) -> Option<(Fingerprint, u8)> {
+    let rest = name.strip_prefix("seg-")?;
+    if !name.ends_with(".cells") {
+        return None;
+    }
+    let (hex, rest) = rest.split_at_checked(32)?;
+    let trace = Fingerprint::from_hex(hex)?;
+    let rest = rest.strip_prefix("-t")?;
+    let tier: u8 = rest.split('-').next()?.parse().ok()?;
+    Some((trace, tier))
 }
 
 /// The checksum stored with each record: a fingerprint fold of the full
@@ -422,6 +606,84 @@ mod tests {
         assert!(manifest.contains("\"format\": \"fedval-cell-cache\""));
         assert!(manifest.contains("\"records\": 3"));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn maintain_compacts_oversized_groups_and_sweeps_orphans() {
+        let dir = tmpdir("maintain");
+        let disk = DiskCache::open(&dir).unwrap();
+        for round in 0..(COMPACT_MIN_SEGMENTS as u32 + 2) {
+            disk.append(trace(), 1, &[(round, 0b1, round as f64)])
+                .unwrap();
+        }
+        // Duplicate an existing cell in a separate segment: compaction
+        // must dedup it, not double it.
+        disk.append(trace(), 1, &[(0, 0b1, 0.0)]).unwrap();
+        // A small group under the threshold stays untouched.
+        disk.append(trace(), 0, &[(0, 0b1, 7.0)]).unwrap();
+        // Plant a stale orphan tmp (backdated past TMP_ORPHAN_AGE).
+        let orphan = dir.join("seg-orphan.cells.tmp");
+        fs::write(&orphan, b"partial").unwrap();
+        let old = std::time::SystemTime::now() - 2 * TMP_ORPHAN_AGE;
+        fs::File::options()
+            .write(true)
+            .open(&orphan)
+            .unwrap()
+            .set_times(fs::FileTimes::new().set_modified(old))
+            .unwrap();
+
+        let before = disk.load(trace(), 1);
+        let out = disk.maintain();
+        assert!(!out.held_elsewhere);
+        assert_eq!(out.removed_tmp, 1);
+        assert_eq!(out.compacted_groups, 1);
+        assert_eq!(out.removed_segments, COMPACT_MIN_SEGMENTS as u64 + 3);
+        assert_eq!(out.corrupt_events, 0);
+        assert!(!orphan.exists());
+
+        let after = disk.load(trace(), 1);
+        assert_eq!(after.segments_scanned, 1, "group merged into one file");
+        let mut before_cells = before.cells.clone();
+        let mut after_cells = after.cells.clone();
+        before_cells.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        after_cells.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        before_cells.dedup_by_key(|&mut (round, subset, _)| (round, subset));
+        assert_eq!(after_cells, before_cells, "no cell lost or invented");
+        assert_eq!(
+            disk.load(trace(), 0).segments_scanned,
+            1,
+            "small group kept"
+        );
+        // Idempotent: a second turn finds nothing to do.
+        let again = disk.maintain();
+        assert_eq!(again.compacted_groups, 0);
+        assert_eq!(again.removed_tmp, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn maintain_yields_to_a_live_writer() {
+        let dir = tmpdir("yield");
+        let disk = DiskCache::open(&dir).unwrap();
+        let _held = disk.try_writer_lock("test writer").unwrap().unwrap();
+        let out = disk.maintain();
+        assert!(out.held_elsewhere);
+        assert_eq!(out.compacted_groups, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names_parse_back_to_their_identity() {
+        assert_eq!(
+            parse_segment_name(&format!("seg-{}-t3-p77-0.cells", trace().to_hex())),
+            Some((trace(), 3))
+        );
+        assert_eq!(parse_segment_name("manifest.json"), None);
+        assert_eq!(parse_segment_name("seg-nothex-t0-p1-0.cells"), None);
+        assert_eq!(
+            parse_segment_name(&format!("seg-{}-t0-p1-0.cells.tmp", trace().to_hex())),
+            None
+        );
     }
 
     #[test]

@@ -23,6 +23,25 @@
 //! can serve many tenants' oracles concurrently while staying
 //! bit-identical to solo recomputation.
 //!
+//! # Crash safety and multi-process sharing
+//!
+//! Several processes may point at one cache directory concurrently:
+//!
+//! * segment and trace writes are temp + rename under unique names, so
+//!   readers never observe a partial file and a `SIGKILL` mid-write
+//!   leaves only a `*.tmp` orphan (swept by the maintenance janitor);
+//! * the mutating maintenance operations (manifest rewrite, segment
+//!   compaction, orphan GC) run under a single-writer advisory file
+//!   lock ([`DirLock`] on `writer.lock`) that the kernel releases on
+//!   process death — no stale-lock limbo, ever;
+//! * trained traces persist as `trace-<world>.trace`
+//!   ([`CellCache::store_trace`]) so a restarted process skips FedAvg
+//!   training, and [`CellCache::try_train_lock`] elects one trainer per
+//!   world across processes;
+//! * an unusable or failing directory *degrades* the cache to
+//!   memory-only ([`CacheStats::disk_degraded`]) instead of failing
+//!   jobs or buffering dirty cells without bound.
+//!
 //! # Configuration
 //!
 //! [`CacheConfig::from_env`] reads:
@@ -30,20 +49,30 @@
 //! * `FEDVAL_CACHE_DIR` — cache directory; unset disables disk spill
 //!   and persistence (in-memory sharing still applies);
 //! * `FEDVAL_CACHE_MEM_MB` — in-process budget in MiB (default 64;
-//!   minimum one cell).
+//!   minimum one cell). An unparseable value logs one warning and
+//!   falls back to the default.
 
+mod coord;
 mod disk;
 mod hash;
 mod store;
+mod trace;
 
-pub use disk::{DiskCache, DiskCell, LoadOutcome, FORMAT_VERSION, MAGIC};
+pub use coord::DirLock;
+pub use disk::{
+    DiskCache, DiskCell, LoadOutcome, MaintainOutcome, COMPACT_MIN_SEGMENTS, FORMAT_VERSION, MAGIC,
+    WRITER_LOCK_FILE,
+};
 pub use hash::{Fingerprint, FingerprintHasher};
 pub use store::{CellKey, CellSlot, CellStore, SlotState, CELL_COST_BYTES};
+pub use trace::{
+    trace_file_name, TraceLoad, TraceRecord, TraceRound, TRACE_FORMAT_VERSION, TRACE_MAGIC,
+};
 
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default in-process budget when `FEDVAL_CACHE_MEM_MB` is unset.
@@ -68,15 +97,27 @@ impl Default for CacheConfig {
 }
 
 impl CacheConfig {
-    /// Reads `FEDVAL_CACHE_DIR` / `FEDVAL_CACHE_MEM_MB` (unparseable
-    /// budget values fall back to the default — a bad env var should
-    /// not take the service down).
+    /// Reads `FEDVAL_CACHE_DIR` / `FEDVAL_CACHE_MEM_MB` (an unparseable
+    /// budget value logs one warning and falls back to the default — a
+    /// bad env var must never take the service down).
     pub fn from_env() -> Self {
-        let memory_budget_bytes = std::env::var("FEDVAL_CACHE_MEM_MB")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .map(|mb| mb.saturating_mul(1024 * 1024))
-            .unwrap_or(DEFAULT_MEM_BUDGET_BYTES);
+        let memory_budget_bytes = match std::env::var("FEDVAL_CACHE_MEM_MB") {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(mb) => mb.saturating_mul(1024 * 1024),
+                Err(_) => {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!(
+                            "fedval_cache: FEDVAL_CACHE_MEM_MB={raw:?} is not a MiB count; \
+                             using default {} MiB",
+                            DEFAULT_MEM_BUDGET_BYTES / (1024 * 1024)
+                        );
+                    });
+                    DEFAULT_MEM_BUDGET_BYTES
+                }
+            },
+            Err(_) => DEFAULT_MEM_BUDGET_BYTES,
+        };
         let disk_dir = std::env::var("FEDVAL_CACHE_DIR")
             .ok()
             .filter(|v| !v.trim().is_empty())
@@ -106,6 +147,13 @@ pub struct CacheStats {
     /// Disk anomalies absorbed (each logged, each degraded to
     /// recompute).
     pub corrupt_events: u64,
+    /// Failed segment/trace writes (each logged; cells stayed buffered
+    /// until the degradation threshold).
+    pub write_errors: u64,
+    /// Whether a configured disk directory has been abandoned — it was
+    /// unusable at startup or accumulated too many write failures — and
+    /// the cache is serving memory-only.
+    pub disk_degraded: bool,
 }
 
 /// The shared cache tier: bounded in-process store + optional disk
@@ -121,16 +169,31 @@ pub struct CellCache {
     spilled_cells: AtomicU64,
     disk_cells_loaded: AtomicU64,
     corrupt_events: AtomicU64,
+    write_errors: AtomicU64,
+    /// Set when the disk directory is unusable (at startup or after
+    /// [`WRITE_ERROR_LIMIT`] failed writes): the cache stops touching
+    /// it and serves memory-only.
+    degraded: AtomicBool,
 }
 
 /// Spill-buffer high-water mark: exceeding it writes a segment eagerly
 /// so unbounded eviction pressure cannot re-grow memory in the buffer.
 const SPILL_FLUSH_CELLS: usize = 8192;
 
+/// Segment-write failures tolerated before the disk tier is declared
+/// degraded. Cells re-buffer (and retry on the next flush) until then;
+/// at the limit the buffer is dropped — recompute covers dropped cells,
+/// whereas an unwritable directory retained forever is a memory leak.
+const WRITE_ERROR_LIMIT: u64 = 3;
+
 impl CellCache {
     /// Builds a cache from `config`. An unusable disk directory is a
-    /// logged degradation (cache runs memory-only), not an error.
+    /// logged degradation (cache runs memory-only), not an error. A
+    /// usable one gets a startup maintenance turn (orphan sweep,
+    /// compaction) — skipped without fuss if another process holds the
+    /// writer lock.
     pub fn new(config: CacheConfig) -> Arc<Self> {
+        let mut degraded = false;
         let disk = config.disk_dir.and_then(|dir| match DiskCache::open(&dir) {
             Ok(disk) => Some(disk),
             Err(e) => {
@@ -138,10 +201,11 @@ impl CellCache {
                     "fedval_cache: cache dir {} unusable: {e} (running memory-only)",
                     dir.display()
                 );
+                degraded = true;
                 None
             }
         });
-        Arc::new(CellCache {
+        let cache = Arc::new(CellCache {
             store: CellStore::with_budget_bytes(config.memory_budget_bytes),
             disk,
             attached: Mutex::new(HashSet::new()),
@@ -149,7 +213,16 @@ impl CellCache {
             spilled_cells: AtomicU64::new(0),
             disk_cells_loaded: AtomicU64::new(0),
             corrupt_events: AtomicU64::new(0),
-        })
+            write_errors: AtomicU64::new(0),
+            degraded: AtomicBool::new(degraded),
+        });
+        if let Some(disk) = cache.disk_ok() {
+            let outcome = disk.maintain();
+            cache
+                .corrupt_events
+                .fetch_add(outcome.corrupt_events, Ordering::Relaxed);
+        }
+        cache
     }
 
     /// Environment-configured cache ([`CacheConfig::from_env`]).
@@ -173,9 +246,40 @@ impl CellCache {
         })
     }
 
-    /// Whether a disk directory is configured and usable.
+    /// Whether a disk directory is configured and still usable (a
+    /// degraded directory reports `false`).
     pub fn has_disk(&self) -> bool {
-        self.disk.is_some()
+        self.disk_ok().is_some()
+    }
+
+    /// Whether a configured disk directory has been abandoned.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The disk tier, unless absent or degraded.
+    fn disk_ok(&self) -> Option<&DiskCache> {
+        match &self.disk {
+            Some(disk) if !self.degraded.load(Ordering::Relaxed) => Some(disk),
+            _ => None,
+        }
+    }
+
+    /// Records one failed disk write; at [`WRITE_ERROR_LIMIT`] the disk
+    /// tier is abandoned and the spill buffer dropped (recompute covers
+    /// the dropped cells). Returns whether the cache just degraded.
+    fn note_write_error(&self, what: &str, e: &std::io::Error) -> bool {
+        let errors = self.write_errors.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("fedval_cache: {what} write failed: {e} ({errors}/{WRITE_ERROR_LIMIT})");
+        if errors >= WRITE_ERROR_LIMIT && !self.degraded.swap(true, Ordering::Relaxed) {
+            let dropped = std::mem::take(&mut *self.spill_buf.lock()).len();
+            eprintln!(
+                "fedval_cache: disk tier degraded after {errors} write failures; \
+                 serving memory-only ({dropped} buffered cells dropped — recompute covers them)"
+            );
+            return true;
+        }
+        false
     }
 
     /// Loads `(trace, tier)`'s persisted cells into the store, once per
@@ -183,7 +287,7 @@ impl CellCache {
     /// is the number of verified cells loaded *now* — an oracle seeing
     /// a positive count knows its trace is disk-warm.
     pub fn attach(&self, trace: Fingerprint, tier: u8) -> u64 {
-        let Some(disk) = &self.disk else { return 0 };
+        let Some(disk) = self.disk_ok() else { return 0 };
         {
             let mut attached = self.attached.lock();
             if !attached.insert((trace, tier)) {
@@ -224,22 +328,33 @@ impl CellCache {
         self.queue_spill(spill);
     }
 
-    /// Persists all dirty cells (evicted spill buffer + still-resident)
-    /// and refreshes the manifest. Returns cells written. No-op without
-    /// a disk directory. I/O errors are logged degradations — dirty
-    /// cells stay buffered for the next flush attempt.
+    /// Persists all dirty cells (evicted spill buffer + still-resident),
+    /// refreshes the manifest, and runs one maintenance turn (orphan
+    /// sweep + compaction, skipped if another process is the writer).
+    /// Returns cells written. No-op without a usable disk directory.
+    /// I/O errors are logged degradations — dirty cells stay buffered
+    /// for the next flush attempt until the write-error limit trips
+    /// degraded mode.
     pub fn flush(&self) -> u64 {
-        let Some(_) = &self.disk else { return 0 };
+        if self.disk_ok().is_none() {
+            return 0;
+        }
         let mut pending = std::mem::take(&mut *self.spill_buf.lock());
         pending.extend(self.store.drain_dirty());
-        self.write_segments(pending)
+        let written = self.write_segments(pending);
+        if let Some(disk) = self.disk_ok() {
+            let outcome = disk.maintain();
+            self.corrupt_events
+                .fetch_add(outcome.corrupt_events, Ordering::Relaxed);
+        }
+        written
     }
 
     /// Buffers evicted dirty cells for persistence (dropping them when
-    /// no disk is configured — recompute covers them) and writes a
-    /// segment eagerly past the high-water mark.
+    /// no usable disk is configured — recompute covers them) and writes
+    /// a segment eagerly past the high-water mark.
     fn queue_spill(&self, spill: Vec<(CellKey, f64)>) {
-        if spill.is_empty() || self.disk.is_none() {
+        if spill.is_empty() || self.disk_ok().is_none() {
             return;
         }
         let flush_now = {
@@ -254,9 +369,11 @@ impl CellCache {
     }
 
     /// Groups `cells` by `(trace, tier)` and writes one segment per
-    /// group; returns cells durably written.
+    /// group; returns cells durably written. Failed groups re-buffer
+    /// for retry — unless the failure pushed the cache over
+    /// [`WRITE_ERROR_LIMIT`], which degrades to memory-only.
     fn write_segments(&self, cells: Vec<(CellKey, f64)>) -> u64 {
-        let Some(disk) = &self.disk else { return 0 };
+        let Some(disk) = self.disk_ok() else { return 0 };
         if cells.is_empty() {
             return 0;
         }
@@ -273,7 +390,9 @@ impl CellCache {
             match disk.append(trace, tier, &rows) {
                 Ok(_) => written += rows.len() as u64,
                 Err(e) => {
-                    eprintln!("fedval_cache: segment write failed: {e} (cells stay dirty)");
+                    if self.note_write_error("segment", &e) {
+                        break;
+                    }
                     let mut buf = self.spill_buf.lock();
                     buf.extend(rows.iter().map(|&(round, subset, v)| {
                         (
@@ -298,6 +417,60 @@ impl CellCache {
         written
     }
 
+    /// Loads the persisted trained trace for `world`, if any. A corrupt
+    /// file counts one corrupt event and reads as [`TraceLoad::Absent`]
+    /// would — the caller retrains. Always `Absent` without a usable
+    /// disk directory.
+    pub fn load_trace(&self, world: Fingerprint) -> TraceLoad {
+        let Some(disk) = self.disk_ok() else {
+            return TraceLoad::Absent;
+        };
+        let loaded = trace::load_trace(disk.dir(), world);
+        if matches!(loaded, TraceLoad::Corrupt) {
+            self.corrupt_events.fetch_add(1, Ordering::Relaxed);
+        }
+        loaded
+    }
+
+    /// Persists a trained trace for `world` so later (or concurrent)
+    /// processes skip training. Returns whether the file was durably
+    /// written; failures count as write errors and degrade like
+    /// segment-write failures.
+    pub fn store_trace(&self, world: Fingerprint, record: &TraceRecord) -> bool {
+        let Some(disk) = self.disk_ok() else {
+            return false;
+        };
+        match trace::store_trace(disk.dir(), world, record) {
+            Ok(_) => true,
+            Err(e) => {
+                self.note_write_error("trace", &e);
+                false
+            }
+        }
+    }
+
+    /// Elects this process as `world`'s trainer. `None` means another
+    /// live process holds the election lock (poll [`Self::load_trace`]
+    /// for its result); `Some` grants training. Memory-only and
+    /// degraded caches always win a no-op grant — there is nobody to
+    /// coordinate with. If the lock file itself is unusable, training
+    /// proceeds uncoordinated: duplicated work is safe (cells and
+    /// traces are pure), a stalled job is not.
+    pub fn try_train_lock(&self, world: Fingerprint) -> Option<TrainLock> {
+        let Some(disk) = self.disk_ok() else {
+            return Some(TrainLock { _lock: None });
+        };
+        let path = disk.dir().join(format!("train-{}.lock", world.to_hex()));
+        match DirLock::try_acquire(path, "training election") {
+            Ok(Some(lock)) => Some(TrainLock { _lock: Some(lock) }),
+            Ok(None) => None,
+            Err(e) => {
+                eprintln!("fedval_cache: train lock unavailable: {e} (training uncoordinated)");
+                Some(TrainLock { _lock: None })
+            }
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -308,8 +481,18 @@ impl CellCache {
             spilled_cells: self.spilled_cells.load(Ordering::Relaxed),
             disk_cells_loaded: self.disk_cells_loaded.load(Ordering::Relaxed),
             corrupt_events: self.corrupt_events.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            disk_degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Proof that this process won (or runs without) a world's training
+/// election. Dropping it releases the election lock; a process killed
+/// while holding one releases it via the kernel.
+#[derive(Debug)]
+pub struct TrainLock {
+    _lock: Option<DirLock>,
 }
 
 impl Drop for CellCache {
@@ -439,5 +622,139 @@ mod tests {
         let config = CacheConfig::default();
         assert_eq!(config.memory_budget_bytes, DEFAULT_MEM_BUDGET_BYTES);
         assert!(config.disk_dir.is_none());
+    }
+
+    #[test]
+    fn unusable_dir_degrades_to_memory_only() {
+        // The "directory" path runs through a regular file, so
+        // create_dir_all must fail — even as root (chmod tricks don't
+        // bind root).
+        let blocker = tmpdir("blocker");
+        fs::create_dir_all(&blocker).unwrap();
+        let file = blocker.join("not-a-dir");
+        fs::write(&file, b"x").unwrap();
+        let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, file.join("cache"));
+        assert!(!cache.has_disk());
+        assert!(cache.is_degraded());
+        assert!(cache.stats().disk_degraded);
+        // Jobs still work from memory.
+        let k = key(0, 1);
+        let (slot, state) = cache.slot(k);
+        assert_eq!(state, SlotState::Reserved);
+        *slot.write() = Some(1.5);
+        drop(slot);
+        cache.complete(k, 1.5);
+        assert_eq!(*cache.slot(k).0.read(), Some(1.5));
+        assert_eq!(cache.flush(), 0);
+        assert_eq!(cache.attach(Fingerprint::from_bits(99), 0), 0);
+        assert!(matches!(
+            cache.load_trace(Fingerprint::from_bits(1)),
+            TraceLoad::Absent
+        ));
+        assert!(
+            cache.try_train_lock(Fingerprint::from_bits(1)).is_some(),
+            "degraded cache self-elects (nobody to coordinate with)"
+        );
+        fs::remove_dir_all(&blocker).unwrap();
+    }
+
+    #[test]
+    fn repeated_write_failures_degrade_instead_of_buffering_forever() {
+        let dir = tmpdir("writefail");
+        let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, &dir);
+        assert!(cache.has_disk());
+        // Yank the directory out from under the cache: every segment
+        // write now fails.
+        fs::remove_dir_all(&dir).unwrap();
+        for i in 0..(WRITE_ERROR_LIMIT + 2) {
+            let k = key(i as u32, 1);
+            let (slot, _) = cache.slot(k);
+            *slot.write() = Some(i as f64);
+            drop(slot);
+            cache.complete(k, i as f64);
+            cache.flush();
+        }
+        let stats = cache.stats();
+        assert!(stats.disk_degraded, "must give up, not retry forever");
+        assert!(stats.write_errors >= WRITE_ERROR_LIMIT);
+        assert_eq!(stats.spilled_cells, 0);
+        assert!(!cache.has_disk());
+        // Values remain served from memory, bit-exact.
+        assert_eq!(*cache.slot(key(0, 1)).0.read(), Some(0.0));
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_cache_facade() {
+        let dir = tmpdir("facadetrace");
+        let world = Fingerprint::from_bits(7777);
+        let record = TraceRecord {
+            num_clients: 1,
+            rounds: vec![TraceRound {
+                global: vec![0.5],
+                locals: vec![vec![-0.5]],
+                selected: 0b1,
+                eta: 0.25,
+            }],
+            final_params: vec![0.125],
+            base_losses: vec![0.75],
+        };
+        {
+            let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, &dir);
+            assert!(matches!(cache.load_trace(world), TraceLoad::Absent));
+            assert!(cache.store_trace(world, &record));
+        }
+        // Fresh instance = restarted process: the trace is there.
+        let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, &dir);
+        match cache.load_trace(world) {
+            TraceLoad::Ready(loaded) => assert_eq!(loaded, record),
+            _ => panic!("restarted process must find the persisted trace"),
+        }
+        // Corruption is counted and degrades to retrain.
+        let path = dir.join(trace_file_name(world));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(cache.load_trace(world), TraceLoad::Corrupt));
+        assert_eq!(cache.stats().corrupt_events, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn train_lock_elects_a_single_trainer_per_world() {
+        let dir = tmpdir("trainlock");
+        let cache = CellCache::with_dir(DEFAULT_MEM_BUDGET_BYTES, &dir);
+        let world = Fingerprint::from_bits(11);
+        let other_world = Fingerprint::from_bits(22);
+        let won = cache.try_train_lock(world).expect("uncontended election");
+        assert!(
+            cache.try_train_lock(world).is_none(),
+            "second contender for the same world must lose"
+        );
+        assert!(
+            cache.try_train_lock(other_world).is_some(),
+            "elections are per-world"
+        );
+        drop(won);
+        assert!(
+            cache.try_train_lock(world).is_some(),
+            "release re-opens the election"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_only_cache_always_wins_its_own_election() {
+        let cache = CellCache::in_memory(DEFAULT_MEM_BUDGET_BYTES);
+        assert!(cache.try_train_lock(Fingerprint::from_bits(1)).is_some());
+        assert!(!cache.store_trace(
+            Fingerprint::from_bits(1),
+            &TraceRecord {
+                num_clients: 0,
+                rounds: Vec::new(),
+                final_params: Vec::new(),
+                base_losses: Vec::new(),
+            }
+        ));
     }
 }

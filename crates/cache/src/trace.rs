@@ -1,0 +1,394 @@
+//! Persisted trained traces: the crash-safe store that lets a restarted
+//! (or concurrent) process skip FedAvg training entirely, not just cell
+//! recompute.
+//!
+//! The cell segments persist *derived* values; this module persists the
+//! *source* — the full training trace (per-round global/local
+//! parameters, selections, step sizes), the final parameters, and the
+//! base losses the first oracle evaluated. The file is keyed by a
+//! **world fingerprint** computed from the job's `(scenario, seed,
+//! fl-config)` *before* training (the trace's own fingerprint cannot
+//! key it: it only exists after training).
+//!
+//! # Format (version 1)
+//!
+//! One file per world, `trace-<worldkey>.trace`, all little-endian:
+//!
+//! ```text
+//! header:  magic "FVTRACE\0" (8) | version u32 | pad u32 |
+//!          world key u128 (16)
+//! counts:  num_clients u64 | params_len u64 | rounds u64 |
+//!          base_losses len u64
+//! rounds:  (eta f64 | selected u64 | global [params_len × f64] |
+//!           locals [num_clients × params_len × f64]) × rounds
+//! tail:    final_params [params_len × f64] | base_losses [len × f64] |
+//!          checksum u64
+//! ```
+//!
+//! The trailing checksum fingerprints the world key plus every payload
+//! word, so a flipped byte anywhere invalidates the whole file. Same
+//! discipline as cell segments: temp + rename writes (readers never see
+//! a partial file — a `SIGKILL` mid-write leaves only a `*.tmp`
+//! orphan), and **any** anomaly on read degrades to retraining, never
+//! to a wrong trace.
+
+use crate::hash::{Fingerprint, FingerprintHasher};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Trace-file magic (8 bytes, NUL-terminated so text never matches).
+pub const TRACE_MAGIC: [u8; 8] = *b"FVTRACE\0";
+
+/// Current trace-file format version; bump on any layout change.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// One recorded round, in neutral (crate-independent) form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRound {
+    /// Global model broadcast at the start of the round.
+    pub global: Vec<f64>,
+    /// Every client's locally updated model (one `Vec` per client).
+    pub locals: Vec<Vec<f64>>,
+    /// Bitmask of the clients whose models were aggregated.
+    pub selected: u64,
+    /// Learning rate used this round.
+    pub eta: f64,
+}
+
+/// A complete persisted training product. `fedval_service` converts
+/// between this and its `TrainingTrace` + base losses; keeping the type
+/// here (floats and masks only) spares `fedval_cache` any dependency on
+/// the FL crates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Number of participating clients.
+    pub num_clients: u64,
+    /// Per-round records.
+    pub rounds: Vec<TraceRound>,
+    /// Final aggregated global parameters.
+    pub final_params: Vec<f64>,
+    /// Per-round base losses (the subtrahend every oracle over this
+    /// trace reuses), evaluated once by the training process.
+    pub base_losses: Vec<f64>,
+}
+
+impl TraceRecord {
+    /// Parameter-vector length (0 for an empty trace).
+    pub fn params_len(&self) -> usize {
+        self.final_params.len()
+    }
+}
+
+/// File name for a world's persisted trace.
+pub fn trace_file_name(world: Fingerprint) -> String {
+    format!("trace-{}.trace", world.to_hex())
+}
+
+/// Serializes `record` into the version-1 byte layout.
+fn encode(world: Fingerprint, record: &TraceRecord) -> Vec<u8> {
+    let params_len = record.params_len() as u64;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&TRACE_MAGIC);
+    buf.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(&world.to_le_bytes());
+    buf.extend_from_slice(&record.num_clients.to_le_bytes());
+    buf.extend_from_slice(&params_len.to_le_bytes());
+    buf.extend_from_slice(&(record.rounds.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&(record.base_losses.len() as u64).to_le_bytes());
+    for round in &record.rounds {
+        buf.extend_from_slice(&round.eta.to_bits().to_le_bytes());
+        buf.extend_from_slice(&round.selected.to_le_bytes());
+        for &v in &round.global {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for local in &round.locals {
+            for &v in local {
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    for &v in &record.final_params {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for &v in &record.base_losses {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    let checksum = payload_checksum(world, &buf[32..]);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// The trailing checksum: a fingerprint fold of the world key and every
+/// payload byte after the 32-byte header.
+fn payload_checksum(world: Fingerprint, payload: &[u8]) -> u64 {
+    let mut h = FingerprintHasher::new("fedval-trace-record-v1");
+    h.write_u64(world.bits() as u64);
+    h.write_u64((world.bits() >> 64) as u64);
+    h.write_bytes(payload);
+    h.finish().bits() as u64
+}
+
+/// Writes `record` as `trace-<world>.trace` in `dir` via temp + rename.
+pub fn store_trace(dir: &Path, world: Fingerprint, record: &TraceRecord) -> io::Result<PathBuf> {
+    let bytes = encode(world, record);
+    let name = trace_file_name(world);
+    let tmp = dir.join(format!("{name}.p{}.tmp", std::process::id()));
+    let path = dir.join(&name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Result of loading a persisted trace: the verified record, or a
+/// counted reason to retrain.
+pub enum TraceLoad {
+    /// Verified bit-exact record.
+    Ready(TraceRecord),
+    /// No file for this world (the normal cold-start case).
+    Absent,
+    /// A file existed but failed verification (logged; the caller
+    /// counts a corrupt event and retrains).
+    Corrupt,
+}
+
+/// Loads and fully verifies the persisted trace for `world`, if any.
+/// Unlike cell segments (individually checksummed records, prefix kept
+/// on a bad tail), a trace is all-or-nothing: any anomaly rejects the
+/// whole file — a partially trusted trace could silently shift every
+/// valuation built on it.
+pub fn load_trace(dir: &Path, world: Fingerprint) -> TraceLoad {
+    let path = dir.join(trace_file_name(world));
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return TraceLoad::Absent,
+        Err(e) => {
+            log_event(&format!("trace {} unreadable: {e}", path.display()));
+            return TraceLoad::Corrupt;
+        }
+    };
+    match decode(&bytes, world) {
+        Ok(record) => TraceLoad::Ready(record),
+        Err(reason) => {
+            log_event(&format!("trace {} {reason}", path.display()));
+            TraceLoad::Corrupt
+        }
+    }
+}
+
+/// Strict verifying decoder for the version-1 layout.
+fn decode(bytes: &[u8], world: Fingerprint) -> Result<TraceRecord, String> {
+    const HEADER: usize = 32;
+    const COUNTS: usize = 32;
+    if bytes.len() < HEADER + COUNTS + 8 {
+        return Err(format!("truncated ({} bytes)", bytes.len()));
+    }
+    if bytes[..8] != TRACE_MAGIC {
+        return Err("bad magic".into());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != TRACE_FORMAT_VERSION {
+        return Err(format!("version {version} != {TRACE_FORMAT_VERSION}"));
+    }
+    let file_world = Fingerprint::from_le_bytes(bytes[16..32].try_into().expect("16 bytes"));
+    if file_world != world {
+        return Err("world-key mismatch".into());
+    }
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if stored != payload_checksum(world, &bytes[HEADER..bytes.len() - 8]) {
+        return Err("checksum mismatch".into());
+    }
+    let word = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+    let num_clients = word(32);
+    let params_len = word(40);
+    let rounds = word(48);
+    let base_len = word(56);
+    // Exact-size check before slicing (overflow-safe: the file already
+    // fit in memory, so u64 math on its declared sizes cannot wrap
+    // meaningfully past a checked_mul).
+    let round_words = 2u64
+        .checked_add(
+            params_len
+                .checked_mul(1 + num_clients)
+                .ok_or("size overflow")?,
+        )
+        .ok_or("size overflow")?;
+    let payload_words = rounds
+        .checked_mul(round_words)
+        .and_then(|w| w.checked_add(params_len))
+        .and_then(|w| w.checked_add(base_len))
+        .ok_or("size overflow")?;
+    let expect =
+        (HEADER + COUNTS) as u64 + payload_words.checked_mul(8).ok_or("size overflow")? + 8;
+    if bytes.len() as u64 != expect {
+        return Err(format!("length {} != declared {expect}", bytes.len()));
+    }
+    let mut at = HEADER + COUNTS;
+    let next_f64 = |at: &mut usize| {
+        let v = f64::from_bits(word(*at));
+        *at += 8;
+        v
+    };
+    let mut rounds_out = Vec::with_capacity(rounds as usize);
+    for _ in 0..rounds {
+        let eta = next_f64(&mut at);
+        let selected = word(at);
+        at += 8;
+        let mut global = Vec::with_capacity(params_len as usize);
+        for _ in 0..params_len {
+            global.push(next_f64(&mut at));
+        }
+        let mut locals = Vec::with_capacity(num_clients as usize);
+        for _ in 0..num_clients {
+            let mut local = Vec::with_capacity(params_len as usize);
+            for _ in 0..params_len {
+                local.push(next_f64(&mut at));
+            }
+            locals.push(local);
+        }
+        rounds_out.push(TraceRound {
+            global,
+            locals,
+            selected,
+            eta,
+        });
+    }
+    let mut final_params = Vec::with_capacity(params_len as usize);
+    for _ in 0..params_len {
+        final_params.push(next_f64(&mut at));
+    }
+    let mut base_losses = Vec::with_capacity(base_len as usize);
+    for _ in 0..base_len {
+        base_losses.push(next_f64(&mut at));
+    }
+    Ok(TraceRecord {
+        num_clients,
+        rounds: rounds_out,
+        final_params,
+        base_losses,
+    })
+}
+
+fn log_event(msg: &str) {
+    eprintln!("fedval_cache: {msg} (degrading to retrain)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fedval-trace-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn world() -> Fingerprint {
+        Fingerprint::from_bits(0x1122_3344_5566_7788_99aa_bbcc_ddee_ff00)
+    }
+
+    fn sample() -> TraceRecord {
+        TraceRecord {
+            num_clients: 2,
+            rounds: vec![
+                TraceRound {
+                    global: vec![0.5, -1.25, 3.0],
+                    locals: vec![vec![1.0, 2.0, 3.0], vec![-1.0, -2.0, -3.0]],
+                    selected: 0b11,
+                    eta: 0.2,
+                },
+                TraceRound {
+                    global: vec![0.25, 0.0, -0.0],
+                    locals: vec![vec![1e-9, 2e-9, 3e-9], vec![f64::MIN_POSITIVE, 0.0, 9.0]],
+                    selected: 0b10,
+                    eta: 0.1,
+                },
+            ],
+            final_params: vec![7.0, 8.0, 9.0],
+            base_losses: vec![0.9, 0.8],
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let dir = tmpdir("roundtrip");
+        store_trace(&dir, world(), &sample()).unwrap();
+        match load_trace(&dir, world()) {
+            TraceLoad::Ready(record) => assert_eq!(record, sample()),
+            _ => panic!("expected a verified record"),
+        }
+        // A different world key finds nothing.
+        assert!(matches!(
+            load_trace(&dir, Fingerprint::from_bits(5)),
+            TraceLoad::Absent
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn any_flipped_byte_rejects_the_whole_file() {
+        let dir = tmpdir("flip");
+        let path = store_trace(&dir, world(), &sample()).unwrap();
+        let clean = fs::read(&path).unwrap();
+        // Probe a byte in every region: header, counts, rounds, tail.
+        for &off in &[3usize, 9, 20, 35, 80, clean.len() - 12, clean.len() - 3] {
+            let mut bytes = clean.clone();
+            bytes[off] ^= 0x10;
+            fs::write(&path, &bytes).unwrap();
+            assert!(
+                matches!(load_trace(&dir, world()), TraceLoad::Corrupt),
+                "flip at {off} must reject"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_rejects_the_whole_file() {
+        let dir = tmpdir("trunc");
+        let path = store_trace(&dir, world(), &sample()).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for keep in [0usize, 7, 31, 63, bytes.len() - 1] {
+            fs::write(&path, &bytes[..keep]).unwrap();
+            assert!(
+                matches!(load_trace(&dir, world()), TraceLoad::Corrupt),
+                "truncation to {keep} must reject"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn renamed_trace_cannot_serve_another_world() {
+        let dir = tmpdir("rename");
+        let path = store_trace(&dir, world(), &sample()).unwrap();
+        let other = Fingerprint::from_bits(42);
+        fs::rename(&path, dir.join(trace_file_name(other))).unwrap();
+        assert!(matches!(load_trace(&dir, other), TraceLoad::Corrupt));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let dir = tmpdir("empty");
+        let record = TraceRecord {
+            num_clients: 0,
+            rounds: Vec::new(),
+            final_params: Vec::new(),
+            base_losses: Vec::new(),
+        };
+        store_trace(&dir, world(), &record).unwrap();
+        match load_trace(&dir, world()) {
+            TraceLoad::Ready(loaded) => assert_eq!(loaded, record),
+            _ => panic!("expected a verified record"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

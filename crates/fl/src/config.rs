@@ -109,6 +109,18 @@ impl FlConfig {
     pub fn behavior_of(&self, i: usize) -> ClientBehavior {
         self.behaviors.get(i).copied().unwrap_or_default()
     }
+
+    /// A stable fingerprint of every field that shapes a training run,
+    /// for keying persisted traces by `(scenario, seed, fl-config)`
+    /// *before* training happens. Hashes the `Debug` rendering — floats
+    /// print shortest-round-trip, so distinct bit patterns render
+    /// distinctly — and any drift in the rendering across versions is a
+    /// cache miss (a retrain), never a wrong hit.
+    pub fn cache_fingerprint(&self) -> fedval_cache::Fingerprint {
+        let mut h = fedval_cache::FingerprintHasher::new("fedval-flconfig-v1");
+        h.write_bytes(format!("{self:?}").as_bytes());
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +175,34 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_rejected() {
         let _ = FlConfig::new(1, 1, 0.1, 1).with_batch_size(0);
+    }
+
+    #[test]
+    fn cache_fingerprint_tracks_training_relevant_fields() {
+        // Pin the tier: the process default depends on FEDVAL_TIER.
+        let cfg =
+            |r, k, eta, seed| FlConfig::new(r, k, eta, seed).with_tier(DeterminismTier::BitExact);
+        let base = cfg(5, 2, 0.1, 1);
+        assert_eq!(
+            base.cache_fingerprint(),
+            cfg(5, 2, 0.1, 1).cache_fingerprint(),
+            "identical configurations share a world"
+        );
+        for other in [
+            cfg(6, 2, 0.1, 1),
+            cfg(5, 3, 0.1, 1),
+            cfg(5, 2, 0.2, 1),
+            cfg(5, 2, 0.1, 2),
+            cfg(5, 2, 0.1, 1).with_tier(DeterminismTier::Fast),
+            cfg(5, 2, 0.1, 1).with_behaviors(vec![ClientBehavior::FreeRider]),
+            cfg(5, 2, 0.1, 1).with_everyone_heard(false),
+        ] {
+            assert_ne!(
+                base.cache_fingerprint(),
+                other.cache_fingerprint(),
+                "changed field must change the world key: {other:?}"
+            );
+        }
     }
 
     #[test]

@@ -80,11 +80,22 @@ impl DeterminismTier {
     }
 
     /// The tier requested by the `FEDVAL_TIER` environment variable, if
-    /// set to a recognized value (see [`parse`](Self::parse)).
+    /// set to a recognized value (see [`parse`](Self::parse)). A set
+    /// but unrecognized value logs one warning and reads as unset — a
+    /// bad env var must never take the process down.
     pub fn from_env() -> Option<Self> {
-        std::env::var("FEDVAL_TIER")
-            .ok()
-            .and_then(|v| Self::parse(&v))
+        let raw = std::env::var("FEDVAL_TIER").ok()?;
+        let tier = Self::parse(&raw);
+        if tier.is_none() {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "fedval_linalg: FEDVAL_TIER={raw:?} is not a tier name \
+                     (expected \"fast\" or \"bit_exact\"); using the default"
+                );
+            });
+        }
+        tier
     }
 
     /// The process-wide default tier: `FEDVAL_TIER` if set and valid,

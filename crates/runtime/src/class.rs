@@ -133,11 +133,21 @@ impl SchedPolicy {
 
     /// The policy requested by the `FEDVAL_SCHED` environment variable,
     /// when set and valid; used by
-    /// [`Pool::global`](crate::Pool::global).
+    /// [`Pool::global`](crate::Pool::global). A set but unrecognized
+    /// value logs one warning and reads as unset.
     pub fn from_env() -> Option<Self> {
-        std::env::var("FEDVAL_SCHED")
-            .ok()
-            .and_then(|s| Self::parse(s.trim()))
+        let raw = std::env::var("FEDVAL_SCHED").ok()?;
+        let policy = Self::parse(raw.trim());
+        if policy.is_none() {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "fedval_runtime: FEDVAL_SCHED={raw:?} is not a policy name \
+                     (expected \"fair\" or \"fifo\"); using the default"
+                );
+            });
+        }
+        policy
     }
 }
 

@@ -78,6 +78,11 @@ struct Shared {
     queue: Mutex<QueueState>,
     /// Signalled when a job is pushed or shutdown begins.
     work_available: Condvar,
+    /// Jobs currently executing (on workers or helping threads).
+    /// Incremented under the queue lock at pop time so there is no
+    /// window where a job is neither queued nor counted as running —
+    /// [`Pool::wait_idle`] depends on that invariant.
+    running: AtomicUsize,
 }
 
 /// The FIFO of one scope's queued jobs within a class ring.
@@ -233,7 +238,16 @@ impl Shared {
 
     fn try_pop_preferring(&self, scope: u64) -> Option<Job> {
         let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        state.next_job_preferring(scope)
+        let job = state.next_job_preferring(scope);
+        if job.is_some() {
+            self.running.fetch_add(1, Ordering::Release);
+        }
+        job
+    }
+
+    /// Marks one popped job finished (pops count it as running).
+    fn job_done(&self) {
+        self.running.fetch_sub(1, Ordering::Release);
     }
 
     /// Blocking pop for workers; `None` means shutdown.
@@ -241,6 +255,7 @@ impl Shared {
         let mut state = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = state.next_job() {
+                self.running.fetch_add(1, Ordering::Release);
                 return Some(job);
             }
             if state.shutdown {
@@ -281,6 +296,7 @@ impl Pool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::new(policy)),
             work_available: Condvar::new(),
+            running: AtomicUsize::new(0),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -292,6 +308,7 @@ impl Pool {
                             // Jobs are panic-wrapped (and class-tagged)
                             // by `Scope::spawn`; nothing to do here.
                             job();
+                            shared.job_done();
                         }
                     })
                     .expect("spawn pool worker")
@@ -350,6 +367,34 @@ impl Pool {
     /// The scheduling policy this pool drains its queue under.
     pub fn policy(&self) -> SchedPolicy {
         self.policy
+    }
+
+    /// Whether the pool has neither queued nor executing jobs right
+    /// now. Racy by nature (new work may arrive immediately after), so
+    /// only meaningful once submission has stopped — the graceful
+    /// shutdown path.
+    pub fn is_idle(&self) -> bool {
+        // A job moves queue → running under the queue lock (the pop
+        // increments `running` before releasing it), so with submission
+        // stopped a job in flight is visible to one of the two reads.
+        self.queued_jobs() == 0 && self.shared.running.load(Ordering::Acquire) == 0
+    }
+
+    /// Blocks until the pool is idle (see [`Pool::is_idle`]) or
+    /// `timeout` elapses; returns whether it drained. A polling wait —
+    /// it costs nothing during normal operation and the shutdown path
+    /// is the only caller.
+    pub fn wait_idle(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.is_idle() {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
     }
 
     /// Runs `f` with a [`Scope`] on which borrowed closures can be
@@ -463,6 +508,7 @@ impl Pool {
             }
             if let Some(job) = self.shared.try_pop_preferring(scope_id) {
                 job();
+                self.shared.job_done();
                 continue;
             }
             // Queue empty, jobs still in flight on workers: block until
@@ -627,12 +673,21 @@ impl std::fmt::Debug for PoolHandle {
 }
 
 /// Size of [`Pool::global`]: `FEDVAL_THREADS` when it is a single
-/// positive integer, else the hardware parallelism.
+/// positive integer, else the hardware parallelism. A set-but-invalid
+/// value logs one warning and degrades to the hardware default — a bad
+/// env var must never take the process down.
 fn global_threads() -> usize {
     if let Ok(spec) = std::env::var("FEDVAL_THREADS") {
-        if let Ok(n) = spec.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match spec.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "fedval_runtime: FEDVAL_THREADS={spec:?} is not a positive thread \
+                         count; using the hardware parallelism"
+                    );
+                });
             }
         }
     }
@@ -678,6 +733,29 @@ mod tests {
             }
         });
         assert_eq!(output, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn wait_idle_observes_drain() {
+        let pool = Pool::new(2);
+        assert!(pool.is_idle(), "fresh pool is idle");
+        let gate = Arc::new(AtomicU64::new(0));
+        pool.scope(|scope| {
+            for _ in 0..8 {
+                let gate = Arc::clone(&gate);
+                scope.spawn(move || {
+                    while gate.load(Ordering::Acquire) == 0 {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            assert!(
+                !pool.wait_idle(std::time::Duration::from_millis(20)),
+                "gated jobs keep the pool busy"
+            );
+            gate.store(1, Ordering::Release);
+        });
+        assert!(pool.wait_idle(std::time::Duration::from_secs(10)));
     }
 
     #[test]

@@ -150,9 +150,9 @@ fn handle_connection(stream: TcpStream, manager: &JobManager, shutdown: &AtomicB
     let mut reader = BufReader::new(stream);
     let request = match read_request(&mut reader) {
         Ok(request) => request,
-        Err(message) => {
+        Err((status, message)) => {
             let mut stream = reader.into_inner();
-            let _ = respond(&mut stream, 400, &wire::render_error(&message));
+            let _ = respond(&mut stream, status, &wire::render_error(&message));
             return;
         }
     };
@@ -160,47 +160,81 @@ fn handle_connection(stream: TcpStream, manager: &JobManager, shutdown: &AtomicB
     route(&mut stream, manager, shutdown, &request);
 }
 
-/// Reads one request head + body. Returns user-facing error messages
-/// (mapped to 400) for anything malformed or over limits.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("read error: {e}"))?;
+/// Reads one line (through `\n`, or to EOF), refusing to buffer more
+/// than `max` bytes — a client streaming an endless line must cost
+/// bounded memory, not an OOM. Returns `(status, message)` pairs ready
+/// for [`respond`].
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+) -> Result<String, (u16, String)> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = reader
+            .fill_buf()
+            .map_err(|e| (400, format!("read error: {e}")))?;
+        if available.is_empty() {
+            break; // EOF mid-line; the caller decides if that is fatal.
+        }
+        let (used, found) = match available.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (available.len(), false),
+        };
+        if buf.len() + used > max {
+            return Err((413, "request head too large".into()));
+        }
+        buf.extend_from_slice(&available[..used]);
+        reader.consume(used);
+        if found {
+            break;
+        }
+    }
+    String::from_utf8(buf).map_err(|_| (400, "request head is not UTF-8".into()))
+}
+
+/// Reads one request head + body. Returns `(status, message)` for
+/// anything malformed (400) or over limits (413); never panics and
+/// never buffers unbounded input.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, (u16, String)> {
+    let line = read_line_limited(reader, MAX_HEAD_BYTES)?;
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_string();
-    let path = parts.next().ok_or("request line missing path")?.to_string();
+    let method = parts
+        .next()
+        .ok_or_else(|| (400, "empty request line".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| (400, "request line missing path".to_string()))?
+        .to_string();
     let mut content_length = 0usize;
     let mut head_bytes = line.len();
     loop {
-        let mut header = String::new();
-        let n = reader
-            .read_line(&mut header)
-            .map_err(|e| format!("read error: {e}"))?;
-        if n == 0 || header == "\r\n" || header == "\n" {
+        let header = read_line_limited(reader, MAX_HEAD_BYTES)?;
+        if header.is_empty() || header == "\r\n" || header == "\n" {
             break;
         }
-        head_bytes += n;
+        head_bytes += header.len();
         if head_bytes > MAX_HEAD_BYTES {
-            return Err("request head too large".into());
+            return Err((413, "request head too large".into()));
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let length: u64 = value
                     .trim()
                     .parse()
-                    .map_err(|_| "invalid Content-Length".to_string())?;
+                    .map_err(|_| (400, "invalid Content-Length".to_string()))?;
+                if length > MAX_BODY_BYTES as u64 {
+                    return Err((413, "request body too large".into()));
+                }
+                content_length = length as usize;
             }
         }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Err("request body too large".into());
     }
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|e| format!("short body: {e}"))?;
-    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        .map_err(|e| (400, format!("short body: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
     Ok(Request { method, path, body })
 }
 
@@ -235,21 +269,35 @@ fn parse_job_path(path: &str) -> Option<(u64, bool)> {
 }
 
 fn handle_health(stream: &mut TcpStream, manager: &JobManager) -> io::Result<()> {
-    let (threads, policy) = pool_info(manager.pool());
-    let body = wire::render_health(
-        manager.active_jobs(),
-        threads,
+    let (threads, queue_depth, policy) = pool_info(manager.pool());
+    let snapshot = wire::HealthSnapshot {
+        draining: manager.is_draining(),
+        active_jobs: manager.active_jobs(),
+        capacity: manager.capacity(),
+        pool_threads: threads,
+        pool_queue_depth: queue_depth,
         policy,
+        cache: manager.cache_stats(),
+    };
+    let body = wire::render_health(
+        &snapshot,
         &JobManager::method_names(),
         &JobManager::scenario_names(),
     );
     respond(stream, 200, &body)
 }
 
-fn pool_info(pool: &PoolHandle) -> (usize, &'static str) {
+fn pool_info(pool: &PoolHandle) -> (usize, usize, &'static str) {
     match pool {
-        PoolHandle::Global => (Pool::global_width(), Pool::global().policy().name()),
-        PoolHandle::Owned(pool) => (pool.threads(), pool.policy().name()),
+        PoolHandle::Global => {
+            let pool = Pool::global();
+            (
+                Pool::global_width(),
+                pool.queued_jobs(),
+                pool.policy().name(),
+            )
+        }
+        PoolHandle::Owned(pool) => (pool.threads(), pool.queued_jobs(), pool.policy().name()),
     }
 }
 
@@ -260,8 +308,10 @@ fn handle_submit(stream: &mut TcpStream, manager: &JobManager, body: &str) -> io
     };
     match manager.submit(spec) {
         Ok(job) => respond(stream, 202, &wire::render_accepted(&job)),
-        Err(e @ SubmitError::AtCapacity(_)) => {
-            respond(stream, 429, &wire::render_error(&e.to_string()))
+        Err(e @ (SubmitError::AtCapacity(_) | SubmitError::ShuttingDown)) => {
+            // Overload and drain are both "come back later": shed with
+            // 503 + Retry-After instead of queueing unboundedly.
+            respond(stream, 503, &wire::render_error(&e.to_string()))
         }
         Err(e) => respond(stream, 400, &wire::render_error(&e.to_string())),
     }
@@ -326,16 +376,24 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
-        429 => "Too Many Requests",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
 /// Writes a complete JSON response with `Content-Length` framing.
+/// 503s carry `Retry-After` so load-shedding reads as backpressure,
+/// not failure.
 fn respond(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let retry_after = if status == 503 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n{retry_after}\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         status_text(status),
         body.len()
@@ -359,7 +417,7 @@ mod tests {
 
     #[test]
     fn status_texts_cover_used_codes() {
-        for code in [200, 202, 400, 404, 405, 429] {
+        for code in [200, 202, 400, 404, 405, 413, 503] {
             assert_ne!(status_text(code), "Internal Server Error");
         }
     }

@@ -26,13 +26,16 @@
 //! `concurrency` test.
 
 use comfedsv::experiments::{Scenario, World};
-use fedval_cache::{CacheStats, CellCache};
-use fedval_fl::{ClientBehavior, TrainingTrace, UtilityOracle};
+use fedval_cache::{
+    CacheStats, CellCache, Fingerprint, FingerprintHasher, TraceLoad, TraceRecord, TraceRound,
+};
+use fedval_fl::trainer::RoundRecord;
+use fedval_fl::{ClientBehavior, Subset, TrainingTrace, UtilityOracle};
 use fedval_linalg::DeterminismTier;
 use fedval_runtime::{with_job_class, CancelToken, Cancelled, JobClass, PoolHandle};
 use fedval_shapley::{ValuationError, ValuationReport, ValuationSession};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -68,6 +71,10 @@ pub struct JobSpec {
     pub rounds: Option<usize>,
     /// Override: clients selected per round.
     pub clients_per_round: Option<usize>,
+    /// Wall-clock deadline in milliseconds. A job still running when it
+    /// expires is stopped at its next cancellation checkpoint and fails
+    /// with [`ValuationError::Deadline`]'s message (`None`: no limit).
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -88,6 +95,7 @@ impl JobSpec {
             samples_per_client: None,
             rounds: None,
             clients_per_round: None,
+            deadline_ms: None,
         }
     }
 
@@ -166,6 +174,10 @@ pub struct JobCacheInfo {
     /// Cells found already persisted on disk when the oracle attached
     /// (0 without a `FEDVAL_CACHE_DIR`-backed cache).
     pub disk_warm_cells: u64,
+    /// Whether the shared cache's disk tier was degraded (unusable or
+    /// abandoned after repeated write failures) when this job finished
+    /// — the job still completed, served from memory.
+    pub cache_degraded: bool,
 }
 
 /// Mutable run state guarded by the job's mutex.
@@ -205,6 +217,9 @@ pub struct Job {
     state: Mutex<JobState>,
     state_changed: Condvar,
     events: EventLog,
+    /// Set by the deadline watcher before it cancels: distinguishes a
+    /// deadline stop (→ `Failed`) from a client cancel (→ `Cancelled`).
+    deadline_fired: AtomicBool,
 }
 
 impl std::fmt::Debug for Job {
@@ -386,6 +401,21 @@ impl Job {
         ));
         self.set_status(status);
     }
+
+    /// Terminal transition after a cancellation checkpoint fired:
+    /// `Failed` with the deadline error if the deadline watcher pulled
+    /// the token, `Cancelled` otherwise.
+    fn finish_interrupted(&self, what: &str) {
+        if self.deadline_fired.load(Ordering::Acquire) {
+            let limit_ms = self.spec.deadline_ms.unwrap_or(0);
+            self.finish(
+                Err(ValuationError::Deadline { limit_ms }.to_string()),
+                false,
+            );
+        } else {
+            self.finish(Err(what.into()), true);
+        }
+    }
 }
 
 /// Errors [`JobManager::submit`] reports without creating a job.
@@ -399,6 +429,8 @@ pub enum SubmitError {
     AtCapacity(usize),
     /// A structurally invalid spec (zero clients, …).
     InvalidSpec(String),
+    /// The manager is draining for shutdown and accepts no new jobs.
+    ShuttingDown,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -408,6 +440,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::UnknownScenario(s) => write!(f, "unknown scenario {s:?}"),
             SubmitError::AtCapacity(n) => write!(f, "at capacity ({n} active jobs)"),
             SubmitError::InvalidSpec(msg) => write!(f, "invalid spec: {msg}"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
 }
@@ -434,9 +467,10 @@ enum WorldState {
     Ready(Arc<TrainedWorld>),
 }
 
-/// The world/trace memo: one slot per `(scenario, seed, fl-config)`
-/// key (the fl-config is derived from scenario + seed, so the resolved
-/// scenario's debug form plus the seed pins all three).
+/// The world/trace memo: one slot per [`world_fingerprint`] (hex), the
+/// same key the disk cache persists traces and runs training elections
+/// under — so the in-process memo and the cross-process protocol agree
+/// on world identity.
 struct WorldMemo {
     map: Mutex<HashMap<String, WorldState>>,
     changed: Condvar,
@@ -476,6 +510,9 @@ struct ManagerInner {
     active: AtomicUsize,
     next_id: AtomicU64,
     jobs: Mutex<Vec<Arc<Job>>>,
+    /// Set by [`JobManager::begin_shutdown`]: submissions are refused
+    /// while running jobs drain.
+    draining: AtomicBool,
 }
 
 /// Multiplexes concurrent valuation jobs onto one worker pool.
@@ -534,6 +571,7 @@ impl JobManager {
                 active: AtomicUsize::new(0),
                 next_id: AtomicU64::new(1),
                 jobs: Mutex::new(Vec::new()),
+                draining: AtomicBool::new(false),
             }),
         }
     }
@@ -571,10 +609,19 @@ impl JobManager {
         self.inner.active.load(Ordering::Acquire)
     }
 
+    /// Maximum concurrently active (queued + running) jobs; submissions
+    /// beyond it are shed with [`SubmitError::AtCapacity`].
+    pub fn capacity(&self) -> usize {
+        self.inner.max_active
+    }
+
     /// Validates `spec`, spawns its job thread, and returns the job
     /// handle. The call returns as soon as the job is accepted; poll
     /// [`Job::status`] / block on [`Job::wait`] for completion.
     pub fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, SubmitError> {
+        if self.is_draining() {
+            return Err(SubmitError::ShuttingDown);
+        }
         if !Self::method_names().contains(&spec.method) {
             return Err(SubmitError::UnknownMethod(spec.method));
         }
@@ -617,6 +664,7 @@ impl JobManager {
                 entries: Mutex::new(Vec::new()),
                 appended: Condvar::new(),
             },
+            deadline_fired: AtomicBool::new(false),
         });
         self.inner
             .jobs
@@ -629,6 +677,9 @@ impl JobManager {
             fedval_jsonio::escaped(&job.spec.scenario),
             job.spec.class
         ));
+        if let Some(limit_ms) = job.spec.deadline_ms {
+            spawn_deadline_watcher(Arc::clone(&job), limit_ms);
+        }
         let inner = Arc::clone(&self.inner);
         let thread_job = Arc::clone(&job);
         std::thread::Builder::new()
@@ -661,6 +712,114 @@ impl JobManager {
         }
         Some(job)
     }
+
+    /// Stops accepting new jobs ([`SubmitError::ShuttingDown`]); running
+    /// jobs continue. Idempotent; the first step of [`Self::shutdown`].
+    pub fn begin_shutdown(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether the manager is refusing new submissions for shutdown.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop accepting, let running jobs drain for
+    /// half of `grace`, checkpoint-cancel any stragglers (they stop at
+    /// their next round/permutation boundary) within the remainder,
+    /// then flush the shared cache so the directory is warm for the
+    /// next process. Blocks up to ~`grace`; the summary reports what
+    /// happened. Safe to call more than once.
+    pub fn shutdown(&self, grace: Duration) -> ShutdownSummary {
+        self.begin_shutdown();
+        let deadline = Instant::now() + grace;
+        let drain_until = Instant::now() + grace / 2;
+        while self.active_jobs() > 0 && Instant::now() < drain_until {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut jobs_cancelled = 0usize;
+        if self.active_jobs() > 0 {
+            let live: Vec<Arc<Job>> = self
+                .inner
+                .jobs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .filter(|j| !j.status().is_terminal())
+                .cloned()
+                .collect();
+            for job in &live {
+                job.cancel();
+                jobs_cancelled += 1;
+            }
+            while self.active_jobs() > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        let drained = self.active_jobs() == 0;
+        // Let in-flight pool work settle, then persist everything dirty.
+        self.inner
+            .pool
+            .get()
+            .wait_idle(deadline.saturating_duration_since(Instant::now()));
+        let cells_flushed = self.inner.cache.flush();
+        ShutdownSummary {
+            drained,
+            jobs_cancelled,
+            cells_flushed,
+        }
+    }
+}
+
+/// What a [`JobManager::shutdown`] call accomplished.
+#[derive(Debug, Clone, Copy)]
+pub struct ShutdownSummary {
+    /// Every job reached a terminal state within the grace period.
+    pub drained: bool,
+    /// Jobs that were checkpoint-cancelled because they outlived the
+    /// drain phase.
+    pub jobs_cancelled: usize,
+    /// Dirty cells persisted by the final flush.
+    pub cells_flushed: u64,
+}
+
+/// Arms a job's wall-clock deadline: a watcher thread blocks on the
+/// job's state condvar until it turns terminal (watcher exits quietly)
+/// or the deadline passes (watcher records the deadline and pulls the
+/// cancel token, stopping the job at its next checkpoint).
+fn spawn_deadline_watcher(job: Arc<Job>, limit_ms: u64) {
+    let spawned = std::thread::Builder::new()
+        .name(format!("fedval-deadline-{}", job.id))
+        .spawn(move || {
+            let deadline = Instant::now() + Duration::from_millis(limit_ms);
+            let mut state = job.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.status.is_terminal() {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = job
+                    .state_changed
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = guard;
+            }
+            drop(state);
+            job.deadline_fired.store(true, Ordering::Release);
+            job.events.push(format!(
+                "{{\"job\": {}, \"stage\": \"deadline\", \"limit_ms\": {limit_ms}}}",
+                job.id
+            ));
+            job.cancel.cancel();
+        });
+    if let Err(e) = spawned {
+        // No watcher means no deadline enforcement; the job itself is
+        // unaffected. Enforce what we can: log and move on.
+        eprintln!("fedval_service: deadline watcher spawn failed: {e}");
+    }
 }
 
 /// The job thread body: world → trace → oracle → session → report,
@@ -682,15 +841,32 @@ fn run_job(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
     }
 }
 
+/// The cross-process identity of a job's world: the resolved scenario,
+/// the seed, and the fl-config the trainer will run (which carries the
+/// training tier, so `FEDVAL_TIER=fast` and bit-exact processes never
+/// share a trace). Computable *before* training — this is what keys the
+/// persisted trace and the training-election lock.
+fn world_fingerprint(scenario: &Scenario, seed: u64) -> Fingerprint {
+    let mut h = FingerprintHasher::new("fedval-world-v1");
+    h.write_bytes(format!("{scenario:?}").as_bytes());
+    h.write_u64(seed);
+    let fl = scenario.fl_config(seed).cache_fingerprint();
+    h.write_u64(fl.bits() as u64);
+    h.write_u64((fl.bits() >> 64) as u64);
+    h.finish()
+}
+
 /// Returns the memoized trained world for `scenario` + the job's seed,
-/// building and training it (cancellably) if this job gets there
-/// first. The boolean is `true` when the world came from the memo.
+/// rehydrating it from a persisted trace or building and training it
+/// (cancellably) if this job gets there first. The boolean is `true`
+/// when training was skipped (in-process memo hit or persisted trace).
 fn obtain_world(
     inner: &ManagerInner,
     job: &Arc<Job>,
     scenario: &Scenario,
 ) -> Result<(Arc<TrainedWorld>, bool), Cancelled> {
-    let key = format!("{scenario:?}#{}", job.spec.seed);
+    let world = world_fingerprint(scenario, job.spec.seed);
+    let key = world.to_hex();
     {
         let mut map = inner.worlds.map.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -716,20 +892,152 @@ fn obtain_world(
             }
         }
     }
-    // This job is the builder. The guard clears the slot if the build
-    // is cancelled or panics, waking a waiter to take over.
+    // This job is the process's builder. The guard clears the slot if
+    // the build is cancelled or panics, waking a waiter to take over.
     let mut guard = BuildGuard {
         memo: &inner.worlds,
         key: &key,
         armed: true,
     };
-    let trained = build_and_train(job, scenario)?;
+    let (trained, reused) = obtain_world_cross_process(inner, job, scenario, world)?;
     let mut map = inner.worlds.map.lock().unwrap_or_else(|e| e.into_inner());
     map.insert(key.clone(), WorldState::Ready(Arc::clone(&trained)));
     guard.armed = false;
     drop(map);
     inner.worlds.changed.notify_all();
-    Ok((trained, false))
+    Ok((trained, reused))
+}
+
+/// The cross-process half of [`obtain_world`], entered by the single
+/// in-process builder: prefer a persisted trace; otherwise run the
+/// per-world training election — the winner trains and persists, losers
+/// poll for the winner's trace (and inherit the election if the winner
+/// dies: the kernel releases its lock). Every path yields bit-identical
+/// state, so the election is purely an optimization against duplicated
+/// work — an unavailable lock degrades to uncoordinated training.
+fn obtain_world_cross_process(
+    inner: &ManagerInner,
+    job: &Arc<Job>,
+    scenario: &Scenario,
+    world: Fingerprint,
+) -> Result<(Arc<TrainedWorld>, bool), Cancelled> {
+    let mut waiting_logged = false;
+    loop {
+        if let TraceLoad::Ready(record) = inner.cache.load_trace(world) {
+            match rehydrate(record, scenario, job.spec.seed) {
+                Some(trained) => {
+                    job.events.push(format!(
+                        "{{\"job\": {}, \"stage\": \"trace_rehydrated\", \"world\": \"{}\"}}",
+                        job.id,
+                        world.to_hex()
+                    ));
+                    return Ok((trained, true));
+                }
+                None => {
+                    // Checksum-valid but inconsistent with the world it
+                    // claims to be (should be unreachable) — retrain.
+                    eprintln!(
+                        "fedval_service: persisted trace {} inconsistent with its world; \
+                         retraining",
+                        world.to_hex()
+                    );
+                }
+            }
+        }
+        match inner.cache.try_train_lock(world) {
+            Some(_election) => {
+                // Won. Re-check under the lock: the previous holder may
+                // have persisted between our load and this acquisition.
+                if let TraceLoad::Ready(record) = inner.cache.load_trace(world) {
+                    if let Some(trained) = rehydrate(record, scenario, job.spec.seed) {
+                        return Ok((trained, true));
+                    }
+                }
+                let trained = build_and_train(job, scenario)?;
+                inner.cache.store_trace(
+                    world,
+                    &trace_to_record(&trained.trace, &trained.base_losses),
+                );
+                return Ok((trained, false));
+            }
+            None => {
+                // Another process is training this exact world; poll
+                // for its persisted trace, staying cancellable.
+                if !waiting_logged {
+                    waiting_logged = true;
+                    job.events.push(format!(
+                        "{{\"job\": {}, \"stage\": \"train_wait\", \"world\": \"{}\"}}",
+                        job.id,
+                        world.to_hex()
+                    ));
+                }
+                job.cancel.check()?;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Converts a trained product into the cache crate's neutral persisted
+/// form (floats and masks only).
+fn trace_to_record(trace: &TrainingTrace, base_losses: &[f64]) -> TraceRecord {
+    TraceRecord {
+        num_clients: trace.num_clients as u64,
+        rounds: trace
+            .rounds
+            .iter()
+            .map(|r| TraceRound {
+                global: r.global_params.clone(),
+                locals: r.local_params.clone(),
+                selected: r.selected.bits(),
+                eta: r.eta,
+            })
+            .collect(),
+        final_params: trace.final_params.clone(),
+        base_losses: base_losses.to_vec(),
+    }
+}
+
+/// Rebuilds a [`TrainedWorld`] from a verified persisted trace: the
+/// world itself is deterministic from `(scenario, seed)`, so only the
+/// training products travel through disk. Cross-checks the record
+/// against the freshly built world — any inconsistency (which the
+/// checksum should make unreachable) rejects the record and retrains.
+fn rehydrate(record: TraceRecord, scenario: &Scenario, seed: u64) -> Option<Arc<TrainedWorld>> {
+    let world = scenario.build(seed);
+    let config = scenario.fl_config(seed);
+    let num_clients = record.num_clients as usize;
+    if num_clients != world.clients.len()
+        || num_clients > Subset::MAX_CLIENTS
+        || record.params_len() != world.prototype.num_params()
+        || record.rounds.len() != config.rounds
+        || record.base_losses.len() != record.rounds.len()
+    {
+        return None;
+    }
+    let full = Subset::full(num_clients).bits();
+    let mut rounds = Vec::with_capacity(record.rounds.len());
+    for r in record.rounds {
+        if r.selected & !full != 0 || r.selected == 0 {
+            return None;
+        }
+        rounds.push(RoundRecord {
+            global_params: r.global,
+            local_params: r.locals,
+            selected: Subset::from_bits(r.selected),
+            eta: r.eta,
+        });
+    }
+    let trace = TrainingTrace {
+        rounds,
+        final_params: record.final_params,
+        num_clients,
+    };
+    Some(Arc::new(TrainedWorld {
+        world,
+        trace,
+        base_losses: record.base_losses,
+    }))
 }
 
 /// The builder side of [`obtain_world`]: world construction, one
@@ -762,13 +1070,13 @@ fn run_job_inner(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
     job.set_status(JobStatus::Running);
     let spec = &job.spec;
     if job.cancel.is_cancelled() {
-        job.finish(Err("cancelled before start".into()), true);
+        job.finish_interrupted("cancelled before start");
         return;
     }
     let (trained, world_reused) = match obtain_world(inner, job, &scenario) {
         Ok(pair) => pair,
         Err(Cancelled) => {
-            job.finish(Err("cancelled during training".into()), true);
+            job.finish_interrupted("cancelled during training");
             return;
         }
     };
@@ -824,6 +1132,7 @@ fn run_job_inner(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
         cell_hits: oracle.cell_hits(),
         cells_computed: oracle.loss_evaluations(),
         disk_warm_cells: oracle.disk_warm_cells(),
+        cache_degraded: inner.cache.is_degraded(),
     });
     // Persist whatever this job computed before reporting terminal
     // state: a disk-backed cache must be warm for the next process by
@@ -831,7 +1140,7 @@ fn run_job_inner(inner: &ManagerInner, job: &Arc<Job>, scenario: Scenario) {
     inner.cache.flush();
     match outcome {
         Ok(report) => job.finish(Ok(report), false),
-        Err(ValuationError::Cancelled) => job.finish(Err("cancelled".into()), true),
+        Err(ValuationError::Cancelled) => job.finish_interrupted("cancelled"),
         Err(e) => job.finish(Err(e.to_string()), false),
     }
 }
@@ -932,6 +1241,75 @@ mod tests {
         let job = manager.submit(spec).unwrap();
         assert_eq!(job.wait(), JobStatus::Failed);
         assert!(job.error().is_some());
+    }
+
+    #[test]
+    fn deadline_fails_a_job_that_runs_too_long() {
+        let manager = JobManager::new();
+        let mut spec = tiny_spec("tmc");
+        spec.permutations = 500_000;
+        spec.deadline_ms = Some(60);
+        let job = manager.submit(spec).unwrap();
+        assert_eq!(
+            job.wait(),
+            JobStatus::Failed,
+            "deadline is a failure, not a cancel"
+        );
+        let err = job.error().expect("deadline error");
+        assert!(
+            err.contains("deadline exceeded after 60 ms"),
+            "typed deadline message, got {err:?}"
+        );
+        assert!(job.report().is_none());
+        let (events, _) = job.events_since(0, Duration::from_millis(10));
+        assert!(
+            events.iter().any(|e| e.contains("\"deadline\"")),
+            "deadline event logged: {events:?}"
+        );
+    }
+
+    #[test]
+    fn generous_deadline_never_fires() {
+        let manager = JobManager::new();
+        let mut spec = tiny_spec("fedsv");
+        spec.deadline_ms = Some(300_000);
+        let job = manager.submit(spec).unwrap();
+        assert_eq!(job.wait(), JobStatus::Done);
+        assert!(job.report().is_some());
+    }
+
+    #[test]
+    fn shutdown_drains_quick_jobs_and_rejects_new_ones() {
+        let manager = JobManager::new();
+        let job = manager.submit(tiny_spec("fedsv")).unwrap();
+        let summary = manager.shutdown(Duration::from_secs(120));
+        assert!(summary.drained, "short job finishes within the grace");
+        assert_eq!(summary.jobs_cancelled, 0);
+        assert_eq!(job.wait(), JobStatus::Done);
+        assert_eq!(
+            manager.submit(tiny_spec("fedsv")).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn shutdown_checkpoint_cancels_stragglers() {
+        let manager = JobManager::new();
+        let mut spec = tiny_spec("tmc");
+        spec.permutations = 500_000;
+        let job = manager.submit(spec).unwrap();
+        while job.status() == JobStatus::Queued {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        // Small grace: the drain phase (grace/2) gives up quickly and
+        // the checkpoint-cancel phase takes over.
+        let summary = manager.shutdown(Duration::from_secs(4));
+        assert_eq!(
+            summary.jobs_cancelled, 1,
+            "long job is checkpoint-cancelled"
+        );
+        assert_eq!(job.wait(), JobStatus::Cancelled);
     }
 
     #[test]

@@ -30,6 +30,33 @@
 //! `FEDVAL_THREADS=1` produces the same `values` bytes — asserted by
 //! this crate's `concurrency` integration test.
 //!
+//! # Operational contract
+//!
+//! The service is built to run supervised and be killed without
+//! ceremony:
+//!
+//! * **Graceful drain** — [`JobManager::begin_shutdown`] sheds new
+//!   submissions ([`SubmitError::ShuttingDown`] → 503 over HTTP) and
+//!   [`JobManager::shutdown`] drains running jobs for half the grace
+//!   budget, checkpoint-cancels stragglers at their next round or
+//!   permutation boundary, and flushes the cell cache. The
+//!   `fedval_serve` binary wires this to `SIGTERM`/`SIGINT` behind a
+//!   `--grace-ms` flag.
+//! * **Overload shedding** — the manager admits a bounded number of
+//!   concurrent jobs; beyond it, submission fails with
+//!   [`SubmitError::AtCapacity`] (503 + `Retry-After` over HTTP)
+//!   instead of queueing without bound.
+//! * **Deadlines** — a spec's `deadline_ms` arms a watcher that
+//!   checkpoint-cancels the job when the wall-clock budget expires;
+//!   the job fails with `deadline exceeded after N ms`.
+//! * **Bounded input** — the HTTP reader caps request heads at 16 KiB
+//!   and bodies at 256 KiB (413), and answers malformed framing with
+//!   400; no request can buffer unboundedly or panic a connection
+//!   thread.
+//! * **Readiness** — `GET /healthz` reports draining state, active
+//!   jobs vs capacity, pool queue depth, and cache health (including
+//!   disk degradation) for supervisor probes.
+//!
 //! # Quick start
 //!
 //! ```no_run

@@ -7,6 +7,7 @@
 //! matches the committed `BENCH_*.json` artifacts.
 
 use crate::job::{Job, JobSpec, JobStatus};
+use fedval_cache::CacheStats;
 use fedval_jsonio::{escaped, scan_num, scan_str, JsonWriter};
 use fedval_linalg::DeterminismTier;
 use fedval_runtime::JobClass;
@@ -16,8 +17,9 @@ use fedval_shapley::{Progress, ProgressEvent, ValuationReport};
 ///
 /// Required: `"method"`. Optional: `"scenario"`, `"seed"`, `"tier"`
 /// (`"fast"` / `"bit_exact"`), `"class"` (`"interactive"` / `"batch"`),
-/// `"rank"`, `"permutations"`, `"samples"`, and the world overrides
-/// `"num_clients"` / `"samples_per_client"` / `"rounds"` /
+/// `"rank"`, `"permutations"`, `"samples"`, `"deadline_ms"` (wall-clock
+/// budget; the job fails with a deadline error past it), and the world
+/// overrides `"num_clients"` / `"samples_per_client"` / `"rounds"` /
 /// `"clients_per_round"`. Unknown keys are ignored; recognized keys
 /// with malformed values are errors, not silent defaults.
 pub fn parse_job_spec(body: &str) -> Result<JobSpec, String> {
@@ -46,6 +48,7 @@ pub fn parse_job_spec(body: &str) -> Result<JobSpec, String> {
     if let Some(samples) = scan_whole(body, "samples")? {
         spec.samples = samples as usize;
     }
+    spec.deadline_ms = scan_whole(body, "deadline_ms")?;
     spec.num_clients = scan_whole(body, "num_clients")?.map(|v| v as usize);
     spec.samples_per_client = scan_whole(body, "samples_per_client")?.map(|v| v as usize);
     spec.rounds = scan_whole(body, "rounds")?.map(|v| v as usize);
@@ -119,6 +122,7 @@ pub fn render_job(job: &Job) -> String {
         w.u64_field("cell_hits", cache.cell_hits);
         w.u64_field("cells_computed", cache.cells_computed);
         w.u64_field("disk_warm_cells", cache.disk_warm_cells);
+        w.bool_field("degraded", cache.cache_degraded);
         w.end_object();
     }
     if let Some(error) = job.error() {
@@ -174,21 +178,51 @@ pub fn render_error(message: &str) -> String {
     w.finish_inline()
 }
 
-/// The `GET /healthz` body: liveness plus the catalog of what can be
-/// submitted (methods, scenarios) and the pool configuration.
+/// Everything the `/healthz` readiness document reports about the
+/// process, gathered by the HTTP layer at request time.
+pub struct HealthSnapshot<'a> {
+    /// `true` once shutdown has begun — new submissions are shed.
+    pub draining: bool,
+    /// Jobs currently queued or running.
+    pub active_jobs: usize,
+    /// Job slots before submissions are shed with 503.
+    pub capacity: usize,
+    /// Worker threads in the compute pool.
+    pub pool_threads: usize,
+    /// Compute-pool jobs waiting for a worker (queue pressure).
+    pub pool_queue_depth: usize,
+    /// Scheduling policy name ("fair" / "fifo").
+    pub policy: &'a str,
+    /// Shared utility-cell cache counters, including degraded mode.
+    pub cache: CacheStats,
+}
+
+/// The `GET /healthz` body: a readiness document — load (`active_jobs`
+/// vs `capacity`, `pool_queue_depth`), drain state (`status` is
+/// `"draining"` once shutdown began), cache health (counters plus the
+/// `degraded` flag), and the catalog of what can be submitted.
 pub fn render_health(
-    active_jobs: usize,
-    pool_threads: usize,
-    policy: &str,
+    health: &HealthSnapshot<'_>,
     methods: &[String],
     scenarios: &[String],
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
-    w.str_field("status", "ok");
-    w.u64_field("active_jobs", active_jobs as u64);
-    w.u64_field("pool_threads", pool_threads as u64);
-    w.str_field("policy", policy);
+    w.str_field("status", if health.draining { "draining" } else { "ok" });
+    w.u64_field("active_jobs", health.active_jobs as u64);
+    w.u64_field("capacity", health.capacity as u64);
+    w.u64_field("pool_threads", health.pool_threads as u64);
+    w.u64_field("pool_queue_depth", health.pool_queue_depth as u64);
+    w.str_field("policy", health.policy);
+    w.begin_object_field_compact("cache");
+    w.u64_field("resident_cells", health.cache.resident_cells as u64);
+    w.u64_field("capacity_bytes", health.cache.capacity_bytes as u64);
+    w.u64_field("spilled_cells", health.cache.spilled_cells);
+    w.u64_field("disk_cells_loaded", health.cache.disk_cells_loaded);
+    w.u64_field("corrupt_events", health.cache.corrupt_events);
+    w.u64_field("write_errors", health.cache.write_errors);
+    w.bool_field("degraded", health.cache.disk_degraded);
+    w.end_object();
     w.begin_array_field_compact("methods");
     for m in methods {
         w.str_elem(m);
@@ -316,11 +350,35 @@ mod tests {
     }
 
     #[test]
-    fn health_lists_catalogs() {
-        let body = render_health(2, 4, "fair", &["comfedsv".into()], &["iid_baseline".into()]);
+    fn health_lists_catalogs_and_readiness() {
+        let snapshot = HealthSnapshot {
+            draining: false,
+            active_jobs: 2,
+            capacity: 32,
+            pool_threads: 4,
+            pool_queue_depth: 7,
+            policy: "fair",
+            cache: CacheStats::default(),
+        };
+        let body = render_health(&snapshot, &["comfedsv".into()], &["iid_baseline".into()]);
         assert!(body.contains("\"status\": \"ok\""));
         assert!(body.contains("\"active_jobs\": 2"));
+        assert!(body.contains("\"capacity\": 32"));
+        assert!(body.contains("\"pool_queue_depth\": 7"));
+        assert!(body.contains("\"degraded\": false"));
         assert!(body.contains("\"methods\": [\"comfedsv\"]"));
         assert!(body.contains("\"scenarios\": [\"iid_baseline\"]"));
+        let draining = HealthSnapshot {
+            draining: true,
+            ..snapshot
+        };
+        assert!(render_health(&draining, &[], &[]).contains("\"status\": \"draining\""));
+    }
+
+    #[test]
+    fn parse_deadline_ms() {
+        let spec = parse_job_spec(r#"{"method": "tmc", "deadline_ms": 2500}"#).unwrap();
+        assert_eq!(spec.deadline_ms, Some(2500));
+        assert!(parse_job_spec(r#"{"method": "tmc", "deadline_ms": -1}"#).is_err());
     }
 }

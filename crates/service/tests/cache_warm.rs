@@ -128,8 +128,9 @@ fn warm_disk_cache_survives_a_manager_restart() {
     };
 
     // "Process" two: a brand-new manager and cache over the same
-    // directory. The world memo is gone (it is in-process state), so
-    // training reruns, but every utility cell loads from disk.
+    // directory. The in-process world memo is gone, but the persisted
+    // trace lets the fresh manager skip training entirely, and every
+    // utility cell loads from disk.
     let manager = JobManager::with_pool_and_cache(
         PoolHandle::owned(Pool::with_policy(2, SchedPolicy::FairShare)),
         CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir),
@@ -137,7 +138,10 @@ fn warm_disk_cache_survives_a_manager_restart() {
     let job = manager.submit(spec).unwrap();
     assert_eq!(job.wait(), JobStatus::Done);
     let cache = job.cache_info().unwrap();
-    assert!(!cache.world_reused, "fresh manager retrains");
+    assert!(
+        cache.world_reused,
+        "fresh manager rehydrates the persisted trace instead of retraining"
+    );
     assert!(cache.disk_warm_cells > 0, "cells loaded from disk");
     assert_eq!(cache.cells_computed, 0, "warm disk run recomputes nothing");
     assert_bits_eq(
@@ -146,6 +150,28 @@ fn warm_disk_cache_survives_a_manager_restart() {
         "cold vs disk-warm restart",
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unusable_cache_dir_degrades_to_memory_and_is_reported() {
+    // The configured cache path can never be a directory: its parent is
+    // a regular file. The service must come up memory-only, serve jobs
+    // normally, and surface the degradation — not crash or stall.
+    let parent = tmpdir("degraded-parent");
+    std::fs::write(&parent, b"not a directory").unwrap();
+    let dir = parent.join("cache");
+    let manager = JobManager::with_pool_and_cache(
+        PoolHandle::owned(Pool::with_policy(2, SchedPolicy::FairShare)),
+        CellCache::with_dir(fedval_cache::DEFAULT_MEM_BUDGET_BYTES, &dir),
+    );
+    assert!(manager.cache_stats().disk_degraded, "degraded at startup");
+    let job = manager.submit(tiny("fedsv", 53)).unwrap();
+    assert_eq!(job.wait(), JobStatus::Done);
+    let cache = job.cache_info().unwrap();
+    assert!(cache.cache_degraded, "job reports the degraded cache");
+    assert!(cache.cell_hits > 0 || cache.cells_computed > 0);
+    assert!(job.report().is_some());
+    let _ = std::fs::remove_file(&parent);
 }
 
 #[test]

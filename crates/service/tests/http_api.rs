@@ -193,6 +193,78 @@ fn delete_cancels_a_running_job() {
     server.stop();
 }
 
+/// Writes `raw` bytes verbatim and returns the status code (0 when the
+/// server just closed the connection without a response).
+fn raw_request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // The server may reject (and close) before the whole payload is
+    // written — a short write is part of what's under test.
+    let _ = stream.write_all(raw);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, response)
+}
+
+#[test]
+fn malformed_requests_get_clean_errors_not_hangs() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // Bad Content-Length values: not a number, negative.
+    for cl in ["banana", "-5"] {
+        let raw = format!("POST /jobs HTTP/1.1\r\nContent-Length: {cl}\r\n\r\n{{}}");
+        let (status, body) = raw_request(addr, raw.as_bytes());
+        assert_eq!(status, 400, "Content-Length {cl:?}: {body}");
+        assert!(body.contains("\"error\""), "{body}");
+    }
+
+    // Declared body larger than the server accepts: shed before reading.
+    let raw = "POST /jobs HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+    let (status, body) = raw_request(addr, raw.as_bytes());
+    assert_eq!(status, 413, "{body}");
+
+    // Truncated body: Content-Length promises more than arrives.
+    let raw = "POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"method\"";
+    let (status, body) = raw_request(addr, raw.as_bytes());
+    assert_eq!(status, 400, "{body}");
+
+    // Oversized request line: rejected at the limit, not buffered.
+    let mut raw = b"GET /".to_vec();
+    raw.extend(std::iter::repeat_n(b'a', 64 * 1024));
+    let (status, body) = raw_request(addr, &raw);
+    assert_eq!(status, 413, "{body}");
+
+    // Oversized headers: many lines, bounded in total.
+    let mut raw = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..2000 {
+        raw.extend_from_slice(format!("X-Padding-{i}: {}\r\n", "b".repeat(64)).as_bytes());
+    }
+    raw.extend_from_slice(b"\r\n");
+    let (status, body) = raw_request(addr, &raw);
+    assert_eq!(status, 413, "{body}");
+
+    // Non-UTF-8 body.
+    let mut raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\n".to_vec();
+    raw.extend_from_slice(&[0xff, 0xfe]);
+    let (status, body) = raw_request(addr, &raw);
+    assert_eq!(status, 400, "{body}");
+
+    // Empty request: connection opened and closed without a full line.
+    let (status, _) = raw_request(addr, b"");
+    assert_eq!(status, 400);
+
+    // The server is still healthy after all of that.
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    server.stop();
+}
+
 #[test]
 fn error_paths_return_structured_errors() {
     let server = start_server();

@@ -80,6 +80,12 @@ pub enum ValuationError {
     /// [`ValuationSession::cancel_handle`](crate::session::ValuationSession::cancel_handle))
     /// before it finished. No partial values are returned.
     Cancelled,
+    /// The run exceeded its wall-clock deadline and was stopped at the
+    /// next cancellation checkpoint. No partial values are returned.
+    Deadline {
+        /// The configured limit in milliseconds.
+        limit_ms: u64,
+    },
 }
 
 impl fmt::Display for ValuationError {
@@ -118,6 +124,9 @@ impl fmt::Display for ValuationError {
                  valuation covers {valued}; it must come from the same world"
             ),
             ValuationError::Cancelled => write!(f, "the valuation run was cancelled"),
+            ValuationError::Deadline { limit_ms } => {
+                write!(f, "deadline exceeded after {limit_ms} ms")
+            }
         }
     }
 }
